@@ -1,0 +1,382 @@
+package bgbuster
+
+// One benchmark per table/figure of the paper (DESIGN.md §4 maps each
+// experiment to its bench target). The benchmarks run the experiment
+// harness at a reduced deterministic scale and report the headline
+// metric of the corresponding paper result via b.ReportMetric, so
+// `go test -bench=.` both times the pipeline and regenerates the
+// result shapes. The full-scale numbers come from `go run
+// ./cmd/experiments` and are recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/attacks/location"
+	"github.com/bgbuster/bgbuster/internal/attacks/objdetect"
+	"github.com/bgbuster/bgbuster/internal/compositor"
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/experiments"
+	"github.com/bgbuster/bgbuster/internal/person"
+	"github.com/bgbuster/bgbuster/internal/segment"
+)
+
+// benchConfig is the reduced-scale experiment configuration shared by
+// the table/figure benchmarks.
+func benchConfig() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.Data.W, cfg.Data.H = 120, 90
+	cfg.Data.E1Frames, cfg.Data.E2Frames, cfg.Data.E3Frames = 60, 90, 75
+	cfg.DictSize = 40
+	cfg.Limit = 3
+	return cfg
+}
+
+func BenchmarkTableVBMR(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Limit = 1
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.VBMRTable(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.KnownMean, "known-vbmr-%")
+		b.ReportMetric(res.UnknownMean, "unknown-vbmr-%")
+	}
+}
+
+func BenchmarkPhiCalibration(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.PhiCalibration(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].EstimatedPhi), "estimated-phi-px")
+	}
+}
+
+func BenchmarkFig5InitialLeakage(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5InitialLeakage(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].LeakPct, "frame1-leak-%")
+		b.ReportMetric(rows[len(rows)-1].LeakPct, "steady-leak-%")
+	}
+}
+
+func BenchmarkFig7ActionRBRR(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Limit = 2
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7ActionRBRR(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Action {
+			case person.ActionEnterRoom:
+				b.ReportMetric(r.MeanRBRR, "enter-rbrr-%")
+			case person.ActionType:
+				b.ReportMetric(r.MeanRBRR, "typing-rbrr-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8ActionSpeed(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Limit = 2
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8ActionSpeed(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Action == person.ActionArmWave && r.Speed == person.SpeedSlow {
+				b.ReportMetric(r.DisplacementPct, "slow-wave-displacement-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9Accessories(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Limit = 2
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9Accessories(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].MeanRBRR, "rbrr-%")
+	}
+}
+
+func BenchmarkFig10f11Lighting(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Limit = 3
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10f11Lighting(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanOn, "lights-on-rbrr-%")
+		b.ReportMetric(res.MeanOff, "lights-off-rbrr-%")
+	}
+}
+
+func BenchmarkFig12aPassiveActive(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig12aPassiveActiveWild(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Group {
+			case experiments.GroupPassive:
+				b.ReportMetric(r.MeanRBRR, "passive-rbrr-%")
+			case experiments.GroupActive:
+				b.ReportMetric(r.MeanRBRR, "active-rbrr-%")
+			case experiments.GroupWild:
+				b.ReportMetric(r.MeanRBRR, "wild-rbrr-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig12bLocation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12bLocation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			if r.Group == experiments.GroupActive {
+				b.ReportMetric(r.TopK[1], "active-top1-%")
+				b.ReportMetric(r.TopK[25], "active-top25-%")
+			}
+		}
+	}
+}
+
+func BenchmarkTableObjectTracking(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Limit = 2
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ObjectTrackingTable(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Accuracy, "tracking-accuracy-%")
+		b.ReportMetric(float64(res.Objects), "decisions")
+	}
+}
+
+func BenchmarkTableGenericDetection(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Limit = 2
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.GenericDetectionTable(cfg, objdetect.ModelRetinaNetStyle)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := 0
+		for _, n := range res.DetectedByKind {
+			total += n
+		}
+		b.ReportMetric(float64(total), "detections")
+		b.ReportMetric(float64(res.TextRecovered), "texts-recovered")
+	}
+}
+
+func BenchmarkTableSkypeVsZoom(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Limit = 3
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SkypeVsZoomTable(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.MeanRBRR, r.Software+"-e3-rbrr-%")
+		}
+	}
+}
+
+func BenchmarkFig15aMitigationRBRR(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Limit = 2
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig15aMitigationRBRR(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Group == experiments.GroupActive {
+				b.ReportMetric(r.ClaimedRBRR, "mitigated-claimed-rbrr-%")
+				b.ReportMetric(r.Precision, "mitigated-precision")
+			}
+		}
+	}
+}
+
+func BenchmarkFig15bMitigationLocation(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Limit = 2
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig15bMitigationLocation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			if r.Group == experiments.GroupActive {
+				b.ReportMetric(r.TopK[25], "mitigated-active-top25-%")
+			}
+		}
+	}
+}
+
+func BenchmarkTableMitigationHeuristics(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Limit = 2
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.MitigationHeuristicsTable(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Heuristic == "deepfake-replay" {
+				b.ReportMetric(r.VerifiedPct, "deepfake-verified-%")
+			}
+		}
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md §6 calls out.
+
+func benchAblation(b *testing.B, run func(experiments.Config) ([]experiments.AblationRow, error)) {
+	cfg := benchConfig()
+	cfg.Limit = 2
+	for i := 0; i < b.N; i++ {
+		rows, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.MeanClaimed, r.Variant+"-claimed-%")
+		}
+	}
+}
+
+func BenchmarkAblationNoTemporalSmoothing(b *testing.B) {
+	benchAblation(b, experiments.AblationTemporalSmoothing)
+}
+
+func BenchmarkAblationNoBoundaryError(b *testing.B) {
+	benchAblation(b, experiments.AblationBoundaryError)
+}
+
+func BenchmarkAblationColorRefine(b *testing.B) {
+	benchAblation(b, experiments.AblationColorRefine)
+}
+
+func BenchmarkAblationSegmenter(b *testing.B) {
+	benchAblation(b, experiments.AblationSegmenter)
+}
+
+func BenchmarkAblationBlendKinds(b *testing.B) {
+	benchAblation(b, experiments.AblationBlendKind)
+}
+
+// Pipeline micro-benchmarks: per-stage cost of the library primitives.
+
+func benchRendered(b *testing.B) *RenderedCall {
+	b.Helper()
+	cfg := DefaultDatasetConfig()
+	cfg.W, cfg.H = 160, 120
+	cfg.E1Frames = 60
+	rendered, err := E1Calls(cfg)[2].Render()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rendered
+}
+
+func BenchmarkPipelineRender(b *testing.B) {
+	cfg := DefaultDatasetConfig()
+	cfg.E1Frames = 60
+	call := E1Calls(cfg)[2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := call.Render(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineCompose(b *testing.B) {
+	rendered := benchRendered(b)
+	w, h := rendered.Raw.Size()
+	vb := StaticImage{Img: compositor.BuiltinImage("beach", w, h)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compose(rendered.Raw, rendered.Silhouettes, ZoomProfile(), vb, nil, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineReconstruct(b *testing.B) {
+	rendered := benchRendered(b)
+	w, h := rendered.Raw.Size()
+	vb := StaticImage{Img: compositor.BuiltinImage("beach", w, h)}
+	composed, err := Compose(rendered.Raw, rendered.Silhouettes, ZoomProfile(), vb, nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.DefaultOptions()
+		opts.KnownImages = compositor.BuiltinImages(w, h)
+		opts.Segmenter = segment.OracleSegmenter{}
+		if _, err := core.Reconstruct(composed.Blended, rendered.Silhouettes, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineLocationRank(b *testing.B) {
+	rendered := benchRendered(b)
+	res, err := Attack(rendered, AttackOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultDatasetConfig()
+	var dict location.Dictionary
+	for i, c := range E3Calls(cfg)[:20] {
+		_ = i
+		dict = append(dict, location.Entry{Name: c.LocationName(), Background: c.SceneFor().Base})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := location.Rank(res.Reconstruction, dict, location.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineDetect(b *testing.B) {
+	rendered := benchRendered(b)
+	res, err := Attack(rendered, AttackOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectObjects(res.Reconstruction, ModelRetinaNetStyle)
+	}
+}

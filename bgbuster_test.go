@@ -1,0 +1,203 @@
+package bgbuster
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallDataset returns a dataset config small enough for unit tests.
+func smallDataset() DatasetConfig {
+	cfg := DefaultDatasetConfig()
+	cfg.W, cfg.H = 120, 90
+	cfg.E1Frames, cfg.E2Frames, cfg.E3Frames = 30, 45, 40
+	return cfg
+}
+
+func TestDatasetCounts(t *testing.T) {
+	cfg := smallDataset()
+	if n := len(E1Calls(cfg)); n != 163 {
+		t.Fatalf("E1 = %d, want 163", n)
+	}
+	if n := len(E2Calls(cfg)); n != 25 {
+		t.Fatalf("E2 = %d, want 25", n)
+	}
+	if n := len(E3Calls(cfg)); n != 50 {
+		t.Fatalf("E3 = %d, want 50", n)
+	}
+}
+
+func TestAttackPipelineEndToEnd(t *testing.T) {
+	cfg := smallDataset()
+	call := E1Calls(cfg)[2] // arm-waving
+	rendered, err := call.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Attack(rendered, AttackOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconstruction.RBRR() <= 0 {
+		t.Fatal("attack recovered nothing")
+	}
+	if res.Verification.Precision <= 0.3 {
+		t.Fatalf("precision %.2f too low for an unmitigated call", res.Verification.Precision)
+	}
+	if res.Reconstruction.VBName != "beach" {
+		t.Fatalf("identified VB %q", res.Reconstruction.VBName)
+	}
+}
+
+func TestAttackWithMitigationCollapsesPrecision(t *testing.T) {
+	cfg := smallDataset()
+	call := E1Calls(cfg)[2]
+	rendered, err := call.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Attack(rendered, AttackOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mitigated, err := Attack(rendered, AttackOptions{Seed: 7, Mitigation: DynamicVirtualBackground(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mitigated.Verification.Precision >= plain.Verification.Precision {
+		t.Fatalf("mitigation must collapse precision: %.2f vs %.2f",
+			mitigated.Verification.Precision, plain.Verification.Precision)
+	}
+	if mitigated.Reconstruction.RBRR() <= plain.Reconstruction.RBRR() {
+		t.Fatal("mitigation must inflate claimed recovery")
+	}
+}
+
+func TestAttackSkypeProfile(t *testing.T) {
+	cfg := smallDataset()
+	call := E2Calls(cfg)[4] // active caller
+	rendered, err := call.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	skype := SkypeProfile()
+	res, err := Attack(rendered, AttackOptions{Seed: 3, Profile: &skype, VirtualName: "office"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconstruction.VBName != "office" {
+		t.Fatalf("identified VB %q", res.Reconstruction.VBName)
+	}
+}
+
+func TestRankLocationsFacade(t *testing.T) {
+	cfg := smallDataset()
+	call := E2Calls(cfg)[4]
+	rendered, err := call.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Attack(rendered, AttackOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := []LocationEntry{
+		{Name: call.LocationName(), Background: rendered.Scene.Base},
+		{Name: "other", Background: E3Calls(cfg)[0].SceneFor().Base},
+	}
+	matches, err := RankLocations(res.Reconstruction, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matches[0].Name != call.LocationName() {
+		t.Fatalf("rank-1 = %q", matches[0].Name)
+	}
+}
+
+func TestDetectAndInferFacades(t *testing.T) {
+	cfg := smallDataset()
+	call := E3Calls(cfg)[1]
+	rendered, err := call.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Attack(rendered, AttackOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smoke: both attacks run on a real reconstruction.
+	_ = DetectObjects(res.Reconstruction, ModelRetinaNetStyle)
+	_ = InferText(res.Reconstruction)
+}
+
+func TestTrackObjectFacade(t *testing.T) {
+	cfg := smallDataset()
+	call := E3Calls(cfg)[1]
+	rendered, err := call.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Attack(rendered, AttackOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rendered.Scene.Objects) == 0 {
+		t.Skip("scene has no objects")
+	}
+	obj := rendered.Scene.Objects[0]
+	tpl := rendered.Scene.Template(obj)
+	if tpl == nil || tpl.W < 2 || tpl.H < 2 {
+		t.Skip("degenerate template")
+	}
+	if _, err := TrackObject(res.Reconstruction, tpl); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMitigationHelpers(t *testing.T) {
+	cfg := smallDataset()
+	call := E1Calls(cfg)[0]
+	rendered, err := call.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RandomVirtualBackground(40, 30, 1).Equal(RandomVirtualBackground(40, 30, 2)) {
+		t.Fatal("random VBs must differ per seed")
+	}
+	if DropFrames(rendered.Raw, 3).Len() >= rendered.Raw.Len() {
+		t.Fatal("frame dropping must shorten the call")
+	}
+	df, err := DeepfakeReplay(rendered.Raw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Len() != rendered.Raw.Len() {
+		t.Fatal("deepfake replay must preserve length")
+	}
+}
+
+func TestBuiltinHelpers(t *testing.T) {
+	names := BuiltinVirtualImageNames()
+	if len(names) == 0 {
+		t.Fatal("no builtin names")
+	}
+	names[0] = "mutated" // must not affect the library copy
+	if BuiltinVirtualImageNames()[0] == "mutated" {
+		t.Fatal("builtin names not copied at the boundary")
+	}
+	img := BuiltinVirtualImage("beach", 32, 24)
+	if img.W != 32 || img.H != 24 {
+		t.Fatal("builtin image geometry wrong")
+	}
+	vid := BuiltinVirtualVideo("waves", 16, 12, 4)
+	if vid.Period() != 4 {
+		t.Fatal("builtin video period wrong")
+	}
+}
+
+func TestVBModeLabels(t *testing.T) {
+	for _, m := range []VBMode{VBKnownImage, VBKnownVideo, VBUnknownImage, VBUnknownVideo} {
+		if strings.HasPrefix(m.String(), "vbmode(") {
+			t.Fatalf("mode %d unlabeled", m)
+		}
+	}
+}

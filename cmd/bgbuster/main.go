@@ -1,0 +1,227 @@
+// Command bgbuster runs the Background Buster pipeline on one synthetic
+// call: compose a virtual-background recording, reconstruct the real
+// background, run the inference attacks, and dump visual artefacts
+// (PNGs and a .bbv raw video) for inspection.
+//
+// Usage:
+//
+//	bgbuster attack    [-phase e1|e2|e3] [-index N] [-vb name] [-software zoom|skype] [-mitigate] [-out dir]
+//	bgbuster decompose [-phase e1|e2|e3] [-index N] [-frame N] [-out dir]
+//	bgbuster list      [-phase e1|e2|e3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/bgbuster/bgbuster"
+	"github.com/bgbuster/bgbuster/internal/compositor"
+	"github.com/bgbuster/bgbuster/internal/dataset"
+	"github.com/bgbuster/bgbuster/internal/person"
+	"github.com/bgbuster/bgbuster/internal/vidstream"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bgbuster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: bgbuster <attack|decompose|list> [flags]")
+	}
+	switch args[0] {
+	case "attack":
+		return runAttack(args[1:])
+	case "decompose":
+		return runDecompose(args[1:])
+	case "list":
+		return runList(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// callFlags parses the shared call-selection flags.
+func callFlags(fs *flag.FlagSet) (phase *string, index *int) {
+	phase = fs.String("phase", "e1", "dataset phase: e1, e2 or e3")
+	index = fs.Int("index", 0, "call index within the phase")
+	return
+}
+
+func pickCall(phase string, index int) (*dataset.Call, error) {
+	cfg := bgbuster.DefaultDatasetConfig()
+	var calls []*dataset.Call
+	switch phase {
+	case "e1":
+		calls = bgbuster.E1Calls(cfg)
+	case "e2":
+		calls = bgbuster.E2Calls(cfg)
+	case "e3":
+		calls = bgbuster.E3Calls(cfg)
+	default:
+		return nil, fmt.Errorf("unknown phase %q", phase)
+	}
+	if index < 0 || index >= len(calls) {
+		return nil, fmt.Errorf("index %d out of range (phase %s has %d calls)", index, phase, len(calls))
+	}
+	return calls[index], nil
+}
+
+func runAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ContinueOnError)
+	phase, index := callFlags(fs)
+	vbName := fs.String("vb", "beach", "built-in virtual background name")
+	software := fs.String("software", "zoom", "compositor profile: zoom or skype")
+	mitigated := fs.Bool("mitigate", false, "apply the dynamic virtual background mitigation")
+	out := fs.String("out", "bgbuster-out", "output directory")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	call, err := pickCall(*phase, *index)
+	if err != nil {
+		return err
+	}
+	rendered, err := call.Render()
+	if err != nil {
+		return err
+	}
+
+	opts := bgbuster.AttackOptions{VirtualName: *vbName, Seed: *seed}
+	switch *software {
+	case "zoom":
+	case "skype":
+		p := bgbuster.SkypeProfile()
+		opts.Profile = &p
+	default:
+		return fmt.Errorf("unknown software %q", *software)
+	}
+	if *mitigated {
+		opts.Mitigation = bgbuster.DynamicVirtualBackground(*seed + 99)
+	}
+
+	res, err := bgbuster.Attack(rendered, opts)
+	if err != nil {
+		return err
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	writes := map[string]error{
+		"recovered.png":  res.Reconstruction.Recovered.WritePNG(filepath.Join(*out, "recovered.png")),
+		"coverage.png":   res.Reconstruction.Coverage.ToImage().WritePNG(filepath.Join(*out, "coverage.png")),
+		"truth.png":      rendered.TrueBackground.WritePNG(filepath.Join(*out, "truth.png")),
+		"blended.bbv":    vidstream.Save(filepath.Join(*out, "blended.bbv"), res.Composed.Blended),
+		"firstframe.png": res.Composed.Blended.Frames[0].WritePNG(filepath.Join(*out, "firstframe.png")),
+	}
+	for name, werr := range writes {
+		if werr != nil {
+			return fmt.Errorf("write %s: %w", name, werr)
+		}
+	}
+
+	fmt.Printf("call %s (%s), software=%s vb=%s mitigated=%v\n", call.ID, *phase, *software, *vbName, *mitigated)
+	fmt.Printf("  identified VB: %q (mode %s)\n", res.Reconstruction.VBName, res.Reconstruction.VBMode)
+	fmt.Printf("  claimed RBRR:   %6.2f%%\n", res.Verification.ClaimedPct)
+	fmt.Printf("  verified:       %6.2f%%\n", res.Verification.TruePct)
+	fmt.Printf("  precision:      %6.3f\n", res.Verification.Precision)
+	fmt.Printf("artefacts written to %s/\n", *out)
+	return nil
+}
+
+func runDecompose(args []string) error {
+	fs := flag.NewFlagSet("decompose", flag.ContinueOnError)
+	phase, index := callFlags(fs)
+	frame := fs.Int("frame", 0, "frame to decompose")
+	out := fs.String("out", "bgbuster-out", "output directory")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	call, err := pickCall(*phase, *index)
+	if err != nil {
+		return err
+	}
+	rendered, err := call.Render()
+	if err != nil {
+		return err
+	}
+	w, h := rendered.Raw.Size()
+	vb := compositor.StaticImage{Img: compositor.BuiltinImage("beach", w, h)}
+	composed, err := bgbuster.Compose(rendered.Raw, rendered.Silhouettes, bgbuster.ZoomProfile(), vb, nil, *seed)
+	if err != nil {
+		return err
+	}
+	if *frame < 0 || *frame >= composed.Blended.Len() {
+		return fmt.Errorf("frame %d out of range (%d frames)", *frame, composed.Blended.Len())
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	// The paper's Figure 3 decomposition: f^i and the four components.
+	comps := composed.Components[*frame]
+	f := composed.Blended.Frames[*frame]
+	files := map[string]error{
+		"frame.png": f.WritePNG(filepath.Join(*out, "frame.png")),
+		"vc.png":    f.ApplyMask(comps.VC).WritePNG(filepath.Join(*out, "vc.png")),
+		"lb.png":    f.ApplyMask(comps.LB).WritePNG(filepath.Join(*out, "lb.png")),
+		"bb.png":    f.ApplyMask(comps.BB).WritePNG(filepath.Join(*out, "bb.png")),
+		"vb.png":    f.ApplyMask(comps.VB).WritePNG(filepath.Join(*out, "vb.png")),
+	}
+	for name, werr := range files {
+		if werr != nil {
+			return fmt.Errorf("write %s: %w", name, werr)
+		}
+	}
+	fmt.Printf("frame %d of %s decomposed (VC %.1f%%, LB %.1f%%, BB %.1f%%, VB %.1f%%) into %s/\n",
+		*frame, call.ID,
+		comps.VC.Fraction()*100, comps.LB.Fraction()*100,
+		comps.BB.Fraction()*100, comps.VB.Fraction()*100, *out)
+	return nil
+}
+
+func runList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	phase := fs.String("phase", "e1", "dataset phase: e1, e2 or e3")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := bgbuster.DefaultDatasetConfig()
+	var calls []*dataset.Call
+	switch *phase {
+	case "e1":
+		calls = bgbuster.E1Calls(cfg)
+	case "e2":
+		calls = bgbuster.E2Calls(cfg)
+	case "e3":
+		calls = bgbuster.E3Calls(cfg)
+	default:
+		return fmt.Errorf("unknown phase %q", *phase)
+	}
+	for i, c := range calls {
+		action, speed := "-", "-"
+		if c.Action != 0 {
+			action, speed = c.Action.String(), c.Speed.String()
+		}
+		engagement := "-"
+		switch c.Engagement {
+		case person.EngagementPassive:
+			engagement = "passive"
+		case person.EngagementActive:
+			engagement = "active"
+		}
+		fmt.Printf("%3d  %-8s p%-3d action=%-14s speed=%-7s engagement=%-8s lights=%-5v acc={hat:%v,hp:%v} frames=%d\n",
+			i, c.ID, c.Participant, action, speed, engagement, c.LightsOn,
+			c.Accessories.Hat, c.Accessories.Headphones, c.Frames)
+	}
+	return nil
+}

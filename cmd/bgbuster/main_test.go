@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"attack", "-phase", "nope"}); err == nil {
+		t.Fatal("unknown phase accepted")
+	}
+	if err := run([]string{"attack", "-index", "99999"}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := run([]string{"attack", "-software", "facetime"}); err == nil {
+		t.Fatal("unknown software accepted")
+	}
+}
+
+func TestPickCall(t *testing.T) {
+	c, err := pickCall("e2", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != "e2-004" {
+		t.Fatalf("picked %s", c.ID)
+	}
+	if _, err := pickCall("e1", -1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestListRuns(t *testing.T) {
+	for _, phase := range []string{"e1", "e2", "e3"} {
+		if err := run([]string{"list", "-phase", phase}); err != nil {
+			t.Fatalf("list %s: %v", phase, err)
+		}
+	}
+}
+
+func TestDecomposeWritesComponents(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"decompose", "-phase", "e1", "-index", "2", "-frame", "3", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"frame.png", "vc.png", "lb.png", "bb.png", "vb.png"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing artefact %s: %v", f, err)
+		}
+	}
+	if err := run([]string{"decompose", "-frame", "100000", "-out", dir}); err == nil {
+		t.Fatal("out-of-range frame accepted")
+	}
+}
+
+func TestAttackWritesArtefacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"attack", "-phase", "e1", "-index", "6", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"recovered.png", "coverage.png", "truth.png", "blended.bbv", "firstframe.png"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing artefact %s: %v", f, err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command datasetgen builds the synthetic E1/E2/E3 call datasets,
+// prints a summary, and optionally materialises sample recordings as
+// .bbv videos and PNG stills for inspection.
+//
+// Usage:
+//
+//	datasetgen [-seed N] [-out dir] [-samples N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/bgbuster/bgbuster/internal/dataset"
+	"github.com/bgbuster/bgbuster/internal/person"
+	"github.com/bgbuster/bgbuster/internal/vidstream"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datasetgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("datasetgen", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "dataset seed")
+	out := fs.String("out", "", "directory to write sample recordings into (empty = summary only)")
+	samples := fs.Int("samples", 3, "sample recordings per phase to materialise")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := dataset.DefaultConfig()
+	cfg.Seed = *seed
+
+	phases := []struct {
+		name  string
+		calls []*dataset.Call
+	}{
+		{"E1", dataset.E1(cfg)},
+		{"E2", dataset.E2(cfg)},
+		{"E3", dataset.E3(cfg)},
+	}
+	for _, p := range phases {
+		summary(p.name, p.calls)
+		if *out == "" {
+			continue
+		}
+		dir := filepath.Join(*out, p.name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		n := *samples
+		if n > len(p.calls) {
+			n = len(p.calls)
+		}
+		for i := 0; i < n; i++ {
+			call := p.calls[i*len(p.calls)/maxI(n, 1)]
+			rendered, err := call.Render()
+			if err != nil {
+				return err
+			}
+			if err := vidstream.Save(filepath.Join(dir, call.ID+".bbv"), rendered.Raw); err != nil {
+				return err
+			}
+			if err := rendered.Raw.Frames[len(rendered.Raw.Frames)/2].WritePNG(filepath.Join(dir, call.ID+".png")); err != nil {
+				return err
+			}
+			if err := rendered.TrueBackground.WritePNG(filepath.Join(dir, call.ID+"-background.png")); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("  wrote %d sample recordings to %s\n", n, dir)
+	}
+	return nil
+}
+
+func summary(name string, calls []*dataset.Call) {
+	actions := map[person.Action]int{}
+	locations := map[string]bool{}
+	frames := 0
+	for _, c := range calls {
+		actions[c.Action]++
+		locations[c.LocationName()] = true
+		frames += c.Frames
+	}
+	fmt.Printf("%s: %d calls, %d unique backgrounds, %d total frames\n",
+		name, len(calls), len(locations), frames)
+	if name == "E1" {
+		for _, a := range person.Actions {
+			fmt.Printf("  %-15v %d calls\n", a, actions[a])
+		}
+	}
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

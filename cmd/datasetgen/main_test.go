@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSummaryOnly(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritesSamples(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-samples", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"E1", "E2", "E3"} {
+		entries, err := os.ReadDir(filepath.Join(dir, phase))
+		if err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+		if len(entries) < 3 { // .bbv + frame png + background png
+			t.Fatalf("%s: only %d artefacts", phase, len(entries))
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Command experiments runs the full Background Buster evaluation suite:
+// every table and figure of the paper's Sections VIII and IX, plus the
+// reproduction's ablations, printed as text tables. EXPERIMENTS.md
+// records a full run against the paper's numbers.
+//
+// Usage:
+//
+//	experiments [-quick] [-limit N] [-only name] [-seed N] [-plots dir]
+//
+// Experiment names for -only: vbmr, phi, fig5, fig7, fig8, fig9,
+// lighting, fig12a, fig12b, objtrack, detect, software, fig15a, fig15b,
+// heuristics, ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/bgbuster/bgbuster/internal/attacks/objdetect"
+	"github.com/bgbuster/bgbuster/internal/experiments"
+	"github.com/bgbuster/bgbuster/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "use the scaled-down quick configuration")
+	limit := fs.Int("limit", 0, "cap calls per experiment group (0 = all)")
+	only := fs.String("only", "", "run a single experiment by name")
+	seed := fs.Int64("seed", 1, "dataset seed")
+	plots := fs.String("plots", "", "directory to write figure PNGs into (empty = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *plots != "" {
+		if err := os.MkdirAll(*plots, 0o755); err != nil {
+			return err
+		}
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *limit > 0 {
+		cfg.Limit = *limit
+	}
+	cfg.Data.Seed = *seed
+
+	type experiment struct {
+		name  string
+		run   func() (fmt.Stringer, error)
+		chart func() (*plot.BarChart, error)
+	}
+	// chart closures re-run cheaply only when -plots is requested; the
+	// experiment results are deterministic so the re-run is identical.
+	_ = plots
+	suite := []experiment{
+		{"vbmr", func() (fmt.Stringer, error) {
+			r, err := experiments.VBMRTable(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}, nil},
+		{"phi", func() (fmt.Stringer, error) {
+			rows, err := experiments.PhiCalibration(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.PhiTable(rows), nil
+		}, nil},
+		{"fig5", func() (fmt.Stringer, error) {
+			rows, err := experiments.Fig5InitialLeakage(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig5Table(rows), nil
+		}, func() (*plot.BarChart, error) {
+			rows, err := experiments.Fig5InitialLeakage(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig5Chart(rows), nil
+		}},
+		{"fig7", func() (fmt.Stringer, error) {
+			rows, err := experiments.Fig7ActionRBRR(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig7Table(rows), nil
+		}, func() (*plot.BarChart, error) {
+			rows, err := experiments.Fig7ActionRBRR(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig7Chart(rows), nil
+		}},
+		{"fig8", func() (fmt.Stringer, error) {
+			rows, err := experiments.Fig8ActionSpeed(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig8Table(rows), nil
+		}, func() (*plot.BarChart, error) {
+			rows, err := experiments.Fig8ActionSpeed(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig8Chart(rows), nil
+		}},
+		{"fig9", func() (fmt.Stringer, error) {
+			rows, err := experiments.Fig9Accessories(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig9Table(rows), nil
+		}, func() (*plot.BarChart, error) {
+			rows, err := experiments.Fig9Accessories(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig9Chart(rows), nil
+		}},
+		{"lighting", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig10f11Lighting(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}, nil},
+		{"fig12a", func() (fmt.Stringer, error) {
+			rows, err := experiments.Fig12aPassiveActiveWild(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig12aTable(rows), nil
+		}, func() (*plot.BarChart, error) {
+			rows, err := experiments.Fig12aPassiveActiveWild(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig12aChart(rows), nil
+		}},
+		{"fig12b", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig12bLocation(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table("Figure 12b — location inference in E2 and E3"), nil
+		}, func() (*plot.BarChart, error) {
+			r, err := experiments.Fig12bLocation(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.LocationChart(r, "Fig 12b: location inference"), nil
+		}},
+		{"objtrack", func() (fmt.Stringer, error) {
+			r, err := experiments.ObjectTrackingTable(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}, nil},
+		{"detect", func() (fmt.Stringer, error) {
+			r, err := experiments.GenericDetectionTable(cfg, objdetect.ModelRetinaNetStyle)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}, nil},
+		{"software", func() (fmt.Stringer, error) {
+			rows, err := experiments.SkypeVsZoomTable(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.SoftwareTable(rows), nil
+		}, nil},
+		{"fig15a", func() (fmt.Stringer, error) {
+			rows, err := experiments.Fig15aMitigationRBRR(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig15aTable(rows), nil
+		}, func() (*plot.BarChart, error) {
+			rows, err := experiments.Fig15aMitigationRBRR(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Fig15aChart(rows), nil
+		}},
+		{"fig15b", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig15bMitigationLocation(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table("Figure 15b — location inference with dynamic virtual background"), nil
+		}, func() (*plot.BarChart, error) {
+			r, err := experiments.Fig15bMitigationLocation(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.LocationChart(r, "Fig 15b: location w/ dynamic VB"), nil
+		}},
+		{"heuristics", func() (fmt.Stringer, error) {
+			rows, err := experiments.MitigationHeuristicsTable(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.HeuristicsTable(rows), nil
+		}, func() (*plot.BarChart, error) {
+			rows, err := experiments.MitigationHeuristicsTable(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.HeuristicsChart(rows), nil
+		}},
+		{"ablations", func() (fmt.Stringer, error) {
+			return runAblations(cfg)
+		}, nil},
+	}
+
+	ran := 0
+	for _, e := range suite {
+		if *only != "" && e.name != *only {
+			continue
+		}
+		start := time.Now()
+		out, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Println(out)
+		if *plots != "" && e.chart != nil {
+			c, err := e.chart()
+			if err != nil {
+				return fmt.Errorf("%s chart: %w", e.name, err)
+			}
+			path := filepath.Join(*plots, e.name+".png")
+			if err := c.Save(path, 640, 360); err != nil {
+				return fmt.Errorf("%s chart: %w", e.name, err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Printf("(%s took %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment named %q", *only)
+	}
+	return nil
+}
+
+// multiTable renders several tables as one Stringer.
+type multiTable []*experiments.Table
+
+func (m multiTable) String() string {
+	out := ""
+	for i, t := range m {
+		if i > 0 {
+			out += "\n"
+		}
+		out += t.String()
+	}
+	return out
+}
+
+func runAblations(cfg experiments.Config) (fmt.Stringer, error) {
+	var out multiTable
+	type abl struct {
+		title string
+		run   func(experiments.Config) ([]experiments.AblationRow, error)
+	}
+	for _, a := range []abl{
+		{"temporal smoothing trail", experiments.AblationTemporalSmoothing},
+		{"boundary misclassification", experiments.AblationBoundaryError},
+		{"color-based VCM refinement", experiments.AblationColorRefine},
+		{"attacker segmenter quality", experiments.AblationSegmenter},
+		{"compositor blending function", experiments.AblationBlendKind},
+	} {
+		rows, err := a.run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.title, err)
+		}
+		out = append(out, experiments.AblationTable(a.title, rows))
+	}
+	return out, nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-only", "bogus"}); err == nil {
+		t.Fatal("unknown experiment name accepted")
+	}
+}
+
+func TestRunSingleQuickExperiment(t *testing.T) {
+	if err := run([]string{"-quick", "-limit", "1", "-only", "phi"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package bgbuster_test
+
+import (
+	"fmt"
+
+	"github.com/bgbuster/bgbuster"
+)
+
+// ExampleAttack runs the complete pipeline on one synthetic call: the
+// Zoom-like compositor blends the "beach" virtual background into an
+// arm-waving recording, then the reconstruction framework identifies
+// the virtual image and recovers leaked real background.
+func ExampleAttack() {
+	cfg := bgbuster.DefaultDatasetConfig()
+	cfg.W, cfg.H = 120, 90
+	cfg.E1Frames = 30
+
+	rendered, err := bgbuster.E1Calls(cfg)[2].Render()
+	if err != nil {
+		fmt.Println("render:", err)
+		return
+	}
+	res, err := bgbuster.Attack(rendered, bgbuster.AttackOptions{Seed: 7})
+	if err != nil {
+		fmt.Println("attack:", err)
+		return
+	}
+	fmt.Printf("identified VB: %s\n", res.Reconstruction.VBName)
+	fmt.Printf("recovered anything: %v\n", res.Reconstruction.RBRR() > 0)
+	fmt.Printf("claims mostly true: %v\n", res.Verification.Precision > 0.4)
+	// Output:
+	// identified VB: beach
+	// recovered anything: true
+	// claims mostly true: true
+}
+
+// ExampleRankLocations shows the location-inference attack: the
+// reconstruction is matched hue-wise against a dictionary of known
+// backgrounds and the true location ranks first.
+func ExampleRankLocations() {
+	cfg := bgbuster.DefaultDatasetConfig()
+	cfg.W, cfg.H = 120, 90
+	cfg.E2Frames = 45
+
+	call := bgbuster.E2Calls(cfg)[4] // active presenter
+	rendered, err := call.Render()
+	if err != nil {
+		fmt.Println("render:", err)
+		return
+	}
+	res, err := bgbuster.Attack(rendered, bgbuster.AttackOptions{Seed: 3})
+	if err != nil {
+		fmt.Println("attack:", err)
+		return
+	}
+
+	dict := []bgbuster.LocationEntry{
+		{Name: "victim-home", Background: rendered.Scene.Base},
+		{Name: "decoy-office", Background: bgbuster.E3Calls(cfg)[0].SceneFor().Base},
+		{Name: "decoy-studio", Background: bgbuster.E3Calls(cfg)[1].SceneFor().Base},
+	}
+	matches, err := bgbuster.RankLocations(res.Reconstruction, dict)
+	if err != nil {
+		fmt.Println("rank:", err)
+		return
+	}
+	fmt.Printf("best match: %s\n", matches[0].Name)
+	// Output:
+	// best match: victim-home
+}
+
+// ExampleDynamicVirtualBackground demonstrates the paper's Section IX-A
+// mitigation: the per-frame adapted, hue-fluctuating virtual background
+// floods the attacker's reconstruction with false positives.
+func ExampleDynamicVirtualBackground() {
+	cfg := bgbuster.DefaultDatasetConfig()
+	cfg.W, cfg.H = 120, 90
+	cfg.E1Frames = 30
+
+	rendered, err := bgbuster.E1Calls(cfg)[2].Render()
+	if err != nil {
+		fmt.Println("render:", err)
+		return
+	}
+	plain, err := bgbuster.Attack(rendered, bgbuster.AttackOptions{Seed: 7})
+	if err != nil {
+		fmt.Println("attack:", err)
+		return
+	}
+	mitigated, err := bgbuster.Attack(rendered, bgbuster.AttackOptions{
+		Seed:       7,
+		Mitigation: bgbuster.DynamicVirtualBackground(17),
+	})
+	if err != nil {
+		fmt.Println("attack:", err)
+		return
+	}
+	fmt.Printf("claims inflated: %v\n", mitigated.Reconstruction.RBRR() > plain.Reconstruction.RBRR())
+	fmt.Printf("precision collapsed: %v\n", mitigated.Verification.Precision < plain.Verification.Precision)
+	// Output:
+	// claims inflated: true
+	// precision collapsed: true
+}

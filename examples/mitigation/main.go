@@ -1,0 +1,73 @@
+// Mitigation: the same call attacked with and without the paper's
+// dynamic virtual background (Section IX-A), showing how the mitigation
+// floods the attacker's reconstruction with false positives, and a
+// bonus demonstration of the deepfake-replay heuristic that leaks
+// nothing at all.
+//
+//	go run ./examples/mitigation
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/bgbuster/bgbuster"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mitigation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := bgbuster.DefaultDatasetConfig()
+	call := bgbuster.E2Calls(cfg)[4] // active presenter: worst-case leakage
+	rendered, err := call.Render()
+	if err != nil {
+		return err
+	}
+
+	plain, err := bgbuster.Attack(rendered, bgbuster.AttackOptions{Seed: 5})
+	if err != nil {
+		return err
+	}
+	mitigated, err := bgbuster.Attack(rendered, bgbuster.AttackOptions{
+		Seed:       5,
+		Mitigation: bgbuster.DynamicVirtualBackground(17),
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("call %s (active presenter), Zoom-like compositor\n\n", call.ID)
+	fmt.Printf("%-28s %12s %12s %10s\n", "", "claimed RBRR", "verified", "precision")
+	report := func(label string, r *bgbuster.AttackResult) {
+		fmt.Printf("%-28s %11.1f%% %11.1f%% %10.2f\n",
+			label, r.Verification.ClaimedPct, r.Verification.TruePct, r.Verification.Precision)
+	}
+	report("no mitigation", plain)
+	report("dynamic virtual background", mitigated)
+	fmt.Println("\nthe mitigation *raises* the claimed recovery — exactly the paper's")
+	fmt.Println("Figure 15a effect — because the fluctuating virtual pixels flood the")
+	fmt.Println("residue, while the verified recovery shows the claims are hollow.")
+
+	// Deepfake replay: after frame 1, no real frame is ever transmitted.
+	faked, err := bgbuster.DeepfakeReplay(rendered.Raw, 23)
+	if err != nil {
+		return err
+	}
+	changed := 0
+	for i := 1; i < faked.Len(); i++ {
+		m, err := faked.ChangedMask(i, 4)
+		if err != nil {
+			return err
+		}
+		changed += m.Count()
+	}
+	fmt.Printf("\ndeepfake replay: %d frames synthesised from frame 1 alone ", faked.Len()-1)
+	fmt.Printf("(still animate: %d pixel changes across the call),\n", changed)
+	fmt.Println("so frames 2..n can never leak new background content.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/bgbuster/bgbuster
+
+go 1.22

@@ -1,0 +1,209 @@
+package bgbuster
+
+// End-to-end integration tests exercising the whole stack on single
+// calls: dataset → compositor → reconstruction → all four attacks →
+// mitigations. These complement the per-package unit tests with
+// cross-module behaviour checks.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/compositor"
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/dataset"
+	"github.com/bgbuster/bgbuster/internal/person"
+	"github.com/bgbuster/bgbuster/internal/scene"
+	"github.com/bgbuster/bgbuster/internal/segment"
+)
+
+// clutteredCall builds a longer wild-style call over a scene forced to
+// contain objects and text for the attacks to find.
+func clutteredCall(t *testing.T) (*Call, *RenderedCall) {
+	t.Helper()
+	cfg := DefaultDatasetConfig()
+	calls := E3Calls(cfg)
+	for _, c := range calls {
+		sc := c.SceneFor()
+		if len(sc.Find(scene.KindPoster)) > 0 && len(sc.Objects) >= 5 {
+			c.Frames = 300
+			rendered, err := c.Render()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c, rendered
+		}
+	}
+	t.Fatal("no suitable cluttered scene in E3")
+	return nil, nil
+}
+
+func TestIntegrationFullAttackChain(t *testing.T) {
+	call, rendered := clutteredCall(t)
+	res, err := Attack(rendered, AttackOptions{Seed: 99, VirtualName: "space"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconstruction.RBRR() < 5 {
+		t.Fatalf("long wild call recovered only %.1f%%", res.Reconstruction.RBRR())
+	}
+
+	// Location inference must put the true scene first against decoys.
+	dict := []LocationEntry{{Name: call.LocationName(), Background: rendered.Scene.Base}}
+	for i, filler := range dataset.FillerScenes(DefaultDatasetConfig(), 15) {
+		dict = append(dict, LocationEntry{Name: strings.Repeat("x", i+1), Background: filler.Base})
+	}
+	matches, err := RankLocations(res.Reconstruction, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matches[0].Name != call.LocationName() {
+		t.Fatalf("true location ranked behind %q", matches[0].Name)
+	}
+
+	// Object tracking: at least one sufficiently recovered object must
+	// be confirmed.
+	confirmed := 0
+	decidable := 0
+	for _, obj := range rendered.Scene.Objects {
+		if obj.Kind == scene.KindBook {
+			continue
+		}
+		if fracRecovered(res.Reconstruction, obj) < 0.5 {
+			continue
+		}
+		decidable++
+		m, err := TrackObject(res.Reconstruction, rendered.Scene.Template(obj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Found {
+			confirmed++
+		}
+	}
+	if decidable > 0 && confirmed == 0 {
+		t.Fatalf("none of %d decidable objects confirmed", decidable)
+	}
+
+	// Generic detection runs and stays sorted.
+	dets := DetectObjects(res.Reconstruction, ModelRetinaNetStyle)
+	for i := 1; i < len(dets); i++ {
+		if dets[i].Confidence > dets[i-1].Confidence {
+			t.Fatal("detections unsorted")
+		}
+	}
+	// Text inference runs (text recovery depends on what leaked).
+	_ = InferText(res.Reconstruction)
+}
+
+func fracRecovered(rec *Reconstruction, o scene.Object) float64 {
+	total, got := 0, 0
+	for y := o.Y0; y < o.Y1; y++ {
+		for x := o.X0; x < o.X1; x++ {
+			total++
+			if rec.Coverage.At(x, y) {
+				got++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(got) / float64(total)
+}
+
+func TestIntegrationUnknownVBPath(t *testing.T) {
+	// The attacker without any dictionary must still recover background
+	// via unknown-image derivation.
+	cfg := smallDataset()
+	call := E2Calls(cfg)[4]
+	rendered, err := call.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Attack(rendered, AttackOptions{Seed: 3, Mode: VBUnknownImage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconstruction.VBMode != VBUnknownImage {
+		t.Fatal("mode not honoured")
+	}
+	if res.Reconstruction.DerivedCoverage < 0.4 {
+		t.Fatalf("derivation coverage %.2f too low", res.Reconstruction.DerivedCoverage)
+	}
+	if res.Reconstruction.RBRR() <= 0 {
+		t.Fatal("unknown-VB attack recovered nothing")
+	}
+}
+
+func TestIntegrationAuxDerivedMergeImprovesCoverage(t *testing.T) {
+	// Paper Section V-B: when the caller is stationary, the unknown VB
+	// can be completed from other calls using the same virtual image.
+	cfg := smallDataset()
+	vbImg := compositor.BuiltinImage("forest", cfg.W, cfg.H)
+
+	// Use moving E1 callers: body motion shifts the shirt folds, so the
+	// stability rule excludes the caller region, and two calls at
+	// different poses/backgrounds complete each other's virtual image.
+	e1 := E1Calls(cfg)
+	var moving []*Call
+	for _, c := range e1 {
+		if c.Action == person.ActionLeanForward || c.Action == person.ActionRotate {
+			moving = append(moving, c)
+		}
+	}
+	if len(moving) < 2 {
+		t.Fatal("missing moving calls")
+	}
+	derive := func(callIdx int, seed int64) (*core.DerivedImage, *compositor.Result, *RenderedCall) {
+		call := moving[callIdx]
+		rendered, err := call.Render()
+		if err != nil {
+			t.Fatal(err)
+		}
+		composed, err := Compose(rendered.Raw, rendered.Silhouettes, ZoomProfile(),
+			StaticImage{Img: vbImg}, nil, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.DeriveUnknownImage(composed.Blended, core.DefaultStabilityThreshold, 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, composed, rendered
+	}
+
+	dA, composedA, renderedA := derive(0, 1)
+	dB, _, _ := derive(1, 2) // different participant, same virtual image
+
+	merged, err := core.MergeDerived(dA, dB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Coverage() <= dA.Coverage() {
+		t.Fatalf("aux merge must extend coverage: %.3f vs %.3f", merged.Coverage(), dA.Coverage())
+	}
+
+	// Reconstruct with the aux derivation plugged in.
+	opts := core.DefaultOptions()
+	opts.Mode = core.VBUnknownImage
+	opts.AuxDerived = []*core.DerivedImage{dB}
+	opts.Segmenter = segment.NewOfflineSegmenter(rand.New(rand.NewSource(5)))
+	rec, err := core.Reconstruct(composedA.Blended, renderedA.Silhouettes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.DerivedCoverage <= dA.Coverage() {
+		t.Fatalf("aux-derived reconstruction coverage %.3f did not improve on %.3f",
+			rec.DerivedCoverage, dA.Coverage())
+	}
+}
+
+func TestIntegrationDatasetTotals(t *testing.T) {
+	cfg := smallDataset()
+	total := len(E1Calls(cfg)) + len(E2Calls(cfg)) + len(E3Calls(cfg))
+	if total != 238 { // 163 + 25 + 50
+		t.Fatalf("dataset total = %d, want 238", total)
+	}
+}

@@ -1,0 +1,41 @@
+// Package attacktest provides helpers for testing the inference attacks
+// against synthetic reconstructions with controlled coverage, without
+// running the full compose→reconstruct pipeline.
+package attacktest
+
+import (
+	"math/rand"
+
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// FromImage builds a reconstruction whose recovered pixels are taken
+// from img at every position where keep returns true.
+func FromImage(img *imagex.Image, keep func(x, y int) bool) *core.Reconstruction {
+	rec := &core.Reconstruction{
+		Recovered: imagex.New(img.W, img.H),
+		Coverage:  imagex.NewMask(img.W, img.H),
+	}
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			if keep(x, y) {
+				rec.Coverage.Set(x, y, true)
+				rec.Recovered.Set(x, y, img.At(x, y))
+			}
+		}
+	}
+	return rec
+}
+
+// RandomKeep returns a keep function that retains each pixel with
+// probability p, deterministically per (x, y) given the seed.
+func RandomKeep(seed int64, p float64) func(x, y int) bool {
+	return func(x, y int) bool {
+		h := rand.New(rand.NewSource(seed ^ int64(x)<<20 ^ int64(y)))
+		return h.Float64() < p
+	}
+}
+
+// All keeps every pixel.
+func All(x, y int) bool { return true }

@@ -1,0 +1,231 @@
+// Package location implements the paper's Location Inference attack
+// (Section VI): match a partially reconstructed real background against
+// a dictionary of known backgrounds (and thus locations). Matching is
+// hue-only at the pixel level — saturation is ignored because ambient
+// lighting shifts it — and the search space includes small shifts and
+// rotations of the reconstruction to absorb webcam re-adjustment, the
+// paper's two stated technical challenges.
+package location
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// Entry pairs a location name with its known background image.
+type Entry struct {
+	Name       string
+	Background *imagex.Image
+}
+
+// Dictionary is the adversary's auxiliary set of known backgrounds (the
+// paper populates 200 of them from E1–E3).
+type Dictionary []Entry
+
+// ErrEmptyDictionary is returned when ranking against no entries.
+var ErrEmptyDictionary = errors.New("location: empty dictionary")
+
+// Options tunes the matcher.
+type Options struct {
+	// MaxShift is the half-range of the translation search in pixels
+	// (camera re-adjustment); the grid is -MaxShift..+MaxShift in steps
+	// of ShiftStep.
+	MaxShift  int
+	ShiftStep int
+	// Rotations lists the camera-rotation angles (degrees) to try; 0 is
+	// always tried.
+	Rotations []float64
+	// HueTol is the maximum hue distance (degrees) for a pixel match.
+	HueTol float64
+	// SatFloor skips near-grey pixels whose hue is meaningless.
+	SatFloor float64
+	// MaxSamples bounds the number of recovered pixels scored per
+	// transform (0 = all).
+	MaxSamples int
+}
+
+// DefaultOptions returns the calibrated matcher settings.
+func DefaultOptions() Options {
+	return Options{
+		MaxShift:   4,
+		ShiftStep:  2,
+		Rotations:  []float64{-4, 4},
+		HueTol:     18,
+		SatFloor:   0.12,
+		MaxSamples: 4000,
+	}
+}
+
+// Match is one scored dictionary entry.
+type Match struct {
+	Name  string
+	Score float64
+	// ShiftX/ShiftY/Rotation describe the best-matching transform.
+	ShiftX, ShiftY int
+	Rotation       float64
+}
+
+// Rank scores every dictionary entry against the reconstruction and
+// returns them sorted by descending score (rank 1 first). Ties break by
+// name for determinism.
+func Rank(rec *core.Reconstruction, dict Dictionary, opts Options) ([]Match, error) {
+	if len(dict) == 0 {
+		return nil, ErrEmptyDictionary
+	}
+	if opts.ShiftStep <= 0 {
+		opts.ShiftStep = 1
+	}
+	samples := collectSamples(rec, opts)
+	matches := make([]Match, 0, len(dict))
+	for _, e := range dict {
+		if e.Background == nil || e.Background.W != rec.Recovered.W || e.Background.H != rec.Recovered.H {
+			matches = append(matches, Match{Name: e.Name, Score: 0})
+			continue
+		}
+		matches = append(matches, scoreEntry(precompute(e, opts.SatFloor), samples, opts))
+	}
+	sort.SliceStable(matches, func(i, j int) bool {
+		if matches[i].Score != matches[j].Score {
+			return matches[i].Score > matches[j].Score
+		}
+		return matches[i].Name < matches[j].Name
+	})
+	return matches, nil
+}
+
+// sample is one recovered pixel prepared for matching.
+type sample struct {
+	x, y int
+	hue  float64
+}
+
+func collectSamples(rec *core.Reconstruction, opts Options) []sample {
+	var out []sample
+	w := rec.Recovered.W
+	stride := 1
+	if opts.MaxSamples > 0 {
+		claimed := rec.Coverage.Count()
+		if claimed > opts.MaxSamples {
+			stride = claimed/opts.MaxSamples + 1
+		}
+	}
+	n := 0
+	for i, c := range rec.Coverage.Bits {
+		if !c {
+			continue
+		}
+		n++
+		if n%stride != 0 {
+			continue
+		}
+		hsv := rec.Recovered.Pix[i].ToHSV()
+		if hsv.S < opts.SatFloor {
+			continue
+		}
+		out = append(out, sample{x: i % w, y: i / w, hue: hsv.H})
+	}
+	return out
+}
+
+// hueMap caches an entry's per-pixel hue and a saturation-floor flag so
+// the transform search never reconverts colors.
+type hueMap struct {
+	name   string
+	w, h   int
+	hue    []float32
+	usable []bool
+}
+
+func precompute(e Entry, satFloor float64) hueMap {
+	bg := e.Background
+	m := hueMap{name: e.Name, w: bg.W, h: bg.H,
+		hue: make([]float32, bg.W*bg.H), usable: make([]bool, bg.W*bg.H)}
+	for i, p := range bg.Pix {
+		hsv := p.ToHSV()
+		m.hue[i] = float32(hsv.H)
+		m.usable[i] = hsv.S >= satFloor
+	}
+	return m
+}
+
+func scoreEntry(e hueMap, samples []sample, opts Options) Match {
+	best := Match{Name: e.name}
+	if len(samples) == 0 {
+		return best
+	}
+	rots := append([]float64{0}, opts.Rotations...)
+	cx := float64(e.w) / 2
+	cy := float64(e.h) / 2
+	for _, rot := range rots {
+		sin, cos := math.Sincos(rot * math.Pi / 180)
+		for dy := -opts.MaxShift; dy <= opts.MaxShift; dy += opts.ShiftStep {
+			for dx := -opts.MaxShift; dx <= opts.MaxShift; dx += opts.ShiftStep {
+				hits, considered := 0, 0
+				for _, s := range samples {
+					// Rotate around the image centre, then shift.
+					rx := cos*(float64(s.x)-cx) - sin*(float64(s.y)-cy) + cx + float64(dx)
+					ry := sin*(float64(s.x)-cx) + cos*(float64(s.y)-cy) + cy + float64(dy)
+					xi, yi := int(rx+0.5), int(ry+0.5)
+					if xi < 0 || xi >= e.w || yi < 0 || yi >= e.h {
+						continue
+					}
+					considered++
+					idx := yi*e.w + xi
+					if !e.usable[idx] {
+						continue
+					}
+					if imagex.HueDistance(s.hue, float64(e.hue[idx])) <= opts.HueTol {
+						hits++
+					}
+				}
+				if considered == 0 {
+					continue
+				}
+				score := float64(hits) / float64(considered)
+				if score > best.Score {
+					best.Score = score
+					best.ShiftX, best.ShiftY, best.Rotation = dx, dy, rot
+				}
+			}
+		}
+	}
+	return best
+}
+
+// RankOf returns the 1-based position of name in the ranked matches, or
+// 0 when absent.
+func RankOf(matches []Match, name string) int {
+	for i, m := range matches {
+		if m.Name == name {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// TopK reports whether name ranks within the top k.
+func TopK(matches []Match, name string, k int) bool {
+	r := RankOf(matches, name)
+	return r > 0 && r <= k
+}
+
+// RandomBaselineProb returns the paper's baseline: the probability that
+// k images drawn uniformly without replacement from a dictionary of size
+// n contain the true background.
+func RandomBaselineProb(n, k int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("location: dictionary size %d", n)
+	}
+	if k >= n {
+		return 1, nil
+	}
+	if k < 0 {
+		k = 0
+	}
+	return float64(k) / float64(n), nil
+}

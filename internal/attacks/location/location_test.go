@@ -1,0 +1,165 @@
+package location
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/attacks/attacktest"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/scene"
+)
+
+// buildDictionary generates n distinct scene backgrounds.
+func buildDictionary(n int) Dictionary {
+	dict := make(Dictionary, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := scene.DefaultConfig()
+		cfg.Clutter = 0.8
+		s := scene.Generate(cfg, rand.New(rand.NewSource(int64(1000+i))))
+		dict = append(dict, Entry{Name: nameOf(i), Background: s.Base})
+	}
+	return dict
+}
+
+func nameOf(i int) string { return string(rune('A'+i%26)) + string(rune('a'+(i/26)%26)) }
+
+func TestRankIdentifiesTrueBackground(t *testing.T) {
+	dict := buildDictionary(20)
+	// 35 % random coverage of the true background, entry 7.
+	rec := attacktest.FromImage(dict[7].Background, attacktest.RandomKeep(1, 0.35))
+	matches, err := Rank(rec, dict, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 20 {
+		t.Fatalf("got %d matches", len(matches))
+	}
+	if matches[0].Name != dict[7].Name {
+		t.Fatalf("rank-1 = %q (score %.3f), want %q", matches[0].Name, matches[0].Score, dict[7].Name)
+	}
+	if !TopK(matches, dict[7].Name, 1) {
+		t.Fatal("TopK(1) must succeed for rank-1 entry")
+	}
+}
+
+func TestRankToleratesShiftAndLighting(t *testing.T) {
+	dict := buildDictionary(15)
+	truth := dict[3].Background
+
+	// Shift the reconstruction by (3,2) and darken it 30 % (ambient
+	// light change): hue-only matching plus the shift search must still
+	// find the truth.
+	shifted := imagex.New(truth.W, truth.H)
+	for y := 0; y < truth.H; y++ {
+		for x := 0; x < truth.W; x++ {
+			shifted.Set(x, y, truth.At(x-3, y-2))
+		}
+	}
+	shifted.ScaleBrightness(0.7)
+	rec := attacktest.FromImage(shifted, attacktest.RandomKeep(2, 0.4))
+
+	matches, err := Rank(rec, dict, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RankOf(matches, dict[3].Name) > 3 {
+		t.Fatalf("shifted+darkened truth ranked %d", RankOf(matches, dict[3].Name))
+	}
+}
+
+func TestRankEmptyDictionary(t *testing.T) {
+	rec := attacktest.FromImage(imagex.New(8, 8), attacktest.All)
+	if _, err := Rank(rec, nil, DefaultOptions()); !errors.Is(err, ErrEmptyDictionary) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestRankMismatchedEntryScoresZero(t *testing.T) {
+	dict := Dictionary{
+		{Name: "bad-geometry", Background: imagex.New(10, 10)},
+		{Name: "nil-bg", Background: nil},
+	}
+	s := scene.Generate(scene.DefaultConfig(), rand.New(rand.NewSource(5)))
+	rec := attacktest.FromImage(s.Base, attacktest.RandomKeep(3, 0.3))
+	matches, err := Rank(rec, dict, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		if m.Score != 0 {
+			t.Fatalf("mismatched entry %q scored %v", m.Name, m.Score)
+		}
+	}
+}
+
+func TestRankEmptyReconstruction(t *testing.T) {
+	dict := buildDictionary(3)
+	rec := attacktest.FromImage(dict[0].Background, func(x, y int) bool { return false })
+	matches, err := Rank(rec, dict, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		if m.Score != 0 {
+			t.Fatal("empty reconstruction must score 0 everywhere")
+		}
+	}
+}
+
+func TestRankDeterministicTieBreak(t *testing.T) {
+	dict := buildDictionary(5)
+	rec := attacktest.FromImage(dict[0].Background, func(x, y int) bool { return false })
+	a, err := Rank(rec, dict, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Rank(rec, dict, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatal("tied ranking must be deterministic")
+		}
+	}
+}
+
+func TestRankOfMissing(t *testing.T) {
+	if RankOf(nil, "x") != 0 {
+		t.Fatal("missing name must rank 0")
+	}
+	if TopK(nil, "x", 10) {
+		t.Fatal("missing name must fail TopK")
+	}
+}
+
+func TestRandomBaselineProb(t *testing.T) {
+	p, err := RandomBaselineProb(200, 25)
+	if err != nil || p != 0.125 {
+		t.Fatalf("baseline = %v (%v), want 0.125", p, err)
+	}
+	if p, _ := RandomBaselineProb(10, 10); p != 1 {
+		t.Fatal("k≥n must be certain")
+	}
+	if p, _ := RandomBaselineProb(10, -5); p != 0 {
+		t.Fatal("negative k must be 0")
+	}
+	if _, err := RandomBaselineProb(0, 1); err == nil {
+		t.Fatal("empty dictionary must error")
+	}
+}
+
+func TestMaxSamplesCapsWork(t *testing.T) {
+	dict := buildDictionary(4)
+	rec := attacktest.FromImage(dict[1].Background, attacktest.All)
+	opts := DefaultOptions()
+	opts.MaxSamples = 200 // heavy subsampling must still identify
+	matches, err := Rank(rec, dict, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matches[0].Name != dict[1].Name {
+		t.Fatalf("subsampled rank-1 = %q", matches[0].Name)
+	}
+}

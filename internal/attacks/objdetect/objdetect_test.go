@@ -1,0 +1,185 @@
+package objdetect
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/attacks/attacktest"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/scene"
+)
+
+// sceneWith returns a scene forced to contain the listed kinds.
+func sceneWith(seed int64, kinds ...scene.ObjectKind) *scene.Scene {
+	cfg := scene.DefaultConfig()
+	cfg.Clutter = 0
+	cfg.ForceKinds = kinds
+	return scene.Generate(cfg, rand.New(rand.NewSource(seed)))
+}
+
+// hasDetection reports whether dets contains a detection of the kind
+// overlapping the ground-truth object with IoU ≥ 0.3.
+func hasDetection(dets []Detection, o scene.Object) bool {
+	for _, d := range dets {
+		if d.Kind == o.Kind && d.IoU(o.X0, o.Y0, o.X1, o.Y1) >= 0.3 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDetectTV(t *testing.T) {
+	s := sceneWith(1, scene.KindTV)
+	rec := attacktest.FromImage(s.Base, attacktest.All)
+	dets := Detect(rec, ModelRetinaNetStyle)
+	tv := s.Find(scene.KindTV)[0]
+	if !hasDetection(dets, tv) {
+		t.Fatalf("TV not detected; detections: %+v", dets)
+	}
+}
+
+func TestDetectClock(t *testing.T) {
+	s := sceneWith(2, scene.KindClock)
+	rec := attacktest.FromImage(s.Base, attacktest.All)
+	dets := Detect(rec, ModelRetinaNetStyle)
+	clock := s.Find(scene.KindClock)[0]
+	if !hasDetection(dets, clock) {
+		t.Fatalf("clock not detected; detections: %+v", dets)
+	}
+}
+
+func TestDetectWindow(t *testing.T) {
+	s := sceneWith(3, scene.KindWindow)
+	rec := attacktest.FromImage(s.Base, attacktest.All)
+	dets := Detect(rec, ModelRetinaNetStyle)
+	win := s.Find(scene.KindWindow)[0]
+	if !hasDetection(dets, win) {
+		t.Fatalf("window not detected; detections: %+v", dets)
+	}
+}
+
+func TestDetectBooksAndShelf(t *testing.T) {
+	s := sceneWith(4, scene.KindBookshelf)
+	rec := attacktest.FromImage(s.Base, attacktest.All)
+	dets := Detect(rec, ModelRetinaNetStyle)
+	foundBook := false
+	for _, o := range s.Find(scene.KindBook) {
+		if hasDetection(dets, o) {
+			foundBook = true
+			break
+		}
+	}
+	if !foundBook {
+		t.Fatal("no book detected on a full bookshelf")
+	}
+	foundShelf := false
+	for _, d := range dets {
+		if d.Kind == scene.KindBookshelf {
+			foundShelf = true
+		}
+	}
+	if !foundShelf {
+		t.Fatal("bookshelf not aggregated from books")
+	}
+}
+
+func TestDetectStickyNote(t *testing.T) {
+	s := sceneWith(5, scene.KindStickyNote)
+	rec := attacktest.FromImage(s.Base, attacktest.All)
+	dets := Detect(rec, ModelRetinaNetStyle)
+	note := s.Find(scene.KindStickyNote)[0]
+	if !hasDetection(dets, note) {
+		t.Fatalf("sticky note not detected; detections: %+v", dets)
+	}
+}
+
+func TestDetectEmptyReconstruction(t *testing.T) {
+	rec := attacktest.FromImage(imagex.New(160, 120), func(x, y int) bool { return false })
+	if dets := Detect(rec, ModelRetinaNetStyle); len(dets) != 0 {
+		t.Fatalf("empty reconstruction yielded %d detections", len(dets))
+	}
+}
+
+func TestSparseCoverageLosesDetections(t *testing.T) {
+	s := sceneWith(6, scene.KindTV, scene.KindClock, scene.KindWindow)
+	full := attacktest.FromImage(s.Base, attacktest.All)
+	sparse := attacktest.FromImage(s.Base, attacktest.RandomKeep(6, 0.06))
+	nFull := len(Detect(full, ModelRetinaNetStyle))
+	nSparse := len(Detect(sparse, ModelRetinaNetStyle))
+	if nSparse > nFull {
+		t.Fatalf("sparse coverage produced more detections (%d) than full (%d)", nSparse, nFull)
+	}
+}
+
+func TestYOLOStyleStricterThanRetinaNet(t *testing.T) {
+	// Across several cluttered scenes at partial coverage, the
+	// precision-leaning profile must not out-detect the recall-leaning
+	// one.
+	totalR, totalY := 0, 0
+	for seed := int64(0); seed < 6; seed++ {
+		cfg := scene.DefaultConfig()
+		cfg.Clutter = 1
+		s := scene.Generate(cfg, rand.New(rand.NewSource(seed)))
+		rec := attacktest.FromImage(s.Base, attacktest.RandomKeep(seed, 0.6))
+		totalR += len(Detect(rec, ModelRetinaNetStyle))
+		totalY += len(Detect(rec, ModelYOLOStyle))
+	}
+	if totalY > totalR {
+		t.Fatalf("yolo-style detected more (%d) than retinanet-style (%d)", totalY, totalR)
+	}
+}
+
+func TestDetectionsSortedByConfidence(t *testing.T) {
+	s := sceneWith(7, scene.KindTV, scene.KindClock, scene.KindBookshelf)
+	rec := attacktest.FromImage(s.Base, attacktest.All)
+	dets := Detect(rec, ModelRetinaNetStyle)
+	for i := 1; i < len(dets); i++ {
+		if dets[i].Confidence > dets[i-1].Confidence {
+			t.Fatal("detections not sorted by confidence")
+		}
+	}
+}
+
+func TestIoU(t *testing.T) {
+	d := Detection{X0: 0, Y0: 0, X1: 10, Y1: 10}
+	if got := d.IoU(0, 0, 10, 10); got != 1 {
+		t.Fatalf("self IoU = %v", got)
+	}
+	if got := d.IoU(20, 20, 30, 30); got != 0 {
+		t.Fatalf("disjoint IoU = %v", got)
+	}
+	if got := d.IoU(5, 0, 15, 10); got != 50.0/150 {
+		t.Fatalf("half-overlap IoU = %v", got)
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	if ModelRetinaNetStyle.String() != "retinanet-style" || ModelYOLOStyle.String() != "yolo-style" {
+		t.Fatal("model labels wrong")
+	}
+	if Model(9).String() != "model(9)" {
+		t.Fatal("unknown model label wrong")
+	}
+}
+
+func TestDetectShirt(t *testing.T) {
+	s := sceneWith(8, scene.KindShirt)
+	rec := attacktest.FromImage(s.Base, attacktest.All)
+	dets := Detect(rec, ModelRetinaNetStyle)
+	shirt := s.Find(scene.KindShirt)[0]
+	if !hasDetection(dets, shirt) {
+		t.Fatalf("shirt not detected; detections: %+v", dets)
+	}
+}
+
+func TestShirtNotConfusedWithPoster(t *testing.T) {
+	s := sceneWith(9, scene.KindPoster)
+	rec := attacktest.FromImage(s.Base, attacktest.All)
+	dets := Detect(rec, ModelRetinaNetStyle)
+	poster := s.Find(scene.KindPoster)[0]
+	for _, d := range dets {
+		if d.Kind == scene.KindShirt && d.IoU(poster.X0, poster.Y0, poster.X1, poster.Y1) >= 0.3 {
+			t.Fatalf("poster misclassified as shirt: %+v", d)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package objtrack
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/attacks/attacktest"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/scene"
+)
+
+// posterScene generates a scene guaranteed to contain a poster and
+// returns the scene plus the poster object.
+func posterScene(t *testing.T, seed int64) (*scene.Scene, scene.Object) {
+	t.Helper()
+	cfg := scene.DefaultConfig()
+	cfg.ForceKinds = []scene.ObjectKind{scene.KindPoster}
+	s := scene.Generate(cfg, rand.New(rand.NewSource(seed)))
+	posters := s.Find(scene.KindPoster)
+	if len(posters) == 0 {
+		t.Fatal("no poster placed")
+	}
+	return s, posters[0]
+}
+
+func TestTrackFindsPlantedObject(t *testing.T) {
+	s, poster := posterScene(t, 1)
+	tpl := s.Template(poster)
+	rec := attacktest.FromImage(s.Base, attacktest.RandomKeep(1, 0.8))
+
+	m, err := Track(rec, tpl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Found {
+		t.Fatalf("poster not found: score=%.3f recovered=%.3f", m.Score, m.Recovered)
+	}
+	// Located near the true position.
+	if absI(m.X-poster.X0) > 6 || absI(m.Y-poster.Y0) > 6 {
+		t.Fatalf("found at (%d,%d), truth (%d,%d)", m.X, m.Y, poster.X0, poster.Y0)
+	}
+}
+
+func TestTrackAbsentObjectNotFound(t *testing.T) {
+	s1, poster := posterScene(t, 2)
+	tpl := s1.Template(poster)
+	// Different scene without a poster and with a different wall.
+	cfg := scene.DefaultConfig()
+	cfg.Clutter = 0
+	s2 := scene.Generate(cfg, rand.New(rand.NewSource(77)))
+	rec := attacktest.FromImage(s2.Base, attacktest.RandomKeep(2, 0.8))
+
+	m, err := Track(rec, tpl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Found {
+		t.Fatalf("poster falsely found in empty scene: score=%.3f at (%d,%d)", m.Score, m.X, m.Y)
+	}
+}
+
+func TestTrackRespectsMinRecovered(t *testing.T) {
+	s, poster := posterScene(t, 3)
+	tpl := s.Template(poster)
+	// Only 20 % recovered — below the paper's 50 % constraint.
+	rec := attacktest.FromImage(s.Base, attacktest.RandomKeep(3, 0.2))
+	m, err := Track(rec, tpl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Found && m.Recovered < DefaultOptions().MinRecoveredFrac {
+		t.Fatal("match below the recovered-fraction constraint")
+	}
+}
+
+func TestTrackBadTemplate(t *testing.T) {
+	rec := attacktest.FromImage(imagex.New(20, 20), attacktest.All)
+	if _, err := Track(rec, nil, DefaultOptions()); !errors.Is(err, ErrBadTemplate) {
+		t.Fatalf("nil template error = %v", err)
+	}
+	if _, err := Track(rec, imagex.New(1, 1), DefaultOptions()); !errors.Is(err, ErrBadTemplate) {
+		t.Fatalf("degenerate template error = %v", err)
+	}
+}
+
+func TestTrackTemplateLargerThanFrame(t *testing.T) {
+	rec := attacktest.FromImage(imagex.New(10, 10), attacktest.All)
+	big := imagex.NewFilled(40, 40, imagex.RGB{R: 200})
+	m, err := Track(rec, big, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Found {
+		t.Fatal("oversized template cannot match")
+	}
+}
+
+func TestTrackScaledObject(t *testing.T) {
+	s, poster := posterScene(t, 4)
+	// Template at 1.2× of the rendered size; the scale sweep must cover it.
+	tpl := s.Template(poster)
+	up := imagex.New(tpl.W*12/10, tpl.H*12/10)
+	for y := 0; y < up.H; y++ {
+		for x := 0; x < up.W; x++ {
+			up.Set(x, y, tpl.At(x*10/12, y*10/12))
+		}
+	}
+	rec := attacktest.FromImage(s.Base, attacktest.RandomKeep(4, 0.85))
+	m, err := Track(rec, up, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Found {
+		t.Fatalf("scaled poster not found: score=%.3f", m.Score)
+	}
+}
+
+func TestTrackZeroStrideDefaults(t *testing.T) {
+	s, poster := posterScene(t, 5)
+	rec := attacktest.FromImage(s.Base, attacktest.All)
+	opts := DefaultOptions()
+	opts.Stride = 0
+	if _, err := Track(rec, s.Template(poster), opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absI(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,304 @@
+// Package textinfer implements the paper's Text Inference attack
+// (Section VI). The paper runs TextFuseNet (box detection + recognition)
+// over reconstructed backgrounds; this reproduction substitutes a
+// from-scratch pipeline over the same closed world: detect candidate
+// text lines as clusters of dark "ink" components on bright recovered
+// surfaces, then recognise each glyph cell by template matching against
+// the bitmap font the scene renderer writes with (internal/font). What
+// is measured is therefore exactly what the paper measures: whether
+// enough of the text's pixels survive partial background recovery.
+package textinfer
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/font"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// Options tunes the OCR pipeline.
+type Options struct {
+	// InkLuma is the luminance below which a recovered pixel counts as
+	// ink.
+	InkLuma float64
+	// MinKnownFrac is the minimum fraction of a glyph cell that must be
+	// recovered for the cell to be read (unreadable cells yield '?').
+	MinKnownFrac float64
+	// MinGlyphScore is the minimum template agreement for a confident
+	// glyph.
+	MinGlyphScore float64
+	// MinInkPixels is the minimum ink pixel count for a candidate line.
+	MinInkPixels int
+}
+
+// DefaultOptions returns the calibrated OCR settings.
+func DefaultOptions() Options {
+	return Options{
+		InkLuma:       90,
+		MinKnownFrac:  0.45,
+		MinGlyphScore: 0.78,
+		MinInkPixels:  8,
+	}
+}
+
+// Result is one recognised text line.
+type Result struct {
+	Text           string
+	X0, Y0, X1, Y1 int
+	// Confidence is the mean glyph agreement over read cells.
+	Confidence float64
+}
+
+// Infer detects and recognises text lines in a reconstruction, sorted by
+// descending confidence.
+func Infer(rec *core.Reconstruction, opts Options) []Result {
+	if opts.InkLuma == 0 {
+		opts = DefaultOptions()
+	}
+	lines := detectLines(rec, opts)
+	var out []Result
+	for _, ln := range lines {
+		if r, ok := readLine(rec, ln, opts); ok {
+			out = append(out, r)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Confidence > out[j].Confidence })
+	return out
+}
+
+// lineBox is a candidate text-line bounding box.
+type lineBox struct{ x0, y0, x1, y1 int }
+
+// detectLines clusters recovered ink pixels into horizontal line boxes
+// of plausible glyph height.
+func detectLines(rec *core.Reconstruction, opts Options) []lineBox {
+	W, H := rec.Recovered.W, rec.Recovered.H
+	ink := imagex.NewMask(W, H)
+	for i, covered := range rec.Coverage.Bits {
+		if covered && rec.Recovered.Pix[i].Luminance() < opts.InkLuma {
+			// Ink must sit on a locally bright surface (note paper, not
+			// a dark scene region): require a bright recovered pixel
+			// nearby.
+			x, y := i%W, i/W
+			if hasBrightNeighbor(rec, x, y, 4) {
+				ink.Bits[i] = true
+			}
+		}
+	}
+	// Cluster ink with generous horizontal bridging (glyph spacing).
+	var boxes []lineBox
+	seen := make([]bool, W*H)
+	var stack []int
+	for start, isInk := range ink.Bits {
+		if !isInk || seen[start] {
+			continue
+		}
+		count := 0
+		bx := lineBox{x0: W, y0: H}
+		stack = append(stack[:0], start)
+		seen[start] = true
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x, y := i%W, i/W
+			count++
+			bx.x0, bx.y0 = minI(bx.x0, x), minI(bx.y0, y)
+			bx.x1, bx.y1 = maxI(bx.x1, x+1), maxI(bx.y1, y+1)
+			for dy := -2; dy <= 2; dy++ {
+				for dx := -4; dx <= 4; dx++ {
+					nx, ny := x+dx, y+dy
+					if nx < 0 || nx >= W || ny < 0 || ny >= H {
+						continue
+					}
+					j := ny*W + nx
+					if ink.Bits[j] && !seen[j] {
+						seen[j] = true
+						stack = append(stack, j)
+					}
+				}
+			}
+		}
+		h := bx.y1 - bx.y0
+		if count >= opts.MinInkPixels && h >= font.GlyphH-2 && h <= font.GlyphH+4 {
+			boxes = append(boxes, bx)
+		}
+	}
+	return mergeLineBoxes(boxes)
+}
+
+// mergeLineBoxes joins boxes on the same text line that a word space
+// split apart: same vertical band, horizontal gap of at most two glyph
+// cells.
+func mergeLineBoxes(boxes []lineBox) []lineBox {
+	sort.Slice(boxes, func(i, j int) bool { return boxes[i].x0 < boxes[j].x0 })
+	maxGap := 2 * (font.GlyphW + font.Spacing)
+	var out []lineBox
+	for _, b := range boxes {
+		merged := false
+		for i := range out {
+			o := &out[i]
+			vOverlap := minI(o.y1, b.y1) - maxI(o.y0, b.y0)
+			if vOverlap >= (font.GlyphH+1)/2 && b.x0-o.x1 <= maxGap && b.x0 >= o.x0 {
+				o.x1 = maxI(o.x1, b.x1)
+				o.y0 = minI(o.y0, b.y0)
+				o.y1 = maxI(o.y1, b.y1)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func hasBrightNeighbor(rec *core.Reconstruction, x, y, r int) bool {
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if rec.Coverage.At(x+dx, y+dy) && rec.Recovered.At(x+dx, y+dy).Luminance() > 160 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cellObs is the tri-state observation of one glyph cell: for each of
+// the 5×7 positions, ink (1), background (0) or unknown (not recovered).
+type cellObs struct {
+	known [font.GlyphH][font.GlyphW]bool
+	inked [font.GlyphH][font.GlyphW]bool
+	seen  int
+}
+
+// readLine recognises the glyph cells of one line, searching a small
+// alignment offset to lock the 6-pixel pitch onto the rendering grid.
+func readLine(rec *core.Reconstruction, ln lineBox, opts Options) (Result, bool) {
+	pitch := font.GlyphW + font.Spacing
+	bestText, bestConf, bestScore := "", 0.0, -1.0
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -2; dx <= 2; dx++ {
+			text, conf, score := readAt(rec, ln.x0+dx, ln.y0+dy, ln.x1+dx, pitch, opts)
+			if score > bestScore {
+				bestText, bestConf, bestScore = text, conf, score
+			}
+		}
+	}
+	bestText = strings.Trim(bestText, " ?")
+	if bestText == "" {
+		return Result{}, false
+	}
+	return Result{
+		Text: bestText,
+		X0:   ln.x0, Y0: ln.y0, X1: ln.x1, Y1: ln.y1,
+		Confidence: bestConf,
+	}, true
+}
+
+// readAt reads consecutive glyph cells from (x0, y0); it returns the
+// decoded text, the mean confident-glyph score, and a total alignment
+// score used to pick the best offset.
+func readAt(rec *core.Reconstruction, x0, y0, x1, pitch int, opts Options) (string, float64, float64) {
+	var sb strings.Builder
+	sumConf, nConf, total := 0.0, 0, 0.0
+	for cx := x0; cx < x1; cx += pitch {
+		obs := observeCell(rec, cx, y0, opts)
+		ch, score, ok := matchGlyph(obs, opts)
+		total += score
+		if !ok {
+			sb.WriteByte('?')
+			continue
+		}
+		sb.WriteRune(ch)
+		sumConf += score
+		nConf++
+	}
+	conf := 0.0
+	if nConf > 0 {
+		conf = sumConf / float64(nConf)
+	}
+	return sb.String(), conf, total
+}
+
+func observeCell(rec *core.Reconstruction, x0, y0 int, opts Options) cellObs {
+	var obs cellObs
+	for gy := 0; gy < font.GlyphH; gy++ {
+		for gx := 0; gx < font.GlyphW; gx++ {
+			x, y := x0+gx, y0+gy
+			if !rec.Coverage.At(x, y) {
+				continue
+			}
+			obs.known[gy][gx] = true
+			obs.seen++
+			if rec.Recovered.At(x, y).Luminance() < opts.InkLuma {
+				obs.inked[gy][gx] = true
+			}
+		}
+	}
+	return obs
+}
+
+// matchGlyph scores the observation against every font glyph (and the
+// empty cell, decoded as a space) on the recovered positions only.
+func matchGlyph(obs cellObs, opts Options) (rune, float64, bool) {
+	if float64(obs.seen) < opts.MinKnownFrac*float64(font.GlyphW*font.GlyphH) {
+		return 0, 0, false
+	}
+	// Space: no ink at all.
+	inkCount := 0
+	for gy := 0; gy < font.GlyphH; gy++ {
+		for gx := 0; gx < font.GlyphW; gx++ {
+			if obs.inked[gy][gx] {
+				inkCount++
+			}
+		}
+	}
+	if inkCount == 0 {
+		return ' ', 1.0, true
+	}
+
+	bestR, bestScore := rune(0), -1.0
+	for _, r := range font.Supported() {
+		mask, _ := font.GlyphMask(r)
+		agree, known := 0, 0
+		for gy := 0; gy < font.GlyphH; gy++ {
+			for gx := 0; gx < font.GlyphW; gx++ {
+				if !obs.known[gy][gx] {
+					continue
+				}
+				known++
+				if obs.inked[gy][gx] == mask.At(gx, gy) {
+					agree++
+				}
+			}
+		}
+		if known == 0 {
+			continue
+		}
+		score := float64(agree) / float64(known)
+		if score > bestScore {
+			bestR, bestScore = r, score
+		}
+	}
+	if bestScore < opts.MinGlyphScore {
+		return 0, bestScore, false
+	}
+	return bestR, bestScore, true
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

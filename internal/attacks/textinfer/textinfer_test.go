@@ -1,0 +1,175 @@
+package textinfer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/attacks/attacktest"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/scene"
+)
+
+// stickyScene returns a scene with a forced sticky note carrying text,
+// and the note's recorded ground truth.
+func stickyScene(t *testing.T, seed int64, text string) (*scene.Scene, scene.Object) {
+	t.Helper()
+	cfg := scene.DefaultConfig()
+	cfg.Clutter = 0
+	cfg.StickyText = text
+	s := scene.Generate(cfg, rand.New(rand.NewSource(seed)))
+	for _, o := range s.Find(scene.KindStickyNote) {
+		if o.Text != "" {
+			return s, o
+		}
+	}
+	t.Fatal("no sticky note with text")
+	return nil, scene.Object{}
+}
+
+func TestInferReadsFullyRecoveredNote(t *testing.T) {
+	s, note := stickyScene(t, 1, "PIN 4821")
+	rec := attacktest.FromImage(s.Base, attacktest.All)
+	results := Infer(rec, DefaultOptions())
+	if len(results) == 0 {
+		t.Fatal("no text detected on fully recovered scene")
+	}
+	got := results[0].Text
+	if !strings.Contains(strings.ReplaceAll(got, "?", ""), "PIN") {
+		t.Fatalf("recognised %q, want to contain PIN (truth %q)", got, note.Text)
+	}
+	if results[0].Confidence < 0.8 {
+		t.Fatalf("confidence = %v", results[0].Confidence)
+	}
+}
+
+func TestInferExactRecognitionOnCleanNote(t *testing.T) {
+	for _, text := range []string{"WIFI KEY", "CODE 19", "BUY MILK"} {
+		s, note := stickyScene(t, 2, text)
+		rec := attacktest.FromImage(s.Base, attacktest.All)
+		results := Infer(rec, DefaultOptions())
+		if len(results) == 0 {
+			t.Fatalf("%q: nothing detected", text)
+		}
+		if results[0].Text != note.Text {
+			t.Fatalf("recognised %q, want %q", results[0].Text, note.Text)
+		}
+	}
+}
+
+func TestInferPartialRecoveryDegrades(t *testing.T) {
+	s, _ := stickyScene(t, 3, "RENT 950")
+	full := attacktest.FromImage(s.Base, attacktest.All)
+	sparse := attacktest.FromImage(s.Base, attacktest.RandomKeep(3, 0.3))
+
+	fullRes := Infer(full, DefaultOptions())
+	sparseRes := Infer(sparse, DefaultOptions())
+	if len(fullRes) == 0 {
+		t.Fatal("full recovery found no text")
+	}
+	// Sparse recovery must not produce a longer confident read than full.
+	fullText := fullRes[0].Text
+	sparseText := ""
+	if len(sparseRes) > 0 {
+		sparseText = sparseRes[0].Text
+	}
+	confident := func(s string) int { return len(strings.ReplaceAll(s, "?", "")) }
+	if confident(sparseText) > confident(fullText) {
+		t.Fatalf("sparse read %q beat full read %q", sparseText, fullText)
+	}
+}
+
+func TestInferNoTextScene(t *testing.T) {
+	cfg := scene.DefaultConfig()
+	cfg.Clutter = 0
+	cfg.ForceKinds = []scene.ObjectKind{scene.KindWindow}
+	s := scene.Generate(cfg, rand.New(rand.NewSource(4)))
+	rec := attacktest.FromImage(s.Base, attacktest.All)
+	for _, r := range Infer(rec, DefaultOptions()) {
+		if len(strings.ReplaceAll(r.Text, "?", "")) > 2 && r.Confidence > 0.9 {
+			t.Fatalf("confident phantom text %q on text-free scene", r.Text)
+		}
+	}
+}
+
+func TestInferEmptyReconstruction(t *testing.T) {
+	rec := attacktest.FromImage(imagex.New(100, 80), func(x, y int) bool { return false })
+	if res := Infer(rec, DefaultOptions()); len(res) != 0 {
+		t.Fatalf("empty reconstruction produced %d text results", len(res))
+	}
+}
+
+func TestInferZeroOptionsUseDefaults(t *testing.T) {
+	s, _ := stickyScene(t, 5, "TAX DUE")
+	rec := attacktest.FromImage(s.Base, attacktest.All)
+	if len(Infer(rec, Options{})) == 0 {
+		t.Fatal("zero options must fall back to defaults and still read")
+	}
+}
+
+func TestResultsSortedByConfidence(t *testing.T) {
+	// Two notes: force one via StickyText and plant the scene's random
+	// second note by clutter.
+	cfg := scene.DefaultConfig()
+	cfg.Clutter = 1
+	cfg.StickyText = "CALL BOB"
+	s := scene.Generate(cfg, rand.New(rand.NewSource(6)))
+	rec := attacktest.FromImage(s.Base, attacktest.All)
+	res := Infer(rec, DefaultOptions())
+	for i := 1; i < len(res); i++ {
+		if res[i].Confidence > res[i-1].Confidence {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestPropertyExactRecognitionOverWordPool(t *testing.T) {
+	// Property: every word the scene generator can write must be read
+	// back exactly from a fully recovered note (closed-loop OCR).
+	words := []string{
+		"PIN 4821", "WIFI KEY", "CALL BOB", "TAX DUE", "RENT 950",
+		"ACCT 7730", "DR. 2PM", "CODE 19", "BUY MILK", "VOTE NOW",
+	}
+	for i, w := range words {
+		s, note := stickyScene(t, int64(100+i), w)
+		rec := attacktest.FromImage(s.Base, attacktest.All)
+		results := Infer(rec, DefaultOptions())
+		if len(results) == 0 {
+			t.Errorf("%q: nothing detected", w)
+			continue
+		}
+		if results[0].Text != note.Text {
+			t.Errorf("%q: recognised %q, want %q", w, results[0].Text, note.Text)
+		}
+	}
+}
+
+func TestRecognitionDegradesMonotonicallyWithCoverage(t *testing.T) {
+	// More coverage must never yield a worse confident read (statistical
+	// property over a fixed scene).
+	s, truth := stickyScene(t, 200, "VOTE NOW")
+	confident := func(p float64) int {
+		rec := attacktest.FromImage(s.Base, attacktest.RandomKeep(7, p))
+		res := Infer(rec, DefaultOptions())
+		best := 0
+		for _, r := range res {
+			n := 0
+			for _, c := range r.Text {
+				if c != '?' {
+					n++
+				}
+			}
+			if n > best {
+				best = n
+			}
+		}
+		return best
+	}
+	full := confident(1.0)
+	if full < len(truth.Text)-1 {
+		t.Fatalf("full coverage read only %d confident chars of %q", full, truth.Text)
+	}
+	if confident(0.1) > full {
+		t.Fatal("10%% coverage out-read full coverage")
+	}
+}

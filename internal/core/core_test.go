@@ -1,0 +1,473 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/compositor"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/person"
+	"github.com/bgbuster/bgbuster/internal/scene"
+	"github.com/bgbuster/bgbuster/internal/segment"
+	"github.com/bgbuster/bgbuster/internal/vidstream"
+)
+
+// testCall renders a synthetic call and composes it with the given
+// virtual source and profile. Returns the composition result and the
+// true silhouettes.
+func testCall(t *testing.T, seed int64, frames int, virtual compositor.VirtualSource, profile compositor.Profile) (*compositor.Result, []*imagex.Mask) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sc := scene.Generate(scene.DefaultConfig(), rng)
+	p := person.New(person.Config{Action: person.ActionArmWave}, rng)
+
+	raw := vidstream.New(30)
+	var sils []*imagex.Mask
+	dur := float64(frames) / 30
+	for i := 0; i < frames; i++ {
+		f := sc.Lit(1.0)
+		m := p.Render(f, float64(i)/30, dur)
+		if err := raw.Append(f); err != nil {
+			t.Fatal(err)
+		}
+		sils = append(sils, m)
+	}
+	res, err := compositor.Compose(raw, sils, compositor.Options{Profile: profile, Virtual: virtual}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sils
+}
+
+func beach() *imagex.Image { return compositor.BuiltinImage("beach", 160, 120) }
+
+func TestIdentifyKnownImageFindsGroundTruth(t *testing.T) {
+	res, _ := testCall(t, 1, 15, compositor.StaticImage{Img: beach()}, compositor.ProfileZoom())
+	name, img, err := IdentifyKnownImage(res.Blended, compositor.BuiltinImages(160, 120), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "beach" {
+		t.Fatalf("identified %q, want beach", name)
+	}
+	if img == nil {
+		t.Fatal("nil image returned")
+	}
+}
+
+func TestIdentifyKnownImageErrors(t *testing.T) {
+	if _, _, err := IdentifyKnownImage(vidstream.New(30), nil, 0); !errors.Is(err, vidstream.ErrEmpty) {
+		t.Fatalf("empty video error = %v", err)
+	}
+	res, _ := testCall(t, 2, 4, compositor.StaticImage{Img: beach()}, compositor.ProfileZoom())
+	if _, _, err := IdentifyKnownImage(res.Blended, map[string]*imagex.Image{}, 0); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("no candidates error = %v", err)
+	}
+}
+
+func TestIdentifyKnownVideoFindsGroundTruthAndPhase(t *testing.T) {
+	loop := compositor.BuiltinVideo("waves", 160, 120, 12)
+	res, _ := testCall(t, 3, 30, loop, compositor.ProfileZoom())
+
+	cands := map[string][]*imagex.Image{
+		"waves":  loop.Frames,
+		"aurora": compositor.BuiltinVideo("aurora", 160, 120, 12).Frames,
+	}
+	name, frames, offset, err := IdentifyKnownVideo(res.Blended, cands, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "waves" {
+		t.Fatalf("identified %q, want waves", name)
+	}
+	if offset != 0 {
+		t.Fatalf("phase offset = %d, want 0 (call starts at loop start)", offset)
+	}
+	if len(frames) != 12 {
+		t.Fatalf("frame count = %d", len(frames))
+	}
+}
+
+func TestIdentifyKnownVideoEmpty(t *testing.T) {
+	res, _ := testCall(t, 4, 4, compositor.StaticImage{Img: beach()}, compositor.ProfileZoom())
+	if _, _, _, err := IdentifyKnownVideo(res.Blended, nil, 0); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("error = %v", err)
+	}
+	empty := map[string][]*imagex.Image{"x": nil}
+	if _, _, _, err := IdentifyKnownVideo(res.Blended, empty, 0); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("all-empty candidates error = %v", err)
+	}
+}
+
+func TestDeriveUnknownImageRecoversVB(t *testing.T) {
+	vb := beach()
+	res, _ := testCall(t, 5, 40, compositor.StaticImage{Img: vb}, compositor.ProfileZoom())
+	d, err := DeriveUnknownImage(res.Blended, DefaultStabilityThreshold, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Coverage() < 0.5 {
+		t.Fatalf("derivation coverage = %.2f, want ≥ 0.5", d.Coverage())
+	}
+	// Where derived AND truly VB in most frames, values must match the
+	// real virtual image.
+	match, checked := 0, 0
+	for i, known := range d.Known.Bits {
+		if known && res.Components[20].VB.Bits[i] {
+			checked++
+			if within(d.Img.Pix[i], vb.Pix[i], 10) {
+				match++
+			}
+		}
+	}
+	if checked == 0 || float64(match)/float64(checked) < 0.95 {
+		t.Fatalf("derived VB accuracy %d/%d", match, checked)
+	}
+}
+
+func TestDeriveUnknownImageThresholdDefaults(t *testing.T) {
+	v := vidstream.New(30)
+	for i := 0; i < 12; i++ {
+		if err := v.Append(imagex.NewFilled(4, 4, imagex.RGB{R: 9, G: 9, B: 9})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := DeriveUnknownImage(v, 0, 0) // threshold defaults to 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Coverage() != 1.0 {
+		t.Fatalf("static video coverage = %v, want 1", d.Coverage())
+	}
+}
+
+func TestMergeDerived(t *testing.T) {
+	a := &DerivedImage{Img: imagex.New(2, 1), Known: imagex.NewMask(2, 1)}
+	a.Img.Set(0, 0, imagex.RGB{R: 1})
+	a.Known.Set(0, 0, true)
+	b := &DerivedImage{Img: imagex.New(2, 1), Known: imagex.NewMask(2, 1)}
+	b.Img.Set(0, 0, imagex.RGB{R: 99}) // conflicting: earlier wins
+	b.Known.Set(0, 0, true)
+	b.Img.Set(1, 0, imagex.RGB{R: 2})
+	b.Known.Set(1, 0, true)
+
+	m, err := MergeDerived(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Coverage() != 1.0 {
+		t.Fatal("merge must fill coverage")
+	}
+	if m.Img.At(0, 0).R != 1 || m.Img.At(1, 0).R != 2 {
+		t.Fatal("merge precedence wrong")
+	}
+
+	if _, err := MergeDerived(); !errors.Is(err, ErrNoCandidates) {
+		t.Fatal("empty merge must error")
+	}
+	bad := &DerivedImage{Img: imagex.New(3, 3), Known: imagex.NewMask(3, 3)}
+	if _, err := MergeDerived(a, bad); !errors.Is(err, imagex.ErrBounds) {
+		t.Fatalf("geometry mismatch error = %v", err)
+	}
+}
+
+func TestDeriveUnknownVideoFindsPeriod(t *testing.T) {
+	loop := compositor.BuiltinVideo("waves", 160, 120, 8)
+	res, _ := testCall(t, 6, 48, loop, compositor.ProfileZoom())
+	dv, err := DeriveUnknownVideo(res.Blended, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv.Period != 8 {
+		t.Fatalf("period = %d, want 8", dv.Period)
+	}
+	if len(dv.Phases) != 8 {
+		t.Fatalf("phases = %d", len(dv.Phases))
+	}
+}
+
+func TestDeriveUnknownVideoTooShort(t *testing.T) {
+	v := vidstream.New(30)
+	for i := 0; i < 4; i++ {
+		if err := v.Append(imagex.New(8, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := DeriveUnknownVideo(v, 40, 0); err == nil {
+		t.Fatal("4-frame call must be too short for loop detection")
+	}
+}
+
+func TestVBMaskKnown(t *testing.T) {
+	f := imagex.NewFilled(3, 1, imagex.RGB{R: 10, G: 10, B: 10})
+	f.Set(2, 0, imagex.RGB{R: 200, G: 0, B: 0})
+	vb := imagex.NewFilled(3, 1, imagex.RGB{R: 12, G: 9, B: 10})
+	m := VBMaskKnown(f, vb, 5)
+	if !m.At(0, 0) || !m.At(1, 0) || m.At(2, 0) {
+		t.Fatal("VBM wrong")
+	}
+	if VBMaskKnown(f, imagex.New(9, 9), 5).Count() != 0 {
+		t.Fatal("geometry mismatch must give empty mask")
+	}
+}
+
+func TestVBMaskDerived(t *testing.T) {
+	f := imagex.NewFilled(2, 1, imagex.RGB{R: 10, G: 10, B: 10})
+	d := &DerivedImage{Img: f.Clone(), Known: imagex.NewMask(2, 1)}
+	d.Known.Set(0, 0, true)
+	m := VBMaskDerived(f, d, 0)
+	if !m.At(0, 0) || m.At(1, 0) {
+		t.Fatal("derived VBM must respect Known")
+	}
+}
+
+func oracleOpts() Options {
+	o := DefaultOptions()
+	o.Segmenter = segment.OracleSegmenter{}
+	return o
+}
+
+func TestReconstructKnownImagePrecision(t *testing.T) {
+	res, sils := testCall(t, 7, 30, compositor.StaticImage{Img: beach()}, compositor.ProfileZoom())
+	opts := oracleOpts()
+	opts.KnownImages = compositor.BuiltinImages(160, 120)
+	rec, err := Reconstruct(res.Blended, sils, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.VBName != "beach" {
+		t.Fatalf("VB identified as %q", rec.VBName)
+	}
+	if rec.RBRR() <= 0 {
+		t.Fatal("no background recovered from a Zoom call")
+	}
+	// Precision: recovered pixels must match the raw scene pixels.
+	good, total := 0, 0
+	for i, claimed := range rec.Coverage.Bits {
+		if !claimed {
+			continue
+		}
+		total++
+		if within(rec.Recovered.Pix[i], res.Raw.Frames[len(res.Raw.Frames)-1].Pix[i], 30) {
+			good++
+		}
+	}
+	if total == 0 || float64(good)/float64(total) < 0.6 {
+		t.Fatalf("reconstruction precision %d/%d too low", good, total)
+	}
+}
+
+func TestReconstructUnknownImageMode(t *testing.T) {
+	res, sils := testCall(t, 8, 40, compositor.StaticImage{Img: beach()}, compositor.ProfileZoom())
+	opts := oracleOpts()
+	opts.Mode = VBUnknownImage
+	rec, err := Reconstruct(res.Blended, sils, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.DerivedCoverage < 0.5 {
+		t.Fatalf("derived coverage = %v", rec.DerivedCoverage)
+	}
+	if rec.RBRR() <= 0 {
+		t.Fatal("unknown-image mode recovered nothing")
+	}
+}
+
+func TestReconstructKnownVideoMode(t *testing.T) {
+	loop := compositor.BuiltinVideo("waves", 160, 120, 10)
+	res, sils := testCall(t, 9, 30, loop, compositor.ProfileZoom())
+	opts := oracleOpts()
+	opts.Mode = VBKnownVideo
+	opts.KnownVideos = map[string][]*imagex.Image{
+		"waves":  loop.Frames,
+		"aurora": compositor.BuiltinVideo("aurora", 160, 120, 10).Frames,
+	}
+	rec, err := Reconstruct(res.Blended, sils, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.VBName != "waves" {
+		t.Fatalf("VB video identified as %q", rec.VBName)
+	}
+	if rec.RBRR() <= 0 {
+		t.Fatal("known-video mode recovered nothing")
+	}
+}
+
+func TestReconstructUnknownVideoMode(t *testing.T) {
+	loop := compositor.BuiltinVideo("waves", 160, 120, 8)
+	res, sils := testCall(t, 10, 48, loop, compositor.ProfileZoom())
+	opts := oracleOpts()
+	opts.Mode = VBUnknownVideo
+	opts.MaxLoopPeriod = 16
+	rec, err := Reconstruct(res.Blended, sils, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.RBRR() <= 0 {
+		t.Fatal("unknown-video mode recovered nothing")
+	}
+}
+
+func TestReconstructValidation(t *testing.T) {
+	res, sils := testCall(t, 11, 5, compositor.StaticImage{Img: beach()}, compositor.ProfileZoom())
+	opts := oracleOpts()
+	opts.KnownImages = compositor.BuiltinImages(160, 120)
+
+	bad := opts
+	bad.Segmenter = nil
+	if _, err := Reconstruct(res.Blended, sils, bad); err == nil {
+		t.Fatal("nil segmenter accepted")
+	}
+	if _, err := Reconstruct(vidstream.New(30), nil, opts); err == nil {
+		t.Fatal("empty video accepted")
+	}
+	if _, err := Reconstruct(res.Blended, sils[:2], opts); err == nil {
+		t.Fatal("oracle count mismatch accepted")
+	}
+	badMode := opts
+	badMode.Mode = VBMode(99)
+	if _, err := Reconstruct(res.Blended, sils, badMode); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestVBModeStrings(t *testing.T) {
+	for _, m := range []VBMode{VBKnownImage, VBKnownVideo, VBUnknownImage, VBUnknownVideo} {
+		if m.String() == "" || m.String() == "vbmode(0)" {
+			t.Fatal("mode label missing")
+		}
+	}
+	if VBMode(42).String() != "vbmode(42)" {
+		t.Fatal("unknown mode label wrong")
+	}
+}
+
+func TestColorRefineRecoversSwallowedLeaks(t *testing.T) {
+	// Build VCMs that swallow a distinct-colored leak pixel; refinement
+	// must expel it.
+	v := vidstream.New(30)
+	vcms := make([]*imagex.Mask, 0, 20)
+	for i := 0; i < 20; i++ {
+		f := imagex.NewFilled(10, 10, imagex.RGB{R: 40, G: 80, B: 160}) // shirt
+		f.Set(0, 0, imagex.RGB{R: 250, G: 10, B: 10})                   // rare leaked color
+		if err := v.Append(f); err != nil {
+			t.Fatal(err)
+		}
+		vcms = append(vcms, imagex.NewFullMask(10, 10))
+	}
+	refineVCMsByColor(v, vcms, 0.02)
+	if vcms[5].At(0, 0) {
+		t.Fatal("rare color must be expelled from VCM")
+	}
+	if !vcms[5].At(5, 5) {
+		t.Fatal("dominant color must stay in VCM")
+	}
+}
+
+func TestColorRefineEmptyVCMs(t *testing.T) {
+	v := vidstream.New(30)
+	if err := v.Append(imagex.New(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	vcms := []*imagex.Mask{imagex.NewMask(4, 4)}
+	refineVCMsByColor(v, vcms, 0.01) // must not divide by zero
+}
+
+func TestEstimatePhiRecoversBlendRadius(t *testing.T) {
+	// Static scene (no person): the band between raw and VB is exactly
+	// the blend ring around leak blobs… with no silhouette there are no
+	// blobs, so use a static person instead.
+	rng := rand.New(rand.NewSource(12))
+	sc := scene.Generate(scene.DefaultConfig(), rng)
+	p := person.New(person.Config{}, rng) // neutral, static
+
+	raw := vidstream.New(30)
+	var sils []*imagex.Mask
+	f := sc.Lit(1.0)
+	sil := p.Render(f, 0, 1)
+	if err := raw.Append(f); err != nil {
+		t.Fatal(err)
+	}
+	sils = append(sils, sil)
+
+	profile := compositor.ProfileZoom()
+	profile.Matting.WarmupPatches = 0
+	profile.Matting.LeakRate = 0
+	profile.Matting.CutRate = 0
+	vb := beach()
+	res, err := compositor.Compose(raw, sils, compositor.Options{Profile: profile, Virtual: compositor.StaticImage{Img: vb}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := EstimatePhi(res.Blended.Frames[0], res.Raw.Frames[0], vb, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi < profile.BlendRadius-1 || phi > profile.BlendRadius+2 {
+		t.Fatalf("estimated phi = %d, true radius = %d", phi, profile.BlendRadius)
+	}
+}
+
+func TestEstimatePhiErrors(t *testing.T) {
+	if _, err := EstimatePhi(imagex.New(2, 2), imagex.New(3, 3), imagex.New(2, 2), 0); !errors.Is(err, imagex.ErrBounds) {
+		t.Fatalf("geometry error = %v", err)
+	}
+	// Identical images: no band.
+	a := imagex.NewFilled(4, 4, imagex.RGB{R: 5})
+	phi, err := EstimatePhi(a, a, a, 0)
+	if err != nil || phi != 0 {
+		t.Fatalf("no-band phi = %d, %v", phi, err)
+	}
+}
+
+func TestReconstructSoundnessWithPerfectCompositor(t *testing.T) {
+	// Property: if the compositor makes no matting errors, nothing leaks,
+	// and the framework (with an oracle segmenter and the true VB) must
+	// claim nothing — no false residue.
+	profile := compositor.ProfileZoom()
+	profile.Matting.LeakRate = 0
+	profile.Matting.CutRate = 0
+	profile.Matting.WarmupPatches = 0
+	profile.Matting.TrailKeep = 0
+	profile.Matting.MotionGain = 0
+	profile.Matting.MotionOverDrop = 0
+
+	res, sils := testCall(t, 20, 15, compositor.StaticImage{Img: beach()}, profile)
+	opts := oracleOpts()
+	opts.KnownImages = compositor.BuiltinImages(160, 120)
+	rec, err := Reconstruct(res.Blended, sils, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.RBRR(); got > 0.5 {
+		t.Fatalf("perfect compositor still yielded %.2f%% claimed leak", got)
+	}
+}
+
+func TestReconstructClaimsAreMostlyTrueLeaks(t *testing.T) {
+	// Property: with an oracle segmenter, claimed pixels must be
+	// dominated by pixels the compositor genuinely leaked at least once.
+	res, sils := testCall(t, 21, 25, compositor.StaticImage{Img: beach()}, compositor.ProfileZoom())
+	opts := oracleOpts()
+	opts.KnownImages = compositor.BuiltinImages(160, 120)
+	rec, err := Reconstruct(res.Blended, sils, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueLeak := imagex.NewMask(160, 120)
+	for _, c := range res.Components {
+		if err := trueLeak.Union(c.LB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	claimed := rec.Coverage.Count()
+	if claimed == 0 {
+		t.Fatal("nothing claimed")
+	}
+	overlap := rec.Coverage.Overlap(trueLeak)
+	if frac := float64(overlap) / float64(claimed); frac < 0.55 {
+		t.Fatalf("only %.0f%% of claims were genuine leaks", frac*100)
+	}
+}

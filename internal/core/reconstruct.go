@@ -1,0 +1,333 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/segment"
+	"github.com/bgbuster/bgbuster/internal/vidstream"
+)
+
+// DefaultPhi is the blending blur radius the paper calibrated for Zoom
+// (φ = 20 at 1280×720). At the simulator's default 160×120 geometry the
+// proportional radius is 3; EstimatePhi recovers it empirically exactly
+// like the paper's adversary does.
+const DefaultPhi = 3
+
+// VBMode selects how the virtual background is obtained.
+type VBMode int
+
+// Virtual background acquisition modes (paper Section V-B scenarios).
+const (
+	// VBKnownImage matches against a dataset of known virtual images.
+	VBKnownImage VBMode = iota + 1
+	// VBKnownVideo matches against a dataset of known virtual videos.
+	VBKnownVideo
+	// VBUnknownImage derives the virtual image from the call itself.
+	VBUnknownImage
+	// VBUnknownVideo derives the looping virtual video from the call.
+	VBUnknownVideo
+)
+
+// String returns the report label of the mode.
+func (m VBMode) String() string {
+	switch m {
+	case VBKnownImage:
+		return "known-image"
+	case VBKnownVideo:
+		return "known-video"
+	case VBUnknownImage:
+		return "unknown-image"
+	case VBUnknownVideo:
+		return "unknown-video"
+	default:
+		return fmt.Sprintf("vbmode(%d)", int(m))
+	}
+}
+
+// Options configures the reconstruction framework.
+type Options struct {
+	Mode VBMode
+
+	// KnownImages is D_img for VBKnownImage.
+	KnownImages map[string]*imagex.Image
+	// KnownVideos is D_vid for VBKnownVideo.
+	KnownVideos map[string][]*imagex.Image
+	// AuxDerived optionally seeds unknown-image derivation with
+	// derivations from other calls using the same VB.
+	AuxDerived []*DerivedImage
+
+	// MatchTol is the per-channel tolerance for VB pixel matching; it
+	// absorbs camera sensor noise.
+	MatchTol int
+	// StabilityThreshold for unknown derivation (default 10).
+	StabilityThreshold int
+	// MaxLoopPeriod bounds unknown-video period detection.
+	MaxLoopPeriod int
+
+	// Phi is the blending blur radius φ; non-positive uses DefaultPhi.
+	Phi int
+
+	// Segmenter produces the video caller mask (the paper uses
+	// DeepLabv3; the simulation uses segment.OfflineSegmenter).
+	Segmenter segment.Segmenter
+	// ColorRefine enables the statistical color-based VCM correction
+	// (paper Section V-D).
+	ColorRefine bool
+	// ColorFreqThreshold is the relative frequency below which a color
+	// observed inside the VCM is considered leaked background; the
+	// default is 0.004.
+	ColorFreqThreshold float64
+}
+
+// DefaultOptions returns the calibrated defaults for a known-image
+// attack with the built-in segmenter left nil (caller must set it).
+func DefaultOptions() Options {
+	return Options{
+		Mode:               VBKnownImage,
+		MatchTol:           14,
+		StabilityThreshold: DefaultStabilityThreshold,
+		MaxLoopPeriod:      40,
+		Phi:                DefaultPhi,
+		ColorRefine:        true,
+		ColorFreqThreshold: 0.004,
+	}
+}
+
+// Reconstruction is the framework output.
+type Reconstruction struct {
+	// Recovered holds the latest leaked value per claimed pixel; only
+	// positions with Coverage set are meaningful.
+	Recovered *imagex.Image
+	// Coverage marks every pixel claimed leaked in ≥1 frame. Its
+	// fraction is the paper's RBRR numerator.
+	Coverage *imagex.Mask
+	// PerFrameLB keeps the claimed leak mask per frame.
+	PerFrameLB []*imagex.Mask
+	// VBName is the identified virtual background ("" when derived).
+	VBName string
+	// VBMode echoes the mode used.
+	VBMode VBMode
+	// DerivedCoverage is the unknown-derivation coverage (0 for known
+	// modes).
+	DerivedCoverage float64
+}
+
+// RBRR returns the claimed Reconstructed Background Recovery Rate in
+// percent (paper Section VIII-A).
+func (r *Reconstruction) RBRR() float64 { return r.Coverage.Fraction() * 100 }
+
+// Reconstruct runs the full framework of the paper's Figure 4 over a
+// recorded call. oracles supplies the true silhouette per frame to the
+// *simulated* segmenter (a real deployment would run a CNN on the frame
+// instead; see DESIGN.md §2) — no other part of the framework reads it.
+func Reconstruct(v *vidstream.Video, oracles []*imagex.Mask, opts Options) (*Reconstruction, error) {
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("core: reconstruct: %w", err)
+	}
+	if opts.Segmenter == nil {
+		return nil, errors.New("core: nil segmenter")
+	}
+	if len(oracles) != v.Len() {
+		return nil, fmt.Errorf("core: %d oracles for %d frames", len(oracles), v.Len())
+	}
+	if opts.Phi <= 0 {
+		opts.Phi = DefaultPhi
+	}
+	if opts.ColorFreqThreshold <= 0 {
+		opts.ColorFreqThreshold = 0.004
+	}
+	w, h := v.Size()
+
+	// Step 1: obtain the virtual background per frame.
+	vbFor, name, derivedCov, err := resolveVB(v, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	rec := &Reconstruction{
+		Recovered:       imagex.New(w, h),
+		Coverage:        imagex.NewMask(w, h),
+		VBName:          name,
+		VBMode:          opts.Mode,
+		DerivedCoverage: derivedCov,
+	}
+
+	// Step 2: per-frame VCM via the (simulated) offline segmenter.
+	vcms := make([]*imagex.Mask, v.Len())
+	for i, f := range v.Frames {
+		vcms[i] = opts.Segmenter.Segment(f, oracles[i])
+	}
+
+	// Step 3: statistical color-based refinement of the VCMs.
+	if opts.ColorRefine {
+		refineVCMsByColor(v, vcms, opts.ColorFreqThreshold)
+	}
+
+	// Step 4: per-frame masking and residue extraction.
+	for i, f := range v.Frames {
+		vbm := vbFor(i, f)
+		bbm := vbm.Dilate(opts.Phi) // includes vbm; residue removal is identical
+
+		lb := imagex.NewFullMask(w, h)
+		if err := lb.Subtract(bbm); err != nil {
+			return nil, fmt.Errorf("core: frame %d: %w", i, err)
+		}
+		if err := lb.Subtract(vcms[i]); err != nil {
+			return nil, fmt.Errorf("core: frame %d: %w", i, err)
+		}
+
+		rec.PerFrameLB = append(rec.PerFrameLB, lb)
+		for p, b := range lb.Bits {
+			if b {
+				rec.Recovered.Pix[p] = f.Pix[p]
+				rec.Coverage.Bits[p] = true
+			}
+		}
+	}
+	return rec, nil
+}
+
+// ResolveVBMasker exposes the framework's first stage: it returns the
+// per-frame virtual-background-mask function for the configured mode,
+// plus the identified VB name (known modes) and the derivation coverage
+// (unknown modes). The VBMR experiment measures this stage in isolation.
+func ResolveVBMasker(v *vidstream.Video, opts Options) (func(i int, f *imagex.Image) *imagex.Mask, string, float64, error) {
+	if opts.MatchTol == 0 {
+		opts.MatchTol = DefaultOptions().MatchTol
+	}
+	if opts.StabilityThreshold == 0 {
+		opts.StabilityThreshold = DefaultStabilityThreshold
+	}
+	if opts.MaxLoopPeriod == 0 {
+		opts.MaxLoopPeriod = DefaultOptions().MaxLoopPeriod
+	}
+	return resolveVB(v, opts)
+}
+
+// resolveVB returns a per-frame virtual background lookup according to
+// the mode.
+func resolveVB(v *vidstream.Video, opts Options) (func(i int, f *imagex.Image) *imagex.Mask, string, float64, error) {
+	switch opts.Mode {
+	case VBKnownImage:
+		name, img, err := IdentifyKnownImage(v, opts.KnownImages, 0)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		return func(_ int, f *imagex.Image) *imagex.Mask {
+			return VBMaskKnown(f, img, opts.MatchTol)
+		}, name, 0, nil
+
+	case VBKnownVideo:
+		name, frames, offset, err := IdentifyKnownVideo(v, opts.KnownVideos, 0)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		return func(i int, f *imagex.Image) *imagex.Mask {
+			return VBMaskKnown(f, frames[(i+offset)%len(frames)], opts.MatchTol)
+		}, name, 0, nil
+
+	case VBUnknownImage:
+		d, err := DeriveUnknownImage(v, opts.StabilityThreshold, opts.MatchTol)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		if len(opts.AuxDerived) > 0 {
+			merged, err := MergeDerived(append([]*DerivedImage{d}, opts.AuxDerived...)...)
+			if err != nil {
+				return nil, "", 0, err
+			}
+			d = merged
+		}
+		return func(_ int, f *imagex.Image) *imagex.Mask {
+			return VBMaskDerived(f, d, opts.MatchTol)
+		}, "", d.Coverage(), nil
+
+	case VBUnknownVideo:
+		dv, err := DeriveUnknownVideo(v, opts.MaxLoopPeriod, opts.MatchTol)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		cov := 0.0
+		for _, ph := range dv.Phases {
+			cov += ph.Coverage()
+		}
+		cov /= float64(len(dv.Phases))
+		return func(i int, f *imagex.Image) *imagex.Mask {
+			return VBMaskDerived(f, dv.Phases[i%dv.Period], opts.MatchTol)
+		}, "", cov, nil
+
+	default:
+		return nil, "", 0, fmt.Errorf("core: unsupported VB mode %v", opts.Mode)
+	}
+}
+
+// refineVCMsByColor implements the paper's color-based VCM correction:
+// colors seen with very low relative frequency inside the caller mask
+// across the whole call are presumed to be leaked background and their
+// pixels are dropped from the VCM. Colors are quantised to 4 bits per
+// channel (4096 bins) to absorb sensor noise.
+func refineVCMsByColor(v *vidstream.Video, vcms []*imagex.Mask, threshold float64) {
+	hist := make([]int, 4096)
+	total := 0
+	for i, f := range v.Frames {
+		for p, inVCM := range vcms[i].Bits {
+			if inVCM {
+				hist[quant12(f.Pix[p])]++
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		return
+	}
+	cut := int(threshold * float64(total))
+	for i, f := range v.Frames {
+		for p, inVCM := range vcms[i].Bits {
+			if inVCM && hist[quant12(f.Pix[p])] <= cut {
+				vcms[i].Bits[p] = false
+			}
+		}
+	}
+}
+
+// quant12 maps a color to a 12-bit bin (4 bits per channel).
+func quant12(c imagex.RGB) int {
+	return int(c.R>>4)<<8 | int(c.G>>4)<<4 | int(c.B>>4)
+}
+
+// EstimatePhi recovers the blending blur radius exactly as the paper's
+// adversary does (Section VIII-C): apply a virtual background to a
+// static scene with the target software, then measure the average width
+// of the band that is neither pure raw frame nor pure virtual image.
+// The width is estimated as band area divided by the length of the
+// VB-side band contour.
+func EstimatePhi(blended, raw, vb *imagex.Image, tol int) (int, error) {
+	if !blended.SameSize(raw) || !blended.SameSize(vb) {
+		return 0, fmt.Errorf("core: estimate phi: geometry mismatch: %w", imagex.ErrBounds)
+	}
+	band := imagex.NewMask(blended.W, blended.H)
+	for i := range blended.Pix {
+		pureRaw := within(blended.Pix[i], raw.Pix[i], tol)
+		pureVB := within(blended.Pix[i], vb.Pix[i], tol)
+		if !pureRaw && !pureVB {
+			band.Bits[i] = true
+		}
+	}
+	if band.Count() == 0 {
+		return 0, nil
+	}
+	contour := band.Boundary().Count()
+	if contour == 0 {
+		return 0, nil
+	}
+	// The band hugs the silhouette on both sides: its two long contours
+	// each measure roughly the silhouette perimeter, so width ≈
+	// area / (contour/2).
+	phi := int(float64(band.Count())/(float64(contour)/2) + 0.5)
+	if phi < 1 {
+		phi = 1
+	}
+	return phi, nil
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// StreamReconstructor runs the reconstruction framework incrementally,
+// one frame at a time — the "adversary as live call participant"
+// scenario: no full recording is needed, and a partial reconstruction is
+// available at any instant of the call.
+//
+// Differences from the batch Reconstruct (both documented, both
+// faithful to an online adversary):
+//
+//   - Known-image identification happens after IdentifyAfter frames;
+//     earlier frames are buffered (bounded) and reprocessed once the
+//     virtual background is pinned.
+//   - Unknown-image derivation is online: a pixel joins the derived VB
+//     as soon as it has been stable for the threshold, so early frames
+//     see a sparser VB mask than the batch pass would.
+//   - The statistical color refinement uses the color histogram
+//     accumulated so far rather than the whole call's.
+//
+// A StreamReconstructor is not safe for concurrent use.
+type StreamReconstructor struct {
+	opts Options
+	w, h int
+
+	// Known-image identification state.
+	identified bool
+	scores     map[string]int
+	vbImage    *imagex.Image
+	vbName     string
+	// Buffered early frames awaiting identification.
+	pending        []*imagex.Image
+	pendingOracles []*imagex.Mask
+
+	// Online unknown-image derivation state.
+	derived *DerivedImage
+	runLen  []int
+	prev    *imagex.Image
+
+	// Color-refinement running histogram.
+	hist      []int
+	histTotal int
+
+	// Accumulated output.
+	rec    *Reconstruction
+	frames int
+}
+
+// DefaultIdentifyAfter is the number of frames the streaming attacker
+// observes before pinning the known virtual background.
+const DefaultIdentifyAfter = 10
+
+// NewStream creates a streaming reconstructor for frames of the given
+// geometry. Only VBKnownImage and VBUnknownImage are streamable (video
+// loop detection fundamentally needs several repetitions; use the batch
+// Reconstruct for virtual videos).
+func NewStream(w, h int, opts Options) (*StreamReconstructor, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("core: stream geometry %dx%d", w, h)
+	}
+	if opts.Segmenter == nil {
+		return nil, errors.New("core: nil segmenter")
+	}
+	switch opts.Mode {
+	case VBKnownImage:
+		if len(opts.KnownImages) == 0 {
+			return nil, ErrNoCandidates
+		}
+	case VBUnknownImage:
+	default:
+		return nil, fmt.Errorf("core: mode %v is not streamable", opts.Mode)
+	}
+	if opts.Phi <= 0 {
+		opts.Phi = DefaultPhi
+	}
+	if opts.MatchTol == 0 {
+		opts.MatchTol = DefaultOptions().MatchTol
+	}
+	if opts.StabilityThreshold <= 0 {
+		opts.StabilityThreshold = DefaultStabilityThreshold
+	}
+	if opts.ColorFreqThreshold <= 0 {
+		opts.ColorFreqThreshold = 0.004
+	}
+	s := &StreamReconstructor{
+		opts:   opts,
+		w:      w,
+		h:      h,
+		scores: map[string]int{},
+		rec: &Reconstruction{
+			Recovered: imagex.New(w, h),
+			Coverage:  imagex.NewMask(w, h),
+			VBMode:    opts.Mode,
+		},
+	}
+	if opts.Mode == VBUnknownImage {
+		s.derived = &DerivedImage{Img: imagex.New(w, h), Known: imagex.NewMask(w, h)}
+		if len(opts.AuxDerived) > 0 {
+			merged, err := MergeDerived(append([]*DerivedImage{s.derived}, opts.AuxDerived...)...)
+			if err != nil {
+				return nil, err
+			}
+			s.derived = merged
+		}
+		s.runLen = make([]int, w*h)
+		for i := range s.runLen {
+			s.runLen[i] = 1
+		}
+	}
+	return s, nil
+}
+
+// Frames returns the number of frames fed so far.
+func (s *StreamReconstructor) Frames() int { return s.frames }
+
+// Feed processes one frame. oracle is the true silhouette consumed by
+// the simulated segmenter (see Reconstruct).
+func (s *StreamReconstructor) Feed(frame *imagex.Image, oracle *imagex.Mask) error {
+	if frame == nil || frame.W != s.w || frame.H != s.h {
+		return fmt.Errorf("core: stream frame geometry mismatch: %w", imagex.ErrBounds)
+	}
+	s.frames++
+
+	if s.opts.Mode == VBKnownImage && !s.identified {
+		s.accumulateScores(frame)
+		s.pending = append(s.pending, frame.Clone())
+		s.pendingOracles = append(s.pendingOracles, oracle.Clone())
+		if s.frames >= DefaultIdentifyAfter {
+			s.pinIdentification()
+			// Reprocess the buffered prefix with the pinned VB.
+			for i, f := range s.pending {
+				s.processFrame(f, s.pendingOracles[i])
+			}
+			s.pending, s.pendingOracles = nil, nil
+		}
+		return nil
+	}
+
+	if s.opts.Mode == VBUnknownImage {
+		s.updateDerivation(frame)
+	}
+	s.processFrame(frame, oracle)
+	return nil
+}
+
+// accumulateScores advances the highest-likelihood estimator.
+func (s *StreamReconstructor) accumulateScores(frame *imagex.Image) {
+	for name, img := range s.opts.KnownImages {
+		s.scores[name] += frame.MatchCount(img)
+	}
+}
+
+// pinIdentification commits the best-scoring candidate.
+func (s *StreamReconstructor) pinIdentification() {
+	bestName, bestScore := "", -1
+	for _, name := range sortedKeys(s.opts.KnownImages) {
+		if sc := s.scores[name]; sc > bestScore {
+			bestName, bestScore = name, sc
+		}
+	}
+	s.identified = true
+	s.vbName = bestName
+	s.vbImage = s.opts.KnownImages[bestName]
+	s.rec.VBName = bestName
+}
+
+// updateDerivation advances the online pixel-stability derivation.
+func (s *StreamReconstructor) updateDerivation(frame *imagex.Image) {
+	if s.prev != nil {
+		for i := range frame.Pix {
+			if within(s.prev.Pix[i], frame.Pix[i], s.opts.MatchTol) {
+				s.runLen[i]++
+				if s.runLen[i] >= s.opts.StabilityThreshold && !s.derived.Known.Bits[i] {
+					s.derived.Img.Pix[i] = frame.Pix[i]
+					s.derived.Known.Bits[i] = true
+				}
+			} else {
+				s.runLen[i] = 1
+			}
+		}
+	}
+	s.prev = frame.Clone()
+	s.rec.DerivedCoverage = s.derived.Coverage()
+}
+
+// processFrame runs masking and residue extraction for one frame.
+func (s *StreamReconstructor) processFrame(frame *imagex.Image, oracle *imagex.Mask) {
+	var vbm *imagex.Mask
+	switch s.opts.Mode {
+	case VBKnownImage:
+		vbm = VBMaskKnown(frame, s.vbImage, s.opts.MatchTol)
+	default:
+		vbm = VBMaskDerived(frame, s.derived, s.opts.MatchTol)
+	}
+	bbm := vbm.Dilate(s.opts.Phi)
+
+	vcm := s.opts.Segmenter.Segment(frame, oracle)
+	if s.opts.ColorRefine {
+		s.refineOnline(frame, vcm)
+	}
+
+	lb := imagex.NewFullMask(s.w, s.h)
+	// Same-geometry subtractions cannot fail.
+	_ = lb.Subtract(bbm)
+	_ = lb.Subtract(vcm)
+
+	s.rec.PerFrameLB = append(s.rec.PerFrameLB, lb)
+	for p, b := range lb.Bits {
+		if b {
+			s.rec.Recovered.Pix[p] = frame.Pix[p]
+			s.rec.Coverage.Bits[p] = true
+		}
+	}
+}
+
+// refineOnline applies the color-based VCM correction using the
+// histogram accumulated so far.
+func (s *StreamReconstructor) refineOnline(frame *imagex.Image, vcm *imagex.Mask) {
+	if s.hist == nil {
+		s.hist = make([]int, 4096)
+	}
+	for p, inVCM := range vcm.Bits {
+		if inVCM {
+			s.hist[quant12(frame.Pix[p])]++
+			s.histTotal++
+		}
+	}
+	if s.histTotal == 0 {
+		return
+	}
+	cut := int(s.opts.ColorFreqThreshold * float64(s.histTotal))
+	for p, inVCM := range vcm.Bits {
+		if inVCM && s.hist[quant12(frame.Pix[p])] <= cut {
+			vcm.Bits[p] = false
+		}
+	}
+}
+
+// Snapshot returns the reconstruction accumulated so far. The returned
+// value shares storage with the stream; clone before mutating.
+func (s *StreamReconstructor) Snapshot() *Reconstruction { return s.rec }

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/compositor"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+func TestNewStreamValidation(t *testing.T) {
+	opts := oracleOpts()
+	opts.KnownImages = compositor.BuiltinImages(40, 30)
+	if _, err := NewStream(0, 30, opts); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+	bad := opts
+	bad.Segmenter = nil
+	if _, err := NewStream(40, 30, bad); err == nil {
+		t.Fatal("nil segmenter accepted")
+	}
+	noDict := oracleOpts()
+	noDict.KnownImages = nil
+	if _, err := NewStream(40, 30, noDict); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("empty dictionary error = %v", err)
+	}
+	video := oracleOpts()
+	video.Mode = VBKnownVideo
+	if _, err := NewStream(40, 30, video); err == nil {
+		t.Fatal("video mode must not be streamable")
+	}
+}
+
+func TestStreamMatchesBatchKnownImage(t *testing.T) {
+	res, sils := testCall(t, 30, 30, compositor.StaticImage{Img: beach()}, compositor.ProfileZoom())
+
+	opts := oracleOpts()
+	opts.KnownImages = compositor.BuiltinImages(160, 120)
+	batch, err := Reconstruct(res.Blended, sils, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := NewStream(160, 120, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range res.Blended.Frames {
+		if err := stream.Feed(f, sils[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := stream.Snapshot()
+
+	if snap.VBName != batch.VBName {
+		t.Fatalf("stream identified %q, batch %q", snap.VBName, batch.VBName)
+	}
+	if stream.Frames() != 30 {
+		t.Fatalf("frames = %d", stream.Frames())
+	}
+	// The color-refinement timing differs, so require close (not equal)
+	// agreement.
+	inter := snap.Coverage.Overlap(batch.Coverage)
+	union := snap.Coverage.Count() + batch.Coverage.Count() - inter
+	if union == 0 {
+		t.Fatal("both reconstructions empty")
+	}
+	if j := float64(inter) / float64(union); j < 0.75 {
+		t.Fatalf("stream/batch coverage Jaccard = %.2f", j)
+	}
+}
+
+func TestStreamUnknownImageDerivesOnline(t *testing.T) {
+	res, sils := testCall(t, 31, 40, compositor.StaticImage{Img: beach()}, compositor.ProfileZoom())
+	opts := oracleOpts()
+	opts.Mode = VBUnknownImage
+
+	stream, err := NewStream(160, 120, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covAt10 := 0.0
+	for i, f := range res.Blended.Frames {
+		if err := stream.Feed(f, sils[i]); err != nil {
+			t.Fatal(err)
+		}
+		if i == 10 {
+			covAt10 = stream.Snapshot().DerivedCoverage
+		}
+	}
+	snap := stream.Snapshot()
+	if snap.DerivedCoverage <= covAt10 {
+		t.Fatalf("derivation coverage must grow: %.3f at frame 10 vs %.3f at end",
+			covAt10, snap.DerivedCoverage)
+	}
+	if snap.DerivedCoverage < 0.4 {
+		t.Fatalf("final derivation coverage %.3f too low", snap.DerivedCoverage)
+	}
+	if snap.RBRR() <= 0 {
+		t.Fatal("stream recovered nothing")
+	}
+}
+
+func TestStreamSnapshotMidCall(t *testing.T) {
+	// A snapshot must be available before the call ends and grow over
+	// time (the live-adversary property).
+	res, sils := testCall(t, 32, 24, compositor.StaticImage{Img: beach()}, compositor.ProfileZoom())
+	opts := oracleOpts()
+	opts.KnownImages = compositor.BuiltinImages(160, 120)
+	stream, err := NewStream(160, 120, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var early int
+	for i, f := range res.Blended.Frames {
+		if err := stream.Feed(f, sils[i]); err != nil {
+			t.Fatal(err)
+		}
+		if i == 14 {
+			early = stream.Snapshot().Coverage.Count()
+			if early == 0 {
+				t.Fatal("no recovery by frame 15")
+			}
+		}
+	}
+	if final := stream.Snapshot().Coverage.Count(); final < early {
+		t.Fatalf("coverage shrank: %d → %d", early, final)
+	}
+}
+
+func TestStreamRejectsWrongGeometry(t *testing.T) {
+	opts := oracleOpts()
+	opts.KnownImages = compositor.BuiltinImages(40, 30)
+	stream, err := NewStream(40, 30, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Feed(imagex.New(10, 10), imagex.NewMask(10, 10)); !errors.Is(err, imagex.ErrBounds) {
+		t.Fatalf("geometry error = %v", err)
+	}
+}

@@ -1,0 +1,355 @@
+// Package core implements the paper's primary contribution: the real
+// background reconstruction framework (Section V). Given a recorded call
+// with a virtual background blended in, it identifies or derives the
+// virtual background (V-B), masks the blending blur (V-C), masks the
+// video caller (V-D), and accumulates the per-frame leaked-background
+// residue into a partial reconstruction of the real background (V-E).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/vidstream"
+)
+
+// DefaultStabilityThreshold is the paper's pixel-consistency threshold
+// for unknown-VB derivation: "for a standard 30 fps video stream, a
+// pixel consistent across 10 or more frames has very high probability of
+// belonging to the virtual background".
+const DefaultStabilityThreshold = 10
+
+// ErrNoCandidates is returned by identification over an empty dataset.
+var ErrNoCandidates = errors.New("core: empty candidate dataset")
+
+// IdentifyKnownImage implements the paper's highest-likelihood estimator
+// over a dataset D_img of default/popular virtual images: it returns the
+// candidate maximising Σ_frames Σ_pixels µ(img ⊕ f). Frames are sampled
+// (up to sampleFrames, spread evenly) — matching every frame is
+// redundant since the VB region dominates and is static.
+func IdentifyKnownImage(v *vidstream.Video, candidates map[string]*imagex.Image, sampleFrames int) (string, *imagex.Image, error) {
+	if err := v.Validate(); err != nil {
+		return "", nil, fmt.Errorf("core: identify image: %w", err)
+	}
+	if len(candidates) == 0 {
+		return "", nil, ErrNoCandidates
+	}
+	if sampleFrames <= 0 {
+		sampleFrames = 5
+	}
+	frames := sampleEvenly(v.Frames, sampleFrames)
+
+	bestName, bestScore := "", -1
+	var bestImg *imagex.Image
+	// Iterate candidates in deterministic (sorted) order so ties break
+	// stably.
+	for _, name := range sortedKeys(candidates) {
+		img := candidates[name]
+		score := 0
+		for _, f := range frames {
+			score += f.MatchCount(img)
+		}
+		if score > bestScore {
+			bestName, bestScore, bestImg = name, score, img
+		}
+	}
+	return bestName, bestImg, nil
+}
+
+// IdentifyKnownVideo extends the estimator to a dataset D_vid of virtual
+// videos (each a frame set): it returns the video whose best-aligned
+// loop maximises the match with the call, together with the phase offset
+// such that call frame i corresponds to video frame (i+offset) mod
+// period.
+func IdentifyKnownVideo(v *vidstream.Video, candidates map[string][]*imagex.Image, sampleFrames int) (string, []*imagex.Image, int, error) {
+	if err := v.Validate(); err != nil {
+		return "", nil, 0, fmt.Errorf("core: identify video: %w", err)
+	}
+	if len(candidates) == 0 {
+		return "", nil, 0, ErrNoCandidates
+	}
+	if sampleFrames <= 0 {
+		sampleFrames = 8
+	}
+	idxs := sampleIndices(v.Len(), sampleFrames)
+
+	bestName, bestScore, bestOffset := "", -1, 0
+	var bestFrames []*imagex.Image
+	for _, name := range sortedKeysSlice(candidates) {
+		frames := candidates[name]
+		if len(frames) == 0 {
+			continue
+		}
+		for off := 0; off < len(frames); off++ {
+			score := 0
+			for _, i := range idxs {
+				score += v.Frames[i].MatchCount(frames[(i+off)%len(frames)])
+			}
+			if score > bestScore {
+				bestName, bestScore, bestOffset, bestFrames = name, score, off, frames
+			}
+		}
+	}
+	if bestFrames == nil {
+		return "", nil, 0, ErrNoCandidates
+	}
+	return bestName, bestFrames, bestOffset, nil
+}
+
+// DerivedImage is an unknown virtual background reconstructed from the
+// call itself (paper Section V-B, "Using Unknown Virtual Image").
+type DerivedImage struct {
+	// Img holds the derived pixel values; only positions with Known set
+	// are meaningful.
+	Img *imagex.Image
+	// Known marks pixels whose value was stable long enough to qualify.
+	Known *imagex.Mask
+}
+
+// Coverage returns the fraction of pixels derived.
+func (d *DerivedImage) Coverage() float64 { return d.Known.Fraction() }
+
+// DeriveUnknownImage reconstructs the virtual image from pixel
+// stability: any pixel whose value stays constant (within tol) for at
+// least threshold consecutive frames is taken as virtual background.
+// The caller's stationary silhouette region stays unknown, exactly as
+// the paper observes; MergeDerived can fill it from other calls.
+func DeriveUnknownImage(v *vidstream.Video, threshold, tol int) (*DerivedImage, error) {
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("core: derive image: %w", err)
+	}
+	if threshold <= 0 {
+		threshold = DefaultStabilityThreshold
+	}
+	w, h := v.Size()
+	out := &DerivedImage{Img: imagex.New(w, h), Known: imagex.NewMask(w, h)}
+
+	// Track the current stable run per pixel and commit the value once
+	// the run reaches the threshold.
+	runLen := make([]int, w*h)
+	for i := range runLen {
+		runLen[i] = 1
+	}
+	commit := func(idx int, val imagex.RGB) {
+		out.Img.Pix[idx] = val
+		out.Known.Bits[idx] = true
+	}
+	if len(v.Frames) == 1 && threshold <= 1 {
+		for i, p := range v.Frames[0].Pix {
+			commit(i, p)
+		}
+		return out, nil
+	}
+	for fi := 1; fi < len(v.Frames); fi++ {
+		prev, now := v.Frames[fi-1], v.Frames[fi]
+		for i := range now.Pix {
+			if within(prev.Pix[i], now.Pix[i], tol) {
+				runLen[i]++
+				if runLen[i] >= threshold && !out.Known.Bits[i] {
+					commit(i, now.Pix[i])
+				}
+			} else {
+				runLen[i] = 1
+			}
+		}
+	}
+	return out, nil
+}
+
+// MergeDerived combines derivations from multiple calls using the same
+// virtual background (the paper's mitigation for stationary callers):
+// earlier arguments win where both are known.
+func MergeDerived(imgs ...*DerivedImage) (*DerivedImage, error) {
+	if len(imgs) == 0 {
+		return nil, ErrNoCandidates
+	}
+	base := imgs[0]
+	out := &DerivedImage{Img: base.Img.Clone(), Known: base.Known.Clone()}
+	for _, d := range imgs[1:] {
+		if d.Img.W != out.Img.W || d.Img.H != out.Img.H {
+			return nil, fmt.Errorf("core: merge %dx%d with %dx%d: %w",
+				d.Img.W, d.Img.H, out.Img.W, out.Img.H, imagex.ErrBounds)
+		}
+		for i, known := range d.Known.Bits {
+			if known && !out.Known.Bits[i] {
+				out.Img.Pix[i] = d.Img.Pix[i]
+				out.Known.Bits[i] = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// DerivedVideo is an unknown looping virtual video reconstructed from
+// the call (paper Section V-B, "Using Unknown Virtual Video Frame").
+type DerivedVideo struct {
+	Period int
+	Phases []*DerivedImage
+}
+
+// DeriveUnknownVideo detects the loop period of an unknown virtual video
+// by per-phase pixel consistency, then derives each phase image. Periods
+// 2..maxPeriod are scored on a subsampled pixel grid; the period whose
+// phase-aligned samples are most consistent wins. minRepeats loop
+// repetitions must fit in the call for a period to be considered.
+func DeriveUnknownVideo(v *vidstream.Video, maxPeriod, tol int) (*DerivedVideo, error) {
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("core: derive video: %w", err)
+	}
+	const minRepeats = 3
+	if maxPeriod < 2 {
+		maxPeriod = 2
+	}
+	if maxPeriod > v.Len()/minRepeats {
+		maxPeriod = v.Len() / minRepeats
+	}
+	if maxPeriod < 2 {
+		return nil, fmt.Errorf("core: call too short (%d frames) for loop detection", v.Len())
+	}
+	w, h := v.Size()
+
+	// Score each candidate period on a coarse pixel grid.
+	bestP, bestScore := 0, -1.0
+	for p := 2; p <= maxPeriod; p++ {
+		consistent, total := 0, 0
+		for y := 0; y < h; y += 4 {
+			for x := 0; x < w; x += 4 {
+				idx := y*w + x
+				for phase := 0; phase < p; phase++ {
+					// Compare successive repetitions of this phase.
+					for fi := phase + p; fi < v.Len(); fi += p {
+						total++
+						if within(v.Frames[fi].Pix[idx], v.Frames[fi-p].Pix[idx], tol) {
+							consistent++
+						}
+					}
+				}
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		score := float64(consistent) / float64(total)
+		// Prefer the smallest period achieving (effectively) the best
+		// score: any multiple of the true period scores as well.
+		if score > bestScore+1e-9 {
+			bestP, bestScore = p, score
+		}
+	}
+	if bestP == 0 {
+		return nil, fmt.Errorf("core: loop period not detected")
+	}
+
+	out := &DerivedVideo{Period: bestP}
+	for phase := 0; phase < bestP; phase++ {
+		sub := vidstream.New(v.FPS)
+		for fi := phase; fi < v.Len(); fi += bestP {
+			if err := sub.Append(v.Frames[fi]); err != nil {
+				return nil, fmt.Errorf("core: phase %d: %w", phase, err)
+			}
+		}
+		// Within one phase the virtual video is constant, so a short
+		// stability threshold suffices.
+		d, err := DeriveUnknownImage(sub, 3, tol)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase %d: %w", phase, err)
+		}
+		out.Phases = append(out.Phases, d)
+	}
+	return out, nil
+}
+
+// VBMaskKnown generates the binary virtual background mask VBM for a
+// frame against a fully known virtual image M: VBM=1 where µ(M ⊕ f)=1
+// (within tol).
+func VBMaskKnown(frame, vb *imagex.Image, tol int) *imagex.Mask {
+	m := imagex.NewMask(frame.W, frame.H)
+	if !frame.SameSize(vb) {
+		return m
+	}
+	for i := range frame.Pix {
+		if within(frame.Pix[i], vb.Pix[i], tol) {
+			m.Bits[i] = true
+		}
+	}
+	return m
+}
+
+// VBMaskDerived generates VBM against a partially derived virtual image,
+// matching only at known positions.
+func VBMaskDerived(frame *imagex.Image, d *DerivedImage, tol int) *imagex.Mask {
+	m := imagex.NewMask(frame.W, frame.H)
+	if frame.W != d.Img.W || frame.H != d.Img.H {
+		return m
+	}
+	for i := range frame.Pix {
+		if d.Known.Bits[i] && within(frame.Pix[i], d.Img.Pix[i], tol) {
+			m.Bits[i] = true
+		}
+	}
+	return m
+}
+
+func within(a, b imagex.RGB, tol int) bool {
+	return absInt(int(a.R)-int(b.R)) <= tol &&
+		absInt(int(a.G)-int(b.G)) <= tol &&
+		absInt(int(a.B)-int(b.B)) <= tol
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sampleEvenly(frames []*imagex.Image, n int) []*imagex.Image {
+	idxs := sampleIndices(len(frames), n)
+	out := make([]*imagex.Image, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, frames[i])
+	}
+	return out
+}
+
+func sampleIndices(total, n int) []int {
+	if n >= total {
+		out := make([]int, total)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, k*total/n)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]*imagex.Image) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
+}
+
+func sortedKeysSlice(m map[string][]*imagex.Image) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

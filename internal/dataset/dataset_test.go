@@ -1,0 +1,241 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/person"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.W, cfg.H = 80, 60
+	cfg.E1Frames, cfg.E2Frames, cfg.E3Frames = 12, 18, 15
+	return cfg
+}
+
+func TestE1CountMatchesPaper(t *testing.T) {
+	calls := E1(DefaultConfig())
+	if len(calls) != 163 {
+		t.Fatalf("E1 has %d videos, paper collected 163", len(calls))
+	}
+}
+
+func TestE2CountMatchesPaper(t *testing.T) {
+	calls := E2(DefaultConfig())
+	if len(calls) != 25 {
+		t.Fatalf("E2 has %d videos, paper collected 25", len(calls))
+	}
+	passive, active := 0, 0
+	perParticipant := map[int]int{}
+	for _, c := range calls {
+		perParticipant[c.Participant]++
+		switch c.Engagement {
+		case person.EngagementPassive:
+			passive++
+		case person.EngagementActive:
+			active++
+		}
+	}
+	if passive != 20 || active != 5 {
+		t.Fatalf("passive/active = %d/%d, want 20/5", passive, active)
+	}
+	for p, n := range perParticipant {
+		if n != 5 {
+			t.Fatalf("participant %d has %d videos, want 5", p, n)
+		}
+	}
+}
+
+func TestE2BackgroundsAllDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range E2(DefaultConfig()) {
+		name := c.LocationName()
+		if seen[name] {
+			t.Fatalf("duplicate E2 background %s", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestE3CountAndVariety(t *testing.T) {
+	calls := E3(DefaultConfig())
+	if len(calls) != 50 {
+		t.Fatalf("E3 has %d videos, paper collected 50", len(calls))
+	}
+	lengths := map[int]bool{}
+	for _, c := range calls {
+		if c.Engagement != person.EngagementActive {
+			t.Fatal("wild videos must be active speakers")
+		}
+		if c.Camera.Name != "studio" {
+			t.Fatal("wild videos must use the studio camera profile")
+		}
+		lengths[c.Frames] = true
+	}
+	if len(lengths) < 5 {
+		t.Fatalf("E3 lengths not varied: %d distinct", len(lengths))
+	}
+}
+
+func TestE1CoversAllConditions(t *testing.T) {
+	calls := E1(DefaultConfig())
+	actions := map[person.Action]bool{}
+	var lightsOff, withAcc, speedVar, apparel int
+	for _, c := range calls {
+		actions[c.Action] = true
+		if !c.LightsOn {
+			lightsOff++
+		}
+		if c.Accessories.Hat || c.Accessories.Headphones {
+			withAcc++
+		}
+		if c.Speed != person.SpeedAverage {
+			speedVar++
+		}
+		if c.ApparelSimilar {
+			apparel++
+		}
+	}
+	if len(actions) != 10 {
+		t.Fatalf("E1 covers %d actions, want 10", len(actions))
+	}
+	if lightsOff != 30 || withAcc != 30 || speedVar != 20 || apparel != 30 {
+		t.Fatalf("condition counts: lightsOff=%d acc=%d speed=%d apparel=%d",
+			lightsOff, withAcc, speedVar, apparel)
+	}
+}
+
+func TestIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range All(DefaultConfig()) {
+		if seen[c.ID] {
+			t.Fatalf("duplicate call ID %s", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	c := E1(cfg)[3]
+	a, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Raw.Frames[5].Equal(b.Raw.Frames[5]) {
+		t.Fatal("rendering must be deterministic")
+	}
+}
+
+func TestRenderGeometryAndContents(t *testing.T) {
+	cfg := smallConfig()
+	c := E2(cfg)[0]
+	r, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Raw.Len() != cfg.E2Frames {
+		t.Fatalf("frames = %d", r.Raw.Len())
+	}
+	w, h := r.Raw.Size()
+	if w != cfg.W || h != cfg.H {
+		t.Fatalf("geometry %dx%d", w, h)
+	}
+	if len(r.Silhouettes) != r.Raw.Len() {
+		t.Fatal("silhouette count mismatch")
+	}
+	if r.Silhouettes[5].Count() == 0 {
+		t.Fatal("caller missing from silhouette")
+	}
+	if r.TrueBackground == nil || r.Scene == nil {
+		t.Fatal("ground truth missing")
+	}
+}
+
+func TestLightingAffectsRender(t *testing.T) {
+	cfg := smallConfig()
+	calls := E1(cfg)
+	var on, off *Call
+	for _, c := range calls {
+		if c.Action == person.ActionType && c.Participant == 1 && !c.Accessories.Hat && !c.Accessories.Headphones && !c.ApparelSimilar {
+			if c.LightsOn && on == nil {
+				on = c
+			}
+			if !c.LightsOn && off == nil {
+				off = c
+			}
+		}
+	}
+	if on == nil || off == nil {
+		t.Fatal("missing lighting pair")
+	}
+	ron, err := on.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	roff, err := off.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roff.TrueBackground.MeanLuminance() >= ron.TrueBackground.MeanLuminance() {
+		t.Fatal("lights-off scene must be darker")
+	}
+}
+
+func TestSceneForMatchesRender(t *testing.T) {
+	cfg := smallConfig()
+	c := E3(cfg)[2]
+	r, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.SceneFor().Base.Equal(r.Scene.Base) {
+		t.Fatal("SceneFor must regenerate the rendered scene")
+	}
+}
+
+func TestFillerScenesDistinct(t *testing.T) {
+	cfg := smallConfig()
+	fillers := FillerScenes(cfg, 5)
+	if len(fillers) != 5 {
+		t.Fatal("wrong filler count")
+	}
+	for i := 0; i < len(fillers); i++ {
+		for j := i + 1; j < len(fillers); j++ {
+			if fillers[i].Base.Equal(fillers[j].Base) {
+				t.Fatalf("fillers %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+func TestRenderInvalidGeometry(t *testing.T) {
+	c := &Call{ID: "bad", W: 0, H: 10, Frames: 5}
+	if _, err := c.Render(); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+}
+
+func TestLightFactor(t *testing.T) {
+	c := &Call{LightsOn: true}
+	if c.Light() != 1.0 {
+		t.Fatal("lights on factor wrong")
+	}
+	c.LightsOn = false
+	if c.Light() >= 1.0 {
+		t.Fatal("lights off must dim")
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	if PhaseE1.String() != "E1" || PhaseE2.String() != "E2" || PhaseE3.String() != "E3" {
+		t.Fatal("phase labels wrong")
+	}
+	if Phase(9).String() != "phase(9)" {
+		t.Fatal("unknown phase label wrong")
+	}
+}

@@ -1,0 +1,39 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/bgbuster/bgbuster/internal/scene"
+)
+
+// SceneFor regenerates the call's background scene deterministically
+// (the same derivation Render uses), letting the evaluation build the
+// location-inference dictionary without re-rendering whole videos.
+func (c *Call) SceneFor() *scene.Scene {
+	sceneRng := rand.New(rand.NewSource(c.SceneSeed))
+	cfg := scene.DefaultConfig()
+	cfg.W, cfg.H = c.W, c.H
+	cfg.Clutter = 0.5 + sceneRng.Float64()*0.5
+	return scene.Generate(cfg, sceneRng)
+}
+
+// LocationName is the dictionary key of the call's background; calls
+// sharing a scene seed share a location.
+func (c *Call) LocationName() string {
+	return fmt.Sprintf("loc-%d", c.SceneSeed)
+}
+
+// FillerScenes generates extra backgrounds (locations no call uses) so
+// the dictionary can be padded to the paper's 200 entries.
+func FillerScenes(cfg Config, n int) []*scene.Scene {
+	out := make([]*scene.Scene, 0, n)
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(cfg.Seed*9000 + int64(i)*7 + 3))
+		scfg := scene.DefaultConfig()
+		scfg.W, scfg.H = cfg.W, cfg.H
+		scfg.Clutter = 0.5 + rng.Float64()*0.5
+		out = append(out, scene.Generate(scfg, rng))
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/bgbuster/bgbuster/internal/person"
+	"github.com/bgbuster/bgbuster/internal/vidstream"
+)
+
+// E1 builds the 163-video controlled-action collection:
+//
+//	 50  base:       5 participants × 10 actions (lights on, average speed)
+//	 30  lighting:   participants 1–3 × 10 actions with lights OFF
+//	 30  accessories: participant 1 × 10 actions × {hat, headphones, both}
+//	 20  speed:      5 participants × {arm-wave, clap} × {slow, fast}
+//	 30  apparel:    participants 3–5 × 10 actions with wall-similar shirts
+//	  3  backgrounds: participant 2, typing, three extra rooms
+//	---
+//	163 total (the paper's E1 count)
+//
+// Every participant keeps one home background across their E1 videos
+// (per condition), mirroring participants recording at a location of
+// their choice.
+func E1(cfg Config) []*Call {
+	var calls []*Call
+	add := func(participant int, a person.Action, sp person.Speed, acc person.Accessories, lightsOn, apparelSim bool, sceneSalt int64) {
+		id := fmt.Sprintf("e1-%03d", len(calls))
+		calls = append(calls, &Call{
+			ID:             id,
+			Phase:          PhaseE1,
+			Participant:    participant,
+			Action:         a,
+			Speed:          sp,
+			Accessories:    acc,
+			LightsOn:       lightsOn,
+			ApparelSimilar: apparelSim,
+			Camera:         vidstream.CameraWebcam,
+			SceneSeed:      cfg.Seed*1000 + int64(participant)*37 + sceneSalt,
+			Frames:         cfg.E1Frames,
+			FPS:            cfg.FPS,
+			W:              cfg.W,
+			H:              cfg.H,
+			seed:           cfg.Seed*100000 + int64(len(calls)),
+		})
+	}
+
+	// Base grid.
+	for p := 1; p <= 5; p++ {
+		for _, a := range person.Actions {
+			add(p, a, person.SpeedAverage, person.Accessories{}, true, false, 0)
+		}
+	}
+	// Lighting-off repeats.
+	for p := 1; p <= 3; p++ {
+		for _, a := range person.Actions {
+			add(p, a, person.SpeedAverage, person.Accessories{}, false, false, 0)
+		}
+	}
+	// Accessory repeats (participant 1).
+	for _, acc := range []person.Accessories{
+		{Hat: true},
+		{Headphones: true},
+		{Hat: true, Headphones: true},
+	} {
+		for _, a := range person.Actions {
+			add(1, a, person.SpeedAverage, acc, true, false, 0)
+		}
+	}
+	// Speed sweeps.
+	for p := 1; p <= 5; p++ {
+		for _, a := range []person.Action{person.ActionArmWave, person.ActionClap} {
+			for _, sp := range []person.Speed{person.SpeedSlow, person.SpeedFast} {
+				add(p, a, sp, person.Accessories{}, true, false, 0)
+			}
+		}
+	}
+	// Apparel repeats (participants 3–5, wall-similar shirts).
+	for p := 3; p <= 5; p++ {
+		for _, a := range person.Actions {
+			add(p, a, person.SpeedAverage, person.Accessories{}, true, true, 0)
+		}
+	}
+	// Extra backgrounds (participant 2, typing).
+	for salt := int64(1); salt <= 3; salt++ {
+		add(2, person.ActionType, person.SpeedAverage, person.Accessories{}, true, false, salt)
+	}
+	return calls
+}
+
+// E2 builds the 25-video passive/active collection: 5 participants × (4
+// passive + 1 active), each recording against a different background.
+func E2(cfg Config) []*Call {
+	var calls []*Call
+	for p := 1; p <= 5; p++ {
+		for session := 0; session < 5; session++ {
+			engagement := person.EngagementPassive
+			if session == 4 {
+				engagement = person.EngagementActive
+			}
+			id := fmt.Sprintf("e2-%03d", len(calls))
+			calls = append(calls, &Call{
+				ID:          id,
+				Phase:       PhaseE2,
+				Participant: p,
+				Engagement:  engagement,
+				LightsOn:    true,
+				Camera:      vidstream.CameraWebcam,
+				SceneSeed:   cfg.Seed*2000 + int64(p)*101 + int64(session)*13,
+				Frames:      cfg.E2Frames,
+				FPS:         cfg.FPS,
+				W:           cfg.W,
+				H:           cfg.H,
+				seed:        cfg.Seed*200000 + int64(len(calls)),
+			})
+		}
+	}
+	return calls
+}
+
+// E3 builds the 50-video in-the-wild collection: active speakers with
+// studio cameras and lighting, varied lengths.
+func E3(cfg Config) []*Call {
+	var calls []*Call
+	for i := 0; i < 50; i++ {
+		// Vary lengths ±40 % deterministically.
+		frames := cfg.E3Frames * (80 + (i*17)%80) / 100
+		if frames < 30 {
+			frames = 30
+		}
+		id := fmt.Sprintf("e3-%03d", len(calls))
+		calls = append(calls, &Call{
+			ID:          id,
+			Phase:       PhaseE3,
+			Participant: 100 + i, // unrelated individuals
+			Engagement:  person.EngagementActive,
+			LightsOn:    true,
+			Camera:      vidstream.CameraStudio,
+			SceneSeed:   cfg.Seed*3000 + int64(i)*31,
+			Frames:      frames,
+			FPS:         cfg.FPS,
+			W:           cfg.W,
+			H:           cfg.H,
+			seed:        cfg.Seed*300000 + int64(len(calls)),
+		})
+	}
+	return calls
+}
+
+// All returns E1 ∪ E2 ∪ E3.
+func All(cfg Config) []*Call {
+	out := E1(cfg)
+	out = append(out, E2(cfg)...)
+	out = append(out, E3(cfg)...)
+	return out
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"github.com/bgbuster/bgbuster/internal/compositor"
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/dataset"
+	"github.com/bgbuster/bgbuster/internal/segment"
+)
+
+// AblationRow compares one variant of a design choice.
+type AblationRow struct {
+	Variant string
+	// MeanClaimed / MeanTrue / MeanPrecision are averaged verification
+	// metrics over the ablation calls.
+	MeanClaimed   float64
+	MeanTrue      float64
+	MeanPrecision float64
+	Calls         int
+}
+
+// ablate runs the E1 base calls (limited) once per variant.
+func ablate(cfg Config, variants []string, run func(variant string, call *callTarget) (*callRun, error)) ([]AblationRow, error) {
+	calls := cfg.limit(e1Base(cfg))
+	var rows []AblationRow
+	for _, variant := range variants {
+		variant := variant
+		row := AblationRow{Variant: variant}
+		runs, err := cfg.parMap(calls, func(call *dataset.Call) (*callRun, error) {
+			return run(variant, &callTarget{cfg: cfg, call: call})
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range runs {
+			row.MeanClaimed += r.verify.ClaimedPct
+			row.MeanTrue += r.verify.TruePct
+			row.MeanPrecision += r.verify.Precision
+			row.Calls++
+		}
+		if row.Calls > 0 {
+			n := float64(row.Calls)
+			row.MeanClaimed /= n
+			row.MeanTrue /= n
+			row.MeanPrecision /= n
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// callTarget bundles a call with its config for ablation closures.
+type callTarget struct {
+	cfg  Config
+	call *dataset.Call
+}
+
+// AblationTemporalSmoothing isolates the matting's temporal-smoothing
+// trail (DESIGN.md §6.6): with TrailKeep=0 the compositor stops leaking
+// the background behind moving limbs and recovery drops.
+func AblationTemporalSmoothing(cfg Config) ([]AblationRow, error) {
+	return ablate(cfg, []string{"with-trail", "no-trail"}, func(variant string, t *callTarget) (*callRun, error) {
+		profile := cfg.Profile
+		if variant == "no-trail" {
+			profile.Matting.TrailKeep = 0
+		}
+		return t.cfg.runCall(t.call, profile, nil)
+	})
+}
+
+// AblationBoundaryError isolates boundary-blob misclassification
+// (DESIGN.md §6.1): with LeakRate=0 only warm-up and trailing remain.
+func AblationBoundaryError(cfg Config) ([]AblationRow, error) {
+	return ablate(cfg, []string{"with-boundary-error", "no-boundary-error"}, func(variant string, t *callTarget) (*callRun, error) {
+		profile := cfg.Profile
+		if variant == "no-boundary-error" {
+			profile.Matting.LeakRate = 0
+		}
+		return t.cfg.runCall(t.call, profile, nil)
+	})
+}
+
+// AblationColorRefine isolates the paper's statistical color-based VCM
+// correction (Section V-D): without it, leaked pixels swallowed by the
+// segmenter's halo stay lost.
+func AblationColorRefine(cfg Config) ([]AblationRow, error) {
+	return ablate(cfg, []string{"with-color-refine", "no-color-refine"}, func(variant string, t *callTarget) (*callRun, error) {
+		return t.cfg.runCallWith(t.call, cfg.Profile, nil, func(o *core.Options) {
+			o.ColorRefine = variant == "with-color-refine"
+		})
+	})
+}
+
+// AblationSegmenter compares the attacker's offline segmenter against a
+// perfect oracle: the gap bounds how much DeepLabv3 error costs the
+// attack.
+func AblationSegmenter(cfg Config) ([]AblationRow, error) {
+	return ablate(cfg, []string{"offline-segmenter", "oracle-segmenter"}, func(variant string, t *callTarget) (*callRun, error) {
+		return t.cfg.runCallWith(t.call, cfg.Profile, nil, func(o *core.Options) {
+			if variant == "oracle-segmenter" {
+				o.Segmenter = segment.OracleSegmenter{}
+			}
+		})
+	})
+}
+
+// AblationBlendKind sweeps the compositor's blending function
+// (Section III lists alpha, Gaussian and Laplacian blending).
+func AblationBlendKind(cfg Config) ([]AblationRow, error) {
+	kinds := map[string]compositor.BlendKind{
+		"alpha":     compositor.BlendAlpha,
+		"gaussian":  compositor.BlendGaussian,
+		"laplacian": compositor.BlendLaplacian,
+	}
+	return ablate(cfg, []string{"alpha", "gaussian", "laplacian"}, func(variant string, t *callTarget) (*callRun, error) {
+		profile := cfg.Profile
+		profile.Blend = kinds[variant]
+		return t.cfg.runCall(t.call, profile, nil)
+	})
+}
+
+// AblationTable renders ablation rows.
+func AblationTable(title string, rows []AblationRow) *Table {
+	t := &Table{
+		Title:   "Ablation — " + title,
+		Columns: []string{"variant", "claimed RBRR", "verified recovery", "precision", "calls"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Variant, pct(r.MeanClaimed), pct(r.MeanTrue), num(r.MeanPrecision), count(r.Calls),
+		})
+	}
+	return t
+}

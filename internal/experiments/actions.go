@@ -1,0 +1,389 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/bgbuster/bgbuster/internal/dataset"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/person"
+)
+
+// Fig5Row is the mean leaked-background share of one early frame index.
+type Fig5Row struct {
+	Frame   int
+	LeakPct float64
+}
+
+// Fig5InitialLeakage reproduces Figure 5: the leaked-background area in
+// the first frames of a call is large and decays as the software's
+// tracker warms up.
+func Fig5InitialLeakage(cfg Config) ([]Fig5Row, error) {
+	calls := cfg.limit(e1Base(cfg))
+	const frames = 12
+	sums := make([]float64, frames)
+	n := 0
+	runs, err := cfg.runCalls(calls, cfg.Profile, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, run := range runs {
+		for i := 0; i < frames && i < len(run.composed.Components); i++ {
+			sums[i] += run.composed.Components[i].LB.Fraction() * 100
+		}
+		n++
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("experiments: fig5: no calls")
+	}
+	rows := make([]Fig5Row, frames)
+	for i := range rows {
+		rows[i] = Fig5Row{Frame: i + 1, LeakPct: sums[i] / float64(n)}
+	}
+	return rows, nil
+}
+
+// Fig5Table renders the initial-leakage decay.
+func Fig5Table(rows []Fig5Row) *Table {
+	t := &Table{
+		Title:   "Figure 5 — leaked background in the initial frames",
+		Columns: []string{"frame", "leaked area"},
+		Notes:   []string{"leakage must decay as the tracker locks on (paper Fig. 5)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{count(r.Frame), pct(r.LeakPct)})
+	}
+	return t
+}
+
+// Fig7Row is the per-action background recovery.
+type Fig7Row struct {
+	Action person.Action
+	// PerParticipant maps participant → RBRR %.
+	PerParticipant map[int]float64
+	MeanRBRR       float64
+}
+
+// Fig7ActionRBRR reproduces Figure 7: background recovery under the ten
+// actions, per participant. The paper's headline contrast:
+// entering/exiting ≈ 38.6 % RBRR versus typing ≈ 4.4 %.
+func Fig7ActionRBRR(cfg Config) ([]Fig7Row, error) {
+	base := e1Base(cfg)
+	byAction := map[person.Action][]*dataset.Call{}
+	for _, c := range base {
+		byAction[c.Action] = append(byAction[c.Action], c)
+	}
+	var rows []Fig7Row
+	for _, a := range person.Actions {
+		calls := cfg.limit(byAction[a])
+		row := Fig7Row{Action: a, PerParticipant: map[int]float64{}}
+		runs, err := cfg.runCalls(calls, cfg.Profile, nil)
+		if err != nil {
+			return nil, err
+		}
+		sum := 0.0
+		for _, run := range runs {
+			rbrr := run.rec.RBRR()
+			row.PerParticipant[run.call.Participant] = rbrr
+			sum += rbrr
+		}
+		if len(runs) > 0 {
+			row.MeanRBRR = sum / float64(len(runs))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig7Table renders the per-action recovery.
+func Fig7Table(rows []Fig7Row) *Table {
+	t := &Table{
+		Title:   "Figure 7 — background recovery under various actions",
+		Columns: []string{"action", "mean RBRR"},
+		Notes: []string{
+			"paper: entering/exiting ≈38.6%, typing ≈4.4%; higher-displacement actions leak more",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Action.String(), pct(r.MeanRBRR)})
+	}
+	return t
+}
+
+// Fig8Row is one action×speed measurement.
+type Fig8Row struct {
+	Action person.Action
+	Speed  person.Speed
+	// ActionSpeedSec is the measured event duration (the paper's Action
+	// Speed metric).
+	ActionSpeedSec float64
+	// DisplacementPct is the measured unique-pixel displacement.
+	DisplacementPct float64
+	MeanRBRR        float64
+}
+
+// Fig8ActionSpeed reproduces Figure 8 and its in-text numbers: the
+// effect of action speed on displacement and recovery for arm-waving and
+// clapping.
+func Fig8ActionSpeed(cfg Config) ([]Fig8Row, error) {
+	// Speed-variant calls plus the matching base (average) calls.
+	var pool []*dataset.Call
+	for _, c := range dataset.E1(cfg.Data) {
+		if c.Action != person.ActionArmWave && c.Action != person.ActionClap {
+			continue
+		}
+		if c.Accessories.Hat || c.Accessories.Headphones || !c.LightsOn || c.ApparelSimilar {
+			continue
+		}
+		pool = append(pool, c)
+	}
+	type key struct {
+		a person.Action
+		s person.Speed
+	}
+	groups := map[key][]*dataset.Call{}
+	for _, c := range pool {
+		groups[key{c.Action, c.Speed}] = append(groups[key{c.Action, c.Speed}], c)
+	}
+
+	var rows []Fig8Row
+	for _, a := range []person.Action{person.ActionArmWave, person.ActionClap} {
+		for _, s := range []person.Speed{person.SpeedSlow, person.SpeedAverage, person.SpeedFast} {
+			calls := cfg.limit(groups[key{a, s}])
+			if len(calls) == 0 {
+				continue
+			}
+			row := Fig8Row{Action: a, Speed: s}
+			var rbrrSum, dispSum float64
+			runs, err := cfg.runCalls(calls, cfg.Profile, nil)
+			if err != nil {
+				return nil, err
+			}
+			for _, run := range runs {
+				rbrrSum += run.rec.RBRR()
+				// One action cycle defines the event window.
+				period := s.ActionPeriod(a)
+				eventFrames := int(period * float64(run.call.FPS))
+				if eventFrames < 2 {
+					eventFrames = 2
+				}
+				if eventFrames > run.rendered.Raw.Len() {
+					eventFrames = run.rendered.Raw.Len()
+				}
+				disp, err := run.rendered.Raw.Displacement(0, eventFrames, 12)
+				if err != nil {
+					return nil, err
+				}
+				dispSum += disp
+			}
+			n := float64(len(calls))
+			row.MeanRBRR = rbrrSum / n
+			row.DisplacementPct = dispSum / n
+			row.ActionSpeedSec = s.ActionPeriod(a)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig8Table renders the speed sweep.
+func Fig8Table(rows []Fig8Row) *Table {
+	t := &Table{
+		Title:   "Figure 8 — effect of action speed on background recovery",
+		Columns: []string{"action", "speed", "action speed", "displacement", "mean RBRR"},
+		Notes: []string{
+			"paper: waving slow 35.9% > fast 33.7% > average 30.3%; clapping fast 20.8% < average 22.6%",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Action.String(), r.Speed.String(), secs(r.ActionSpeedSec),
+			pct(r.DisplacementPct), pct(r.MeanRBRR),
+		})
+	}
+	return t
+}
+
+// Fig9Row is one accessory-combination measurement.
+type Fig9Row struct {
+	Label    string
+	MeanRBRR float64
+}
+
+// Fig9Accessories reproduces Figure 9: accessory combinations for one
+// participant; the paper found no significant difference.
+func Fig9Accessories(cfg Config) ([]Fig9Row, error) {
+	groups := map[string][]*dataset.Call{}
+	for _, c := range dataset.E1(cfg.Data) {
+		if c.Participant != 1 || !c.LightsOn || c.Speed != person.SpeedAverage || c.ApparelSimilar {
+			continue
+		}
+		groups[accessoryLabel(c.Accessories)] = append(groups[accessoryLabel(c.Accessories)], c)
+	}
+	var rows []Fig9Row
+	for _, label := range []string{"none", "hat", "headphone", "hat+headphone"} {
+		calls := cfg.limit(groups[label])
+		if len(calls) == 0 {
+			continue
+		}
+		runs, err := cfg.runCalls(calls, cfg.Profile, nil)
+		if err != nil {
+			return nil, err
+		}
+		sum := 0.0
+		for _, run := range runs {
+			sum += run.rec.RBRR()
+		}
+		rows = append(rows, Fig9Row{Label: label, MeanRBRR: sum / float64(len(runs))})
+	}
+	return rows, nil
+}
+
+func accessoryLabel(a person.Accessories) string {
+	switch {
+	case a.Hat && a.Headphones:
+		return "hat+headphone"
+	case a.Hat:
+		return "hat"
+	case a.Headphones:
+		return "headphone"
+	default:
+		return "none"
+	}
+}
+
+// Fig9Table renders the accessory comparison.
+func Fig9Table(rows []Fig9Row) *Table {
+	t := &Table{
+		Title:   "Figure 9 — RBRR per accessory combination (participant 1)",
+		Columns: []string{"accessories", "mean RBRR"},
+		Notes:   []string{"paper found no significant accessory effect"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Label, pct(r.MeanRBRR)})
+	}
+	return t
+}
+
+// LightingResult reproduces Figures 10–11.
+type LightingResult struct {
+	// MeanOn/MeanOff are RBRR with lights on/off (paper: 39.6 vs 41.6).
+	MeanOn, MeanOff float64
+	// RegionJaccard is the mean Jaccard overlap of the recovered regions
+	// between the two conditions — low overlap backs the paper's note
+	// that the recovered *regions* differ, not just the rates.
+	RegionJaccard float64
+	Calls         int
+}
+
+// Fig10f11Lighting measures background recovery under the two lighting
+// conditions for the matched participant/action pairs of E1.
+func Fig10f11Lighting(cfg Config) (*LightingResult, error) {
+	type key struct {
+		p int
+		a person.Action
+	}
+	on := map[key]*dataset.Call{}
+	off := map[key]*dataset.Call{}
+	for _, c := range dataset.E1(cfg.Data) {
+		if c.Accessories.Hat || c.Accessories.Headphones || c.Speed != person.SpeedAverage || c.ApparelSimilar {
+			continue
+		}
+		k := key{c.Participant, c.Action}
+		if c.LightsOn {
+			if _, dup := on[k]; !dup {
+				on[k] = c
+			}
+		} else {
+			off[k] = c
+		}
+	}
+	var pairs [][2]*dataset.Call
+	for k, offCall := range off {
+		if onCall, ok := on[k]; ok {
+			pairs = append(pairs, [2]*dataset.Call{onCall, offCall})
+		}
+	}
+	sortPairs(pairs)
+	if cfg.Limit > 0 && len(pairs) > cfg.Limit {
+		pairs = pairs[:cfg.Limit]
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("experiments: lighting: no matched pairs")
+	}
+
+	res := &LightingResult{}
+	var jSum float64
+	for _, pair := range pairs {
+		runOn, err := cfg.runCall(pair[0], cfg.Profile, nil)
+		if err != nil {
+			return nil, err
+		}
+		runOff, err := cfg.runCall(pair[1], cfg.Profile, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.MeanOn += runOn.rec.RBRR()
+		res.MeanOff += runOff.rec.RBRR()
+		jSum += jaccard(runOn.rec.Coverage, runOff.rec.Coverage)
+		res.Calls++
+	}
+	n := float64(res.Calls)
+	res.MeanOn /= n
+	res.MeanOff /= n
+	res.RegionJaccard = jSum / n
+	return res, nil
+}
+
+func jaccard(a, b *imagex.Mask) float64 {
+	inter := a.Overlap(b)
+	union := a.Count() + b.Count() - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// sortPairs orders pairs deterministically by the lights-on call ID.
+func sortPairs(pairs [][2]*dataset.Call) {
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j][0].ID < pairs[j-1][0].ID; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+}
+
+// Table renders the lighting comparison.
+func (r *LightingResult) Table() *Table {
+	return &Table{
+		Title:   "Figures 10–11 — background recovery vs lighting",
+		Columns: []string{"condition", "mean RBRR"},
+		Rows: [][]string{
+			{"lights ON", pct(r.MeanOn)},
+			{"lights OFF", pct(r.MeanOff)},
+		},
+		Notes: []string{
+			"paper: OFF 41.6% vs ON 39.6% — OFF leaks slightly more",
+			fmt.Sprintf("recovered-region Jaccard overlap between conditions: %s (regions differ, as the paper observed)", num(r.RegionJaccard)),
+		},
+	}
+}
+
+// e1Base returns the 50 base E1 calls (lights on, average speed, no
+// accessories, contrasting apparel, home background).
+func e1Base(cfg Config) []*dataset.Call {
+	var out []*dataset.Call
+	seen := map[string]bool{}
+	for _, c := range dataset.E1(cfg.Data) {
+		if !c.LightsOn || c.Speed != person.SpeedAverage || c.ApparelSimilar ||
+			c.Accessories.Hat || c.Accessories.Headphones {
+			continue
+		}
+		k := fmt.Sprintf("%d/%s", c.Participant, c.Action)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, c)
+	}
+	return out
+}

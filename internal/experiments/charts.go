@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/bgbuster/bgbuster/internal/person"
+	"github.com/bgbuster/bgbuster/internal/plot"
+)
+
+// Chart builders: render experiment rows as the paper's bar-chart
+// figures. cmd/experiments -plots writes them as PNGs.
+
+// Fig5Chart renders the initial-leakage decay.
+func Fig5Chart(rows []Fig5Row) *plot.BarChart {
+	c := &plot.BarChart{Title: "Fig 5: leaked area in initial frames", YLabel: "leak %"}
+	s := plot.Series{Name: "leak"}
+	for _, r := range rows {
+		c.XLabels = append(c.XLabels, fmt.Sprintf("%d", r.Frame))
+		s.Values = append(s.Values, r.LeakPct)
+	}
+	c.Series = []plot.Series{s}
+	return c
+}
+
+// Fig7Chart renders per-action recovery (the paper's Figure 7 layout:
+// one bar group per action, one series per participant).
+func Fig7Chart(rows []Fig7Row) *plot.BarChart {
+	c := &plot.BarChart{Title: "Fig 7: RBRR per action", YLabel: "RBRR %", YMax: 100}
+	participants := map[int]bool{}
+	for _, r := range rows {
+		for p := range r.PerParticipant {
+			participants[p] = true
+		}
+	}
+	var plist []int
+	for p := range participants {
+		plist = append(plist, p)
+	}
+	sortInts(plist)
+	series := make([]plot.Series, len(plist))
+	for i, p := range plist {
+		series[i] = plot.Series{Name: fmt.Sprintf("p%d", p)}
+	}
+	for _, r := range rows {
+		c.XLabels = append(c.XLabels, shortAction(r.Action))
+		for i, p := range plist {
+			series[i].Values = append(series[i].Values, r.PerParticipant[p])
+		}
+	}
+	c.Series = series
+	return c
+}
+
+// Fig8Chart renders the speed sweep (grouped by action, one series per
+// speed class, as in the paper's Figure 8).
+func Fig8Chart(rows []Fig8Row) *plot.BarChart {
+	c := &plot.BarChart{Title: "Fig 8: RBRR vs action speed", YLabel: "RBRR %", YMax: 100}
+	actions := []person.Action{person.ActionArmWave, person.ActionClap}
+	speeds := []person.Speed{person.SpeedSlow, person.SpeedAverage, person.SpeedFast}
+	for _, a := range actions {
+		c.XLabels = append(c.XLabels, shortAction(a))
+	}
+	for _, s := range speeds {
+		serie := plot.Series{Name: s.String()}
+		for _, a := range actions {
+			v := 0.0
+			for _, r := range rows {
+				if r.Action == a && r.Speed == s {
+					v = r.MeanRBRR
+				}
+			}
+			serie.Values = append(serie.Values, v)
+		}
+		c.Series = append(c.Series, serie)
+	}
+	return c
+}
+
+// Fig9Chart renders the accessory comparison.
+func Fig9Chart(rows []Fig9Row) *plot.BarChart {
+	c := &plot.BarChart{Title: "Fig 9: RBRR per accessory", YLabel: "RBRR %", YMax: 100}
+	s := plot.Series{Name: "rbrr"}
+	for _, r := range rows {
+		c.XLabels = append(c.XLabels, r.Label)
+		s.Values = append(s.Values, r.MeanRBRR)
+	}
+	c.Series = []plot.Series{s}
+	return c
+}
+
+// Fig12aChart renders group recovery.
+func Fig12aChart(rows []Fig12aRow) *plot.BarChart {
+	c := &plot.BarChart{Title: "Fig 12a: RBRR in E2/E3", YLabel: "RBRR %", YMax: 100}
+	s := plot.Series{Name: "rbrr"}
+	for _, r := range rows {
+		c.XLabels = append(c.XLabels, shortGroup(r.Group))
+		s.Values = append(s.Values, r.MeanRBRR)
+	}
+	c.Series = []plot.Series{s}
+	return c
+}
+
+// LocationChart renders a top-k success profile (Figures 12b and 15b):
+// one bar group per caller group plus the random baseline, one series
+// per k.
+func LocationChart(res *Fig12bResult, title string) *plot.BarChart {
+	c := &plot.BarChart{Title: title, YLabel: "videos %", YMax: 100}
+	for _, r := range res.Rows {
+		c.XLabels = append(c.XLabels, shortGroup(r.Group))
+	}
+	c.XLabels = append(c.XLabels, "random")
+	for _, k := range TopKs {
+		s := plot.Series{Name: fmt.Sprintf("top-%d", k)}
+		for _, r := range res.Rows {
+			s.Values = append(s.Values, r.TopK[k])
+		}
+		s.Values = append(s.Values, res.RandomBaseline[k])
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// Fig15aChart renders mitigated claimed-vs-verified recovery.
+func Fig15aChart(rows []Fig15aRow) *plot.BarChart {
+	c := &plot.BarChart{Title: "Fig 15a: RBRR under dynamic VB", YLabel: "RBRR %", YMax: 100}
+	claimed := plot.Series{Name: "claimed"}
+	verified := plot.Series{Name: "verified"}
+	for _, r := range rows {
+		c.XLabels = append(c.XLabels, shortGroup(r.Group))
+		claimed.Values = append(claimed.Values, r.ClaimedRBRR)
+		verified.Values = append(verified.Values, r.TruePct)
+	}
+	c.Series = []plot.Series{claimed, verified}
+	return c
+}
+
+// HeuristicsChart renders the Section IX-B heuristic comparison.
+func HeuristicsChart(rows []HeuristicRow) *plot.BarChart {
+	c := &plot.BarChart{Title: "IX-B heuristics: verified recovery", YLabel: "recov %", YMax: 100}
+	s := plot.Series{Name: "verified"}
+	for _, r := range rows {
+		c.XLabels = append(c.XLabels, r.Heuristic)
+		s.Values = append(s.Values, r.VerifiedPct)
+	}
+	c.Series = []plot.Series{s}
+	return c
+}
+
+func shortAction(a person.Action) string {
+	switch a {
+	case person.ActionLeanForward:
+		return "leanF"
+	case person.ActionLeanBackward:
+		return "leanB"
+	case person.ActionArmWave:
+		return "wave"
+	case person.ActionRotate:
+		return "rotate"
+	case person.ActionClap:
+		return "clap"
+	case person.ActionStretch:
+		return "stretch"
+	case person.ActionType:
+		return "type"
+	case person.ActionDrink:
+		return "drink"
+	case person.ActionEnterRoom:
+		return "enter"
+	case person.ActionExitRoom:
+		return "exit"
+	default:
+		return a.String()
+	}
+}
+
+func shortGroup(g Group) string {
+	switch g {
+	case GroupPassive:
+		return "passive"
+	case GroupActive:
+		return "active"
+	case GroupWild:
+		return "wild"
+	default:
+		return g.String()
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

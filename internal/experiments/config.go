@@ -1,0 +1,148 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VIII) and mitigation study (Section IX) on the
+// synthetic datasets of internal/dataset. Each experiment returns typed
+// rows plus a renderable Table; cmd/experiments prints the full suite
+// and bench_test.go wraps each experiment as a testing.B benchmark.
+// EXPERIMENTS.md records paper-vs-measured numbers.
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"github.com/bgbuster/bgbuster/internal/compositor"
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/dataset"
+	"github.com/bgbuster/bgbuster/internal/metrics"
+	"github.com/bgbuster/bgbuster/internal/segment"
+)
+
+// Config controls the experiment suite.
+type Config struct {
+	// Data is the dataset scale (geometry, frames, seed).
+	Data dataset.Config
+	// Profile is the compositor under attack (Zoom unless an experiment
+	// says otherwise).
+	Profile compositor.Profile
+	// DictSize is the location-inference dictionary size (paper: 200).
+	DictSize int
+	// Limit caps the number of calls per experiment group (0 = all);
+	// tests and quick benches use small limits.
+	Limit int
+	// MatchTolDelta adjusts core matching tolerance if a camera profile
+	// needs it (0 keeps core defaults).
+	MatchTolDelta int
+	// Workers caps pipeline parallelism (0 = GOMAXPROCS). Results are
+	// bit-identical regardless of the worker count: every call's
+	// randomness is independently seeded.
+	Workers int
+}
+
+// DefaultConfig returns the full-scale suite configuration.
+func DefaultConfig() Config {
+	return Config{
+		Data:     dataset.DefaultConfig(),
+		Profile:  compositor.ProfileZoom(),
+		DictSize: 200,
+	}
+}
+
+// QuickConfig returns a scaled-down configuration for tests and smoke
+// runs: smaller frames and tight per-group limits.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Data.W, cfg.Data.H = 120, 90
+	cfg.Data.E1Frames, cfg.Data.E2Frames, cfg.Data.E3Frames = 40, 60, 50
+	cfg.DictSize = 24
+	cfg.Limit = 3
+	return cfg
+}
+
+// limit applies the per-group call cap.
+func (c Config) limit(calls []*dataset.Call) []*dataset.Call {
+	if c.Limit > 0 && len(calls) > c.Limit {
+		return calls[:c.Limit]
+	}
+	return calls
+}
+
+// callSeed derives a deterministic int64 from the config seed and the
+// call ID for attacker-side randomness.
+func (c Config) callSeed(id string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", c.Data.Seed, id)
+	return int64(h.Sum64())
+}
+
+// vbNameFor cycles the built-in virtual images across calls so the
+// dataset uses several popular backgrounds, as real users would.
+func (c Config) vbNameFor(id string) string {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return compositor.BuiltinImageNames[int(h.Sum32())%len(compositor.BuiltinImageNames)]
+}
+
+// callRun is one call taken through compose → reconstruct → verify.
+type callRun struct {
+	call     *dataset.Call
+	rendered *dataset.Rendered
+	composed *compositor.Result
+	rec      *core.Reconstruction
+	verify   metrics.Verification
+	// playbackPSNR is set by heuristics that degrade the stream (0 when
+	// not applicable).
+	playbackPSNR float64
+}
+
+// runCall executes the standard pipeline: render the call, compose it
+// with the profile and a per-call built-in virtual image, reconstruct
+// with the known-image attack, verify against the true background.
+// transform, when non-nil, is a mitigation hook.
+func (c Config) runCall(call *dataset.Call, profile compositor.Profile, transform compositor.VBTransform) (*callRun, error) {
+	return c.runCallWith(call, profile, transform, nil)
+}
+
+// runCallWith additionally lets ablation experiments mutate the
+// reconstruction options before the attack runs.
+func (c Config) runCallWith(call *dataset.Call, profile compositor.Profile, transform compositor.VBTransform, mutate func(*core.Options)) (*callRun, error) {
+	rendered, err := call.Render()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", call.ID, err)
+	}
+	rng := rand.New(rand.NewSource(c.callSeed(call.ID)))
+	vb := compositor.StaticImage{Img: compositor.BuiltinImage(c.vbNameFor(call.ID), call.W, call.H)}
+	// Cleaner capture hardware lets the software separate better (the
+	// paper's E3 lighting/camera observation).
+	if call.Camera.MattingErrScale > 0 {
+		if profile.Matting.ErrScale == 0 {
+			profile.Matting.ErrScale = 1
+		}
+		profile.Matting.ErrScale *= call.Camera.MattingErrScale
+	}
+	composed, err := compositor.Compose(rendered.Raw, rendered.Silhouettes, compositor.Options{
+		Profile:   profile,
+		Virtual:   vb,
+		Transform: transform,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", call.ID, err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.MatchTol += c.MatchTolDelta
+	opts.KnownImages = compositor.BuiltinImages(call.W, call.H)
+	opts.Segmenter = segment.NewOfflineSegmenter(rng)
+	if mutate != nil {
+		mutate(&opts)
+	}
+	rec, err := core.Reconstruct(composed.Blended, rendered.Silhouettes, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", call.ID, err)
+	}
+	ver, err := metrics.Verify(rec, rendered.TrueBackground, 30)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", call.ID, err)
+	}
+	return &callRun{call: call, rendered: rendered, composed: composed, rec: rec, verify: ver}, nil
+}

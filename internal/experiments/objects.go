@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/bgbuster/bgbuster/internal/attacks/objdetect"
+	"github.com/bgbuster/bgbuster/internal/attacks/objtrack"
+	"github.com/bgbuster/bgbuster/internal/attacks/textinfer"
+	"github.com/bgbuster/bgbuster/internal/dataset"
+	"github.com/bgbuster/bgbuster/internal/scene"
+)
+
+// ObjTrackResult reproduces the paper's specific-object-tracking
+// evaluation (Section VIII-D): the paper tracked 90 individual objects
+// across participant backgrounds with 96.7 % accuracy.
+type ObjTrackResult struct {
+	// Objects is the number of (object, reconstruction) decisions made:
+	// both present-object detections and absent-object rejections.
+	Objects int
+	// Correct counts correct decisions.
+	Correct int
+	// Accuracy = Correct / Objects in percent.
+	Accuracy float64
+	// TruePositives / TrueNegatives break the decisions down.
+	TruePositives, TrueNegatives int
+}
+
+// trackableKinds are the object kinds the tracker is evaluated on (the
+// paper tracked shirts, posters, paintings, toys, bookshelves, books —
+// our synthetic vocabulary's counterparts).
+var trackableKinds = []scene.ObjectKind{
+	scene.KindPoster, scene.KindTV, scene.KindWindow, scene.KindBookshelf, scene.KindDoor,
+}
+
+// ObjectTrackingTable runs the specific-object-tracking attack over
+// reconstructions of E2/E3 calls: for each reconstructed call, every
+// trackable inventory object is searched for with its own template
+// (expected present), and with a template from a different scene
+// (expected absent).
+func ObjectTrackingTable(cfg Config) (*ObjTrackResult, error) {
+	runs, err := groupRuns(cfg, cfg.Profile, nil)
+	if err != nil {
+		return nil, err
+	}
+	opts := objtrack.DefaultOptions()
+	res := &ObjTrackResult{}
+	// Foreign templates come from filler scenes.
+	foreign := dataset.FillerScenes(cfg.Data, 3)
+
+	for _, g := range []Group{GroupPassive, GroupActive, GroupWild} {
+		for _, run := range runs[g] {
+			sc := run.rendered.Scene
+			for _, kind := range trackableKinds {
+				for _, obj := range sc.Find(kind) {
+					tpl := sc.Template(obj)
+					if tpl == nil {
+						continue
+					}
+					// Only decidable objects count, mirroring the
+					// paper's ≥50 %-recovered window constraint: an
+					// object whose region the reconstruction never
+					// touched was not among the paper's 90 either.
+					if bboxRecovered(run, obj) < opts.MinRecoveredFrac {
+						continue
+					}
+					m, err := objtrack.Track(run.rec, tpl, opts)
+					if err != nil {
+						return nil, err
+					}
+					res.Objects++
+					if m.Found {
+						res.Correct++
+						res.TruePositives++
+					}
+				}
+			}
+			// One absent-object probe per call: a poster from a foreign
+			// scene that this scene does not contain.
+			for _, fsc := range foreign {
+				posters := fsc.Find(scene.KindPoster)
+				if len(posters) == 0 {
+					continue
+				}
+				tpl := fsc.Template(posters[0])
+				m, err := objtrack.Track(run.rec, tpl, opts)
+				if err != nil {
+					return nil, err
+				}
+				res.Objects++
+				if !m.Found {
+					res.Correct++
+					res.TrueNegatives++
+				}
+				break
+			}
+		}
+	}
+	if res.Objects > 0 {
+		res.Accuracy = 100 * float64(res.Correct) / float64(res.Objects)
+	}
+	return res, nil
+}
+
+// Table renders the tracking result.
+func (r *ObjTrackResult) Table() *Table {
+	return &Table{
+		Title:   "Section VIII-D — specific object tracking",
+		Columns: []string{"decisions", "correct", "accuracy", "present hits", "absent rejections"},
+		Rows: [][]string{{
+			count(r.Objects), count(r.Correct), pct(r.Accuracy),
+			count(r.TruePositives), count(r.TrueNegatives),
+		}},
+		Notes: []string{"paper: 90 objects tracked with 96.7% accuracy"},
+	}
+}
+
+// DetectionResult reproduces the generic-object + text-inference
+// evaluation (Section VIII-D): counts of object classes detected in
+// reconstructed backgrounds, and text recovered from sticky notes.
+type DetectionResult struct {
+	// DetectedByKind maps an object label to the number of
+	// reconstructions in which at least one correct (IoU ≥ 0.3)
+	// detection of that kind appeared.
+	DetectedByKind map[string]int
+	// Model is the detector profile used.
+	Model objdetect.Model
+	// TextRecovered counts calls where sticky-note text was read with
+	// ≥ 50 % of characters correct; TextTotal counts calls whose scene
+	// carried text.
+	TextRecovered, TextTotal int
+	// Examples holds recovered text strings.
+	Examples []string
+	Calls    int
+}
+
+// GenericDetectionTable runs the generic detector and the text-inference
+// attack over E2/E3 reconstructions.
+func GenericDetectionTable(cfg Config, model objdetect.Model) (*DetectionResult, error) {
+	runs, err := groupRuns(cfg, cfg.Profile, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &DetectionResult{DetectedByKind: map[string]int{}, Model: model}
+	for _, g := range []Group{GroupPassive, GroupActive, GroupWild} {
+		for _, run := range runs[g] {
+			res.Calls++
+			dets := objdetect.Detect(run.rec, model)
+			found := map[string]bool{}
+			for _, obj := range run.rendered.Scene.Objects {
+				for _, d := range dets {
+					if d.Kind == obj.Kind && d.IoU(obj.X0, obj.Y0, obj.X1, obj.Y1) >= 0.3 {
+						found[obj.Kind.String()] = true
+					}
+				}
+			}
+			for k := range found {
+				res.DetectedByKind[k]++
+			}
+
+			// Text inference.
+			truth := ""
+			for _, o := range run.rendered.Scene.Find(scene.KindStickyNote) {
+				if o.Text != "" {
+					truth = o.Text
+					break
+				}
+			}
+			if truth == "" {
+				continue
+			}
+			res.TextTotal++
+			results := textinfer.Infer(run.rec, textinfer.DefaultOptions())
+			for _, tr := range results {
+				if textMatchFrac(tr.Text, truth) >= 0.5 {
+					res.TextRecovered++
+					res.Examples = append(res.Examples, fmt.Sprintf("%q (truth %q, %s)", tr.Text, truth, run.call.ID))
+					break
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// bboxRecovered returns the fraction of the object's bounding box the
+// reconstruction recovered.
+func bboxRecovered(run *callRun, obj scene.Object) float64 {
+	total, got := 0, 0
+	for y := obj.Y0; y < obj.Y1; y++ {
+		for x := obj.X0; x < obj.X1; x++ {
+			total++
+			if run.rec.Coverage.At(x, y) {
+				got++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(got) / float64(total)
+}
+
+// textMatchFrac returns the fraction of truth characters matched at the
+// aligned position of the recognised string.
+func textMatchFrac(got, truth string) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	best := 0
+	// Try all alignments of got within truth (and vice versa).
+	for off := -len(got); off <= len(truth); off++ {
+		match := 0
+		for i := 0; i < len(truth); i++ {
+			j := i - off
+			if j >= 0 && j < len(got) && got[j] == truth[i] {
+				match++
+			}
+		}
+		if match > best {
+			best = match
+		}
+	}
+	return float64(best) / float64(len(truth))
+}
+
+// Table renders the detection result.
+func (r *DetectionResult) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Section VIII-D — generic object & text detection (%s)", r.Model),
+		Columns: []string{"object class", "reconstructions containing a correct detection"},
+	}
+	kinds := make([]string, 0, len(r.DetectedByKind))
+	for k := range r.DetectedByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		t.Rows = append(t.Rows, []string{k, count(r.DetectedByKind[k])})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("text recovered in %d of %d text-bearing calls", r.TextRecovered, r.TextTotal),
+		"paper: books ×4, TV ×2, shirts ×1, monitors ×3, clock ×1; text from one sticky note")
+	if len(r.Examples) > 0 {
+		t.Notes = append(t.Notes, "recovered text: "+strings.Join(r.Examples, "; "))
+	}
+	return t
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/bgbuster/bgbuster/internal/compositor"
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/dataset"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/person"
+	"github.com/bgbuster/bgbuster/internal/scene"
+	"github.com/bgbuster/bgbuster/internal/vidstream"
+)
+
+// VBMRRow is one virtual-background masking measurement.
+type VBMRRow struct {
+	Mode  core.VBMode
+	VB    string
+	VBMR  float64
+	Calls int
+}
+
+// VBMRResult reproduces Section VIII-B: VBMR with three virtual images
+// and two virtual videos, with the ground-truth background included in
+// the candidate dataset (known) and excluded (unknown derivation).
+type VBMRResult struct {
+	Rows []VBMRRow
+	// KnownMean / UnknownMean aggregate the known and unknown rows
+	// (paper: ≈98.7 % and ≈92.6 %).
+	KnownMean   float64
+	UnknownMean float64
+}
+
+// vbmrImages are the paper's "three different virtual images".
+var vbmrImages = []string{"beach", "office", "space"}
+
+// vbmrVideos are the paper's "two virtual videos".
+var vbmrVideos = []string{"waves", "aurora"}
+
+// VBMRTable measures VBMR across the four VB-acquisition modes on
+// E2-length calls.
+func VBMRTable(cfg Config) (*VBMRResult, error) {
+	// One active E2 call per participant keeps the 10-setting sweep
+	// tractable; active callers match the paper's 10-minute call
+	// footage, whose motion keeps the caller-adjacent zone unstable.
+	var calls []*dataset.Call
+	for i, c := range dataset.E2(cfg.Data) {
+		if i%5 == 4 {
+			calls = append(calls, c)
+		}
+	}
+	calls = cfg.limit(calls)
+	res := &VBMRResult{}
+
+	knownImgs := map[string]*imagex.Image{}
+	for _, n := range vbmrImages {
+		knownImgs[n] = compositor.BuiltinImage(n, cfg.Data.W, cfg.Data.H)
+	}
+	const vidPeriod = 12
+	knownVids := map[string][]*imagex.Image{}
+	for _, n := range vbmrVideos {
+		knownVids[n] = compositor.BuiltinVideo(n, cfg.Data.W, cfg.Data.H, vidPeriod).Frames
+	}
+
+	type setting struct {
+		mode core.VBMode
+		vb   string
+	}
+	var settings []setting
+	for _, n := range vbmrImages {
+		settings = append(settings,
+			setting{core.VBKnownImage, n}, setting{core.VBUnknownImage, n})
+	}
+	for _, n := range vbmrVideos {
+		settings = append(settings,
+			setting{core.VBKnownVideo, n}, setting{core.VBUnknownVideo, n})
+	}
+
+	var knownSum, knownN, unknownSum, unknownN float64
+	for _, st := range settings {
+		var sum float64
+		var n int
+		for _, call := range calls {
+			v, err := vbmrOne(cfg, call, st.mode, st.vb, knownImgs, knownVids, vidPeriod)
+			if err != nil {
+				return nil, err
+			}
+			sum += v
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		mean := sum / float64(n)
+		res.Rows = append(res.Rows, VBMRRow{Mode: st.mode, VB: st.vb, VBMR: mean, Calls: n})
+		switch st.mode {
+		case core.VBKnownImage, core.VBKnownVideo:
+			knownSum += mean
+			knownN++
+		default:
+			unknownSum += mean
+			unknownN++
+		}
+	}
+	if knownN > 0 {
+		res.KnownMean = knownSum / knownN
+	}
+	if unknownN > 0 {
+		res.UnknownMean = unknownSum / unknownN
+	}
+	return res, nil
+}
+
+// vbmrOne composes one call with the named virtual background and
+// measures the attained VBMR for the given acquisition mode.
+func vbmrOne(cfg Config, call *dataset.Call, mode core.VBMode, vbName string, knownImgs map[string]*imagex.Image, knownVids map[string][]*imagex.Image, vidPeriod int) (float64, error) {
+	rendered, err := call.Render()
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(cfg.callSeed(call.ID + vbName + mode.String())))
+
+	var virtual compositor.VirtualSource
+	switch mode {
+	case core.VBKnownImage, core.VBUnknownImage:
+		virtual = compositor.StaticImage{Img: compositor.BuiltinImage(vbName, call.W, call.H)}
+	default:
+		virtual = compositor.BuiltinVideo(vbName, call.W, call.H, vidPeriod)
+	}
+	codec := vidstream.DefaultCodecConfig()
+	composed, err := compositor.Compose(rendered.Raw, rendered.Silhouettes, compositor.Options{
+		Profile: cfg.Profile,
+		Virtual: virtual,
+		Codec:   &codec,
+	}, rng)
+	if err != nil {
+		return 0, err
+	}
+
+	// Measure the masking stage directly, per the paper's definition:
+	// VBMR is the share of each frame's should-be-virtual-background
+	// region (everything except the true caller) that the attacker's
+	// VBM removes after applying the blending-blur dilation. The
+	// residual is what the framework would mistake for leaked
+	// background; for unknown modes it additionally contains the
+	// underived zone around the caller, which is exactly why the paper's
+	// unknown VBMR (≈92.6 %) trails the known VBMR (≈98.7 %).
+	opts := core.DefaultOptions()
+	opts.Mode = mode
+	opts.KnownImages = knownImgs
+	opts.KnownVideos = knownVids
+	opts.MaxLoopPeriod = 2 * vidPeriod
+	vbFor, _, _, err := core.ResolveVBMasker(composed.Blended, opts)
+	if err != nil {
+		return 0, err
+	}
+	sum, n := 0.0, 0
+	for i, f := range composed.Blended.Frames {
+		shouldBeVB := rendered.Silhouettes[i].Clone()
+		shouldBeVB.Invert()
+		total := shouldBeVB.Count()
+		if total == 0 {
+			continue
+		}
+		masked := vbFor(i, f).Dilate(opts.Phi).Overlap(shouldBeVB)
+		sum += 100 * float64(masked) / float64(total)
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("experiments: vbmr: no background pixels in %s", call.ID)
+	}
+	return sum / float64(n), nil
+}
+
+// Table renders the result.
+func (r *VBMRResult) Table() *Table {
+	t := &Table{
+		Title:   "Section VIII-B — Virtual Background Masking Rate",
+		Columns: []string{"mode", "virtual background", "VBMR", "calls"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.Mode.String(), row.VB, pct(row.VBMR), count(row.Calls)})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("known mean %s (paper ≈98.7%%), unknown mean %s (paper ≈92.6%%)",
+			pct(r.KnownMean), pct(r.UnknownMean)))
+	return t
+}
+
+// PhiRow is one blur-radius calibration measurement.
+type PhiRow struct {
+	Profile      string
+	TrueRadius   int
+	EstimatedPhi int
+}
+
+// PhiCalibration reproduces the paper's φ derivation (Section VIII-C):
+// the adversary applies a virtual background to a static scene with the
+// target software and measures the average blur depth by comparing the
+// virtual image, the real background, and the output.
+func PhiCalibration(cfg Config) ([]PhiRow, error) {
+	var rows []PhiRow
+	for _, profile := range []compositor.Profile{compositor.ProfileZoom(), compositor.ProfileSkype()} {
+		rng := rand.New(rand.NewSource(cfg.Data.Seed + 77))
+		sc := scene.Generate(scene.Config{W: cfg.Data.W, H: cfg.Data.H, Clutter: 0.5}, rng)
+		p := person.New(person.Config{}, rng)
+
+		raw := vidstream.New(cfg.Data.FPS)
+		f := sc.Lit(1.0)
+		sil := p.Render(f, 0, 1)
+		if err := raw.Append(f); err != nil {
+			return nil, err
+		}
+		// Probe with an error-free profile: the paper probes static
+		// images, where matting errors are negligible.
+		probe := profile
+		probe.Matting.WarmupPatches = 0
+		probe.Matting.LeakRate = 0
+		probe.Matting.CutRate = 0
+
+		vb := compositor.BuiltinImage("gradient", cfg.Data.W, cfg.Data.H)
+		composed, err := compositor.Compose(raw, []*imagex.Mask{sil}, compositor.Options{
+			Profile: probe,
+			Virtual: compositor.StaticImage{Img: vb},
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		phi, err := core.EstimatePhi(composed.Blended.Frames[0], raw.Frames[0], vb, 8)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PhiRow{Profile: profile.Name, TrueRadius: profile.BlendRadius, EstimatedPhi: phi})
+	}
+	return rows, nil
+}
+
+// PhiTable renders the calibration rows.
+func PhiTable(rows []PhiRow) *Table {
+	t := &Table{
+		Title:   "Section VIII-C — blur radius φ calibration",
+		Columns: []string{"profile", "true blend radius", "estimated φ"},
+		Notes: []string{
+			"paper derives φ=20 at 1280×720; the simulator's proportional radius is 3 at 160×120",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Profile, count(r.TrueRadius), count(r.EstimatedPhi)})
+	}
+	return t
+}

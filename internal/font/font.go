@@ -1,0 +1,170 @@
+// Package font provides a 5×7 bitmap font. The scene generator renders
+// background text (posters, sticky notes) with it, and the text-inference
+// attack (the paper's TextFuseNet substitute) uses the same glyph set as
+// its matching templates — so recognition accuracy measures how much of
+// the text survives partial background recovery, not font mismatch.
+package font
+
+import (
+	"strings"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// GlyphW and GlyphH are the pixel dimensions of every glyph.
+const (
+	GlyphW = 5
+	GlyphH = 7
+	// Spacing is the blank column count between adjacent glyphs.
+	Spacing = 1
+)
+
+// glyphs maps each supported rune to 7 rows of 5 cells; 'X' marks an ink
+// pixel. Only upper-case letters, digits and basic punctuation are
+// defined; Render upper-cases its input.
+var glyphs = map[rune][GlyphH]string{
+	'A':  {" XXX ", "X   X", "X   X", "XXXXX", "X   X", "X   X", "X   X"},
+	'B':  {"XXXX ", "X   X", "X   X", "XXXX ", "X   X", "X   X", "XXXX "},
+	'C':  {" XXX ", "X   X", "X    ", "X    ", "X    ", "X   X", " XXX "},
+	'D':  {"XXXX ", "X   X", "X   X", "X   X", "X   X", "X   X", "XXXX "},
+	'E':  {"XXXXX", "X    ", "X    ", "XXXX ", "X    ", "X    ", "XXXXX"},
+	'F':  {"XXXXX", "X    ", "X    ", "XXXX ", "X    ", "X    ", "X    "},
+	'G':  {" XXX ", "X   X", "X    ", "X XXX", "X   X", "X   X", " XXX "},
+	'H':  {"X   X", "X   X", "X   X", "XXXXX", "X   X", "X   X", "X   X"},
+	'I':  {" XXX ", "  X  ", "  X  ", "  X  ", "  X  ", "  X  ", " XXX "},
+	'J':  {"  XXX", "   X ", "   X ", "   X ", "   X ", "X  X ", " XX  "},
+	'K':  {"X   X", "X  X ", "X X  ", "XX   ", "X X  ", "X  X ", "X   X"},
+	'L':  {"X    ", "X    ", "X    ", "X    ", "X    ", "X    ", "XXXXX"},
+	'M':  {"X   X", "XX XX", "X X X", "X X X", "X   X", "X   X", "X   X"},
+	'N':  {"X   X", "XX  X", "X X X", "X  XX", "X   X", "X   X", "X   X"},
+	'O':  {" XXX ", "X   X", "X   X", "X   X", "X   X", "X   X", " XXX "},
+	'P':  {"XXXX ", "X   X", "X   X", "XXXX ", "X    ", "X    ", "X    "},
+	'Q':  {" XXX ", "X   X", "X   X", "X   X", "X X X", "X  X ", " XX X"},
+	'R':  {"XXXX ", "X   X", "X   X", "XXXX ", "X X  ", "X  X ", "X   X"},
+	'S':  {" XXXX", "X    ", "X    ", " XXX ", "    X", "    X", "XXXX "},
+	'T':  {"XXXXX", "  X  ", "  X  ", "  X  ", "  X  ", "  X  ", "  X  "},
+	'U':  {"X   X", "X   X", "X   X", "X   X", "X   X", "X   X", " XXX "},
+	'V':  {"X   X", "X   X", "X   X", "X   X", "X   X", " X X ", "  X  "},
+	'W':  {"X   X", "X   X", "X   X", "X X X", "X X X", "XX XX", "X   X"},
+	'X':  {"X   X", "X   X", " X X ", "  X  ", " X X ", "X   X", "X   X"},
+	'Y':  {"X   X", "X   X", " X X ", "  X  ", "  X  ", "  X  ", "  X  "},
+	'Z':  {"XXXXX", "    X", "   X ", "  X  ", " X   ", "X    ", "XXXXX"},
+	'0':  {" XXX ", "X   X", "X  XX", "X X X", "XX  X", "X   X", " XXX "},
+	'1':  {"  X  ", " XX  ", "  X  ", "  X  ", "  X  ", "  X  ", " XXX "},
+	'2':  {" XXX ", "X   X", "    X", "   X ", "  X  ", " X   ", "XXXXX"},
+	'3':  {" XXX ", "X   X", "    X", "  XX ", "    X", "X   X", " XXX "},
+	'4':  {"   X ", "  XX ", " X X ", "X  X ", "XXXXX", "   X ", "   X "},
+	'5':  {"XXXXX", "X    ", "XXXX ", "    X", "    X", "X   X", " XXX "},
+	'6':  {" XXX ", "X    ", "X    ", "XXXX ", "X   X", "X   X", " XXX "},
+	'7':  {"XXXXX", "    X", "   X ", "  X  ", " X   ", " X   ", " X   "},
+	'8':  {" XXX ", "X   X", "X   X", " XXX ", "X   X", "X   X", " XXX "},
+	'9':  {" XXX ", "X   X", "X   X", " XXXX", "    X", "    X", " XXX "},
+	' ':  {"     ", "     ", "     ", "     ", "     ", "     ", "     "},
+	'.':  {"     ", "     ", "     ", "     ", "     ", "  XX ", "  XX "},
+	',':  {"     ", "     ", "     ", "     ", "  XX ", "  XX ", " X   "},
+	'!':  {"  X  ", "  X  ", "  X  ", "  X  ", "  X  ", "     ", "  X  "},
+	'?':  {" XXX ", "X   X", "    X", "   X ", "  X  ", "     ", "  X  "},
+	'-':  {"     ", "     ", "     ", "XXXXX", "     ", "     ", "     "},
+	':':  {"     ", "  XX ", "  XX ", "     ", "  XX ", "  XX ", "     "},
+	'\'': {"  X  ", "  X  ", "     ", "     ", "     ", "     ", "     "},
+}
+
+// Supported returns the sorted set of runes the font defines, excluding
+// the space character (which has no ink and cannot be template-matched).
+func Supported() []rune {
+	var rs []rune
+	for r := range glyphs {
+		if r != ' ' {
+			rs = append(rs, r)
+		}
+	}
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j] < rs[j-1]; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+	return rs
+}
+
+// Has reports whether the font defines the (upper-cased) rune.
+func Has(r rune) bool {
+	_, ok := glyphs[upper(r)]
+	return ok
+}
+
+// GlyphMask returns the 5×7 ink mask for the (upper-cased) rune and
+// whether it is defined.
+func GlyphMask(r rune) (*imagex.Mask, bool) {
+	rows, ok := glyphs[upper(r)]
+	if !ok {
+		return nil, false
+	}
+	m := imagex.NewMask(GlyphW, GlyphH)
+	for y, row := range rows {
+		for x, cell := range row {
+			if cell == 'X' {
+				m.Set(x, y, true)
+			}
+		}
+	}
+	return m, true
+}
+
+// Measure returns the pixel width and height of the rendered text.
+// Undefined runes render as spaces and still occupy a cell.
+func Measure(text string) (w, h int) {
+	n := len([]rune(text))
+	if n == 0 {
+		return 0, 0
+	}
+	return n*GlyphW + (n-1)*Spacing, GlyphH
+}
+
+// Render draws text onto img with its top-left corner at (ox, oy), in
+// ink colour c. Input is upper-cased; undefined runes are skipped but
+// keep their cell so layout is stable. It returns the advance width.
+func Render(img *imagex.Image, text string, ox, oy int, c imagex.RGB) int {
+	x := ox
+	for _, r := range strings.ToUpper(text) {
+		if rows, ok := glyphs[r]; ok {
+			for gy, row := range rows {
+				for gx, cell := range row {
+					if cell == 'X' {
+						img.Set(x+gx, oy+gy, c)
+					}
+				}
+			}
+		}
+		x += GlyphW + Spacing
+	}
+	return x - ox - Spacing
+}
+
+// RenderScaled draws text with integer scale factor s ≥ 1 (each font
+// pixel becomes an s×s block). It returns the advance width.
+func RenderScaled(img *imagex.Image, text string, ox, oy, s int, c imagex.RGB) int {
+	if s < 1 {
+		s = 1
+	}
+	x := ox
+	for _, r := range strings.ToUpper(text) {
+		if rows, ok := glyphs[r]; ok {
+			for gy, row := range rows {
+				for gx, cell := range row {
+					if cell == 'X' {
+						img.FillRect(x+gx*s, oy+gy*s, x+(gx+1)*s, oy+(gy+1)*s, c)
+					}
+				}
+			}
+		}
+		x += (GlyphW + Spacing) * s
+	}
+	return x - ox - Spacing*s
+}
+
+func upper(r rune) rune {
+	if r >= 'a' && r <= 'z' {
+		return r - 'a' + 'A'
+	}
+	return r
+}

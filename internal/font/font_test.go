@@ -1,0 +1,153 @@
+package font
+
+import (
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+func TestAllGlyphsWellFormed(t *testing.T) {
+	for r, rows := range glyphs {
+		for y, row := range rows {
+			if len(row) != GlyphW {
+				t.Errorf("glyph %q row %d has width %d, want %d", r, y, len(row), GlyphW)
+			}
+			for _, cell := range row {
+				if cell != 'X' && cell != ' ' {
+					t.Errorf("glyph %q contains invalid cell %q", r, cell)
+				}
+			}
+		}
+	}
+}
+
+func TestGlyphsPairwiseDistinct(t *testing.T) {
+	// Every pair of inked glyphs must differ in at least 2 pixels so the
+	// OCR template matcher can separate them under mild noise.
+	rs := Supported()
+	masks := make(map[rune]*imagex.Mask, len(rs))
+	for _, r := range rs {
+		m, ok := GlyphMask(r)
+		if !ok {
+			t.Fatalf("Supported rune %q has no mask", r)
+		}
+		if m.Count() == 0 {
+			t.Fatalf("glyph %q has no ink", r)
+		}
+		masks[r] = m
+	}
+	for i, a := range rs {
+		for _, b := range rs[i+1:] {
+			diff := 0
+			for k := range masks[a].Bits {
+				if masks[a].Bits[k] != masks[b].Bits[k] {
+					diff++
+				}
+			}
+			if diff < 2 {
+				t.Errorf("glyphs %q and %q differ by only %d pixels", a, b, diff)
+			}
+		}
+	}
+}
+
+func TestSupportedSortedAndComplete(t *testing.T) {
+	rs := Supported()
+	if len(rs) != len(glyphs)-1 {
+		t.Fatalf("Supported() returned %d runes, want %d", len(rs), len(glyphs)-1)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1] >= rs[i] {
+			t.Fatalf("Supported() not strictly sorted at %d: %q >= %q", i, rs[i-1], rs[i])
+		}
+	}
+	for _, r := range rs {
+		if r == ' ' {
+			t.Fatal("Supported() must exclude space")
+		}
+	}
+}
+
+func TestHasCaseInsensitive(t *testing.T) {
+	if !Has('a') || !Has('Z') || !Has('7') {
+		t.Fatal("expected defined glyphs")
+	}
+	if Has('~') || Has('€') {
+		t.Fatal("unexpected glyphs defined")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	w, h := Measure("")
+	if w != 0 || h != 0 {
+		t.Fatal("empty text must measure 0x0")
+	}
+	w, h = Measure("AB")
+	if w != 2*GlyphW+Spacing || h != GlyphH {
+		t.Fatalf("Measure(AB) = %dx%d", w, h)
+	}
+}
+
+func TestRenderInkMatchesGlyph(t *testing.T) {
+	img := imagex.New(10, 10)
+	ink := imagex.RGB{R: 200}
+	adv := Render(img, "i", 1, 1, ink) // lower-case input
+	if adv != GlyphW {
+		t.Fatalf("advance = %d, want %d", adv, GlyphW)
+	}
+	mask, _ := GlyphMask('I')
+	for y := 0; y < GlyphH; y++ {
+		for x := 0; x < GlyphW; x++ {
+			want := imagex.Black
+			if mask.At(x, y) {
+				want = ink
+			}
+			if got := img.At(1+x, 1+y); got != want {
+				t.Fatalf("pixel (%d,%d) = %v, want %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestRenderUndefinedRuneKeepsCell(t *testing.T) {
+	img := imagex.New(30, 10)
+	Render(img, "A~B", 0, 0, imagex.White)
+	// 'B' must start at cell 2 regardless of '~' being undefined.
+	bx := 2 * (GlyphW + Spacing)
+	found := false
+	for y := 0; y < GlyphH && !found; y++ {
+		for x := 0; x < GlyphW; x++ {
+			if img.At(bx+x, y) == imagex.White {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("third cell empty; undefined rune collapsed layout")
+	}
+}
+
+func TestRenderScaled(t *testing.T) {
+	img := imagex.New(40, 40)
+	RenderScaled(img, "T", 0, 0, 3, imagex.White)
+	// Top row of T is fully inked: 5*3 = 15 pixels wide, 3 tall.
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 15; x++ {
+			if img.At(x, y) != imagex.White {
+				t.Fatalf("scaled T top bar missing pixel (%d,%d)", x, y)
+			}
+		}
+	}
+	// Scale < 1 behaves as 1.
+	img2 := imagex.New(10, 10)
+	RenderScaled(img2, "T", 0, 0, 0, imagex.White)
+	if img2.At(0, 0) != imagex.White {
+		t.Fatal("scale 0 must clamp to 1")
+	}
+}
+
+func TestRenderClipsAtBorder(t *testing.T) {
+	img := imagex.New(4, 4)
+	Render(img, "WWW", -2, -2, imagex.White) // must not panic
+}

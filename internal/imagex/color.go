@@ -1,0 +1,137 @@
+package imagex
+
+import "math"
+
+// HSV holds a hue-saturation-value triple. H is in degrees [0, 360), S
+// and V are in [0, 1]. The location-inference attack (Section VI) matches
+// on hue while ignoring saturation, which is dominated by ambient light.
+type HSV struct {
+	H, S, V float64
+}
+
+// ToHSV converts an RGB pixel to HSV.
+func (c RGB) ToHSV() HSV {
+	r := float64(c.R) / 255
+	g := float64(c.G) / 255
+	b := float64(c.B) / 255
+	maxC := math.Max(r, math.Max(g, b))
+	minC := math.Min(r, math.Min(g, b))
+	delta := maxC - minC
+
+	var h float64
+	switch {
+	case delta == 0:
+		h = 0
+	case maxC == r:
+		h = 60 * math.Mod((g-b)/delta, 6)
+	case maxC == g:
+		h = 60 * ((b-r)/delta + 2)
+	default:
+		h = 60 * ((r-g)/delta + 4)
+	}
+	if h < 0 {
+		h += 360
+	}
+
+	s := 0.0
+	if maxC > 0 {
+		s = delta / maxC
+	}
+	return HSV{H: h, S: s, V: maxC}
+}
+
+// ToRGB converts an HSV triple back to RGB. Out-of-range components are
+// clamped so the conversion is total.
+func (c HSV) ToRGB() RGB {
+	h := math.Mod(c.H, 360)
+	if h < 0 {
+		h += 360
+	}
+	s := clamp01(c.S)
+	v := clamp01(c.V)
+
+	cc := v * s
+	x := cc * (1 - math.Abs(math.Mod(h/60, 2)-1))
+	m := v - cc
+
+	var r, g, b float64
+	switch {
+	case h < 60:
+		r, g, b = cc, x, 0
+	case h < 120:
+		r, g, b = x, cc, 0
+	case h < 180:
+		r, g, b = 0, cc, x
+	case h < 240:
+		r, g, b = 0, x, cc
+	case h < 300:
+		r, g, b = x, 0, cc
+	default:
+		r, g, b = cc, 0, x
+	}
+	return RGB{
+		R: clampU8((r + m) * 255),
+		G: clampU8((g + m) * 255),
+		B: clampU8((b + m) * 255),
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// HueDistance returns the circular distance between two hues in degrees,
+// in [0, 180].
+func HueDistance(a, b float64) float64 {
+	d := math.Abs(normHue(a) - normHue(b))
+	if d > 180 {
+		d = 360 - d
+	}
+	return d
+}
+
+// normHue maps any finite hue into [0, 360).
+func normHue(h float64) float64 {
+	h = math.Mod(h, 360)
+	if h < 0 {
+		h += 360
+	}
+	return h
+}
+
+// Luminance returns the Rec. 601 luma of the pixel in [0, 255]. The
+// compositor's matting error model keys on scene luminance (darker scenes
+// segment worse).
+func (c RGB) Luminance() float64 {
+	return 0.299*float64(c.R) + 0.587*float64(c.G) + 0.114*float64(c.B)
+}
+
+// MeanLuminance returns the average luma over all pixels of the image.
+func (im *Image) MeanLuminance() float64 {
+	if len(im.Pix) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range im.Pix {
+		sum += p.Luminance()
+	}
+	return sum / float64(len(im.Pix))
+}
+
+// Lerp linearly interpolates between two pixels: t=0 yields a, t=1 yields
+// b. It is the alpha-blending primitive used by the compositor's blend
+// band (Figure 1 of the paper).
+func Lerp(a, b RGB, t float64) RGB {
+	t = clamp01(t)
+	return RGB{
+		R: clampU8(float64(a.R) + (float64(b.R)-float64(a.R))*t),
+		G: clampU8(float64(a.G) + (float64(b.G)-float64(a.G))*t),
+		B: clampU8(float64(a.B) + (float64(b.B)-float64(a.B))*t),
+	}
+}

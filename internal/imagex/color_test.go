@@ -1,0 +1,116 @@
+package imagex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestToHSVKnownColors(t *testing.T) {
+	cases := []struct {
+		in   RGB
+		want HSV
+	}{
+		{RGB{255, 0, 0}, HSV{0, 1, 1}},
+		{RGB{0, 255, 0}, HSV{120, 1, 1}},
+		{RGB{0, 0, 255}, HSV{240, 1, 1}},
+		{RGB{255, 255, 255}, HSV{0, 0, 1}},
+		{RGB{0, 0, 0}, HSV{0, 0, 0}},
+		{RGB{128, 128, 128}, HSV{0, 0, 128.0 / 255}},
+	}
+	for _, c := range cases {
+		got := c.in.ToHSV()
+		if math.Abs(got.H-c.want.H) > 0.5 || math.Abs(got.S-c.want.S) > 0.01 || math.Abs(got.V-c.want.V) > 0.01 {
+			t.Errorf("ToHSV(%v) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHSVRoundTrip(t *testing.T) {
+	f := func(r, g, b uint8) bool {
+		in := RGB{r, g, b}
+		out := in.ToHSV().ToRGB()
+		// Rounding through float HSV can move each channel by at most 1.
+		return absInt(int(in.R)-int(out.R)) <= 1 &&
+			absInt(int(in.G)-int(out.G)) <= 1 &&
+			absInt(int(in.B)-int(out.B)) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToRGBClampsInputs(t *testing.T) {
+	c := HSV{H: -30, S: 5, V: -2}.ToRGB()
+	if c != Black {
+		t.Fatalf("negative value must clamp to black, got %v", c)
+	}
+	c = HSV{H: 725, S: 1, V: 1}.ToRGB()
+	want := HSV{H: 5, S: 1, V: 1}.ToRGB()
+	if c != want {
+		t.Fatalf("hue wraps mod 360: got %v want %v", c, want)
+	}
+}
+
+func TestHueDistance(t *testing.T) {
+	cases := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0},
+		{0, 180, 180},
+		{10, 350, 20},
+		{350, 10, 20},
+		{90, 270, 180},
+		{-10, 10, 20},
+	}
+	for _, c := range cases {
+		if got := HueDistance(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("HueDistance(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPropertyHueDistanceMetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 1e6)
+		b = math.Mod(b, 1e6)
+		d := HueDistance(a, b)
+		return d >= 0 && d <= 180 && math.Abs(d-HueDistance(b, a)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLuminanceOrdering(t *testing.T) {
+	if Black.Luminance() != 0 {
+		t.Fatal("black luminance must be 0")
+	}
+	if w := White.Luminance(); math.Abs(w-255) > 0.01 {
+		t.Fatalf("white luminance = %v", w)
+	}
+	if (RGB{0, 255, 0}).Luminance() <= (RGB{0, 0, 255}).Luminance() {
+		t.Fatal("green must be brighter than blue under Rec. 601")
+	}
+}
+
+func TestMeanLuminance(t *testing.T) {
+	im := New(2, 1)
+	im.Set(0, 0, White)
+	got := im.MeanLuminance()
+	if math.Abs(got-127.5) > 0.01 {
+		t.Fatalf("MeanLuminance = %v, want 127.5", got)
+	}
+}
+
+func TestMeanLuminanceUniformInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		c := RGB{uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))}
+		im := NewFilled(5, 5, c)
+		if math.Abs(im.MeanLuminance()-c.Luminance()) > 1e-9 {
+			t.Fatalf("uniform image luminance mismatch for %v", c)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package imagex
+
+// Drawing primitives used by the scene and person renderers. All
+// primitives clip silently at the image border, and each has a twin that
+// also records the painted pixels into a mask so renderers can produce
+// ground-truth silhouettes alongside pixels.
+
+// FillRect fills the axis-aligned rectangle [x0,x1)×[y0,y1) with c.
+func (im *Image) FillRect(x0, y0, x1, y1 int, c RGB) {
+	im.fillRectMask(x0, y0, x1, y1, c, nil)
+}
+
+// FillRectMask fills a rectangle and records painted pixels in m (when m
+// is non-nil and of matching size).
+func (im *Image) FillRectMask(x0, y0, x1, y1 int, c RGB, m *Mask) {
+	im.fillRectMask(x0, y0, x1, y1, c, m)
+}
+
+func (im *Image) fillRectMask(x0, y0, x1, y1 int, c RGB, m *Mask) {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	for y := maxInt(y0, 0); y < minInt(y1, im.H); y++ {
+		for x := maxInt(x0, 0); x < minInt(x1, im.W); x++ {
+			im.Pix[y*im.W+x] = c
+			if m != nil && m.W == im.W && m.H == im.H {
+				m.Bits[y*im.W+x] = true
+			}
+		}
+	}
+}
+
+// StrokeRect draws a 1-pixel outline of the rectangle [x0,x1)×[y0,y1).
+func (im *Image) StrokeRect(x0, y0, x1, y1 int, c RGB) {
+	im.FillRect(x0, y0, x1, y0+1, c)
+	im.FillRect(x0, y1-1, x1, y1, c)
+	im.FillRect(x0, y0, x0+1, y1, c)
+	im.FillRect(x1-1, y0, x1, y1, c)
+}
+
+// FillEllipse fills the ellipse centred at (cx, cy) with radii rx, ry.
+func (im *Image) FillEllipse(cx, cy, rx, ry int, c RGB) {
+	im.FillEllipseMask(cx, cy, rx, ry, c, nil)
+}
+
+// FillEllipseMask fills an ellipse and records painted pixels in m.
+func (im *Image) FillEllipseMask(cx, cy, rx, ry int, c RGB, m *Mask) {
+	if rx <= 0 || ry <= 0 {
+		return
+	}
+	rx2 := float64(rx * rx)
+	ry2 := float64(ry * ry)
+	for y := cy - ry; y <= cy+ry; y++ {
+		for x := cx - rx; x <= cx+rx; x++ {
+			dx := float64(x - cx)
+			dy := float64(y - cy)
+			if dx*dx/rx2+dy*dy/ry2 <= 1 {
+				if im.In(x, y) {
+					im.Pix[y*im.W+x] = c
+					if m != nil && m.W == im.W && m.H == im.H {
+						m.Bits[y*im.W+x] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// FillCircle fills the disc of the given radius centred at (cx, cy).
+func (im *Image) FillCircle(cx, cy, r int, c RGB) {
+	im.FillEllipse(cx, cy, r, r, c)
+}
+
+// StrokeCircle draws an approximate 1-pixel circle outline; the clock
+// face in the scene renderer uses it.
+func (im *Image) StrokeCircle(cx, cy, r int, c RGB) {
+	if r <= 0 {
+		return
+	}
+	x, y, err := r, 0, 1-r
+	for x >= y {
+		for _, p := range [][2]int{
+			{cx + x, cy + y}, {cx - x, cy + y}, {cx + x, cy - y}, {cx - x, cy - y},
+			{cx + y, cy + x}, {cx - y, cy + x}, {cx + y, cy - x}, {cx - y, cy - x},
+		} {
+			im.Set(p[0], p[1], c)
+		}
+		y++
+		if err < 0 {
+			err += 2*y + 1
+		} else {
+			x--
+			err += 2*(y-x) + 1
+		}
+	}
+}
+
+// DrawLine draws a 1-pixel Bresenham line from (x0, y0) to (x1, y1).
+func (im *Image) DrawLine(x0, y0, x1, y1 int, c RGB) {
+	im.DrawThickLineMask(x0, y0, x1, y1, 1, c, nil)
+}
+
+// DrawThickLineMask draws a line of the given thickness (a disc stamped
+// at every line pixel) and records painted pixels in m. Person limbs are
+// drawn with it.
+func (im *Image) DrawThickLineMask(x0, y0, x1, y1, thickness int, c RGB, m *Mask) {
+	r := thickness / 2
+	dx := absInt(x1 - x0)
+	dy := -absInt(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	e := dx + dy
+	x, y := x0, y0
+	for {
+		if r <= 0 {
+			if im.In(x, y) {
+				im.Pix[y*im.W+x] = c
+				if m != nil && m.W == im.W && m.H == im.H {
+					m.Bits[y*im.W+x] = true
+				}
+			}
+		} else {
+			im.FillEllipseMask(x, y, r, r, c, m)
+		}
+		if x == x1 && y == y1 {
+			return
+		}
+		e2 := 2 * e
+		if e2 >= dy {
+			e += dy
+			x += sx
+		}
+		if e2 <= dx {
+			e += dx
+			y += sy
+		}
+	}
+}
+
+// Paste copies src onto the image with its top-left corner at (ox, oy),
+// clipping at the border.
+func (im *Image) Paste(src *Image, ox, oy int) {
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			im.Set(ox+x, oy+y, src.Pix[y*src.W+x])
+		}
+	}
+}
+
+// Crop returns a copy of the sub-rectangle [x0,x1)×[y0,y1), clipped to
+// the image; it returns nil if the clipped region is empty.
+func (im *Image) Crop(x0, y0, x1, y1 int) *Image {
+	x0, y0 = maxInt(x0, 0), maxInt(y0, 0)
+	x1, y1 = minInt(x1, im.W), minInt(y1, im.H)
+	if x1 <= x0 || y1 <= y0 {
+		return nil
+	}
+	out := New(x1-x0, y1-y0)
+	for y := y0; y < y1; y++ {
+		copy(out.Pix[(y-y0)*out.W:(y-y0+1)*out.W], im.Pix[y*im.W+x0:y*im.W+x1])
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

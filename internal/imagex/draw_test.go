@@ -1,0 +1,152 @@
+package imagex
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFillRectClipsAndRecordsMask(t *testing.T) {
+	im := New(4, 4)
+	m := NewMask(4, 4)
+	c := RGB{1, 2, 3}
+	im.FillRectMask(-2, -2, 2, 2, c, m)
+	if im.At(0, 0) != c || im.At(1, 1) != c {
+		t.Fatal("clipped fill missing pixels")
+	}
+	if im.At(2, 2) != Black {
+		t.Fatal("fill overshot")
+	}
+	if m.Count() != 4 {
+		t.Fatalf("mask recorded %d pixels, want 4", m.Count())
+	}
+}
+
+func TestFillRectSwappedCoords(t *testing.T) {
+	im := New(4, 4)
+	im.FillRect(3, 3, 1, 1, White)
+	if im.At(1, 1) != White || im.At(2, 2) != White {
+		t.Fatal("swapped-coordinate fill failed")
+	}
+}
+
+func TestStrokeRect(t *testing.T) {
+	im := New(5, 5)
+	im.StrokeRect(0, 0, 5, 5, White)
+	if im.At(0, 0) != White || im.At(4, 4) != White || im.At(0, 4) != White {
+		t.Fatal("outline corners missing")
+	}
+	if im.At(2, 2) != Black {
+		t.Fatal("outline filled interior")
+	}
+}
+
+func TestFillEllipse(t *testing.T) {
+	im := New(11, 11)
+	m := NewMask(11, 11)
+	im.FillEllipseMask(5, 5, 3, 2, White, m)
+	if im.At(5, 5) != White || im.At(8, 5) != White || im.At(5, 7) != White {
+		t.Fatal("ellipse extremes missing")
+	}
+	if im.At(8, 7) == White {
+		t.Fatal("ellipse overshoots corner")
+	}
+	if m.Count() == 0 {
+		t.Fatal("ellipse mask not recorded")
+	}
+	// Degenerate radii are no-ops.
+	before := im.Clone()
+	im.FillEllipse(5, 5, 0, 4, RGB{9, 9, 9})
+	if !im.Equal(before) {
+		t.Fatal("zero-radius ellipse drew pixels")
+	}
+}
+
+func TestStrokeCircleOnCircumference(t *testing.T) {
+	im := New(21, 21)
+	im.StrokeCircle(10, 10, 5, White)
+	for _, p := range [][2]int{{15, 10}, {5, 10}, {10, 15}, {10, 5}} {
+		if im.At(p[0], p[1]) != White {
+			t.Fatalf("circle missing point %v", p)
+		}
+	}
+	if im.At(10, 10) == White {
+		t.Fatal("circle centre painted")
+	}
+}
+
+func TestDrawLineEndpointsAndDiagonal(t *testing.T) {
+	im := New(5, 5)
+	im.DrawLine(0, 0, 4, 4, White)
+	for i := 0; i < 5; i++ {
+		if im.At(i, i) != White {
+			t.Fatalf("diagonal missing (%d,%d)", i, i)
+		}
+	}
+}
+
+func TestDrawThickLineMask(t *testing.T) {
+	im := New(11, 11)
+	m := NewMask(11, 11)
+	im.DrawThickLineMask(1, 5, 9, 5, 5, White, m)
+	if im.At(5, 5) != White || im.At(5, 3) != White || im.At(5, 7) != White {
+		t.Fatal("thick line too thin")
+	}
+	if m.Count() == 0 {
+		t.Fatal("thick line mask not recorded")
+	}
+}
+
+func TestPasteAndCrop(t *testing.T) {
+	base := New(6, 6)
+	patch := NewFilled(2, 2, RGB{3, 3, 3})
+	base.Paste(patch, 2, 2)
+	if base.At(2, 2) != (RGB{3, 3, 3}) || base.At(3, 3) != (RGB{3, 3, 3}) {
+		t.Fatal("paste failed")
+	}
+	base.Paste(patch, 5, 5) // clipped paste must not panic
+	if base.At(5, 5) != (RGB{3, 3, 3}) {
+		t.Fatal("clipped paste missing corner pixel")
+	}
+
+	c := base.Crop(2, 2, 4, 4)
+	if c == nil || c.W != 2 || c.H != 2 || c.At(0, 0) != (RGB{3, 3, 3}) {
+		t.Fatal("crop wrong")
+	}
+	if base.Crop(5, 5, 5, 5) != nil {
+		t.Fatal("empty crop must be nil")
+	}
+	if base.Crop(-10, -10, -5, -5) != nil {
+		t.Fatal("fully out-of-bounds crop must be nil")
+	}
+}
+
+func TestPNGRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "frame.png")
+	im := New(8, 6)
+	im.FillRect(1, 1, 5, 4, RGB{200, 30, 90})
+	im.FillCircle(6, 3, 2, RGB{10, 220, 10})
+	if err := im.WritePNG(path); err != nil {
+		t.Fatalf("WritePNG: %v", err)
+	}
+	back, err := ReadPNG(path)
+	if err != nil {
+		t.Fatalf("ReadPNG: %v", err)
+	}
+	if !im.Equal(back) {
+		t.Fatal("PNG round trip altered pixels")
+	}
+}
+
+func TestReadPNGMissingFile(t *testing.T) {
+	if _, err := ReadPNG(filepath.Join(t.TempDir(), "nope.png")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestWritePNGBadPath(t *testing.T) {
+	if err := New(1, 1).WritePNG(string(os.PathSeparator) + "no-such-dir-xyz/f.png"); err == nil {
+		t.Fatal("expected error for bad path")
+	}
+}

@@ -1,0 +1,82 @@
+package imagex
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"math/rand"
+	"os"
+)
+
+// ToStd converts the frame to a standard-library *image.RGBA for
+// encoding.
+func (im *Image) ToStd() *image.RGBA {
+	out := image.NewRGBA(image.Rect(0, 0, im.W, im.H))
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			p := im.Pix[y*im.W+x]
+			out.SetRGBA(x, y, color.RGBA{R: p.R, G: p.G, B: p.B, A: 255})
+		}
+	}
+	return out
+}
+
+// FromStd converts a standard-library image to a frame, dropping alpha.
+func FromStd(src image.Image) *Image {
+	b := src.Bounds()
+	out := New(b.Dx(), b.Dy())
+	for y := 0; y < out.H; y++ {
+		for x := 0; x < out.W; x++ {
+			r, g, bl, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			out.Pix[y*out.W+x] = RGB{R: uint8(r >> 8), G: uint8(g >> 8), B: uint8(bl >> 8)}
+		}
+	}
+	return out
+}
+
+// WritePNG encodes the frame as a PNG file at path.
+func (im *Image) WritePNG(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("imagex: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("imagex: close %s: %w", path, cerr)
+		}
+	}()
+	if err := png.Encode(f, im.ToStd()); err != nil {
+		return fmt.Errorf("imagex: encode %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadPNG decodes a PNG file into a frame.
+func ReadPNG(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("imagex: open %s: %w", path, err)
+	}
+	defer f.Close()
+	src, err := png.Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("imagex: decode %s: %w", path, err)
+	}
+	return FromStd(src), nil
+}
+
+// AddNoise perturbs every pixel by a uniform offset in [−amp, amp] per
+// channel, modelling camera sensor noise. amp ≤ 0 is a no-op.
+func (im *Image) AddNoise(rng *rand.Rand, amp int) {
+	if amp <= 0 {
+		return
+	}
+	for i, p := range im.Pix {
+		im.Pix[i] = RGB{
+			R: clampU8(float64(int(p.R) + rng.Intn(2*amp+1) - amp)),
+			G: clampU8(float64(int(p.G) + rng.Intn(2*amp+1) - amp)),
+			B: clampU8(float64(int(p.B) + rng.Intn(2*amp+1) - amp)),
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+func TestVBMRExtremes(t *testing.T) {
+	vb := imagex.NewFullMask(10, 10)
+
+	none := imagex.NewMask(10, 10)
+	got, err := VBMR(none, vb)
+	if err != nil || got != 100 {
+		t.Fatalf("no claims → VBMR = %v (%v), want 100", got, err)
+	}
+
+	all := imagex.NewFullMask(10, 10)
+	got, err = VBMR(all, vb)
+	if err != nil || got != 0 {
+		t.Fatalf("all claimed → VBMR = %v, want 0", got)
+	}
+
+	half := imagex.NewMask(10, 10)
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 5; x++ {
+			half.Set(x, y, true)
+		}
+	}
+	got, err = VBMR(half, vb)
+	if err != nil || got != 50 {
+		t.Fatalf("half claimed → VBMR = %v, want 50", got)
+	}
+}
+
+func TestVBMREmptyVB(t *testing.T) {
+	got, err := VBMR(imagex.NewFullMask(4, 4), imagex.NewMask(4, 4))
+	if err != nil || got != 100 {
+		t.Fatalf("empty VB → VBMR = %v, want 100", got)
+	}
+}
+
+func TestVBMRSizeMismatch(t *testing.T) {
+	if _, err := VBMR(imagex.NewMask(2, 2), imagex.NewMask(3, 3)); !errors.Is(err, imagex.ErrBounds) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestVideoVBMR(t *testing.T) {
+	vb := imagex.NewFullMask(4, 4)
+	clean := imagex.NewMask(4, 4)
+	dirty := imagex.NewFullMask(4, 4)
+	got, err := VideoVBMR([]*imagex.Mask{clean, dirty}, []*imagex.Mask{vb, vb})
+	if err != nil || got != 50 {
+		t.Fatalf("VideoVBMR = %v (%v), want 50", got, err)
+	}
+	if _, err := VideoVBMR([]*imagex.Mask{clean}, []*imagex.Mask{vb, vb}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := VideoVBMR(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func recWith(w, h int, claims map[int]imagex.RGB) *core.Reconstruction {
+	rec := &core.Reconstruction{
+		Recovered: imagex.New(w, h),
+		Coverage:  imagex.NewMask(w, h),
+	}
+	for i, c := range claims {
+		rec.Coverage.Bits[i] = true
+		rec.Recovered.Pix[i] = c
+	}
+	return rec
+}
+
+func TestVerify(t *testing.T) {
+	truth := imagex.NewFilled(10, 10, imagex.RGB{R: 100, G: 100, B: 100})
+	rec := recWith(10, 10, map[int]imagex.RGB{
+		0: {R: 100, G: 100, B: 100}, // correct claim
+		1: {R: 101, G: 99, B: 100},  // correct within tol
+		2: {R: 10, G: 200, B: 10},   // false claim
+	})
+	v, err := Verify(rec, truth, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.ClaimedPct-3) > 1e-9 {
+		t.Fatalf("ClaimedPct = %v, want 3", v.ClaimedPct)
+	}
+	if math.Abs(v.TruePct-2) > 1e-9 {
+		t.Fatalf("TruePct = %v, want 2", v.TruePct)
+	}
+	if math.Abs(v.Precision-2.0/3) > 1e-9 {
+		t.Fatalf("Precision = %v, want 2/3", v.Precision)
+	}
+}
+
+func TestVerifyEmptyClaims(t *testing.T) {
+	truth := imagex.New(4, 4)
+	v, err := Verify(recWith(4, 4, nil), truth, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Precision != 1 || v.ClaimedPct != 0 || v.TruePct != 0 {
+		t.Fatalf("empty verification = %+v", v)
+	}
+}
+
+func TestVerifySizeMismatch(t *testing.T) {
+	if _, err := Verify(recWith(2, 2, nil), imagex.New(3, 3), 0); !errors.Is(err, imagex.ErrBounds) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestRBRRDelegates(t *testing.T) {
+	rec := recWith(10, 10, map[int]imagex.RGB{0: {}, 1: {}})
+	if got := RBRR(rec); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("RBRR = %v, want 2", got)
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	if Mean(nil) != 0 || Stddev(nil) != 0 {
+		t.Fatal("empty stats must be 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); math.Abs(m-5) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+	if s := Stddev(xs); math.Abs(s-2.138089935) > 1e-6 {
+		t.Fatalf("stddev = %v", s)
+	}
+	if Stddev([]float64{3}) != 0 {
+		t.Fatal("single-sample stddev must be 0")
+	}
+}

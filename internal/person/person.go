@@ -1,0 +1,223 @@
+// Package person renders an articulated 2-D video caller: head, hair,
+// torso and two-segment arms, plus optional accessories. It substitutes
+// for the paper's human-subject participants (E1/E2): each of the ten
+// scripted actions is a kinematic program whose speed and amplitude are
+// parameterised, so the evaluation can sweep exactly the independent
+// variables of the paper's Figures 7–11 (action, speed, accessories,
+// apparel, lighting).
+package person
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// Action enumerates the ten E1 actions (paper Section VII-A; the listed
+// "exiting/entering room" counts as two actions, completing the ten).
+type Action int
+
+// The ten scripted actions.
+const (
+	ActionLeanForward Action = iota + 1
+	ActionLeanBackward
+	ActionArmWave
+	ActionRotate
+	ActionClap
+	ActionStretch
+	ActionType
+	ActionDrink
+	ActionEnterRoom
+	ActionExitRoom
+)
+
+// Actions lists all ten actions in presentation order (the order of the
+// paper's Figure 7 x-axis).
+var Actions = []Action{
+	ActionLeanForward, ActionLeanBackward, ActionArmWave, ActionRotate,
+	ActionClap, ActionStretch, ActionType, ActionDrink,
+	ActionEnterRoom, ActionExitRoom,
+}
+
+// String returns the report label for the action.
+func (a Action) String() string {
+	switch a {
+	case ActionLeanForward:
+		return "lean-forward"
+	case ActionLeanBackward:
+		return "lean-backward"
+	case ActionArmWave:
+		return "arm-waving"
+	case ActionRotate:
+		return "rotating"
+	case ActionClap:
+		return "clapping"
+	case ActionStretch:
+		return "stretching"
+	case ActionType:
+		return "typing"
+	case ActionDrink:
+		return "drinking"
+	case ActionEnterRoom:
+		return "entering-room"
+	case ActionExitRoom:
+		return "exiting-room"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Speed is the subjective action-speed class of the paper's Figure 8.
+type Speed int
+
+// Speed classes.
+const (
+	SpeedSlow Speed = iota + 1
+	SpeedAverage
+	SpeedFast
+)
+
+// String returns the report label for the speed class.
+func (s Speed) String() string {
+	switch s {
+	case SpeedSlow:
+		return "slow"
+	case SpeedAverage:
+		return "average"
+	case SpeedFast:
+		return "fast"
+	default:
+		return fmt.Sprintf("speed(%d)", int(s))
+	}
+}
+
+// period returns the cycle duration in seconds for the action at this
+// speed. The numbers reproduce the paper's measured [action speed]
+// values: clapping 0.9 / 0.26 / 0.11 s and arm-waving 2.3 / 0.9 / 0.7 s
+// for slow / average / fast; other actions interpolate sensibly.
+func (s Speed) period(a Action) float64 {
+	type sp struct{ slow, avg, fast float64 }
+	table := map[Action]sp{
+		ActionClap:    {0.9, 0.26, 0.11},
+		ActionArmWave: {2.3, 0.9, 0.7},
+	}
+	p, ok := table[a]
+	if !ok {
+		p = sp{2.0, 1.2, 0.6}
+	}
+	switch s {
+	case SpeedSlow:
+		return p.slow
+	case SpeedFast:
+		return p.fast
+	default:
+		return p.avg
+	}
+}
+
+// ActionPeriod exposes the cycle duration (seconds) of an action at
+// this speed class — the paper's Action Speed values.
+func (s Speed) ActionPeriod(a Action) float64 { return s.period(a) }
+
+// amplitude scales motion extent per speed class. Slower executions
+// sweep wider arcs — the mechanism behind the paper's observation that
+// slow actions displace more pixels (Fig. 8 discussion).
+func (s Speed) amplitude() float64 {
+	switch s {
+	case SpeedSlow:
+		return 1.25
+	case SpeedFast:
+		return 0.68
+	default:
+		return 0.82
+	}
+}
+
+// Accessories are the wearable items of the paper's Figure 9.
+type Accessories struct {
+	Hat        bool
+	Headphones bool
+}
+
+// Engagement describes caller behaviour outside scripted actions,
+// matching the paper's E2 split.
+type Engagement int
+
+// Engagement levels.
+const (
+	// EngagementPassive models a caller passively watching content:
+	// breathing and rare micro-fidgets only.
+	EngagementPassive Engagement = iota + 1
+	// EngagementActive models a presenting caller: talking head motion
+	// plus frequent arm gestures.
+	EngagementActive
+)
+
+// Config describes one rendered caller.
+type Config struct {
+	Action Action
+	Speed  Speed
+	// Engagement layers talking/gesturing on top of the action; the
+	// zero value means the scripted action alone (E1 style).
+	Engagement  Engagement
+	Accessories Accessories
+
+	// SkinTone, HairColor and ShirtColor set the body palette. Zero
+	// values pick defaults.
+	SkinTone   imagex.RGB
+	HairColor  imagex.RGB
+	ShirtColor imagex.RGB
+
+	// Scale multiplies all body dimensions (1.0 = default: torso fills
+	// roughly the centre third of a 160×120 frame).
+	Scale float64
+}
+
+// withDefaults fills zero-valued fields.
+func (c Config) withDefaults() Config {
+	if c.Speed == 0 {
+		c.Speed = SpeedAverage
+	}
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	zero := imagex.RGB{}
+	if c.SkinTone == zero {
+		c.SkinTone = imagex.RGB{R: 224, G: 172, B: 136}
+	}
+	if c.HairColor == zero {
+		c.HairColor = imagex.RGB{R: 60, G: 40, B: 25}
+	}
+	if c.ShirtColor == zero {
+		c.ShirtColor = imagex.RGB{R: 40, G: 80, B: 160}
+	}
+	return c
+}
+
+// Person renders a configured caller over time. A Person is not safe for
+// concurrent use; each goroutine should create its own.
+type Person struct {
+	cfg Config
+	rng *rand.Rand
+	// fidget phases give each person idiosyncratic micro-motion.
+	fidgetPhase float64
+	gestPhase   float64
+}
+
+// New creates a person. rng drives idle micro-motion and must be
+// non-nil.
+func New(cfg Config, rng *rand.Rand) *Person {
+	if rng == nil {
+		panic("person: nil rng")
+	}
+	return &Person{
+		cfg:         cfg.withDefaults(),
+		rng:         rng,
+		fidgetPhase: rng.Float64() * 6.28,
+		gestPhase:   rng.Float64() * 6.28,
+	}
+}
+
+// Config returns the person's effective (defaulted) configuration.
+func (p *Person) Config() Config { return p.cfg }

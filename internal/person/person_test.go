@@ -1,0 +1,268 @@
+package person
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+func newTestPerson(a Action, s Speed) *Person {
+	return New(Config{Action: a, Speed: s}, rand.New(rand.NewSource(1)))
+}
+
+func TestNewNilRngPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil rng")
+		}
+	}()
+	New(Config{}, nil)
+}
+
+func TestConfigDefaults(t *testing.T) {
+	p := New(Config{Action: ActionType}, rand.New(rand.NewSource(1)))
+	cfg := p.Config()
+	if cfg.Speed != SpeedAverage || cfg.Scale != 1.0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.SkinTone == (imagex.RGB{}) || cfg.ShirtColor == (imagex.RGB{}) {
+		t.Fatal("palette defaults missing")
+	}
+}
+
+func TestActionAndSpeedStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Actions {
+		s := a.String()
+		if s == "" || seen[s] {
+			t.Fatalf("action %d label %q invalid/duplicate", a, s)
+		}
+		seen[s] = true
+	}
+	if len(Actions) != 10 {
+		t.Fatalf("paper specifies ten actions, got %d", len(Actions))
+	}
+	if SpeedSlow.String() != "slow" || SpeedFast.String() != "fast" || SpeedAverage.String() != "average" {
+		t.Fatal("speed labels wrong")
+	}
+	if Action(0).String() != "action(0)" || Speed(0).String() != "speed(0)" {
+		t.Fatal("unknown labels wrong")
+	}
+}
+
+func TestSpeedPeriodsMatchPaper(t *testing.T) {
+	// Paper Fig. 8 in-text: clapping 0.9/0.26/0.11 s, waving 2.3/0.9/0.7 s.
+	cases := []struct {
+		a    Action
+		s    Speed
+		want float64
+	}{
+		{ActionClap, SpeedSlow, 0.9},
+		{ActionClap, SpeedAverage, 0.26},
+		{ActionClap, SpeedFast, 0.11},
+		{ActionArmWave, SpeedSlow, 2.3},
+		{ActionArmWave, SpeedAverage, 0.9},
+		{ActionArmWave, SpeedFast, 0.7},
+	}
+	for _, c := range cases {
+		if got := c.s.period(c.a); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("period(%v,%v) = %v, want %v", c.a, c.s, got, c.want)
+		}
+	}
+	if SpeedSlow.amplitude() <= SpeedAverage.amplitude() || SpeedAverage.amplitude() <= SpeedFast.amplitude() {
+		t.Error("amplitude must decrease with speed")
+	}
+}
+
+func TestRenderProducesSilhouette(t *testing.T) {
+	img := imagex.New(160, 120)
+	p := newTestPerson(ActionType, SpeedAverage)
+	m := p.Render(img, 1.0, 8.0)
+	if m.Count() == 0 {
+		t.Fatal("empty silhouette")
+	}
+	frac := m.Fraction()
+	if frac < 0.10 || frac > 0.60 {
+		t.Fatalf("silhouette covers %.2f of frame; implausible", frac)
+	}
+	// Painted pixels and mask must coincide: every non-black pixel is
+	// masked (scene background here is black).
+	for i, px := range img.Pix {
+		if (px != imagex.Black) != m.Bits[i] {
+			t.Fatalf("pixel %d painted=%v masked=%v", i, px != imagex.Black, m.Bits[i])
+		}
+	}
+}
+
+func TestSilhouetteMatchesRender(t *testing.T) {
+	p := newTestPerson(ActionArmWave, SpeedSlow)
+	img := imagex.New(160, 120)
+	m1 := p.Render(img, 0.5, 8)
+	m2 := p.Silhouette(160, 120, 0.5, 8)
+	if !m1.Equal(m2) {
+		t.Fatal("Silhouette must equal Render mask")
+	}
+}
+
+func TestPoseDeterministicInTime(t *testing.T) {
+	p := newTestPerson(ActionClap, SpeedFast)
+	a := p.Pose(1.234, 8)
+	b := p.Pose(1.234, 8)
+	if a != b {
+		t.Fatal("Pose must be a pure function of t")
+	}
+}
+
+func TestArmWaveMovesArm(t *testing.T) {
+	p := newTestPerson(ActionArmWave, SpeedSlow)
+	a := p.Pose(0, 8)
+	b := p.Pose(0.55, 8) // quarter period of 2.3s
+	if a.R.Elbow == b.R.Elbow {
+		t.Fatal("waving arm elbow must move over time")
+	}
+	if a.R.Shoulder < 100 {
+		t.Fatal("waving arm must be raised")
+	}
+}
+
+func TestEnterRoomTimeline(t *testing.T) {
+	p := newTestPerson(ActionEnterRoom, SpeedAverage)
+	const dur = 10.0
+	early := p.Pose(0.2, dur)
+	if early.Present {
+		t.Fatal("caller must be absent at the start of entering-room")
+	}
+	mid := p.Pose(0.35*dur, dur)
+	if !mid.Present || mid.OffsetX >= 0 {
+		t.Fatalf("mid-walk pose wrong: %+v", mid)
+	}
+	late := p.Pose(0.9*dur, dur)
+	if !late.Present || math.Abs(late.OffsetX) > 0.01 {
+		t.Fatalf("after entering, caller must be centred: %+v", late)
+	}
+}
+
+func TestExitRoomTimeline(t *testing.T) {
+	p := newTestPerson(ActionExitRoom, SpeedAverage)
+	const dur = 10.0
+	if pose := p.Pose(0.05*dur, dur); !pose.Present {
+		t.Fatal("caller must start present for exiting-room")
+	}
+	if pose := p.Pose(0.95*dur, dur); pose.Present {
+		t.Fatal("caller must be gone at the end of exiting-room")
+	}
+}
+
+func TestEnterExitZeroDuration(t *testing.T) {
+	p := newTestPerson(ActionEnterRoom, SpeedAverage)
+	pose := p.Pose(1, 0)
+	if !pose.Present {
+		t.Fatal("zero-duration recording must degrade to a neutral pose")
+	}
+}
+
+func TestEnterRoomSweepsDisplacement(t *testing.T) {
+	// Entering the room must displace far more pixels than typing —
+	// the core mechanism behind paper Fig. 7.
+	disp := func(a Action) float64 {
+		p := New(Config{Action: a}, rand.New(rand.NewSource(2)))
+		acc := imagex.NewMask(160, 120)
+		var prev *imagex.Mask
+		const dur = 8.0
+		for i := 0; i < 60; i++ {
+			m := p.Silhouette(160, 120, dur*float64(i)/60, dur)
+			if prev != nil {
+				d := prev.Clone()
+				// Symmetric difference = changed silhouette pixels.
+				if err := d.Union(m); err != nil {
+					t.Fatal(err)
+				}
+				inter := prev.Clone()
+				if err := inter.Intersect(m); err != nil {
+					t.Fatal(err)
+				}
+				if err := d.Subtract(inter); err != nil {
+					t.Fatal(err)
+				}
+				if err := acc.Union(d); err != nil {
+					t.Fatal(err)
+				}
+			}
+			prev = m
+		}
+		return acc.Fraction()
+	}
+	enter := disp(ActionEnterRoom)
+	typing := disp(ActionType)
+	if enter < 2*typing {
+		t.Fatalf("entering displacement (%.3f) must dwarf typing (%.3f)", enter, typing)
+	}
+}
+
+func TestAccessoriesChangeSilhouette(t *testing.T) {
+	base := New(Config{Action: ActionType}, rand.New(rand.NewSource(3)))
+	hat := New(Config{Action: ActionType, Accessories: Accessories{Hat: true}}, rand.New(rand.NewSource(3)))
+	phones := New(Config{Action: ActionType, Accessories: Accessories{Headphones: true}}, rand.New(rand.NewSource(3)))
+
+	mb := base.Silhouette(160, 120, 1, 8)
+	mh := hat.Silhouette(160, 120, 1, 8)
+	mp := phones.Silhouette(160, 120, 1, 8)
+	if mh.Count() <= mb.Count() {
+		t.Fatal("hat must enlarge the silhouette")
+	}
+	if mp.Count() <= mb.Count() {
+		t.Fatal("headphones must enlarge the silhouette")
+	}
+}
+
+func TestEngagementMotionOrdering(t *testing.T) {
+	// Active callers must move their silhouette boundary more than
+	// passive callers (drives Fig. 12a).
+	move := func(e Engagement) int {
+		p := New(Config{Engagement: e}, rand.New(rand.NewSource(4)))
+		a := p.Silhouette(160, 120, 1.0, 60)
+		b := p.Silhouette(160, 120, 2.3, 60)
+		sym := a.Clone()
+		if err := sym.Union(b); err != nil {
+			t.Fatal(err)
+		}
+		inter := a.Clone()
+		if err := inter.Intersect(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := sym.Subtract(inter); err != nil {
+			t.Fatal(err)
+		}
+		return sym.Count()
+	}
+	if move(EngagementActive) <= move(EngagementPassive) {
+		t.Fatal("active engagement must displace more than passive")
+	}
+}
+
+func TestLeanChangesScale(t *testing.T) {
+	fwd := newTestPerson(ActionLeanForward, SpeedSlow)
+	a := fwd.Silhouette(160, 120, 0, 8)
+	// Half period of the default 2s slow cycle: maximum lean.
+	b := fwd.Silhouette(160, 120, 1.0, 8)
+	if b.Count() <= a.Count() {
+		t.Fatal("leaning forward must enlarge the silhouette")
+	}
+	back := newTestPerson(ActionLeanBackward, SpeedSlow)
+	c := back.Silhouette(160, 120, 0, 8)
+	d := back.Silhouette(160, 120, 1.0, 8)
+	if d.Count() >= c.Count() {
+		t.Fatal("leaning backward must shrink the silhouette")
+	}
+}
+
+func TestRotateNarrowsTorso(t *testing.T) {
+	p := newTestPerson(ActionRotate, SpeedSlow)
+	frontal := p.Pose(0, 8)
+	rotated := p.Pose(1.0, 8)
+	if rotated.Width >= frontal.Width {
+		t.Fatal("rotation must squash torso width")
+	}
+}

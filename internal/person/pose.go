@@ -1,0 +1,153 @@
+package person
+
+import "math"
+
+// ArmPose gives one arm's joint angles in degrees. Shoulder is measured
+// from "hanging straight down", positive raising the arm outward/upward
+// in the frame plane; Elbow is flexion added to the forearm direction.
+type ArmPose struct {
+	Shoulder float64
+	Elbow    float64
+}
+
+// Pose is the body state at one instant.
+type Pose struct {
+	// Present is false while the caller is outside the frame
+	// (entering/exiting-room actions).
+	Present bool
+	// OffsetX/OffsetY translate the body anchor, as fractions of frame
+	// width/height.
+	OffsetX, OffsetY float64
+	// Width squashes the torso horizontally (torso rotation); 1 = frontal.
+	Width float64
+	// Lean scales the whole body (leaning toward/away from the camera).
+	Lean float64
+	// HeadTilt shifts the head horizontally in head-radius units.
+	HeadTilt float64
+	// L and R are the arm joint angles.
+	L, R ArmPose
+	// HandJitter adds pixel-scale noise to hand positions (typing).
+	HandJitter float64
+}
+
+func neutralPose() Pose {
+	return Pose{
+		Present: true,
+		Width:   1,
+		Lean:    1,
+		L:       ArmPose{Shoulder: 8, Elbow: 5},
+		R:       ArmPose{Shoulder: 8, Elbow: 5},
+	}
+}
+
+// Pose returns the body state at time t (seconds) within a recording of
+// total length dur (seconds). dur only matters for the entering/exiting
+// actions, whose scripts are phased relative to the recording.
+func (p *Person) Pose(t, dur float64) Pose {
+	cfg := p.cfg
+	T := cfg.Speed.period(cfg.Action)
+	amp := cfg.Speed.amplitude()
+	ph := 2 * math.Pi * t / T
+
+	pose := neutralPose()
+	switch cfg.Action {
+	case ActionLeanForward:
+		pose.Lean = 1 + 0.14*amp*(0.5-0.5*math.Cos(ph))
+	case ActionLeanBackward:
+		pose.Lean = 1 - 0.12*amp*(0.5-0.5*math.Cos(ph))
+	case ActionArmWave:
+		// The whole raised arm swings from the shoulder, sweeping a wide
+		// arc — the high-displacement action of the paper's Figure 8.
+		pose.R = ArmPose{
+			Shoulder: 125 + 50*amp*math.Sin(ph),
+			Elbow:    10 + 15*amp*math.Sin(ph),
+		}
+	case ActionRotate:
+		pose.Width = 1 - 0.38*amp*math.Abs(math.Sin(ph/2))
+		pose.HeadTilt = 0.5 * amp * math.Sin(ph/2)
+	case ActionClap:
+		flex := 0.5 + 0.5*math.Sin(ph)
+		pose.L = ArmPose{Shoulder: 55, Elbow: 25 + 55*amp*flex}
+		pose.R = ArmPose{Shoulder: 55, Elbow: 25 + 55*amp*flex}
+	case ActionStretch:
+		rise := 0.5 - 0.5*math.Cos(ph/2)
+		pose.L = ArmPose{Shoulder: 8 + 125*amp*rise, Elbow: 10}
+		pose.R = ArmPose{Shoulder: 8 + 125*amp*rise, Elbow: 10}
+	case ActionType:
+		pose.L = ArmPose{Shoulder: 22, Elbow: 65}
+		pose.R = ArmPose{Shoulder: 22, Elbow: 65}
+		pose.HandJitter = 0.6 * amp * math.Sin(23.1*t+p.fidgetPhase)
+		pose.OffsetY = 0.002 * math.Sin(ph)
+	case ActionDrink:
+		// Raise cup to mouth and hold: asymmetric cycle.
+		cyc := 0.5 - 0.5*math.Cos(ph/3)
+		pose.R = ArmPose{Shoulder: 15 + 35*amp*cyc, Elbow: 15 + 115*amp*cyc}
+	case ActionEnterRoom:
+		pose = p.enterExitPose(t, dur, true)
+	case ActionExitRoom:
+		pose = p.enterExitPose(t, dur, false)
+	default:
+		// No scripted action: engagement alone drives motion.
+	}
+
+	p.applyEngagement(&pose, t)
+	return pose
+}
+
+// enterExitPose slides the body in from (or out to) the frame edge. The
+// walk crosses the full frame width, sweeping the silhouette across most
+// of the background — the mechanism behind the paper's finding that
+// entering/exiting leaks the most (Fig. 7, ≈38.6 % RBRR).
+func (p *Person) enterExitPose(t, dur float64, entering bool) Pose {
+	pose := neutralPose()
+	if dur <= 0 {
+		return pose
+	}
+	walkStart, walkEnd := 0.15*dur, 0.55*dur
+	const off = -0.95 // fully outside the left edge
+	frac := (t - walkStart) / (walkEnd - walkStart)
+	if !entering {
+		frac = 1 - frac
+	}
+	switch {
+	case frac <= 0:
+		pose.Present = false
+		pose.OffsetX = off
+	case frac >= 1:
+		pose.OffsetX = 0
+	default:
+		pose.OffsetX = off * (1 - frac)
+		// Walking bounce and arm swing.
+		pose.OffsetY = 0.012 * math.Abs(math.Sin(10*frac))
+		swing := 25 * math.Sin(12*frac)
+		pose.L = ArmPose{Shoulder: 10 + swing, Elbow: 15}
+		pose.R = ArmPose{Shoulder: 10 - swing, Elbow: 15}
+	}
+	return pose
+}
+
+// applyEngagement layers passive breathing or active talking/gesturing
+// micro-motion on top of the scripted pose. All terms are deterministic
+// functions of t (phased per person), so posing is reproducible.
+func (p *Person) applyEngagement(pose *Pose, t float64) {
+	if !pose.Present {
+		return
+	}
+	switch p.cfg.Engagement {
+	case EngagementPassive:
+		// Breathing plus rare slow sway.
+		pose.OffsetY += 0.0035 * math.Sin(2*math.Pi*t/4.1+p.fidgetPhase)
+		pose.HeadTilt += 0.06 * math.Sin(2*math.Pi*t/9.7+p.gestPhase)
+	case EngagementActive:
+		// Talking-head motion plus hand gestures: much larger boundary
+		// displacement, the mechanism behind active ≫ passive RBRR
+		// (paper Fig. 12a).
+		pose.OffsetY += 0.008 * math.Sin(2*math.Pi*t/1.9+p.fidgetPhase)
+		pose.HeadTilt += 0.35*math.Sin(2*math.Pi*t/2.6+p.gestPhase) +
+			0.15*math.Sin(2*math.Pi*t/0.9)
+		gest := 0.5 + 0.5*math.Sin(2*math.Pi*t/3.4+p.gestPhase)
+		pose.L.Shoulder += 30 * gest
+		pose.L.Elbow += 45 * gest * math.Sin(2*math.Pi*t/1.3)
+		pose.R.Elbow += 20 * math.Sin(2*math.Pi*t/1.7+p.fidgetPhase)
+	}
+}

@@ -1,0 +1,136 @@
+package person
+
+import (
+	"math"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// Render draws the caller at time t (of a dur-second recording) onto
+// img and returns the exact silhouette mask (accessories included) —
+// the ground-truth foreground the compositor's matting model will try to
+// estimate.
+func (p *Person) Render(img *imagex.Image, t, dur float64) *imagex.Mask {
+	mask := imagex.NewMask(img.W, img.H)
+	pose := p.Pose(t, dur)
+	if !pose.Present {
+		return mask
+	}
+	p.draw(img, mask, pose)
+	return mask
+}
+
+// Silhouette returns only the mask at time t without painting pixels.
+// The offline attacker-side segmenter perturbs this oracle.
+func (p *Person) Silhouette(w, h int, t, dur float64) *imagex.Mask {
+	scratch := imagex.New(w, h)
+	return p.Render(scratch, t, dur)
+}
+
+// body proportions at Scale=1, expressed as fractions of frame height.
+const (
+	propHeadR   = 0.095
+	propTorsoW  = 0.38
+	propTorsoH  = 0.52
+	propArmLen  = 0.21
+	propForeLen = 0.19
+	propArmThk  = 0.065
+	propHandR   = 0.038
+)
+
+func (p *Person) draw(img *imagex.Image, mask *imagex.Mask, pose Pose) {
+	cfg := p.cfg
+	H := float64(img.H)
+	s := cfg.Scale * pose.Lean
+
+	headR := propHeadR * H * s
+	torsoW := propTorsoW * H * s * pose.Width
+	torsoH := propTorsoH * H * s
+	armLen := propArmLen * H * s
+	foreLen := propForeLen * H * s
+	armThk := int(math.Max(2, propArmThk*H*s))
+	handR := int(math.Max(1, propHandR*H*s))
+
+	cx := float64(img.W)/2 + pose.OffsetX*float64(img.W)
+	baseY := float64(img.H) + pose.OffsetY*H
+	shoulderY := baseY - torsoH
+	headCX := cx + pose.HeadTilt*headR
+	headCY := shoulderY - headR*0.85
+
+	// Torso: rounded top (ellipse) over a rectangle reaching the frame
+	// bottom.
+	img.FillEllipseMask(int(cx), int(shoulderY+headR*0.3), int(torsoW/2), int(headR*1.1), cfg.ShirtColor, mask)
+	img.FillRectMask(int(cx-torsoW/2), int(shoulderY+headR*0.3), int(cx+torsoW/2), int(baseY)+1, cfg.ShirtColor, mask)
+	// Fabric folds: darker bands whose positions track the torso
+	// geometry, so leaning/rotating shifts interior pixels — without
+	// them a solid torso is pixel-identical frame to frame and the
+	// unknown-VB derivation would mistake a stationary caller for
+	// virtual background.
+	fold := imagex.Lerp(cfg.ShirtColor, imagex.Black, 0.18)
+	for k := 1; k <= 3; k++ {
+		fy := shoulderY + torsoH*float64(k)/4
+		img.FillRectMask(int(cx-torsoW/2)+1, int(fy), int(cx+torsoW/2)-1, int(fy)+2, fold, mask)
+	}
+
+	// Arms: two segments from each shoulder. drawArm handles the side
+	// mirroring (dir = +1 right, −1 left on screen).
+	shoulderOff := torsoW / 2 * 0.92
+	p.drawArm(img, mask, cx+shoulderOff, shoulderY+headR*0.5, +1, pose.R, armLen, foreLen, armThk, handR, pose.HandJitter)
+	p.drawArm(img, mask, cx-shoulderOff, shoulderY+headR*0.5, -1, pose.L, armLen, foreLen, armThk, handR, pose.HandJitter)
+
+	// Neck and head.
+	img.FillRectMask(int(headCX-headR*0.3), int(headCY+headR*0.6), int(headCX+headR*0.3), int(shoulderY+2), cfg.SkinTone, mask)
+	img.FillEllipseMask(int(headCX), int(headCY), int(headR), int(headR*1.15), cfg.SkinTone, mask)
+	// Hair cap: upper half of the head, slightly wider.
+	img.FillEllipseMask(int(headCX), int(headCY-headR*0.55), int(headR*1.02), int(headR*0.6), cfg.HairColor, mask)
+
+	if cfg.Accessories.Headphones {
+		p.drawHeadphones(img, mask, headCX, headCY, headR)
+	}
+	if cfg.Accessories.Hat {
+		p.drawHat(img, mask, headCX, headCY, headR)
+	}
+}
+
+// drawArm paints upper arm, forearm and hand. Angles are in degrees from
+// "hanging down"; dir mirrors for the left side.
+func (p *Person) drawArm(img *imagex.Image, mask *imagex.Mask, sx, sy float64, dir float64, arm ArmPose, armLen, foreLen float64, thick, handR int, jitter float64) {
+	cfg := p.cfg
+	shoulderRad := arm.Shoulder * math.Pi / 180
+	// Unit direction for the upper arm: 0° points down, positive angles
+	// rotate the arm outward (away from the torso) and then up.
+	ux := dir * math.Sin(shoulderRad)
+	uy := math.Cos(shoulderRad)
+	ex := sx + ux*armLen
+	ey := sy + uy*armLen
+
+	// Forearm: elbow flexion rotates further, bending the hand up and
+	// inward (toward the body mid-line).
+	foreRad := (arm.Shoulder + arm.Elbow) * math.Pi / 180
+	fx := dir * math.Sin(foreRad)
+	fy := math.Cos(foreRad)
+	hx := ex + fx*foreLen + jitter
+	hy := ey + fy*foreLen
+
+	img.DrawThickLineMask(int(sx), int(sy), int(ex), int(ey), thick, cfg.ShirtColor, mask)
+	img.DrawThickLineMask(int(ex), int(ey), int(hx), int(hy), thick-1, cfg.ShirtColor, mask)
+	img.FillEllipseMask(int(hx), int(hy), handR, handR, cfg.SkinTone, mask)
+}
+
+func (p *Person) drawHeadphones(img *imagex.Image, mask *imagex.Mask, hcx, hcy, headR float64) {
+	cup := imagex.RGB{R: 20, G: 20, B: 22}
+	r := int(math.Max(1, headR*0.3))
+	img.FillEllipseMask(int(hcx-headR), int(hcy), r, r+1, cup, mask)
+	img.FillEllipseMask(int(hcx+headR), int(hcy), r, r+1, cup, mask)
+	// Band over the crown.
+	img.DrawThickLineMask(int(hcx-headR), int(hcy-headR*0.6), int(hcx), int(hcy-headR*1.25), 2, cup, mask)
+	img.DrawThickLineMask(int(hcx), int(hcy-headR*1.25), int(hcx+headR), int(hcy-headR*0.6), 2, cup, mask)
+}
+
+func (p *Person) drawHat(img *imagex.Image, mask *imagex.Mask, hcx, hcy, headR float64) {
+	hat := imagex.RGB{R: 120, G: 30, B: 30}
+	// Crown.
+	img.FillRectMask(int(hcx-headR*0.8), int(hcy-headR*1.9), int(hcx+headR*0.8), int(hcy-headR*0.7), hat, mask)
+	// Brim.
+	img.FillRectMask(int(hcx-headR*1.25), int(hcy-headR*0.85), int(hcx+headR*1.25), int(hcy-headR*0.6), hat, mask)
+}

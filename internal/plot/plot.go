@@ -1,0 +1,218 @@
+// Package plot renders experiment results as bar-chart PNGs using only
+// the imagex raster primitives and the bitmap font — so the evaluation
+// suite can regenerate the paper's figures (7, 8, 9, 10-12, 15) as
+// images, not just text tables.
+package plot
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/bgbuster/bgbuster/internal/font"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// Series is one group of bars (e.g. one participant, one top-k level).
+type Series struct {
+	Name   string
+	Values []float64
+	Color  imagex.RGB
+}
+
+// BarChart describes a grouped bar chart.
+type BarChart struct {
+	Title string
+	// YLabel annotates the y axis (e.g. "RBRR %").
+	YLabel string
+	// XLabels name the groups along the x axis; every series must have
+	// one value per label.
+	XLabels []string
+	Series  []Series
+	// YMax fixes the y-axis top; 0 autoscales to the data.
+	YMax float64
+}
+
+// DefaultPalette supplies series colors when Series.Color is zero.
+var DefaultPalette = []imagex.RGB{
+	{R: 66, G: 133, B: 244},
+	{R: 219, G: 68, B: 55},
+	{R: 244, G: 180, B: 0},
+	{R: 15, G: 157, B: 88},
+	{R: 171, G: 71, B: 188},
+	{R: 255, G: 112, B: 67},
+}
+
+// Layout constants (pixels).
+const (
+	marginLeft   = 46
+	marginRight  = 12
+	marginTop    = 26
+	marginBottom = 34
+	legendRow    = 12
+)
+
+// Validate checks the chart is renderable.
+func (c *BarChart) Validate() error {
+	if len(c.XLabels) == 0 {
+		return fmt.Errorf("plot: no x labels")
+	}
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.XLabels) {
+			return fmt.Errorf("plot: series %q has %d values for %d labels",
+				s.Name, len(s.Values), len(c.XLabels))
+		}
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("plot: series %q contains a non-finite value", s.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Render draws the chart at the given pixel size (minimum 220×140).
+func (c *BarChart) Render(w, h int) (*imagex.Image, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if w < 220 {
+		w = 220
+	}
+	if h < 140 {
+		h = 140
+	}
+	img := imagex.NewFilled(w, h, imagex.RGB{R: 250, G: 250, B: 248})
+	ink := imagex.RGB{R: 40, G: 40, B: 40}
+	grid := imagex.RGB{R: 215, G: 215, B: 212}
+
+	legendH := 0
+	if len(c.Series) > 1 {
+		legendH = legendRow
+	}
+	plotX0 := marginLeft
+	plotY0 := marginTop + legendH
+	plotX1 := w - marginRight
+	plotY1 := h - marginBottom
+
+	// Title.
+	font.Render(img, truncate(c.Title, (w-8)/(font.GlyphW+font.Spacing)), 4, 4, ink)
+
+	// Y scale.
+	yMax := c.YMax
+	if yMax <= 0 {
+		for _, s := range c.Series {
+			for _, v := range s.Values {
+				if v > yMax {
+					yMax = v
+				}
+			}
+		}
+		yMax = niceCeil(yMax)
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+
+	// Gridlines + y tick labels at 0, ¼, ½, ¾, 1 of yMax.
+	for i := 0; i <= 4; i++ {
+		frac := float64(i) / 4
+		y := plotY1 - int(frac*float64(plotY1-plotY0))
+		img.FillRect(plotX0, y, plotX1, y+1, grid)
+		label := fmt.Sprintf("%g", math.Round(frac*yMax*10)/10)
+		font.Render(img, label, plotX0-len(label)*(font.GlyphW+font.Spacing)-4, y-3, ink)
+	}
+	if c.YLabel != "" {
+		font.Render(img, truncate(c.YLabel, 7), 2, plotY0-10, ink)
+	}
+
+	// Legend.
+	if legendH > 0 {
+		x := plotX0
+		for i, s := range c.Series {
+			col := seriesColor(s, i)
+			img.FillRect(x, marginTop+2, x+7, marginTop+9, col)
+			x += 10
+			x += font.Render(img, truncate(s.Name, 14), x, marginTop+2, ink) + 10
+		}
+	}
+
+	// Bars.
+	groups := len(c.XLabels)
+	groupW := (plotX1 - plotX0) / groups
+	barW := maxInt(2, (groupW-4)/len(c.Series))
+	for g := 0; g < groups; g++ {
+		gx := plotX0 + g*groupW
+		for si, s := range c.Series {
+			v := s.Values[g]
+			if v < 0 {
+				v = 0
+			}
+			if v > yMax {
+				v = yMax
+			}
+			barH := int(v / yMax * float64(plotY1-plotY0))
+			x0 := gx + 2 + si*barW
+			img.FillRect(x0, plotY1-barH, x0+barW-1, plotY1, seriesColor(s, si))
+		}
+		// X label, truncated to the group width.
+		maxChars := maxInt(1, (groupW-2)/(font.GlyphW+font.Spacing))
+		label := truncate(c.XLabels[g], maxChars)
+		font.Render(img, label, gx+2, plotY1+4, ink)
+	}
+
+	// Axes on top of bars.
+	img.FillRect(plotX0-1, plotY0, plotX0, plotY1+1, ink)
+	img.FillRect(plotX0-1, plotY1, plotX1, plotY1+1, ink)
+	return img, nil
+}
+
+// Save renders the chart and writes it as a PNG.
+func (c *BarChart) Save(path string, w, h int) error {
+	img, err := c.Render(w, h)
+	if err != nil {
+		return err
+	}
+	return img.WritePNG(path)
+}
+
+func seriesColor(s Series, i int) imagex.RGB {
+	if s.Color != (imagex.RGB{}) {
+		return s.Color
+	}
+	return DefaultPalette[i%len(DefaultPalette)]
+}
+
+// niceCeil rounds up to a tidy axis maximum.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 2.5, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+func truncate(s string, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	return string(r[:n])
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+package plot
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+func chart() *BarChart {
+	return &BarChart{
+		Title:   "Figure 7 — RBRR per action",
+		YLabel:  "RBRR %",
+		XLabels: []string{"typing", "waving", "exiting"},
+		Series: []Series{
+			{Name: "p1", Values: []float64{4.4, 30.3, 38.6}},
+			{Name: "p2", Values: []float64{5.0, 28.0, 41.0}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := chart().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := chart()
+	bad.XLabels = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("no labels accepted")
+	}
+	bad = chart()
+	bad.Series = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("no series accepted")
+	}
+	bad = chart()
+	bad.Series[0].Values = []float64{1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+	bad = chart()
+	bad.Series[0].Values[1] = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestRenderGeometryAndBars(t *testing.T) {
+	c := chart()
+	img, err := c.Render(320, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 320 || img.H != 200 {
+		t.Fatalf("geometry %dx%d", img.W, img.H)
+	}
+	// Bars must paint series colors inside the plot area.
+	found := map[imagex.RGB]bool{}
+	for _, p := range img.Pix {
+		found[p] = true
+	}
+	for i := range c.Series {
+		if !found[DefaultPalette[i]] {
+			t.Fatalf("series %d color missing from render", i)
+		}
+	}
+}
+
+func TestRenderBarHeightsScale(t *testing.T) {
+	c := &BarChart{
+		Title:   "t",
+		XLabels: []string{"lo", "hi"},
+		Series:  []Series{{Name: "s", Values: []float64{10, 40}, Color: imagex.RGB{R: 1, G: 2, B: 3}}},
+		YMax:    40,
+	}
+	img, err := c.Render(240, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colHeights := func(c imagex.RGB) (int, int) {
+		half := img.W / 2
+		left, right := 0, 0
+		for y := 0; y < img.H; y++ {
+			for x := 0; x < img.W; x++ {
+				if img.At(x, y) == c {
+					if x < half {
+						left++
+					} else {
+						right++
+					}
+				}
+			}
+		}
+		return left, right
+	}
+	lo, hi := colHeights(imagex.RGB{R: 1, G: 2, B: 3})
+	if lo == 0 || hi == 0 {
+		t.Fatal("bars missing")
+	}
+	ratio := float64(hi) / float64(lo)
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("bar area ratio %.2f, want ≈4", ratio)
+	}
+}
+
+func TestRenderMinimumSizeClamp(t *testing.T) {
+	img, err := chart().Render(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W < 220 || img.H < 140 {
+		t.Fatal("minimum size not enforced")
+	}
+}
+
+func TestSaveWritesPNG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig.png")
+	if err := chart().Save(path, 300, 180); err != nil {
+		t.Fatal(err)
+	}
+	back, err := imagex.ReadPNG(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != 300 {
+		t.Fatal("saved geometry wrong")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{
+		0:    1,
+		3:    5,
+		9:    10,
+		38.6: 50,
+		61:   100,
+		100:  100,
+		17:   20,
+	}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Errorf("niceCeil(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if truncate("hello", 3) != "hel" || truncate("hi", 5) != "hi" || truncate("x", 0) != "" {
+		t.Fatal("truncate wrong")
+	}
+}

@@ -1,0 +1,271 @@
+package scene
+
+import (
+	"math/rand"
+	"strings"
+
+	"github.com/bgbuster/bgbuster/internal/font"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// randomStickyWords is the pool of short strings rendered on sticky
+// notes and posters; all characters are covered by the bitmap font.
+var randomStickyWords = []string{
+	"PIN 4821", "WIFI KEY", "CALL BOB", "TAX DUE", "RENT 950",
+	"ACCT 7730", "DR. 2PM", "CODE 19", "BUY MILK", "VOTE NOW",
+}
+
+// placeObject renders one object of the given kind at a random free
+// position and records it in the inventory.
+func (s *Scene) placeObject(k ObjectKind, cfg Config, rng *rand.Rand) {
+	w, h := s.W, s.H
+	deskTop := h - h/6
+
+	var ow, oh int
+	switch k {
+	case KindWindow:
+		ow, oh = w/4, h/3
+	case KindDoor:
+		ow, oh = w/6, deskTop*2/3
+	case KindBookshelf:
+		ow, oh = w/4, h/3
+	case KindTV:
+		ow, oh = w/4, h/5
+	case KindMonitor:
+		ow, oh = w/6, h/7
+	case KindClock:
+		ow, oh = h/6, h/6
+	case KindPoster:
+		ow, oh = w/5, h/4
+	case KindStickyNote:
+		ow, oh = w/5, h/9
+	case KindShirt:
+		ow, oh = w/5, h/4
+	default:
+		return
+	}
+	if ow < 4 {
+		ow = 4
+	}
+	if oh < 4 {
+		oh = 4
+	}
+
+	x0, y0, ok := s.findSpot(k, ow, oh, deskTop, rng)
+	if !ok {
+		return
+	}
+	switch k {
+	case KindWindow:
+		s.renderWindow(x0, y0, ow, oh, rng)
+	case KindDoor:
+		s.renderDoor(x0, deskTop-oh, ow, oh, rng)
+	case KindBookshelf:
+		s.renderBookshelf(x0, y0, ow, oh, rng)
+	case KindTV:
+		s.renderTV(x0, y0, ow, oh, rng)
+	case KindMonitor:
+		s.renderMonitor(x0, deskTop-oh, ow, oh, rng)
+	case KindClock:
+		s.renderClock(x0, y0, ow, rng)
+	case KindPoster:
+		s.renderPoster(x0, y0, ow, oh, rng)
+	case KindStickyNote:
+		s.renderSticky(x0, y0, ow, oh, rng)
+	case KindShirt:
+		s.renderShirt(x0, y0, ow, oh, rng)
+	}
+}
+
+// findSpot searches for a placement whose bounding box stays clear of
+// existing inventory. Wall objects live above the desk; desk/floor
+// objects are pinned by their renderer. After maxTries the placement is
+// abandoned (the scene simply lacks that object).
+func (s *Scene) findSpot(k ObjectKind, ow, oh, deskTop int, rng *rand.Rand) (int, int, bool) {
+	const maxTries = 40
+	for try := 0; try < maxTries; try++ {
+		maxX := s.W - ow
+		if maxX <= 0 {
+			return 0, 0, false
+		}
+		x0 := rng.Intn(maxX)
+		var y0 int
+		switch k {
+		case KindDoor, KindMonitor:
+			// Pinned to the desk/floor line by the renderer; only x varies.
+			y0 = deskTop - oh
+		default:
+			maxY := deskTop - oh
+			if maxY <= 0 {
+				return 0, 0, false
+			}
+			y0 = rng.Intn(maxY)
+		}
+		if !s.overlapsInventory(x0, y0, x0+ow, y0+oh) {
+			return x0, y0, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (s *Scene) overlapsInventory(x0, y0, x1, y1 int) bool {
+	for _, o := range s.Objects {
+		if x0 < o.X1 && o.X0 < x1 && y0 < o.Y1 && o.Y0 < y1 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Scene) record(k ObjectKind, x0, y0, x1, y1 int, hue float64, text string) {
+	s.Objects = append(s.Objects, Object{Kind: k, X0: x0, Y0: y0, X1: x1, Y1: y1, Hue: hue, Text: text})
+}
+
+func (s *Scene) renderWindow(x0, y0, ow, oh int, rng *rand.Rand) {
+	frame := imagex.RGB{R: 235, G: 235, B: 230}
+	sky := imagex.HSV{H: 205, S: 0.35 + rng.Float64()*0.2, V: 0.85}.ToRGB()
+	s.Base.FillRect(x0, y0, x0+ow, y0+oh, frame)
+	s.Base.FillRect(x0+1, y0+1, x0+ow-1, y0+oh-1, sky)
+	// Cross mullions.
+	s.Base.FillRect(x0+ow/2, y0, x0+ow/2+1, y0+oh, frame)
+	s.Base.FillRect(x0, y0+oh/2, x0+ow, y0+oh/2+1, frame)
+	s.record(KindWindow, x0, y0, x0+ow, y0+oh, 205, "")
+}
+
+func (s *Scene) renderDoor(x0, y0, ow, oh int, rng *rand.Rand) {
+	hue := 20 + rng.Float64()*25 // wooden browns
+	body := imagex.HSV{H: hue, S: 0.5, V: 0.35 + rng.Float64()*0.2}.ToRGB()
+	s.Base.FillRect(x0, y0, x0+ow, y0+oh, body)
+	s.Base.StrokeRect(x0, y0, x0+ow, y0+oh, imagex.RGB{R: 40, G: 25, B: 12})
+	// Handle.
+	s.Base.FillCircle(x0+ow-3, y0+oh/2, 1, imagex.RGB{R: 220, G: 200, B: 90})
+	s.record(KindDoor, x0, y0, x0+ow, y0+oh, hue, "")
+}
+
+// renderBookshelf draws a shelf case with rows of colored book spines.
+// Each spine is also recorded as an individual KindBook object so the
+// detectors can be scored on "books" like the paper's COCO classes.
+func (s *Scene) renderBookshelf(x0, y0, ow, oh int, rng *rand.Rand) {
+	caseColor := imagex.HSV{H: 28, S: 0.55, V: 0.30}.ToRGB()
+	s.Base.FillRect(x0, y0, x0+ow, y0+oh, caseColor)
+	rows := 2
+	rowH := oh / rows
+	for r := 0; r < rows; r++ {
+		shelfY0 := y0 + r*rowH + 1
+		shelfY1 := y0 + (r+1)*rowH - 2
+		x := x0 + 1
+		for x < x0+ow-3 {
+			bw := 2 + rng.Intn(3)
+			if x+bw > x0+ow-1 {
+				bw = x0 + ow - 1 - x
+			}
+			if bw < 2 {
+				break
+			}
+			hue := rng.Float64() * 360
+			spine := imagex.HSV{H: hue, S: 0.6 + rng.Float64()*0.35, V: 0.5 + rng.Float64()*0.4}.ToRGB()
+			top := shelfY0 + rng.Intn(3)
+			s.Base.FillRect(x, top, x+bw, shelfY1, spine)
+			s.record(KindBook, x, top, x+bw, shelfY1, hue, "")
+			x += bw + 1
+		}
+	}
+	s.record(KindBookshelf, x0, y0, x0+ow, y0+oh, 28, "")
+}
+
+func (s *Scene) renderTV(x0, y0, ow, oh int, rng *rand.Rand) {
+	bezel := imagex.RGB{R: 15, G: 15, B: 18}
+	screenHue := 220 + rng.Float64()*40
+	screen := imagex.HSV{H: screenHue, S: 0.5, V: 0.12 + rng.Float64()*0.1}.ToRGB()
+	s.Base.FillRect(x0, y0, x0+ow, y0+oh, bezel)
+	s.Base.FillRect(x0+2, y0+2, x0+ow-2, y0+oh-2, screen)
+	s.record(KindTV, x0, y0, x0+ow, y0+oh, screenHue, "")
+}
+
+func (s *Scene) renderMonitor(x0, y0, ow, oh int, rng *rand.Rand) {
+	bezel := imagex.RGB{R: 25, G: 25, B: 28}
+	glowHue := 180 + rng.Float64()*60
+	glow := imagex.HSV{H: glowHue, S: 0.4, V: 0.35}.ToRGB()
+	panelH := oh - 3
+	s.Base.FillRect(x0, y0, x0+ow, y0+panelH, bezel)
+	s.Base.FillRect(x0+1, y0+1, x0+ow-1, y0+panelH-1, glow)
+	// Stand.
+	s.Base.FillRect(x0+ow/2-1, y0+panelH, x0+ow/2+1, y0+oh, bezel)
+	s.record(KindMonitor, x0, y0, x0+ow, y0+oh, glowHue, "")
+}
+
+func (s *Scene) renderClock(x0, y0, size int, rng *rand.Rand) {
+	r := size / 2
+	cx, cy := x0+r, y0+r
+	face := imagex.RGB{R: 245, G: 245, B: 240}
+	rim := imagex.RGB{R: 30, G: 30, B: 30}
+	s.Base.FillCircle(cx, cy, r, rim)
+	s.Base.FillCircle(cx, cy, r-1, face)
+	// Hands at a random time.
+	s.Base.DrawLine(cx, cy, cx, cy-(r-2), rim)
+	s.Base.DrawLine(cx, cy, cx+(r-3)*(1-2*rng.Intn(2)), cy, rim)
+	s.record(KindClock, x0, y0, x0+size, y0+size, 0, "")
+}
+
+func (s *Scene) renderPoster(x0, y0, ow, oh int, rng *rand.Rand) {
+	hue := rng.Float64() * 360
+	bg := imagex.HSV{H: hue, S: 0.7, V: 0.75}.ToRGB()
+	accent := imagex.HSV{H: hue + 150, S: 0.8, V: 0.85}.ToRGB()
+	s.Base.FillRect(x0, y0, x0+ow, y0+oh, bg)
+	// Coarse diagonal stripes give the template matcher structure to
+	// lock onto while staying robust to small scale/rotation aliasing.
+	for d := 0; d < ow+oh; d += 6 {
+		s.Base.DrawLine(x0+d, y0, x0, y0+d, accent)
+		s.Base.DrawLine(x0+d+1, y0, x0, y0+d+1, accent)
+	}
+	s.Base.StrokeRect(x0, y0, x0+ow, y0+oh, imagex.RGB{R: 250, G: 250, B: 250})
+	s.record(KindPoster, x0, y0, x0+ow, y0+oh, hue, "")
+}
+
+func (s *Scene) renderSticky(x0, y0, ow, oh int, rng *rand.Rand) {
+	note := imagex.RGB{R: 250, G: 235, B: 120}
+	s.Base.FillRect(x0, y0, x0+ow, y0+oh, note)
+	text := randomStickyWords[rng.Intn(len(randomStickyWords))]
+	s.record(KindStickyNote, x0, y0, x0+ow, y0+oh, 55, "")
+	s.renderStickyText(len(s.Objects)-1, text)
+}
+
+// renderShirt draws a shirt hanging on the wall: a T-shaped garment in
+// a saturated fabric color (the paper's generic detector found shirts in
+// participant backgrounds).
+func (s *Scene) renderShirt(x0, y0, ow, oh int, rng *rand.Rand) {
+	hue := rng.Float64() * 360
+	fabric := imagex.HSV{H: hue, S: 0.65 + rng.Float64()*0.25, V: 0.55 + rng.Float64()*0.3}.ToRGB()
+	// Sleeves: a horizontal bar across the top third.
+	sleeveH := oh / 3
+	s.Base.FillRect(x0, y0, x0+ow, y0+sleeveH, fabric)
+	// Body: a centred vertical panel below.
+	bx0 := x0 + ow/4
+	bx1 := x0 + ow - ow/4
+	s.Base.FillRect(bx0, y0, bx1, y0+oh, fabric)
+	// Hanger hook.
+	s.Base.DrawLine(x0+ow/2, y0-2, x0+ow/2, y0, imagex.RGB{R: 120, G: 120, B: 120})
+	s.record(KindShirt, x0, y0, x0+ow, y0+oh, hue, "")
+}
+
+// renderStickyText writes text onto the sticky note inventory entry i,
+// truncating to what fits, and updates the recorded ground truth.
+func (s *Scene) renderStickyText(i int, text string) {
+	o := s.Objects[i]
+	if o.Kind != KindStickyNote {
+		return
+	}
+	// Re-paint the note so forced text replaces random text.
+	s.Base.FillRect(o.X0, o.Y0, o.X1, o.Y1, imagex.RGB{R: 250, G: 235, B: 120})
+	avail := (o.X1 - o.X0 - 2) / (font.GlyphW + font.Spacing)
+	if avail < 0 {
+		avail = 0
+	}
+	if avail < len(text) {
+		text = text[:avail]
+	}
+	text = strings.TrimRight(text, " ")
+	ty := o.Y0 + ((o.Y1-o.Y0)-font.GlyphH)/2
+	font.Render(s.Base, text, o.X0+1, ty, imagex.RGB{R: 20, G: 20, B: 60})
+	s.Objects[i].Text = text
+}

@@ -1,0 +1,230 @@
+package scene
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a := Generate(cfg, rand.New(rand.NewSource(42)))
+	b := Generate(cfg, rand.New(rand.NewSource(42)))
+	if !a.Base.Equal(b.Base) {
+		t.Fatal("same seed must produce identical scenes")
+	}
+	if len(a.Objects) != len(b.Objects) {
+		t.Fatal("same seed must produce identical inventories")
+	}
+	c := Generate(cfg, rand.New(rand.NewSource(43)))
+	if a.Base.Equal(c.Base) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestGeneratePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(Config{W: 0, H: 10}, rand.New(rand.NewSource(1)))
+}
+
+func TestObjectsWithinBounds(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		cfg := DefaultConfig()
+		cfg.Clutter = 1
+		s := Generate(cfg, rand.New(rand.NewSource(seed)))
+		for _, o := range s.Objects {
+			if o.X0 < 0 || o.Y0 < 0 || o.X1 > s.W || o.Y1 > s.H || o.X0 >= o.X1 || o.Y0 >= o.Y1 {
+				t.Fatalf("seed %d: object %v out of bounds (%d,%d,%d,%d)", seed, o.Kind, o.X0, o.Y0, o.X1, o.Y1)
+			}
+		}
+	}
+}
+
+func TestForceKinds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clutter = 0
+	cfg.ForceKinds = []ObjectKind{KindClock, KindPoster, KindBookshelf}
+	found := map[ObjectKind]int{}
+	// Placement can fail only if the canvas is too crowded; with three
+	// objects on a default canvas it must always succeed.
+	s := Generate(cfg, rand.New(rand.NewSource(9)))
+	for _, o := range s.Objects {
+		found[o.Kind]++
+	}
+	for _, k := range cfg.ForceKinds {
+		if found[k] == 0 {
+			t.Errorf("forced kind %v missing", k)
+		}
+	}
+	if found[KindBook] == 0 {
+		t.Error("bookshelf must record individual books")
+	}
+}
+
+func TestZeroClutterPlacesNothing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clutter = 0
+	s := Generate(cfg, rand.New(rand.NewSource(3)))
+	if len(s.Objects) != 0 {
+		t.Fatalf("zero clutter placed %d objects", len(s.Objects))
+	}
+}
+
+func TestStickyTextRendered(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StickyText = "PIN 4821"
+	s := Generate(cfg, rand.New(rand.NewSource(7)))
+	notes := s.Find(KindStickyNote)
+	if len(notes) == 0 {
+		t.Fatal("StickyText must force a sticky note")
+	}
+	var withText *Object
+	for i := range notes {
+		if notes[i].Text != "" {
+			withText = &notes[i]
+		}
+	}
+	if withText == nil {
+		t.Fatal("no sticky note carries text")
+	}
+	if withText.Text == "" || len(withText.Text) > len("PIN 4821") {
+		t.Fatalf("sticky text = %q", withText.Text)
+	}
+	// The note region must contain dark ink pixels.
+	crop := s.Base.Crop(withText.X0, withText.Y0, withText.X1, withText.Y1)
+	ink := 0
+	for _, p := range crop.Pix {
+		if p.Luminance() < 80 {
+			ink++
+		}
+	}
+	if ink == 0 {
+		t.Fatal("sticky note has no ink pixels")
+	}
+}
+
+func TestLitScalesBrightness(t *testing.T) {
+	s := Generate(DefaultConfig(), rand.New(rand.NewSource(5)))
+	on := s.Lit(1.0)
+	off := s.Lit(0.45)
+	if !on.Equal(s.Base) {
+		t.Fatal("Lit(1.0) must equal base")
+	}
+	if off.MeanLuminance() >= on.MeanLuminance() {
+		t.Fatal("lights off must darken the scene")
+	}
+}
+
+func TestTemplateMatchesBase(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ForceKinds = []ObjectKind{KindPoster}
+	s := Generate(cfg, rand.New(rand.NewSource(8)))
+	posters := s.Find(KindPoster)
+	if len(posters) == 0 {
+		t.Fatal("no poster placed")
+	}
+	tpl := s.Template(posters[0])
+	if tpl == nil {
+		t.Fatal("template crop empty")
+	}
+	o := posters[0]
+	if tpl.W != o.X1-o.X0 || tpl.H != o.Y1-o.Y0 {
+		t.Fatal("template geometry mismatch")
+	}
+	if tpl.At(0, 0) != s.Base.At(o.X0, o.Y0) {
+		t.Fatal("template pixels differ from base")
+	}
+}
+
+func TestInventoryNonOverlapping(t *testing.T) {
+	// Top-level objects (not books inside their shelf) must not overlap.
+	for seed := int64(0); seed < 20; seed++ {
+		cfg := DefaultConfig()
+		cfg.Clutter = 1
+		s := Generate(cfg, rand.New(rand.NewSource(seed)))
+		var tops []Object
+		for _, o := range s.Objects {
+			if o.Kind != KindBook {
+				tops = append(tops, o)
+			}
+		}
+		for i := 0; i < len(tops); i++ {
+			for j := i + 1; j < len(tops); j++ {
+				a, b := tops[i], tops[j]
+				if a.X0 < b.X1 && b.X0 < a.X1 && a.Y0 < b.Y1 && b.Y0 < a.Y1 {
+					t.Fatalf("seed %d: %v overlaps %v", seed, a.Kind, b.Kind)
+				}
+			}
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []ObjectKind{KindBook, KindBookshelf, KindTV, KindMonitor, KindClock, KindPoster, KindStickyNote, KindWindow, KindDoor}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has bad or duplicate label %q", k, s)
+		}
+		seen[s] = true
+	}
+	if ObjectKind(99).String() != "object(99)" {
+		t.Fatal("unknown kind label wrong")
+	}
+}
+
+func TestSceneVariety(t *testing.T) {
+	// Across many seeds, every kind must appear somewhere — the E1–E3
+	// dataset relies on generator variety.
+	cfg := DefaultConfig()
+	cfg.Clutter = 1
+	found := map[ObjectKind]bool{}
+	for seed := int64(0); seed < 60; seed++ {
+		s := Generate(cfg, rand.New(rand.NewSource(seed)))
+		for _, o := range s.Objects {
+			found[o.Kind] = true
+		}
+	}
+	for _, k := range []ObjectKind{KindBook, KindBookshelf, KindTV, KindMonitor, KindClock, KindPoster, KindStickyNote, KindWindow, KindDoor} {
+		if !found[k] {
+			t.Errorf("kind %v never generated across 60 seeds", k)
+		}
+	}
+}
+
+func TestWallHueRecorded(t *testing.T) {
+	s := Generate(DefaultConfig(), rand.New(rand.NewSource(2)))
+	if s.WallHue < 0 || s.WallHue >= 360 {
+		t.Fatalf("wall hue out of range: %v", s.WallHue)
+	}
+	_ = imagex.HSV{H: s.WallHue, S: 0.5, V: 0.5}.ToRGB()
+}
+
+func TestShirtRendered(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clutter = 0
+	cfg.ForceKinds = []ObjectKind{KindShirt}
+	s := Generate(cfg, rand.New(rand.NewSource(21)))
+	shirts := s.Find(KindShirt)
+	if len(shirts) != 1 {
+		t.Fatalf("got %d shirts", len(shirts))
+	}
+	o := shirts[0]
+	// T-shape: the top corners of the box are fabric, the bottom corners
+	// are not (sleeves end above them).
+	top := s.Base.At(o.X0+1, o.Y0+1)
+	bottomCorner := s.Base.At(o.X0+1, o.Y1-2)
+	center := s.Base.At((o.X0+o.X1)/2, o.Y1-2)
+	if top == bottomCorner {
+		t.Fatal("shirt bounding box fully filled; expected T shape")
+	}
+	if center != top {
+		t.Fatal("shirt body must reach the box bottom at the centre")
+	}
+}

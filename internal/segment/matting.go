@@ -1,0 +1,326 @@
+// Package segment provides the two person-segmentation models of the
+// study:
+//
+//   - Matting: the *real-time* foreground/background separator inside the
+//     video-calling software (the paper's proprietary Zoom/Skype matting).
+//     It is deliberately imperfect; its error model is the source of all
+//     background leakage the attack exploits.
+//   - OfflineSegmenter: the *attacker-side* post-processing segmenter
+//     (the paper uses DeepLabv3). It is more accurate than the real-time
+//     matting but still imperfect, and is refined with the paper's
+//     statistical color filter inside internal/core.
+//
+// Both are simulators: they perturb an oracle silhouette instead of
+// running a CNN (see DESIGN.md §2 for why this preserves the studied
+// behaviour — the reconstruction framework consumes only masks).
+package segment
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// MattingConfig tunes the real-time matting error model. Every mechanism
+// corresponds to a leakage source the paper observed (Section V-D):
+// inaccurate human boundaries, initial-frames leakage, motion blur, and
+// poor lighting.
+type MattingConfig struct {
+	// Name identifies the profile in reports ("zoom", "skype").
+	Name string
+
+	// BoundaryWidth is the half-width (pixels) of the uncertainty band
+	// around the true silhouette in which misclassification happens.
+	BoundaryWidth int
+	// LeakRate is the base per-frame expected number of
+	// background-as-foreground blob errors per 100 boundary pixels.
+	LeakRate float64
+	// CutRate is the base rate of foreground-as-background blob errors
+	// (visual glitches; they do not leak background).
+	CutRate float64
+	// BlobRadius bounds the error blob radius (1..BlobRadius).
+	BlobRadius int
+
+	// MotionGain amplifies LeakRate with the boundary-motion fraction
+	// (motion blur blends the moving limb with the background).
+	// Motion-driven blobs are centred on the *moved* silhouette pixels,
+	// so a waving arm leaks along its swept arc while a still torso
+	// leaks only a thin boundary ring.
+	MotionGain float64
+	// MotionSpread widens the spatial reach (and size) of motion-driven
+	// blobs, in pixels per unit of clamped boundary motion: heavier blur
+	// smears the misclassification further from the true edge.
+	MotionSpread float64
+	// MotionSat is the boundary-motion fraction at which blur stops
+	// helping the attacker: beyond it the limb itself is mis-masked as
+	// background, *reducing* leakage (the paper's fast-clapping effect).
+	MotionSat float64
+	// MotionOverDrop is the leak-rate penalty applied per unit of
+	// boundary motion beyond MotionSat.
+	MotionOverDrop float64
+
+	// WarmupFrames is the tracker warm-up length; within it extra leak
+	// patches appear, decaying geometrically (paper Figure 5).
+	WarmupFrames int
+	// WarmupPatches is the expected number of warm-up leak patches in
+	// frame 0.
+	WarmupPatches float64
+	// WarmupPatchRadius bounds the warm-up patch radius.
+	WarmupPatchRadius int
+
+	// LumaRef is the scene luminance (0-255) at which the model is
+	// calibrated; darker scenes raise the error by LumaGain per unit of
+	// relative luminance deficit.
+	LumaRef  float64
+	LumaGain float64
+
+	// TrailKeep is the per-frame probability that a pixel of the
+	// previous estimated mask is retained even though the person left it
+	// (temporal smoothing trail; leaks the background just vacated).
+	TrailKeep float64
+
+	// ErrScale multiplies all error rates; camera quality sets it
+	// (cleaner sensors → smaller errors).
+	ErrScale float64
+}
+
+// Matting is the stateful real-time separator. Not safe for concurrent
+// use; create one per call recording.
+type Matting struct {
+	cfg      MattingConfig
+	rng      *rand.Rand
+	frameIdx int
+	prevEst  *imagex.Mask
+	prevTrue *imagex.Mask
+}
+
+// NewMatting creates a matting instance; rng must be non-nil.
+func NewMatting(cfg MattingConfig, rng *rand.Rand) *Matting {
+	if rng == nil {
+		panic("segment: nil rng")
+	}
+	if cfg.ErrScale == 0 {
+		cfg.ErrScale = 1
+	}
+	if cfg.BlobRadius <= 0 {
+		cfg.BlobRadius = 2
+	}
+	return &Matting{cfg: cfg, rng: rng}
+}
+
+// Reset clears the temporal state (a new call starts).
+func (m *Matting) Reset() {
+	m.frameIdx = 0
+	m.prevEst = nil
+	m.prevTrue = nil
+}
+
+// FrameIndex returns the number of frames estimated so far.
+func (m *Matting) FrameIndex() int { return m.frameIdx }
+
+// Estimate produces the software's foreground mask for one frame. frame
+// is the captured sensor image (used for its luminance); oracle is the
+// true silhouette the simulated CNN is trying to find.
+//
+// The returned mask = oracle ± errors:
+//
+//   - boundary leak blobs           (background classified as caller)
+//   - warm-up leak patches          (tracker not locked yet)
+//   - temporal trail                (smoothing lags the moving caller)
+//     − boundary cut blobs            (caller fragments lost)
+//     − over-motion limb drops        (extreme blur masks the limb away)
+func (m *Matting) Estimate(frame *imagex.Image, oracle *imagex.Mask) *imagex.Mask {
+	est := oracle.Clone()
+	boundary := oracle.Boundary()
+	boundaryPx := boundary.Count()
+
+	// Boundary motion fraction: how much of the silhouette boundary
+	// moved since the previous frame.
+	motion := 0.0
+	if m.prevTrue != nil && boundaryPx > 0 {
+		sym := symmetricDiff(oracle, m.prevTrue)
+		motion = float64(sym.Count()) / float64(boundaryPx)
+	}
+
+	// Luminance amplification: darker scene → worse separation.
+	lumaAmp := 1.0
+	if m.cfg.LumaRef > 0 {
+		deficit := (m.cfg.LumaRef - frame.MeanLuminance()) / m.cfg.LumaRef
+		if deficit > 0 {
+			lumaAmp += m.cfg.LumaGain * deficit
+		}
+	}
+
+	// Motion response: linear rise that saturates at MotionSat (even
+	// slow movement fully destabilises the matting around the moving
+	// edge), then a gentle decline with further motion (over-blur: the
+	// limb itself starts being mis-masked as background — the paper's
+	// fast-clapping effect).
+	clampedMotion := math.Min(motion, m.cfg.MotionSat)
+	motionTerm := m.cfg.MotionGain * clampedMotion
+	overMotion := math.Max(0, motion-m.cfg.MotionSat)
+	motionTerm -= m.cfg.MotionOverDrop * overMotion
+	if motionTerm < 0 {
+		motionTerm = 0
+	}
+
+	scale := m.cfg.ErrScale * lumaAmp
+
+	// Poor lighting also smears the misclassification spatially, not
+	// just more often: a dark, noisy input blurs the decision boundary.
+	lumaWiden := int(2.5*(lumaAmp-1) + 0.5)
+
+	// Base background-as-foreground blobs along the whole boundary: the
+	// thin ring even a still caller leaks.
+	baseBudget := m.cfg.LeakRate * scale * float64(boundaryPx) / 100
+	m.scatterBlobs(est, boundary, baseBudget, true, m.cfg.BlobRadius+lumaWiden, m.cfg.BlobRadius+lumaWiden)
+
+	// Motion-driven blobs: centred on the silhouette pixels that moved
+	// this frame, with blur-widened spread AND radius — a waving arm
+	// leaks coherent background patches along its swept arc. Patch size
+	// matters: the attacker's own φ-dilation of the virtual-background
+	// mask swallows any leak thinner than the blend radius, so only
+	// motion-blur-sized patches are recoverable, exactly as in the
+	// paper's examples.
+	if motionTerm > 0 && m.prevTrue != nil {
+		moved := symmetricDiff(oracle, m.prevTrue)
+		spread := m.cfg.BlobRadius + int(m.cfg.MotionSpread*clampedMotion) + lumaWiden
+		motionBudget := m.cfg.LeakRate * scale * motionTerm * float64(boundaryPx) / 100
+		m.scatterBlobs(est, moved, motionBudget, true, spread, maxI(m.cfg.BlobRadius, spread))
+	}
+
+	// Foreground-as-background cut blobs (inner boundary).
+	cutBudget := m.cfg.CutRate * scale * float64(boundaryPx) / 100
+	m.scatterBlobs(est, boundary, cutBudget, false, m.cfg.BlobRadius, m.cfg.BlobRadius)
+
+	// Over-motion limb drop: with extreme blur, moving silhouette parts
+	// are mis-masked as background, hiding them (and the background they
+	// cover) behind the virtual image.
+	if overMotion > 0 && m.prevTrue != nil {
+		moved := symmetricDiff(oracle, m.prevTrue)
+		if err := moved.Intersect(oracle); err == nil {
+			dropP := math.Min(0.9, m.cfg.MotionOverDrop*overMotion*0.5)
+			for i, b := range moved.Bits {
+				if b && m.rng.Float64() < dropP {
+					est.Bits[i] = false
+				}
+			}
+		}
+	}
+
+	// Warm-up: big leak patches near the caller in the first frames.
+	if m.frameIdx < m.cfg.WarmupFrames && m.cfg.WarmupPatches > 0 {
+		decay := math.Pow(0.55, float64(m.frameIdx))
+		m.warmupPatches(est, oracle, m.cfg.WarmupPatches*decay*scale)
+	}
+
+	// Temporal smoothing trail: previous estimate bleeds into this one.
+	if m.prevEst != nil && m.cfg.TrailKeep > 0 {
+		for i, b := range m.prevEst.Bits {
+			if b && !est.Bits[i] && m.rng.Float64() < m.cfg.TrailKeep {
+				est.Bits[i] = true
+			}
+		}
+	}
+
+	m.prevEst = est.Clone()
+	m.prevTrue = oracle.Clone()
+	m.frameIdx++
+	return est
+}
+
+// scatterBlobs stamps approximately `budget` disc-shaped errors of
+// radius up to maxR centred near random pixels of the anchor mask,
+// displaced by up to maxOff.
+// add=true sets bits (leak), add=false clears them (cut). Fractional
+// budgets resolve probabilistically so small error rates still fire
+// occasionally.
+func (m *Matting) scatterBlobs(est, anchor *imagex.Mask, budget float64, add bool, maxOff, maxR int) {
+	n := int(budget)
+	if m.rng.Float64() < budget-float64(n) {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	idxs := setIndices(anchor)
+	if len(idxs) == 0 {
+		return
+	}
+	if maxOff < 1 {
+		maxOff = 1
+	}
+	if maxR < 1 {
+		maxR = 1
+	}
+	for b := 0; b < n; b++ {
+		at := idxs[m.rng.Intn(len(idxs))]
+		cx, cy := at%est.W, at/est.W
+		r := 1 + m.rng.Intn(maxR)
+		ox := m.rng.Intn(2*maxOff+1) - maxOff
+		oy := m.rng.Intn(2*maxOff+1) - maxOff
+		stampDisc(est, cx+ox, cy+oy, r, add)
+	}
+}
+
+// warmupPatches stamps large leak patches adjacent to the silhouette
+// (or anywhere when the caller is absent, e.g. before entering the
+// room — real software shows the entire raw scene for an instant).
+func (m *Matting) warmupPatches(est, oracle *imagex.Mask, budget float64) {
+	n := int(budget)
+	if m.rng.Float64() < budget-float64(n) {
+		n++
+	}
+	band := oracle.Dilate(m.cfg.WarmupPatchRadius + 2)
+	idxs := setIndices(band)
+	for p := 0; p < n; p++ {
+		var cx, cy int
+		if len(idxs) > 0 {
+			at := idxs[m.rng.Intn(len(idxs))]
+			cx, cy = at%est.W, at/est.W
+		} else {
+			cx, cy = m.rng.Intn(est.W), m.rng.Intn(est.H)
+		}
+		r := 2 + m.rng.Intn(maxI(1, m.cfg.WarmupPatchRadius))
+		stampDisc(est, cx, cy, r, true)
+	}
+}
+
+func stampDisc(m *imagex.Mask, cx, cy, r int, v bool) {
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if dx*dx+dy*dy <= r*r {
+				m.Set(cx+dx, cy+dy, v)
+			}
+		}
+	}
+}
+
+func symmetricDiff(a, b *imagex.Mask) *imagex.Mask {
+	out := imagex.NewMask(a.W, a.H)
+	if !a.SameSize(b) {
+		return out
+	}
+	for i := range a.Bits {
+		out.Bits[i] = a.Bits[i] != b.Bits[i]
+	}
+	return out
+}
+
+func setIndices(m *imagex.Mask) []int {
+	var idxs []int
+	for i, b := range m.Bits {
+		if b {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package segment
+
+import (
+	"math/rand"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// Segmenter produces a video-caller mask (VCM) for a blended frame. The
+// oracle argument is the true silhouette: simulated segmenters perturb
+// it instead of running a CNN (see the package comment). Implementations
+// must tolerate a nil oracle by returning an empty mask.
+type Segmenter interface {
+	Segment(frame *imagex.Image, oracle *imagex.Mask) *imagex.Mask
+}
+
+// OfflineSegmenter simulates the attacker's post-processing person
+// segmentation (DeepLabv3 in the paper, Section V-D: "very accurate…
+// cannot be applied in real-time… an attacker can certainly use it for
+// post-processing"). It is substantially more accurate than the
+// real-time Matting but still imperfect: boundary dither plus a
+// systematic margin that swallows some leaked background near the
+// caller — exactly the residue the paper's color-based refinement then
+// recovers.
+type OfflineSegmenter struct {
+	// Margin dilates the mask outward by this many pixels (DeepLabv3's
+	// conservative halo around people).
+	Margin int
+	// Dither is the probability that an outer-boundary pixel flips.
+	Dither float64
+
+	rng *rand.Rand
+}
+
+var _ Segmenter = (*OfflineSegmenter)(nil)
+
+// NewOfflineSegmenter returns a segmenter with the calibrated default
+// error profile; rng must be non-nil.
+func NewOfflineSegmenter(rng *rand.Rand) *OfflineSegmenter {
+	if rng == nil {
+		panic("segment: nil rng")
+	}
+	return &OfflineSegmenter{Margin: 1, Dither: 0.05, rng: rng}
+}
+
+// Segment returns the estimated caller mask.
+func (s *OfflineSegmenter) Segment(frame *imagex.Image, oracle *imagex.Mask) *imagex.Mask {
+	if oracle == nil {
+		return imagex.NewMask(frame.W, frame.H)
+	}
+	est := oracle.Dilate(s.Margin)
+	if s.Dither > 0 {
+		for _, i := range setIndices(est.Boundary()) {
+			if s.rng.Float64() < s.Dither {
+				est.Bits[i] = false
+			}
+		}
+		// Occasional outward speckle.
+		outer := est.Dilate(1)
+		for _, i := range setIndices(outer) {
+			if !est.Bits[i] && s.rng.Float64() < s.Dither/3 {
+				est.Bits[i] = true
+			}
+		}
+	}
+	return est
+}
+
+// OracleSegmenter returns the true silhouette unchanged. Tests and
+// ablation benchmarks use it to isolate other error sources.
+type OracleSegmenter struct{}
+
+var _ Segmenter = OracleSegmenter{}
+
+// Segment returns the oracle unchanged (or an empty mask when nil).
+func (OracleSegmenter) Segment(frame *imagex.Image, oracle *imagex.Mask) *imagex.Mask {
+	if oracle == nil {
+		return imagex.NewMask(frame.W, frame.H)
+	}
+	return oracle.Clone()
+}

@@ -1,0 +1,283 @@
+package segment
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// testConfig is a middle-of-the-road matting profile for unit tests.
+func testConfig() MattingConfig {
+	return MattingConfig{
+		Name:              "test",
+		BoundaryWidth:     2,
+		LeakRate:          3,
+		CutRate:           1,
+		BlobRadius:        2,
+		MotionGain:        2,
+		MotionSat:         1.0,
+		MotionOverDrop:    2,
+		WarmupFrames:      5,
+		WarmupPatches:     4,
+		WarmupPatchRadius: 4,
+		LumaRef:           120,
+		LumaGain:          1.5,
+		TrailKeep:         0.4,
+	}
+}
+
+func blockMask(w, h, x0, y0, x1, y1 int) *imagex.Mask {
+	m := imagex.NewMask(w, h)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			m.Set(x, y, true)
+		}
+	}
+	return m
+}
+
+func TestNewMattingNilRngPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatting(testConfig(), nil)
+}
+
+func TestEstimateDeterministicGivenSeed(t *testing.T) {
+	frame := imagex.NewFilled(60, 60, imagex.RGB{R: 130, G: 130, B: 130})
+	oracle := blockMask(60, 60, 20, 20, 40, 60)
+	a := NewMatting(testConfig(), rand.New(rand.NewSource(5))).Estimate(frame, oracle)
+	b := NewMatting(testConfig(), rand.New(rand.NewSource(5))).Estimate(frame, oracle)
+	if !a.Equal(b) {
+		t.Fatal("same seed must give identical estimates")
+	}
+}
+
+func TestEstimateLeaksAndWarmup(t *testing.T) {
+	frame := imagex.NewFilled(60, 60, imagex.RGB{R: 130, G: 130, B: 130})
+	oracle := blockMask(60, 60, 20, 20, 40, 60)
+	m := NewMatting(testConfig(), rand.New(rand.NewSource(1)))
+	est := m.Estimate(frame, oracle)
+	// Frame 0 is deep in warm-up: the estimate must include background
+	// pixels (leaks), i.e. bits outside the oracle.
+	leak := est.Clone()
+	if err := leak.Subtract(oracle); err != nil {
+		t.Fatal(err)
+	}
+	if leak.Count() == 0 {
+		t.Fatal("warm-up frame must leak background")
+	}
+	if m.FrameIndex() != 1 {
+		t.Fatal("frame index not advanced")
+	}
+}
+
+func TestWarmupDecays(t *testing.T) {
+	// Average leak area over the first frame must exceed the average
+	// after warm-up (paper Fig. 5 shape).
+	frame := imagex.NewFilled(80, 80, imagex.RGB{R: 130, G: 130, B: 130})
+	oracle := blockMask(80, 80, 30, 30, 55, 80)
+	var first, later float64
+	const trials = 20
+	for s := int64(0); s < trials; s++ {
+		m := NewMatting(testConfig(), rand.New(rand.NewSource(s)))
+		for i := 0; i < 12; i++ {
+			est := m.Estimate(frame, oracle)
+			leak := est.Clone()
+			if err := leak.Subtract(oracle); err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				first += float64(leak.Count())
+			}
+			if i == 11 {
+				later += float64(leak.Count())
+			}
+		}
+	}
+	if first <= later {
+		t.Fatalf("warm-up leak (%f) must exceed steady-state leak (%f)", first, later)
+	}
+}
+
+func TestDarkScenesLeakMore(t *testing.T) {
+	oracle := blockMask(80, 80, 30, 30, 55, 80)
+	leakArea := func(lum uint8) float64 {
+		total := 0.0
+		for s := int64(0); s < 30; s++ {
+			cfg := testConfig()
+			cfg.WarmupPatches = 0 // isolate the luminance mechanism
+			m := NewMatting(cfg, rand.New(rand.NewSource(s)))
+			frame := imagex.NewFilled(80, 80, imagex.RGB{R: lum, G: lum, B: lum})
+			for i := 0; i < 10; i++ {
+				est := m.Estimate(frame, oracle)
+				leak := est.Clone()
+				if err := leak.Subtract(oracle); err != nil {
+					t.Fatal(err)
+				}
+				total += float64(leak.Count())
+			}
+		}
+		return total
+	}
+	dark := leakArea(40)
+	bright := leakArea(200)
+	if dark <= bright {
+		t.Fatalf("dark scene leak (%f) must exceed bright (%f)", dark, bright)
+	}
+}
+
+func TestMotionIncreasesLeak(t *testing.T) {
+	frame := imagex.NewFilled(80, 80, imagex.RGB{R: 130, G: 130, B: 130})
+	leakArea := func(move bool) float64 {
+		total := 0.0
+		for s := int64(0); s < 30; s++ {
+			cfg := testConfig()
+			cfg.WarmupFrames = 0
+			cfg.TrailKeep = 0
+			cfg.MotionOverDrop = 0 // isolate the sub-saturation gain
+			m := NewMatting(cfg, rand.New(rand.NewSource(s)))
+			for i := 0; i < 12; i++ {
+				x := 30
+				if move && i%2 == 1 {
+					x = 31
+				}
+				oracle := blockMask(80, 80, x, 30, x+25, 80)
+				est := m.Estimate(frame, oracle)
+				leak := est.Clone()
+				if err := leak.Subtract(oracle); err != nil {
+					t.Fatal(err)
+				}
+				total += float64(leak.Count())
+			}
+		}
+		return total
+	}
+	if moving, still := leakArea(true), leakArea(false); moving <= still {
+		t.Fatalf("moving leak (%f) must exceed static leak (%f)", moving, still)
+	}
+}
+
+func TestTrailKeepsVacatedPixels(t *testing.T) {
+	frame := imagex.NewFilled(80, 80, imagex.RGB{R: 130, G: 130, B: 130})
+	cfg := testConfig()
+	cfg.WarmupFrames = 0
+	cfg.LeakRate = 0
+	cfg.CutRate = 0
+	cfg.MotionOverDrop = 0
+	cfg.TrailKeep = 1.0 // deterministic trail
+	m := NewMatting(cfg, rand.New(rand.NewSource(2)))
+
+	a := blockMask(80, 80, 10, 30, 30, 80)
+	b := blockMask(80, 80, 40, 30, 60, 80) // jumped right
+	m.Estimate(frame, a)
+	est := m.Estimate(frame, b)
+	// With TrailKeep=1 every pixel of the previous estimate must remain.
+	if est.Overlap(a) != a.Count() {
+		t.Fatal("trail must retain the vacated silhouette")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	frame := imagex.NewFilled(40, 40, imagex.RGB{R: 130, G: 130, B: 130})
+	oracle := blockMask(40, 40, 10, 10, 30, 40)
+	m := NewMatting(testConfig(), rand.New(rand.NewSource(3)))
+	m.Estimate(frame, oracle)
+	m.Reset()
+	if m.FrameIndex() != 0 {
+		t.Fatal("Reset must zero the frame index")
+	}
+}
+
+func TestErrScaleReducesErrors(t *testing.T) {
+	oracle := blockMask(80, 80, 30, 30, 55, 80)
+	frame := imagex.NewFilled(80, 80, imagex.RGB{R: 130, G: 130, B: 130})
+	leakWithScale := func(scale float64) float64 {
+		total := 0.0
+		for s := int64(0); s < 30; s++ {
+			cfg := testConfig()
+			cfg.WarmupFrames = 0
+			cfg.ErrScale = scale
+			m := NewMatting(cfg, rand.New(rand.NewSource(s)))
+			for i := 0; i < 8; i++ {
+				est := m.Estimate(frame, oracle)
+				leak := est.Clone()
+				if err := leak.Subtract(oracle); err != nil {
+					t.Fatal(err)
+				}
+				total += float64(leak.Count())
+			}
+		}
+		return total
+	}
+	if lo, hi := leakWithScale(0.3), leakWithScale(1.5); lo >= hi {
+		t.Fatalf("ErrScale must scale leakage: 0.3→%f, 1.5→%f", lo, hi)
+	}
+}
+
+func TestOfflineSegmenterAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	seg := NewOfflineSegmenter(rng)
+	frame := imagex.NewFilled(80, 80, imagex.RGB{R: 100, G: 100, B: 100})
+	oracle := blockMask(80, 80, 30, 30, 55, 80)
+	est := seg.Segment(frame, oracle)
+
+	// IoU must be high (well above the raw matting's worst case).
+	inter := est.Clone()
+	if err := inter.Intersect(oracle); err != nil {
+		t.Fatal(err)
+	}
+	uni := est.Clone()
+	if err := uni.Union(oracle); err != nil {
+		t.Fatal(err)
+	}
+	iou := float64(inter.Count()) / float64(uni.Count())
+	if iou < 0.85 {
+		t.Fatalf("offline segmenter IoU = %f, want ≥ 0.85", iou)
+	}
+}
+
+func TestOfflineSegmenterNilOracle(t *testing.T) {
+	seg := NewOfflineSegmenter(rand.New(rand.NewSource(1)))
+	frame := imagex.New(10, 10)
+	if seg.Segment(frame, nil).Count() != 0 {
+		t.Fatal("nil oracle must give empty mask")
+	}
+}
+
+func TestOfflineSegmenterNilRngPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewOfflineSegmenter(nil)
+}
+
+func TestOracleSegmenter(t *testing.T) {
+	frame := imagex.New(10, 10)
+	oracle := blockMask(10, 10, 2, 2, 8, 8)
+	got := OracleSegmenter{}.Segment(frame, oracle)
+	if !got.Equal(oracle) {
+		t.Fatal("oracle segmenter must return the oracle")
+	}
+	got.Set(0, 0, true)
+	if oracle.At(0, 0) {
+		t.Fatal("oracle segmenter must return a copy")
+	}
+	if (OracleSegmenter{}).Segment(frame, nil).Count() != 0 {
+		t.Fatal("nil oracle must give empty mask")
+	}
+}
+
+func TestEstimateEmptyOracle(t *testing.T) {
+	// Caller absent (before entering the room): estimate must not panic
+	// and, during warm-up, may still leak arbitrary patches.
+	frame := imagex.NewFilled(40, 40, imagex.RGB{R: 130, G: 130, B: 130})
+	m := NewMatting(testConfig(), rand.New(rand.NewSource(6)))
+	est := m.Estimate(frame, imagex.NewMask(40, 40))
+	_ = est.Count() // any count is legal; absence of panic is the test
+}

@@ -1,0 +1,117 @@
+package vidstream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// The .bbv container is a minimal raw video format for moving synthetic
+// call recordings between the cmd/ tools:
+//
+//	magic "BBV1" | u32 fps | u32 w | u32 h | u32 frames | frames × w*h RGB triples
+//
+// All integers are little-endian. The format is intentionally
+// uncompressed; the simulator's resolutions keep files small.
+
+const codecMagic = "BBV1"
+
+// ErrBadFormat is returned when decoding a stream that is not a valid
+// .bbv container.
+var ErrBadFormat = errors.New("vidstream: bad .bbv format")
+
+// Encode writes the video to w in .bbv format.
+func Encode(w io.Writer, v *Video) error {
+	if err := v.Validate(); err != nil {
+		return fmt.Errorf("vidstream: encode: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return fmt.Errorf("vidstream: encode magic: %w", err)
+	}
+	fw, fh := v.Size()
+	for _, u := range []uint32{uint32(v.FPS), uint32(fw), uint32(fh), uint32(v.Len())} {
+		if err := binary.Write(bw, binary.LittleEndian, u); err != nil {
+			return fmt.Errorf("vidstream: encode header: %w", err)
+		}
+	}
+	buf := make([]byte, 3*fw*fh)
+	for _, f := range v.Frames {
+		for i, p := range f.Pix {
+			buf[3*i] = p.R
+			buf[3*i+1] = p.G
+			buf[3*i+2] = p.B
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("vidstream: encode frame: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("vidstream: encode flush: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a .bbv container from r.
+func Decode(r io.Reader) (*Video, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("vidstream: decode magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("vidstream: magic %q: %w", magic, ErrBadFormat)
+	}
+	var fps, w, h, n uint32
+	for _, dst := range []*uint32{&fps, &w, &h, &n} {
+		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
+			return nil, fmt.Errorf("vidstream: decode header: %w", err)
+		}
+	}
+	const maxDim, maxFrames = 1 << 14, 1 << 20
+	if w == 0 || h == 0 || w > maxDim || h > maxDim || n > maxFrames {
+		return nil, fmt.Errorf("vidstream: implausible geometry %dx%d×%d: %w", w, h, n, ErrBadFormat)
+	}
+	v := New(int(fps))
+	buf := make([]byte, 3*w*h)
+	for i := uint32(0); i < n; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("vidstream: decode frame %d: %w", i, err)
+		}
+		f := imagex.New(int(w), int(h))
+		for p := range f.Pix {
+			f.Pix[p] = imagex.RGB{R: buf[3*p], G: buf[3*p+1], B: buf[3*p+2]}
+		}
+		v.Frames = append(v.Frames, f)
+	}
+	return v, nil
+}
+
+// Save writes the video to a .bbv file at path.
+func Save(path string, v *Video) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("vidstream: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("vidstream: close %s: %w", path, cerr)
+		}
+	}()
+	return Encode(f, v)
+}
+
+// Load reads a .bbv file from path.
+func Load(path string) (*Video, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("vidstream: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Decode(f)
+}

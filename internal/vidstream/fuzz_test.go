@@ -1,0 +1,47 @@
+package vidstream
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// FuzzDecode hardens the .bbv container decoder against malformed
+// input: it must never panic or over-allocate, only return errors.
+// Run longer with: go test -fuzz=FuzzDecode ./internal/vidstream/
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid container and a few mutations.
+	v := New(30)
+	img := imagex.NewFilled(4, 3, imagex.RGB{R: 1, G: 2, B: 3})
+	if err := v.Append(img); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, v); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:8])
+	f.Add([]byte("BBV1"))
+	f.Add([]byte{})
+	huge := append([]byte("BBV1"), 30, 0, 0, 0, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must satisfy the video invariants.
+		if verr := v.Validate(); verr != nil {
+			t.Fatalf("decoded video violates invariants: %v", verr)
+		}
+		// And must round-trip.
+		var out bytes.Buffer
+		if eerr := Encode(&out, v); eerr != nil {
+			t.Fatalf("re-encode failed: %v", eerr)
+		}
+	})
+}

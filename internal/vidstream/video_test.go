@@ -1,0 +1,501 @@
+package vidstream
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+func solidVideo(fps, n, w, h int, c imagex.RGB) *Video {
+	v := New(fps)
+	for i := 0; i < n; i++ {
+		if err := v.Append(imagex.NewFilled(w, h, c)); err != nil {
+			panic(err)
+		}
+	}
+	return v
+}
+
+func TestNewDefaultsFPS(t *testing.T) {
+	if New(0).FPS != DefaultFPS || New(-5).FPS != DefaultFPS {
+		t.Fatal("non-positive fps must default")
+	}
+	if New(24).FPS != 24 {
+		t.Fatal("explicit fps lost")
+	}
+}
+
+func TestAppendGeometryEnforced(t *testing.T) {
+	v := New(30)
+	if err := v.Append(nil); err == nil {
+		t.Fatal("nil frame accepted")
+	}
+	if err := v.Append(imagex.New(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Append(imagex.New(5, 4)); !errors.Is(err, imagex.ErrBounds) {
+		t.Fatalf("mismatched frame error = %v", err)
+	}
+	if v.Len() != 1 {
+		t.Fatal("rejected frame was appended")
+	}
+}
+
+func TestSizeDuration(t *testing.T) {
+	v := New(30)
+	if w, h := v.Size(); w != 0 || h != 0 {
+		t.Fatal("empty video size must be 0x0")
+	}
+	v = solidVideo(30, 60, 8, 6, imagex.Black)
+	if w, h := v.Size(); w != 8 || h != 6 {
+		t.Fatal("size wrong")
+	}
+	if v.Duration() != 2.0 {
+		t.Fatalf("duration = %v, want 2s", v.Duration())
+	}
+}
+
+func TestSliceClamps(t *testing.T) {
+	v := solidVideo(30, 10, 2, 2, imagex.Black)
+	s := v.Slice(-5, 100)
+	if s.Len() != 10 {
+		t.Fatal("clamped slice wrong")
+	}
+	if v.Slice(7, 3).Len() != 0 {
+		t.Fatal("inverted slice must be empty")
+	}
+	if v.Slice(2, 5).Len() != 3 {
+		t.Fatal("normal slice wrong")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	v := solidVideo(30, 2, 2, 2, imagex.Black)
+	c := v.Clone()
+	c.Frames[0].Set(0, 0, imagex.White)
+	if v.Frames[0].At(0, 0) == imagex.White {
+		t.Fatal("clone shares frames")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := New(30).Validate(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty validate = %v", err)
+	}
+	v := solidVideo(30, 3, 4, 4, imagex.Black)
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	v.Frames[1] = nil
+	if err := v.Validate(); err == nil {
+		t.Fatal("nil frame not caught")
+	}
+	v.Frames[1] = imagex.New(9, 9)
+	if err := v.Validate(); !errors.Is(err, imagex.ErrBounds) {
+		t.Fatalf("geometry violation = %v", err)
+	}
+}
+
+func TestChangedMask(t *testing.T) {
+	v := solidVideo(30, 3, 3, 3, imagex.Black)
+	v.Frames[1].Set(1, 1, imagex.White)
+
+	m0, err := v.ChangedMask(0, 0)
+	if err != nil || m0.Count() != 0 {
+		t.Fatalf("frame 0 change mask = %v / %v", m0.Count(), err)
+	}
+	m1, err := v.ChangedMask(1, 0)
+	if err != nil || m1.Count() != 1 || !m1.At(1, 1) {
+		t.Fatalf("frame 1 change mask wrong: %v / %v", m1, err)
+	}
+	m2, err := v.ChangedMask(2, 0)
+	if err != nil || m2.Count() != 1 {
+		t.Fatalf("frame 2 change mask wrong")
+	}
+	if _, err := v.ChangedMask(9, 0); !errors.Is(err, imagex.ErrBounds) {
+		t.Fatalf("oob index error = %v", err)
+	}
+}
+
+func TestDisplacement(t *testing.T) {
+	v := solidVideo(30, 4, 10, 10, imagex.Black)
+	// Two distinct pixels change at different times: unique changed = 2.
+	v.Frames[1].Set(0, 0, imagex.White)
+	v.Frames[2].Set(0, 0, imagex.White) // unchanged vs frame 1 afterwards
+	v.Frames[2].Set(5, 5, imagex.White)
+	v.Frames[3] = v.Frames[2].Clone()
+
+	d, err := v.Displacement(0, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2.0 { // 2 of 100 pixels = 2%
+		t.Fatalf("displacement = %v%%, want 2%%", d)
+	}
+
+	if _, err := v.Displacement(3, 3, 0); !errors.Is(err, imagex.ErrBounds) {
+		t.Fatalf("empty range error = %v", err)
+	}
+	if _, err := New(30).Displacement(0, 1, 0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty video error = %v", err)
+	}
+}
+
+func TestActionSpeed(t *testing.T) {
+	v := solidVideo(30, 90, 2, 2, imagex.Black)
+	if got := v.ActionSpeed(0, 30); got != 1.0 {
+		t.Fatalf("ActionSpeed = %v, want 1s", got)
+	}
+	if v.ActionSpeed(5, 5) != 0 {
+		t.Fatal("empty event speed must be 0")
+	}
+}
+
+func TestStablePixelCounts(t *testing.T) {
+	v := solidVideo(30, 5, 2, 1, imagex.Black)
+	// Pixel (0,0) static across all 5 frames; pixel (1,0) flickers.
+	for i := 0; i < 5; i++ {
+		if i%2 == 1 {
+			v.Frames[i].Set(1, 0, imagex.White)
+		}
+	}
+	counts, err := v.StablePixelCounts(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 5 {
+		t.Fatalf("static pixel run = %d, want 5", counts[0])
+	}
+	if counts[1] != 1 {
+		t.Fatalf("flickering pixel run = %d, want 1", counts[1])
+	}
+	if _, err := New(30).StablePixelCounts(0); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty video must error")
+	}
+}
+
+func TestStablePixelCountsTolerance(t *testing.T) {
+	v := New(30)
+	for i := 0; i < 4; i++ {
+		f := imagex.NewFilled(1, 1, imagex.RGB{R: uint8(100 + i), G: 100, B: 100})
+		if err := v.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts, err := v.StablePixelCounts(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 4 {
+		t.Fatalf("tolerant run = %d, want 4", counts[0])
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	v := New(24)
+	for i := 0; i < 5; i++ {
+		f := imagex.New(7, 9)
+		f.AddNoise(rng, 120)
+		if err := v.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.FPS != 24 || back.Len() != 5 {
+		t.Fatalf("metadata lost: fps=%d len=%d", back.FPS, back.Len())
+	}
+	for i := range v.Frames {
+		if !v.Frames[i].Equal(back.Frames[i]) {
+			t.Fatalf("frame %d altered by codec", i)
+		}
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a video at all"))); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("garbage decode error = %v", err)
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream must error")
+	}
+	// Truncated frame payload.
+	var buf bytes.Buffer
+	v := solidVideo(30, 2, 4, 4, imagex.White)
+	if err := Encode(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := Decode(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream must error")
+	}
+}
+
+func TestCodecRejectsImplausibleHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(codecMagic)
+	// fps=30, w=0 -> invalid.
+	buf.Write([]byte{30, 0, 0, 0, 0, 0, 0, 0, 4, 0, 0, 0, 1, 0, 0, 0})
+	if _, err := Decode(&buf); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("zero-width header error = %v", err)
+	}
+}
+
+func TestCodecEncodeEmptyFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, New(30)); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("encode empty = %v", err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "call.bbv")
+	v := solidVideo(30, 3, 5, 5, imagex.RGB{R: 10, G: 20, B: 30})
+	if err := Save(path, v); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 || !back.Frames[0].Equal(v.Frames[0]) {
+		t.Fatal("file round trip failed")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.bbv")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestCameraProfiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := imagex.NewFilled(16, 16, imagex.RGB{R: 100, G: 100, B: 100})
+	studio := f.Clone()
+	CameraStudio.Capture(studio, rng)
+	if studio.MeanLuminance() <= f.MeanLuminance() {
+		t.Fatal("studio profile must brighten the scene")
+	}
+
+	webcam := f.Clone()
+	CameraWebcam.Capture(webcam, rand.New(rand.NewSource(5)))
+	if webcam.Equal(f) {
+		t.Fatal("webcam capture must add noise")
+	}
+}
+
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := New(1 + r.Intn(60))
+		n := 1 + r.Intn(4)
+		w, h := 1+r.Intn(6), 1+r.Intn(6)
+		for i := 0; i < n; i++ {
+			fr := imagex.New(w, h)
+			fr.AddNoise(r, 128)
+			if err := v.Append(fr); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, v); err != nil {
+			return false
+		}
+		back, err := Decode(&buf)
+		if err != nil || back.FPS != v.FPS || back.Len() != v.Len() {
+			return false
+		}
+		for i := range v.Frames {
+			if !v.Frames[i].Equal(back.Frames[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDisplacementMonotoneInTolerance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := New(30)
+		for i := 0; i < 4; i++ {
+			fr := imagex.New(8, 8)
+			fr.AddNoise(r, 40)
+			if err := v.Append(fr); err != nil {
+				return false
+			}
+		}
+		d0, err0 := v.Displacement(0, 4, 0)
+		d1, err1 := v.Displacement(0, 4, 30)
+		return err0 == nil && err1 == nil && d1 <= d0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := imagex.NewFilled(8, 8, imagex.RGB{R: 100, G: 100, B: 100})
+	p, err := PSNR(a, a.Clone())
+	if err != nil || !math.IsInf(p, 1) {
+		t.Fatalf("identical PSNR = %v (%v), want +Inf", p, err)
+	}
+	b := a.Clone()
+	b.Fill(imagex.RGB{R: 110, G: 110, B: 110})
+	p, err = PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MSE = 100 → PSNR = 20log10(255) − 10log10(100) ≈ 28.13 dB.
+	if math.Abs(p-28.13) > 0.05 {
+		t.Fatalf("PSNR = %v, want ≈28.13", p)
+	}
+	if _, err := PSNR(a, imagex.New(4, 4)); !errors.Is(err, imagex.ErrBounds) {
+		t.Fatalf("size mismatch error = %v", err)
+	}
+}
+
+func TestPlaybackPSNR(t *testing.T) {
+	v := New(30)
+	for i := 0; i < 8; i++ {
+		f := imagex.NewFilled(8, 8, imagex.RGB{R: uint8(i * 20), G: 0, B: 0})
+		if err := v.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := PlaybackPSNR(v, 1)
+	if err != nil || !math.IsInf(full, 1) {
+		t.Fatalf("keepEvery=1 PSNR = %v, want +Inf", full)
+	}
+	d2, err := PlaybackPSNR(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d4, err := PlaybackPSNR(v, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(d2, 1) || d4 >= d2 {
+		t.Fatalf("quality must degrade with drop factor: drop2=%v drop4=%v", d2, d4)
+	}
+	if _, err := PlaybackPSNR(New(30), 2); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty video must error")
+	}
+}
+
+func TestCodecChannelDeterministicAndBounded(t *testing.T) {
+	cfg := DefaultCodecConfig()
+	run := func(seed int64) *Video {
+		ch := NewCodecChannel(cfg, rand.New(rand.NewSource(seed)))
+		v := New(30)
+		for i := 0; i < 20; i++ {
+			f := imagex.NewFilled(80, 60, imagex.RGB{R: 100, G: 100, B: 100})
+			ch.Transmit(f)
+			if err := v.Append(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return v
+	}
+	a, b := run(1), run(1)
+	for i := range a.Frames {
+		if !a.Frames[i].Equal(b.Frames[i]) {
+			t.Fatal("channel must be deterministic per seed")
+		}
+	}
+	c := run(2)
+	same := true
+	for i := range a.Frames {
+		if !a.Frames[i].Equal(c.Frames[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestCodecChannelPeriodicFlicker(t *testing.T) {
+	// Every hotspot pixel must change value at least once per period, so
+	// no pixel is stable across a full stability window (10 frames at
+	// default periods ≤ 8).
+	cfg := DefaultCodecConfig()
+	ch := NewCodecChannel(cfg, rand.New(rand.NewSource(3)))
+	v := New(30)
+	for i := 0; i < 40; i++ {
+		f := imagex.NewFilled(100, 80, imagex.RGB{R: 90, G: 90, B: 90})
+		ch.Transmit(f)
+		if err := v.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts, err := v.StablePixelCounts(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unstable := 0
+	for _, c := range counts {
+		if c < 40 {
+			unstable++
+		}
+	}
+	frac := float64(unstable) / float64(len(counts))
+	// Roughly the hotspot fraction of pixels must be unstable.
+	if frac < cfg.HotspotFrac*0.5 || frac > cfg.HotspotFrac*2.5 {
+		t.Fatalf("unstable fraction %.3f vs hotspot fraction %.3f", frac, cfg.HotspotFrac)
+	}
+	for i, c := range counts {
+		if c < 40 && c >= 10 {
+			t.Fatalf("hotspot pixel %d stable for %d frames (≥ stability window)", i, c)
+		}
+	}
+}
+
+func TestCodecChannelNilRngPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCodecChannel(DefaultCodecConfig(), nil)
+}
+
+func TestCodecChannelMostFramesClean(t *testing.T) {
+	// The clean value must dominate: a hotspot is shifted for one frame
+	// per period.
+	cfg := DefaultCodecConfig()
+	ch := NewCodecChannel(cfg, rand.New(rand.NewSource(5)))
+	base := imagex.RGB{R: 100, G: 100, B: 100}
+	shifted := 0
+	total := 0
+	for i := 0; i < 30; i++ {
+		f := imagex.NewFilled(100, 80, base)
+		ch.Transmit(f)
+		for _, p := range f.Pix {
+			total++
+			if p != base {
+				shifted++
+			}
+		}
+	}
+	frac := float64(shifted) / float64(total)
+	maxExpected := cfg.HotspotFrac / float64(cfg.PeriodMin)
+	if frac > 1.5*maxExpected {
+		t.Fatalf("shifted fraction %.4f exceeds expected ≤ %.4f", frac, 1.5*maxExpected)
+	}
+}
