@@ -115,20 +115,17 @@ func collectSamples(rec *core.Reconstruction, opts Options) []sample {
 		}
 	}
 	n := 0
-	for i, c := range rec.Coverage.Bits {
-		if !c {
-			continue
-		}
+	rec.Coverage.ForEachSet(func(i int) {
 		n++
 		if n%stride != 0 {
-			continue
+			return
 		}
 		hsv := rec.Recovered.Pix[i].ToHSV()
 		if hsv.S < opts.SatFloor {
-			continue
+			return
 		}
 		out = append(out, sample{x: i % w, y: i / w, hue: hsv.H})
-	}
+	})
 	return out
 }
 

@@ -332,11 +332,11 @@ func (c component) detection(kind scene.ObjectKind, conf float64) Detection {
 func components(rec *core.Reconstruction, pred func(imagex.HSV) bool, bridge int) []component {
 	W, H := rec.Recovered.W, rec.Recovered.H
 	inClass := make([]bool, W*H)
-	for i, covered := range rec.Coverage.Bits {
-		if covered && pred(rec.Recovered.Pix[i].ToHSV()) {
+	rec.Coverage.ForEachSet(func(i int) {
+		if pred(rec.Recovered.Pix[i].ToHSV()) {
 			inClass[i] = true
 		}
-	}
+	})
 	seen := make([]bool, W*H)
 	var comps []component
 	var stack []int

@@ -165,7 +165,7 @@ func coverageIntegral(m *imagex.Mask) integral {
 	for y := 0; y < m.H; y++ {
 		row := 0
 		for x := 0; x < m.W; x++ {
-			if m.Bits[y*m.W+x] {
+			if m.At(x, y) {
 				row++
 			}
 			it.s[(y+1)*(it.w+1)+x+1] = it.s[y*(it.w+1)+x+1] + row

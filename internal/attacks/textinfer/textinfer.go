@@ -76,23 +76,23 @@ type lineBox struct{ x0, y0, x1, y1 int }
 func detectLines(rec *core.Reconstruction, opts Options) []lineBox {
 	W, H := rec.Recovered.W, rec.Recovered.H
 	ink := imagex.NewMask(W, H)
-	for i, covered := range rec.Coverage.Bits {
-		if covered && rec.Recovered.Pix[i].Luminance() < opts.InkLuma {
+	rec.Coverage.ForEachSet(func(i int) {
+		if rec.Recovered.Pix[i].Luminance() < opts.InkLuma {
 			// Ink must sit on a locally bright surface (note paper, not
 			// a dark scene region): require a bright recovered pixel
 			// nearby.
 			x, y := i%W, i/W
 			if hasBrightNeighbor(rec, x, y, 4) {
-				ink.Bits[i] = true
+				ink.Set(x, y, true)
 			}
 		}
-	}
+	})
 	// Cluster ink with generous horizontal bridging (glyph spacing).
 	var boxes []lineBox
 	seen := make([]bool, W*H)
 	var stack []int
-	for start, isInk := range ink.Bits {
-		if !isInk || seen[start] {
+	for _, start := range inkStarts(ink) {
+		if seen[start] {
 			continue
 		}
 		count := 0
@@ -113,7 +113,7 @@ func detectLines(rec *core.Reconstruction, opts Options) []lineBox {
 						continue
 					}
 					j := ny*W + nx
-					if ink.Bits[j] && !seen[j] {
+					if !seen[j] && ink.At(nx, ny) {
 						seen[j] = true
 						stack = append(stack, j)
 					}
@@ -126,6 +126,16 @@ func detectLines(rec *core.Reconstruction, opts Options) []lineBox {
 		}
 	}
 	return mergeLineBoxes(boxes)
+}
+
+// inkStarts returns the ascending linear indices of ink pixels, the
+// flood-fill seed order.
+func inkStarts(ink *imagex.Mask) []int {
+	starts := make([]int, 0, ink.Count())
+	ink.ForEachSet(func(i int) {
+		starts = append(starts, i)
+	})
+	return starts
 }
 
 // mergeLineBoxes joins boxes on the same text line that a word space

@@ -222,22 +222,26 @@ func blendFrame(frame, vb *imagex.Image, est, trueFG *imagex.Mask, p Profile) (*
 	// the blend radius, via expanding dilation rings.
 	dist := distanceRings(est, p.BlendRadius)
 
-	for i := 0; i < w*h; i++ {
-		switch {
-		case est.Bits[i]:
-			out.Pix[i] = frame.Pix[i]
-			if trueFG.Bits[i] {
-				comps.VC.Bits[i] = true
-			} else {
-				comps.LB.Bits[i] = true
+	i := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			switch {
+			case est.At(x, y):
+				out.Pix[i] = frame.Pix[i]
+				if trueFG.At(x, y) {
+					comps.VC.Set(x, y, true)
+				} else {
+					comps.LB.Set(x, y, true)
+				}
+			case dist[i] > 0 && dist[i] <= p.BlendRadius:
+				t := blendWeight(p.Blend, float64(dist[i]), float64(p.BlendRadius))
+				out.Pix[i] = imagex.Lerp(frame.Pix[i], vb.Pix[i], t)
+				comps.BB.Set(x, y, true)
+			default:
+				out.Pix[i] = vb.Pix[i]
+				comps.VB.Set(x, y, true)
 			}
-		case dist[i] > 0 && dist[i] <= p.BlendRadius:
-			t := blendWeight(p.Blend, float64(dist[i]), float64(p.BlendRadius))
-			out.Pix[i] = imagex.Lerp(frame.Pix[i], vb.Pix[i], t)
-			comps.BB.Bits[i] = true
-		default:
-			out.Pix[i] = vb.Pix[i]
-			comps.VB.Bits[i] = true
+			i++
 		}
 	}
 	return out, comps
@@ -268,15 +272,18 @@ func blendWeight(kind BlendKind, d, r float64) float64 {
 // dilation distance (ring index) up to radius r; 0 means inside est or
 // farther than r.
 func distanceRings(est *imagex.Mask, r int) []int {
-	dist := make([]int, len(est.Bits))
+	dist := make([]int, est.Len())
 	prev := est
 	for d := 1; d <= r; d++ {
 		cur := est.Dilate(d)
-		for i := range cur.Bits {
-			if cur.Bits[i] && !prev.Bits[i] && dist[i] == 0 {
+		// Ring d = cur ∖ prev; record first-touch distance.
+		ring := cur.Clone()
+		_ = ring.Subtract(prev) // same geometry by construction
+		ring.ForEachSet(func(i int) {
+			if dist[i] == 0 {
 				dist[i] = d
 			}
-		}
+		})
 		prev = cur
 	}
 	return dist

@@ -66,11 +66,11 @@ func TestComposePixelSemantics(t *testing.T) {
 		raw := res.Raw.Frames[i]
 		for p := 0; p < len(blended.Pix); p++ {
 			switch {
-			case c.VC.Bits[p] || c.LB.Bits[p]:
+			case c.VC.GetI(p) || c.LB.GetI(p):
 				if blended.Pix[p] != raw.Pix[p] {
 					t.Fatalf("frame %d: fg/leak pixel %d not raw", i, p)
 				}
-			case c.VB.Bits[p]:
+			case c.VB.GetI(p):
 				if blended.Pix[p] != vb.Pix[p] {
 					t.Fatalf("frame %d: vb pixel %d not virtual image", i, p)
 				}

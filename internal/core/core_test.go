@@ -113,8 +113,8 @@ func TestDeriveUnknownImageRecoversVB(t *testing.T) {
 	// Where derived AND truly VB in most frames, values must match the
 	// real virtual image.
 	match, checked := 0, 0
-	for i, known := range d.Known.Bits {
-		if known && res.Components[20].VB.Bits[i] {
+	for i := 0; i < d.Known.Len(); i++ {
+		if d.Known.GetI(i) && res.Components[20].VB.GetI(i) {
 			checked++
 			if within(d.Img.Pix[i], vb.Pix[i], 10) {
 				match++
@@ -244,15 +244,12 @@ func TestReconstructKnownImagePrecision(t *testing.T) {
 	}
 	// Precision: recovered pixels must match the raw scene pixels.
 	good, total := 0, 0
-	for i, claimed := range rec.Coverage.Bits {
-		if !claimed {
-			continue
-		}
+	rec.Coverage.ForEachSet(func(i int) {
 		total++
 		if within(rec.Recovered.Pix[i], res.Raw.Frames[len(res.Raw.Frames)-1].Pix[i], 30) {
 			good++
 		}
-	}
+	})
 	if total == 0 || float64(good)/float64(total) < 0.6 {
 		t.Fatalf("reconstruction precision %d/%d too low", good, total)
 	}
@@ -357,7 +354,7 @@ func TestColorRefineRecoversSwallowedLeaks(t *testing.T) {
 		}
 		vcms = append(vcms, imagex.NewFullMask(10, 10))
 	}
-	refineVCMsByColor(v, vcms, 0.02)
+	refineVCMsByColor(v, vcms, 0.02, 1)
 	if vcms[5].At(0, 0) {
 		t.Fatal("rare color must be expelled from VCM")
 	}
@@ -372,7 +369,7 @@ func TestColorRefineEmptyVCMs(t *testing.T) {
 		t.Fatal(err)
 	}
 	vcms := []*imagex.Mask{imagex.NewMask(4, 4)}
-	refineVCMsByColor(v, vcms, 0.01) // must not divide by zero
+	refineVCMsByColor(v, vcms, 0.01, 1) // must not divide by zero
 }
 
 func TestEstimatePhiRecoversBlendRadius(t *testing.T) {

@@ -3,6 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/bgbuster/bgbuster/internal/imagex"
 	"github.com/bgbuster/bgbuster/internal/segment"
@@ -79,6 +82,14 @@ type Options struct {
 	// observed inside the VCM is considered leaked background; the
 	// default is 0.004.
 	ColorFreqThreshold float64
+
+	// Workers bounds the goroutines used for the frame-independent
+	// stages of Reconstruct (color-refinement histogram/drop and
+	// per-frame masking + residue extraction); non-positive means
+	// GOMAXPROCS. Results are bit-identical at any worker count: every
+	// per-frame product lands in a frame-indexed slot and residues are
+	// merged in ascending frame order afterwards.
+	Workers int
 }
 
 // DefaultOptions returns the calibrated defaults for a known-image
@@ -154,39 +165,109 @@ func Reconstruct(v *vidstream.Video, oracles []*imagex.Mask, opts Options) (*Rec
 		DerivedCoverage: derivedCov,
 	}
 
-	// Step 2: per-frame VCM via the (simulated) offline segmenter.
+	// Step 2: per-frame VCM via the (simulated) offline segmenter. This
+	// stage stays serial: the simulated segmenters are stateful (shared
+	// rng, temporal smoothing), and the rng draw order defines the
+	// reference outputs.
 	vcms := make([]*imagex.Mask, v.Len())
 	for i, f := range v.Frames {
 		vcms[i] = opts.Segmenter.Segment(f, oracles[i])
 	}
 
+	workers := reconWorkers(opts.Workers, v.Len())
+
 	// Step 3: statistical color-based refinement of the VCMs.
 	if opts.ColorRefine {
-		refineVCMsByColor(v, vcms, opts.ColorFreqThreshold)
+		refineVCMsByColor(v, vcms, opts.ColorFreqThreshold, workers)
 	}
 
-	// Step 4: per-frame masking and residue extraction.
-	for i, f := range v.Frames {
-		vbm := vbFor(i, f)
-		bbm := vbm.Dilate(opts.Phi) // includes vbm; residue removal is identical
-
-		lb := imagex.NewFullMask(w, h)
-		if err := lb.Subtract(bbm); err != nil {
-			return nil, fmt.Errorf("core: frame %d: %w", i, err)
-		}
-		if err := lb.Subtract(vcms[i]); err != nil {
-			return nil, fmt.Errorf("core: frame %d: %w", i, err)
-		}
-
-		rec.PerFrameLB = append(rec.PerFrameLB, lb)
-		for p, b := range lb.Bits {
-			if b {
-				rec.Recovered.Pix[p] = f.Pix[p]
-				rec.Coverage.Bits[p] = true
+	// Step 4: per-frame masking and residue extraction, fanned out
+	// across the worker pool. Each frame's leaked-background mask lands
+	// in its own slot; each worker reuses one scratch mask for the BBM
+	// dilation so the only per-frame allocation is the retained LB.
+	lbs := make([]*imagex.Mask, v.Len())
+	frameErrs := make([]error, v.Len())
+	forFrames(v.Len(), workers, func() func(i int) {
+		var bbm *imagex.Mask // per-worker dilation scratch
+		return func(i int) {
+			f := v.Frames[i]
+			vbm := vbFor(i, f)
+			// BBM includes VBM, so removing BBM removes both; LB is the
+			// complement of BBM ∪ VCM.
+			bbm = vbm.DilateInto(bbm, opts.Phi)
+			lb := bbm.Clone()
+			if err := lb.Union(vcms[i]); err != nil {
+				frameErrs[i] = err
+				return
 			}
+			lb.Invert()
+			lbs[i] = lb
 		}
+	})
+	for i, err := range frameErrs {
+		if err != nil {
+			return nil, fmt.Errorf("core: frame %d: %w", i, err)
+		}
+	}
+
+	// Merge residues in ascending frame order so "latest leaked value
+	// per pixel" semantics match the serial pass exactly.
+	rec.PerFrameLB = lbs
+	for i, lb := range lbs {
+		f := v.Frames[i]
+		lb.ForEachSet(func(p int) {
+			rec.Recovered.Pix[p] = f.Pix[p]
+		})
+		_ = rec.Coverage.Union(lb) // same geometry by construction
 	}
 	return rec, nil
+}
+
+// reconWorkers resolves the effective worker count for n frames.
+func reconWorkers(configured, n int) int {
+	w := configured
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forFrames runs fn(i) for every i in [0, n) across up to `workers`
+// goroutines. mkFn builds one closure per worker, giving each its own
+// scratch state. Frames are handed out via an atomic cursor; callers
+// must keep per-frame outputs in frame-indexed slots so the result is
+// independent of the interleaving.
+func forFrames(n, workers int, mkFn func() func(i int)) {
+	if workers <= 1 {
+		fn := mkFn()
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn := mkFn()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // ResolveVBMasker exposes the framework's first stage: it returns the
@@ -268,28 +349,60 @@ func resolveVB(v *vidstream.Video, opts Options) (func(i int, f *imagex.Image) *
 // across the whole call are presumed to be leaked background and their
 // pixels are dropped from the VCM. Colors are quantised to 4 bits per
 // channel (4096 bins) to absorb sensor noise.
-func refineVCMsByColor(v *vidstream.Video, vcms []*imagex.Mask, threshold float64) {
+//
+// Both passes fan out across frames. The histogram pass caches each
+// frame's quantised indices (in VCM set-bit order), so the drop pass
+// re-reads the cache instead of re-quantising every pixel; per-worker
+// histograms merge by addition, keeping the counts identical to a
+// serial accumulation.
+func refineVCMsByColor(v *vidstream.Video, vcms []*imagex.Mask, threshold float64, workers int) {
+	n := v.Len()
+	qidx := make([][]uint16, n)
+	hists := make([][]int, 0, workers)
+	var histsMu sync.Mutex
+	forFrames(n, workers, func() func(i int) {
+		hist := make([]int, 4096)
+		histsMu.Lock()
+		hists = append(hists, hist)
+		histsMu.Unlock()
+		return func(i int) {
+			f := v.Frames[i]
+			vcm := vcms[i]
+			qs := make([]uint16, 0, vcm.Count())
+			vcm.ForEachSet(func(p int) {
+				q := uint16(quant12(f.Pix[p]))
+				qs = append(qs, q)
+				hist[q]++
+			})
+			qidx[i] = qs
+		}
+	})
+
 	hist := make([]int, 4096)
 	total := 0
-	for i, f := range v.Frames {
-		for p, inVCM := range vcms[i].Bits {
-			if inVCM {
-				hist[quant12(f.Pix[p])]++
-				total++
-			}
+	for _, h := range hists {
+		for b, c := range h {
+			hist[b] += c
+			total += c
 		}
 	}
 	if total == 0 {
 		return
 	}
 	cut := int(threshold * float64(total))
-	for i, f := range v.Frames {
-		for p, inVCM := range vcms[i].Bits {
-			if inVCM && hist[quant12(f.Pix[p])] <= cut {
-				vcms[i].Bits[p] = false
-			}
+	forFrames(n, workers, func() func(i int) {
+		return func(i int) {
+			vcm := vcms[i]
+			qs := qidx[i]
+			k := 0
+			vcm.ForEachSet(func(p int) {
+				if hist[qs[k]] <= cut {
+					vcm.SetI(p, false)
+				}
+				k++
+			})
 		}
-	}
+	})
 }
 
 // quant12 maps a color to a 12-bit bin (4 bits per channel).
@@ -307,14 +420,11 @@ func EstimatePhi(blended, raw, vb *imagex.Image, tol int) (int, error) {
 	if !blended.SameSize(raw) || !blended.SameSize(vb) {
 		return 0, fmt.Errorf("core: estimate phi: geometry mismatch: %w", imagex.ErrBounds)
 	}
-	band := imagex.NewMask(blended.W, blended.H)
-	for i := range blended.Pix {
+	band := imagex.BuildMask(blended.W, blended.H, func(i int) bool {
 		pureRaw := within(blended.Pix[i], raw.Pix[i], tol)
 		pureVB := within(blended.Pix[i], vb.Pix[i], tol)
-		if !pureRaw && !pureVB {
-			band.Bits[i] = true
-		}
-	}
+		return !pureRaw && !pureVB
+	})
 	if band.Count() == 0 {
 		return 0, nil
 	}

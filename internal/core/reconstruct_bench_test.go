@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/segment"
+	"github.com/bgbuster/bgbuster/internal/vidstream"
+)
+
+// Bench geometry: half the paper's 720p call at a realistic length. The
+// virtual background is a gradient (worst case for tolerance matching:
+// every pixel differs), the caller is an ellipse sweeping across the
+// frame so every frame re-runs matching, dilation and residue
+// extraction on fresh masks.
+const (
+	benchRW     = 640
+	benchRH     = 360
+	benchFrames = 48
+	benchPhi    = 10
+)
+
+func benchVB(w, h int) *imagex.Image {
+	vb := imagex.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			vb.Pix[y*w+x] = imagex.RGB{
+				R: uint8(x * 255 / w),
+				G: uint8(y * 255 / h),
+				B: uint8((x + y) * 255 / (w + h)),
+			}
+		}
+	}
+	return vb
+}
+
+func benchCall(b *testing.B) (*vidstream.Video, []*imagex.Mask, Options) {
+	b.Helper()
+	w, h := benchRW, benchRH
+	vb := benchVB(w, h)
+	skin := imagex.RGB{R: 200, G: 160, B: 140}
+
+	brick := imagex.RGB{R: 120, G: 60, B: 40}
+
+	v := vidstream.New(30)
+	oracles := make([]*imagex.Mask, 0, benchFrames)
+	for i := 0; i < benchFrames; i++ {
+		f := vb.Clone()
+		// Leaked raw-background patch (a matting error): moves with the
+		// frame index so every frame contributes fresh residue.
+		lx := (i * w / benchFrames) % (w - 80)
+		f.FillRect(lx, 20, lx+80, 100, brick)
+		sil := imagex.NewMask(w, h)
+		cx := w/4 + i*(w/2)/benchFrames
+		f.FillEllipseMask(cx, h/2, w/6, h/3, skin, sil)
+		if err := v.Append(f); err != nil {
+			b.Fatal(err)
+		}
+		oracles = append(oracles, sil)
+	}
+
+	opts := DefaultOptions()
+	opts.KnownImages = map[string]*imagex.Image{"gradient": vb}
+	opts.Segmenter = segment.OracleSegmenter{}
+	opts.Phi = benchPhi
+	return v, oracles, opts
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	v, oracles, opts := benchCall(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := Reconstruct(v, oracles, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rec.RBRR(), "rbrr-%")
+		}
+	}
+}

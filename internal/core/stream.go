@@ -173,15 +173,19 @@ func (s *StreamReconstructor) pinIdentification() {
 // updateDerivation advances the online pixel-stability derivation.
 func (s *StreamReconstructor) updateDerivation(frame *imagex.Image) {
 	if s.prev != nil {
-		for i := range frame.Pix {
-			if within(s.prev.Pix[i], frame.Pix[i], s.opts.MatchTol) {
-				s.runLen[i]++
-				if s.runLen[i] >= s.opts.StabilityThreshold && !s.derived.Known.Bits[i] {
-					s.derived.Img.Pix[i] = frame.Pix[i]
-					s.derived.Known.Bits[i] = true
+		i := 0
+		for y := 0; y < s.h; y++ {
+			for x := 0; x < s.w; x++ {
+				if within(s.prev.Pix[i], frame.Pix[i], s.opts.MatchTol) {
+					s.runLen[i]++
+					if s.runLen[i] >= s.opts.StabilityThreshold && !s.derived.Known.At(x, y) {
+						s.derived.Img.Pix[i] = frame.Pix[i]
+						s.derived.Known.Set(x, y, true)
+					}
+				} else {
+					s.runLen[i] = 1
 				}
-			} else {
-				s.runLen[i] = 1
+				i++
 			}
 		}
 	}
@@ -205,18 +209,17 @@ func (s *StreamReconstructor) processFrame(frame *imagex.Image, oracle *imagex.M
 		s.refineOnline(frame, vcm)
 	}
 
-	lb := imagex.NewFullMask(s.w, s.h)
-	// Same-geometry subtractions cannot fail.
-	_ = lb.Subtract(bbm)
-	_ = lb.Subtract(vcm)
+	// BBM includes VBM; LB is the complement of BBM ∪ VCM. Reuse the
+	// dilation output as the LB storage — it is not referenced again.
+	lb := bbm
+	_ = lb.Union(vcm) // same-geometry union cannot fail
+	lb.Invert()
 
 	s.rec.PerFrameLB = append(s.rec.PerFrameLB, lb)
-	for p, b := range lb.Bits {
-		if b {
-			s.rec.Recovered.Pix[p] = frame.Pix[p]
-			s.rec.Coverage.Bits[p] = true
-		}
-	}
+	lb.ForEachSet(func(p int) {
+		s.rec.Recovered.Pix[p] = frame.Pix[p]
+	})
+	_ = s.rec.Coverage.Union(lb)
 }
 
 // refineOnline applies the color-based VCM correction using the
@@ -225,21 +228,19 @@ func (s *StreamReconstructor) refineOnline(frame *imagex.Image, vcm *imagex.Mask
 	if s.hist == nil {
 		s.hist = make([]int, 4096)
 	}
-	for p, inVCM := range vcm.Bits {
-		if inVCM {
-			s.hist[quant12(frame.Pix[p])]++
-			s.histTotal++
-		}
-	}
+	vcm.ForEachSet(func(p int) {
+		s.hist[quant12(frame.Pix[p])]++
+		s.histTotal++
+	})
 	if s.histTotal == 0 {
 		return
 	}
 	cut := int(s.opts.ColorFreqThreshold * float64(s.histTotal))
-	for p, inVCM := range vcm.Bits {
-		if inVCM && s.hist[quant12(frame.Pix[p])] <= cut {
-			vcm.Bits[p] = false
+	vcm.ForEachSet(func(p int) {
+		if s.hist[quant12(frame.Pix[p])] <= cut {
+			vcm.SetI(p, false)
 		}
-	}
+	})
 }
 
 // Snapshot returns the reconstruction accumulated so far. The returned

@@ -131,26 +131,26 @@ func DeriveUnknownImage(v *vidstream.Video, threshold, tol int) (*DerivedImage, 
 	for i := range runLen {
 		runLen[i] = 1
 	}
-	commit := func(idx int, val imagex.RGB) {
-		out.Img.Pix[idx] = val
-		out.Known.Bits[idx] = true
-	}
 	if len(v.Frames) == 1 && threshold <= 1 {
-		for i, p := range v.Frames[0].Pix {
-			commit(i, p)
-		}
+		copy(out.Img.Pix, v.Frames[0].Pix)
+		out.Known = imagex.NewFullMask(w, h)
 		return out, nil
 	}
 	for fi := 1; fi < len(v.Frames); fi++ {
 		prev, now := v.Frames[fi-1], v.Frames[fi]
-		for i := range now.Pix {
-			if within(prev.Pix[i], now.Pix[i], tol) {
-				runLen[i]++
-				if runLen[i] >= threshold && !out.Known.Bits[i] {
-					commit(i, now.Pix[i])
+		i := 0
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if within(prev.Pix[i], now.Pix[i], tol) {
+					runLen[i]++
+					if runLen[i] >= threshold && !out.Known.At(x, y) {
+						out.Img.Pix[i] = now.Pix[i]
+						out.Known.Set(x, y, true)
+					}
+				} else {
+					runLen[i] = 1
 				}
-			} else {
-				runLen[i] = 1
+				i++
 			}
 		}
 	}
@@ -171,12 +171,13 @@ func MergeDerived(imgs ...*DerivedImage) (*DerivedImage, error) {
 			return nil, fmt.Errorf("core: merge %dx%d with %dx%d: %w",
 				d.Img.W, d.Img.H, out.Img.W, out.Img.H, imagex.ErrBounds)
 		}
-		for i, known := range d.Known.Bits {
-			if known && !out.Known.Bits[i] {
-				out.Img.Pix[i] = d.Img.Pix[i]
-				out.Known.Bits[i] = true
-			}
-		}
+		// Earlier arguments win: copy only where d knows and out does not.
+		fill := d.Known.Clone()
+		_ = fill.Subtract(out.Known) // same geometry, checked above
+		fill.ForEachSet(func(i int) {
+			out.Img.Pix[i] = d.Img.Pix[i]
+		})
+		_ = out.Known.Union(fill)
 	}
 	return out, nil
 }
@@ -264,30 +265,25 @@ func DeriveUnknownVideo(v *vidstream.Video, maxPeriod, tol int) (*DerivedVideo, 
 // frame against a fully known virtual image M: VBM=1 where µ(M ⊕ f)=1
 // (within tol).
 func VBMaskKnown(frame, vb *imagex.Image, tol int) *imagex.Mask {
-	m := imagex.NewMask(frame.W, frame.H)
 	if !frame.SameSize(vb) {
-		return m
+		return imagex.NewMask(frame.W, frame.H)
 	}
-	for i := range frame.Pix {
-		if within(frame.Pix[i], vb.Pix[i], tol) {
-			m.Bits[i] = true
-		}
-	}
-	return m
+	return imagex.BuildMask(frame.W, frame.H, func(i int) bool {
+		return within(frame.Pix[i], vb.Pix[i], tol)
+	})
 }
 
 // VBMaskDerived generates VBM against a partially derived virtual image,
 // matching only at known positions.
 func VBMaskDerived(frame *imagex.Image, d *DerivedImage, tol int) *imagex.Mask {
-	m := imagex.NewMask(frame.W, frame.H)
 	if frame.W != d.Img.W || frame.H != d.Img.H {
-		return m
+		return imagex.NewMask(frame.W, frame.H)
 	}
-	for i := range frame.Pix {
-		if d.Known.Bits[i] && within(frame.Pix[i], d.Img.Pix[i], tol) {
-			m.Bits[i] = true
-		}
-	}
+	m := imagex.BuildMask(frame.W, frame.H, func(i int) bool {
+		return within(frame.Pix[i], d.Img.Pix[i], tol)
+	})
+	// Matching is only meaningful at derived positions.
+	_ = m.Intersect(d.Known) // same geometry, checked above
 	return m
 }
 

@@ -11,8 +11,9 @@ import (
 // parMap runs f over every call on up to Config.Workers goroutines
 // (GOMAXPROCS when zero) and returns results in call order. Each call's
 // pipeline is independently seeded, so parallel execution is
-// bit-identical to serial execution. The first error wins; remaining
-// work is still drained so no goroutine leaks.
+// bit-identical to serial execution. Errors are recorded per call index
+// and the error of the lowest-indexed failing call is returned, so the
+// reported failure does not depend on goroutine scheduling.
 func (c Config) parMap(calls []*dataset.Call, f func(*dataset.Call) (*callRun, error)) ([]*callRun, error) {
 	workers := c.Workers
 	if workers <= 0 {
@@ -39,25 +40,22 @@ func (c Config) parMap(calls []*dataset.Call, f func(*dataset.Call) (*callRun, e
 	}
 	jobs := make(chan slot)
 	results := make([]*callRun, len(calls))
-	errs := make([]error, workers)
+	errs := make([]error, len(calls))
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				if errs[w] != nil {
-					continue // drain after failure
-				}
 				r, err := f(j.call)
 				if err != nil {
-					errs[w] = err
+					errs[j.idx] = err
 					continue
 				}
 				results[j.idx] = r
 			}
-		}(w)
+		}()
 	}
 	for i, call := range calls {
 		jobs <- slot{idx: i, call: call}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/dataset"
+)
+
+func TestParMapOrderAndSerialFallback(t *testing.T) {
+	calls := make([]*dataset.Call, 5)
+	for i := range calls {
+		calls[i] = &dataset.Call{SceneSeed: int64(i)}
+	}
+	for _, workers := range []int{1, 3} {
+		cfg := Config{Workers: workers}
+		runs, err := cfg.parMap(calls, func(c *dataset.Call) (*callRun, error) {
+			return &callRun{call: c}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(runs) != len(calls) {
+			t.Fatalf("workers=%d: got %d runs, want %d", workers, len(runs), len(calls))
+		}
+		for i, r := range runs {
+			if r.call != calls[i] {
+				t.Fatalf("workers=%d: run %d out of order", workers, i)
+			}
+		}
+	}
+}
+
+func TestParMapReturnsLowestIndexedError(t *testing.T) {
+	const n = 32
+	calls := make([]*dataset.Call, n)
+	for i := range calls {
+		calls[i] = &dataset.Call{SceneSeed: int64(i)}
+	}
+	// Calls at index 7 and above all fail; regardless of goroutine
+	// scheduling the reported error must belong to index 7.
+	want := errors.New("call 7 failed")
+	for trial := 0; trial < 20; trial++ {
+		cfg := Config{Workers: 8}
+		_, err := cfg.parMap(calls, func(c *dataset.Call) (*callRun, error) {
+			if c.SceneSeed >= 7 {
+				if c.SceneSeed == 7 {
+					return nil, want
+				}
+				return nil, fmt.Errorf("call %d failed", c.SceneSeed)
+			}
+			return &callRun{call: c}, nil
+		})
+		if !errors.Is(err, want) {
+			t.Fatalf("trial %d: err = %v, want lowest-indexed %v", trial, err, want)
+		}
+	}
+}

@@ -38,12 +38,11 @@ func TestGlyphsPairwiseDistinct(t *testing.T) {
 	}
 	for i, a := range rs {
 		for _, b := range rs[i+1:] {
-			diff := 0
-			for k := range masks[a].Bits {
-				if masks[a].Bits[k] != masks[b].Bits[k] {
-					diff++
-				}
+			d := masks[a].Clone()
+			if err := d.Xor(masks[b]); err != nil {
+				t.Fatal(err)
 			}
+			diff := d.Count()
 			if diff < 2 {
 				t.Errorf("glyphs %q and %q differ by only %d pixels", a, b, diff)
 			}

@@ -23,12 +23,13 @@ func (im *Image) fillRectMask(x0, y0, x1, y1 int, c RGB, m *Mask) {
 	if y0 > y1 {
 		y0, y1 = y1, y0
 	}
+	record := m != nil && m.W == im.W && m.H == im.H
 	for y := maxInt(y0, 0); y < minInt(y1, im.H); y++ {
 		for x := maxInt(x0, 0); x < minInt(x1, im.W); x++ {
 			im.Pix[y*im.W+x] = c
-			if m != nil && m.W == im.W && m.H == im.H {
-				m.Bits[y*im.W+x] = true
-			}
+		}
+		if record {
+			m.SetSpan(y, x0, x1)
 		}
 	}
 }
@@ -61,7 +62,7 @@ func (im *Image) FillEllipseMask(cx, cy, rx, ry int, c RGB, m *Mask) {
 				if im.In(x, y) {
 					im.Pix[y*im.W+x] = c
 					if m != nil && m.W == im.W && m.H == im.H {
-						m.Bits[y*im.W+x] = true
+						m.Set(x, y, true)
 					}
 				}
 			}
@@ -124,7 +125,7 @@ func (im *Image) DrawThickLineMask(x0, y0, x1, y1, thickness int, c RGB, m *Mask
 			if im.In(x, y) {
 				im.Pix[y*im.W+x] = c
 				if m != nil && m.W == im.W && m.H == im.H {
-					m.Bits[y*im.W+x] = true
+					m.Set(x, y, true)
 				}
 			}
 		} else {

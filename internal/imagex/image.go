@@ -167,12 +167,9 @@ func (im *Image) DiffMask(o *Image, tol int) (*Mask, error) {
 	if !im.SameSize(o) {
 		return nil, fmt.Errorf("imagex: diff %dx%d vs %dx%d: %w", im.W, im.H, o.W, o.H, ErrBounds)
 	}
-	m := NewMask(im.W, im.H)
-	for i := range im.Pix {
-		if !withinTol(im.Pix[i], o.Pix[i], tol) {
-			m.Bits[i] = true
-		}
-	}
+	m := BuildMask(im.W, im.H, func(i int) bool {
+		return !withinTol(im.Pix[i], o.Pix[i], tol)
+	})
 	return m, nil
 }
 
@@ -184,11 +181,9 @@ func (im *Image) ApplyMask(m *Mask) *Image {
 	if m.W != im.W || m.H != im.H {
 		return out
 	}
-	for i := range im.Pix {
-		if m.Bits[i] {
-			out.Pix[i] = im.Pix[i]
-		}
-	}
+	m.ForEachSet(func(i int) {
+		out.Pix[i] = im.Pix[i]
+	})
 	return out
 }
 
@@ -200,11 +195,9 @@ func (im *Image) RemoveMask(m *Mask) *Image {
 	if m.W != im.W || m.H != im.H {
 		return out
 	}
-	for i := range im.Pix {
-		if m.Bits[i] {
-			out.Pix[i] = Black
-		}
-	}
+	m.ForEachSet(func(i int) {
+		out.Pix[i] = Black
+	})
 	return out
 }
 

@@ -1,15 +1,41 @@
 package imagex
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Mask is a W×H bitmap. In the paper's terminology a mask pixel value of
-// 1 (255,255,255) marks foreground membership and 0 marks background;
-// here the bitmap stores the same information as booleans. Masks
-// represent the per-frame components VBM, BBM, VCM and the leaked
+// 1 (255,255,255) marks foreground membership and 0 marks background.
+// Masks represent the per-frame components VBM, BBM, VCM and the leaked
 // background LB.
+//
+// Storage is a word-packed bitset: each row occupies (W+63)/64 uint64
+// words, and bit x of row y lives in word y*wpr + x>>6 at bit position
+// x&63 (LSB = lowest x). Rows are word-aligned so horizontal morphology
+// reduces to per-row word shifts, and the set operations
+// (Union/Subtract/Intersect/Xor) and the population counts
+// (Count/Overlap/Fraction) run one uint64 at a time — 64 pixels per
+// memory touch instead of one.
+//
+// Invariant: the padding bits past W in each row's last word are always
+// zero. Every mutator maintains it, so whole-word operations need no
+// per-bit edge handling.
 type Mask struct {
-	W, H int
-	Bits []bool
+	W, H  int
+	words []uint64
+}
+
+// wordsPerRow returns the per-row word stride for width w.
+func wordsPerRow(w int) int { return (w + 63) >> 6 }
+
+// edgeMask returns the valid-bit mask for the last word of a row of
+// width w (all ones when w is a multiple of 64).
+func edgeMask(w int) uint64 {
+	if w&63 == 0 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w&63)) - 1
 }
 
 // NewMask returns an all-clear mask of the given dimensions. It panics on
@@ -18,16 +44,36 @@ func NewMask(w, h int) *Mask {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("imagex: invalid mask size %dx%d", w, h))
 	}
-	return &Mask{W: w, H: h, Bits: make([]bool, w*h)}
+	return &Mask{W: w, H: h, words: make([]uint64, h*wordsPerRow(w))}
 }
 
 // NewFullMask returns an all-set mask.
 func NewFullMask(w, h int) *Mask {
 	m := NewMask(w, h)
-	for i := range m.Bits {
-		m.Bits[i] = true
+	for i := range m.words {
+		m.words[i] = ^uint64(0)
 	}
+	m.maskEdges()
 	return m
+}
+
+// maskEdges clears the row-padding bits, restoring the invariant after a
+// whole-word mutation that may have set them.
+func (m *Mask) maskEdges() {
+	edge := edgeMask(m.W)
+	if edge == ^uint64(0) {
+		return
+	}
+	wpr := wordsPerRow(m.W)
+	for y := 0; y < m.H; y++ {
+		m.words[y*wpr+wpr-1] &= edge
+	}
+}
+
+// row returns the word slice of row y.
+func (m *Mask) row(y int) []uint64 {
+	wpr := wordsPerRow(m.W)
+	return m.words[y*wpr : (y+1)*wpr : (y+1)*wpr]
 }
 
 // In reports whether (x, y) lies inside the mask.
@@ -40,7 +86,7 @@ func (m *Mask) At(x, y int) bool {
 	if !m.In(x, y) {
 		return false
 	}
-	return m.Bits[y*m.W+x]
+	return m.words[y*wordsPerRow(m.W)+x>>6]>>(uint(x)&63)&1 != 0
 }
 
 // Set writes the bit at (x, y); out-of-bounds writes are ignored.
@@ -48,14 +94,123 @@ func (m *Mask) Set(x, y int, v bool) {
 	if !m.In(x, y) {
 		return
 	}
-	m.Bits[y*m.W+x] = v
+	w := &m.words[y*wordsPerRow(m.W)+x>>6]
+	if v {
+		*w |= 1 << (uint(x) & 63)
+	} else {
+		*w &^= 1 << (uint(x) & 63)
+	}
+}
+
+// Len returns the number of pixels (W×H).
+func (m *Mask) Len() int { return m.W * m.H }
+
+// GetI returns the bit at row-major linear index i = y*W + x. It panics
+// when i is outside [0, Len()), matching a slice access.
+func (m *Mask) GetI(i int) bool {
+	y := i / m.W
+	x := i - y*m.W
+	if y >= m.H || i < 0 {
+		panic(fmt.Sprintf("imagex: mask index %d out of range %d", i, m.Len()))
+	}
+	return m.words[y*wordsPerRow(m.W)+x>>6]>>(uint(x)&63)&1 != 0
+}
+
+// SetI writes the bit at row-major linear index i = y*W + x. It panics
+// when i is outside [0, Len()), matching a slice access.
+func (m *Mask) SetI(i int, v bool) {
+	y := i / m.W
+	x := i - y*m.W
+	if y >= m.H || i < 0 {
+		panic(fmt.Sprintf("imagex: mask index %d out of range %d", i, m.Len()))
+	}
+	w := &m.words[y*wordsPerRow(m.W)+x>>6]
+	if v {
+		*w |= 1 << (uint(x) & 63)
+	} else {
+		*w &^= 1 << (uint(x) & 63)
+	}
+}
+
+// SetSpan sets the bits [x0, x1) of row y, clipping silently at the mask
+// border. Renderers use it to record painted rectangle rows in one word
+// operation per 64 pixels.
+func (m *Mask) SetSpan(y, x0, x1 int) {
+	if y < 0 || y >= m.H {
+		return
+	}
+	if x0 < 0 {
+		x0 = 0
+	}
+	if x1 > m.W {
+		x1 = m.W
+	}
+	if x0 >= x1 {
+		return
+	}
+	setRange(m.row(y), x0, x1)
+}
+
+// ForEachSet calls fn with the row-major linear index (y*W + x) of every
+// set bit, in ascending order. The word holding the current run of bits
+// is snapshotted, so fn may clear bits at or before the index it was
+// called with (e.g. the color-refinement drop pass) without affecting
+// the iteration.
+func (m *Mask) ForEachSet(fn func(i int)) {
+	wpr := wordsPerRow(m.W)
+	for y := 0; y < m.H; y++ {
+		base := y * m.W
+		row := m.words[y*wpr : (y+1)*wpr]
+		for wi, w := range row {
+			for w != 0 {
+				fn(base + wi<<6 + bits.TrailingZeros64(w))
+				w &= w - 1
+			}
+		}
+	}
+}
+
+// BuildMask constructs a mask of the given dimensions from a per-pixel
+// predicate over the row-major linear index; pred is called exactly once
+// per pixel in ascending order. Bits accumulate in a register and are
+// written one word at a time, which keeps predicate-driven mask
+// construction (VB matching, diff masks) free of per-bit stores.
+func BuildMask(w, h int, pred func(i int) bool) *Mask {
+	m := NewMask(w, h)
+	wpr := wordsPerRow(w)
+	i := 0
+	for y := 0; y < h; y++ {
+		row := m.words[y*wpr : (y+1)*wpr]
+		for x := 0; x < w; x += 64 {
+			n := w - x
+			if n > 64 {
+				n = 64
+			}
+			var word uint64
+			for b := 0; b < n; b++ {
+				if pred(i) {
+					word |= 1 << uint(b)
+				}
+				i++
+			}
+			row[x>>6] = word
+		}
+	}
+	return m
 }
 
 // Clone returns a deep copy of the mask.
 func (m *Mask) Clone() *Mask {
 	out := NewMask(m.W, m.H)
-	copy(out.Bits, m.Bits)
+	copy(out.words, m.words)
 	return out
+}
+
+// Clear resets every bit.
+func (m *Mask) Clear() {
+	for i := range m.words {
+		m.words[i] = 0
+	}
 }
 
 // SameSize reports whether two masks have identical dimensions.
@@ -66,8 +221,8 @@ func (m *Mask) Equal(o *Mask) bool {
 	if !m.SameSize(o) {
 		return false
 	}
-	for i := range m.Bits {
-		if m.Bits[i] != o.Bits[i] {
+	for i, w := range m.words {
+		if w != o.words[i] {
 			return false
 		}
 	}
@@ -77,20 +232,18 @@ func (m *Mask) Equal(o *Mask) bool {
 // Count returns the number of set bits.
 func (m *Mask) Count() int {
 	n := 0
-	for _, b := range m.Bits {
-		if b {
-			n++
-		}
+	for _, w := range m.words {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
 
 // Fraction returns Count divided by the mask area.
 func (m *Mask) Fraction() float64 {
-	if len(m.Bits) == 0 {
+	if m.Len() == 0 {
 		return 0
 	}
-	return float64(m.Count()) / float64(len(m.Bits))
+	return float64(m.Count()) / float64(m.Len())
 }
 
 // Union sets every bit that is set in o. Masks of differing sizes are
@@ -99,10 +252,8 @@ func (m *Mask) Union(o *Mask) error {
 	if !m.SameSize(o) {
 		return fmt.Errorf("imagex: union %dx%d with %dx%d: %w", m.W, m.H, o.W, o.H, ErrBounds)
 	}
-	for i, b := range o.Bits {
-		if b {
-			m.Bits[i] = true
-		}
+	for i, w := range o.words {
+		m.words[i] |= w
 	}
 	return nil
 }
@@ -112,10 +263,8 @@ func (m *Mask) Subtract(o *Mask) error {
 	if !m.SameSize(o) {
 		return fmt.Errorf("imagex: subtract %dx%d from %dx%d: %w", o.W, o.H, m.W, m.H, ErrBounds)
 	}
-	for i, b := range o.Bits {
-		if b {
-			m.Bits[i] = false
-		}
+	for i, w := range o.words {
+		m.words[i] &^= w
 	}
 	return nil
 }
@@ -125,19 +274,29 @@ func (m *Mask) Intersect(o *Mask) error {
 	if !m.SameSize(o) {
 		return fmt.Errorf("imagex: intersect %dx%d with %dx%d: %w", m.W, m.H, o.W, o.H, ErrBounds)
 	}
-	for i, b := range o.Bits {
-		if !b {
-			m.Bits[i] = false
-		}
+	for i, w := range o.words {
+		m.words[i] &= w
+	}
+	return nil
+}
+
+// Xor flips every bit that is set in o (symmetric difference in place).
+func (m *Mask) Xor(o *Mask) error {
+	if !m.SameSize(o) {
+		return fmt.Errorf("imagex: xor %dx%d with %dx%d: %w", m.W, m.H, o.W, o.H, ErrBounds)
+	}
+	for i, w := range o.words {
+		m.words[i] ^= w
 	}
 	return nil
 }
 
 // Invert flips every bit in place.
 func (m *Mask) Invert() {
-	for i := range m.Bits {
-		m.Bits[i] = !m.Bits[i]
+	for i := range m.words {
+		m.words[i] = ^m.words[i]
 	}
+	m.maskEdges()
 }
 
 // Overlap returns the number of positions set in both masks; zero when
@@ -147,141 +306,234 @@ func (m *Mask) Overlap(o *Mask) int {
 		return 0
 	}
 	n := 0
-	for i := range m.Bits {
-		if m.Bits[i] && o.Bits[i] {
-			n++
-		}
+	for i, w := range m.words {
+		n += bits.OnesCount64(w & o.words[i])
 	}
 	return n
 }
 
 // Disjoint reports whether the two masks share no set bit.
-func (m *Mask) Disjoint(o *Mask) bool { return m.Overlap(o) == 0 }
+func (m *Mask) Disjoint(o *Mask) bool {
+	if !m.SameSize(o) {
+		return true
+	}
+	for i, w := range m.words {
+		if w&o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Dilate returns a new mask in which a bit is set if any source bit lies
 // within Euclidean distance radius. This is exactly the paper's blending
 // blur recovery (Section V-C): for every pixel with VBM=1, all pixels
 // (p, q) with sqrt((p−u)²+(q−w)²) ≤ φ join the blur mask.
-//
-// The implementation precomputes the disc offsets once and runs in
-// O(set-bits × disc-area), which is fast at the radii used (φ ≈ 20 at
-// paper scale, proportionally smaller at simulator scale).
 func (m *Mask) Dilate(radius int) *Mask {
-	if radius <= 0 {
-		return m.Clone()
+	return m.DilateInto(nil, radius)
+}
+
+// DilateInto writes the dilation of m into dst and returns it,
+// allocating when dst is nil, mis-sized, or m itself. The reconstruction
+// workers pass a per-worker scratch mask to keep the per-frame BBM
+// computation allocation-free.
+//
+// The disc structuring element is decomposed into per-row horizontal
+// extents rx(dy) = ⌊√(r²−dy²)⌋: for every source row, the horizontal
+// dilations at each extent are built incrementally by OR-ing word-shifted
+// copies of the row, then OR-merged into the 2r+1 affected output rows.
+// The cost is O(H · r · wpr) word operations — independent of the set-bit
+// population — versus the O(set-bits · r²) per-pixel scatter of a naive
+// offset walk.
+func (m *Mask) DilateInto(dst *Mask, radius int) *Mask {
+	if dst == nil || dst == m || !dst.SameSize(m) {
+		dst = NewMask(m.W, m.H)
+	} else {
+		dst.Clear()
 	}
-	offsets := discOffsets(radius)
-	out := NewMask(m.W, m.H)
+	if radius <= 0 {
+		copy(dst.words, m.words)
+		return dst
+	}
+	wpr := wordsPerRow(m.W)
+	edge := edgeMask(m.W)
+	r := radius
+
+	// Horizontal extent of the disc per vertical offset.
+	ext := make([]int, r+1)
+	for d := 0; d <= r; d++ {
+		ext[d] = isqrt(r*r - d*d)
+	}
+
+	// hd[d] holds hdilate(srcRow, ext[d]) for the current source row.
+	hdStore := make([]uint64, (r+1)*wpr)
+	hd := make([][]uint64, r+1)
+	for d := range hd {
+		hd[d] = hdStore[d*wpr : (d+1)*wpr]
+	}
+
 	for y := 0; y < m.H; y++ {
-		for x := 0; x < m.W; x++ {
-			if !m.Bits[y*m.W+x] {
+		src := m.words[y*wpr : (y+1)*wpr]
+		if rowEmpty(src) {
+			continue
+		}
+		// Build the horizontal dilations from the narrowest extent
+		// (ext[r] = 0, the row itself) to the widest (ext[0] = r),
+		// snapshotting at each vertical offset's extent. acc accumulates
+		// OR-shifted copies of the original row.
+		acc := hd[0]
+		copy(acc, src)
+		k := 0
+		for d := r; d >= 0; d-- {
+			for k < ext[d] {
+				k++
+				orShiftLeft(acc, src, k)
+				orShiftRight(acc, src, k)
+				acc[wpr-1] &= edge
+			}
+			if d > 0 {
+				copy(hd[d], acc)
+			}
+		}
+		// Merge into the affected output rows.
+		for dy := -r; dy <= r; dy++ {
+			ty := y + dy
+			if ty < 0 || ty >= m.H {
 				continue
 			}
-			for _, o := range offsets {
-				out.Set(x+o[0], y+o[1], true)
+			h := hd[absI(dy)]
+			out := dst.words[ty*wpr : (ty+1)*wpr]
+			for j, w := range h {
+				out[j] |= w
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // Erode returns a new mask in which a bit survives only if every pixel
-// within the given radius was set (and in bounds).
+// within the given radius was set (and in bounds). It is computed by
+// duality — erode(m) = m ∖ dilate(¬m) — plus clearing the border band of
+// width radius, whose discs poke out of bounds (the disc reaches exactly
+// radius along the axes).
 func (m *Mask) Erode(radius int) *Mask {
 	if radius <= 0 {
 		return m.Clone()
 	}
-	offsets := discOffsets(radius)
-	out := NewMask(m.W, m.H)
+	inv := m.Clone()
+	inv.Invert()
+	out := m.Clone()
+	// Same geometry by construction; Subtract cannot fail.
+	_ = out.Subtract(inv.Dilate(radius))
+	if 2*radius >= m.W || 2*radius >= m.H {
+		return NewMask(m.W, m.H)
+	}
+	wpr := wordsPerRow(m.W)
 	for y := 0; y < m.H; y++ {
-	pixel:
-		for x := 0; x < m.W; x++ {
-			if !m.Bits[y*m.W+x] {
-				continue
+		row := out.words[y*wpr : (y+1)*wpr]
+		if y < radius || y >= m.H-radius {
+			for j := range row {
+				row[j] = 0
 			}
-			for _, o := range offsets {
-				if !m.At(x+o[0], y+o[1]) {
-					continue pixel
-				}
-			}
-			out.Bits[y*m.W+x] = true
+			continue
 		}
+		clearRange(row, 0, radius)
+		clearRange(row, m.W-radius, m.W)
 	}
 	return out
 }
 
 // Boundary returns the set bits that touch (8-connectivity) at least one
 // clear or out-of-bounds pixel. The compositor's error model perturbs
-// exactly this band.
+// exactly this band. A bit is interior iff its 3-row horizontal-closure
+// words are all set: h3(y) = row ∧ (row≪1) ∧ (row≫1), and
+// interior = h3(y−1) ∧ h3(y) ∧ h3(y+1), with out-of-bounds rows all
+// zero — so the whole band falls out of three word-ANDs per row.
 func (m *Mask) Boundary() *Mask {
 	out := NewMask(m.W, m.H)
+	wpr := wordsPerRow(m.W)
+
+	// h3 per row: pixel and both horizontal neighbours set and in bounds.
+	h3 := make([]uint64, m.H*wpr)
+	tmp := make([]uint64, wpr)
 	for y := 0; y < m.H; y++ {
-		for x := 0; x < m.W; x++ {
-			if !m.Bits[y*m.W+x] {
-				continue
-			}
-			for dy := -1; dy <= 1; dy++ {
-				for dx := -1; dx <= 1; dx++ {
-					if dx == 0 && dy == 0 {
-						continue
-					}
-					if !m.At(x+dx, y+dy) {
-						out.Bits[y*m.W+x] = true
-					}
-				}
-			}
+		src := m.words[y*wpr : (y+1)*wpr]
+		row := h3[y*wpr : (y+1)*wpr]
+		copy(row, src)
+		for j := range tmp {
+			tmp[j] = 0
+		}
+		orShiftLeft(tmp, src, 1)
+		for j := range row {
+			row[j] &= tmp[j]
+		}
+		for j := range tmp {
+			tmp[j] = 0
+		}
+		orShiftRight(tmp, src, 1)
+		for j := range row {
+			row[j] &= tmp[j]
+		}
+	}
+
+	zero := make([]uint64, wpr)
+	for y := 0; y < m.H; y++ {
+		up, down := zero, zero
+		if y > 0 {
+			up = h3[(y-1)*wpr : y*wpr]
+		}
+		if y+1 < m.H {
+			down = h3[(y+1)*wpr : (y+2)*wpr]
+		}
+		mid := h3[y*wpr : (y+1)*wpr]
+		src := m.words[y*wpr : (y+1)*wpr]
+		row := out.words[y*wpr : (y+1)*wpr]
+		for j := range row {
+			row[j] = src[j] &^ (up[j] & mid[j] & down[j])
 		}
 	}
 	return out
-}
-
-// discOffsets returns all (dx, dy) with dx²+dy² ≤ r².
-func discOffsets(r int) [][2]int {
-	var offs [][2]int
-	r2 := r * r
-	for dy := -r; dy <= r; dy++ {
-		for dx := -r; dx <= r; dx++ {
-			if dx*dx+dy*dy <= r2 {
-				offs = append(offs, [2]int{dx, dy})
-			}
-		}
-	}
-	return offs
 }
 
 // ToImage renders the mask as a black-and-white image (set = white),
 // matching the paper's bitmap visualisations.
 func (m *Mask) ToImage() *Image {
 	im := New(m.W, m.H)
-	for i, b := range m.Bits {
-		if b {
-			im.Pix[i] = White
-		}
-	}
+	m.ForEachSet(func(i int) {
+		im.Pix[i] = White
+	})
 	return im
 }
 
 // BBox returns the tight bounding box (x0, y0, x1, y1) of set bits, with
 // x1/y1 exclusive, and ok=false when the mask is empty.
 func (m *Mask) BBox() (x0, y0, x1, y1 int, ok bool) {
+	wpr := wordsPerRow(m.W)
 	x0, y0 = m.W, m.H
 	for y := 0; y < m.H; y++ {
-		for x := 0; x < m.W; x++ {
-			if !m.Bits[y*m.W+x] {
-				continue
+		row := m.words[y*wpr : (y+1)*wpr]
+		if rowEmpty(row) {
+			continue
+		}
+		if !ok {
+			y0 = y
+		}
+		ok = true
+		y1 = y + 1
+		for wi := 0; wi < wpr; wi++ {
+			if row[wi] != 0 {
+				if first := wi<<6 + bits.TrailingZeros64(row[wi]); first < x0 {
+					x0 = first
+				}
+				break
 			}
-			ok = true
-			if x < x0 {
-				x0 = x
-			}
-			if y < y0 {
-				y0 = y
-			}
-			if x+1 > x1 {
-				x1 = x + 1
-			}
-			if y+1 > y1 {
-				y1 = y + 1
+		}
+		for wi := wpr - 1; wi >= 0; wi-- {
+			if row[wi] != 0 {
+				if last := wi<<6 + 63 - bits.LeadingZeros64(row[wi]); last+1 > x1 {
+					x1 = last + 1
+				}
+				break
 			}
 		}
 	}
@@ -289,4 +541,104 @@ func (m *Mask) BBox() (x0, y0, x1, y1 int, ok bool) {
 		return 0, 0, 0, 0, false
 	}
 	return x0, y0, x1, y1, true
+}
+
+// rowEmpty reports whether every word of a row is zero.
+func rowEmpty(row []uint64) bool {
+	for _, w := range row {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// setRange sets bits [x0, x1) of a row; callers guarantee 0 ≤ x0 < x1 ≤ W.
+func setRange(row []uint64, x0, x1 int) {
+	w0, w1 := x0>>6, (x1-1)>>6
+	if w0 == w1 {
+		row[w0] |= rangeMask(uint(x0&63), uint((x1-1)&63)+1)
+		return
+	}
+	row[w0] |= ^uint64(0) << (uint(x0) & 63)
+	for w := w0 + 1; w < w1; w++ {
+		row[w] = ^uint64(0)
+	}
+	row[w1] |= rangeMask(0, uint((x1-1)&63)+1)
+}
+
+// clearRange clears bits [x0, x1) of a row; callers guarantee
+// 0 ≤ x0 < x1 ≤ W.
+func clearRange(row []uint64, x0, x1 int) {
+	w0, w1 := x0>>6, (x1-1)>>6
+	if w0 == w1 {
+		row[w0] &^= rangeMask(uint(x0&63), uint((x1-1)&63)+1)
+		return
+	}
+	row[w0] &^= ^uint64(0) << (uint(x0) & 63)
+	for w := w0 + 1; w < w1; w++ {
+		row[w] = 0
+	}
+	row[w1] &^= rangeMask(0, uint((x1-1)&63)+1)
+}
+
+// rangeMask returns a word with bits [a, b) set; 0 ≤ a < b ≤ 64.
+func rangeMask(a, b uint) uint64 {
+	return ^uint64(0) >> (64 - (b - a)) << a
+}
+
+// orShiftLeft ORs src shifted k bits towards higher x into dst (dst and
+// src are same-length row slices). Bits shifted past the row end land in
+// the padding; callers re-mask the last word.
+func orShiftLeft(dst, src []uint64, k int) {
+	wsh, bsh := k>>6, uint(k&63)
+	if bsh == 0 {
+		for j := len(dst) - 1; j >= wsh; j-- {
+			dst[j] |= src[j-wsh]
+		}
+		return
+	}
+	for j := len(dst) - 1; j >= wsh; j-- {
+		v := src[j-wsh] << bsh
+		if j-wsh-1 >= 0 {
+			v |= src[j-wsh-1] >> (64 - bsh)
+		}
+		dst[j] |= v
+	}
+}
+
+// orShiftRight ORs src shifted k bits towards lower x into dst. Row
+// padding in src is zero, so no stray bits enter from the end.
+func orShiftRight(dst, src []uint64, k int) {
+	wsh, bsh := k>>6, uint(k&63)
+	n := len(dst)
+	if bsh == 0 {
+		for j := 0; j+wsh < n; j++ {
+			dst[j] |= src[j+wsh]
+		}
+		return
+	}
+	for j := 0; j+wsh < n; j++ {
+		v := src[j+wsh] >> bsh
+		if j+wsh+1 < n {
+			v |= src[j+wsh+1] << (64 - bsh)
+		}
+		dst[j] |= v
+	}
+}
+
+// isqrt returns ⌊√n⌋ for small non-negative n (n ≤ radius²).
+func isqrt(n int) int {
+	x := 0
+	for (x+1)*(x+1) <= n {
+		x++
+	}
+	return x
+}
+
+func absI(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }

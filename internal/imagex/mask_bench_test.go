@@ -1,0 +1,166 @@
+package imagex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Bench geometry matches the paper-scale frame the reconstruction hot
+// path processes (1280×720 is the calibrated Zoom geometry; the
+// simulator default 160×120 is covered by the small variant).
+const (
+	benchW = 1280
+	benchH = 720
+)
+
+func benchMaskPair(seed int64, w, h int) (*Mask, *Mask) {
+	r := rand.New(rand.NewSource(seed))
+	a, b := NewMask(w, h), NewMask(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if r.Intn(2) == 0 {
+				a.Set(x, y, true)
+			}
+			if r.Intn(2) == 0 {
+				b.Set(x, y, true)
+			}
+		}
+	}
+	return a, b
+}
+
+// benchSilhouette builds a blobby mask that resembles a caller
+// silhouette: dense interior, irregular boundary. Dilate cost depends on
+// the set-bit population, so a realistic shape matters.
+func benchSilhouette(w, h int) *Mask {
+	m := NewMask(w, h)
+	cx, cy := w/2, h/2
+	rx, ry := w/5, h/3
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dx, dy := float64(x-cx)/float64(rx), float64(y-cy)/float64(ry)
+			if dx*dx+dy*dy <= 1 {
+				m.Set(x, y, true)
+			}
+		}
+	}
+	return m
+}
+
+func BenchmarkMaskOpsUnion(b *testing.B) {
+	x, y := benchMaskPair(1, benchW, benchH)
+	dst := x.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dst.Union(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaskOpsSubtract(b *testing.B) {
+	x, y := benchMaskPair(2, benchW, benchH)
+	dst := x.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dst.Subtract(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaskOpsIntersect(b *testing.B) {
+	x, y := benchMaskPair(3, benchW, benchH)
+	dst := x.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dst.Intersect(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaskOpsCount(b *testing.B) {
+	x, _ := benchMaskPair(4, benchW, benchH)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += x.Count()
+	}
+	_ = n
+}
+
+func BenchmarkMaskOpsOverlap(b *testing.B) {
+	x, y := benchMaskPair(5, benchW, benchH)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += x.Overlap(y)
+	}
+	_ = n
+}
+
+func BenchmarkMaskOpsEqual(b *testing.B) {
+	x, _ := benchMaskPair(6, benchW, benchH)
+	y := x.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !x.Equal(y) {
+			b.Fatal("clones must be equal")
+		}
+	}
+}
+
+func BenchmarkMaskOpsInvert(b *testing.B) {
+	x, _ := benchMaskPair(7, benchW, benchH)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Invert()
+	}
+}
+
+// Dilate at the paper's calibrated Zoom blur radius (φ = 20 at
+// 1280×720) — the single hottest call of the reconstruction loop.
+func BenchmarkMaskOpsDilatePhi20(b *testing.B) {
+	m := benchSilhouette(benchW, benchH)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Dilate(20)
+	}
+}
+
+// Dilate at the simulator-scale radius (φ = 3 at 160×120).
+func BenchmarkMaskOpsDilateSim(b *testing.B) {
+	m := benchSilhouette(160, 120)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Dilate(3)
+	}
+}
+
+func BenchmarkMaskOpsErode(b *testing.B) {
+	m := benchSilhouette(benchW, benchH)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Erode(3)
+	}
+}
+
+func BenchmarkMaskOpsBoundary(b *testing.B) {
+	m := benchSilhouette(benchW, benchH)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Boundary()
+	}
+}

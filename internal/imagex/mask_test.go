@@ -9,8 +9,10 @@ import (
 
 func randomMask(r *rand.Rand, w, h int) *Mask {
 	m := NewMask(w, h)
-	for i := range m.Bits {
-		m.Bits[i] = r.Intn(2) == 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			m.Set(x, y, r.Intn(2) == 0)
+		}
 	}
 	return m
 }
@@ -213,11 +215,11 @@ func TestPropertyDilateMonotone(t *testing.T) {
 		d1 := m.Dilate(1)
 		d2 := m.Dilate(2)
 		// d1 ⊆ d2 and m ⊆ d1.
-		for i := range m.Bits {
-			if m.Bits[i] && !d1.Bits[i] {
+		for i := 0; i < m.Len(); i++ {
+			if m.GetI(i) && !d1.GetI(i) {
 				return false
 			}
-			if d1.Bits[i] && !d2.Bits[i] {
+			if d1.GetI(i) && !d2.GetI(i) {
 				return false
 			}
 		}
@@ -266,8 +268,8 @@ func TestPropertyErodeShrinks(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		m := randomMask(r, 12, 12)
 		e := m.Erode(1)
-		for i := range e.Bits {
-			if e.Bits[i] && !m.Bits[i] {
+		for i := 0; i < e.Len(); i++ {
+			if e.GetI(i) && !m.GetI(i) {
 				return false
 			}
 		}

@@ -1,0 +1,412 @@
+package imagex
+
+// Property tests pinning the word-packed bitset Mask to a reference
+// []bool implementation — the representation the repo used before the
+// bitset rewrite. Every operation pair must stay bit-identical on
+// randomized inputs, including widths that are not multiples of 64
+// (edge-word masking) and widths spanning several words.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// boolMask is the reference implementation.
+type boolMask struct {
+	w, h int
+	bits []bool
+}
+
+func newBoolMask(w, h int) *boolMask {
+	return &boolMask{w: w, h: h, bits: make([]bool, w*h)}
+}
+
+func (b *boolMask) in(x, y int) bool { return x >= 0 && x < b.w && y >= 0 && y < b.h }
+
+func (b *boolMask) at(x, y int) bool {
+	if !b.in(x, y) {
+		return false
+	}
+	return b.bits[y*b.w+x]
+}
+
+func (b *boolMask) clone() *boolMask {
+	out := newBoolMask(b.w, b.h)
+	copy(out.bits, b.bits)
+	return out
+}
+
+func (b *boolMask) count() int {
+	n := 0
+	for _, v := range b.bits {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func (b *boolMask) union(o *boolMask) {
+	for i, v := range o.bits {
+		if v {
+			b.bits[i] = true
+		}
+	}
+}
+
+func (b *boolMask) subtract(o *boolMask) {
+	for i, v := range o.bits {
+		if v {
+			b.bits[i] = false
+		}
+	}
+}
+
+func (b *boolMask) intersect(o *boolMask) {
+	for i, v := range o.bits {
+		if !v {
+			b.bits[i] = false
+		}
+	}
+}
+
+func (b *boolMask) xor(o *boolMask) {
+	for i, v := range o.bits {
+		b.bits[i] = b.bits[i] != v
+	}
+}
+
+func (b *boolMask) invert() {
+	for i := range b.bits {
+		b.bits[i] = !b.bits[i]
+	}
+}
+
+func (b *boolMask) overlap(o *boolMask) int {
+	n := 0
+	for i := range b.bits {
+		if b.bits[i] && o.bits[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func refDiscOffsets(r int) [][2]int {
+	var offs [][2]int
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if dx*dx+dy*dy <= r*r {
+				offs = append(offs, [2]int{dx, dy})
+			}
+		}
+	}
+	return offs
+}
+
+// dilate is the seed repo's O(set-bits × disc-area) offset scatter.
+func (b *boolMask) dilate(r int) *boolMask {
+	if r <= 0 {
+		return b.clone()
+	}
+	offs := refDiscOffsets(r)
+	out := newBoolMask(b.w, b.h)
+	for y := 0; y < b.h; y++ {
+		for x := 0; x < b.w; x++ {
+			if !b.bits[y*b.w+x] {
+				continue
+			}
+			for _, o := range offs {
+				nx, ny := x+o[0], y+o[1]
+				if out.in(nx, ny) {
+					out.bits[ny*b.w+nx] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (b *boolMask) erode(r int) *boolMask {
+	if r <= 0 {
+		return b.clone()
+	}
+	offs := refDiscOffsets(r)
+	out := newBoolMask(b.w, b.h)
+	for y := 0; y < b.h; y++ {
+	pixel:
+		for x := 0; x < b.w; x++ {
+			if !b.bits[y*b.w+x] {
+				continue
+			}
+			for _, o := range offs {
+				if !b.at(x+o[0], y+o[1]) {
+					continue pixel
+				}
+			}
+			out.bits[y*b.w+x] = true
+		}
+	}
+	return out
+}
+
+func (b *boolMask) boundary() *boolMask {
+	out := newBoolMask(b.w, b.h)
+	for y := 0; y < b.h; y++ {
+		for x := 0; x < b.w; x++ {
+			if !b.bits[y*b.w+x] {
+				continue
+			}
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					if !b.at(x+dx, y+dy) {
+						out.bits[y*b.w+x] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (b *boolMask) bbox() (x0, y0, x1, y1 int, ok bool) {
+	x0, y0 = b.w, b.h
+	for y := 0; y < b.h; y++ {
+		for x := 0; x < b.w; x++ {
+			if !b.bits[y*b.w+x] {
+				continue
+			}
+			ok = true
+			if x < x0 {
+				x0 = x
+			}
+			if y < y0 {
+				y0 = y
+			}
+			if x+1 > x1 {
+				x1 = x + 1
+			}
+			if y+1 > y1 {
+				y1 = y + 1
+			}
+		}
+	}
+	if !ok {
+		return 0, 0, 0, 0, false
+	}
+	return x0, y0, x1, y1, true
+}
+
+// sameBits fails the test unless the bitset and the reference agree on
+// every pixel and on the aggregate queries.
+func sameBits(t *testing.T, label string, m *Mask, ref *boolMask) {
+	t.Helper()
+	if m.W != ref.w || m.H != ref.h {
+		t.Fatalf("%s: geometry %dx%d vs %dx%d", label, m.W, m.H, ref.w, ref.h)
+	}
+	for y := 0; y < ref.h; y++ {
+		for x := 0; x < ref.w; x++ {
+			if m.At(x, y) != ref.at(x, y) {
+				t.Fatalf("%s: bit (%d,%d) = %v, reference %v (w=%d h=%d)",
+					label, x, y, m.At(x, y), ref.at(x, y), ref.w, ref.h)
+			}
+		}
+	}
+	if m.Count() != ref.count() {
+		t.Fatalf("%s: Count = %d, reference %d", label, m.Count(), ref.count())
+	}
+	// ForEachSet must visit exactly the set indices, ascending.
+	last := -1
+	n := 0
+	m.ForEachSet(func(i int) {
+		if i <= last {
+			t.Fatalf("%s: ForEachSet order violated: %d after %d", label, i, last)
+		}
+		if !ref.bits[i] {
+			t.Fatalf("%s: ForEachSet visited clear index %d", label, i)
+		}
+		last = i
+		n++
+	})
+	if n != ref.count() {
+		t.Fatalf("%s: ForEachSet visited %d bits, want %d", label, n, ref.count())
+	}
+}
+
+// propGeometries covers one-word, exact-word, word+1 and multi-word row
+// widths plus degenerate single-row/column masks.
+var propGeometries = [][2]int{
+	{1, 1}, {1, 9}, {9, 1},
+	{7, 5}, {63, 3}, {64, 3}, {65, 3},
+	{127, 4}, {128, 4}, {130, 6}, {160, 120},
+}
+
+func randomPair(r *rand.Rand, w, h int, density float64) (*Mask, *boolMask) {
+	m := NewMask(w, h)
+	ref := newBoolMask(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if r.Float64() < density {
+				m.Set(x, y, true)
+				ref.bits[y*w+x] = true
+			}
+		}
+	}
+	return m, ref
+}
+
+func TestBitsetMatchesReferenceSetOps(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, g := range propGeometries {
+		w, h := g[0], g[1]
+		for trial := 0; trial < 4; trial++ {
+			density := []float64{0, 0.05, 0.5, 1}[trial]
+			a, refA := randomPair(r, w, h, density)
+			b, refB := randomPair(r, w, h, r.Float64())
+
+			u := a.Clone()
+			if err := u.Union(b); err != nil {
+				t.Fatal(err)
+			}
+			refU := refA.clone()
+			refU.union(refB)
+			sameBits(t, "union", u, refU)
+
+			s := a.Clone()
+			if err := s.Subtract(b); err != nil {
+				t.Fatal(err)
+			}
+			refS := refA.clone()
+			refS.subtract(refB)
+			sameBits(t, "subtract", s, refS)
+
+			in := a.Clone()
+			if err := in.Intersect(b); err != nil {
+				t.Fatal(err)
+			}
+			refI := refA.clone()
+			refI.intersect(refB)
+			sameBits(t, "intersect", in, refI)
+
+			x := a.Clone()
+			if err := x.Xor(b); err != nil {
+				t.Fatal(err)
+			}
+			refX := refA.clone()
+			refX.xor(refB)
+			sameBits(t, "xor", x, refX)
+
+			inv := a.Clone()
+			inv.Invert()
+			refInv := refA.clone()
+			refInv.invert()
+			sameBits(t, "invert", inv, refInv)
+
+			if got, want := a.Overlap(b), refA.overlap(refB); got != want {
+				t.Fatalf("overlap %dx%d = %d, reference %d", w, h, got, want)
+			}
+			if got, want := a.Equal(b), refA.overlap(refB) == refA.count() && refA.count() == refB.count(); got && !want {
+				t.Fatalf("equal %dx%d: bitset claims equality, reference disagrees", w, h)
+			}
+			sameBits(t, "identity", a, refA)
+		}
+	}
+}
+
+func TestBitsetMatchesReferenceMorphology(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, g := range propGeometries {
+		w, h := g[0], g[1]
+		for _, radius := range []int{0, 1, 2, 3, 5, 9} {
+			m, ref := randomPair(r, w, h, 0.12)
+
+			sameBits(t, "dilate", m.Dilate(radius), ref.dilate(radius))
+			sameBits(t, "erode", m.Erode(radius), ref.erode(radius))
+		}
+		m, ref := randomPair(r, w, h, 0.3)
+		sameBits(t, "boundary", m.Boundary(), ref.boundary())
+
+		x0, y0, x1, y1, ok := m.BBox()
+		rx0, ry0, rx1, ry1, rok := ref.bbox()
+		if ok != rok || x0 != rx0 || y0 != ry0 || x1 != rx1 || y1 != ry1 {
+			t.Fatalf("bbox %dx%d = (%d,%d,%d,%d,%v), reference (%d,%d,%d,%d,%v)",
+				w, h, x0, y0, x1, y1, ok, rx0, ry0, rx1, ry1, rok)
+		}
+	}
+}
+
+// TestBitsetMatchesReferenceFullMask exercises NewFullMask + erode with
+// radii large enough to clear everything, plus padding-bit integrity
+// after long op chains.
+func TestBitsetMatchesReferenceFullMask(t *testing.T) {
+	for _, g := range propGeometries {
+		w, h := g[0], g[1]
+		full := NewFullMask(w, h)
+		if full.Count() != w*h {
+			t.Fatalf("NewFullMask(%d,%d).Count = %d", w, h, full.Count())
+		}
+		full.Invert()
+		if full.Count() != 0 {
+			t.Fatalf("inverted full mask not empty at %dx%d", w, h)
+		}
+		full.Invert()
+		if full.Count() != w*h {
+			t.Fatalf("double inversion lost bits at %dx%d", w, h)
+		}
+		big := maxI2(w, h)
+		if got := NewFullMask(w, h).Erode(big); got.Count() != 0 {
+			t.Fatalf("erode radius %d at %dx%d left %d bits", big, w, h, got.Count())
+		}
+	}
+}
+
+func TestBitsetSetSpanMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for _, g := range propGeometries {
+		w, h := g[0], g[1]
+		m := NewMask(w, h)
+		ref := newBoolMask(w, h)
+		for trial := 0; trial < 32; trial++ {
+			y := r.Intn(h+4) - 2
+			x0 := r.Intn(w+8) - 4
+			x1 := r.Intn(w+8) - 4
+			m.SetSpan(y, x0, x1)
+			for x := maxI2(x0, 0); x < x1 && x < w; x++ {
+				if y >= 0 && y < h {
+					ref.bits[y*w+x] = true
+				}
+			}
+		}
+		sameBits(t, "setspan", m, ref)
+	}
+}
+
+func TestGetISetIRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for _, g := range propGeometries {
+		w, h := g[0], g[1]
+		m := NewMask(w, h)
+		ref := newBoolMask(w, h)
+		for trial := 0; trial < 64; trial++ {
+			i := r.Intn(w * h)
+			v := r.Intn(2) == 0
+			m.SetI(i, v)
+			ref.bits[i] = v
+		}
+		for i := 0; i < w*h; i++ {
+			if m.GetI(i) != ref.bits[i] {
+				t.Fatalf("GetI(%d) = %v, want %v at %dx%d", i, m.GetI(i), ref.bits[i], w, h)
+			}
+		}
+	}
+}
+
+func maxI2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -80,16 +80,13 @@ func Verify(rec *core.Reconstruction, trueBackground *imagex.Image, tol int) (Ve
 			rec.Recovered.W, rec.Recovered.H, trueBackground.W, trueBackground.H, imagex.ErrBounds)
 	}
 	claimed, good := 0, 0
-	for i, c := range rec.Coverage.Bits {
-		if !c {
-			continue
-		}
+	rec.Coverage.ForEachSet(func(i int) {
 		claimed++
 		if withinTol(rec.Recovered.Pix[i], trueBackground.Pix[i], tol) {
 			good++
 		}
-	}
-	total := float64(len(rec.Coverage.Bits))
+	})
+	total := float64(rec.Coverage.Len())
 	v := Verification{
 		ClaimedPct: 100 * float64(claimed) / total,
 		TruePct:    100 * float64(good) / total,

@@ -71,7 +71,7 @@ func recWith(w, h int, claims map[int]imagex.RGB) *core.Reconstruction {
 		Coverage:  imagex.NewMask(w, h),
 	}
 	for i, c := range claims {
-		rec.Coverage.Bits[i] = true
+		rec.Coverage.SetI(i, true)
 		rec.Recovered.Pix[i] = c
 	}
 	return rec

@@ -90,8 +90,8 @@ func TestRenderProducesSilhouette(t *testing.T) {
 	// Painted pixels and mask must coincide: every non-black pixel is
 	// masked (scene background here is black).
 	for i, px := range img.Pix {
-		if (px != imagex.Black) != m.Bits[i] {
-			t.Fatalf("pixel %d painted=%v masked=%v", i, px != imagex.Black, m.Bits[i])
+		if (px != imagex.Black) != m.GetI(i) {
+			t.Fatalf("pixel %d painted=%v masked=%v", i, px != imagex.Black, m.GetI(i))
 		}
 	}
 }

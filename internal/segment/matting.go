@@ -201,11 +201,11 @@ func (m *Matting) Estimate(frame *imagex.Image, oracle *imagex.Mask) *imagex.Mas
 		moved := symmetricDiff(oracle, m.prevTrue)
 		if err := moved.Intersect(oracle); err == nil {
 			dropP := math.Min(0.9, m.cfg.MotionOverDrop*overMotion*0.5)
-			for i, b := range moved.Bits {
-				if b && m.rng.Float64() < dropP {
-					est.Bits[i] = false
+			moved.ForEachSet(func(i int) {
+				if m.rng.Float64() < dropP {
+					est.SetI(i, false)
 				}
-			}
+			})
 		}
 	}
 
@@ -217,11 +217,11 @@ func (m *Matting) Estimate(frame *imagex.Image, oracle *imagex.Mask) *imagex.Mas
 
 	// Temporal smoothing trail: previous estimate bleeds into this one.
 	if m.prevEst != nil && m.cfg.TrailKeep > 0 {
-		for i, b := range m.prevEst.Bits {
-			if b && !est.Bits[i] && m.rng.Float64() < m.cfg.TrailKeep {
-				est.Bits[i] = true
+		m.prevEst.ForEachSet(func(i int) {
+			if !est.GetI(i) && m.rng.Float64() < m.cfg.TrailKeep {
+				est.SetI(i, true)
 			}
-		}
+		})
 	}
 
 	m.prevEst = est.Clone()
@@ -298,23 +298,19 @@ func stampDisc(m *imagex.Mask, cx, cy, r int, v bool) {
 }
 
 func symmetricDiff(a, b *imagex.Mask) *imagex.Mask {
-	out := imagex.NewMask(a.W, a.H)
 	if !a.SameSize(b) {
-		return out
+		return imagex.NewMask(a.W, a.H)
 	}
-	for i := range a.Bits {
-		out.Bits[i] = a.Bits[i] != b.Bits[i]
-	}
+	out := a.Clone()
+	_ = out.Xor(b) // same geometry, checked above
 	return out
 }
 
 func setIndices(m *imagex.Mask) []int {
-	var idxs []int
-	for i, b := range m.Bits {
-		if b {
-			idxs = append(idxs, i)
-		}
-	}
+	idxs := make([]int, 0, m.Count())
+	m.ForEachSet(func(i int) {
+		idxs = append(idxs, i)
+	})
 	return idxs
 }
 

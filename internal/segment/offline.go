@@ -52,14 +52,14 @@ func (s *OfflineSegmenter) Segment(frame *imagex.Image, oracle *imagex.Mask) *im
 	if s.Dither > 0 {
 		for _, i := range setIndices(est.Boundary()) {
 			if s.rng.Float64() < s.Dither {
-				est.Bits[i] = false
+				est.SetI(i, false)
 			}
 		}
 		// Occasional outward speckle.
 		outer := est.Dilate(1)
 		for _, i := range setIndices(outer) {
-			if !est.Bits[i] && s.rng.Float64() < s.Dither/3 {
-				est.Bits[i] = true
+			if !est.GetI(i) && s.rng.Float64() < s.Dither/3 {
+				est.SetI(i, true)
 			}
 		}
 	}
