@@ -42,6 +42,7 @@ import (
 	"github.com/bgbuster/bgbuster/internal/metrics"
 	"github.com/bgbuster/bgbuster/internal/mitigate"
 	"github.com/bgbuster/bgbuster/internal/segment"
+	"github.com/bgbuster/bgbuster/internal/session"
 	"github.com/bgbuster/bgbuster/internal/vidstream"
 )
 
@@ -284,14 +285,37 @@ func DeepfakeReplay(v *Video, seed int64) (*Video, error) {
 }
 
 // StreamReconstructor is the incremental (live-adversary) variant of
-// the framework: feed frames as they arrive, snapshot at any time.
+// the framework: feed frames as they arrive, snapshot at any time, and
+// Finalize at end-of-call so short calls (fewer frames than the
+// identification window) still pin their virtual background.
 type StreamReconstructor = core.StreamReconstructor
 
-// NewStreamAttack creates a streaming reconstructor preloaded with the
-// built-in virtual-image dictionary (VBKnownImage) or, when unknownVB is
-// true, configured for online unknown-image derivation. Seed drives the
-// attacker-side segmenter.
-func NewStreamAttack(w, h int, unknownVB bool, seed int64) (*StreamReconstructor, error) {
+// Live-call session layer: a SessionManager multiplexes many
+// concurrent StreamReconstructors behind bounded drop-oldest frame
+// queues, with idle eviction, per-session panic isolation and
+// always-readable stats (see internal/session).
+type (
+	// SessionManager multiplexes concurrent live reconstructions.
+	SessionManager = session.Manager
+	// SessionConfig tunes queue depth, idle eviction and telemetry.
+	SessionConfig = session.Config
+	// LiveSession is one live call being reconstructed.
+	LiveSession = session.Session
+	// SessionStats is an instantaneous per-session counters snapshot.
+	SessionStats = session.Snapshot
+	// SessionManagerStats aggregates the manager and all its sessions.
+	SessionManagerStats = session.ManagerSnapshot
+)
+
+// NewSessionManager returns a running live-call session manager.
+func NewSessionManager(cfg SessionConfig) *SessionManager { return session.NewManager(cfg) }
+
+// StreamAttackOptions returns the reconstruction options the streaming
+// attacker uses — the built-in virtual-image dictionary (VBKnownImage)
+// or, when unknownVB is true, online unknown-image derivation — for
+// NewStreamAttack or SessionManager.Open. Seed drives the attacker-side
+// segmenter.
+func StreamAttackOptions(w, h int, unknownVB bool, seed int64) ReconstructOptions {
 	opts := core.DefaultOptions()
 	if unknownVB {
 		opts.Mode = core.VBUnknownImage
@@ -299,5 +323,21 @@ func NewStreamAttack(w, h int, unknownVB bool, seed int64) (*StreamReconstructor
 		opts.KnownImages = compositor.BuiltinImages(w, h)
 	}
 	opts.Segmenter = segment.NewOfflineSegmenter(rand.New(rand.NewSource(seed)))
-	return core.NewStream(w, h, opts)
+	return opts
 }
+
+// NewStreamAttack creates a streaming reconstructor preloaded with the
+// built-in virtual-image dictionary (VBKnownImage) or, when unknownVB is
+// true, configured for online unknown-image derivation. Seed drives the
+// attacker-side segmenter. For multiplexing many live calls, open
+// sessions on a SessionManager with StreamAttackOptions instead.
+func NewStreamAttack(w, h int, unknownVB bool, seed int64) (*StreamReconstructor, error) {
+	return core.NewStream(w, h, StreamAttackOptions(w, h, unknownVB, seed))
+}
+
+// LoadVideo reads a .bbv recording from path under the default decode
+// limits (a crafted header cannot force a large allocation).
+func LoadVideo(path string) (*Video, error) { return vidstream.Load(path) }
+
+// SaveVideo writes a recording to path in .bbv format.
+func SaveVideo(path string, v *Video) error { return vidstream.Save(path, v) }

@@ -8,6 +8,12 @@
 //	bgbuster attack    [-phase e1|e2|e3] [-index N] [-vb name] [-software zoom|skype] [-mitigate] [-out dir]
 //	bgbuster decompose [-phase e1|e2|e3] [-index N] [-frame N] [-out dir]
 //	bgbuster list      [-phase e1|e2|e3]
+//	bgbuster live      [-in call.bbv] [-sessions N] [-rate fps] [-every dur] [-out dir]
+//
+// live drives the concurrent session layer (internal/session): it
+// replays a .bbv recording — or composes a synthetic call — through N
+// live reconstruction sessions at the call's frame rate, printing
+// periodic per-stage stats without pausing any session.
 package main
 
 import (
@@ -15,11 +21,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 
 	"github.com/bgbuster/bgbuster"
 	"github.com/bgbuster/bgbuster/internal/compositor"
 	"github.com/bgbuster/bgbuster/internal/dataset"
+	"github.com/bgbuster/bgbuster/internal/imagex"
 	"github.com/bgbuster/bgbuster/internal/person"
+	"github.com/bgbuster/bgbuster/internal/session"
 	"github.com/bgbuster/bgbuster/internal/vidstream"
 )
 
@@ -41,6 +51,8 @@ func run(args []string) error {
 		return runDecompose(args[1:])
 	case "list":
 		return runList(args[1:])
+	case "live":
+		return runLive(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -187,6 +199,197 @@ func runDecompose(args []string) error {
 		comps.VC.Fraction()*100, comps.LB.Fraction()*100,
 		comps.BB.Fraction()*100, comps.VB.Fraction()*100, *out)
 	return nil
+}
+
+func runLive(args []string) error {
+	fs := flag.NewFlagSet("live", flag.ContinueOnError)
+	phase, index := callFlags(fs)
+	in := fs.String("in", "", "replay a .bbv recording instead of composing a synthetic call (oracle-less: the segmenter sees empty silhouettes)")
+	vbName := fs.String("vb", "beach", "built-in virtual background name (synthetic call)")
+	software := fs.String("software", "zoom", "compositor profile: zoom or skype (synthetic call)")
+	sessions := fs.Int("sessions", 4, "number of concurrent live sessions replaying the call")
+	frames := fs.Int("frames", 0, "truncate the call to this many frames (0: all)")
+	unknownVB := fs.Bool("unknown-vb", false, "derive the virtual background online instead of using the dictionary")
+	rate := fs.Float64("rate", 0, "replay rate in fps (0: the call's own FPS, negative: unpaced)")
+	every := fs.Duration("every", 2*time.Second, "stats reporting period")
+	queue := fs.Int("queue", 0, "per-session frame queue depth (0: default)")
+	idle := fs.Duration("idle", 0, "evict sessions idle for this long (0: never)")
+	seed := fs.Int64("seed", 1, "random seed (each session perturbs it)")
+	out := fs.String("out", "", "write each session's recovered background PNG to this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sessions < 1 {
+		return fmt.Errorf("need at least one session")
+	}
+
+	// Acquire the call: a replayed recording (decoded under the default
+	// byte budget, so a crafted header is rejected up front) or a
+	// freshly composed synthetic one with true silhouettes.
+	var video *vidstream.Video
+	var oracles []*imagex.Mask
+	source := ""
+	if *in != "" {
+		v, err := vidstream.Load(*in)
+		if err != nil {
+			return err
+		}
+		video = v
+		w, h := v.Size()
+		oracles = make([]*imagex.Mask, v.Len())
+		for i := range oracles {
+			oracles[i] = imagex.NewMask(w, h)
+		}
+		source = fmt.Sprintf("replay of %s", *in)
+	} else {
+		call, err := pickCall(*phase, *index)
+		if err != nil {
+			return err
+		}
+		if *frames > 0 && *frames < call.Frames {
+			call.Frames = *frames
+		}
+		rendered, err := call.Render()
+		if err != nil {
+			return err
+		}
+		profile := bgbuster.ZoomProfile()
+		if *software == "skype" {
+			profile = bgbuster.SkypeProfile()
+		} else if *software != "zoom" {
+			return fmt.Errorf("unknown software %q", *software)
+		}
+		w, h := rendered.Raw.Size()
+		composed, err := bgbuster.Compose(rendered.Raw, rendered.Silhouettes, profile,
+			bgbuster.StaticImage{Img: bgbuster.BuiltinVirtualImage(*vbName, w, h)}, nil, *seed)
+		if err != nil {
+			return err
+		}
+		video = composed.Blended
+		oracles = rendered.Silhouettes
+		source = fmt.Sprintf("synthetic call %s (%s, vb=%s, software=%s)", call.ID, *phase, *vbName, *software)
+	}
+	if *frames > 0 && *frames < video.Len() {
+		video = video.Slice(0, *frames)
+		oracles = oracles[:*frames]
+	}
+	w, h := video.Size()
+
+	fps := *rate
+	if fps == 0 {
+		fps = float64(video.FPS)
+	}
+	var frameGap time.Duration
+	if fps > 0 {
+		frameGap = time.Duration(float64(time.Second) / fps)
+	}
+
+	mgr := session.NewManager(session.Config{QueueDepth: *queue, IdleTimeout: *idle})
+	defer mgr.Close()
+	live := make([]*session.Session, *sessions)
+	for i := range live {
+		s, err := mgr.Open(fmt.Sprintf("call-%02d", i), w, h, bgbuster.StreamAttackOptions(w, h, *unknownVB, *seed+int64(i)))
+		if err != nil {
+			return err
+		}
+		live[i] = s
+	}
+
+	fmt.Printf("live: %s — %d frames %dx%d at %.3g fps across %d sessions\n",
+		source, video.Len(), w, h, fps, *sessions)
+
+	// Feed every session concurrently at the replay rate while a
+	// reporter prints instantaneous aggregates; neither blocks the
+	// reconstruction workers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for _, s := range live {
+			wg.Add(1)
+			go func(s *session.Session) {
+				defer wg.Done()
+				for i, f := range video.Frames {
+					if frameGap > 0 && i > 0 {
+						time.Sleep(frameGap)
+					}
+					if err := s.Feed(f, oracles[i]); err != nil {
+						return // closed or failed: final stats will say
+					}
+				}
+				_ = s.Finalize()
+			}(s)
+		}
+		wg.Wait()
+	}()
+
+	start := time.Now()
+	ticker := time.NewTicker(*every)
+	defer ticker.Stop()
+loop:
+	for {
+		select {
+		case <-done:
+			break loop
+		case <-ticker.C:
+			printAggregate(start, mgr.Stats())
+		}
+	}
+
+	fmt.Println("final per-session stats:")
+	fmt.Println("  id        frames  drop  rej  coverage  vb          pin-latency  mean-feed")
+	for _, s := range live {
+		st := s.Stats()
+		vb := st.VBName
+		if vb == "" {
+			vb = fmt.Sprintf("derived:%.0f%%", st.DerivedCoverage*100)
+		}
+		fmt.Printf("  %-9s %6d %5d %4d %8.2f%%  %-11s %11s %10s\n",
+			st.ID, st.FramesProcessed, st.FramesDropped, st.FramesRejected,
+			st.CoveragePct, vb, st.IdentifyLatency.Round(time.Millisecond),
+			st.FeedLatency.Mean.Round(10*time.Microsecond))
+	}
+	ms := mgr.Stats()
+	fmt.Printf("manager: opened=%d closed=%d evicted=%d panics=%d\n",
+		ms.Opened, ms.Closed, ms.Evicted, ms.Panics)
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		for _, s := range live {
+			snap := s.Snapshot()
+			path := filepath.Join(*out, s.ID()+"-recovered.png")
+			if err := snap.Recovered.WritePNG(path); err != nil {
+				return fmt.Errorf("write %s: %w", path, err)
+			}
+		}
+		fmt.Printf("recovered backgrounds written to %s/\n", *out)
+	}
+	return nil
+}
+
+// printAggregate prints one instantaneous fleet-wide stats line.
+func printAggregate(start time.Time, ms session.ManagerSnapshot) {
+	var fed, dropped, rejected, processed uint64
+	var covSum float64
+	identified := 0
+	for _, st := range ms.Sessions {
+		fed += st.FramesFed
+		dropped += st.FramesDropped
+		rejected += st.FramesRejected
+		processed += st.FramesProcessed
+		covSum += st.CoveragePct
+		if st.Identified {
+			identified++
+		}
+	}
+	meanCov := 0.0
+	if len(ms.Sessions) > 0 {
+		meanCov = covSum / float64(len(ms.Sessions))
+	}
+	fmt.Printf("%6.1fs  open=%d fed=%d drop=%d rej=%d proc=%d identified=%d mean-coverage=%.2f%%\n",
+		time.Since(start).Seconds(), ms.Open, fed, dropped, rejected, processed, identified, meanCov)
 }
 
 func runList(args []string) error {

@@ -4,6 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/vidstream"
 )
 
 func TestRunRejectsBadInput(t *testing.T) {
@@ -57,6 +60,48 @@ func TestDecomposeWritesComponents(t *testing.T) {
 	}
 	if err := run([]string{"decompose", "-frame", "100000", "-out", dir}); err == nil {
 		t.Fatal("out-of-range frame accepted")
+	}
+}
+
+func TestLiveSyntheticSessions(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"live", "-sessions", "3", "-frames", "12",
+		"-rate", "-1", "-every", "50ms", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"call-00-recovered.png", "call-01-recovered.png", "call-02-recovered.png"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing artefact %s: %v", f, err)
+		}
+	}
+}
+
+func TestLiveReplaysRecording(t *testing.T) {
+	w, h := 48, 36
+	v := &vidstream.Video{FPS: 30, Frames: make([]*imagex.Image, 8)}
+	for i := range v.Frames {
+		v.Frames[i] = imagex.NewFilled(w, h, imagex.RGB{R: uint8(40 + i*10), G: 90, B: 160})
+	}
+	path := filepath.Join(t.TempDir(), "call.bbv")
+	if err := vidstream.Save(path, v); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"live", "-in", path, "-sessions", "2", "-unknown-vb", "-rate", "-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveRejectsBadInput(t *testing.T) {
+	if err := run([]string{"live", "-sessions", "0", "-rate", "-1"}); err == nil {
+		t.Fatal("zero sessions accepted")
+	}
+	if err := run([]string{"live", "-software", "facetime", "-rate", "-1"}); err == nil {
+		t.Fatal("unknown software accepted")
+	}
+	if err := run([]string{"live", "-in", filepath.Join(t.TempDir(), "missing.bbv")}); err == nil {
+		t.Fatal("missing recording accepted")
 	}
 }
 

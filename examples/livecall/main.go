@@ -1,8 +1,10 @@
 // Live call: the adversary as a call participant, reconstructing the
-// victim's background *while the call is still running*. Uses the
-// streaming reconstructor — no recording needed; a partial background is
-// available at any instant, and the virtual background is identified
-// automatically after the first few frames.
+// victim's background *while the call is still running*. Built on the
+// session layer — a Manager multiplexes concurrent streaming
+// reconstructions with bounded frame queues, so an adversary watching
+// several calls at once never blocks on a slow one. Here two sessions
+// watch the same call: one with the dictionary (known-image
+// identification) and one deriving the virtual background online.
 //
 //	go run ./examples/livecall
 package main
@@ -10,6 +12,8 @@ package main
 import (
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
 	"github.com/bgbuster/bgbuster"
 )
@@ -38,38 +42,83 @@ func run() error {
 		return err
 	}
 
-	// The adversary's side: feed frames as they "arrive".
-	stream, err := bgbuster.NewStreamAttack(w, h, false, 8)
+	// The adversary's side: a session manager hosting one session per
+	// watched call. Feed never blocks — a slow reconstruction drops its
+	// oldest queued frame rather than stalling the call intake.
+	mgr := bgbuster.NewSessionManager(bgbuster.SessionConfig{QueueDepth: 64})
+	defer mgr.Close()
+
+	known, err := mgr.Open("victim-known", w, h, bgbuster.StreamAttackOptions(w, h, false, 8))
 	if err != nil {
 		return err
 	}
-	fmt.Println("time   recovered   note")
-	for i, f := range composed.Blended.Frames {
-		if err := stream.Feed(f, rendered.Silhouettes[i]); err != nil {
-			return err
-		}
-		if (i+1)%60 == 0 { // report every 2 seconds of call time
-			snap := stream.Snapshot()
-			note := ""
-			if (i + 1) == 60 {
-				note = fmt.Sprintf("virtual background identified as %q", snap.VBName)
-			}
-			fmt.Printf("%4.1fs  %7.1f%%   %s\n",
-				float64(i+1)/float64(call.FPS), snap.RBRR(), note)
-		}
-	}
-
-	snap := stream.Snapshot()
-	if err := os.MkdirAll("livecall-out", 0o755); err != nil {
+	derived, err := mgr.Open("victim-derived", w, h, bgbuster.StreamAttackOptions(w, h, true, 8))
+	if err != nil {
 		return err
 	}
-	if err := snap.Recovered.WritePNG("livecall-out/live-recovered.png"); err != nil {
+	watched := []*bgbuster.LiveSession{known, derived}
+
+	// Feed both sessions concurrently, as frames "arrive".
+	var wg sync.WaitGroup
+	for _, s := range watched {
+		wg.Add(1)
+		go func(s *bgbuster.LiveSession) {
+			defer wg.Done()
+			for i, f := range composed.Blended.Frames {
+				if err := s.Feed(f, rendered.Silhouettes[i]); err != nil {
+					return
+				}
+				// A greatly accelerated 30fps: fast enough to finish in
+				// under a second, slow enough that the queue rarely fills.
+				time.Sleep(time.Millisecond)
+			}
+			_ = s.Finalize()
+		}(s)
+	}
+
+	// Meanwhile, the stats surface is readable at any instant.
+	fmt.Println("session         frames  recovered  note")
+	progress := time.NewTicker(100 * time.Millisecond)
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	announced := map[string]bool{}
+observe:
+	for {
+		select {
+		case <-finished:
+			break observe
+		case <-progress.C:
+			for _, st := range mgr.Stats().Sessions {
+				note := ""
+				if st.Identified && !announced[st.ID] {
+					announced[st.ID] = true
+					note = fmt.Sprintf("virtual background identified as %q after %s",
+						st.VBName, st.IdentifyLatency.Round(time.Millisecond))
+				}
+				fmt.Printf("%-15s %6d  %8.1f%%  %s\n", st.ID, st.FramesProcessed, st.CoveragePct, note)
+			}
+		}
+	}
+	progress.Stop()
+
+	if err := os.MkdirAll("livecall-out", 0o755); err != nil {
 		return err
 	}
 	if err := rendered.TrueBackground.WritePNG("livecall-out/truth.png"); err != nil {
 		return err
 	}
-	fmt.Printf("\nfinal: %.1f%% of the hidden background recovered during the call\n", snap.RBRR())
-	fmt.Println("wrote livecall-out/{live-recovered,truth}.png")
+	fmt.Println("\nfinal:")
+	for _, s := range watched {
+		st := s.Stats()
+		snap := s.Snapshot()
+		path := fmt.Sprintf("livecall-out/%s.png", st.ID)
+		if err := snap.Recovered.WritePNG(path); err != nil {
+			return err
+		}
+		fmt.Printf("  %-15s %.1f%% recovered (fed=%d dropped=%d processed=%d, mean feed %s) -> %s\n",
+			st.ID, st.CoveragePct, st.FramesFed, st.FramesDropped, st.FramesProcessed,
+			st.FeedLatency.Mean.Round(10*time.Microsecond), path)
+	}
+	fmt.Println("wrote livecall-out/{victim-known,victim-derived,truth}.png")
 	return nil
 }

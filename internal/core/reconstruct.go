@@ -72,6 +72,13 @@ type Options struct {
 	// Phi is the blending blur radius φ; non-positive uses DefaultPhi.
 	Phi int
 
+	// IdentifyAfter is how many frames a StreamReconstructor buffers
+	// before pinning known-image identification; non-positive uses
+	// DefaultIdentifyAfter. Calls shorter than the window pin at
+	// Finalize instead. The batch Reconstruct ignores it (it always
+	// sees the whole call).
+	IdentifyAfter int
+
 	// Segmenter produces the video caller mask (the paper uses
 	// DeepLabv3; the simulation uses segment.OfflineSegmenter).
 	Segmenter segment.Segmenter

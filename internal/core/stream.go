@@ -13,18 +13,23 @@ import (
 // available at any instant of the call.
 //
 // Differences from the batch Reconstruct (both documented, both
-// faithful to an online adversary):
+// faithful to an online adversary; see DESIGN.md §10):
 //
 //   - Known-image identification happens after IdentifyAfter frames;
 //     earlier frames are buffered (bounded) and reprocessed once the
-//     virtual background is pinned.
+//     virtual background is pinned. Calls shorter than the window must
+//     call Finalize at end-of-call, which pins with the scores
+//     accumulated so far and flushes the buffer.
 //   - Unknown-image derivation is online: a pixel joins the derived VB
 //     as soon as it has been stable for the threshold, so early frames
-//     see a sparser VB mask than the batch pass would.
+//     see a sparser VB mask than the batch pass would. As in the batch
+//     path, locally derived pixels take precedence over Options.
+//     AuxDerived seeds ("earlier arguments win, local first").
 //   - The statistical color refinement uses the color histogram
 //     accumulated so far rather than the whole call's.
 //
-// A StreamReconstructor is not safe for concurrent use.
+// A StreamReconstructor is not safe for concurrent use; the session
+// layer (internal/session) serialises access for live multiplexing.
 type StreamReconstructor struct {
 	opts Options
 	w, h int
@@ -38,23 +43,33 @@ type StreamReconstructor struct {
 	pending        []*imagex.Image
 	pendingOracles []*imagex.Mask
 
-	// Online unknown-image derivation state.
-	derived *DerivedImage
-	runLen  []int
-	prev    *imagex.Image
+	// Online unknown-image derivation state. derived is the effective
+	// virtual image used for masking: AuxDerived seeds overlaid by the
+	// local derivation. localKnown marks pixels the local derivation
+	// committed — only those are barred from re-derivation, so a locally
+	// stable pixel always overrides an aux seed (matching the batch
+	// path's "local first" merge precedence).
+	derived    *DerivedImage
+	localKnown *imagex.Mask
+	runLen     []int
+	prev       *imagex.Image
 
 	// Color-refinement running histogram.
 	hist      []int
 	histTotal int
 
 	// Accumulated output.
-	rec    *Reconstruction
-	frames int
+	rec       *Reconstruction
+	frames    int
+	finalized bool
 }
 
 // DefaultIdentifyAfter is the number of frames the streaming attacker
 // observes before pinning the known virtual background.
 const DefaultIdentifyAfter = 10
+
+// ErrFinalized is returned by Feed after Finalize.
+var ErrFinalized = errors.New("core: stream already finalized")
 
 // NewStream creates a streaming reconstructor for frames of the given
 // geometry. Only VBKnownImage and VBUnknownImage are streamable (video
@@ -88,6 +103,9 @@ func NewStream(w, h int, opts Options) (*StreamReconstructor, error) {
 	if opts.ColorFreqThreshold <= 0 {
 		opts.ColorFreqThreshold = 0.004
 	}
+	if opts.IdentifyAfter <= 0 {
+		opts.IdentifyAfter = DefaultIdentifyAfter
+	}
 	s := &StreamReconstructor{
 		opts:   opts,
 		w:      w,
@@ -101,6 +119,7 @@ func NewStream(w, h int, opts Options) (*StreamReconstructor, error) {
 	}
 	if opts.Mode == VBUnknownImage {
 		s.derived = &DerivedImage{Img: imagex.New(w, h), Known: imagex.NewMask(w, h)}
+		s.localKnown = imagex.NewMask(w, h)
 		if len(opts.AuxDerived) > 0 {
 			merged, err := MergeDerived(append([]*DerivedImage{s.derived}, opts.AuxDerived...)...)
 			if err != nil {
@@ -119,11 +138,29 @@ func NewStream(w, h int, opts Options) (*StreamReconstructor, error) {
 // Frames returns the number of frames fed so far.
 func (s *StreamReconstructor) Frames() int { return s.frames }
 
+// Identified reports whether known-image identification has pinned a
+// virtual background (always false in VBUnknownImage mode).
+func (s *StreamReconstructor) Identified() bool { return s.identified }
+
+// Finalized reports whether Finalize has been called.
+func (s *StreamReconstructor) Finalized() bool { return s.finalized }
+
 // Feed processes one frame. oracle is the true silhouette consumed by
-// the simulated segmenter (see Reconstruct).
+// the simulated segmenter (see Reconstruct). Feed returns ErrFinalized
+// after Finalize.
 func (s *StreamReconstructor) Feed(frame *imagex.Image, oracle *imagex.Mask) error {
+	if s.finalized {
+		return ErrFinalized
+	}
 	if frame == nil || frame.W != s.w || frame.H != s.h {
 		return fmt.Errorf("core: stream frame geometry mismatch: %w", imagex.ErrBounds)
+	}
+	if oracle == nil {
+		return errors.New("core: stream: nil oracle mask")
+	}
+	if oracle.W != s.w || oracle.H != s.h {
+		return fmt.Errorf("core: stream oracle geometry %dx%d for %dx%d frames: %w",
+			oracle.W, oracle.H, s.w, s.h, imagex.ErrBounds)
 	}
 	s.frames++
 
@@ -131,13 +168,8 @@ func (s *StreamReconstructor) Feed(frame *imagex.Image, oracle *imagex.Mask) err
 		s.accumulateScores(frame)
 		s.pending = append(s.pending, frame.Clone())
 		s.pendingOracles = append(s.pendingOracles, oracle.Clone())
-		if s.frames >= DefaultIdentifyAfter {
-			s.pinIdentification()
-			// Reprocess the buffered prefix with the pinned VB.
-			for i, f := range s.pending {
-				s.processFrame(f, s.pendingOracles[i])
-			}
-			s.pending, s.pendingOracles = nil, nil
+		if s.frames >= s.opts.IdentifyAfter {
+			s.pinAndFlush()
 		}
 		return nil
 	}
@@ -147,6 +179,34 @@ func (s *StreamReconstructor) Feed(frame *imagex.Image, oracle *imagex.Mask) err
 	}
 	s.processFrame(frame, oracle)
 	return nil
+}
+
+// Finalize marks end-of-call: if known-image identification is still
+// pending (the call ended inside the IdentifyAfter window), it pins the
+// best candidate using the scores accumulated so far and flushes the
+// buffered frames through the pipeline. Finalize is idempotent; Feed
+// returns ErrFinalized afterwards. A finalized Snapshot of a short call
+// therefore contains every fed frame instead of silently dropping the
+// unidentified prefix.
+func (s *StreamReconstructor) Finalize() error {
+	if s.finalized {
+		return nil
+	}
+	s.finalized = true
+	if s.opts.Mode == VBKnownImage && !s.identified && s.frames > 0 {
+		s.pinAndFlush()
+	}
+	return nil
+}
+
+// pinAndFlush commits identification and reprocesses the buffered
+// prefix with the pinned VB.
+func (s *StreamReconstructor) pinAndFlush() {
+	s.pinIdentification()
+	for i, f := range s.pending {
+		s.processFrame(f, s.pendingOracles[i])
+	}
+	s.pending, s.pendingOracles = nil, nil
 }
 
 // accumulateScores advances the highest-likelihood estimator.
@@ -171,6 +231,10 @@ func (s *StreamReconstructor) pinIdentification() {
 }
 
 // updateDerivation advances the online pixel-stability derivation.
+// Local commits write through even where an AuxDerived seed already
+// supplied a value: the batch path derives locally first and only fills
+// the gaps from aux (MergeDerived, earlier-wins), so the stream must
+// let local pixels override aux ones too.
 func (s *StreamReconstructor) updateDerivation(frame *imagex.Image) {
 	if s.prev != nil {
 		i := 0
@@ -178,9 +242,10 @@ func (s *StreamReconstructor) updateDerivation(frame *imagex.Image) {
 			for x := 0; x < s.w; x++ {
 				if within(s.prev.Pix[i], frame.Pix[i], s.opts.MatchTol) {
 					s.runLen[i]++
-					if s.runLen[i] >= s.opts.StabilityThreshold && !s.derived.Known.At(x, y) {
+					if s.runLen[i] >= s.opts.StabilityThreshold && !s.localKnown.At(x, y) {
 						s.derived.Img.Pix[i] = frame.Pix[i]
 						s.derived.Known.Set(x, y, true)
+						s.localKnown.Set(x, y, true)
 					}
 				} else {
 					s.runLen[i] = 1
@@ -244,5 +309,15 @@ func (s *StreamReconstructor) refineOnline(frame *imagex.Image, vcm *imagex.Mask
 }
 
 // Snapshot returns the reconstruction accumulated so far. The returned
-// value shares storage with the stream; clone before mutating.
+// value shares storage with the stream; clone before mutating. In
+// VBKnownImage mode, frames fed before identification pinned are not yet
+// reflected — a call shorter than IdentifyAfter must Finalize first,
+// otherwise the snapshot is empty (the pre-fix behaviour was to drop
+// such calls silently).
 func (s *StreamReconstructor) Snapshot() *Reconstruction { return s.rec }
+
+// Derived returns the effective unknown-image derivation (AuxDerived
+// seeds overlaid by local commits), or nil outside VBUnknownImage mode.
+// The returned value shares storage with the stream; clone before
+// mutating or before seeding another call's AuxDerived.
+func (s *StreamReconstructor) Derived() *DerivedImage { return s.derived }

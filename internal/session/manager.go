@@ -1,0 +1,214 @@
+package session
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/session/stats"
+)
+
+// Config tunes the Manager. The zero value is usable: 32-frame queues,
+// no idle eviction, 256 coverage samples per session.
+type Config struct {
+	// QueueDepth bounds each session's frame queue; when full, the
+	// oldest queued frame is dropped (non-positive: 32).
+	QueueDepth int
+	// IdleTimeout evicts sessions that have not been fed for this
+	// long. Zero disables eviction.
+	IdleTimeout time.Duration
+	// SweepEvery is the eviction sweep period (non-positive: 1s, or
+	// IdleTimeout/4 if smaller).
+	SweepEvery time.Duration
+	// CoverageSamples bounds each session's coverage-over-time ring
+	// (non-positive: 256).
+	CoverageSamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.CoverageSamples <= 0 {
+		c.CoverageSamples = 256
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = time.Second
+		if c.IdleTimeout > 0 && c.IdleTimeout/4 < c.SweepEvery {
+			c.SweepEvery = c.IdleTimeout / 4
+		}
+	}
+	return c
+}
+
+// Manager multiplexes many live reconstruction sessions. All methods
+// are safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	closed   bool
+
+	opened    stats.Counter
+	closedCnt stats.Counter
+	evictions stats.Counter
+	panics    stats.Counter
+
+	stopSweep chan struct{}
+	sweepDone chan struct{}
+}
+
+// NewManager returns a running Manager; Close releases it. When
+// cfg.IdleTimeout is set, a background sweeper finalizes and removes
+// sessions whose last Feed is older than the timeout.
+func NewManager(cfg Config) *Manager {
+	m := &Manager{
+		cfg:      cfg.withDefaults(),
+		sessions: map[string]*Session{},
+	}
+	if m.cfg.IdleTimeout > 0 {
+		m.stopSweep = make(chan struct{})
+		m.sweepDone = make(chan struct{})
+		go m.sweep()
+	}
+	return m
+}
+
+// Open starts a live session reconstructing a call of the given frame
+// geometry. opts follows core.NewStream (VBKnownImage or
+// VBUnknownImage). The id must be unique among open sessions.
+func (m *Manager) Open(id string, w, h int, opts core.Options) (*Session, error) {
+	stream, err := core.NewStream(w, h, opts)
+	if err != nil {
+		return nil, fmt.Errorf("session %q: %w", id, err)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("manager: %w", ErrClosed)
+	}
+	if _, dup := m.sessions[id]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("session %q: %w", id, ErrExists)
+	}
+	s := newSession(m, id, stream, m.cfg.QueueDepth, m.cfg.CoverageSamples)
+	m.sessions[id] = s
+	m.mu.Unlock()
+	m.opened.Inc()
+	go s.loop()
+	return s, nil
+}
+
+// Get returns the open session with the given id.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// Len returns the number of open sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// remove unregisters s if it is still the session registered under id.
+func (m *Manager) remove(id string, s *Session) {
+	m.mu.Lock()
+	if cur, ok := m.sessions[id]; ok && cur == s {
+		delete(m.sessions, id)
+		m.mu.Unlock()
+		m.closedCnt.Inc()
+		return
+	}
+	m.mu.Unlock()
+}
+
+// list copies the current session set.
+func (m *Manager) list() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+// sweep is the idle-eviction loop.
+func (m *Manager) sweep() {
+	defer close(m.sweepDone)
+	t := time.NewTicker(m.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopSweep:
+			return
+		case <-t.C:
+		}
+		deadline := time.Now().Add(-m.cfg.IdleTimeout).UnixNano()
+		for _, s := range m.list() {
+			if s.lastFeed.Load() < deadline {
+				s.evicted.Store(true)
+				m.evictions.Inc()
+				_ = s.Close() // finalizes; panic (if any) already counted
+			}
+		}
+	}
+}
+
+// Close finalizes every open session and stops the sweeper. The
+// manager accepts no new sessions afterwards; Close is idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	if m.stopSweep != nil {
+		close(m.stopSweep)
+		<-m.sweepDone
+	}
+	for _, s := range m.list() {
+		_ = s.Close()
+	}
+}
+
+// ManagerSnapshot is an instantaneous view of the manager and all its
+// open sessions.
+type ManagerSnapshot struct {
+	// Open is the number of currently open sessions.
+	Open int
+	// Opened/Closed/Evicted/Panics are monotonic lifetime counters.
+	Opened  uint64
+	Closed  uint64
+	Evicted uint64
+	Panics  uint64
+	// Sessions holds one snapshot per open session, ordered by ID.
+	Sessions []Snapshot
+}
+
+// Stats assembles a snapshot of every open session without stopping
+// any of them.
+func (m *Manager) Stats() ManagerSnapshot {
+	sessions := m.list()
+	snap := ManagerSnapshot{
+		Open:    len(sessions),
+		Opened:  m.opened.Load(),
+		Closed:  m.closedCnt.Load(),
+		Evicted: m.evictions.Load(),
+		Panics:  m.panics.Load(),
+	}
+	for _, s := range sessions {
+		snap.Sessions = append(snap.Sessions, s.Stats())
+	}
+	sort.Slice(snap.Sessions, func(i, j int) bool { return snap.Sessions[i].ID < snap.Sessions[j].ID })
+	return snap
+}

@@ -1,0 +1,304 @@
+// Package session is the live-call layer of the reconstruction
+// framework: a Manager multiplexes many concurrent streaming
+// reconstructions (core.StreamReconstructor), one per observed call.
+// Each session owns a bounded frame queue with a drop-oldest policy —
+// a live adversary that falls behind loses old frames, never the call —
+// a worker goroutine that feeds the reconstructor, panic isolation so
+// one poisoned call cannot take down its neighbours, and an
+// observability surface (per-stage counters, feed latency, coverage
+// over time) readable at any instant without pausing the session.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/session/stats"
+)
+
+// ErrClosed is returned when feeding a session whose intake has been
+// closed (Finalize, Close, eviction) or opening on a closed Manager.
+var ErrClosed = errors.New("session: closed")
+
+// ErrExists is returned by Open for a duplicate session id.
+var ErrExists = errors.New("session: id already open")
+
+// ErrFailed is returned when feeding a session whose worker died on a
+// panic; the partial reconstruction up to the panic stays readable.
+var ErrFailed = errors.New("session: worker failed")
+
+// item is one queued frame with its oracle silhouette.
+type item struct {
+	frame  *imagex.Image
+	oracle *imagex.Mask
+}
+
+// Session is one live call being reconstructed. Feed never blocks on
+// the reconstruction: frames queue up to Config.QueueDepth and the
+// oldest queued frame is dropped when the queue is full. All methods
+// are safe for concurrent use.
+type Session struct {
+	id  string
+	mgr *Manager
+
+	// Intake: sendMu serialises queue sends against intake close.
+	sendMu       sync.Mutex
+	queue        chan item
+	intakeClosed bool
+
+	// streamMu guards the reconstructor (worker writes, observers read).
+	streamMu sync.Mutex
+	stream   *core.StreamReconstructor
+
+	started  time.Time
+	lastFeed atomic.Int64 // UnixNano of the most recent Feed
+
+	fed       stats.Counter
+	dropped   stats.Counter
+	rejected  stats.Counter
+	processed stats.Counter
+	feedLat   stats.Latency
+	coverage  *stats.Series
+	pinnedNs  atomic.Int64 // identify-pin latency; 0 until pinned
+
+	done    chan struct{} // closed when the worker exits
+	failure atomic.Value  // string; set when the worker panicked
+	evicted atomic.Bool
+}
+
+func newSession(mgr *Manager, id string, stream *core.StreamReconstructor, queueDepth, coverageSamples int) *Session {
+	s := &Session{
+		id:       id,
+		mgr:      mgr,
+		queue:    make(chan item, queueDepth),
+		stream:   stream,
+		started:  time.Now(),
+		coverage: stats.NewSeries(coverageSamples),
+		done:     make(chan struct{}),
+	}
+	s.lastFeed.Store(s.started.UnixNano())
+	return s
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Feed enqueues one frame. It never blocks: when the queue is full the
+// oldest queued frame is dropped (counted in Stats as FramesDropped).
+// The session does not copy the frame or oracle; the caller must not
+// mutate them afterwards. Malformed frames (wrong geometry, nil
+// oracle) are not detected here but at processing time, where they are
+// counted as FramesRejected and the session carries on.
+func (s *Session) Feed(frame *imagex.Image, oracle *imagex.Mask) error {
+	if s.Failure() != "" {
+		return fmt.Errorf("session %q: %w", s.id, ErrFailed)
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.intakeClosed {
+		return fmt.Errorf("session %q: %w", s.id, ErrClosed)
+	}
+	s.lastFeed.Store(time.Now().UnixNano())
+	s.fed.Inc()
+	it := item{frame: frame, oracle: oracle}
+	select {
+	case s.queue <- it:
+		return nil
+	default:
+	}
+	// Queue full: evict the oldest queued frame, then retry once. The
+	// receive races with the worker; if the worker drained a slot
+	// first, the send below succeeds and nothing is dropped twice.
+	select {
+	case <-s.queue:
+		s.dropped.Inc()
+	default:
+	}
+	select {
+	case s.queue <- it:
+	default:
+		s.dropped.Inc() // lost the race to a concurrent Feed; drop the new frame
+	}
+	return nil
+}
+
+// loop is the session worker: it drains the queue into the
+// reconstructor and finalizes the stream when the intake closes. A
+// panic in the reconstruction pipeline marks the session failed
+// without disturbing other sessions.
+func (s *Session) loop() {
+	defer close(s.done)
+	defer func() {
+		if r := recover(); r != nil {
+			s.failure.Store(fmt.Sprintf("%v", r))
+			s.mgr.panics.Inc()
+		}
+	}()
+	for it := range s.queue {
+		s.process(it)
+	}
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	_ = s.stream.Finalize()
+}
+
+// process feeds one frame through the reconstructor and updates the
+// per-stage telemetry.
+func (s *Session) process(it item) {
+	t0 := time.Now()
+	err, identified, cov := s.feedStream(it)
+	s.feedLat.Observe(time.Since(t0))
+	if err != nil {
+		s.rejected.Inc()
+		return
+	}
+	s.processed.Inc()
+	s.coverage.Append(cov)
+	if identified && s.pinnedNs.Load() == 0 {
+		s.pinnedNs.Store(int64(time.Since(s.started)))
+	}
+}
+
+// feedStream runs one frame through the reconstructor under streamMu.
+// The unlock is deferred so a panicking pipeline (isolated in loop's
+// recover) cannot leave the mutex held and wedge every observer.
+func (s *Session) feedStream(it item) (err error, identified bool, cov float64) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	err = s.stream.Feed(it.frame, it.oracle)
+	identified = s.stream.Identified()
+	cov = s.stream.Snapshot().Coverage.Fraction()
+	return err, identified, cov
+}
+
+// closeIntake stops accepting frames; idempotent.
+func (s *Session) closeIntake() {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if !s.intakeClosed {
+		s.intakeClosed = true
+		close(s.queue)
+	}
+}
+
+// Finalize closes the intake, waits for every queued frame to be
+// processed and for the stream to finalize (pinning identification on
+// short calls). The session stays registered and readable. Finalize is
+// idempotent; it reports a worker panic as an error.
+func (s *Session) Finalize() error {
+	s.closeIntake()
+	<-s.done
+	if f := s.Failure(); f != "" {
+		return fmt.Errorf("session %q: %w: %s", s.id, ErrFailed, f)
+	}
+	return nil
+}
+
+// Close finalizes the session and removes it from its manager. The
+// returned *Session stays readable (Snapshot, Stats) after Close.
+func (s *Session) Close() error {
+	err := s.Finalize()
+	s.mgr.remove(s.id, s)
+	return err
+}
+
+// Failure returns the panic message that killed the worker, or "".
+func (s *Session) Failure() string {
+	if v := s.failure.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// Evicted reports whether the idle sweeper closed this session.
+func (s *Session) Evicted() bool { return s.evicted.Load() }
+
+// Snapshot returns a cloned point-in-time reconstruction: Recovered,
+// Coverage, VBName, VBMode and DerivedCoverage. PerFrameLB is omitted
+// — it grows per frame and a live observer has no use for it; use the
+// batch Reconstruct on a recording when per-frame masks are needed.
+func (s *Session) Snapshot() *core.Reconstruction {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	r := s.stream.Snapshot()
+	return &core.Reconstruction{
+		Recovered:       r.Recovered.Clone(),
+		Coverage:        r.Coverage.Clone(),
+		VBName:          r.VBName,
+		VBMode:          r.VBMode,
+		DerivedCoverage: r.DerivedCoverage,
+	}
+}
+
+// CoverageSeries returns the retained residue-coverage-over-time
+// window (one sample per processed frame, fraction in [0,1]).
+func (s *Session) CoverageSeries() []stats.Sample { return s.coverage.Samples() }
+
+// Snapshot is an instantaneous, internally consistent view of one
+// session's counters and gauges.
+type Snapshot struct {
+	ID string
+
+	// Intake counters: fed = dropped + rejected + processed + queued.
+	FramesFed      uint64
+	FramesDropped  uint64
+	FramesRejected uint64
+	// FramesProcessed counts frames the reconstructor accepted.
+	FramesProcessed uint64
+
+	// CoveragePct is the claimed RBRR (percent) at snapshot time.
+	CoveragePct float64
+	// DerivedCoverage is the unknown-VB derivation coverage in [0,1].
+	DerivedCoverage float64
+
+	// VBName and Identified reflect known-image identification;
+	// IdentifyLatency is the wall time from session start to pin
+	// (0 until pinned).
+	VBName          string
+	Identified      bool
+	IdentifyLatency time.Duration
+
+	// FeedLatency aggregates per-frame reconstruction latency.
+	FeedLatency stats.LatencySummary
+
+	// LastActivity is the most recent Feed (session start if never fed).
+	LastActivity time.Time
+
+	Finalized bool
+	Evicted   bool
+	// Failure carries the worker panic message, if any.
+	Failure string
+}
+
+// Stats assembles the session's observability snapshot. It is safe to
+// call at any instant; it briefly locks the reconstructor to read the
+// coverage gauge but never stops the intake.
+func (s *Session) Stats() Snapshot {
+	s.streamMu.Lock()
+	r := s.stream.Snapshot()
+	snap := Snapshot{
+		ID:              s.id,
+		CoveragePct:     r.Coverage.Fraction() * 100,
+		DerivedCoverage: r.DerivedCoverage,
+		VBName:          r.VBName,
+		Identified:      s.stream.Identified(),
+		Finalized:       s.stream.Finalized(),
+	}
+	s.streamMu.Unlock()
+
+	snap.FramesFed = s.fed.Load()
+	snap.FramesDropped = s.dropped.Load()
+	snap.FramesRejected = s.rejected.Load()
+	snap.FramesProcessed = s.processed.Load()
+	snap.IdentifyLatency = time.Duration(s.pinnedNs.Load())
+	snap.FeedLatency = s.feedLat.Summary()
+	snap.LastActivity = time.Unix(0, s.lastFeed.Load())
+	snap.Evicted = s.evicted.Load()
+	snap.Failure = s.Failure()
+	return snap
+}

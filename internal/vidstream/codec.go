@@ -57,8 +57,53 @@ func Encode(w io.Writer, v *Video) error {
 	return nil
 }
 
-// Decode reads a .bbv container from r.
+// DecodeLimits bounds the resources Decode commits to a container
+// before any payload is read, so a crafted 20-byte header cannot make
+// the decoder allocate gigabytes. Zero-valued fields fall back to the
+// defaults.
+type DecodeLimits struct {
+	// MaxDim bounds each of frame width and height.
+	MaxDim int
+	// MaxFrames bounds the advertised frame count.
+	MaxFrames int
+	// MaxTotalBytes bounds the total decoded pixel payload — 3 bytes
+	// per pixel per frame, across all frames. The header's advertised
+	// product w×h×frames is checked against it before the first
+	// allocation.
+	MaxTotalBytes int64
+}
+
+// DefaultDecodeLimits returns the budget Decode uses: dimensions up to
+// 2^14, up to 2^20 frames, and at most 256 MiB of decoded payload.
+func DefaultDecodeLimits() DecodeLimits {
+	return DecodeLimits{MaxDim: 1 << 14, MaxFrames: 1 << 20, MaxTotalBytes: 256 << 20}
+}
+
+func (l DecodeLimits) withDefaults() DecodeLimits {
+	d := DefaultDecodeLimits()
+	if l.MaxDim <= 0 {
+		l.MaxDim = d.MaxDim
+	}
+	if l.MaxFrames <= 0 {
+		l.MaxFrames = d.MaxFrames
+	}
+	if l.MaxTotalBytes <= 0 {
+		l.MaxTotalBytes = d.MaxTotalBytes
+	}
+	return l
+}
+
+// Decode reads a .bbv container from r under DefaultDecodeLimits.
 func Decode(r io.Reader) (*Video, error) {
+	return DecodeWithLimits(r, DefaultDecodeLimits())
+}
+
+// DecodeWithLimits reads a .bbv container from r, rejecting (with an
+// ErrBadFormat-wrapped error) any header whose advertised geometry,
+// frame count, or total payload exceeds the limits — before allocating
+// for the payload.
+func DecodeWithLimits(r io.Reader, lim DecodeLimits) (*Video, error) {
+	lim = lim.withDefaults()
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(codecMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -73,12 +118,22 @@ func Decode(r io.Reader) (*Video, error) {
 			return nil, fmt.Errorf("vidstream: decode header: %w", err)
 		}
 	}
-	const maxDim, maxFrames = 1 << 14, 1 << 20
-	if w == 0 || h == 0 || w > maxDim || h > maxDim || n > maxFrames {
+	// n == 0 is rejected too: Encode validates its input, which
+	// requires at least one frame, so a zero-frame container can only
+	// be crafted — and would decode into a Video violating Validate.
+	if w == 0 || h == 0 || n == 0 || int64(w) > int64(lim.MaxDim) || int64(h) > int64(lim.MaxDim) || int64(n) > int64(lim.MaxFrames) {
 		return nil, fmt.Errorf("vidstream: implausible geometry %dx%d×%d: %w", w, h, n, ErrBadFormat)
 	}
+	// Each dimension fits in lim.MaxDim and n in lim.MaxFrames, but
+	// their product need not: budget the advertised payload as a whole
+	// before the first allocation.
+	frameBytes := 3 * int64(w) * int64(h)
+	if total := frameBytes * int64(n); total > lim.MaxTotalBytes {
+		return nil, fmt.Errorf("vidstream: advertised payload %d bytes exceeds budget %d: %w",
+			total, lim.MaxTotalBytes, ErrBadFormat)
+	}
 	v := New(int(fps))
-	buf := make([]byte, 3*w*h)
+	buf := make([]byte, frameBytes)
 	for i := uint32(0); i < n; i++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, fmt.Errorf("vidstream: decode frame %d: %w", i, err)

@@ -1,0 +1,72 @@
+package vidstream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// bbvHeader builds a syntactically valid .bbv header with the given
+// advertised geometry and frame count, and no payload.
+func bbvHeader(fps, w, h, n uint32) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(codecMagic)
+	for _, u := range []uint32{fps, w, h, n} {
+		_ = binary.Write(&buf, binary.LittleEndian, u)
+	}
+	return buf.Bytes()
+}
+
+// TestDecodeRejectsOversizedPayload is the regression for the crafted
+// header attack: each dimension and the frame count individually pass
+// the per-field bounds, but their product advertises ~768 MB per frame
+// across 2^20 frames. The decoder must reject it from the 20-byte
+// header alone, without allocating the advertised payload.
+func TestDecodeRejectsOversizedPayload(t *testing.T) {
+	crafted := bbvHeader(30, 1<<14, 1<<14, 1<<20)
+	if _, err := Decode(bytes.NewReader(crafted)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("crafted oversized header error = %v, want ErrBadFormat", err)
+	}
+	// A zero-frame header is rejected outright: Encode can never
+	// produce one (Validate requires ≥1 frame), and decoding it would
+	// yield a Video violating the package invariants.
+	empty := bbvHeader(30, 8, 8, 0)
+	if _, err := Decode(bytes.NewReader(empty)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("zero-frame header error = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestDecodeWithLimitsBudget(t *testing.T) {
+	v := New(30)
+	if err := v.Append(imagex.NewFilled(8, 8, imagex.RGB{R: 1})); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// A budget below the single 8×8 frame (192 bytes) rejects it…
+	if _, err := DecodeWithLimits(bytes.NewReader(data), DecodeLimits{MaxTotalBytes: 100}); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("tight budget error = %v, want ErrBadFormat", err)
+	}
+	// …a sufficient one accepts it, with the other limits defaulted.
+	got, err := DecodeWithLimits(bytes.NewReader(data), DecodeLimits{MaxTotalBytes: 192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	// Tightened per-field limits still apply.
+	if _, err := DecodeWithLimits(bytes.NewReader(data), DecodeLimits{MaxDim: 4}); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("MaxDim error = %v, want ErrBadFormat", err)
+	}
+	if _, err := DecodeWithLimits(bytes.NewReader(data), DecodeLimits{MaxFrames: 1}); err != nil {
+		t.Fatalf("MaxFrames=1 must admit a 1-frame video: %v", err)
+	}
+}

@@ -28,6 +28,18 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	huge := append([]byte("BBV1"), 30, 0, 0, 0, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255)
 	f.Add(huge)
+	// Crafted header whose per-field values all pass the individual
+	// bounds but whose product advertises a multi-hundred-MB payload:
+	// w = h = 2^14, frames = 2^20. The total-byte budget must reject it
+	// without allocating.
+	crafted := append([]byte("BBV1"),
+		30, 0, 0, 0, // fps
+		0, 0x40, 0, 0, // w = 16384
+		0, 0x40, 0, 0, // h = 16384
+		0, 0, 0x10, 0) // frames = 2^20
+	f.Add(crafted)
+	f.Add(bbvHeader(30, 1<<14, 1<<14, 0))
+	f.Add(bbvHeader(30, 1, 1, 1<<20))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		v, err := Decode(bytes.NewReader(data))
