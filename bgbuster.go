@@ -310,6 +310,40 @@ type (
 // NewSessionManager returns a running live-call session manager.
 func NewSessionManager(cfg SessionConfig) *SessionManager { return session.NewManager(cfg) }
 
+// Checkpoint/resume (DESIGN.md §11): a StreamReconstructor serialises
+// its complete state to a versioned, CRC-guarded .bbck container;
+// resuming it continues the reconstruction bit-identically to a stream
+// that was never interrupted.
+type (
+	// CheckpointStore persists per-session stream checkpoints; plug one
+	// into SessionConfig.Checkpoints for periodic durability plus
+	// SessionManager.Restore after a restart.
+	CheckpointStore = session.CheckpointStore
+	// DirCheckpointStore is the filesystem CheckpointStore: one .bbck
+	// file per session id, written atomically.
+	DirCheckpointStore = session.DirStore
+)
+
+// ErrCheckpointMismatch is returned by ResumeStream when a checkpoint
+// is valid but belongs to different reconstruction options (geometry,
+// mode, thresholds or dictionary).
+var ErrCheckpointMismatch = core.ErrCheckpointMismatch
+
+// NewDirCheckpointStore opens (creating it if needed) a
+// directory-backed checkpoint store.
+func NewDirCheckpointStore(dir string) (*DirCheckpointStore, error) {
+	return session.NewDirStore(dir)
+}
+
+// ResumeStream reconstructs a live StreamReconstructor from a
+// checkpoint taken with StreamReconstructor.Checkpoint. opts must
+// match the options the checkpoint was written under (an embedded
+// fingerprint is verified); malformed or oversized containers are
+// rejected with an error, never a panic or a large allocation.
+func ResumeStream(data []byte, opts ReconstructOptions) (*StreamReconstructor, error) {
+	return core.ResumeStream(data, opts)
+}
+
 // StreamAttackOptions returns the reconstruction options the streaming
 // attacker uses — the built-in virtual-image dictionary (VBKnownImage)
 // or, when unknownVB is true, online unknown-image derivation — for

@@ -1,6 +1,7 @@
 package bgbuster
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -191,6 +192,84 @@ func TestBuiltinHelpers(t *testing.T) {
 	vid := BuiltinVirtualVideo("waves", 16, 12, 4)
 	if vid.Period() != 4 {
 		t.Fatal("builtin video period wrong")
+	}
+}
+
+func TestStreamCheckpointResumeFacade(t *testing.T) {
+	cfg := smallDataset()
+	call := E1Calls(cfg)[2]
+	rendered, err := call.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := rendered.Raw.Size()
+	composed, err := Compose(rendered.Raw, rendered.Silhouettes, ZoomProfile(),
+		StaticImage{Img: BuiltinVirtualImage("beach", w, h)}, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewStreamAttack(w, h, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := composed.Blended.Len() / 2
+	for i := 0; i < half; i++ {
+		if err := s.Feed(composed.Blended.Frames[i], rendered.Silhouettes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume through the facade and finish the call on the new stream.
+	r, err := ResumeStream(data, StreamAttackOptions(w, h, false, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := half; i < composed.Blended.Len(); i++ {
+		if err := r.Feed(composed.Blended.Frames[i], rendered.Silhouettes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+	if snap.VBName != "beach" {
+		t.Fatalf("resumed stream identified %q, want beach", snap.VBName)
+	}
+	if snap.Coverage.Count() == 0 {
+		t.Fatal("resumed stream recovered nothing")
+	}
+
+	// Mismatched options must be rejected, not silently accepted.
+	if _, err := ResumeStream(data, StreamAttackOptions(w, h, true, 7)); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("unknown-VB options resumed a known-VB checkpoint: %v", err)
+	}
+	if _, err := ResumeStream(data[:len(data)/3], StreamAttackOptions(w, h, false, 7)); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func TestDirCheckpointStoreFacade(t *testing.T) {
+	store, err := NewDirCheckpointStore(t.TempDir() + "/ckpts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ CheckpointStore = store
+	if err := store.Save("call-a", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Load("call-a")
+	if err != nil || len(got) != 3 {
+		t.Fatalf("Load = %v, %v", got, err)
+	}
+	ids, err := store.List()
+	if err != nil || len(ids) != 1 || ids[0] != "call-a" {
+		t.Fatalf("List = %v, %v", ids, err)
 	}
 }
 

@@ -9,11 +9,15 @@
 //	bgbuster decompose [-phase e1|e2|e3] [-index N] [-frame N] [-out dir]
 //	bgbuster list      [-phase e1|e2|e3]
 //	bgbuster live      [-in call.bbv] [-sessions N] [-rate fps] [-every dur] [-out dir]
+//	                   [-checkpoint-dir dir] [-checkpoint-every dur]
 //
 // live drives the concurrent session layer (internal/session): it
 // replays a .bbv recording — or composes a synthetic call — through N
 // live reconstruction sessions at the call's frame rate, printing
-// periodic per-stage stats without pausing any session.
+// periodic per-stage stats without pausing any session. With
+// -checkpoint-dir every session durably checkpoints its stream; a
+// later run with the same directory resumes each call where it left
+// off and feeds only the remaining frames.
 package main
 
 import (
@@ -216,6 +220,8 @@ func runLive(args []string) error {
 	idle := fs.Duration("idle", 0, "evict sessions idle for this long (0: never)")
 	seed := fs.Int64("seed", 1, "random seed (each session perturbs it)")
 	out := fs.String("out", "", "write each session's recovered background PNG to this directory")
+	ckptDir := fs.String("checkpoint-dir", "", "durably checkpoint every session to this directory and resume any checkpoints found there on start")
+	ckptEvery := fs.Duration("checkpoint-every", 5*time.Second, "periodic checkpoint interval (needs -checkpoint-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -284,15 +290,63 @@ func runLive(args []string) error {
 		frameGap = time.Duration(float64(time.Second) / fps)
 	}
 
-	mgr := session.NewManager(session.Config{QueueDepth: *queue, IdleTimeout: *idle})
+	cfg := session.Config{QueueDepth: *queue, IdleTimeout: *idle}
+	if *ckptDir != "" {
+		store, err := session.NewDirStore(*ckptDir)
+		if err != nil {
+			return err
+		}
+		cfg.Checkpoints = store
+		cfg.CheckpointInterval = *ckptEvery
+	}
+	mgr := session.NewManager(cfg)
 	defer mgr.Close()
+
+	// Resume whatever a previous run left in the checkpoint directory
+	// before opening fresh sessions: a resumed call keeps its whole
+	// accumulated reconstruction and is fed only the frames past its
+	// stream counter. A corrupt or options-mismatched checkpoint skips
+	// that id with a warning; the replay still runs.
+	resumed := map[string]*session.Session{}
+	if cfg.Checkpoints != nil {
+		restored, err := mgr.Restore(func(id string) bgbuster.ReconstructOptions {
+			return bgbuster.StreamAttackOptions(w, h, *unknownVB, *seed)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bgbuster: live: some checkpoints not resumed: %v\n", err)
+		}
+		for _, s := range restored {
+			resumed[s.ID()] = s
+		}
+		if len(restored) > 0 {
+			fmt.Printf("resumed %d checkpointed session(s) from %s\n", len(restored), *ckptDir)
+		}
+	}
+
 	live := make([]*session.Session, *sessions)
+	offsets := make([]int, *sessions)
 	for i := range live {
-		s, err := mgr.Open(fmt.Sprintf("call-%02d", i), w, h, bgbuster.StreamAttackOptions(w, h, *unknownVB, *seed+int64(i)))
+		id := fmt.Sprintf("call-%02d", i)
+		if s, ok := resumed[id]; ok {
+			delete(resumed, id)
+			live[i] = s
+			off := int(s.Stats().StreamFrames)
+			if off > video.Len() {
+				off = video.Len()
+			}
+			offsets[i] = off
+			continue
+		}
+		s, err := mgr.Open(id, w, h, bgbuster.StreamAttackOptions(w, h, *unknownVB, *seed+int64(i)))
 		if err != nil {
 			return err
 		}
 		live[i] = s
+	}
+	// Resumed sessions outside this replay's fleet stay checkpointed on
+	// disk but are closed here so the final stats cover only this run.
+	for _, s := range resumed {
+		_ = s.Close()
 	}
 
 	fmt.Printf("live: %s — %d frames %dx%d at %.3g fps across %d sessions\n",
@@ -305,20 +359,20 @@ func runLive(args []string) error {
 	go func() {
 		defer close(done)
 		var wg sync.WaitGroup
-		for _, s := range live {
+		for i, s := range live {
 			wg.Add(1)
-			go func(s *session.Session) {
+			go func(s *session.Session, start int) {
 				defer wg.Done()
-				for i, f := range video.Frames {
-					if frameGap > 0 && i > 0 {
+				for i := start; i < video.Len(); i++ {
+					if frameGap > 0 && i > start {
 						time.Sleep(frameGap)
 					}
-					if err := s.Feed(f, oracles[i]); err != nil {
+					if err := s.Feed(video.Frames[i], oracles[i]); err != nil {
 						return // closed or failed: final stats will say
 					}
 				}
 				_ = s.Finalize()
-			}(s)
+			}(s, offsets[i])
 		}
 		wg.Wait()
 	}()
@@ -344,14 +398,26 @@ loop:
 		if vb == "" {
 			vb = fmt.Sprintf("derived:%.0f%%", st.DerivedCoverage*100)
 		}
+		// StreamFrames is cumulative across restarts; FramesProcessed is
+		// this incarnation only, so resumed sessions report the former.
 		fmt.Printf("  %-9s %6d %5d %4d %8.2f%%  %-11s %11s %10s\n",
-			st.ID, st.FramesProcessed, st.FramesDropped, st.FramesRejected,
+			st.ID, st.StreamFrames, st.FramesDropped, st.FramesRejected,
 			st.CoveragePct, vb, st.IdentifyLatency.Round(time.Millisecond),
 			st.FeedLatency.Mean.Round(10*time.Microsecond))
 	}
 	ms := mgr.Stats()
 	fmt.Printf("manager: opened=%d closed=%d evicted=%d panics=%d\n",
 		ms.Opened, ms.Closed, ms.Evicted, ms.Panics)
+	if cfg.Checkpoints != nil {
+		var saved, failed uint64
+		for _, s := range live {
+			st := s.Stats()
+			saved += st.Checkpoints
+			failed += st.CheckpointErrors
+		}
+		fmt.Printf("checkpoints: dir=%s saved=%d errors=%d resumed=%d\n",
+			*ckptDir, saved, failed, ms.Restored)
+	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

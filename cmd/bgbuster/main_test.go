@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/session"
 	"github.com/bgbuster/bgbuster/internal/vidstream"
 )
 
@@ -90,6 +91,60 @@ func TestLiveReplaysRecording(t *testing.T) {
 	err := run([]string{"live", "-in", path, "-sessions", "2", "-unknown-vb", "-rate", "-1"})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestLiveCheckpointResume(t *testing.T) {
+	w, h := 48, 36
+	v := &vidstream.Video{FPS: 30, Frames: make([]*imagex.Image, 10)}
+	for i := range v.Frames {
+		v.Frames[i] = imagex.NewFilled(w, h, imagex.RGB{R: uint8(40 + i*10), G: 90, B: 160})
+	}
+	path := filepath.Join(t.TempDir(), "call.bbv")
+	if err := vidstream.Save(path, v); err != nil {
+		t.Fatal(err)
+	}
+	ckdir := filepath.Join(t.TempDir(), "ckpts")
+
+	// First run: every session must leave a durable checkpoint behind.
+	err := run([]string{"live", "-in", path, "-sessions", "2", "-rate", "-1",
+		"-checkpoint-dir", ckdir, "-checkpoint-every", "1ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := session.NewDirStore(ckdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "call-00" || ids[1] != "call-01" {
+		t.Fatalf("checkpoint store holds %v, want [call-00 call-01]", ids)
+	}
+
+	// Second run against the same directory resumes both sessions (the
+	// replay is already fully processed, so nothing new is fed) and must
+	// complete cleanly, leaving the checkpoints in place.
+	err = run([]string{"live", "-in", path, "-sessions", "2", "-rate", "-1",
+		"-checkpoint-dir", ckdir, "-checkpoint-every", "1ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids, err = store.List(); err != nil || len(ids) != 2 {
+		t.Fatalf("after resume run: ids=%v err=%v, want the same 2 checkpoints", ids, err)
+	}
+
+	// A third run asking for more sessions than were checkpointed mixes
+	// resumed and fresh sessions.
+	err = run([]string{"live", "-in", path, "-sessions", "3", "-rate", "-1",
+		"-checkpoint-dir", ckdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids, err = store.List(); err != nil || len(ids) != 3 {
+		t.Fatalf("after mixed run: ids=%v err=%v, want 3 checkpoints", ids, err)
 	}
 }
 

@@ -1,0 +1,119 @@
+package attacktest
+
+import (
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+func gradient(w, h int) *imagex.Image {
+	img := imagex.New(w, h)
+	i := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.Pix[i] = imagex.RGB{R: byte(x * 5), G: byte(y * 7), B: byte((x + y) * 3)}
+			i++
+		}
+	}
+	return img
+}
+
+func TestFromImage(t *testing.T) {
+	img := gradient(8, 6)
+	for _, tc := range []struct {
+		name      string
+		keep      func(x, y int) bool
+		wantCount int
+	}{
+		{"all", All, 48},
+		{"none", func(x, y int) bool { return false }, 0},
+		{"left-half", func(x, y int) bool { return x < 4 }, 24},
+		{"checker", func(x, y int) bool { return (x+y)%2 == 0 }, 24},
+		{"single", func(x, y int) bool { return x == 7 && y == 5 }, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := FromImage(img, tc.keep)
+			if rec.Recovered.W != img.W || rec.Recovered.H != img.H {
+				t.Fatalf("geometry %dx%d, want %dx%d", rec.Recovered.W, rec.Recovered.H, img.W, img.H)
+			}
+			if got := rec.Coverage.Count(); got != tc.wantCount {
+				t.Fatalf("coverage count = %d, want %d", got, tc.wantCount)
+			}
+			for y := 0; y < img.H; y++ {
+				for x := 0; x < img.W; x++ {
+					kept := tc.keep(x, y)
+					if rec.Coverage.At(x, y) != kept {
+						t.Fatalf("coverage at (%d,%d) = %v, keep says %v", x, y, rec.Coverage.At(x, y), kept)
+					}
+					want := imagex.RGB{}
+					if kept {
+						want = img.At(x, y)
+					}
+					if got := rec.Recovered.At(x, y); got != want {
+						t.Fatalf("recovered at (%d,%d) = %+v, want %+v", x, y, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRandomKeep(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    float64
+		lo   int
+		hi   int
+	}{
+		{"never", 0, 0, 0},
+		{"always", 1, 32 * 32, 32 * 32},
+		// 1024 Bernoulli(0.5) trials; bounds ≈ ±5σ.
+		{"half", 0.5, 432, 592},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			keep := RandomKeep(42, tc.p)
+			n := 0
+			for y := 0; y < 32; y++ {
+				for x := 0; x < 32; x++ {
+					if keep(x, y) {
+						n++
+					}
+				}
+			}
+			if n < tc.lo || n > tc.hi {
+				t.Fatalf("kept %d of 1024 at p=%v, want within [%d, %d]", n, tc.p, tc.lo, tc.hi)
+			}
+		})
+	}
+
+	t.Run("deterministic", func(t *testing.T) {
+		a, b := RandomKeep(7, 0.3), RandomKeep(7, 0.3)
+		diffSeed := RandomKeep(8, 0.3)
+		same, differs := true, false
+		for y := 0; y < 16; y++ {
+			for x := 0; x < 16; x++ {
+				if a(x, y) != b(x, y) {
+					same = false
+				}
+				if a(x, y) != diffSeed(x, y) {
+					differs = true
+				}
+			}
+		}
+		if !same {
+			t.Error("same seed must give identical keep decisions")
+		}
+		if !differs {
+			t.Error("different seeds gave identical keep decisions on 256 pixels")
+		}
+	})
+
+	t.Run("repeated-call-stable", func(t *testing.T) {
+		keep := RandomKeep(3, 0.5)
+		for i := 0; i < 5; i++ {
+			if keep(4, 4) != keep(4, 4) {
+				t.Fatal("keep function is not pure per (x,y)")
+			}
+		}
+	})
+}

@@ -1,0 +1,604 @@
+// Package checkpoint defines the durable on-disk format for streaming
+// reconstruction state (.bbck): a compact versioned binary container
+// holding everything a core.StreamReconstructor accumulates — VB
+// identification state, pinned/derived VB images, coverage and
+// localKnown masks, the accumulated residue and the frame counter — so
+// an interrupted live session can resume at any frame boundary with
+// bit-identical output (DESIGN.md §11).
+//
+// The package is a dumb data layer: State is a plain carrier struct and
+// Encode/Decode translate it to and from bytes. internal/core owns the
+// mapping between State and a live StreamReconstructor, including the
+// options fingerprint that guards against resuming under a different
+// configuration.
+//
+// Decode is hardened the same way vidstream.DecodeWithLimits is: every
+// variable-length section's advertised size is validated against the
+// remaining input and the Limits byte budgets BEFORE the first
+// allocation for it, so a crafted header cannot force a large
+// allocation, and a whole-payload CRC is verified before any field is
+// parsed.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// Magic identifies a .bbck checkpoint container.
+const Magic = "BBCK"
+
+// Version is the current format version. Decoders reject other
+// versions: the format carries reconstruction state whose semantics are
+// pinned to the core pipeline, so cross-version resume would silently
+// diverge instead of being bit-identical (versioning rules: DESIGN.md
+// §11).
+const Version = 1
+
+// histBins is the color-refinement histogram size (quant12 bins).
+const histBins = 4096
+
+// ErrBadCheckpoint is wrapped by every decode failure.
+var ErrBadCheckpoint = errors.New("checkpoint: bad .bbck data")
+
+// ErrVersion is wrapped by decode failures caused by a version skew
+// specifically, so callers can distinguish "corrupt" from "written by a
+// different build".
+var ErrVersion = fmt.Errorf("unsupported version: %w", ErrBadCheckpoint)
+
+// Flag bits of the header flags byte.
+const (
+	flagFinalized  = 1 << 0
+	flagIdentified = 1 << 1
+	flagHasPrev    = 1 << 2
+	flagHasHist    = 1 << 3
+)
+
+// Limits bounds the resources Decode commits to a container before
+// allocating, mirroring vidstream.DecodeLimits. Zero-valued fields fall
+// back to the defaults.
+type Limits struct {
+	// MaxDim bounds frame width and height.
+	MaxDim int
+	// MaxPending bounds the buffered pre-identification frame count.
+	MaxPending int
+	// MaxScores bounds the identification score-table entry count.
+	MaxScores int
+	// MaxNameLen bounds every embedded string (VB names).
+	MaxNameLen int
+}
+
+// DefaultLimits returns the budget Decode uses: dimensions up to 2^14,
+// up to 4096 buffered frames, 2^16 score entries and 1 KiB names.
+func DefaultLimits() Limits {
+	return Limits{MaxDim: 1 << 14, MaxPending: 1 << 12, MaxScores: 1 << 16, MaxNameLen: 1 << 10}
+}
+
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxDim <= 0 {
+		l.MaxDim = d.MaxDim
+	}
+	if l.MaxPending <= 0 {
+		l.MaxPending = d.MaxPending
+	}
+	if l.MaxScores <= 0 {
+		l.MaxScores = d.MaxScores
+	}
+	if l.MaxNameLen <= 0 {
+		l.MaxNameLen = d.MaxNameLen
+	}
+	return l
+}
+
+// Score is one identification score-table entry. Entries are stored
+// sorted by name so the encoding is canonical: encode(decode(b)) == b
+// for every valid container.
+type Score struct {
+	Name  string
+	Score int64
+}
+
+// State is the serializable snapshot of a streaming reconstruction.
+// Which sections are meaningful depends on Mode (the core.VBMode
+// value): known-image streams carry Scores, the pinned VB and the
+// pre-identification buffer; unknown-image streams carry the online
+// derivation state. The accumulated residue (Recovered + Coverage) is
+// always present. Per-frame LB masks are deliberately NOT part of the
+// format — they grow linearly with call length, against the whole point
+// of compact durable checkpoints (see core.StreamReconstructor.
+// Checkpoint for the contract).
+type State struct {
+	W, H   int
+	Mode   int
+	Frames uint64
+	// Fingerprint is core's hash of every Options field that influences
+	// the deterministic evolution of the stream; resume verifies it.
+	Fingerprint uint64
+	Finalized   bool
+
+	// Known-image identification state.
+	Identified bool
+	VBName     string
+	// VBImage is the pinned virtual background (nil unless Identified).
+	VBImage *imagex.Image
+	Scores  []Score
+	// Pending is the buffered pre-identification prefix.
+	PendingFrames  []*imagex.Image
+	PendingOracles []*imagex.Mask
+
+	// Unknown-image online derivation state (nil outside that mode).
+	DerivedImg   *imagex.Image
+	DerivedKnown *imagex.Mask
+	LocalKnown   *imagex.Mask
+	RunLen       []int
+	Prev         *imagex.Image
+
+	// Color-refinement running histogram (nil when never touched).
+	Hist      []int
+	HistTotal uint64
+
+	// Accumulated residue.
+	Recovered *imagex.Image
+	Coverage  *imagex.Mask
+}
+
+// Encode serialises the state into a .bbck container:
+//
+//	magic "BBCK" | u16 version | u16 reserved | u32 crc | payload
+//
+// with the CRC-32 (IEEE) covering the whole payload. All integers are
+// little-endian; masks are packed-word encodings (imagex.AppendWords)
+// and images raw RGB triples, both sized by the header dimensions.
+func Encode(st *State) ([]byte, error) {
+	if err := st.validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, st.encodedSizeHint())
+	buf = append(buf, Magic...)
+	buf = appendU16(buf, Version)
+	buf = appendU16(buf, 0)
+	crcAt := len(buf)
+	buf = appendU32(buf, 0) // CRC placeholder, patched below.
+
+	payload := len(buf)
+	buf = appendU32(buf, uint32(st.W))
+	buf = appendU32(buf, uint32(st.H))
+	buf = appendU64(buf, st.Frames)
+	buf = append(buf, byte(st.Mode))
+	var flags byte
+	if st.Finalized {
+		flags |= flagFinalized
+	}
+	if st.Identified {
+		flags |= flagIdentified
+	}
+	if st.Prev != nil {
+		flags |= flagHasPrev
+	}
+	if st.Hist != nil {
+		flags |= flagHasHist
+	}
+	buf = append(buf, flags)
+	buf = appendU64(buf, st.Fingerprint)
+
+	scores := append([]Score(nil), st.Scores...)
+	sort.Slice(scores, func(i, j int) bool { return scores[i].Name < scores[j].Name })
+	buf = appendU32(buf, uint32(len(scores)))
+	for _, sc := range scores {
+		buf = appendU16(buf, uint16(len(sc.Name)))
+		buf = append(buf, sc.Name...)
+		buf = appendU64(buf, uint64(sc.Score))
+	}
+	if st.Identified {
+		buf = appendU16(buf, uint16(len(st.VBName)))
+		buf = append(buf, st.VBName...)
+		buf = appendImage(buf, st.VBImage)
+	}
+	buf = appendU32(buf, uint32(len(st.PendingFrames)))
+	for i, f := range st.PendingFrames {
+		buf = appendImage(buf, f)
+		buf = st.PendingOracles[i].AppendWords(buf)
+	}
+
+	if st.DerivedImg != nil {
+		buf = append(buf, 1)
+		buf = appendImage(buf, st.DerivedImg)
+		buf = st.DerivedKnown.AppendWords(buf)
+		buf = st.LocalKnown.AppendWords(buf)
+		for _, r := range st.RunLen {
+			buf = appendU32(buf, uint32(r))
+		}
+		if st.Prev != nil {
+			buf = appendImage(buf, st.Prev)
+		}
+	} else {
+		buf = append(buf, 0)
+	}
+
+	if st.Hist != nil {
+		for _, h := range st.Hist {
+			buf = appendU64(buf, uint64(h))
+		}
+		buf = appendU64(buf, st.HistTotal)
+	}
+
+	buf = appendImage(buf, st.Recovered)
+	buf = st.Coverage.AppendWords(buf)
+
+	binary.LittleEndian.PutUint32(buf[crcAt:], crc32.ChecksumIEEE(buf[payload:]))
+	return buf, nil
+}
+
+// validate rejects states Encode cannot represent faithfully.
+func (st *State) validate() error {
+	if st.W <= 0 || st.H <= 0 || int64(st.W) > math.MaxUint32 || int64(st.H) > math.MaxUint32 {
+		return fmt.Errorf("checkpoint: encode geometry %dx%d", st.W, st.H)
+	}
+	if st.Mode < 0 || st.Mode > 255 {
+		return fmt.Errorf("checkpoint: encode mode %d out of range", st.Mode)
+	}
+	if st.Recovered == nil || st.Coverage == nil {
+		return errors.New("checkpoint: encode: nil accumulated residue")
+	}
+	if len(st.PendingFrames) != len(st.PendingOracles) {
+		return fmt.Errorf("checkpoint: encode: %d pending frames, %d oracles",
+			len(st.PendingFrames), len(st.PendingOracles))
+	}
+	if st.Identified && st.VBImage == nil {
+		return errors.New("checkpoint: encode: identified without a pinned VB image")
+	}
+	if len(st.VBName) > math.MaxUint16 {
+		return fmt.Errorf("checkpoint: encode: VB name %d bytes", len(st.VBName))
+	}
+	for _, sc := range st.Scores {
+		if len(sc.Name) > math.MaxUint16 {
+			return fmt.Errorf("checkpoint: encode: score name %d bytes", len(sc.Name))
+		}
+	}
+	if st.DerivedImg != nil {
+		if st.DerivedKnown == nil || st.LocalKnown == nil {
+			return errors.New("checkpoint: encode: derivation state incomplete")
+		}
+		if len(st.RunLen) != st.W*st.H {
+			return fmt.Errorf("checkpoint: encode: %d run lengths for %d pixels", len(st.RunLen), st.W*st.H)
+		}
+		for _, r := range st.RunLen {
+			if r < 0 || int64(r) > math.MaxUint32 {
+				return fmt.Errorf("checkpoint: encode: run length %d out of u32 range", r)
+			}
+		}
+	}
+	if st.Hist != nil && len(st.Hist) != histBins {
+		return fmt.Errorf("checkpoint: encode: histogram has %d bins, want %d", len(st.Hist), histBins)
+	}
+	return nil
+}
+
+// encodedSizeHint pre-sizes the encode buffer (exact for the fixed
+// sections, close for the rest).
+func (st *State) encodedSizeHint() int {
+	px := 3 * st.W * st.H
+	n := 64 + px + st.Coverage.WordBytes()
+	if st.DerivedImg != nil {
+		n += 2*px + 4*st.W*st.H + 2*st.Coverage.WordBytes()
+	}
+	n += len(st.PendingFrames) * (px + st.Coverage.WordBytes())
+	if st.Hist != nil {
+		n += 8*histBins + 8
+	}
+	return n
+}
+
+// Decode parses a .bbck container under DefaultLimits.
+func Decode(data []byte) (*State, error) {
+	return DecodeWithLimits(data, DefaultLimits())
+}
+
+// DecodeWithLimits parses a .bbck container, rejecting (with an
+// ErrBadCheckpoint-wrapped error, never a panic) malformed input, CRC
+// mismatches, version skew, and any header whose advertised geometry or
+// section sizes exceed the limits or the remaining input — checked
+// before each section is allocated.
+func DecodeWithLimits(data []byte, lim Limits) (*State, error) {
+	lim = lim.withDefaults()
+	if len(data) < len(Magic)+8 {
+		return nil, fmt.Errorf("checkpoint: %d-byte input shorter than header: %w", len(data), ErrBadCheckpoint)
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("checkpoint: magic %q: %w", data[:len(Magic)], ErrBadCheckpoint)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != Version {
+		return nil, fmt.Errorf("checkpoint: version %d, this build reads %d: %w", v, Version, ErrVersion)
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[8:])
+	payload := data[12:]
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("checkpoint: CRC %08x, header claims %08x: %w", got, wantCRC, ErrBadCheckpoint)
+	}
+
+	d := &reader{data: payload}
+	st := &State{}
+	w, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	h, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if w == 0 || h == 0 || int64(w) > int64(lim.MaxDim) || int64(h) > int64(lim.MaxDim) {
+		return nil, fmt.Errorf("checkpoint: implausible geometry %dx%d: %w", w, h, ErrBadCheckpoint)
+	}
+	st.W, st.H = int(w), int(h)
+	if st.Frames, err = d.u64(); err != nil {
+		return nil, err
+	}
+	mode, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	st.Mode = int(mode)
+	flags, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if flags&^(flagFinalized|flagIdentified|flagHasPrev|flagHasHist) != 0 {
+		return nil, fmt.Errorf("checkpoint: unknown flag bits %02x: %w", flags, ErrBadCheckpoint)
+	}
+	st.Finalized = flags&flagFinalized != 0
+	st.Identified = flags&flagIdentified != 0
+	if st.Fingerprint, err = d.u64(); err != nil {
+		return nil, err
+	}
+
+	nScores, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int64(nScores) > int64(lim.MaxScores) {
+		return nil, fmt.Errorf("checkpoint: %d score entries exceed budget %d: %w", nScores, lim.MaxScores, ErrBadCheckpoint)
+	}
+	// Every entry needs ≥ 10 bytes; reject the count against the
+	// remaining input before allocating the table.
+	if err := d.need(10 * int64(nScores)); err != nil {
+		return nil, err
+	}
+	st.Scores = make([]Score, 0, nScores)
+	prevName := ""
+	for i := uint32(0); i < nScores; i++ {
+		name, err := d.str(lim.MaxNameLen)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && name <= prevName {
+			return nil, fmt.Errorf("checkpoint: score table not strictly sorted at %q: %w", name, ErrBadCheckpoint)
+		}
+		prevName = name
+		v, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		st.Scores = append(st.Scores, Score{Name: name, Score: int64(v)})
+	}
+	if st.Identified {
+		if st.VBName, err = d.str(lim.MaxNameLen); err != nil {
+			return nil, err
+		}
+		if st.VBImage, err = d.image(st.W, st.H); err != nil {
+			return nil, err
+		}
+	}
+	nPending, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int64(nPending) > int64(lim.MaxPending) {
+		return nil, fmt.Errorf("checkpoint: %d pending frames exceed budget %d: %w", nPending, lim.MaxPending, ErrBadCheckpoint)
+	}
+	perPending := int64(3*st.W*st.H) + int64(maskBytes(st.W, st.H))
+	if err := d.need(perPending * int64(nPending)); err != nil {
+		return nil, err
+	}
+	st.PendingFrames = make([]*imagex.Image, 0, nPending)
+	st.PendingOracles = make([]*imagex.Mask, 0, nPending)
+	for i := uint32(0); i < nPending; i++ {
+		f, err := d.image(st.W, st.H)
+		if err != nil {
+			return nil, err
+		}
+		o, err := d.mask(st.W, st.H)
+		if err != nil {
+			return nil, err
+		}
+		st.PendingFrames = append(st.PendingFrames, f)
+		st.PendingOracles = append(st.PendingOracles, o)
+	}
+
+	hasDerived, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch hasDerived {
+	case 0:
+	case 1:
+		if st.DerivedImg, err = d.image(st.W, st.H); err != nil {
+			return nil, err
+		}
+		if st.DerivedKnown, err = d.mask(st.W, st.H); err != nil {
+			return nil, err
+		}
+		if st.LocalKnown, err = d.mask(st.W, st.H); err != nil {
+			return nil, err
+		}
+		if err := d.need(4 * int64(st.W) * int64(st.H)); err != nil {
+			return nil, err
+		}
+		st.RunLen = make([]int, st.W*st.H)
+		for i := range st.RunLen {
+			v, _ := d.u32() // length pre-checked above
+			st.RunLen[i] = int(v)
+		}
+		if flags&flagHasPrev != 0 {
+			if st.Prev, err = d.image(st.W, st.H); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("checkpoint: derivation presence byte %d: %w", hasDerived, ErrBadCheckpoint)
+	}
+	if hasDerived == 0 && flags&flagHasPrev != 0 {
+		return nil, fmt.Errorf("checkpoint: prev frame without derivation state: %w", ErrBadCheckpoint)
+	}
+
+	if flags&flagHasHist != 0 {
+		if err := d.need(8*histBins + 8); err != nil {
+			return nil, err
+		}
+		st.Hist = make([]int, histBins)
+		for i := range st.Hist {
+			v, _ := d.u64()
+			if v > math.MaxInt64 {
+				return nil, fmt.Errorf("checkpoint: histogram bin %d overflows: %w", i, ErrBadCheckpoint)
+			}
+			st.Hist[i] = int(v)
+		}
+		st.HistTotal, _ = d.u64()
+	}
+
+	if st.Recovered, err = d.image(st.W, st.H); err != nil {
+		return nil, err
+	}
+	if st.Coverage, err = d.mask(st.W, st.H); err != nil {
+		return nil, err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes: %w", d.remaining(), ErrBadCheckpoint)
+	}
+	return st, nil
+}
+
+// maskBytes returns the packed-word encoding size for a w×h mask
+// without allocating one.
+func maskBytes(w, h int) int { return 8 * h * ((w + 63) >> 6) }
+
+// reader is a bounds-checked cursor over the payload. Every accessor
+// validates the remaining length before reading, and the section
+// decoders call need() with the full advertised size before their first
+// allocation.
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) remaining() int64 { return int64(len(r.data) - r.off) }
+
+func (r *reader) need(n int64) error {
+	if n < 0 || n > r.remaining() {
+		return fmt.Errorf("checkpoint: section of %d bytes exceeds %d remaining: %w", n, r.remaining(), ErrBadCheckpoint)
+	}
+	return nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if err := r.need(int64(n)); err != nil {
+		return nil, err
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) u8() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// str reads a u16-length-prefixed string bounded by maxLen.
+func (r *reader) str(maxLen int) (string, error) {
+	b, err := r.bytes(2)
+	if err != nil {
+		return "", err
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if n > maxLen {
+		return "", fmt.Errorf("checkpoint: %d-byte string exceeds budget %d: %w", n, maxLen, ErrBadCheckpoint)
+	}
+	s, err := r.bytes(n)
+	if err != nil {
+		return "", err
+	}
+	return string(s), nil
+}
+
+// image reads a raw w×h RGB raster.
+func (r *reader) image(w, h int) (*imagex.Image, error) {
+	b, err := r.bytes(3 * w * h)
+	if err != nil {
+		return nil, err
+	}
+	img := imagex.New(w, h)
+	for i := range img.Pix {
+		img.Pix[i] = imagex.RGB{R: b[3*i], G: b[3*i+1], B: b[3*i+2]}
+	}
+	return img, nil
+}
+
+// mask reads a packed-word w×h mask, rejecting padding-bit violations.
+func (r *reader) mask(w, h int) (*imagex.Mask, error) {
+	b, err := r.bytes(maskBytes(w, h))
+	if err != nil {
+		return nil, err
+	}
+	m := imagex.NewMask(w, h)
+	if err := m.LoadWords(b); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w: %w", err, ErrBadCheckpoint)
+	}
+	return m, nil
+}
+
+// appendImage appends the raw RGB raster of img.
+func appendImage(buf []byte, img *imagex.Image) []byte {
+	for _, p := range img.Pix {
+		buf = append(buf, p.R, p.G, p.B)
+	}
+	return buf
+}
+
+func appendU16(buf []byte, v uint16) []byte {
+	return append(buf, byte(v), byte(v>>8))
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(buf []byte, v uint64) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}

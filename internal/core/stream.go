@@ -62,6 +62,10 @@ type StreamReconstructor struct {
 	rec       *Reconstruction
 	frames    int
 	finalized bool
+
+	// Cached options fingerprint; the dictionary hash is not cheap and
+	// the session layer checkpoints periodically (0 until first use).
+	fprint uint64
 }
 
 // DefaultIdentifyAfter is the number of frames the streaming attacker
@@ -76,35 +80,9 @@ var ErrFinalized = errors.New("core: stream already finalized")
 // loop detection fundamentally needs several repetitions; use the batch
 // Reconstruct for virtual videos).
 func NewStream(w, h int, opts Options) (*StreamReconstructor, error) {
-	if w <= 0 || h <= 0 {
-		return nil, fmt.Errorf("core: stream geometry %dx%d", w, h)
-	}
-	if opts.Segmenter == nil {
-		return nil, errors.New("core: nil segmenter")
-	}
-	switch opts.Mode {
-	case VBKnownImage:
-		if len(opts.KnownImages) == 0 {
-			return nil, ErrNoCandidates
-		}
-	case VBUnknownImage:
-	default:
-		return nil, fmt.Errorf("core: mode %v is not streamable", opts.Mode)
-	}
-	if opts.Phi <= 0 {
-		opts.Phi = DefaultPhi
-	}
-	if opts.MatchTol == 0 {
-		opts.MatchTol = DefaultOptions().MatchTol
-	}
-	if opts.StabilityThreshold <= 0 {
-		opts.StabilityThreshold = DefaultStabilityThreshold
-	}
-	if opts.ColorFreqThreshold <= 0 {
-		opts.ColorFreqThreshold = 0.004
-	}
-	if opts.IdentifyAfter <= 0 {
-		opts.IdentifyAfter = DefaultIdentifyAfter
+	opts, err := normalizeStreamOptions(w, h, opts)
+	if err != nil {
+		return nil, err
 	}
 	s := &StreamReconstructor{
 		opts:   opts,
@@ -133,6 +111,44 @@ func NewStream(w, h int, opts Options) (*StreamReconstructor, error) {
 		}
 	}
 	return s, nil
+}
+
+// normalizeStreamOptions validates streaming geometry and options and
+// fills in the defaults. NewStream and ResumeStream share it so a
+// checkpointed stream and its resumption see identical effective
+// options (the fingerprint is computed over the normalized form).
+func normalizeStreamOptions(w, h int, opts Options) (Options, error) {
+	if w <= 0 || h <= 0 {
+		return opts, fmt.Errorf("core: stream geometry %dx%d", w, h)
+	}
+	if opts.Segmenter == nil {
+		return opts, errors.New("core: nil segmenter")
+	}
+	switch opts.Mode {
+	case VBKnownImage:
+		if len(opts.KnownImages) == 0 {
+			return opts, ErrNoCandidates
+		}
+	case VBUnknownImage:
+	default:
+		return opts, fmt.Errorf("core: mode %v is not streamable", opts.Mode)
+	}
+	if opts.Phi <= 0 {
+		opts.Phi = DefaultPhi
+	}
+	if opts.MatchTol == 0 {
+		opts.MatchTol = DefaultOptions().MatchTol
+	}
+	if opts.StabilityThreshold <= 0 {
+		opts.StabilityThreshold = DefaultStabilityThreshold
+	}
+	if opts.ColorFreqThreshold <= 0 {
+		opts.ColorFreqThreshold = 0.004
+	}
+	if opts.IdentifyAfter <= 0 {
+		opts.IdentifyAfter = DefaultIdentifyAfter
+	}
+	return opts, nil
 }
 
 // Frames returns the number of frames fed so far.

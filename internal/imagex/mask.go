@@ -543,6 +543,46 @@ func (m *Mask) BBox() (x0, y0, x1, y1 int, ok bool) {
 	return x0, y0, x1, y1, true
 }
 
+// WordBytes returns the size of the mask's packed-word encoding
+// (AppendWords): 8 bytes per storage word, rows word-aligned.
+func (m *Mask) WordBytes() int { return 8 * m.H * wordsPerRow(m.W) }
+
+// AppendWords appends the packed bitset words to buf in row-major
+// order, each word little-endian, and returns the extended slice. The
+// encoding is exactly WordBytes() long; geometry is not included — the
+// container embedding the mask records it (checkpoint format §11).
+func (m *Mask) AppendWords(buf []byte) []byte {
+	for _, w := range m.words {
+		buf = append(buf,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return buf
+}
+
+// LoadWords overwrites the mask from an AppendWords encoding. It
+// rejects data of the wrong length and encodings with nonzero
+// row-padding bits: the padding invariant backs every whole-word
+// operation (Count, Union, …), so a crafted encoding that set those
+// bits would silently corrupt set algebra downstream.
+func (m *Mask) LoadWords(data []byte) error {
+	if len(data) != m.WordBytes() {
+		return fmt.Errorf("imagex: mask encoding %d bytes for %dx%d (want %d): %w",
+			len(data), m.W, m.H, m.WordBytes(), ErrBounds)
+	}
+	wpr := wordsPerRow(m.W)
+	edge := edgeMask(m.W)
+	for i := range m.words {
+		w := uint64(data[8*i]) | uint64(data[8*i+1])<<8 | uint64(data[8*i+2])<<16 | uint64(data[8*i+3])<<24 |
+			uint64(data[8*i+4])<<32 | uint64(data[8*i+5])<<40 | uint64(data[8*i+6])<<48 | uint64(data[8*i+7])<<56
+		if i%wpr == wpr-1 && w&^edge != 0 {
+			return fmt.Errorf("imagex: mask encoding has nonzero padding bits in row %d: %w", i/wpr, ErrBounds)
+		}
+		m.words[i] = w
+	}
+	return nil
+}
+
 // rowEmpty reports whether every word of a row is zero.
 func rowEmpty(row []uint64) bool {
 	for _, w := range row {

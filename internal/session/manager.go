@@ -1,6 +1,7 @@
 package session
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -25,6 +26,16 @@ type Config struct {
 	// CoverageSamples bounds each session's coverage-over-time ring
 	// (non-positive: 256).
 	CoverageSamples int
+	// Checkpoints, when set, makes every session durably checkpoint its
+	// stream: periodically while live (CheckpointInterval), and once
+	// more after Finalize — which covers eviction, so an idle-swept call
+	// can be resumed by Manager.Restore after a restart. Nil disables
+	// checkpointing entirely.
+	Checkpoints CheckpointStore
+	// CheckpointInterval paces the periodic per-session checkpoints
+	// (non-positive: 5s). Its magnitude bounds how many frames a crash
+	// can lose.
+	CheckpointInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -33,6 +44,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CoverageSamples <= 0 {
 		c.CoverageSamples = 256
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 5 * time.Second
 	}
 	if c.SweepEvery <= 0 {
 		c.SweepEvery = time.Second
@@ -56,6 +70,7 @@ type Manager struct {
 	closedCnt stats.Counter
 	evictions stats.Counter
 	panics    stats.Counter
+	restores  stats.Counter
 
 	stopSweep chan struct{}
 	sweepDone chan struct{}
@@ -85,6 +100,11 @@ func (m *Manager) Open(id string, w, h int, opts core.Options) (*Session, error)
 	if err != nil {
 		return nil, fmt.Errorf("session %q: %w", id, err)
 	}
+	return m.register(id, stream, false)
+}
+
+// register installs a (new or resumed) stream as a running session.
+func (m *Manager) register(id string, stream *core.StreamReconstructor, restored bool) (*Session, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -95,11 +115,60 @@ func (m *Manager) Open(id string, w, h int, opts core.Options) (*Session, error)
 		return nil, fmt.Errorf("session %q: %w", id, ErrExists)
 	}
 	s := newSession(m, id, stream, m.cfg.QueueDepth, m.cfg.CoverageSamples)
+	s.restored = restored
 	m.sessions[id] = s
 	m.mu.Unlock()
 	m.opened.Inc()
+	if restored {
+		m.restores.Inc()
+	}
 	go s.loop()
 	return s, nil
+}
+
+// Restore resumes every checkpointed session in Config.Checkpoints —
+// the restart path of a live fleet: each stored .bbck is decoded with
+// core.ResumeStream and re-registered under its original id, so the
+// caller can keep feeding the same calls where they left off,
+// bit-identically (DESIGN.md §11). optsFor supplies the reconstruction
+// options for each session id; they must match the options the
+// checkpoint was written under (the embedded fingerprint is verified).
+//
+// Restore returns the sessions it managed to resume even when some
+// ids fail — a corrupt or mismatched checkpoint skips that id, and the
+// joined error reports every failure. Ids already open are skipped the
+// same way (ErrExists), so Restore is safe to call at any point.
+func (m *Manager) Restore(optsFor func(id string) core.Options) ([]*Session, error) {
+	if m.cfg.Checkpoints == nil {
+		return nil, errors.New("manager: no checkpoint store configured")
+	}
+	ids, err := m.cfg.Checkpoints.List()
+	if err != nil {
+		return nil, fmt.Errorf("manager: restore: %w", err)
+	}
+	var (
+		out  []*Session
+		errs []error
+	)
+	for _, id := range ids {
+		data, err := m.cfg.Checkpoints.Load(id)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("restore %q: %w", id, err))
+			continue
+		}
+		stream, err := core.ResumeStream(data, optsFor(id))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("restore %q: %w", id, err))
+			continue
+		}
+		s, err := m.register(id, stream, true)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		out = append(out, s)
+	}
+	return out, errors.Join(errs...)
 }
 
 // Get returns the open session with the given id.
@@ -186,11 +255,14 @@ func (m *Manager) Close() {
 type ManagerSnapshot struct {
 	// Open is the number of currently open sessions.
 	Open int
-	// Opened/Closed/Evicted/Panics are monotonic lifetime counters.
-	Opened  uint64
-	Closed  uint64
-	Evicted uint64
-	Panics  uint64
+	// Opened/Closed/Evicted/Panics/Restored are monotonic lifetime
+	// counters; Restored counts sessions resumed by Manager.Restore
+	// (each also counts in Opened).
+	Opened   uint64
+	Closed   uint64
+	Evicted  uint64
+	Panics   uint64
+	Restored uint64
 	// Sessions holds one snapshot per open session, ordered by ID.
 	Sessions []Snapshot
 }
@@ -200,11 +272,12 @@ type ManagerSnapshot struct {
 func (m *Manager) Stats() ManagerSnapshot {
 	sessions := m.list()
 	snap := ManagerSnapshot{
-		Open:    len(sessions),
-		Opened:  m.opened.Load(),
-		Closed:  m.closedCnt.Load(),
-		Evicted: m.evictions.Load(),
-		Panics:  m.panics.Load(),
+		Open:     len(sessions),
+		Opened:   m.opened.Load(),
+		Closed:   m.closedCnt.Load(),
+		Evicted:  m.evictions.Load(),
+		Panics:   m.panics.Load(),
+		Restored: m.restores.Load(),
 	}
 	for _, s := range sessions {
 		snap.Sessions = append(snap.Sessions, s.Stats())

@@ -66,6 +66,13 @@ type Session struct {
 	coverage  *stats.Series
 	pinnedNs  atomic.Int64 // identify-pin latency; 0 until pinned
 
+	// Durability telemetry (zero when no CheckpointStore configured).
+	ckpts      stats.Counter
+	ckptErrs   stats.Counter
+	lastCkptNs atomic.Int64 // UnixNano of the last successful checkpoint
+	ckptTryNs  atomic.Int64 // UnixNano of the last attempt (paces retries)
+	restored   bool         // came from Manager.Restore, not Open
+
 	done    chan struct{} // closed when the worker exits
 	failure atomic.Value  // string; set when the worker panicked
 	evicted atomic.Bool
@@ -143,8 +150,15 @@ func (s *Session) loop() {
 		s.process(it)
 	}
 	s.streamMu.Lock()
-	defer s.streamMu.Unlock()
 	_ = s.stream.Finalize()
+	s.streamMu.Unlock()
+	// Final checkpoint: the finalized state is what Manager.Restore
+	// hands back after a restart, and it is also how eviction preserves
+	// every accumulated LB pixel (the sweeper closes the session, which
+	// drains into this path).
+	if s.mgr.cfg.Checkpoints != nil {
+		_ = s.checkpoint()
+	}
 }
 
 // process feeds one frame through the reconstructor and updates the
@@ -162,6 +176,56 @@ func (s *Session) process(it item) {
 	if identified && s.pinnedNs.Load() == 0 {
 		s.pinnedNs.Store(int64(time.Since(s.started)))
 	}
+	s.maybeCheckpoint()
+}
+
+// maybeCheckpoint writes a periodic checkpoint when one is due. It runs
+// on the worker between frames, so a frame is never half-captured; the
+// pace is CheckpointInterval since the last attempt (attempt, not
+// success, so a broken store does not degrade into per-frame retries).
+func (s *Session) maybeCheckpoint() {
+	if s.mgr.cfg.Checkpoints == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := s.ckptTryNs.Load()
+	if now-last < int64(s.mgr.cfg.CheckpointInterval) {
+		return
+	}
+	if !s.ckptTryNs.CompareAndSwap(last, now) {
+		return // a concurrent Checkpoint() call claimed this slot
+	}
+	_ = s.checkpoint()
+}
+
+// Checkpoint forces an immediate durable checkpoint of the session's
+// stream, regardless of the periodic interval. It is safe to call at
+// any instant — the stream is briefly locked, exactly like Snapshot.
+func (s *Session) Checkpoint() error {
+	if s.mgr.cfg.Checkpoints == nil {
+		return fmt.Errorf("session %q: no checkpoint store configured", s.id)
+	}
+	s.ckptTryNs.Store(time.Now().UnixNano())
+	return s.checkpoint()
+}
+
+// checkpoint serialises the stream under streamMu and saves the bytes
+// outside the lock, so a slow store never stalls observers or the feed
+// path longer than the encode itself.
+func (s *Session) checkpoint() error {
+	s.streamMu.Lock()
+	data, err := s.stream.Checkpoint()
+	s.streamMu.Unlock()
+	if err == nil {
+		err = s.mgr.cfg.Checkpoints.Save(s.id, data)
+	}
+	if err != nil {
+		s.ckptErrs.Inc()
+		return fmt.Errorf("session %q: checkpoint: %w", s.id, err)
+	}
+	s.ckpts.Inc()
+	s.lastCkptNs.Store(time.Now().UnixNano())
+	return nil
 }
 
 // feedStream runs one frame through the reconstructor under streamMu.
@@ -269,6 +333,21 @@ type Snapshot struct {
 	// LastActivity is the most recent Feed (session start if never fed).
 	LastActivity time.Time
 
+	// StreamFrames is the reconstructor's cumulative frame counter. For
+	// a session restored from a checkpoint it includes frames processed
+	// before the restart, unlike FramesProcessed which counts only this
+	// incarnation.
+	StreamFrames uint64
+	// Restored reports the session came from Manager.Restore.
+	Restored bool
+	// Checkpoints counts successful durable checkpoints; CheckpointErrors
+	// counts failed attempts (encode or store).
+	Checkpoints      uint64
+	CheckpointErrors uint64
+	// LastCheckpoint is when the newest durable checkpoint was saved
+	// (zero time if never); its age bounds the frames a crash can lose.
+	LastCheckpoint time.Time
+
 	Finalized bool
 	Evicted   bool
 	// Failure carries the worker panic message, if any.
@@ -288,8 +367,15 @@ func (s *Session) Stats() Snapshot {
 		VBName:          r.VBName,
 		Identified:      s.stream.Identified(),
 		Finalized:       s.stream.Finalized(),
+		StreamFrames:    uint64(s.stream.Frames()),
 	}
 	s.streamMu.Unlock()
+	snap.Restored = s.restored
+	snap.Checkpoints = s.ckpts.Load()
+	snap.CheckpointErrors = s.ckptErrs.Load()
+	if ns := s.lastCkptNs.Load(); ns != 0 {
+		snap.LastCheckpoint = time.Unix(0, ns)
+	}
 
 	snap.FramesFed = s.fed.Load()
 	snap.FramesDropped = s.dropped.Load()

@@ -1,0 +1,174 @@
+package session
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CheckpointStore persists per-session .bbck checkpoints so a restarted
+// fleet can pick up every call where it left off (Manager.Restore).
+// Implementations must be safe for concurrent use: each session worker
+// saves its own checkpoints while Restore lists and loads.
+type CheckpointStore interface {
+	// Save durably replaces the checkpoint for a session id.
+	Save(id string, data []byte) error
+	// Load returns the last saved checkpoint for a session id.
+	Load(id string) ([]byte, error)
+	// List returns every session id with a stored checkpoint.
+	List() ([]string, error)
+	// Delete removes a session's checkpoint; deleting a missing id is
+	// not an error.
+	Delete(id string) error
+}
+
+// checkpointExt is the on-disk suffix of DirStore entries.
+const checkpointExt = ".bbck"
+
+// DirStore is a CheckpointStore over a flat directory: one
+// hex(id).bbck file per session, written atomically (temp file +
+// rename) so a crash mid-save leaves the previous checkpoint intact.
+// Session ids are hex-encoded in the file name, so arbitrary ids —
+// including path separators — cannot escape the directory.
+type DirStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+var _ CheckpointStore = (*DirStore)(nil)
+
+// NewDirStore opens (creating if needed) a checkpoint directory.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("session: checkpoint dir: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (d *DirStore) Dir() string { return d.dir }
+
+func (d *DirStore) path(id string) string {
+	return filepath.Join(d.dir, hex.EncodeToString([]byte(id))+checkpointExt)
+}
+
+// Save writes the checkpoint atomically.
+func (d *DirStore) Save(id string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tmp, err := os.CreateTemp(d.dir, "tmp-*"+checkpointExt+".partial")
+	if err != nil {
+		return fmt.Errorf("session: checkpoint save %q: %w", id, err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), d.path(id))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("session: checkpoint save %q: %w", id, werr)
+	}
+	return nil
+}
+
+// Load reads a session's checkpoint.
+func (d *DirStore) Load(id string) ([]byte, error) {
+	data, err := os.ReadFile(d.path(id))
+	if err != nil {
+		return nil, fmt.Errorf("session: checkpoint load %q: %w", id, err)
+	}
+	return data, nil
+}
+
+// List returns the stored session ids in sorted order. Files that are
+// not hex(id).bbck (including interrupted .partial temporaries) are
+// skipped, not errors.
+func (d *DirStore) List() ([]string, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("session: checkpoint list: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, checkpointExt) {
+			continue
+		}
+		raw, err := hex.DecodeString(strings.TrimSuffix(name, checkpointExt))
+		if err != nil {
+			continue
+		}
+		ids = append(ids, string(raw))
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Delete removes a session's checkpoint.
+func (d *DirStore) Delete(id string) error {
+	err := os.Remove(d.path(id))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("session: checkpoint delete %q: %w", id, err)
+	}
+	return nil
+}
+
+// MemStore is an in-memory CheckpointStore for tests and ephemeral
+// fleets (durable across Manager restarts within one process, not
+// across process restarts).
+type MemStore struct {
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+var _ CheckpointStore = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{data: map[string][]byte{}} }
+
+// Save stores a copy of data.
+func (m *MemStore) Save(id string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.data[id] = append([]byte(nil), data...)
+	return nil
+}
+
+// Load returns a copy of the stored checkpoint.
+func (m *MemStore) Load(id string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.data[id]
+	if !ok {
+		return nil, fmt.Errorf("session: checkpoint load %q: %w", id, os.ErrNotExist)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List returns the stored ids in sorted order.
+func (m *MemStore) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.data))
+	for id := range m.data {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Delete removes a stored checkpoint.
+func (m *MemStore) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.data, id)
+	return nil
+}
