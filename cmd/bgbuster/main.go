@@ -10,6 +10,7 @@
 //	bgbuster list      [-phase e1|e2|e3]
 //	bgbuster live      [-in call.bbv] [-sessions N] [-rate fps] [-every dur] [-out dir]
 //	                   [-checkpoint-dir dir] [-checkpoint-every dur]
+//	                   [-chaos profile] [-noise-gate frac] [-stall-timeout dur] [-close-timeout dur]
 //
 // live drives the concurrent session layer (internal/session): it
 // replays a .bbv recording — or composes a synthetic call — through N
@@ -17,7 +18,12 @@
 // periodic per-stage stats without pausing any session. With
 // -checkpoint-dir every session durably checkpoints its stream; a
 // later run with the same directory resumes each call where it left
-// off and feeds only the remaining frames.
+// off and feeds only the remaining frames. -chaos injects seeded
+// stream faults (drop/dup/reorder/corrupt/geom/stall; see
+// internal/faultinject) into every session's feed — each session gets
+// a decorrelated seed — to rehearse degraded operation, and
+// -noise-gate arms the impulse-noise quality gate that screens
+// corrupted frames out of the reconstruction (DESIGN.md §12).
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"github.com/bgbuster/bgbuster"
 	"github.com/bgbuster/bgbuster/internal/compositor"
 	"github.com/bgbuster/bgbuster/internal/dataset"
+	"github.com/bgbuster/bgbuster/internal/faultinject"
 	"github.com/bgbuster/bgbuster/internal/imagex"
 	"github.com/bgbuster/bgbuster/internal/person"
 	"github.com/bgbuster/bgbuster/internal/session"
@@ -222,12 +229,21 @@ func runLive(args []string) error {
 	out := fs.String("out", "", "write each session's recovered background PNG to this directory")
 	ckptDir := fs.String("checkpoint-dir", "", "durably checkpoint every session to this directory and resume any checkpoints found there on start")
 	ckptEvery := fs.Duration("checkpoint-every", 5*time.Second, "periodic checkpoint interval (needs -checkpoint-dir)")
+	chaosSpec := fs.String("chaos", "", "seeded fault-injection profile for every session's feed, e.g. drop=0.2,corrupt=0.05,seed=7")
+	noiseGate := fs.Float64("noise-gate", 0, "reject frames whose impulse-noise score exceeds this fraction (0: gate off)")
+	stallTimeout := fs.Duration("stall-timeout", 0, "degrade sessions with no stream activity for this long (0: watchdog off)")
+	closeTimeout := fs.Duration("close-timeout", 0, "abandon sessions still draining this long into shutdown (0: wait)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *sessions < 1 {
 		return fmt.Errorf("need at least one session")
 	}
+	chaosProfile, err := faultinject.ParseProfile(*chaosSpec)
+	if err != nil {
+		return fmt.Errorf("-chaos: %w", err)
+	}
+	chaosOn := *chaosSpec != ""
 
 	// Acquire the call: a replayed recording (decoded under the default
 	// byte budget, so a crafted header is rejected up front) or a
@@ -290,11 +306,33 @@ func runLive(args []string) error {
 		frameGap = time.Duration(float64(time.Second) / fps)
 	}
 
-	cfg := session.Config{QueueDepth: *queue, IdleTimeout: *idle}
+	cfg := session.Config{
+		QueueDepth:      *queue,
+		IdleTimeout:     *idle,
+		MaxImpulseNoise: *noiseGate,
+		StallTimeout:    *stallTimeout,
+		CloseTimeout:    *closeTimeout,
+		// Degradation events — checkpoint retry exhaustion, health
+		// transitions, watchdog stalls, quarantined checkpoints — go to
+		// stderr so the stats stream on stdout stays machine-readable.
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "bgbuster: live: "+format+"\n", args...)
+		},
+	}
 	if *ckptDir != "" {
 		store, err := session.NewDirStore(*ckptDir)
 		if err != nil {
-			return err
+			// An unusable checkpoint dir is a startup misconfiguration:
+			// surface it readably now instead of degrading every session.
+			return fmt.Errorf("live: %w", err)
+		}
+		if orphans := store.Orphans(); len(orphans) > 0 {
+			fmt.Fprintf(os.Stderr, "bgbuster: live: swept %d interrupted checkpoint temp file(s) from %s\n",
+				len(orphans), *ckptDir)
+		}
+		if _, skipped, err := store.ListDetailed(); err == nil && len(skipped) > 0 {
+			fmt.Fprintf(os.Stderr, "bgbuster: live: ignoring %d foreign file(s) in %s: %v\n",
+				len(skipped), *ckptDir, skipped)
 		}
 		cfg.Checkpoints = store
 		cfg.CheckpointInterval = *ckptEvery
@@ -349,30 +387,57 @@ func runLive(args []string) error {
 		_ = s.Close()
 	}
 
-	fmt.Printf("live: %s — %d frames %dx%d at %.3g fps across %d sessions\n",
-		source, video.Len(), w, h, fps, *sessions)
+	chaosNote := ""
+	if chaosOn {
+		chaosNote = fmt.Sprintf(" (chaos: %s)", *chaosSpec)
+	}
+	fmt.Printf("live: %s — %d frames %dx%d at %.3g fps across %d sessions%s\n",
+		source, video.Len(), w, h, fps, *sessions, chaosNote)
 
 	// Feed every session concurrently at the replay rate while a
 	// reporter prints instantaneous aggregates; neither blocks the
-	// reconstruction workers.
+	// reconstruction workers. With -chaos each feeder runs its frames
+	// through its own seeded injector (seed offset by session index, so
+	// the fleets' fault sequences decorrelate but any single run is
+	// reproducible bit for bit) and honours injected stalls as real
+	// delivery pauses.
+	injectors := make([]*faultinject.Injector, len(live))
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		var wg sync.WaitGroup
 		for i, s := range live {
 			wg.Add(1)
-			go func(s *session.Session, start int) {
+			go func(idx int, s *session.Session, start int) {
 				defer wg.Done()
-				for i := start; i < video.Len(); i++ {
-					if frameGap > 0 && i > start {
-						time.Sleep(frameGap)
+				if chaosOn {
+					p := chaosProfile
+					p.Seed += int64(idx)
+					inj := faultinject.New(p)
+					injectors[idx] = inj
+					for j, f := range inj.Apply(video.Frames[start:], oracles[start:]) {
+						if f.Delay > 0 {
+							time.Sleep(f.Delay)
+						}
+						if frameGap > 0 && j > 0 {
+							time.Sleep(frameGap)
+						}
+						if err := s.Feed(f.Img, f.Oracle); err != nil {
+							return // closed or failed: final stats will say
+						}
 					}
-					if err := s.Feed(video.Frames[i], oracles[i]); err != nil {
-						return // closed or failed: final stats will say
+				} else {
+					for i := start; i < video.Len(); i++ {
+						if frameGap > 0 && i > start {
+							time.Sleep(frameGap)
+						}
+						if err := s.Feed(video.Frames[i], oracles[i]); err != nil {
+							return // closed or failed: final stats will say
+						}
 					}
 				}
 				_ = s.Finalize()
-			}(s, offsets[i])
+			}(i, s, offsets[i])
 		}
 		wg.Wait()
 	}()
@@ -391,7 +456,7 @@ loop:
 	}
 
 	fmt.Println("final per-session stats:")
-	fmt.Println("  id        frames  drop  rej  coverage  vb          pin-latency  mean-feed")
+	fmt.Println("  id        frames  drop  rej  gate  coverage  vb          health    pin-latency  mean-feed")
 	for _, s := range live {
 		st := s.Stats()
 		vb := st.VBName
@@ -400,23 +465,46 @@ loop:
 		}
 		// StreamFrames is cumulative across restarts; FramesProcessed is
 		// this incarnation only, so resumed sessions report the former.
-		fmt.Printf("  %-9s %6d %5d %4d %8.2f%%  %-11s %11s %10s\n",
-			st.ID, st.StreamFrames, st.FramesDropped, st.FramesRejected,
-			st.CoveragePct, vb, st.IdentifyLatency.Round(time.Millisecond),
+		fmt.Printf("  %-9s %6d %5d %4d %5d %8.2f%%  %-11s %-9s %11s %10s\n",
+			st.ID, st.StreamFrames, st.FramesDropped, st.FramesRejected, st.FramesGated,
+			st.CoveragePct, vb, st.Health, st.IdentifyLatency.Round(time.Millisecond),
 			st.FeedLatency.Mean.Round(10*time.Microsecond))
+		for _, reason := range st.HealthReasons {
+			fmt.Printf("            %s\n", reason)
+		}
 	}
 	ms := mgr.Stats()
-	fmt.Printf("manager: opened=%d closed=%d evicted=%d panics=%d\n",
-		ms.Opened, ms.Closed, ms.Evicted, ms.Panics)
+	fmt.Printf("manager: opened=%d closed=%d evicted=%d panics=%d degraded=%d stalls=%d abandoned=%d\n",
+		ms.Opened, ms.Closed, ms.Evicted, ms.Panics, ms.Degraded, ms.Stalls, ms.Abandoned)
 	if cfg.Checkpoints != nil {
-		var saved, failed uint64
+		var saved, failed, retries uint64
 		for _, s := range live {
 			st := s.Stats()
 			saved += st.Checkpoints
 			failed += st.CheckpointErrors
+			retries += st.CheckpointRetries
 		}
-		fmt.Printf("checkpoints: dir=%s saved=%d errors=%d resumed=%d\n",
-			*ckptDir, saved, failed, ms.Restored)
+		fmt.Printf("checkpoints: dir=%s saved=%d errors=%d retries=%d resumed=%d\n",
+			*ckptDir, saved, failed, retries, ms.Restored)
+	}
+	if chaosOn {
+		var total faultinject.Counters
+		for _, inj := range injectors {
+			if inj == nil {
+				continue
+			}
+			c := inj.Counters()
+			total.Input += c.Input
+			total.Emitted += c.Emitted
+			total.Dropped += c.Dropped
+			total.Duplicated += c.Duplicated
+			total.Reordered += c.Reordered
+			total.Corrupted += c.Corrupted
+			total.Misgeometry += c.Misgeometry
+			total.Truncated += c.Truncated
+			total.Stalled += c.Stalled
+		}
+		fmt.Printf("chaos: %v (%d faults injected)\n", total, total.Faults())
 	}
 
 	if *out != "" {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/bgbuster/bgbuster/internal/imagex"
@@ -157,6 +158,65 @@ func TestLiveRejectsBadInput(t *testing.T) {
 	}
 	if err := run([]string{"live", "-in", filepath.Join(t.TempDir(), "missing.bbv")}); err == nil {
 		t.Fatal("missing recording accepted")
+	}
+	if err := run([]string{"live", "-chaos", "drop=banana", "-rate", "-1"}); err == nil {
+		t.Fatal("malformed -chaos value accepted")
+	}
+	if err := run([]string{"live", "-chaos", "frobnicate=1", "-rate", "-1"}); err == nil {
+		t.Fatal("unknown -chaos key accepted")
+	}
+	if err := run([]string{"live", "-chaos", "drop=1.5", "-rate", "-1"}); err == nil {
+		t.Fatal("out-of-range -chaos rate accepted")
+	}
+}
+
+// TestLiveRejectsUnusableCheckpointDir pins the startup contract: an
+// unusable -checkpoint-dir is a readable error before any session
+// opens, not a fleet of degraded sessions.
+func TestLiveRejectsUnusableCheckpointDir(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []string{blocker, filepath.Join(blocker, "sub")} {
+		err := run([]string{"live", "-frames", "2", "-rate", "-1", "-checkpoint-dir", dir})
+		if err == nil {
+			t.Fatalf("checkpoint dir %q accepted", dir)
+		}
+		if !strings.Contains(err.Error(), "checkpoint dir") {
+			t.Fatalf("error does not name the checkpoint dir problem: %v", err)
+		}
+	}
+}
+
+// TestLiveChaosRun exercises the full -chaos path: seeded stream faults
+// plus the noise gate over a replayed recording, with checkpointing on.
+// The run must complete cleanly end to end.
+func TestLiveChaosRun(t *testing.T) {
+	w, h := 48, 36
+	v := &vidstream.Video{FPS: 30, Frames: make([]*imagex.Image, 12)}
+	for i := range v.Frames {
+		v.Frames[i] = imagex.NewFilled(w, h, imagex.RGB{R: uint8(40 + i*10), G: 90, B: 160})
+	}
+	path := filepath.Join(t.TempDir(), "call.bbv")
+	if err := vidstream.Save(path, v); err != nil {
+		t.Fatal(err)
+	}
+	ckdir := filepath.Join(t.TempDir(), "ckpts")
+	err := run([]string{"live", "-in", path, "-sessions", "2", "-rate", "-1",
+		"-chaos", "drop=0.2,corrupt=0.1,corrupt-frac=0.08,geom=0.05,seed=7",
+		"-noise-gate", "0.02",
+		"-stall-timeout", "1m", "-close-timeout", "30s",
+		"-checkpoint-dir", ckdir, "-checkpoint-every", "1ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := session.NewDirStore(ckdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids, err := store.List(); err != nil || len(ids) != 2 {
+		t.Fatalf("chaos run left %v checkpoints, want 2 (%v)", ids, err)
 	}
 }
 

@@ -1,0 +1,75 @@
+package core
+
+import "errors"
+
+// FrameFault classifies why a single streamed frame could not be
+// processed. Frame faults are recoverable by construction: the stream
+// skips the offending frame and stays fully usable, so a burst of
+// codec-mangled or misdelivered frames degrades coverage instead of
+// poisoning or killing the call (DESIGN.md §12).
+type FrameFault int
+
+const (
+	// FaultNilFrame: the frame pointer itself was nil.
+	FaultNilFrame FrameFault = iota + 1
+	// FaultGeometry: the frame geometry differs from the stream's.
+	FaultGeometry
+	// FaultNilOracle: no silhouette oracle accompanied the frame.
+	FaultNilOracle
+	// FaultOracleGeometry: the oracle geometry differs from the stream's.
+	FaultOracleGeometry
+	// FaultQuality: frame content failed a quality gate (assigned by
+	// the session layer's decode-consistency screening, not by core).
+	FaultQuality
+)
+
+// String names the fault for logs and error messages.
+func (f FrameFault) String() string {
+	switch f {
+	case FaultNilFrame:
+		return "nil-frame"
+	case FaultGeometry:
+		return "frame-geometry"
+	case FaultNilOracle:
+		return "nil-oracle"
+	case FaultOracleGeometry:
+		return "oracle-geometry"
+	case FaultQuality:
+		return "quality"
+	default:
+		return "unknown"
+	}
+}
+
+// FrameError is a recoverable per-frame failure: the frame it describes
+// was rejected, the stream state is untouched, and the next Feed is
+// expected to succeed. Anything a stream returns that is NOT a
+// FrameError (e.g. ErrFinalized) is fatal for the feeding loop.
+//
+// FrameError wraps its cause, so existing errors.Is checks (such as
+// imagex.ErrBounds for geometry faults) keep working.
+type FrameError struct {
+	Fault FrameFault
+	Err   error
+}
+
+// Error reports the underlying cause; the fault class is available via
+// the Fault field and errors.As.
+func (e *FrameError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *FrameError) Unwrap() error { return e.Err }
+
+// frameErr wraps err as a recoverable frame fault.
+func frameErr(fault FrameFault, err error) error {
+	return &FrameError{Fault: fault, Err: err}
+}
+
+// RecoverableFrame reports whether err is a per-frame recoverable
+// fault: the caller should count and skip the frame and keep feeding.
+// A false return for a non-nil error means the stream itself is in a
+// state where further feeding is pointless (fatal).
+func RecoverableFrame(err error) bool {
+	var fe *FrameError
+	return errors.As(err, &fe)
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/segment"
+)
+
+// faultOpts is a minimal known-image streaming config for fault tests.
+func faultOpts() Options {
+	o := DefaultOptions()
+	o.Segmenter = segment.OracleSegmenter{}
+	o.KnownImages = map[string]*imagex.Image{"flat": imagex.NewFilled(8, 6, imagex.RGB{R: 1, G: 2, B: 3})}
+	return o
+}
+
+func TestFrameErrorTaxonomy(t *testing.T) {
+	s, err := NewStream(8, 6, faultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		frame  *imagex.Image
+		oracle *imagex.Mask
+		fault  FrameFault
+		bounds bool
+	}{
+		{"nil-frame", nil, imagex.NewMask(8, 6), FaultNilFrame, false},
+		{"frame-geometry", imagex.New(4, 4), imagex.NewMask(8, 6), FaultGeometry, true},
+		{"nil-oracle", imagex.New(8, 6), nil, FaultNilOracle, false},
+		{"oracle-geometry", imagex.New(8, 6), imagex.NewMask(4, 4), FaultOracleGeometry, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := s.Feed(tc.frame, tc.oracle)
+			if err == nil {
+				t.Fatal("malformed frame accepted")
+			}
+			if !RecoverableFrame(err) {
+				t.Fatalf("%v not classified recoverable", err)
+			}
+			var fe *FrameError
+			if !errors.As(err, &fe) || fe.Fault != tc.fault {
+				t.Fatalf("fault = %v, want %v", fe.Fault, tc.fault)
+			}
+			if tc.bounds && !errors.Is(err, imagex.ErrBounds) {
+				t.Fatalf("geometry fault lost its ErrBounds cause: %v", err)
+			}
+			if fe.Fault.String() == "unknown" {
+				t.Fatalf("fault %d has no name", fe.Fault)
+			}
+		})
+	}
+
+	// Rejected frames must not advance the stream.
+	if s.Frames() != 0 {
+		t.Fatalf("rejected frames advanced the counter to %d", s.Frames())
+	}
+	// A well-formed frame still goes through after the fault burst.
+	if err := s.Feed(imagex.NewFilled(8, 6, imagex.RGB{R: 1, G: 2, B: 3}), imagex.NewMask(8, 6)); err != nil {
+		t.Fatalf("stream poisoned by recoverable faults: %v", err)
+	}
+
+	// Finalize is a fatal boundary, not a frame fault.
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Feed(imagex.New(8, 6), imagex.NewMask(8, 6))
+	if !errors.Is(err, ErrFinalized) {
+		t.Fatalf("post-finalize feed = %v", err)
+	}
+	if RecoverableFrame(err) {
+		t.Fatal("ErrFinalized misclassified as recoverable")
+	}
+}
+
+func TestStreamSize(t *testing.T) {
+	s, err := NewStream(8, 6, faultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, h := s.Size(); w != 8 || h != 6 {
+		t.Fatalf("Size() = %dx%d", w, h)
+	}
+}

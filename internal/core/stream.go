@@ -154,6 +154,10 @@ func normalizeStreamOptions(w, h int, opts Options) (Options, error) {
 // Frames returns the number of frames fed so far.
 func (s *StreamReconstructor) Frames() int { return s.frames }
 
+// Size returns the stream's frame geometry. The session layer's
+// quality gate needs it to screen frames without poking the pipeline.
+func (s *StreamReconstructor) Size() (w, h int) { return s.w, s.h }
+
 // Identified reports whether known-image identification has pinned a
 // virtual background (always false in VBUnknownImage mode).
 func (s *StreamReconstructor) Identified() bool { return s.identified }
@@ -162,21 +166,29 @@ func (s *StreamReconstructor) Identified() bool { return s.identified }
 func (s *StreamReconstructor) Finalized() bool { return s.finalized }
 
 // Feed processes one frame. oracle is the true silhouette consumed by
-// the simulated segmenter (see Reconstruct). Feed returns ErrFinalized
-// after Finalize.
+// the simulated segmenter (see Reconstruct). Malformed frames return a
+// recoverable *FrameError (see RecoverableFrame): the frame is skipped,
+// the stream state is untouched, and feeding can continue. Feed returns
+// ErrFinalized — fatal, not a FrameError — after Finalize.
 func (s *StreamReconstructor) Feed(frame *imagex.Image, oracle *imagex.Mask) error {
 	if s.finalized {
 		return ErrFinalized
 	}
-	if frame == nil || frame.W != s.w || frame.H != s.h {
-		return fmt.Errorf("core: stream frame geometry mismatch: %w", imagex.ErrBounds)
+	if frame == nil {
+		return frameErr(FaultNilFrame, errors.New("core: stream: nil frame"))
+	}
+	if frame.W != s.w || frame.H != s.h {
+		return frameErr(FaultGeometry,
+			fmt.Errorf("core: stream frame geometry %dx%d for %dx%d stream: %w",
+				frame.W, frame.H, s.w, s.h, imagex.ErrBounds))
 	}
 	if oracle == nil {
-		return errors.New("core: stream: nil oracle mask")
+		return frameErr(FaultNilOracle, errors.New("core: stream: nil oracle mask"))
 	}
 	if oracle.W != s.w || oracle.H != s.h {
-		return fmt.Errorf("core: stream oracle geometry %dx%d for %dx%d frames: %w",
-			oracle.W, oracle.H, s.w, s.h, imagex.ErrBounds)
+		return frameErr(FaultOracleGeometry,
+			fmt.Errorf("core: stream oracle geometry %dx%d for %dx%d frames: %w",
+				oracle.W, oracle.H, s.w, s.h, imagex.ErrBounds))
 	}
 	s.frames++
 

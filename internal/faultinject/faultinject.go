@@ -1,0 +1,357 @@
+// Package faultinject is the deterministic chaos layer of the
+// reconstruction framework: seeded, reproducible fault wrappers for
+// frame sources (drop, duplicate, reorder-within-window, pixel and byte
+// corruption, truncation, stall/jitter) over decoded .bbv streams and
+// synthetic feeds, plus a flaky CheckpointStore wrapper (store.go).
+//
+// Everything is driven by an explicit seed and nothing reads the wall
+// clock, so a chaos run is bit-reproducible: the same profile and seed
+// over the same input always injects the same faults at the same
+// positions. Every injected fault is counted exactly once, which lets
+// chaos tests reconcile the injector's counters against the session
+// layer's telemetry (DESIGN.md §12).
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/vidstream"
+)
+
+// Profile configures a frame Injector. All rates are per-input-frame
+// probabilities in [0, 1]; the zero value injects nothing.
+type Profile struct {
+	// Seed drives every random decision; two injectors with equal
+	// profiles produce identical fault sequences.
+	Seed int64
+
+	// Drop is the probability a frame is silently lost.
+	Drop float64
+	// Dup is the probability a frame is delivered twice back to back
+	// (a retransmitted packet the jitter buffer failed to dedupe).
+	Dup float64
+	// Reorder is the probability a frame is held back and delivered up
+	// to ReorderWindow positions late.
+	Reorder float64
+	// ReorderWindow bounds how many positions a held frame can slip
+	// (non-positive: 3).
+	ReorderWindow int
+	// Corrupt is the probability a frame arrives with impulse pixel
+	// corruption; CorruptFrac of its pixels are replaced with random
+	// values (the decoded face of codec/byte damage).
+	Corrupt float64
+	// CorruptFrac is the fraction of pixels corrupted in a corrupted
+	// frame (non-positive: 0.02; at least one pixel).
+	CorruptFrac float64
+	// Geom is the probability a frame arrives with the wrong geometry
+	// (a mid-call resolution switch the pipeline must reject).
+	Geom float64
+	// Truncate stops the stream after this many input frames were
+	// consumed — the remote side hung up mid-call (0: never).
+	Truncate int
+	// Stall is the probability a frame is preceded by a delivery stall
+	// of StallFor (surfaced as Frame.Delay; the injector never sleeps
+	// itself, so tests stay wall-clock free).
+	Stall float64
+	// StallFor is the suggested stall duration (non-positive: 100ms).
+	StallFor time.Duration
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.ReorderWindow <= 0 {
+		p.ReorderWindow = 3
+	}
+	if p.CorruptFrac <= 0 {
+		p.CorruptFrac = 0.02
+	}
+	if p.StallFor <= 0 {
+		p.StallFor = 100 * time.Millisecond
+	}
+	return p
+}
+
+// Validate rejects out-of-range rates.
+func (p Profile) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"drop", p.Drop}, {"dup", p.Dup}, {"reorder", p.Reorder},
+		{"corrupt", p.Corrupt}, {"corrupt-frac", p.CorruptFrac},
+		{"geom", p.Geom}, {"stall", p.Stall},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faultinject: %s rate %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if p.Truncate < 0 {
+		return fmt.Errorf("faultinject: truncate %d is negative", p.Truncate)
+	}
+	return nil
+}
+
+// ParseProfile parses a compact comma-separated spec, e.g.
+//
+//	drop=0.2,corrupt=0.05,seed=7
+//
+// Keys: drop, dup, reorder, window, corrupt, corrupt-frac, geom,
+// truncate, stall, stall-for (a Go duration), seed. Unknown keys and
+// malformed values are errors; an empty spec is the zero Profile.
+func ParseProfile(spec string) (Profile, error) {
+	var p Profile
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return p, fmt.Errorf("faultinject: bad profile term %q (want key=value)", kv)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "drop":
+			p.Drop, err = strconv.ParseFloat(val, 64)
+		case "dup":
+			p.Dup, err = strconv.ParseFloat(val, 64)
+		case "reorder":
+			p.Reorder, err = strconv.ParseFloat(val, 64)
+		case "window":
+			p.ReorderWindow, err = strconv.Atoi(val)
+		case "corrupt":
+			p.Corrupt, err = strconv.ParseFloat(val, 64)
+		case "corrupt-frac":
+			p.CorruptFrac, err = strconv.ParseFloat(val, 64)
+		case "geom":
+			p.Geom, err = strconv.ParseFloat(val, 64)
+		case "truncate":
+			p.Truncate, err = strconv.Atoi(val)
+		case "stall":
+			p.Stall, err = strconv.ParseFloat(val, 64)
+		case "stall-for":
+			p.StallFor, err = time.ParseDuration(val)
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return p, fmt.Errorf("faultinject: unknown profile key %q", key)
+		}
+		if err != nil {
+			return p, fmt.Errorf("faultinject: bad %s value %q: %w", key, val, err)
+		}
+	}
+	return p, p.Validate()
+}
+
+// Frame is one delivered frame after fault injection.
+type Frame struct {
+	Img    *imagex.Image
+	Oracle *imagex.Mask
+	// Delay is the injected stall before this frame should be fed
+	// (zero for most frames). The injector never sleeps; pacing is the
+	// caller's choice, so chaos tests can run wall-clock free.
+	Delay time.Duration
+	// SrcIndex is the input frame this delivery originated from.
+	SrcIndex int
+	// Corrupted marks injected pixel corruption; Misgeometry marks an
+	// injected wrong-geometry frame.
+	Corrupted   bool
+	Misgeometry bool
+}
+
+// Counters tallies every injected fault of one Injector. Emitted is the
+// number of delivered frames: Input - Dropped - Truncated + Duplicated.
+type Counters struct {
+	Input      int
+	Emitted    int
+	Dropped    int
+	Duplicated int
+	Reordered  int
+	Corrupted  int
+	// Misgeometry counts injected wrong-geometry frames (these are also
+	// Emitted; the receiving pipeline is expected to reject them).
+	Misgeometry int
+	Truncated   int
+	Stalled     int
+}
+
+// Faults returns the total number of injected faults.
+func (c Counters) Faults() int {
+	return c.Dropped + c.Duplicated + c.Reordered + c.Corrupted + c.Misgeometry + c.Truncated + c.Stalled
+}
+
+func (c Counters) String() string {
+	return fmt.Sprintf("input=%d emitted=%d dropped=%d dup=%d reordered=%d corrupted=%d misgeom=%d truncated=%d stalled=%d",
+		c.Input, c.Emitted, c.Dropped, c.Duplicated, c.Reordered, c.Corrupted, c.Misgeometry, c.Truncated, c.Stalled)
+}
+
+// Injector applies a Profile to frame sequences. It is deterministic
+// (seeded) and not safe for concurrent use; give each stream its own
+// Injector (vary Profile.Seed per stream to decorrelate their faults).
+type Injector struct {
+	p   Profile
+	rng *rand.Rand
+	c   Counters
+}
+
+// New returns an Injector for the profile. The profile should be
+// validated first; New itself accepts anything and clamps nothing.
+func New(p Profile) *Injector {
+	p = p.withDefaults()
+	return &Injector{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Counters returns the faults injected so far (cumulative across Apply
+// calls).
+func (in *Injector) Counters() Counters { return in.c }
+
+// held is a reordered frame awaiting its release position.
+type held struct {
+	f       Frame
+	release int // deliver before consuming input frame `release`
+	order   int // tie-break: injection order
+}
+
+// Apply runs the whole input through the injector and returns the
+// delivered sequence. frames and oracles must have equal length; the
+// delivered frames alias the inputs except corrupted ones, which are
+// clones (the caller's frames are never mutated).
+func (in *Injector) Apply(frames []*imagex.Image, oracles []*imagex.Mask) []Frame {
+	if len(frames) != len(oracles) {
+		panic(fmt.Sprintf("faultinject: %d frames vs %d oracles", len(frames), len(oracles)))
+	}
+	var out []Frame
+	var pending []held
+	heldSeq := 0
+	flush := func(upto int) {
+		if len(pending) == 0 {
+			return
+		}
+		sort.SliceStable(pending, func(i, j int) bool {
+			if pending[i].release != pending[j].release {
+				return pending[i].release < pending[j].release
+			}
+			return pending[i].order < pending[j].order
+		})
+		n := 0
+		for _, h := range pending {
+			if h.release <= upto {
+				out = append(out, h.f)
+			} else {
+				pending[n] = h
+				n++
+			}
+		}
+		pending = pending[:n]
+	}
+
+	for i := range frames {
+		if in.p.Truncate > 0 && in.c.Input >= in.p.Truncate {
+			in.c.Truncated += len(frames) - i
+			pending = nil // the call died; held frames die with it
+			break
+		}
+		in.c.Input++
+		flush(i)
+		if in.rng.Float64() < in.p.Drop {
+			in.c.Dropped++
+			continue
+		}
+		f := Frame{Img: frames[i], Oracle: oracles[i], SrcIndex: i}
+		if in.rng.Float64() < in.p.Corrupt {
+			f.Img = in.corrupt(f.Img)
+			f.Corrupted = true
+			in.c.Corrupted++
+		}
+		if in.rng.Float64() < in.p.Geom {
+			f.Img = in.misgeometry(f.Img)
+			f.Misgeometry = true
+			in.c.Misgeometry++
+		}
+		if in.rng.Float64() < in.p.Stall {
+			f.Delay = in.p.StallFor
+			in.c.Stalled++
+		}
+		dup := in.rng.Float64() < in.p.Dup
+		if in.rng.Float64() < in.p.Reorder {
+			in.c.Reordered++
+			pending = append(pending, held{f: f, release: i + 1 + in.rng.Intn(in.p.ReorderWindow), order: heldSeq})
+			heldSeq++
+		} else {
+			out = append(out, f)
+		}
+		if dup {
+			in.c.Duplicated++
+			out = append(out, f)
+		}
+	}
+	flush(len(frames) + in.p.ReorderWindow) // release everything still held
+	in.c.Emitted += len(out)
+	return out
+}
+
+// ApplyVideo is Apply over a decoded .bbv video.
+func (in *Injector) ApplyVideo(v *vidstream.Video, oracles []*imagex.Mask) []Frame {
+	return in.Apply(v.Frames, oracles)
+}
+
+// corrupt returns a clone of img with CorruptFrac of its pixels (at
+// least one) replaced by random values — the decoded appearance of a
+// burst of bit errors the codec could not conceal.
+func (in *Injector) corrupt(img *imagex.Image) *imagex.Image {
+	out := img.Clone()
+	n := int(in.p.CorruptFrac * float64(len(out.Pix)))
+	if n < 1 {
+		n = 1
+	}
+	for j := 0; j < n; j++ {
+		p := in.rng.Intn(len(out.Pix))
+		out.Pix[p] = imagex.RGB{
+			R: byte(in.rng.Intn(256)),
+			G: byte(in.rng.Intn(256)),
+			B: byte(in.rng.Intn(256)),
+		}
+	}
+	return out
+}
+
+// misgeometry returns the frame re-emitted at a wrong size (content
+// truncated or padded with black), as a mid-call resolution switch.
+func (in *Injector) misgeometry(img *imagex.Image) *imagex.Image {
+	w := img.W/2 + 1
+	h := img.H/2 + 1
+	out := imagex.New(w, h)
+	for y := 0; y < h && y < img.H; y++ {
+		for x := 0; x < w && x < img.W; x++ {
+			out.Set(x, y, img.At(x, y))
+		}
+	}
+	return out
+}
+
+// CorruptBytes returns a copy of data with n = max(1, rate*len) bytes
+// flipped at seeded positions — byte-level damage for exercising the
+// .bbv and .bbck decoders' rejection paths. Empty input is returned
+// unchanged with count 0.
+func CorruptBytes(data []byte, rate float64, seed int64) ([]byte, int) {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 {
+		return out, 0
+	}
+	n := int(rate * float64(len(out)))
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		p := rng.Intn(len(out))
+		out[p] ^= byte(1 + rng.Intn(255))
+	}
+	return out, n
+}

@@ -1,0 +1,223 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/vidstream"
+)
+
+const testW, testH = 16, 12
+
+func testInput(n int) ([]*imagex.Image, []*imagex.Mask) {
+	frames := make([]*imagex.Image, n)
+	oracles := make([]*imagex.Mask, n)
+	for i := range frames {
+		frames[i] = imagex.NewFilled(testW, testH, imagex.RGB{R: byte(i), G: 100, B: 200})
+		oracles[i] = imagex.NewMask(testW, testH)
+	}
+	return frames, oracles
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	p := Profile{
+		Seed: 42, Drop: 0.2, Dup: 0.1, Reorder: 0.15, Corrupt: 0.1,
+		Geom: 0.05, Stall: 0.1, StallFor: 5 * time.Millisecond,
+	}
+	frames, oracles := testInput(200)
+	a := New(p).Apply(frames, oracles)
+	b := New(p).Apply(frames, oracles)
+	if len(a) != len(b) {
+		t.Fatalf("same seed emitted %d vs %d frames", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].SrcIndex != b[i].SrcIndex || a[i].Corrupted != b[i].Corrupted ||
+			a[i].Misgeometry != b[i].Misgeometry || a[i].Delay != b[i].Delay {
+			t.Fatalf("emission %d diverges: %+v vs %+v", i, a[i], b[i])
+		}
+		// Corrupted frames must be byte-identical clones too.
+		if a[i].Corrupted {
+			if !a[i].Img.Equal(b[i].Img) {
+				t.Fatalf("corrupted frame %d pixels diverge across identical seeds", i)
+			}
+			if a[i].Img == frames[a[i].SrcIndex] {
+				t.Fatalf("corrupted frame %d aliases the caller's input", i)
+			}
+			if a[i].Img.Equal(frames[a[i].SrcIndex]) {
+				t.Fatalf("frame %d marked corrupted but unchanged", i)
+			}
+		}
+	}
+	ca, cb := New(p), New(p)
+	ca.Apply(frames, oracles)
+	cb.Apply(frames, oracles)
+	if ca.Counters() != cb.Counters() {
+		t.Fatalf("counters diverge: %v vs %v", ca.Counters(), cb.Counters())
+	}
+}
+
+func TestInjectorRatesAndAccounting(t *testing.T) {
+	p := Profile{Seed: 7, Drop: 0.2, Dup: 0.1, Corrupt: 0.05}
+	frames, oracles := testInput(2000)
+	in := New(p)
+	out := in.Apply(frames, oracles)
+	c := in.Counters()
+
+	if c.Input != 2000 {
+		t.Fatalf("input = %d", c.Input)
+	}
+	if c.Emitted != len(out) {
+		t.Fatalf("emitted counter %d vs %d delivered", c.Emitted, len(out))
+	}
+	if got, want := c.Emitted, c.Input-c.Dropped+c.Duplicated; got != want {
+		t.Fatalf("emitted = %d, want input-dropped+dup = %d", got, want)
+	}
+	for _, f := range []struct {
+		name string
+		got  int
+		rate float64
+	}{
+		{"dropped", c.Dropped, p.Drop},
+		{"duplicated", c.Duplicated, p.Dup},
+		{"corrupted", c.Corrupted, p.Corrupt},
+	} {
+		want := f.rate * 2000
+		if math.Abs(float64(f.got)-want) > 4*math.Sqrt(want) {
+			t.Errorf("%s = %d, want ≈ %.0f", f.name, f.got, want)
+		}
+	}
+	// No frame mutated in place.
+	for i, f := range frames {
+		if f.Pix[0] != (imagex.RGB{R: byte(i), G: 100, B: 200}) {
+			t.Fatalf("input frame %d was mutated", i)
+		}
+	}
+}
+
+func TestInjectorReorderWindowBound(t *testing.T) {
+	p := Profile{Seed: 3, Reorder: 0.5, ReorderWindow: 4}
+	frames, oracles := testInput(300)
+	in := New(p)
+	out := in.Apply(frames, oracles)
+	if in.Counters().Reordered == 0 {
+		t.Fatal("no reorders at rate 0.5")
+	}
+	if len(out) != 300 {
+		t.Fatalf("reordering changed delivery count: %d", len(out))
+	}
+	// Every frame is delivered, and none slips further than the window.
+	seen := map[int]int{}
+	for pos, f := range out {
+		seen[f.SrcIndex]++
+		if d := pos - f.SrcIndex; d > p.ReorderWindow || d < -p.ReorderWindow {
+			t.Fatalf("frame %d delivered at position %d: displacement %d exceeds window %d",
+				f.SrcIndex, pos, d, p.ReorderWindow)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("frame %d delivered %d times", i, seen[i])
+		}
+	}
+}
+
+func TestInjectorTruncateAndStall(t *testing.T) {
+	p := Profile{Seed: 1, Truncate: 50, Stall: 0.2, StallFor: 7 * time.Millisecond}
+	frames, oracles := testInput(120)
+	in := New(p)
+	out := in.Apply(frames, oracles)
+	c := in.Counters()
+	if c.Input != 50 || c.Truncated != 70 {
+		t.Fatalf("truncation accounting: %v", c)
+	}
+	if len(out) != 50 {
+		t.Fatalf("emitted %d frames past the truncation point", len(out))
+	}
+	stalls := 0
+	for _, f := range out {
+		if f.Delay != 0 {
+			if f.Delay != 7*time.Millisecond {
+				t.Fatalf("stall delay = %v", f.Delay)
+			}
+			stalls++
+		}
+	}
+	if stalls != c.Stalled {
+		t.Fatalf("stalled frames %d vs counter %d", stalls, c.Stalled)
+	}
+}
+
+func TestInjectorMisgeometry(t *testing.T) {
+	p := Profile{Seed: 9, Geom: 1}
+	frames, oracles := testInput(5)
+	out := New(p).Apply(frames, oracles)
+	for _, f := range out {
+		if !f.Misgeometry {
+			t.Fatal("geom=1 emitted a well-formed frame")
+		}
+		if f.Img.W == testW && f.Img.H == testH {
+			t.Fatalf("misgeometry frame kept the stream geometry %dx%d", f.Img.W, f.Img.H)
+		}
+	}
+}
+
+func TestApplyVideo(t *testing.T) {
+	frames, oracles := testInput(10)
+	v := vidstream.New(30)
+	for _, f := range frames {
+		if err := v.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := New(Profile{Seed: 4, Drop: 0.3}).ApplyVideo(v, oracles)
+	if len(out) == 0 || len(out) >= 10 {
+		t.Fatalf("drop=0.3 over 10 frames emitted %d", len(out))
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	p, err := ParseProfile("drop=0.2, corrupt=0.05, window=4, stall-for=250ms, seed=7, truncate=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Profile{Drop: 0.2, Corrupt: 0.05, ReorderWindow: 4, StallFor: 250 * time.Millisecond, Seed: 7, Truncate: 100}
+	if p != want {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	if p, err := ParseProfile(""); err != nil || p != (Profile{}) {
+		t.Fatalf("empty spec: %+v, %v", p, err)
+	}
+	for _, bad := range []string{
+		"drop", "drop=x", "bogus=1", "drop=1.5", "truncate=-1", "stall-for=99",
+	} {
+		if _, err := ParseProfile(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestCorruptBytes(t *testing.T) {
+	data := make([]byte, 1000)
+	a, na := CorruptBytes(data, 0.05, 11)
+	b, nb := CorruptBytes(data, 0.05, 11)
+	if na != nb || na == 0 {
+		t.Fatalf("corrupt counts %d vs %d", na, nb)
+	}
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	diff := 0
+	for i := range a {
+		if a[i] != data[i] {
+			diff++
+		}
+	}
+	if diff == 0 || diff > na {
+		t.Fatalf("%d bytes differ after %d flips", diff, na)
+	}
+	if out, n := CorruptBytes(nil, 0.5, 1); len(out) != 0 || n != 0 {
+		t.Fatalf("nil input corrupted: %v %d", out, n)
+	}
+}

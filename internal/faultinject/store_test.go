@@ -1,0 +1,153 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// memStore is a minimal in-memory Store for the wrapper tests (the
+// session package's MemStore is not importable from here by design —
+// faultinject stays below the session layer).
+type memStore struct {
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+func newMemStore() *memStore { return &memStore{data: map[string][]byte{}} }
+
+func (m *memStore) Save(id string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.data[id] = append([]byte(nil), data...)
+	return nil
+}
+
+func (m *memStore) Load(id string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.data[id]
+	if !ok {
+		return nil, errors.New("missing")
+	}
+	return append([]byte(nil), d...), nil
+}
+
+func (m *memStore) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var ids []string
+	for id := range m.data {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+func (m *memStore) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.data, id)
+	return nil
+}
+
+func TestFlakyStoreAlwaysFailingSave(t *testing.T) {
+	inner := newMemStore()
+	fs := NewFlakyStore(inner, StoreProfile{Seed: 1, SaveFail: 1})
+	for i := 0; i < 5; i++ {
+		if err := fs.Save("id", []byte("x")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("save %d: %v, want ErrInjected", i, err)
+		}
+	}
+	c := fs.StoreCounters()
+	if c.Saves != 5 || c.InjectedSaveErrs != 5 {
+		t.Fatalf("counters: %+v", c)
+	}
+	if len(inner.data) != 0 {
+		t.Fatal("failed saves reached the inner store")
+	}
+}
+
+func TestFlakyStorePassThroughAndFaultMix(t *testing.T) {
+	inner := newMemStore()
+	fs := NewFlakyStore(inner, StoreProfile{Seed: 5, SaveFail: 0.3, LoadFail: 0.3, ListFail: 0.3, DeleteFail: 0.3})
+	var saveErrs, loadErrs, listErrs, delErrs uint64
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("s%d", i%7)
+		if err := fs.Save(id, []byte{byte(i)}); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatal(err)
+			}
+			saveErrs++
+		}
+		if _, err := fs.Load(id); err != nil && errors.Is(err, ErrInjected) {
+			loadErrs++
+		}
+		if _, err := fs.List(); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatal(err)
+			}
+			listErrs++
+		}
+		if i%10 == 0 {
+			if err := fs.Delete(id); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatal(err)
+				}
+				delErrs++
+			}
+		}
+	}
+	c := fs.StoreCounters()
+	if c.InjectedSaveErrs != saveErrs || c.InjectedListErrs != listErrs || c.InjectedDeleteErrs != delErrs {
+		t.Fatalf("observed errs (save=%d list=%d del=%d) vs counters %+v", saveErrs, listErrs, delErrs, c)
+	}
+	if c.InjectedLoadErrs != loadErrs {
+		t.Fatalf("load errs %d vs counter %d", loadErrs, c.InjectedLoadErrs)
+	}
+	if saveErrs == 0 || saveErrs == 200 {
+		t.Fatalf("save fail rate 0.3 produced %d/200 failures", saveErrs)
+	}
+	if c.Injected() != saveErrs+loadErrs+listErrs+delErrs {
+		t.Fatalf("Injected() = %d", c.Injected())
+	}
+}
+
+func TestFlakyStorePartialWrite(t *testing.T) {
+	inner := newMemStore()
+	fs := NewFlakyStore(inner, StoreProfile{Seed: 2, PartialWrite: 1})
+	payload := bytes.Repeat([]byte("checkpoint"), 10)
+	if err := fs.Save("torn", payload); err != nil {
+		t.Fatalf("partial write must look like success to the caller: %v", err)
+	}
+	c := fs.StoreCounters()
+	if c.PartialWrites != 1 {
+		t.Fatalf("partial writes = %d", c.PartialWrites)
+	}
+	got, err := inner.Load("torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, payload) {
+		t.Fatal("inner store holds the intact payload after a torn write")
+	}
+	if len(got) >= len(payload) {
+		t.Fatalf("torn write kept %d of %d bytes", len(got), len(payload))
+	}
+}
+
+func TestFlakyStoreDeterminism(t *testing.T) {
+	p := StoreProfile{Seed: 9, SaveFail: 0.5}
+	a := NewFlakyStore(newMemStore(), p)
+	b := NewFlakyStore(newMemStore(), p)
+	for i := 0; i < 50; i++ {
+		ea := a.Save("x", nil) != nil
+		eb := b.Save("x", nil) != nil
+		if ea != eb {
+			t.Fatalf("op %d: fault decisions diverge across equal seeds", i)
+		}
+	}
+}

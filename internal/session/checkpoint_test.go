@@ -1,6 +1,7 @@
 package session
 
 import (
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"os"
@@ -93,6 +94,125 @@ func TestDirStore(t *testing.T) {
 			t.Fatalf("deleting a missing id must be a no-op: %v", err)
 		}
 	})
+}
+
+// TestDirStoreOrphanSweep covers the Save crash window: a process that
+// died between CreateTemp and rename leaves a tmp-*.partial file behind.
+// Opening the store must clean those up — and only those.
+func TestDirStoreOrphanSweep(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save("live", []byte("good bytes")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate two interrupted saves plus a foreign file that merely
+	// resembles one.
+	orphans := []string{
+		"tmp-111" + checkpointExt + ".partial",
+		"tmp-222" + checkpointExt + ".partial",
+	}
+	for _, name := range orphans {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keep := "notes-tmp.partial.txt"
+	if err := os.WriteFile(filepath.Join(dir, keep), []byte("mine"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Orphans(); len(got) != len(orphans) {
+		t.Fatalf("Orphans() = %v, want the %d interrupted temp files", got, len(orphans))
+	}
+	for _, name := range orphans {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived the sweep", name)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, keep)); err != nil {
+		t.Fatalf("foreign file %s was swept: %v", keep, err)
+	}
+	if data, err := st2.Load("live"); err != nil || string(data) != "good bytes" {
+		t.Fatalf("real checkpoint damaged by the sweep: %q, %v", data, err)
+	}
+	// A store that opened clean reports no orphans.
+	if got := st.Orphans(); len(got) != 0 {
+		t.Fatalf("clean open reports orphans: %v", got)
+	}
+}
+
+func TestDirStoreListDetailed(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"b", "a"} {
+		if err := st.Save(id, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A foreign file, a .bbck whose name is not hex, and a subdirectory:
+	// all must be reported as skipped, none must error the listing.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "zz!!"+checkpointExt), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ids, skipped, err := st.ListDetailed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("ids = %v", ids)
+	}
+	wantSkipped := []string{"README.txt", "subdir", "zz!!" + checkpointExt}
+	if len(skipped) != len(wantSkipped) {
+		t.Fatalf("skipped = %v, want %v", skipped, wantSkipped)
+	}
+	for i := range wantSkipped {
+		if skipped[i] != wantSkipped[i] {
+			t.Fatalf("skipped = %v, want %v", skipped, wantSkipped)
+		}
+	}
+	// The plain List keeps its lenient contract.
+	plain, err := st.List()
+	if err != nil || len(plain) != 2 {
+		t.Fatalf("List = %v, %v", plain, err)
+	}
+	// Skipped files are reported, never deleted.
+	for _, name := range []string{"README.txt", "zz!!" + checkpointExt} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("listing deleted %s: %v", name, err)
+		}
+	}
+}
+
+func TestDirStoreUnusableDir(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The target path is a file, and a path under a file: both must fail
+	// up front with an error naming the problem, not succeed and break
+	// at the first Save hours later.
+	for _, target := range []string{blocker, filepath.Join(blocker, "sub")} {
+		if _, err := NewDirStore(target); err == nil {
+			t.Fatalf("NewDirStore(%q) succeeded on an unusable path", target)
+		}
+	}
 }
 
 func TestMemStore(t *testing.T) {
@@ -250,6 +370,91 @@ func TestManagerRestoreErrors(t *testing.T) {
 			t.Fatalf("restored = %v, want just the good session", restored)
 		}
 	})
+}
+
+// TestManagerRestoreQuarantinesCorruptFile crafts on-disk corruption in
+// a real DirStore: after the fleet checkpoints, one .bbck is truncated
+// and overwritten with garbage. Restore must resume the intact
+// sessions, name the corrupt id in a *RestoreError, and leave the bad
+// file on disk for inspection.
+func TestManagerRestoreQuarantinesCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpoint mid-call and abandon m1 without a graceful Close (which
+	// would finalize every call and make the resumed sessions read-only).
+	m1 := NewManager(Config{Checkpoints: store})
+	defer m1.Close()
+	frames, sils := testFrames(6)
+	for _, id := range []string{"intact", "victim"} {
+		s, err := m1.Open(id, testW, testH, testOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range frames {
+			if err := s.Feed(frames[i], sils[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for s.Stats().FramesProcessed < uint64(len(frames)) && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Corrupt the victim's checkpoint in place: keep a valid-looking
+	// prefix, trash the rest.
+	victimPath := filepath.Join(dir, hex.EncodeToString([]byte("victim"))+checkpointExt)
+	data, err := os.ReadFile(victimPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := append(data[:len(data)/3:len(data)/3], []byte("garbage garbage garbage")...)
+	if err := os.WriteFile(victimPath, mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := NewManager(Config{Checkpoints: store})
+	defer m2.Close()
+	restored, err := m2.Restore(func(string) core.Options { return testOpts() })
+	if err == nil {
+		t.Fatal("corrupt on-disk checkpoint must surface an error")
+	}
+	var rerr *RestoreError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("error chain lacks *RestoreError: %v", err)
+	}
+	if rerr.ID != "victim" {
+		t.Fatalf("quarantined id = %q, want victim", rerr.ID)
+	}
+	if len(restored) != 1 || restored[0].ID() != "intact" {
+		t.Fatalf("restored = %v, want just the intact session", restored)
+	}
+	// The corrupt bytes stay on disk, untouched, for the operator.
+	after, err := os.ReadFile(victimPath)
+	if err != nil {
+		t.Fatalf("quarantined file removed: %v", err)
+	}
+	if string(after) != string(mangled) {
+		t.Fatal("quarantined file was modified")
+	}
+	// The intact session keeps working after the partial restore.
+	s := restored[0]
+	more, moreSils := testFrames(3)
+	for i := range more {
+		if err := s.Feed(more[i], moreSils[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestSessionPeriodicCheckpoint(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/imagex"
 	"github.com/bgbuster/bgbuster/internal/session/stats"
 )
 
@@ -36,6 +37,43 @@ type Config struct {
 	// (non-positive: 5s). Its magnitude bounds how many frames a crash
 	// can lose.
 	CheckpointInterval time.Duration
+	// CheckpointRetries is the total number of Save attempts per
+	// checkpoint cycle (non-positive: 3). When a whole cycle fails the
+	// session keeps the last good checkpoint in the store, degrades its
+	// health, and keeps processing frames.
+	CheckpointRetries int
+	// CheckpointBackoff is the delay before the first Save retry,
+	// doubling per retry up to CheckpointBackoffMax (non-positive:
+	// 25ms and 500ms respectively).
+	CheckpointBackoff    time.Duration
+	CheckpointBackoffMax time.Duration
+
+	// QualityGate, when set, screens every well-formed frame before it
+	// reaches the reconstructor; a non-nil error rejects the frame
+	// (counted in FramesGated and FramesRejected). Malformed frames
+	// (nil, wrong geometry) bypass the gate and are rejected by the
+	// reconstructor's own frame-fault taxonomy.
+	QualityGate func(frame *imagex.Image, oracle *imagex.Mask) error
+	// MaxImpulseNoise, when > 0, is the built-in decode-quality gate:
+	// frames whose vidstream.ImpulseNoise score exceeds it are rejected
+	// before their corrupted pixels can be claimed as residue. 0
+	// disables the gate.
+	MaxImpulseNoise float64
+
+	// StallTimeout, when > 0, arms the manager watchdog: a session with
+	// no feed or processing activity for this long (and not yet
+	// finalized) is marked degraded as stalled. Detection only — a
+	// stalled call is never killed, it may still recover.
+	StallTimeout time.Duration
+	// CloseTimeout bounds how long Manager.Close waits for the fleet to
+	// drain; sessions still running at the deadline are abandoned
+	// (degraded, reported in Close's error). 0 waits indefinitely.
+	CloseTimeout time.Duration
+
+	// Logf, when set, receives human-readable degradation events:
+	// checkpoint failures, health transitions, watchdog stalls. Nil
+	// discards them. Must be safe for concurrent use.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -47,6 +85,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointInterval <= 0 {
 		c.CheckpointInterval = 5 * time.Second
+	}
+	if c.CheckpointRetries <= 0 {
+		c.CheckpointRetries = 3
+	}
+	if c.CheckpointBackoff <= 0 {
+		c.CheckpointBackoff = 25 * time.Millisecond
+	}
+	if c.CheckpointBackoffMax <= 0 {
+		c.CheckpointBackoffMax = 500 * time.Millisecond
 	}
 	if c.SweepEvery <= 0 {
 		c.SweepEvery = time.Second
@@ -71,9 +118,21 @@ type Manager struct {
 	evictions stats.Counter
 	panics    stats.Counter
 	restores  stats.Counter
+	degrades  stats.Counter
+	stalls    stats.Counter
+	abandoned stats.Counter
 
 	stopSweep chan struct{}
 	sweepDone chan struct{}
+	stopWatch chan struct{}
+	watchDone chan struct{}
+}
+
+// logf forwards a degradation event to Config.Logf, if any.
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
 }
 
 // NewManager returns a running Manager; Close releases it. When
@@ -88,6 +147,11 @@ func NewManager(cfg Config) *Manager {
 		m.stopSweep = make(chan struct{})
 		m.sweepDone = make(chan struct{})
 		go m.sweep()
+	}
+	if m.cfg.StallTimeout > 0 {
+		m.stopWatch = make(chan struct{})
+		m.watchDone = make(chan struct{})
+		go m.watchdog()
 	}
 	return m
 }
@@ -126,6 +190,23 @@ func (m *Manager) register(id string, stream *core.StreamReconstructor, restored
 	return s, nil
 }
 
+// RestoreError reports one session id Manager.Restore could not
+// resume. The underlying cause is reachable through Unwrap, so
+// errors.Is(err, ErrExists) and friends keep working on the joined
+// error Restore returns.
+type RestoreError struct {
+	// ID is the session id whose checkpoint was quarantined.
+	ID string
+	// Err is the load/decode/register failure.
+	Err error
+}
+
+func (e *RestoreError) Error() string {
+	return fmt.Sprintf("restore %q: %v", e.ID, e.Err)
+}
+
+func (e *RestoreError) Unwrap() error { return e.Err }
+
 // Restore resumes every checkpointed session in Config.Checkpoints —
 // the restart path of a live fleet: each stored .bbck is decoded with
 // core.ResumeStream and re-registered under its original id, so the
@@ -134,10 +215,13 @@ func (m *Manager) register(id string, stream *core.StreamReconstructor, restored
 // options for each session id; they must match the options the
 // checkpoint was written under (the embedded fingerprint is verified).
 //
-// Restore returns the sessions it managed to resume even when some
-// ids fail — a corrupt or mismatched checkpoint skips that id, and the
-// joined error reports every failure. Ids already open are skipped the
-// same way (ErrExists), so Restore is safe to call at any point.
+// Restore returns the sessions it managed to resume even when some ids
+// fail — a corrupt or mismatched checkpoint is quarantined: that id is
+// skipped, a *RestoreError naming it joins the returned error, and the
+// stored bytes are left untouched in the store for inspection (never
+// deleted or overwritten by Restore itself). Ids already open are
+// skipped the same way (ErrExists), so Restore is safe to call at any
+// point.
 func (m *Manager) Restore(optsFor func(id string) core.Options) ([]*Session, error) {
 	if m.cfg.Checkpoints == nil {
 		return nil, errors.New("manager: no checkpoint store configured")
@@ -150,20 +234,24 @@ func (m *Manager) Restore(optsFor func(id string) core.Options) ([]*Session, err
 		out  []*Session
 		errs []error
 	)
+	quarantine := func(id string, err error) {
+		m.logf("session %q: checkpoint quarantined: %v", id, err)
+		errs = append(errs, &RestoreError{ID: id, Err: err})
+	}
 	for _, id := range ids {
 		data, err := m.cfg.Checkpoints.Load(id)
 		if err != nil {
-			errs = append(errs, fmt.Errorf("restore %q: %w", id, err))
+			quarantine(id, err)
 			continue
 		}
 		stream, err := core.ResumeStream(data, optsFor(id))
 		if err != nil {
-			errs = append(errs, fmt.Errorf("restore %q: %w", id, err))
+			quarantine(id, err)
 			continue
 		}
 		s, err := m.register(id, stream, true)
 		if err != nil {
-			errs = append(errs, err)
+			errs = append(errs, &RestoreError{ID: id, Err: err})
 			continue
 		}
 		out = append(out, s)
@@ -231,13 +319,58 @@ func (m *Manager) sweep() {
 	}
 }
 
-// Close finalizes every open session and stops the sweeper. The
-// manager accepts no new sessions afterwards; Close is idempotent.
-func (m *Manager) Close() {
+// watchdog is the stalled-stream detector: a session with no feed or
+// processing activity for StallTimeout (and whose worker has not yet
+// exited) is marked degraded. The latch resets on the next Feed, so
+// distinct stall episodes are counted separately, while health stays
+// monotonically degraded (DESIGN.md §12).
+func (m *Manager) watchdog() {
+	defer close(m.watchDone)
+	period := m.cfg.StallTimeout / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopWatch:
+			return
+		case <-t.C:
+		}
+		deadline := time.Now().Add(-m.cfg.StallTimeout).UnixNano()
+		for _, s := range m.list() {
+			select {
+			case <-s.done:
+				continue // finalized or failed; not a stall
+			default:
+			}
+			active := s.lastFeed.Load()
+			if p := s.lastProc.Load(); p > active {
+				active = p
+			}
+			if active < deadline && s.stallLatch.CompareAndSwap(false, true) {
+				m.stalls.Inc()
+				s.stalls.Inc()
+				s.degrade(fmt.Sprintf("stalled: no stream activity for %s", m.cfg.StallTimeout))
+			}
+		}
+	}
+}
+
+// Close finalizes every open session and stops the sweeper and
+// watchdog. The manager accepts no new sessions afterwards; Close is
+// idempotent. When Config.CloseTimeout is set, Close waits at most that
+// long for the whole fleet to drain: sessions still running at the
+// deadline are abandoned — marked degraded, counted, reported in the
+// returned error — instead of wedging shutdown on one stuck call. The
+// returned error joins per-session failures (panics, fatal errors,
+// abandonments); a clean shutdown returns nil.
+func (m *Manager) Close() error {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return
+		return nil
 	}
 	m.closed = true
 	m.mu.Unlock()
@@ -245,9 +378,48 @@ func (m *Manager) Close() {
 		close(m.stopSweep)
 		<-m.sweepDone
 	}
-	for _, s := range m.list() {
-		_ = s.Close()
+	if m.stopWatch != nil {
+		close(m.stopWatch)
+		<-m.watchDone
 	}
+	sessions := m.list()
+	for _, s := range sessions {
+		s.closeIntake()
+	}
+	var deadline <-chan time.Time // nil: blocks forever (no timeout)
+	if m.cfg.CloseTimeout > 0 {
+		timer := time.NewTimer(m.cfg.CloseTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	var errs []error
+	expired := false
+	for _, s := range sessions {
+		if !expired {
+			select {
+			case <-s.done:
+			case <-deadline:
+				expired = true
+			}
+		}
+		if expired {
+			select {
+			case <-s.done:
+				// Finished just in time; fall through to normal handling.
+			default:
+				m.abandoned.Inc()
+				s.degrade("abandoned: manager close deadline exceeded")
+				errs = append(errs, fmt.Errorf("session %q: close deadline exceeded", s.id))
+				m.remove(s.id, s)
+				continue
+			}
+		}
+		if f := s.Failure(); f != "" {
+			errs = append(errs, fmt.Errorf("session %q: %w: %s", s.id, ErrFailed, f))
+		}
+		m.remove(s.id, s)
+	}
+	return errors.Join(errs...)
 }
 
 // ManagerSnapshot is an instantaneous view of the manager and all its
@@ -263,6 +435,17 @@ type ManagerSnapshot struct {
 	Evicted  uint64
 	Panics   uint64
 	Restored uint64
+	// Degraded counts healthy→degraded transitions fleet-wide; Stalls
+	// counts watchdog-detected stall episodes; Abandoned counts
+	// sessions given up on at the Close deadline.
+	Degraded  uint64
+	Stalls    uint64
+	Abandoned uint64
+	// HealthyNow/DegradedNow/FailedNow break the open sessions down by
+	// current health state (they sum to Open).
+	HealthyNow  int
+	DegradedNow int
+	FailedNow   int
 	// Sessions holds one snapshot per open session, ordered by ID.
 	Sessions []Snapshot
 }
@@ -272,15 +455,27 @@ type ManagerSnapshot struct {
 func (m *Manager) Stats() ManagerSnapshot {
 	sessions := m.list()
 	snap := ManagerSnapshot{
-		Open:     len(sessions),
-		Opened:   m.opened.Load(),
-		Closed:   m.closedCnt.Load(),
-		Evicted:  m.evictions.Load(),
-		Panics:   m.panics.Load(),
-		Restored: m.restores.Load(),
+		Open:      len(sessions),
+		Opened:    m.opened.Load(),
+		Closed:    m.closedCnt.Load(),
+		Evicted:   m.evictions.Load(),
+		Panics:    m.panics.Load(),
+		Restored:  m.restores.Load(),
+		Degraded:  m.degrades.Load(),
+		Stalls:    m.stalls.Load(),
+		Abandoned: m.abandoned.Load(),
 	}
 	for _, s := range sessions {
-		snap.Sessions = append(snap.Sessions, s.Stats())
+		st := s.Stats()
+		switch st.Health {
+		case Healthy:
+			snap.HealthyNow++
+		case Degraded:
+			snap.DegradedNow++
+		case Failed:
+			snap.FailedNow++
+		}
+		snap.Sessions = append(snap.Sessions, st)
 	}
 	sort.Slice(snap.Sessions, func(i, j int) bool { return snap.Sessions[i].ID < snap.Sessions[j].ID })
 	return snap

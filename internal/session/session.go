@@ -19,6 +19,7 @@ import (
 	"github.com/bgbuster/bgbuster/internal/core"
 	"github.com/bgbuster/bgbuster/internal/imagex"
 	"github.com/bgbuster/bgbuster/internal/session/stats"
+	"github.com/bgbuster/bgbuster/internal/vidstream"
 )
 
 // ErrClosed is returned when feeding a session whose intake has been
@@ -43,8 +44,9 @@ type item struct {
 // oldest queued frame is dropped when the queue is full. All methods
 // are safe for concurrent use.
 type Session struct {
-	id  string
-	mgr *Manager
+	id   string
+	mgr  *Manager
+	w, h int // stream frame geometry, for the quality gate
 
 	// Intake: sendMu serialises queue sends against intake close.
 	sendMu       sync.Mutex
@@ -57,24 +59,35 @@ type Session struct {
 
 	started  time.Time
 	lastFeed atomic.Int64 // UnixNano of the most recent Feed
+	lastProc atomic.Int64 // UnixNano of the most recent processed frame
 
 	fed       stats.Counter
 	dropped   stats.Counter
 	rejected  stats.Counter
+	gated     stats.Counter // quality-gate rejections (subset of rejected)
 	processed stats.Counter
 	feedLat   stats.Latency
 	coverage  *stats.Series
 	pinnedNs  atomic.Int64 // identify-pin latency; 0 until pinned
 
+	// Health state machine (health.go): Healthy → Degraded → Failed.
+	health   atomic.Int32
+	reasonMu sync.Mutex
+	reasons  []string
+	stallLatch atomic.Bool   // set while the watchdog considers the session stalled
+	stalls     stats.Counter // stall episodes detected by the watchdog
+
 	// Durability telemetry (zero when no CheckpointStore configured).
-	ckpts      stats.Counter
-	ckptErrs   stats.Counter
-	lastCkptNs atomic.Int64 // UnixNano of the last successful checkpoint
-	ckptTryNs  atomic.Int64 // UnixNano of the last attempt (paces retries)
-	restored   bool         // came from Manager.Restore, not Open
+	ckpts          stats.Counter
+	ckptErrs       stats.Counter // failed Save attempts (every retry counts)
+	ckptRetries    stats.Counter // retries beyond the first attempt
+	ckptFailStreak atomic.Uint32 // consecutive exhausted checkpoint cycles
+	lastCkptNs     atomic.Int64  // UnixNano of the last successful checkpoint
+	ckptTryNs      atomic.Int64  // UnixNano of the last attempt (paces retries)
+	restored       bool          // came from Manager.Restore, not Open
 
 	done    chan struct{} // closed when the worker exits
-	failure atomic.Value  // string; set when the worker panicked
+	failure atomic.Value  // string; set when the worker panicked or hit a fatal error
 	evicted atomic.Bool
 }
 
@@ -88,7 +101,9 @@ func newSession(mgr *Manager, id string, stream *core.StreamReconstructor, queue
 		coverage: stats.NewSeries(coverageSamples),
 		done:     make(chan struct{}),
 	}
+	s.w, s.h = stream.Size()
 	s.lastFeed.Store(s.started.UnixNano())
+	s.lastProc.Store(s.started.UnixNano())
 	return s
 }
 
@@ -111,6 +126,7 @@ func (s *Session) Feed(frame *imagex.Image, oracle *imagex.Mask) error {
 		return fmt.Errorf("session %q: %w", s.id, ErrClosed)
 	}
 	s.lastFeed.Store(time.Now().UnixNano())
+	s.stallLatch.Store(false) // activity: a new stall episode may be detected later
 	s.fed.Inc()
 	it := item{frame: frame, oracle: oracle}
 	select {
@@ -136,18 +152,24 @@ func (s *Session) Feed(frame *imagex.Image, oracle *imagex.Mask) error {
 
 // loop is the session worker: it drains the queue into the
 // reconstructor and finalizes the stream when the intake closes. A
-// panic in the reconstruction pipeline marks the session failed
-// without disturbing other sessions.
+// panic in the reconstruction pipeline — or a fatal (non-frame) stream
+// error — marks the session Failed without disturbing other sessions.
 func (s *Session) loop() {
 	defer close(s.done)
 	defer func() {
 		if r := recover(); r != nil {
 			s.failure.Store(fmt.Sprintf("%v", r))
+			s.fail(fmt.Sprintf("worker panic: %v", r))
 			s.mgr.panics.Inc()
 		}
 	}()
 	for it := range s.queue {
-		s.process(it)
+		if s.process(it) {
+			// Fatal: stop draining. Feed already returns ErrFailed (the
+			// failure value is set); the partial reconstruction stays
+			// readable, exactly like the panic path.
+			return
+		}
 	}
 	s.streamMu.Lock()
 	_ = s.stream.Finalize()
@@ -161,15 +183,32 @@ func (s *Session) loop() {
 	}
 }
 
-// process feeds one frame through the reconstructor and updates the
-// per-stage telemetry.
-func (s *Session) process(it item) {
+// process feeds one frame through the quality gate and the
+// reconstructor, updating the per-stage telemetry. It reports whether
+// the session hit a fatal error and must stop.
+func (s *Session) process(it item) (fatal bool) {
+	s.lastProc.Store(time.Now().UnixNano())
+	if err := s.gate(it); err != nil {
+		// Gate rejections are recoverable by definition: count and skip.
+		s.gated.Inc()
+		s.rejected.Inc()
+		return false
+	}
 	t0 := time.Now()
 	err, identified, cov := s.feedStream(it)
 	s.feedLat.Observe(time.Since(t0))
 	if err != nil {
-		s.rejected.Inc()
-		return
+		if core.RecoverableFrame(err) {
+			// One bad frame is counted and skipped; the stream carries on
+			// (the paper's LB residue accumulates over many frames, so a
+			// rejected frame only costs its own residue).
+			s.rejected.Inc()
+			return false
+		}
+		// Non-frame errors mean the stream itself is unusable.
+		s.failure.Store(fmt.Sprintf("fatal stream error: %v", err))
+		s.fail(fmt.Sprintf("fatal stream error: %v", err))
+		return true
 	}
 	s.processed.Inc()
 	s.coverage.Append(cov)
@@ -177,6 +216,31 @@ func (s *Session) process(it item) {
 		s.pinnedNs.Store(int64(time.Since(s.started)))
 	}
 	s.maybeCheckpoint()
+	return false
+}
+
+// gate screens a frame's decode consistency before it reaches the
+// reconstructor. Geometry and nil faults are left to the reconstructor
+// (which classifies them as recoverable FrameErrors); the gate only
+// judges content quality, so the two rejection layers never overlap.
+func (s *Session) gate(it item) error {
+	if it.frame == nil || it.frame.W != s.w || it.frame.H != s.h {
+		return nil // the reconstructor rejects and classifies these
+	}
+	if g := s.mgr.cfg.QualityGate; g != nil {
+		if err := g(it.frame, it.oracle); err != nil {
+			return err
+		}
+	}
+	if max := s.mgr.cfg.MaxImpulseNoise; max > 0 {
+		if score := vidstream.ImpulseNoise(it.frame, vidstream.DefaultImpulseTol); score > max {
+			return &core.FrameError{
+				Fault: core.FaultQuality,
+				Err:   fmt.Errorf("session %q: frame impulse-noise score %.4f exceeds gate %.4f", s.id, score, max),
+			}
+		}
+	}
+	return nil
 }
 
 // maybeCheckpoint writes a periodic checkpoint when one is due. It runs
@@ -211,21 +275,53 @@ func (s *Session) Checkpoint() error {
 
 // checkpoint serialises the stream under streamMu and saves the bytes
 // outside the lock, so a slow store never stalls observers or the feed
-// path longer than the encode itself.
+// path longer than the encode itself. Save is retried with capped
+// exponential backoff (Config.CheckpointRetries/Backoff); when the
+// whole cycle fails the session falls back to the last good checkpoint
+// already in the store, degrades its health, and keeps processing
+// frames — durability trouble must never stop the reconstruction.
 func (s *Session) checkpoint() error {
 	s.streamMu.Lock()
 	data, err := s.stream.Checkpoint()
 	s.streamMu.Unlock()
-	if err == nil {
-		err = s.mgr.cfg.Checkpoints.Save(s.id, data)
-	}
 	if err != nil {
+		// Encode failures are deterministic: retrying cannot help.
 		s.ckptErrs.Inc()
+		s.noteCheckpointCycleFailure(1, err)
 		return fmt.Errorf("session %q: checkpoint: %w", s.id, err)
 	}
-	s.ckpts.Inc()
-	s.lastCkptNs.Store(time.Now().UnixNano())
-	return nil
+	attempts := s.mgr.cfg.CheckpointRetries
+	backoff := s.mgr.cfg.CheckpointBackoff
+	for try := 1; ; try++ {
+		err = s.mgr.cfg.Checkpoints.Save(s.id, data)
+		if err == nil {
+			s.ckpts.Inc()
+			s.ckptFailStreak.Store(0)
+			s.lastCkptNs.Store(time.Now().UnixNano())
+			return nil
+		}
+		s.ckptErrs.Inc()
+		if try >= attempts {
+			s.noteCheckpointCycleFailure(attempts, err)
+			return fmt.Errorf("session %q: checkpoint: %w", s.id, err)
+		}
+		s.ckptRetries.Inc()
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > s.mgr.cfg.CheckpointBackoffMax {
+			backoff = s.mgr.cfg.CheckpointBackoffMax
+		}
+	}
+}
+
+// noteCheckpointCycleFailure records one exhausted checkpoint cycle:
+// the failure streak grows, the session degrades (the last good
+// checkpoint in the store now bounds what a crash loses), and the
+// failure is logged rather than silently dropped.
+func (s *Session) noteCheckpointCycleFailure(attempts int, err error) {
+	streak := s.ckptFailStreak.Add(1)
+	s.mgr.logf("session %q: checkpoint failed after %d attempt(s) (streak %d, keeping last good checkpoint): %v",
+		s.id, attempts, streak, err)
+	s.degrade(fmt.Sprintf("checkpoint save failed after %d attempt(s): %v", attempts, err))
 }
 
 // feedStream runs one frame through the reconstructor under streamMu.
@@ -312,6 +408,10 @@ type Snapshot struct {
 	FramesFed      uint64
 	FramesDropped  uint64
 	FramesRejected uint64
+	// FramesGated counts quality-gate rejections — a subset of
+	// FramesRejected (decode-inconsistent content screened out before
+	// the reconstructor).
+	FramesGated uint64
 	// FramesProcessed counts frames the reconstructor accepted.
 	FramesProcessed uint64
 
@@ -341,16 +441,28 @@ type Snapshot struct {
 	// Restored reports the session came from Manager.Restore.
 	Restored bool
 	// Checkpoints counts successful durable checkpoints; CheckpointErrors
-	// counts failed attempts (encode or store).
+	// counts failed attempts (encode or store; every retry counts).
 	Checkpoints      uint64
 	CheckpointErrors uint64
+	// CheckpointRetries counts Save retries beyond each cycle's first
+	// attempt; CheckpointFailStreak is the current run of consecutive
+	// exhausted cycles (0 after any success).
+	CheckpointRetries    uint64
+	CheckpointFailStreak uint32
 	// LastCheckpoint is when the newest durable checkpoint was saved
 	// (zero time if never); its age bounds the frames a crash can lose.
 	LastCheckpoint time.Time
 
+	// Health is the degradation state (healthy/degraded/failed) and
+	// HealthReasons the bounded transition log behind it; Stalls counts
+	// watchdog-detected stall episodes.
+	Health        Health
+	HealthReasons []string
+	Stalls        uint64
+
 	Finalized bool
 	Evicted   bool
-	// Failure carries the worker panic message, if any.
+	// Failure carries the worker panic or fatal-error message, if any.
 	Failure string
 }
 
@@ -373,13 +485,20 @@ func (s *Session) Stats() Snapshot {
 	snap.Restored = s.restored
 	snap.Checkpoints = s.ckpts.Load()
 	snap.CheckpointErrors = s.ckptErrs.Load()
+	snap.CheckpointRetries = s.ckptRetries.Load()
+	snap.CheckpointFailStreak = s.ckptFailStreak.Load()
 	if ns := s.lastCkptNs.Load(); ns != 0 {
 		snap.LastCheckpoint = time.Unix(0, ns)
 	}
 
+	snap.Health = s.Health()
+	snap.HealthReasons = s.HealthReasons()
+	snap.Stalls = s.stalls.Load()
+
 	snap.FramesFed = s.fed.Load()
 	snap.FramesDropped = s.dropped.Load()
 	snap.FramesRejected = s.rejected.Load()
+	snap.FramesGated = s.gated.Load()
 	snap.FramesProcessed = s.processed.Load()
 	snap.IdentifyLatency = time.Duration(s.pinnedNs.Load())
 	snap.FeedLatency = s.feedLat.Summary()

@@ -34,19 +34,63 @@ const checkpointExt = ".bbck"
 // rename) so a crash mid-save leaves the previous checkpoint intact.
 // Session ids are hex-encoded in the file name, so arbitrary ids —
 // including path separators — cannot escape the directory.
+//
+// A checkpoint directory belongs to one fleet at a time: NewDirStore
+// sweeps temp files a crashed predecessor left behind, which would
+// race with another live fleet writing the same directory.
 type DirStore struct {
-	dir string
-	mu  sync.Mutex
+	dir     string
+	mu      sync.Mutex
+	orphans []string // interrupted temp files swept at open
 }
 
 var _ CheckpointStore = (*DirStore)(nil)
 
-// NewDirStore opens (creating if needed) a checkpoint directory.
+// NewDirStore opens (creating if needed) a checkpoint directory. It
+// probes writability up front — an unwritable checkpoint dir is a
+// misconfiguration better surfaced at startup than as degraded
+// sessions hours into a run — and sweeps orphaned temp files left by a
+// crash between CreateTemp and rename (see Orphans).
 func NewDirStore(dir string) (*DirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("session: checkpoint dir: %w", err)
 	}
-	return &DirStore{dir: dir}, nil
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("session: checkpoint dir %s is not writable: %w", dir, err)
+	}
+	probe.Close()
+	if err := os.Remove(probe.Name()); err != nil {
+		return nil, fmt.Errorf("session: checkpoint dir %s: cannot remove probe: %w", dir, err)
+	}
+	d := &DirStore{dir: dir}
+	d.sweepOrphans()
+	return d, nil
+}
+
+// sweepOrphans removes interrupted Save temporaries from a previous
+// crashed process. Failures to remove are recorded, not fatal — an
+// orphan is garbage, never a checkpoint.
+func (d *DirStore) sweepOrphans() {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "tmp-") || !strings.HasSuffix(name, ".partial") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(d.dir, name)); err == nil {
+			d.orphans = append(d.orphans, name)
+		}
+	}
+}
+
+// Orphans returns the interrupted temp files NewDirStore swept away —
+// each one a Save some earlier process never completed.
+func (d *DirStore) Orphans() []string {
+	return append([]string(nil), d.orphans...)
 }
 
 // Dir returns the backing directory.
@@ -89,27 +133,45 @@ func (d *DirStore) Load(id string) ([]byte, error) {
 }
 
 // List returns the stored session ids in sorted order. Files that are
-// not hex(id).bbck (including interrupted .partial temporaries) are
-// skipped, not errors.
+// not hex(id).bbck (interrupted .partial temporaries, foreign files,
+// undecodable names) are skipped, not errors; use ListDetailed when
+// the skipped names matter.
 func (d *DirStore) List() ([]string, error) {
+	ids, _, err := d.ListDetailed()
+	return ids, err
+}
+
+// ListDetailed returns the stored session ids in sorted order plus the
+// file names it skipped: foreign files someone else dropped in the
+// directory and .bbck entries whose names do not decode as hex ids.
+// A skipped file is reported, never an error and never deleted — the
+// checkpoint dir is durable state; judgement on unknown bytes belongs
+// to the operator (DESIGN.md §12).
+func (d *DirStore) ListDetailed() (ids, skipped []string, err error) {
 	entries, err := os.ReadDir(d.dir)
 	if err != nil {
-		return nil, fmt.Errorf("session: checkpoint list: %w", err)
+		return nil, nil, fmt.Errorf("session: checkpoint list: %w", err)
 	}
-	var ids []string
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, checkpointExt) {
+		if e.IsDir() {
+			skipped = append(skipped, name)
+			continue
+		}
+		if !strings.HasSuffix(name, checkpointExt) {
+			skipped = append(skipped, name)
 			continue
 		}
 		raw, err := hex.DecodeString(strings.TrimSuffix(name, checkpointExt))
 		if err != nil {
+			skipped = append(skipped, name)
 			continue
 		}
 		ids = append(ids, string(raw))
 	}
 	sort.Strings(ids)
-	return ids, nil
+	sort.Strings(skipped)
+	return ids, skipped, nil
 }
 
 // Delete removes a session's checkpoint.

@@ -59,3 +59,50 @@ func PlaybackPSNR(original *Video, keepEvery int) (float64, error) {
 	}
 	return sum / float64(n), nil
 }
+
+// DefaultImpulseTol is the per-channel difference ImpulseNoise treats
+// as "unrelated" — on the scale of the reconstruction match tolerance,
+// well above camera noise and codec ringing.
+const DefaultImpulseTol = 48
+
+// ImpulseNoise estimates impulse ("salt and pepper") corruption: the
+// fraction of pixels that differ by more than tol on some channel from
+// every in-bounds 4-neighbour. Genuine conference frames are locally
+// correlated — even hard edges keep at least one similar neighbour
+// along the edge — so clean frames score near zero, while the random
+// per-pixel damage left by byte corruption the codec could not conceal
+// scores near the corrupted fraction. The session layer's frame-quality
+// gate thresholds this score to reject decode-mangled frames before
+// their garbage pixels are claimed as residue (DESIGN.md §12).
+// Non-positive tol uses DefaultImpulseTol.
+func ImpulseNoise(f *imagex.Image, tol int) float64 {
+	if f == nil || len(f.Pix) == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		tol = DefaultImpulseTol
+	}
+	w, h := f.W, f.H
+	noisy := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			p := f.Pix[y*w+x]
+			isolated := false
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || ny < 0 || nx >= w || ny >= h {
+					continue
+				}
+				isolated = true // has at least one neighbour to disagree with
+				if withinTolRGB(p, f.Pix[ny*w+nx], tol) {
+					isolated = false
+					break
+				}
+			}
+			if isolated {
+				noisy++
+			}
+		}
+	}
+	return float64(noisy) / float64(len(f.Pix))
+}

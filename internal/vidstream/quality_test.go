@@ -1,0 +1,70 @@
+package vidstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// noiseTestFrame builds a structured "clean" frame: flat regions, a
+// hard-edged block, and a smooth gradient — content with edges but no
+// isolated pixels.
+func noiseTestFrame() *imagex.Image {
+	f := imagex.NewFilled(64, 48, imagex.RGB{R: 20, G: 120, B: 220})
+	for y := 10; y < 30; y++ {
+		for x := 8; x < 40; x++ {
+			f.Set(x, y, imagex.RGB{R: 240, G: 240, B: 60})
+		}
+	}
+	for y := 32; y < 48; y++ {
+		for x := 0; x < 64; x++ {
+			f.Set(x, y, imagex.RGB{R: byte(4 * x), G: byte(5 * y), B: 128})
+		}
+	}
+	return f
+}
+
+func TestImpulseNoiseCleanVsCorrupted(t *testing.T) {
+	clean := noiseTestFrame()
+	if score := ImpulseNoise(clean, DefaultImpulseTol); score > 0.002 {
+		t.Fatalf("clean structured frame scores %v", score)
+	}
+
+	// Corrupt 5%% of pixels with random colors, as the fault injector
+	// does; the score must land near the corrupted fraction.
+	rng := rand.New(rand.NewSource(1))
+	dirty := clean.Clone()
+	n := len(dirty.Pix) / 20
+	for i := 0; i < n; i++ {
+		p := rng.Intn(len(dirty.Pix))
+		dirty.Pix[p] = imagex.RGB{R: byte(rng.Intn(256)), G: byte(rng.Intn(256)), B: byte(rng.Intn(256))}
+	}
+	score := ImpulseNoise(dirty, DefaultImpulseTol)
+	if score < 0.02 || score > 0.08 {
+		t.Fatalf("5%% corrupted frame scores %v, want ≈ 0.05", score)
+	}
+}
+
+func TestImpulseNoiseEdgeCases(t *testing.T) {
+	if s := ImpulseNoise(nil, 0); s != 0 {
+		t.Fatalf("nil frame scores %v", s)
+	}
+	// A 1x1 frame has no neighbours to disagree with.
+	if s := ImpulseNoise(imagex.NewFilled(1, 1, imagex.RGB{R: 255}), 0); s != 0 {
+		t.Fatalf("1x1 frame scores %v", s)
+	}
+	// Pure per-pixel noise saturates the score.
+	rng := rand.New(rand.NewSource(2))
+	f := imagex.New(32, 32)
+	for i := range f.Pix {
+		f.Pix[i] = imagex.RGB{R: byte(rng.Intn(256)), G: byte(rng.Intn(256)), B: byte(rng.Intn(256))}
+	}
+	if s := ImpulseNoise(f, DefaultImpulseTol); s < 0.5 {
+		t.Fatalf("white-noise frame scores %v", s)
+	}
+	// Non-positive tol falls back to the default.
+	if a, b := ImpulseNoise(f, 0), ImpulseNoise(f, DefaultImpulseTol); a != b {
+		t.Fatalf("default tol mismatch: %v vs %v", a, b)
+	}
+}
