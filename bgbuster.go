@@ -310,6 +310,50 @@ type (
 // NewSessionManager returns a running live-call session manager.
 func NewSessionManager(cfg SessionConfig) *SessionManager { return session.NewManager(cfg) }
 
+// Self-healing supervision and fleet admission control (DESIGN.md §13):
+// with SessionConfig.AutoRestart a crashed session is resurrected from
+// its last-good checkpoint as a new incarnation, guarded by a per-id
+// circuit breaker; MaxSessions/MemBudget bound the fleet and shed
+// excess load with typed errors.
+type (
+	// SessionOptions carries per-session overrides (queue policy,
+	// block deadline) into SessionManager.Open.
+	SessionOptions = session.SessionOptions
+	// QueuePolicy selects what Feed does when a session queue is full.
+	QueuePolicy = session.QueuePolicy
+	// SessionRestartEvent records one supervisor resurrection.
+	SessionRestartEvent = session.RestartEvent
+)
+
+// Queue policies for SessionOptions.QueuePolicy.
+const (
+	// QueueDefault defers to SessionConfig.DefaultQueuePolicy.
+	QueueDefault = session.PolicyDefault
+	// QueueDropOldest evicts the oldest queued frame to admit the new one.
+	QueueDropOldest = session.PolicyDropOldest
+	// QueueReject refuses the new frame with ErrSessionQueueFull.
+	QueueReject = session.PolicyReject
+	// QueueBlock waits up to the block deadline for queue space.
+	QueueBlock = session.PolicyBlock
+)
+
+// Typed session-layer errors, for errors.Is against Open/Feed/Restore.
+var (
+	// ErrSessionManagerClosed: the manager was Closed (wraps the generic
+	// closed-session error, so errors.Is on either matches).
+	ErrSessionManagerClosed = session.ErrManagerClosed
+	// ErrFleetFull: Open refused because MaxSessions live sessions exist.
+	ErrFleetFull = session.ErrFleetFull
+	// ErrMemoryBudget: Open refused because the fleet's estimated stream
+	// footprint would exceed MemBudget.
+	ErrMemoryBudget = session.ErrMemoryBudget
+	// ErrSessionQueueFull: Feed dropped a frame under PolicyReject or a
+	// PolicyBlock deadline expiry.
+	ErrSessionQueueFull = session.ErrQueueFull
+	// ErrNoSession: the id is not (or no longer) live on the manager.
+	ErrNoSession = session.ErrNoSession
+)
+
 // Checkpoint/resume (DESIGN.md §11): a StreamReconstructor serialises
 // its complete state to a versioned, CRC-guarded .bbck container;
 // resuming it continues the reconstruction bit-identically to a stream

@@ -11,6 +11,7 @@
 //	bgbuster live      [-in call.bbv] [-sessions N] [-rate fps] [-every dur] [-out dir]
 //	                   [-checkpoint-dir dir] [-checkpoint-every dur]
 //	                   [-chaos profile] [-noise-gate frac] [-stall-timeout dur] [-close-timeout dur]
+//	                   [-restart] [-max-restarts N] [-max-sessions N] [-mem-budget bytes]
 //
 // live drives the concurrent session layer (internal/session): it
 // replays a .bbv recording — or composes a synthetic call — through N
@@ -19,14 +20,22 @@
 // -checkpoint-dir every session durably checkpoints its stream; a
 // later run with the same directory resumes each call where it left
 // off and feeds only the remaining frames. -chaos injects seeded
-// stream faults (drop/dup/reorder/corrupt/geom/stall; see
+// stream faults (drop/dup/reorder/corrupt/geom/stall/poison; see
 // internal/faultinject) into every session's feed — each session gets
 // a decorrelated seed — to rehearse degraded operation, and
 // -noise-gate arms the impulse-noise quality gate that screens
 // corrupted frames out of the reconstruction (DESIGN.md §12).
+//
+// -restart arms the supervisor: a session whose worker dies is
+// resurrected from its last-good checkpoint as a new incarnation, with
+// a circuit breaker (-max-restarts within a minute) guarding against
+// crash loops. -max-sessions and -mem-budget arm fleet admission
+// control: opening past either limit is refused with a typed error
+// instead of overcommitting the fleet (DESIGN.md §13).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +49,7 @@ import (
 	"github.com/bgbuster/bgbuster/internal/faultinject"
 	"github.com/bgbuster/bgbuster/internal/imagex"
 	"github.com/bgbuster/bgbuster/internal/person"
+	"github.com/bgbuster/bgbuster/internal/segment"
 	"github.com/bgbuster/bgbuster/internal/session"
 	"github.com/bgbuster/bgbuster/internal/vidstream"
 )
@@ -233,6 +243,10 @@ func runLive(args []string) error {
 	noiseGate := fs.Float64("noise-gate", 0, "reject frames whose impulse-noise score exceeds this fraction (0: gate off)")
 	stallTimeout := fs.Duration("stall-timeout", 0, "degrade sessions with no stream activity for this long (0: watchdog off)")
 	closeTimeout := fs.Duration("close-timeout", 0, "abandon sessions still draining this long into shutdown (0: wait)")
+	restart := fs.Bool("restart", false, "auto-restart failed sessions from their last-good checkpoint as new incarnations (best with -checkpoint-dir)")
+	maxRestarts := fs.Int("max-restarts", 0, "circuit breaker: restarts allowed per session within a sliding minute before it is permanently failed (0: default 5; needs -restart)")
+	maxSessions := fs.Int("max-sessions", 0, "admission control: refuse opening more than this many concurrent sessions (0: unlimited)")
+	memBudget := fs.Int64("mem-budget", 0, "admission control: refuse sessions past this fleet memory budget in bytes (0: unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -312,6 +326,10 @@ func runLive(args []string) error {
 		MaxImpulseNoise: *noiseGate,
 		StallTimeout:    *stallTimeout,
 		CloseTimeout:    *closeTimeout,
+		AutoRestart:     *restart,
+		MaxRestarts:     *maxRestarts,
+		MaxSessions:     *maxSessions,
+		MemBudget:       *memBudget,
 		// Degradation events — checkpoint retry exhaustion, health
 		// transitions, watchdog stalls, quarantined checkpoints — go to
 		// stderr so the stats stream on stdout stays machine-readable.
@@ -361,6 +379,11 @@ func runLive(args []string) error {
 		}
 	}
 
+	// With chaos poison armed, each freshly opened session's segmenter is
+	// wrapped so a poisoned frame panics the worker — the injected fault
+	// the supervisor (-restart) exists to heal. Resumed sessions keep
+	// their plain segmenter: their poison frames simply process.
+	arms := make([]*poisonArm, *sessions)
 	live := make([]*session.Session, *sessions)
 	offsets := make([]int, *sessions)
 	for i := range live {
@@ -375,7 +398,12 @@ func runLive(args []string) error {
 			offsets[i] = off
 			continue
 		}
-		s, err := mgr.Open(id, w, h, bgbuster.StreamAttackOptions(w, h, *unknownVB, *seed+int64(i)))
+		opts := bgbuster.StreamAttackOptions(w, h, *unknownVB, *seed+int64(i))
+		if chaosOn && chaosProfile.Poison > 0 {
+			arms[i] = &poisonArm{inner: opts.Segmenter, set: map[*imagex.Image]struct{}{}}
+			opts.Segmenter = arms[i]
+		}
+		s, err := mgr.Open(id, w, h, opts)
 		if err != nil {
 			return err
 		}
@@ -401,6 +429,24 @@ func runLive(args []string) error {
 	// the fleets' fault sequences decorrelate but any single run is
 	// reproducible bit for bit) and honours injected stalls as real
 	// delivery pauses.
+	// Frames are routed through Manager.Feed (not session handles): after
+	// a supervisor restart the old handle is a Failed tombstone, and the
+	// manager always reaches the live incarnation. With the supervisor
+	// armed, ErrFailed is a transient state between crash and
+	// resurrection — retry the frame briefly so a mid-call crash costs
+	// only what the queue lost, not the rest of the feed.
+	feed := mgr.Feed
+	if *restart {
+		feed = func(id string, img *imagex.Image, oracle *imagex.Mask) error {
+			for tries := 0; ; tries++ {
+				err := mgr.Feed(id, img, oracle)
+				if err == nil || !errors.Is(err, session.ErrFailed) || tries >= 400 {
+					return err
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}
 	injectors := make([]*faultinject.Injector, len(live))
 	done := make(chan struct{})
 	go func() {
@@ -408,7 +454,7 @@ func runLive(args []string) error {
 		var wg sync.WaitGroup
 		for i, s := range live {
 			wg.Add(1)
-			go func(idx int, s *session.Session, start int) {
+			go func(idx int, id string, start int) {
 				defer wg.Done()
 				if chaosOn {
 					p := chaosProfile
@@ -422,8 +468,11 @@ func runLive(args []string) error {
 						if frameGap > 0 && j > 0 {
 							time.Sleep(frameGap)
 						}
-						if err := s.Feed(f.Img, f.Oracle); err != nil {
-							return // closed or failed: final stats will say
+						if f.Poisoned && arms[idx] != nil {
+							arms[idx].arm(f.Img)
+						}
+						if err := feed(id, f.Img, f.Oracle); err != nil {
+							return // closed or evicted: final stats will say
 						}
 					}
 				} else {
@@ -431,13 +480,15 @@ func runLive(args []string) error {
 						if frameGap > 0 && i > start {
 							time.Sleep(frameGap)
 						}
-						if err := s.Feed(video.Frames[i], oracles[i]); err != nil {
-							return // closed or failed: final stats will say
+						if err := feed(id, video.Frames[i], oracles[i]); err != nil {
+							return // closed or evicted: final stats will say
 						}
 					}
 				}
-				_ = s.Finalize()
-			}(i, s, offsets[i])
+				if cur, ok := mgr.Get(id); ok {
+					_ = cur.Finalize()
+				}
+			}(i, s.ID(), offsets[i])
 		}
 		wg.Wait()
 	}()
@@ -455,9 +506,26 @@ loop:
 		}
 	}
 
+	// A crash in the call's last frames can leave a session Failed in
+	// the gap before the supervisor resurrects it; give the healing loop
+	// a bounded beat so the final snapshot reports the healed fleet.
+	if *restart {
+		for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+			if mgr.Stats().FailedNow == 0 {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
 	fmt.Println("final per-session stats:")
 	fmt.Println("  id        frames  drop  rej  gate  coverage  vb          health    pin-latency  mean-feed")
 	for _, s := range live {
+		// Report the current incarnation: after an auto-restart the
+		// original handle only knows the crashed lineage.
+		if cur, ok := mgr.Get(s.ID()); ok {
+			s = cur
+		}
 		st := s.Stats()
 		vb := st.VBName
 		if vb == "" {
@@ -469,6 +537,10 @@ loop:
 			st.ID, st.StreamFrames, st.FramesDropped, st.FramesRejected, st.FramesGated,
 			st.CoveragePct, vb, st.Health, st.IdentifyLatency.Round(time.Millisecond),
 			st.FeedLatency.Mean.Round(10*time.Microsecond))
+		if st.Incarnation > 1 {
+			fmt.Printf("            incarnation %d (resumed %d frames at %.2f%% coverage)\n",
+				st.Incarnation, st.ResumedFrames, st.ResumedCoverage*100)
+		}
 		for _, reason := range st.HealthReasons {
 			fmt.Printf("            %s\n", reason)
 		}
@@ -476,6 +548,10 @@ loop:
 	ms := mgr.Stats()
 	fmt.Printf("manager: opened=%d closed=%d evicted=%d panics=%d degraded=%d stalls=%d abandoned=%d\n",
 		ms.Opened, ms.Closed, ms.Evicted, ms.Panics, ms.Degraded, ms.Stalls, ms.Abandoned)
+	if *restart || *maxSessions > 0 || *memBudget > 0 {
+		fmt.Printf("supervision: restarts=%d breaker-trips=%d shed=%d pressure-evicted=%d mem-used=%d\n",
+			ms.Restarts, ms.BreakerTrips, ms.Shed, ms.PressureEvicted, ms.MemUsed)
+	}
 	if cfg.Checkpoints != nil {
 		var saved, failed, retries uint64
 		for _, s := range live {
@@ -503,6 +579,7 @@ loop:
 			total.Misgeometry += c.Misgeometry
 			total.Truncated += c.Truncated
 			total.Stalled += c.Stalled
+			total.Poisoned += c.Poisoned
 		}
 		fmt.Printf("chaos: %v (%d faults injected)\n", total, total.Faults())
 	}
@@ -521,6 +598,39 @@ loop:
 		fmt.Printf("recovered backgrounds written to %s/\n", *out)
 	}
 	return nil
+}
+
+// poisonArm turns chaos-injected poison frames into real worker
+// panics so `-chaos 'poison=…'` exercises the supervisor's restart
+// path end to end: the feeder registers each poisoned frame's image
+// (the injector clones poison frames, so the pointer is unique) and
+// the wrapped segmenter panics when the worker reaches it. Poison
+// landing inside the pre-pin window is segmented from clones and
+// passes harmlessly — like the real fault it models, the crash only
+// fires on frames the reconstructor touches directly.
+type poisonArm struct {
+	inner segment.Segmenter
+	mu    sync.Mutex
+	set   map[*imagex.Image]struct{}
+}
+
+func (p *poisonArm) arm(img *imagex.Image) {
+	p.mu.Lock()
+	p.set[img] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *poisonArm) Segment(frame *imagex.Image, oracle *imagex.Mask) *imagex.Mask {
+	p.mu.Lock()
+	_, bad := p.set[frame]
+	if bad {
+		delete(p.set, frame)
+	}
+	p.mu.Unlock()
+	if bad {
+		panic("chaos: poisoned frame reached the reconstructor")
+	}
+	return p.inner.Segment(frame, oracle)
 }
 
 // printAggregate prints one instantaneous fleet-wide stats line.

@@ -162,6 +162,37 @@ func (s *StreamReconstructor) Size() (w, h int) { return s.w, s.h }
 // virtual background (always false in VBUnknownImage mode).
 func (s *StreamReconstructor) Identified() bool { return s.identified }
 
+// MemFootprint estimates the bytes of mutable state this stream holds:
+// the accumulated reconstruction (recovered image, coverage mask,
+// per-frame LB masks), the pending identification-window buffer, the
+// unknown-mode derivation state, and the pinned VB. The session layer's
+// fleet admission control sums these estimates against its global
+// memory budget. The figure is an estimate from geometry and element
+// counts, not an allocator measurement, and it grows as PerFrameLB
+// accumulates — admission uses the value at registration time.
+func (s *StreamReconstructor) MemFootprint() uint64 {
+	px := uint64(s.w) * uint64(s.h)
+	imgBytes := px * 3                                   // imagex.RGB is 3 bytes/pixel
+	maskBytes := uint64((s.w+63)/64) * uint64(s.h) * 8 // row-aligned []uint64 bitset
+	n := imgBytes + maskBytes                           // rec.Recovered + rec.Coverage
+	n += uint64(len(s.rec.PerFrameLB)) * maskBytes
+	n += uint64(len(s.pending)) * (imgBytes + maskBytes)
+	if s.vbImage != nil {
+		n += imgBytes
+	}
+	if s.derived != nil {
+		n += imgBytes + 2*maskBytes // derived image + Known + localKnown
+		n += px * 8                 // per-pixel run lengths
+		if s.prev != nil {
+			n += imgBytes
+		}
+	}
+	if s.hist != nil {
+		n += uint64(len(s.hist)) * 8
+	}
+	return n
+}
+
 // Finalized reports whether Finalize has been called.
 func (s *StreamReconstructor) Finalized() bool { return s.finalized }
 

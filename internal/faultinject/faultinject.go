@@ -61,6 +61,13 @@ type Profile struct {
 	Stall float64
 	// StallFor is the suggested stall duration (non-positive: 100ms).
 	StallFor time.Duration
+	// Poison is the probability a frame is delivered poisoned: the
+	// frame is cloned (so its pointer identity is unique) and flagged
+	// Frame.Poisoned. The injector attaches no semantics beyond the
+	// flag — a chaos harness decides what poison means, e.g. a
+	// segmenter that panics on flagged frames to force worker crashes
+	// for supervisor/restart testing.
+	Poison float64
 }
 
 func (p Profile) withDefaults() Profile {
@@ -84,7 +91,7 @@ func (p Profile) Validate() error {
 	}{
 		{"drop", p.Drop}, {"dup", p.Dup}, {"reorder", p.Reorder},
 		{"corrupt", p.Corrupt}, {"corrupt-frac", p.CorruptFrac},
-		{"geom", p.Geom}, {"stall", p.Stall},
+		{"geom", p.Geom}, {"stall", p.Stall}, {"poison", p.Poison},
 	} {
 		if r.v < 0 || r.v > 1 {
 			return fmt.Errorf("faultinject: %s rate %v outside [0,1]", r.name, r.v)
@@ -101,8 +108,9 @@ func (p Profile) Validate() error {
 //	drop=0.2,corrupt=0.05,seed=7
 //
 // Keys: drop, dup, reorder, window, corrupt, corrupt-frac, geom,
-// truncate, stall, stall-for (a Go duration), seed. Unknown keys and
-// malformed values are errors; an empty spec is the zero Profile.
+// truncate, stall, stall-for (a Go duration), poison, seed. Unknown
+// keys and malformed values are errors; an empty spec is the zero
+// Profile.
 func ParseProfile(spec string) (Profile, error) {
 	var p Profile
 	spec = strings.TrimSpace(spec)
@@ -137,6 +145,8 @@ func ParseProfile(spec string) (Profile, error) {
 			p.Stall, err = strconv.ParseFloat(val, 64)
 		case "stall-for":
 			p.StallFor, err = time.ParseDuration(val)
+		case "poison":
+			p.Poison, err = strconv.ParseFloat(val, 64)
 		case "seed":
 			p.Seed, err = strconv.ParseInt(val, 10, 64)
 		default:
@@ -163,6 +173,10 @@ type Frame struct {
 	// injected wrong-geometry frame.
 	Corrupted   bool
 	Misgeometry bool
+	// Poisoned marks a frame the receiving harness should treat as a
+	// crash trigger (Profile.Poison). Poisoned frames are clones, so a
+	// harness can key poison semantics on pointer identity.
+	Poisoned bool
 }
 
 // Counters tallies every injected fault of one Injector. Emitted is the
@@ -179,16 +193,18 @@ type Counters struct {
 	Misgeometry int
 	Truncated   int
 	Stalled     int
+	// Poisoned counts delivered crash-trigger frames (Profile.Poison).
+	Poisoned int
 }
 
 // Faults returns the total number of injected faults.
 func (c Counters) Faults() int {
-	return c.Dropped + c.Duplicated + c.Reordered + c.Corrupted + c.Misgeometry + c.Truncated + c.Stalled
+	return c.Dropped + c.Duplicated + c.Reordered + c.Corrupted + c.Misgeometry + c.Truncated + c.Stalled + c.Poisoned
 }
 
 func (c Counters) String() string {
-	return fmt.Sprintf("input=%d emitted=%d dropped=%d dup=%d reordered=%d corrupted=%d misgeom=%d truncated=%d stalled=%d",
-		c.Input, c.Emitted, c.Dropped, c.Duplicated, c.Reordered, c.Corrupted, c.Misgeometry, c.Truncated, c.Stalled)
+	return fmt.Sprintf("input=%d emitted=%d dropped=%d dup=%d reordered=%d corrupted=%d misgeom=%d truncated=%d stalled=%d poisoned=%d",
+		c.Input, c.Emitted, c.Dropped, c.Duplicated, c.Reordered, c.Corrupted, c.Misgeometry, c.Truncated, c.Stalled, c.Poisoned)
 }
 
 // Injector applies a Profile to frame sequences. It is deterministic
@@ -277,6 +293,14 @@ func (in *Injector) Apply(frames []*imagex.Image, oracles []*imagex.Mask) []Fram
 		if in.rng.Float64() < in.p.Stall {
 			f.Delay = in.p.StallFor
 			in.c.Stalled++
+		}
+		// The zero-rate guard keeps the rng draw sequence — and so every
+		// existing seed's fault positions — identical to profiles that
+		// predate the poison knob.
+		if in.p.Poison > 0 && in.rng.Float64() < in.p.Poison {
+			f.Img = f.Img.Clone()
+			f.Poisoned = true
+			in.c.Poisoned++
 		}
 		dup := in.rng.Float64() < in.p.Dup
 		if in.rng.Float64() < in.p.Reorder {

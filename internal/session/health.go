@@ -2,10 +2,13 @@ package session
 
 import "fmt"
 
-// Health is a session's degradation state. The machine is monotonic —
-// Healthy → Degraded → Failed — so an observer polling Snapshot never
-// sees a session "un-degrade" and flap its alerts: a call that limped
-// stays marked as having limped for its lifetime (DESIGN.md §12).
+// Health is a session's degradation state. The machine is monotonic
+// per incarnation — Healthy → Degraded → Failed → PermanentlyFailed —
+// so an observer polling Snapshot never sees a session "un-degrade"
+// and flap its alerts: a call that limped stays marked as having
+// limped for its lifetime (DESIGN.md §12). A supervisor restart does
+// not rewind any state: it registers a fresh incarnation (starting
+// Healthy) while the old record keeps its terminal health (§13).
 //
 //   - Healthy: everything nominal.
 //   - Degraded: the session hit recoverable trouble it survived —
@@ -14,13 +17,19 @@ import "fmt"
 //     reconstruction keeps running and its output stays usable.
 //   - Failed: the worker died (panic or fatal stream error). The
 //     partial reconstruction up to the failure stays readable, but no
-//     further frames are processed.
+//     further frames are processed. With Config.AutoRestart the
+//     supervisor resurrects the id as a new incarnation.
+//   - PermanentlyFailed: the circuit breaker gave up — the id burned
+//     through Config.MaxRestarts restarts within RestartWindow and the
+//     supervisor will not try again. Terminal; operator judgement
+//     required.
 type Health int32
 
 const (
 	Healthy Health = iota
 	Degraded
 	Failed
+	PermanentlyFailed
 )
 
 // String names the state for logs and fleet stats.
@@ -32,6 +41,8 @@ func (h Health) String() string {
 		return "degraded"
 	case Failed:
 		return "failed"
+	case PermanentlyFailed:
+		return "permanently-failed"
 	default:
 		return fmt.Sprintf("health(%d)", int32(h))
 	}
@@ -76,11 +87,38 @@ func (s *Session) degrade(reason string) {
 	}
 }
 
-// fail moves the session to Failed from any state and records why.
+// fail moves the session to Failed (never backwards out of
+// PermanentlyFailed), records why, and wakes the supervisor so a
+// restart attempt is not left waiting for the next scan tick.
 func (s *Session) fail(reason string) {
-	prev := Health(s.health.Swap(int32(Failed)))
-	if prev != Failed {
-		s.mgr.logf("session %q failed: %s", s.id, reason)
+	for {
+		cur := Health(s.health.Load())
+		if cur >= Failed {
+			s.addReason(reason)
+			return
+		}
+		if s.health.CompareAndSwap(int32(cur), int32(Failed)) {
+			s.mgr.logf("session %q failed: %s", s.id, reason)
+			s.addReason(reason)
+			s.mgr.noteFailed()
+			return
+		}
 	}
-	s.addReason(reason)
+}
+
+// permanentlyFail is the circuit breaker's terminal transition: the
+// supervisor calls it exactly once per tripped id, after the worker is
+// already dead, so it only ever moves Failed → PermanentlyFailed.
+func (s *Session) permanentlyFail(reason string) {
+	for {
+		cur := Health(s.health.Load())
+		if cur >= PermanentlyFailed {
+			return
+		}
+		if s.health.CompareAndSwap(int32(cur), int32(PermanentlyFailed)) {
+			s.mgr.logf("session %q permanently failed: %s", s.id, reason)
+			s.addReason(reason)
+			return
+		}
+	}
 }

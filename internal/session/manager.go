@@ -1,10 +1,12 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/bgbuster/bgbuster/internal/core"
@@ -12,12 +14,112 @@ import (
 	"github.com/bgbuster/bgbuster/internal/session/stats"
 )
 
+// ErrManagerClosed is returned by Open, OpenWith, Feed and Restore
+// once Manager.Close has begun. It wraps ErrClosed, so existing
+// errors.Is(err, ErrClosed) checks keep matching while callers that
+// care can distinguish a closed manager from one session's closed
+// intake.
+var ErrManagerClosed = fmt.Errorf("%w: manager closed", ErrClosed)
+
+// ErrFleetFull is the admission-control rejection from Open/Restore
+// when Config.MaxSessions open sessions already exist.
+var ErrFleetFull = errors.New("session: fleet full")
+
+// ErrMemoryBudget is the admission-control rejection from Open/Restore
+// when registering the stream would push the fleet's summed
+// StreamReconstructor.MemFootprint past Config.MemBudget.
+var ErrMemoryBudget = errors.New("session: memory budget exhausted")
+
+// ErrQueueFull is returned by Feed under the PolicyReject and
+// PolicyBlock queue policies when the frame could not be enqueued.
+var ErrQueueFull = errors.New("session: queue full")
+
+// ErrNoSession is returned by Manager.Feed for an id with no open
+// session (never opened, closed, or evicted).
+var ErrNoSession = errors.New("session: no such session")
+
+// QueuePolicy selects what Feed does when a session's frame queue is
+// full. The zero value defers to Config.DefaultQueuePolicy (which
+// itself defaults to drop-oldest).
+type QueuePolicy int
+
+const (
+	// PolicyDefault defers to Config.DefaultQueuePolicy.
+	PolicyDefault QueuePolicy = iota
+	// PolicyDropOldest evicts the oldest queued frame to make room —
+	// a live adversary that falls behind loses stale frames, never the
+	// call. This is the historical (and default) behaviour.
+	PolicyDropOldest
+	// PolicyReject drops the new frame instead and returns ErrQueueFull,
+	// for callers that prefer explicit backpressure over silent loss.
+	PolicyReject
+	// PolicyBlock waits up to the block deadline for queue space, then
+	// drops the new frame and returns ErrQueueFull. Feed is no longer
+	// non-blocking under this policy; Close can wait up to one deadline
+	// per blocked feeder.
+	PolicyBlock
+)
+
+// String names the policy for logs and flags.
+func (p QueuePolicy) String() string {
+	switch p {
+	case PolicyDefault:
+		return "default"
+	case PolicyDropOldest:
+		return "drop-oldest"
+	case PolicyReject:
+		return "reject"
+	case PolicyBlock:
+		return "block"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// SessionOptions are per-session knobs for OpenWith; the zero value
+// inherits every default from the Config.
+type SessionOptions struct {
+	// QueuePolicy overrides Config.DefaultQueuePolicy for this session.
+	QueuePolicy QueuePolicy
+	// BlockDeadline overrides Config.BlockDeadline for PolicyBlock.
+	BlockDeadline time.Duration
+}
+
 // Config tunes the Manager. The zero value is usable: 32-frame queues,
-// no idle eviction, 256 coverage samples per session.
+// drop-oldest intake, no idle eviction, no admission limits, no
+// auto-restart, 256 coverage samples per session.
 type Config struct {
+	// BaseContext is the root of the manager's cancellation tree; the
+	// sweeper, watchdog, supervisor and every session worker descend
+	// from it, and Manager.Close cancels the whole tree. Nil means
+	// context.Background().
+	BaseContext context.Context
+
 	// QueueDepth bounds each session's frame queue; when full, the
-	// oldest queued frame is dropped (non-positive: 32).
+	// session's queue policy decides (non-positive: 32).
 	QueueDepth int
+	// DefaultQueuePolicy applies to sessions opened without an explicit
+	// per-session policy (PolicyDefault resolves to PolicyDropOldest).
+	DefaultQueuePolicy QueuePolicy
+	// BlockDeadline bounds how long a PolicyBlock Feed waits for queue
+	// space (non-positive: 250ms).
+	BlockDeadline time.Duration
+
+	// MaxSessions caps the number of concurrently open sessions; Open
+	// and Restore past the cap return ErrFleetFull (0: unlimited).
+	MaxSessions int
+	// MemBudget caps the fleet's summed admission-time
+	// StreamReconstructor.MemFootprint in bytes; Open and Restore past
+	// it return ErrMemoryBudget (0: unlimited).
+	MemBudget int64
+	// EvictOnPressure lets Open shed load instead of rejecting: when
+	// admission would fail, the least-recently-fed open session is
+	// evicted (finalized, checkpointed if a store is configured) to
+	// make room, repeatedly until the new session fits or the fleet is
+	// empty. Restore never evicts — a restart backlog must not push out
+	// live calls.
+	EvictOnPressure bool
+
 	// IdleTimeout evicts sessions that have not been fed for this
 	// long. Zero disables eviction.
 	IdleTimeout time.Duration
@@ -48,6 +150,41 @@ type Config struct {
 	CheckpointBackoff    time.Duration
 	CheckpointBackoffMax time.Duration
 
+	// AutoRestart arms the supervisor: a Failed session is resurrected
+	// from its last good checkpoint (or fresh, if none exists) as a new
+	// incarnation under the same id, with capped exponential backoff
+	// between attempts and a sliding-window circuit breaker
+	// (DESIGN.md §13).
+	AutoRestart bool
+	// RestartOptions, when set, supplies the reconstruction options for
+	// a restarted id; nil reuses the options the session was opened
+	// (or restored) with. Options must match the checkpoint fingerprint
+	// or the restart attempt fails and counts toward the breaker.
+	RestartOptions func(id string) core.Options
+	// MaxRestarts is the circuit-breaker cap: once an id has been
+	// restarted this many times within RestartWindow, the next trigger
+	// trips the breaker and the session becomes PermanentlyFailed
+	// (non-positive: 5).
+	MaxRestarts int
+	// RestartWindow is the breaker's sliding window (non-positive: 1m).
+	RestartWindow time.Duration
+	// RestartBackoff delays a retry after a failed restart attempt,
+	// doubling per consecutive failure up to RestartBackoffMax
+	// (non-positive: 10ms and 1s respectively). A successful restart
+	// resets the backoff.
+	RestartBackoff    time.Duration
+	RestartBackoffMax time.Duration
+	// SupervisorInterval paces the supervisor's scan for Failed
+	// sessions; failure notifications wake it early (non-positive:
+	// 10ms).
+	SupervisorInterval time.Duration
+
+	// RestoreConcurrency bounds how many checkpoints Restore loads and
+	// decodes in parallel (non-positive: 4). Registration stays serial
+	// in id order, so which sessions are shed under admission limits is
+	// deterministic.
+	RestoreConcurrency int
+
 	// QualityGate, when set, screens every well-formed frame before it
 	// reaches the reconstructor; a non-nil error rejects the frame
 	// (counted in FramesGated and FramesRejected). Malformed frames
@@ -71,14 +208,24 @@ type Config struct {
 	CloseTimeout time.Duration
 
 	// Logf, when set, receives human-readable degradation events:
-	// checkpoint failures, health transitions, watchdog stalls. Nil
-	// discards them. Must be safe for concurrent use.
+	// checkpoint failures, health transitions, watchdog stalls,
+	// restarts, breaker trips. Nil discards them. Must be safe for
+	// concurrent use.
 	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
+	if c.BaseContext == nil {
+		c.BaseContext = context.Background()
+	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 32
+	}
+	if c.DefaultQueuePolicy == PolicyDefault {
+		c.DefaultQueuePolicy = PolicyDropOldest
+	}
+	if c.BlockDeadline <= 0 {
+		c.BlockDeadline = 250 * time.Millisecond
 	}
 	if c.CoverageSamples <= 0 {
 		c.CoverageSamples = 256
@@ -95,6 +242,24 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointBackoffMax <= 0 {
 		c.CheckpointBackoffMax = 500 * time.Millisecond
 	}
+	if c.MaxRestarts <= 0 {
+		c.MaxRestarts = 5
+	}
+	if c.RestartWindow <= 0 {
+		c.RestartWindow = time.Minute
+	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 10 * time.Millisecond
+	}
+	if c.RestartBackoffMax <= 0 {
+		c.RestartBackoffMax = time.Second
+	}
+	if c.SupervisorInterval <= 0 {
+		c.SupervisorInterval = 10 * time.Millisecond
+	}
+	if c.RestoreConcurrency <= 0 {
+		c.RestoreConcurrency = 4
+	}
 	if c.SweepEvery <= 0 {
 		c.SweepEvery = time.Second
 		if c.IdleTimeout > 0 && c.IdleTimeout/4 < c.SweepEvery {
@@ -104,28 +269,62 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// RestartEvent is one supervisor resurrection, recorded in the
+// manager's bounded restart log (RestartEvents).
+type RestartEvent struct {
+	// ID is the resurrected session id; Incarnation is the new
+	// incarnation number (the first restart produces incarnation 2).
+	ID          string
+	Incarnation int
+	// ResumedFrames and ResumedCoverage are the stream's cumulative
+	// frame counter and coverage fraction at the moment of resurrection
+	// — the last-good checkpoint's state, or zero for a fresh restart.
+	ResumedFrames   uint64
+	ResumedCoverage float64
+	// FromCheckpoint reports whether a stored checkpoint was resumed
+	// (false: no checkpoint existed and the incarnation started fresh).
+	FromCheckpoint bool
+	Time           time.Time
+}
+
+// maxRestartLog bounds the retained restart events; the counters carry
+// magnitudes beyond it.
+const maxRestartLog = 512
+
 // Manager multiplexes many live reconstruction sessions. All methods
 // are safe for concurrent use.
 type Manager struct {
 	cfg Config
 
-	mu       sync.Mutex
-	sessions map[string]*Session
-	closed   bool
+	// ctx is the root of the manager's cancellation tree (sweeper,
+	// watchdog, supervisor, blocked feeders); Close cancels it.
+	ctx        context.Context
+	cancel     context.CancelFunc
+	closedFlag atomic.Bool
 
-	opened    stats.Counter
-	closedCnt stats.Counter
-	evictions stats.Counter
-	panics    stats.Counter
-	restores  stats.Counter
-	degrades  stats.Counter
-	stalls    stats.Counter
-	abandoned stats.Counter
+	mu         sync.Mutex
+	sessions   map[string]*Session
+	closed     bool
+	memUsed    uint64 // summed admission-time footprints of open sessions
+	restartLog []RestartEvent
 
-	stopSweep chan struct{}
+	opened        stats.Counter
+	closedCnt     stats.Counter
+	evictions     stats.Counter
+	pressureEvict stats.Counter
+	panics        stats.Counter
+	restores      stats.Counter
+	restarts      stats.Counter
+	breakerTrips  stats.Counter
+	degrades      stats.Counter
+	stalls        stats.Counter
+	abandoned     stats.Counter
+	shed          stats.Counter // admission rejections (fleet-full + memory-budget)
+
+	failedCh  chan struct{} // wakes the supervisor on a worker failure
 	sweepDone chan struct{}
-	stopWatch chan struct{}
 	watchDone chan struct{}
+	superDone chan struct{}
 }
 
 // logf forwards a degradation event to Config.Logf, if any.
@@ -135,73 +334,180 @@ func (m *Manager) logf(format string, args ...any) {
 	}
 }
 
+// noteFailed wakes the supervisor without blocking; a missed wake is
+// harmless (the periodic scan catches up).
+func (m *Manager) noteFailed() {
+	if m.failedCh == nil {
+		return
+	}
+	select {
+	case m.failedCh <- struct{}{}:
+	default:
+	}
+}
+
 // NewManager returns a running Manager; Close releases it. When
 // cfg.IdleTimeout is set, a background sweeper finalizes and removes
-// sessions whose last Feed is older than the timeout.
+// sessions whose last Feed is older than the timeout; cfg.AutoRestart
+// starts the supervisor (supervisor.go).
 func NewManager(cfg Config) *Manager {
 	m := &Manager{
 		cfg:      cfg.withDefaults(),
 		sessions: map[string]*Session{},
 	}
+	m.ctx, m.cancel = context.WithCancel(m.cfg.BaseContext)
 	if m.cfg.IdleTimeout > 0 {
-		m.stopSweep = make(chan struct{})
 		m.sweepDone = make(chan struct{})
 		go m.sweep()
 	}
 	if m.cfg.StallTimeout > 0 {
-		m.stopWatch = make(chan struct{})
 		m.watchDone = make(chan struct{})
 		go m.watchdog()
+	}
+	if m.cfg.AutoRestart {
+		m.failedCh = make(chan struct{}, 1)
+		m.superDone = make(chan struct{})
+		go m.supervise()
 	}
 	return m
 }
 
+// Context returns the manager's root context; it is cancelled when
+// Close begins (or when Config.BaseContext is cancelled).
+func (m *Manager) Context() context.Context { return m.ctx }
+
 // Open starts a live session reconstructing a call of the given frame
-// geometry. opts follows core.NewStream (VBKnownImage or
-// VBUnknownImage). The id must be unique among open sessions.
+// geometry with the manager's default queue policy. opts follows
+// core.NewStream (VBKnownImage or VBUnknownImage). The id must be
+// unique among open sessions.
 func (m *Manager) Open(id string, w, h int, opts core.Options) (*Session, error) {
+	return m.OpenWith(id, w, h, opts, SessionOptions{})
+}
+
+// OpenWith is Open with per-session options (queue policy, block
+// deadline). Admission control applies: past Config.MaxSessions it
+// returns ErrFleetFull, past Config.MemBudget it returns
+// ErrMemoryBudget — unless Config.EvictOnPressure sheds the
+// least-recently-fed session instead.
+func (m *Manager) OpenWith(id string, w, h int, opts core.Options, so SessionOptions) (*Session, error) {
 	stream, err := core.NewStream(w, h, opts)
 	if err != nil {
 		return nil, fmt.Errorf("session %q: %w", id, err)
 	}
-	return m.register(id, stream, false)
+	return m.register(id, stream, opts, so, false, m.cfg.EvictOnPressure)
 }
 
-// register installs a (new or resumed) stream as a running session.
-func (m *Manager) register(id string, stream *core.StreamReconstructor, restored bool) (*Session, error) {
-	m.mu.Lock()
+// admitLocked is the admission decision for one new session of
+// footprint fp bytes. Caller holds m.mu.
+func (m *Manager) admitLocked(id string, fp uint64) error {
 	if m.closed {
-		m.mu.Unlock()
-		return nil, fmt.Errorf("manager: %w", ErrClosed)
+		return fmt.Errorf("session %q: %w", id, ErrManagerClosed)
 	}
 	if _, dup := m.sessions[id]; dup {
+		return fmt.Errorf("session %q: %w", id, ErrExists)
+	}
+	if m.cfg.MaxSessions > 0 && len(m.sessions) >= m.cfg.MaxSessions {
+		return fmt.Errorf("session %q: %w (%d open, max %d)", id, ErrFleetFull, len(m.sessions), m.cfg.MaxSessions)
+	}
+	if m.cfg.MemBudget > 0 && m.memUsed+fp > uint64(m.cfg.MemBudget) {
+		return fmt.Errorf("session %q: %w (%d in use + %d needed > budget %d)",
+			id, ErrMemoryBudget, m.memUsed, fp, m.cfg.MemBudget)
+	}
+	return nil
+}
+
+// register installs a (new or resumed) stream as a running session,
+// applying admission control. With evictOK, admission pressure evicts
+// the least-recently-fed session and retries instead of rejecting.
+func (m *Manager) register(id string, stream *core.StreamReconstructor, opts core.Options, so SessionOptions, restored, evictOK bool) (*Session, error) {
+	fp := stream.MemFootprint()
+	for attempt := 0; ; attempt++ {
+		m.mu.Lock()
+		err := m.admitLocked(id, fp)
+		if err == nil {
+			s := m.installLocked(id, stream, opts, so, fp, 1)
+			s.restored = restored
+			m.mu.Unlock()
+			m.opened.Inc()
+			if restored {
+				m.restores.Inc()
+			}
+			go s.loop()
+			return s, nil
+		}
+		var victim *Session
+		shedding := errors.Is(err, ErrFleetFull) || errors.Is(err, ErrMemoryBudget)
+		if shedding && evictOK && attempt < 1+len(m.sessions) {
+			victim = m.pressureVictimLocked()
+		}
 		m.mu.Unlock()
-		return nil, fmt.Errorf("session %q: %w", id, ErrExists)
+		if victim == nil {
+			if shedding {
+				m.shed.Inc()
+			}
+			return nil, err
+		}
+		victim.evicted.Store(true)
+		m.evictions.Inc()
+		m.pressureEvict.Inc()
+		m.logf("session %q evicted under admission pressure (admitting %q)", victim.id, id)
+		_ = victim.Close() // finalizes (final checkpoint included) and releases its budget
 	}
+}
+
+// pressureVictimLocked picks the least-recently-fed open session.
+// Caller holds m.mu.
+func (m *Manager) pressureVictimLocked() *Session {
+	var victim *Session
+	var oldest int64
+	for _, s := range m.sessions {
+		if last := s.lastFeed.Load(); victim == nil || last < oldest {
+			victim, oldest = s, last
+		}
+	}
+	return victim
+}
+
+// installLocked creates the Session record and accounts its footprint.
+// Caller holds m.mu and has passed admission.
+func (m *Manager) installLocked(id string, stream *core.StreamReconstructor, opts core.Options, so SessionOptions, fp uint64, incarnation int) *Session {
 	s := newSession(m, id, stream, m.cfg.QueueDepth, m.cfg.CoverageSamples)
-	s.restored = restored
-	m.sessions[id] = s
-	m.mu.Unlock()
-	m.opened.Inc()
-	if restored {
-		m.restores.Inc()
+	s.opts = opts
+	s.incarnation = incarnation
+	s.memBytes = fp
+	s.so = so
+	s.policy = so.QueuePolicy
+	if s.policy == PolicyDefault {
+		s.policy = m.cfg.DefaultQueuePolicy
 	}
-	go s.loop()
-	return s, nil
+	s.blockDeadline = so.BlockDeadline
+	if s.blockDeadline <= 0 {
+		s.blockDeadline = m.cfg.BlockDeadline
+	}
+	m.sessions[id] = s
+	m.memUsed += fp
+	return s
 }
 
 // RestoreError reports one session id Manager.Restore could not
 // resume. The underlying cause is reachable through Unwrap, so
-// errors.Is(err, ErrExists) and friends keep working on the joined
-// error Restore returns.
+// errors.Is(err, ErrExists), errors.Is(err, ErrFleetFull) and friends
+// keep working on the joined error Restore returns.
 type RestoreError struct {
-	// ID is the session id whose checkpoint was quarantined.
+	// ID is the session id whose checkpoint was quarantined or shed.
 	ID string
 	// Err is the load/decode/register failure.
 	Err error
+	// Shed marks an admission-control rejection (ErrFleetFull or
+	// ErrMemoryBudget): the checkpoint is intact and untouched in the
+	// store, the fleet just could not afford it right now.
+	Shed bool
 }
 
 func (e *RestoreError) Error() string {
+	if e.Shed {
+		return fmt.Sprintf("restore %q: shed: %v", e.ID, e.Err)
+	}
 	return fmt.Sprintf("restore %q: %v", e.ID, e.Err)
 }
 
@@ -215,14 +521,22 @@ func (e *RestoreError) Unwrap() error { return e.Err }
 // options for each session id; they must match the options the
 // checkpoint was written under (the embedded fingerprint is verified).
 //
-// Restore returns the sessions it managed to resume even when some ids
-// fail — a corrupt or mismatched checkpoint is quarantined: that id is
-// skipped, a *RestoreError naming it joins the returned error, and the
-// stored bytes are left untouched in the store for inspection (never
-// deleted or overwritten by Restore itself). Ids already open are
-// skipped the same way (ErrExists), so Restore is safe to call at any
-// point.
+// Loading and decoding run with bounded concurrency
+// (Config.RestoreConcurrency); registration is serial in sorted id
+// order and subject to admission control, so a fleet restarting over
+// its limits sheds the same ids every time. Restore returns the
+// sessions it managed to resume even when some ids fail — a corrupt or
+// mismatched checkpoint is quarantined: that id is skipped, a
+// *RestoreError naming it joins the returned error, and the stored
+// bytes are left untouched in the store for inspection (never deleted
+// or overwritten by Restore itself). Ids already open are skipped the
+// same way (ErrExists), and ids past Config.MaxSessions/MemBudget are
+// shed with RestoreError.Shed set (wrapping ErrFleetFull or
+// ErrMemoryBudget), so Restore is safe to call at any point.
 func (m *Manager) Restore(optsFor func(id string) core.Options) ([]*Session, error) {
+	if m.closedFlag.Load() {
+		return nil, fmt.Errorf("manager: restore: %w", ErrManagerClosed)
+	}
 	if m.cfg.Checkpoints == nil {
 		return nil, errors.New("manager: no checkpoint store configured")
 	}
@@ -230,28 +544,54 @@ func (m *Manager) Restore(optsFor func(id string) core.Options) ([]*Session, err
 	if err != nil {
 		return nil, fmt.Errorf("manager: restore: %w", err)
 	}
+	sort.Strings(ids) // deterministic shed order, whatever the store returns
+	type decoded struct {
+		stream *core.StreamReconstructor
+		opts   core.Options
+		err    error
+	}
+	results := make([]decoded, len(ids))
+	sem := make(chan struct{}, m.cfg.RestoreConcurrency)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			data, err := m.cfg.Checkpoints.Load(id)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			opts := optsFor(id)
+			stream, err := core.ResumeStream(data, opts)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			results[i].stream, results[i].opts = stream, opts
+		}(i, id)
+	}
+	wg.Wait()
+
 	var (
 		out  []*Session
 		errs []error
 	)
-	quarantine := func(id string, err error) {
-		m.logf("session %q: checkpoint quarantined: %v", id, err)
-		errs = append(errs, &RestoreError{ID: id, Err: err})
-	}
-	for _, id := range ids {
-		data, err := m.cfg.Checkpoints.Load(id)
-		if err != nil {
-			quarantine(id, err)
+	for i, id := range ids {
+		if results[i].err != nil {
+			m.logf("session %q: checkpoint quarantined: %v", id, results[i].err)
+			errs = append(errs, &RestoreError{ID: id, Err: results[i].err})
 			continue
 		}
-		stream, err := core.ResumeStream(data, optsFor(id))
+		s, err := m.register(id, results[i].stream, results[i].opts, SessionOptions{}, true, false)
 		if err != nil {
-			quarantine(id, err)
-			continue
-		}
-		s, err := m.register(id, stream, true)
-		if err != nil {
-			errs = append(errs, &RestoreError{ID: id, Err: err})
+			shed := errors.Is(err, ErrFleetFull) || errors.Is(err, ErrMemoryBudget)
+			if shed {
+				m.logf("session %q: restore shed: %v", id, err)
+			}
+			errs = append(errs, &RestoreError{ID: id, Err: err, Shed: shed})
 			continue
 		}
 		out = append(out, s)
@@ -259,12 +599,29 @@ func (m *Manager) Restore(optsFor func(id string) core.Options) ([]*Session, err
 	return out, errors.Join(errs...)
 }
 
-// Get returns the open session with the given id.
+// Get returns the current incarnation of the open session with the
+// given id.
 func (m *Manager) Get(id string) (*Session, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s, ok := m.sessions[id]
 	return s, ok
+}
+
+// Feed routes one frame to the current incarnation of id — the
+// supervisor-friendly intake: after an auto-restart, stale *Session
+// handles return ErrFailed while Manager.Feed reaches the live
+// incarnation. It returns ErrManagerClosed after Close and
+// ErrNoSession for unknown ids.
+func (m *Manager) Feed(id string, frame *imagex.Image, oracle *imagex.Mask) error {
+	if m.closedFlag.Load() {
+		return fmt.Errorf("session %q: %w", id, ErrManagerClosed)
+	}
+	s, ok := m.Get(id)
+	if !ok {
+		return fmt.Errorf("session %q: %w", id, ErrNoSession)
+	}
+	return s.Feed(frame, oracle)
 }
 
 // Len returns the number of open sessions.
@@ -274,11 +631,30 @@ func (m *Manager) Len() int {
 	return len(m.sessions)
 }
 
-// remove unregisters s if it is still the session registered under id.
+// MemUsed returns the fleet's summed admission-time stream footprints
+// in bytes — the quantity admission control compares to
+// Config.MemBudget.
+func (m *Manager) MemUsed() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.memUsed
+}
+
+// RestartEvents returns a copy of the bounded supervisor restart log,
+// oldest first.
+func (m *Manager) RestartEvents() []RestartEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]RestartEvent(nil), m.restartLog...)
+}
+
+// remove unregisters s if it is still the session registered under id,
+// releasing its memory-budget share.
 func (m *Manager) remove(id string, s *Session) {
 	m.mu.Lock()
 	if cur, ok := m.sessions[id]; ok && cur == s {
 		delete(m.sessions, id)
+		m.memUsed -= s.memBytes
 		m.mu.Unlock()
 		m.closedCnt.Inc()
 		return
@@ -304,7 +680,7 @@ func (m *Manager) sweep() {
 	defer t.Stop()
 	for {
 		select {
-		case <-m.stopSweep:
+		case <-m.ctx.Done():
 			return
 		case <-t.C:
 		}
@@ -334,7 +710,7 @@ func (m *Manager) watchdog() {
 	defer t.Stop()
 	for {
 		select {
-		case <-m.stopWatch:
+		case <-m.ctx.Done():
 			return
 		case <-t.C:
 		}
@@ -358,14 +734,15 @@ func (m *Manager) watchdog() {
 	}
 }
 
-// Close finalizes every open session and stops the sweeper and
-// watchdog. The manager accepts no new sessions afterwards; Close is
-// idempotent. When Config.CloseTimeout is set, Close waits at most that
-// long for the whole fleet to drain: sessions still running at the
-// deadline are abandoned — marked degraded, counted, reported in the
-// returned error — instead of wedging shutdown on one stuck call. The
-// returned error joins per-session failures (panics, fatal errors,
-// abandonments); a clean shutdown returns nil.
+// Close finalizes every open session and stops the sweeper, watchdog
+// and supervisor by cancelling the manager context. The manager
+// accepts no new sessions afterwards; Close is idempotent. When
+// Config.CloseTimeout is set, Close waits at most that long for the
+// whole fleet to drain: sessions still running at the deadline are
+// abandoned — marked degraded, counted, reported in the returned error
+// — instead of wedging shutdown on one stuck call. The returned error
+// joins per-session failures (panics, fatal errors, abandonments); a
+// clean shutdown returns nil.
 func (m *Manager) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -374,13 +751,16 @@ func (m *Manager) Close() error {
 	}
 	m.closed = true
 	m.mu.Unlock()
-	if m.stopSweep != nil {
-		close(m.stopSweep)
+	m.closedFlag.Store(true)
+	m.cancel()
+	if m.sweepDone != nil {
 		<-m.sweepDone
 	}
-	if m.stopWatch != nil {
-		close(m.stopWatch)
+	if m.watchDone != nil {
 		<-m.watchDone
+	}
+	if m.superDone != nil {
+		<-m.superDone
 	}
 	sessions := m.list()
 	for _, s := range sessions {
@@ -429,23 +809,37 @@ type ManagerSnapshot struct {
 	Open int
 	// Opened/Closed/Evicted/Panics/Restored are monotonic lifetime
 	// counters; Restored counts sessions resumed by Manager.Restore
-	// (each also counts in Opened).
-	Opened   uint64
-	Closed   uint64
-	Evicted  uint64
-	Panics   uint64
-	Restored uint64
+	// (each also counts in Opened). Restarts counts supervisor
+	// resurrections (new incarnations; not counted in Opened), and
+	// BreakerTrips counts circuit-breaker trips to PermanentlyFailed.
+	Opened       uint64
+	Closed       uint64
+	Evicted      uint64
+	Panics       uint64
+	Restored     uint64
+	Restarts     uint64
+	BreakerTrips uint64
+	// Shed counts admission rejections (ErrFleetFull + ErrMemoryBudget)
+	// and PressureEvicted the sessions evicted to admit newer ones
+	// (each also counts in Evicted).
+	Shed            uint64
+	PressureEvicted uint64
+	// MemUsed is the fleet's summed admission-time stream footprints;
+	// MemBudget echoes Config.MemBudget (0: unlimited).
+	MemUsed   uint64
+	MemBudget int64
 	// Degraded counts healthy→degraded transitions fleet-wide; Stalls
 	// counts watchdog-detected stall episodes; Abandoned counts
 	// sessions given up on at the Close deadline.
 	Degraded  uint64
 	Stalls    uint64
 	Abandoned uint64
-	// HealthyNow/DegradedNow/FailedNow break the open sessions down by
-	// current health state (they sum to Open).
-	HealthyNow  int
-	DegradedNow int
-	FailedNow   int
+	// HealthyNow/DegradedNow/FailedNow/PermanentlyFailedNow break the
+	// open sessions down by current health state (they sum to Open).
+	HealthyNow          int
+	DegradedNow         int
+	FailedNow           int
+	PermanentlyFailedNow int
 	// Sessions holds one snapshot per open session, ordered by ID.
 	Sessions []Snapshot
 }
@@ -455,15 +849,21 @@ type ManagerSnapshot struct {
 func (m *Manager) Stats() ManagerSnapshot {
 	sessions := m.list()
 	snap := ManagerSnapshot{
-		Open:      len(sessions),
-		Opened:    m.opened.Load(),
-		Closed:    m.closedCnt.Load(),
-		Evicted:   m.evictions.Load(),
-		Panics:    m.panics.Load(),
-		Restored:  m.restores.Load(),
-		Degraded:  m.degrades.Load(),
-		Stalls:    m.stalls.Load(),
-		Abandoned: m.abandoned.Load(),
+		Open:            len(sessions),
+		Opened:          m.opened.Load(),
+		Closed:          m.closedCnt.Load(),
+		Evicted:         m.evictions.Load(),
+		Panics:          m.panics.Load(),
+		Restored:        m.restores.Load(),
+		Restarts:        m.restarts.Load(),
+		BreakerTrips:    m.breakerTrips.Load(),
+		Shed:            m.shed.Load(),
+		PressureEvicted: m.pressureEvict.Load(),
+		MemUsed:         m.MemUsed(),
+		MemBudget:       m.cfg.MemBudget,
+		Degraded:        m.degrades.Load(),
+		Stalls:          m.stalls.Load(),
+		Abandoned:       m.abandoned.Load(),
 	}
 	for _, s := range sessions {
 		st := s.Stats()
@@ -474,6 +874,8 @@ func (m *Manager) Stats() ManagerSnapshot {
 			snap.DegradedNow++
 		case Failed:
 			snap.FailedNow++
+		case PermanentlyFailed:
+			snap.PermanentlyFailedNow++
 		}
 		snap.Sessions = append(snap.Sessions, st)
 	}

@@ -48,6 +48,26 @@ type Session struct {
 	mgr  *Manager
 	w, h int // stream frame geometry, for the quality gate
 
+	// Supervision identity (immutable after install): the options the
+	// stream was opened with (what a restart resurrects from), the
+	// per-session overrides, the incarnation number (1 = original; each
+	// supervisor restart registers incarnation+1 under the same id), and
+	// the admission-time memory footprint charged to Config.MemBudget.
+	opts        core.Options
+	so          SessionOptions
+	incarnation int
+	memBytes    uint64
+	// resumedFrames/resumedCov record the checkpoint state this
+	// incarnation resumed from (zero for incarnation 1 and for a fresh
+	// restart with no stored checkpoint).
+	resumedFrames uint64
+	resumedCov    float64
+
+	// Intake policy (resolved at install time; PolicyDefault never
+	// survives installation).
+	policy        QueuePolicy
+	blockDeadline time.Duration
+
 	// Intake: sendMu serialises queue sends against intake close.
 	sendMu       sync.Mutex
 	queue        chan item
@@ -110,13 +130,26 @@ func newSession(mgr *Manager, id string, stream *core.StreamReconstructor, queue
 // ID returns the session identifier.
 func (s *Session) ID() string { return s.id }
 
-// Feed enqueues one frame. It never blocks: when the queue is full the
-// oldest queued frame is dropped (counted in Stats as FramesDropped).
-// The session does not copy the frame or oracle; the caller must not
-// mutate them afterwards. Malformed frames (wrong geometry, nil
-// oracle) are not detected here but at processing time, where they are
-// counted as FramesRejected and the session carries on.
+// Incarnation returns the supervisor lineage number for this id:
+// 1 for the original session, +1 per auto-restart.
+func (s *Session) Incarnation() int { return s.incarnation }
+
+// Feed enqueues one frame. Under the default drop-oldest policy it
+// never blocks: when the queue is full the oldest queued frame is
+// dropped (counted in Stats as FramesDropped). PolicyReject returns
+// ErrQueueFull instead; PolicyBlock waits up to the block deadline for
+// queue space before giving up with ErrQueueFull. After Manager.Close
+// begins, Feed returns ErrManagerClosed; after the supervisor replaced
+// this incarnation, the stale handle returns ErrFailed (route through
+// Manager.Feed to always reach the live incarnation). The session does
+// not copy the frame or oracle; the caller must not mutate them
+// afterwards. Malformed frames (wrong geometry, nil oracle) are not
+// detected here but at processing time, where they are counted as
+// FramesRejected and the session carries on.
 func (s *Session) Feed(frame *imagex.Image, oracle *imagex.Mask) error {
+	if s.mgr.closedFlag.Load() {
+		return fmt.Errorf("session %q: %w", s.id, ErrManagerClosed)
+	}
 	if s.Failure() != "" {
 		return fmt.Errorf("session %q: %w", s.id, ErrFailed)
 	}
@@ -134,7 +167,30 @@ func (s *Session) Feed(frame *imagex.Image, oracle *imagex.Mask) error {
 		return nil
 	default:
 	}
-	// Queue full: evict the oldest queued frame, then retry once. The
+	switch s.policy {
+	case PolicyReject:
+		// Explicit backpressure: the new frame is dropped and the caller
+		// told, so it can throttle its capture rate.
+		s.dropped.Inc()
+		return fmt.Errorf("session %q: %w", s.id, ErrQueueFull)
+	case PolicyBlock:
+		// Bounded wait for queue space. sendMu stays held, so a
+		// concurrent closeIntake (Close, eviction) waits out at most one
+		// deadline; manager shutdown cancels the wait immediately.
+		timer := time.NewTimer(s.blockDeadline)
+		defer timer.Stop()
+		select {
+		case s.queue <- it:
+			return nil
+		case <-timer.C:
+			s.dropped.Inc()
+			return fmt.Errorf("session %q: %w (blocked %s)", s.id, ErrQueueFull, s.blockDeadline)
+		case <-s.mgr.ctx.Done():
+			s.dropped.Inc()
+			return fmt.Errorf("session %q: %w", s.id, ErrManagerClosed)
+		}
+	}
+	// Drop-oldest: evict the oldest queued frame, then retry once. The
 	// receive races with the worker; if the worker drained a slot
 	// first, the send below succeeds and nothing is dropped twice.
 	select {
@@ -440,6 +496,15 @@ type Snapshot struct {
 	StreamFrames uint64
 	// Restored reports the session came from Manager.Restore.
 	Restored bool
+	// Incarnation numbers the supervisor lineage for this id: 1 for the
+	// original session, +1 per auto-restart (DESIGN.md §13).
+	Incarnation int
+	// ResumedFrames and ResumedCoverage are the checkpoint state this
+	// incarnation resumed from — the floor its StreamFrames and coverage
+	// start at. Zero for incarnation 1 and for a restart that found no
+	// stored checkpoint.
+	ResumedFrames   uint64
+	ResumedCoverage float64
 	// Checkpoints counts successful durable checkpoints; CheckpointErrors
 	// counts failed attempts (encode or store; every retry counts).
 	Checkpoints      uint64
@@ -483,6 +548,9 @@ func (s *Session) Stats() Snapshot {
 	}
 	s.streamMu.Unlock()
 	snap.Restored = s.restored
+	snap.Incarnation = s.incarnation
+	snap.ResumedFrames = s.resumedFrames
+	snap.ResumedCoverage = s.resumedCov
 	snap.Checkpoints = s.ckpts.Load()
 	snap.CheckpointErrors = s.ckptErrs.Load()
 	snap.CheckpointRetries = s.ckptRetries.Load()
