@@ -436,10 +436,20 @@ func runLive(args []string) error {
 	// resurrection — retry the frame briefly so a mid-call crash costs
 	// only what the queue lost, not the rest of the feed.
 	feed := mgr.Feed
+	feedN := mgr.FeedN
 	if *restart {
 		feed = func(id string, img *imagex.Image, oracle *imagex.Mask) error {
 			for tries := 0; ; tries++ {
 				err := mgr.Feed(id, img, oracle)
+				if err == nil || !errors.Is(err, session.ErrFailed) || tries >= 400 {
+					return err
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+		feedN = func(id string, frames []bgbuster.Frame) error {
+			for tries := 0; ; tries++ {
+				err := mgr.FeedN(id, frames)
 				if err == nil || !errors.Is(err, session.ErrFailed) || tries >= 400 {
 					return err
 				}
@@ -475,6 +485,26 @@ func runLive(args []string) error {
 							return // closed or evicted: final stats will say
 						}
 					}
+				} else if frameGap <= 0 {
+					// Unpaced replay (-rate < 0): batch ingest routes whole
+					// chunks through Manager.FeedN — one queue slot and one
+					// stream lock per chunk instead of per frame. Each chunk
+					// slice is handed to the session (ownership transfers with
+					// the batch), so a fresh one is built per send.
+					const chunk = 16
+					for i := start; i < video.Len(); i += chunk {
+						j := i + chunk
+						if j > video.Len() {
+							j = video.Len()
+						}
+						frames := make([]bgbuster.Frame, 0, j-i)
+						for k := i; k < j; k++ {
+							frames = append(frames, bgbuster.Frame{Img: video.Frames[k], Oracle: oracles[k]})
+						}
+						if err := feedN(id, frames); err != nil {
+							return // closed or evicted: final stats will say
+						}
+					}
 				} else {
 					for i := start; i < video.Len(); i++ {
 						if frameGap > 0 && i > start {
@@ -493,7 +523,7 @@ func runLive(args []string) error {
 		wg.Wait()
 	}()
 
-	start := time.Now()
+	agg := &aggregatePrinter{start: time.Now()}
 	ticker := time.NewTicker(*every)
 	defer ticker.Stop()
 loop:
@@ -502,7 +532,7 @@ loop:
 		case <-done:
 			break loop
 		case <-ticker.C:
-			printAggregate(start, mgr.Stats())
+			agg.print(mgr.Stats())
 		}
 	}
 
@@ -633,8 +663,17 @@ func (p *poisonArm) Segment(frame *imagex.Image, oracle *imagex.Mask) *imagex.Ma
 	return p.inner.Segment(frame, oracle)
 }
 
-// printAggregate prints one instantaneous fleet-wide stats line.
-func printAggregate(start time.Time, ms session.ManagerSnapshot) {
+// aggregatePrinter prints instantaneous fleet-wide stats lines,
+// carrying enough state between ticks to report the fleet's processing
+// rate (frames/sec over the last interval) and memory density (the
+// admission-accounted bytes per open session) alongside the counters.
+type aggregatePrinter struct {
+	start    time.Time
+	lastTick time.Time
+	lastProc uint64
+}
+
+func (p *aggregatePrinter) print(ms session.ManagerSnapshot) {
 	var fed, dropped, rejected, processed uint64
 	var covSum float64
 	identified := 0
@@ -652,8 +691,35 @@ func printAggregate(start time.Time, ms session.ManagerSnapshot) {
 	if len(ms.Sessions) > 0 {
 		meanCov = covSum / float64(len(ms.Sessions))
 	}
-	fmt.Printf("%6.1fs  open=%d fed=%d drop=%d rej=%d proc=%d identified=%d mean-coverage=%.2f%%\n",
-		time.Since(start).Seconds(), ms.Open, fed, dropped, rejected, processed, identified, meanCov)
+	now := time.Now()
+	since := p.start
+	if !p.lastTick.IsZero() {
+		since = p.lastTick
+	}
+	rate := 0.0
+	if dt := now.Sub(since).Seconds(); dt > 0 && processed >= p.lastProc {
+		rate = float64(processed-p.lastProc) / dt
+	}
+	p.lastTick, p.lastProc = now, processed
+	perSession := "n/a"
+	if ms.Open > 0 {
+		perSession = fmtBytes(ms.MemUsed / uint64(ms.Open))
+	}
+	fmt.Printf("%6.1fs  open=%d fed=%d drop=%d rej=%d proc=%d identified=%d mean-coverage=%.2f%% fps=%.0f mem/session=%s\n",
+		now.Sub(p.start).Seconds(), ms.Open, fed, dropped, rejected, processed, identified, meanCov, rate, perSession)
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 func runList(args []string) error {

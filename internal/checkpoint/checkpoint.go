@@ -212,9 +212,7 @@ func Encode(st *State) ([]byte, error) {
 		buf = appendImage(buf, st.DerivedImg)
 		buf = st.DerivedKnown.AppendWords(buf)
 		buf = st.LocalKnown.AppendWords(buf)
-		for _, r := range st.RunLen {
-			buf = appendU32(buf, uint32(r))
-		}
+		buf = appendRunLens(buf, st.RunLen)
 		if st.Prev != nil {
 			buf = appendImage(buf, st.Prev)
 		}
@@ -584,8 +582,40 @@ func (r *reader) mask(w, h int) (*imagex.Mask, error) {
 
 // appendImage appends the raw RGB raster of img.
 func appendImage(buf []byte, img *imagex.Image) []byte {
-	for _, p := range img.Pix {
-		buf = append(buf, p.R, p.G, p.B)
+	// Grow once and write by index: images dominate the payload
+	// (pending windows carry one per buffered frame), and the per-pixel
+	// append used to re-check capacity three million times per 640×360
+	// plane. Byte output is identical.
+	n := len(buf)
+	need := 3 * len(img.Pix)
+	if cap(buf)-n < need {
+		grown := make([]byte, n, n+need)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:n+need]
+	for i, p := range img.Pix {
+		o := n + 3*i
+		buf[o], buf[o+1], buf[o+2] = p.R, p.G, p.B
+	}
+	return buf
+}
+
+// appendRunLens writes the derivation run counters as exact u32, the
+// wire encoding the format has always used. The core layer now keeps
+// them as saturating uint16 in memory and widens on write, so the
+// encoding — and every pre-existing container — is unchanged.
+func appendRunLens(buf []byte, rl []int) []byte {
+	n := len(buf)
+	need := 4 * len(rl)
+	if cap(buf)-n < need {
+		grown := make([]byte, n, n+need)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:n+need]
+	for i, r := range rl {
+		binary.LittleEndian.PutUint32(buf[n+4*i:], uint32(r))
 	}
 	return buf
 }

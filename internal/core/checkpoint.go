@@ -63,7 +63,18 @@ func (s *StreamReconstructor) Checkpoint() ([]byte, error) {
 		st.DerivedImg = s.derived.Img
 		st.DerivedKnown = s.derived.Known
 		st.LocalKnown = s.localKnown
-		st.RunLen = s.runLen
+		// The in-memory run counters are saturating uint16 (DESIGN.md
+		// §14); the wire format keeps its original exact-int encoding, so
+		// widen on write. The canonical bytes only differ from a pre-
+		// saturation stream if a run genuinely exceeded maxRunLen frames
+		// (>36 minutes of stability at 30 fps) — and even then the resumed
+		// evolution is identical, because any count ≥ StabilityThreshold
+		// behaves the same.
+		rl := make([]int, len(s.runLen))
+		for i, v := range s.runLen {
+			rl[i] = int(v)
+		}
+		st.RunLen = rl
 		st.Prev = s.prev
 	}
 	data, err := checkpoint.Encode(st)
@@ -149,8 +160,19 @@ func ResumeStreamWithLimits(data []byte, opts Options, lim checkpoint.Limits) (*
 	if opts.Mode == VBUnknownImage {
 		s.derived = &DerivedImage{Img: st.DerivedImg, Known: st.DerivedKnown}
 		s.localKnown = st.LocalKnown
-		s.runLen = st.RunLen
+		// Narrow the exact wire counters back into the saturating
+		// representation. Clamping is lossy only above the ceiling, where
+		// commit decisions are already insensitive to the exact count (the
+		// threshold is capped at maxRunLen by normalizeStreamOptions).
+		s.runLen = make([]uint16, len(st.RunLen))
+		for i, v := range st.RunLen {
+			if v > maxRunLen {
+				v = maxRunLen
+			}
+			s.runLen[i] = uint16(v)
+		}
 		s.prev = st.Prev
+		s.derivedCount = s.derived.Known.Count()
 		s.rec.DerivedCoverage = s.derived.Coverage()
 	}
 	return s, nil

@@ -49,6 +49,45 @@ func (m VBMode) String() string {
 	}
 }
 
+// LBRetention selects how much of the per-frame leak-mask history a
+// reconstruction keeps. The paper's RBRR and the recovered background
+// only need the accumulated Coverage and Recovered planes; PerFrameLB
+// is forensic detail that grows one mask per frame forever, and it is
+// what used to cap fleet density (MemBudget admission) on long calls.
+type LBRetention int
+
+const (
+	// RetainAll keeps every frame's leak mask (the historical default;
+	// memory grows linearly with call length).
+	RetainAll LBRetention = iota
+	// RetainLastK keeps a sliding window of the newest RetainLBWindow
+	// masks; older ones are recycled. PerFrameLB holds the window oldest
+	// first.
+	RetainLastK
+	// RetainNone keeps no per-frame masks. The aggregate counters
+	// (Reconstruction.LBFrames, LBBits) still accumulate, so mean
+	// per-frame leak size survives; memory is constant in call length.
+	RetainNone
+)
+
+// String names the retention policy for logs and flags.
+func (r LBRetention) String() string {
+	switch r {
+	case RetainAll:
+		return "all"
+	case RetainLastK:
+		return "last-k"
+	case RetainNone:
+		return "none"
+	default:
+		return fmt.Sprintf("retention(%d)", int(r))
+	}
+}
+
+// DefaultRetainLBWindow is the RetainLastK window size when
+// Options.RetainLBWindow is unset.
+const DefaultRetainLBWindow = 32
+
 // Options configures the reconstruction framework.
 type Options struct {
 	Mode VBMode
@@ -97,6 +136,17 @@ type Options struct {
 	// per-frame product lands in a frame-indexed slot and residues are
 	// merged in ascending frame order afterwards.
 	Workers int
+
+	// RetainPerFrameLB bounds the per-frame leak-mask history (see
+	// LBRetention); the zero value RetainAll is the historical
+	// behaviour. The policy never influences Recovered, Coverage, or a
+	// stream's checkpoint bytes — only what Reconstruction.PerFrameLB
+	// holds — so it is excluded from the checkpoint fingerprint and may
+	// differ between a checkpointed stream and its resumption.
+	RetainPerFrameLB LBRetention
+	// RetainLBWindow is the RetainLastK window size; non-positive uses
+	// DefaultRetainLBWindow.
+	RetainLBWindow int
 }
 
 // DefaultOptions returns the calibrated defaults for a known-image
@@ -121,8 +171,17 @@ type Reconstruction struct {
 	// Coverage marks every pixel claimed leaked in ≥1 frame. Its
 	// fraction is the paper's RBRR numerator.
 	Coverage *imagex.Mask
-	// PerFrameLB keeps the claimed leak mask per frame.
+	// PerFrameLB keeps the claimed leak mask per frame, subject to
+	// Options.RetainPerFrameLB: every frame under RetainAll, the newest
+	// window (oldest first) under RetainLastK, none under RetainNone.
 	PerFrameLB []*imagex.Mask
+	// LBFrames counts frames whose leak residue was accumulated and
+	// LBBits sums their leak-mask set bits, whatever the retention
+	// policy — the mean per-frame leak size survives RetainNone. For a
+	// resumed stream they cover frames fed since the resume (like
+	// PerFrameLB, they are not part of the checkpoint contract).
+	LBFrames uint64
+	LBBits   uint64
 	// VBName is the identified virtual background ("" when derived).
 	VBName string
 	// VBMode echoes the mode used.
@@ -195,19 +254,21 @@ func Reconstruct(v *vidstream.Video, oracles []*imagex.Mask, opts Options) (*Rec
 	lbs := make([]*imagex.Mask, v.Len())
 	frameErrs := make([]error, v.Len())
 	forFrames(v.Len(), workers, func() func(i int) {
-		var bbm *imagex.Mask // per-worker dilation scratch
+		// Per-worker dilation engine and scratch: the only per-frame
+		// allocation left is the retained LB itself.
+		dil := imagex.NewDilator(w, h, opts.Phi)
+		var bbm *imagex.Mask
 		return func(i int) {
 			f := v.Frames[i]
 			vbm := vbFor(i, f)
 			// BBM includes VBM, so removing BBM removes both; LB is the
 			// complement of BBM ∪ VCM.
-			bbm = vbm.DilateInto(bbm, opts.Phi)
-			lb := bbm.Clone()
-			if err := lb.Union(vcms[i]); err != nil {
+			bbm = dil.DilateInto(bbm, vbm)
+			lb := imagex.NewMask(w, h)
+			if err := lb.ComplementOfUnion(bbm, vcms[i], 0, nil); err != nil {
 				frameErrs[i] = err
 				return
 			}
-			lb.Invert()
 			lbs[i] = lb
 		}
 	})
@@ -219,15 +280,36 @@ func Reconstruct(v *vidstream.Video, oracles []*imagex.Mask, opts Options) (*Rec
 
 	// Merge residues in ascending frame order so "latest leaked value
 	// per pixel" semantics match the serial pass exactly.
-	rec.PerFrameLB = lbs
 	for i, lb := range lbs {
-		f := v.Frames[i]
-		lb.ForEachSet(func(p int) {
-			rec.Recovered.Pix[p] = f.Pix[p]
-		})
-		_ = rec.Coverage.Union(lb) // same geometry by construction
+		bits, err := imagex.ApplyResidue(lb, v.Frames[i], rec.Recovered, rec.Coverage, 0, nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: frame %d: %w", i, err)
+		}
+		rec.LBFrames++
+		rec.LBBits += uint64(bits)
 	}
+	rec.PerFrameLB = retainLBs(lbs, opts)
 	return rec, nil
+}
+
+// retainLBs applies Options.RetainPerFrameLB to the full leak-mask
+// history the batch pass necessarily computed.
+func retainLBs(lbs []*imagex.Mask, opts Options) []*imagex.Mask {
+	switch opts.RetainPerFrameLB {
+	case RetainLastK:
+		k := opts.RetainLBWindow
+		if k <= 0 {
+			k = DefaultRetainLBWindow
+		}
+		if len(lbs) > k {
+			lbs = lbs[len(lbs)-k:]
+		}
+		return lbs
+	case RetainNone:
+		return nil
+	default:
+		return lbs
+	}
 }
 
 // reconWorkers resolves the effective worker count for n frames.

@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/segment"
 )
 
 // StreamReconstructor runs the reconstruction framework incrementally,
@@ -28,6 +30,12 @@ import (
 //   - The statistical color refinement uses the color histogram
 //     accumulated so far rather than the whole call's.
 //
+// The per-frame pipeline is engineered for steady-state density
+// (DESIGN.md §14): all per-frame masks come from stream-owned pooled
+// scratch, the leaked-background residue is applied through tiled
+// planes that skip idle bands, and under RetainLastK/RetainNone LB
+// retention a frame at steady state allocates nothing.
+//
 // A StreamReconstructor is not safe for concurrent use; the session
 // layer (internal/session) serialises access for live multiplexing.
 type StreamReconstructor struct {
@@ -39,7 +47,9 @@ type StreamReconstructor struct {
 	scores     map[string]int
 	vbImage    *imagex.Image
 	vbName     string
-	// Buffered early frames awaiting identification.
+	// Buffered early frames awaiting identification. The stream takes
+	// ownership of the fed frame and oracle (no clones); Feed documents
+	// that callers must not mutate them afterwards.
 	pending        []*imagex.Image
 	pendingOracles []*imagex.Mask
 
@@ -48,11 +58,16 @@ type StreamReconstructor struct {
 	// local derivation. localKnown marks pixels the local derivation
 	// committed — only those are barred from re-derivation, so a locally
 	// stable pixel always overrides an aux seed (matching the batch
-	// path's "local first" merge precedence).
-	derived    *DerivedImage
-	localKnown *imagex.Mask
-	runLen     []int
-	prev       *imagex.Image
+	// path's "local first" merge precedence). runLen saturates at
+	// maxRunLen (uint16, 2 bytes/pixel — derivation state is 4× smaller
+	// than the historical []int); derivedCount tracks the popcount of
+	// derived.Known incrementally so DerivedCoverage costs no full-mask
+	// scan per frame.
+	derived      *DerivedImage
+	localKnown   *imagex.Mask
+	runLen       []uint16
+	prev         *imagex.Image
+	derivedCount int
 
 	// Color-refinement running histogram.
 	hist      []int
@@ -63,6 +78,20 @@ type StreamReconstructor struct {
 	frames    int
 	finalized bool
 
+	// Pooled per-frame scratch, built lazily on the first processed
+	// frame (ensureScratch): the VBM/BBM/VCM masks are reused every
+	// frame, dil hoists the dilation tables, lbPool recycles leak masks
+	// released by the retention policy, and lbDirty/covFull are the
+	// per-band tile states behind the fused residue pass.
+	vbmScratch *imagex.Mask
+	bbmScratch *imagex.Mask
+	vcmScratch *imagex.Mask
+	dil        *imagex.Dilator
+	intoSeg    segment.IntoSegmenter
+	lbPool     []*imagex.Mask
+	lbDirty    []bool
+	covFull    []bool
+
 	// Cached options fingerprint; the dictionary hash is not cheap and
 	// the session layer checkpoints periodically (0 until first use).
 	fprint uint64
@@ -72,8 +101,28 @@ type StreamReconstructor struct {
 // observes before pinning the known virtual background.
 const DefaultIdentifyAfter = 10
 
+// maxRunLen is the saturation ceiling of the uint16 stability counters.
+// A saturated pixel stays at the ceiling while its run continues and
+// resets to 1 on any change, so commit decisions are unaffected for any
+// StabilityThreshold ≤ maxRunLen (normalizeStreamOptions rejects
+// larger). Checkpoints store run lengths as exact integers; see
+// Checkpoint for the (theoretical) divergence window this leaves.
+const maxRunLen = 0xFFFF
+
+// lbTileRows is the tile band height (in rows) of the residue/coverage
+// planes. Bands match the row-major word-packed mask layout, so a
+// skipped band skips contiguous memory (DESIGN.md §14).
+const lbTileRows = 8
+
 // ErrFinalized is returned by Feed after Finalize.
 var ErrFinalized = errors.New("core: stream already finalized")
+
+// Frame pairs one fed frame with its oracle silhouette for FeedN batch
+// ingest.
+type Frame struct {
+	Img    *imagex.Image
+	Oracle *imagex.Mask
+}
 
 // NewStream creates a streaming reconstructor for frames of the given
 // geometry. Only VBKnownImage and VBUnknownImage are streamable (video
@@ -105,7 +154,8 @@ func NewStream(w, h int, opts Options) (*StreamReconstructor, error) {
 			}
 			s.derived = merged
 		}
-		s.runLen = make([]int, w*h)
+		s.derivedCount = s.derived.Known.Count()
+		s.runLen = make([]uint16, w*h)
 		for i := range s.runLen {
 			s.runLen[i] = 1
 		}
@@ -142,11 +192,24 @@ func normalizeStreamOptions(w, h int, opts Options) (Options, error) {
 	if opts.StabilityThreshold <= 0 {
 		opts.StabilityThreshold = DefaultStabilityThreshold
 	}
+	if opts.StabilityThreshold > maxRunLen {
+		return opts, fmt.Errorf("core: stability threshold %d exceeds the run-counter ceiling %d",
+			opts.StabilityThreshold, maxRunLen)
+	}
 	if opts.ColorFreqThreshold <= 0 {
 		opts.ColorFreqThreshold = 0.004
 	}
 	if opts.IdentifyAfter <= 0 {
 		opts.IdentifyAfter = DefaultIdentifyAfter
+	}
+	switch opts.RetainPerFrameLB {
+	case RetainAll, RetainNone:
+	case RetainLastK:
+		if opts.RetainLBWindow <= 0 {
+			opts.RetainLBWindow = DefaultRetainLBWindow
+		}
+	default:
+		return opts, fmt.Errorf("core: unknown LB retention policy %v", opts.RetainPerFrameLB)
 	}
 	return opts, nil
 }
@@ -162,30 +225,47 @@ func (s *StreamReconstructor) Size() (w, h int) { return s.w, s.h }
 // virtual background (always false in VBUnknownImage mode).
 func (s *StreamReconstructor) Identified() bool { return s.identified }
 
-// MemFootprint estimates the bytes of mutable state this stream holds:
-// the accumulated reconstruction (recovered image, coverage mask,
-// per-frame LB masks), the pending identification-window buffer, the
+// MemFootprint estimates the bytes of mutable state this stream holds
+// over its lifetime: the accumulated reconstruction, the retained LB
+// history under the configured retention policy, the pooled per-frame
+// scratch masks, the (bounded) pending identification window, the
 // unknown-mode derivation state, and the pinned VB. The session layer's
 // fleet admission control sums these estimates against its global
 // memory budget. The figure is an estimate from geometry and element
-// counts, not an allocator measurement, and it grows as PerFrameLB
-// accumulates — admission uses the value at registration time.
+// counts, not an allocator measurement. Bounded state (the LastK
+// window, the identification buffer, the scratch pool) is charged up
+// front so admission decisions hold for the session's whole life;
+// only RetainAll still grows with the frames fed.
 func (s *StreamReconstructor) MemFootprint() uint64 {
 	px := uint64(s.w) * uint64(s.h)
-	imgBytes := px * 3                                   // imagex.RGB is 3 bytes/pixel
+	imgBytes := px * 3                                 // imagex.RGB is 3 bytes/pixel
 	maskBytes := uint64((s.w+63)/64) * uint64(s.h) * 8 // row-aligned []uint64 bitset
-	n := imgBytes + maskBytes                           // rec.Recovered + rec.Coverage
-	n += uint64(len(s.rec.PerFrameLB)) * maskBytes
-	n += uint64(len(s.pending)) * (imgBytes + maskBytes)
+	n := imgBytes + maskBytes                          // rec.Recovered + rec.Coverage
+	switch s.opts.RetainPerFrameLB {
+	case RetainNone:
+		n += maskBytes // the single recycled LB scratch
+	case RetainLastK:
+		n += uint64(s.opts.RetainLBWindow) * maskBytes
+	default:
+		n += uint64(len(s.rec.PerFrameLB)) * maskBytes
+	}
+	n += 2 * maskBytes // VBM + BBM scratch
+	if _, ok := s.opts.Segmenter.(segment.IntoSegmenter); ok {
+		n += maskBytes // VCM scratch
+	}
+	if s.opts.Mode == VBKnownImage && !s.identified {
+		// The pre-pin buffer is bounded by the identification window;
+		// charge it whole so pinning never retroactively invalidates the
+		// admission decision.
+		n += uint64(s.opts.IdentifyAfter) * (imgBytes + maskBytes)
+	}
 	if s.vbImage != nil {
 		n += imgBytes
 	}
 	if s.derived != nil {
 		n += imgBytes + 2*maskBytes // derived image + Known + localKnown
-		n += px * 8                 // per-pixel run lengths
-		if s.prev != nil {
-			n += imgBytes
-		}
+		n += px * 2                 // uint16 per-pixel run lengths
+		n += imgBytes               // prev-frame buffer (allocated on first feed)
 	}
 	if s.hist != nil {
 		n += uint64(len(s.hist)) * 8
@@ -201,6 +281,12 @@ func (s *StreamReconstructor) Finalized() bool { return s.finalized }
 // recoverable *FrameError (see RecoverableFrame): the frame is skipped,
 // the stream state is untouched, and feeding can continue. Feed returns
 // ErrFinalized — fatal, not a FrameError — after Finalize.
+//
+// The stream takes ownership of the frame and oracle for the duration
+// of the call and, in VBKnownImage mode before identification pins, for
+// as long as they sit in the pending window: callers must not mutate
+// them after feeding (the session layer documents the same contract).
+// Nothing is retained past the frame's processing otherwise.
 func (s *StreamReconstructor) Feed(frame *imagex.Image, oracle *imagex.Mask) error {
 	if s.finalized {
 		return ErrFinalized
@@ -225,8 +311,12 @@ func (s *StreamReconstructor) Feed(frame *imagex.Image, oracle *imagex.Mask) err
 
 	if s.opts.Mode == VBKnownImage && !s.identified {
 		s.accumulateScores(frame)
-		s.pending = append(s.pending, frame.Clone())
-		s.pendingOracles = append(s.pendingOracles, oracle.Clone())
+		if s.pending == nil {
+			s.pending = make([]*imagex.Image, 0, s.opts.IdentifyAfter)
+			s.pendingOracles = make([]*imagex.Mask, 0, s.opts.IdentifyAfter)
+		}
+		s.pending = append(s.pending, frame)
+		s.pendingOracles = append(s.pendingOracles, oracle)
 		if s.frames >= s.opts.IdentifyAfter {
 			s.pinAndFlush()
 		}
@@ -238,6 +328,27 @@ func (s *StreamReconstructor) Feed(frame *imagex.Image, oracle *imagex.Mask) err
 	}
 	s.processFrame(frame, oracle)
 	return nil
+}
+
+// FeedN feeds a batch of frames in order, amortising per-frame overhead
+// (the session layer runs a whole batch under one queue slot and one
+// stream lock). Recoverable frame faults are skipped and counted in
+// rejected, exactly as a caller looping Feed and testing
+// RecoverableFrame would behave; a fatal error (ErrFinalized) stops the
+// batch at that frame and is returned with the counts accumulated so
+// far. The ownership contract matches Feed.
+func (s *StreamReconstructor) FeedN(frames []Frame) (accepted, rejected int, err error) {
+	for _, f := range frames {
+		if err := s.Feed(f.Img, f.Oracle); err != nil {
+			if RecoverableFrame(err) {
+				rejected++
+				continue
+			}
+			return accepted, rejected, err
+		}
+		accepted++
+	}
+	return accepted, rejected, nil
 }
 
 // Finalize marks end-of-call: if known-image identification is still
@@ -294,56 +405,172 @@ func (s *StreamReconstructor) pinIdentification() {
 // supplied a value: the batch path derives locally first and only fills
 // the gaps from aux (MergeDerived, earlier-wins), so the stream must
 // let local pixels override aux ones too.
+//
+// The scan is word-packed: the localKnown row words are read 64 pixels
+// at a time and commits accumulate in a register, replacing the
+// historical per-pixel At/Set bit ops; the only per-pixel work left is
+// the tolerance compare and the run-counter update. DerivedCoverage is
+// maintained from derivedCount instead of a full popcount per frame.
 func (s *StreamReconstructor) updateDerivation(frame *imagex.Image) {
-	if s.prev != nil {
-		i := 0
-		for y := 0; y < s.h; y++ {
-			for x := 0; x < s.w; x++ {
-				if within(s.prev.Pix[i], frame.Pix[i], s.opts.MatchTol) {
-					s.runLen[i]++
-					if s.runLen[i] >= s.opts.StabilityThreshold && !s.localKnown.At(x, y) {
-						s.derived.Img.Pix[i] = frame.Pix[i]
-						s.derived.Known.Set(x, y, true)
-						s.localKnown.Set(x, y, true)
+	if s.prev == nil {
+		// First frame: nothing to compare yet. The clone is the one-time
+		// allocation of the prev buffer; every later frame copies in place.
+		s.prev = frame.Clone()
+		s.rec.DerivedCoverage = s.derivedCoverage()
+		return
+	}
+	tol := s.opts.MatchTol
+	thr := s.opts.StabilityThreshold
+	pp, cp := s.prev.Pix, frame.Pix
+	wpr := s.localKnown.WordsPerRow()
+	i := 0
+	for y := 0; y < s.h; y++ {
+		for wx := 0; wx < wpr; wx++ {
+			n := s.w - wx<<6
+			if n > 64 {
+				n = 64
+			}
+			known := s.localKnown.Word(y, wx)
+			var commit uint64
+			for b := 0; b < n; b++ {
+				if within(pp[i], cp[i], tol) {
+					r := s.runLen[i]
+					if r < maxRunLen {
+						r++
+						s.runLen[i] = r
+					}
+					if int(r) >= thr && known>>uint(b)&1 == 0 {
+						commit |= 1 << uint(b)
 					}
 				} else {
 					s.runLen[i] = 1
 				}
 				i++
 			}
+			if commit != 0 {
+				s.derivedCount += bits.OnesCount64(commit &^ s.derived.Known.Word(y, wx))
+				s.derived.Known.OrWord(y, wx, commit)
+				s.localKnown.OrWord(y, wx, commit)
+				base := i - n
+				for c := commit; c != 0; c &= c - 1 {
+					p := base + bits.TrailingZeros64(c)
+					s.derived.Img.Pix[p] = cp[p]
+				}
+			}
 		}
 	}
-	s.prev = frame.Clone()
-	s.rec.DerivedCoverage = s.derived.Coverage()
+	_ = s.prev.CopyFrom(frame) // same geometry, validated by Feed
+	s.rec.DerivedCoverage = s.derivedCoverage()
 }
 
-// processFrame runs masking and residue extraction for one frame.
+// derivedCoverage computes DerivedCoverage from the incremental
+// popcount; it equals derived.Known.Fraction() bit for bit.
+func (s *StreamReconstructor) derivedCoverage() float64 {
+	return float64(s.derivedCount) / float64(s.w*s.h)
+}
+
+// ensureScratch builds the pooled per-frame scratch on the first
+// processed frame: the reusable VBM/BBM (and, for cooperating
+// segmenters, VCM) masks, the dilation engine, and the tile-band states
+// — covFull is recomputed from the accumulated coverage, so a resumed
+// stream starts with the correct saturation flags.
+func (s *StreamReconstructor) ensureScratch() {
+	if s.dil != nil {
+		return
+	}
+	s.dil = imagex.NewDilator(s.w, s.h, s.opts.Phi)
+	s.vbmScratch = imagex.NewMask(s.w, s.h)
+	s.bbmScratch = imagex.NewMask(s.w, s.h)
+	if is, ok := s.opts.Segmenter.(segment.IntoSegmenter); ok {
+		s.intoSeg = is
+		s.vcmScratch = imagex.NewMask(s.w, s.h)
+	}
+	nb := imagex.Bands(s.h, lbTileRows)
+	s.lbDirty = make([]bool, nb)
+	s.covFull = make([]bool, nb)
+	_ = imagex.BandFullness(s.rec.Coverage, lbTileRows, s.covFull) // sized above
+	if s.opts.RetainPerFrameLB == RetainLastK && s.rec.PerFrameLB == nil {
+		s.rec.PerFrameLB = make([]*imagex.Mask, 0, s.opts.RetainLBWindow)
+	}
+}
+
+// takeLB returns a leak-mask buffer from the pool, allocating only when
+// the pool is empty (every word is overwritten by ComplementOfUnion, so
+// recycled masks need no clearing).
+func (s *StreamReconstructor) takeLB() *imagex.Mask {
+	if n := len(s.lbPool); n > 0 {
+		m := s.lbPool[n-1]
+		s.lbPool[n-1] = nil
+		s.lbPool = s.lbPool[:n-1]
+		return m
+	}
+	return imagex.NewMask(s.w, s.h)
+}
+
+// retainLB applies the retention policy to this frame's leak mask:
+// kept forever (RetainAll), rotated through the LastK window with the
+// evicted mask recycled, or recycled immediately (RetainNone).
+func (s *StreamReconstructor) retainLB(lb *imagex.Mask) {
+	switch s.opts.RetainPerFrameLB {
+	case RetainNone:
+		s.lbPool = append(s.lbPool, lb)
+	case RetainLastK:
+		k := s.opts.RetainLBWindow
+		if len(s.rec.PerFrameLB) < k {
+			s.rec.PerFrameLB = append(s.rec.PerFrameLB, lb)
+			return
+		}
+		oldest := s.rec.PerFrameLB[0]
+		copy(s.rec.PerFrameLB, s.rec.PerFrameLB[1:])
+		s.rec.PerFrameLB[k-1] = lb
+		s.lbPool = append(s.lbPool, oldest)
+	default:
+		s.rec.PerFrameLB = append(s.rec.PerFrameLB, lb)
+	}
+}
+
+// processFrame runs masking and residue extraction for one frame. All
+// intermediate masks come from stream-owned scratch; at steady state
+// the only allocation is the retained LB under RetainAll (none under
+// the bounded policies).
 func (s *StreamReconstructor) processFrame(frame *imagex.Image, oracle *imagex.Mask) {
+	s.ensureScratch()
 	var vbm *imagex.Mask
 	switch s.opts.Mode {
 	case VBKnownImage:
-		vbm = VBMaskKnown(frame, s.vbImage, s.opts.MatchTol)
+		vbm = vbMaskKnownInto(s.vbmScratch, frame, s.vbImage, s.opts.MatchTol)
 	default:
-		vbm = VBMaskDerived(frame, s.derived, s.opts.MatchTol)
+		vbm = vbMaskDerivedInto(s.vbmScratch, frame, s.derived, s.opts.MatchTol)
 	}
-	bbm := vbm.Dilate(s.opts.Phi)
+	s.vbmScratch = vbm
+	bbm := s.dil.DilateInto(s.bbmScratch, vbm)
+	s.bbmScratch = bbm
 
-	vcm := s.opts.Segmenter.Segment(frame, oracle)
+	var vcm *imagex.Mask
+	if s.intoSeg != nil {
+		vcm = s.intoSeg.SegmentInto(s.vcmScratch, frame, oracle)
+		s.vcmScratch = vcm
+	} else {
+		vcm = s.opts.Segmenter.Segment(frame, oracle)
+	}
 	if s.opts.ColorRefine {
 		s.refineOnline(frame, vcm)
 	}
 
-	// BBM includes VBM; LB is the complement of BBM ∪ VCM. Reuse the
-	// dilation output as the LB storage — it is not referenced again.
-	lb := bbm
-	_ = lb.Union(vcm) // same-geometry union cannot fail
-	lb.Invert()
-
-	s.rec.PerFrameLB = append(s.rec.PerFrameLB, lb)
-	lb.ForEachSet(func(p int) {
-		s.rec.Recovered.Pix[p] = frame.Pix[p]
-	})
-	_ = s.rec.Coverage.Union(lb)
+	// BBM includes VBM; LB is the complement of BBM ∪ VCM, built with
+	// per-band occupancy recorded so the residue pass skips idle tiles.
+	lb := s.takeLB()
+	if err := lb.ComplementOfUnion(bbm, vcm, lbTileRows, s.lbDirty); err != nil {
+		// A mis-sized segmenter output. The historical union ignored it
+		// (same-geometry union cannot fail for the built-in segmenters);
+		// keep that behaviour: LB degenerates to the BBM complement.
+		_ = lb.ComplementOfUnion(bbm, bbm, lbTileRows, s.lbDirty)
+	}
+	nbits, _ := imagex.ApplyResidue(lb, frame, s.rec.Recovered, s.rec.Coverage,
+		lbTileRows, s.lbDirty, s.covFull) // same geometry by construction
+	s.rec.LBFrames++
+	s.rec.LBBits += uint64(nbits)
+	s.retainLB(lb)
 }
 
 // refineOnline applies the color-based VCM correction using the

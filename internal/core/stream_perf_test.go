@@ -1,0 +1,382 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/compositor"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// TestStreamFeedSteadyStateZeroAlloc is the hard density guarantee of
+// DESIGN.md §14: with a cooperating (IntoSegmenter) segmenter and a
+// bounded LB retention policy, a streaming frame at steady state
+// allocates nothing — the whole per-frame pipeline runs in pooled,
+// stream-owned buffers. CI runs this test as the regression gate next
+// to the -benchmem numbers.
+func TestStreamFeedSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation exactness is gated in the non-race run")
+	}
+	res, sils := testCall(t, 41, 30, compositor.StaticImage{Img: beach()}, compositor.ProfileZoom())
+	frames := res.Blended.Frames
+
+	cases := []struct {
+		name      string
+		unknown   bool
+		retention LBRetention
+	}{
+		{"known/none", false, RetainNone},
+		{"known/last-k", false, RetainLastK},
+		{"unknown/none", true, RetainNone},
+		{"unknown/last-k", true, RetainLastK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := oracleOpts()
+			opts.RetainPerFrameLB = tc.retention
+			opts.RetainLBWindow = 4
+			if tc.unknown {
+				opts.Mode = VBUnknownImage
+			} else {
+				opts.KnownImages = compositor.BuiltinImages(160, 120)
+			}
+			s, err := NewStream(160, 120, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm-up: past identification, past the LastK fill, scratch
+			// and pool built, histogram allocated.
+			for i, f := range frames {
+				if err := s.Feed(f, sils[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(64, func() {
+				if err := s.Feed(frames[i%len(frames)], sils[i%len(frames)]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state Feed allocates %.1f objects/frame, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestStreamRetentionParity proves the retention policy only affects
+// the retained PerFrameLB history: the accumulated planes, the LB
+// aggregate counters, and the checkpoint bytes are bit-identical across
+// all three policies, and the LastK window is exactly the tail of the
+// full history.
+func TestStreamRetentionParity(t *testing.T) {
+	res, sils := testCall(t, 42, 25, compositor.StaticImage{Img: beach()}, compositor.ProfileZoom())
+
+	for _, unknown := range []bool{false, true} {
+		const window = 6
+		mk := func(r LBRetention) *StreamReconstructor {
+			opts := oracleOpts()
+			opts.RetainPerFrameLB = r
+			opts.RetainLBWindow = window
+			if unknown {
+				opts.Mode = VBUnknownImage
+			} else {
+				opts.KnownImages = compositor.BuiltinImages(160, 120)
+			}
+			s, err := NewStream(160, 120, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+		all, lastK, none := mk(RetainAll), mk(RetainLastK), mk(RetainNone)
+		for i, f := range res.Blended.Frames {
+			for _, s := range []*StreamReconstructor{all, lastK, none} {
+				if err := s.Feed(f, sils[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		a, k, n := all.Snapshot(), lastK.Snapshot(), none.Snapshot()
+		if !a.Recovered.Equal(k.Recovered) || !a.Recovered.Equal(n.Recovered) {
+			t.Fatalf("unknown=%v: recovered planes differ across retention policies", unknown)
+		}
+		if !a.Coverage.Equal(k.Coverage) || !a.Coverage.Equal(n.Coverage) {
+			t.Fatalf("unknown=%v: coverage planes differ across retention policies", unknown)
+		}
+		if a.LBFrames != k.LBFrames || a.LBFrames != n.LBFrames ||
+			a.LBBits != k.LBBits || a.LBBits != n.LBBits {
+			t.Fatalf("unknown=%v: LB aggregates differ: all=(%d,%d) lastK=(%d,%d) none=(%d,%d)",
+				unknown, a.LBFrames, a.LBBits, k.LBFrames, k.LBBits, n.LBFrames, n.LBBits)
+		}
+		if len(a.PerFrameLB) != len(res.Blended.Frames) {
+			t.Fatalf("unknown=%v: RetainAll kept %d masks", unknown, len(a.PerFrameLB))
+		}
+		if len(k.PerFrameLB) != window {
+			t.Fatalf("unknown=%v: RetainLastK kept %d masks, want %d", unknown, len(k.PerFrameLB), window)
+		}
+		if len(n.PerFrameLB) != 0 {
+			t.Fatalf("unknown=%v: RetainNone kept %d masks", unknown, len(n.PerFrameLB))
+		}
+		tail := a.PerFrameLB[len(a.PerFrameLB)-window:]
+		for i := range tail {
+			if !tail[i].Equal(k.PerFrameLB[i]) {
+				t.Fatalf("unknown=%v: LastK window slot %d differs from the full history tail", unknown, i)
+			}
+		}
+		ca, err := all.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck, err := lastK.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn, err := none.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ca, ck) || !bytes.Equal(ca, cn) {
+			t.Fatalf("unknown=%v: checkpoint bytes differ across retention policies", unknown)
+		}
+	}
+}
+
+// TestStreamRetentionResumeCompatible pins the cross-era checkpoint
+// contract: retention is excluded from the options fingerprint, so a
+// checkpoint written under the historical RetainAll default resumes
+// under RetainNone (and vice versa) and continues bit-identically.
+func TestStreamRetentionResumeCompatible(t *testing.T) {
+	res, sils := testCall(t, 43, 20, compositor.StaticImage{Img: beach()}, compositor.ProfileZoom())
+	opts := oracleOpts()
+	opts.Mode = VBUnknownImage // exercises the full derivation state too
+
+	s, err := NewStream(160, 120, opts) // RetainAll (zero value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := s.Feed(res.Blended.Frames[i], sils[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bounded := opts
+	bounded.RetainPerFrameLB = RetainNone
+	r, err := ResumeStream(data, bounded)
+	if err != nil {
+		t.Fatalf("RetainAll checkpoint refused under RetainNone: %v", err)
+	}
+	for i := 12; i < 20; i++ {
+		if err := s.Feed(res.Blended.Frames[i], sils[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Feed(res.Blended.Frames[i], sils[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := r.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("resumed bounded-memory stream diverged from the uninterrupted RetainAll run")
+	}
+}
+
+// refDerivation is the pre-optimization per-pixel derivation algorithm,
+// kept verbatim as the differential reference for the word-packed
+// rewrite: unbounded int run counters, per-pixel mask reads and writes,
+// full-mask coverage recount.
+type refDerivation struct {
+	img    *imagex.Image
+	known  *imagex.Mask
+	local  *imagex.Mask
+	runLen []int
+	prev   *imagex.Image
+}
+
+func newRefDerivation(w, h int) *refDerivation {
+	r := &refDerivation{
+		img:    imagex.New(w, h),
+		known:  imagex.NewMask(w, h),
+		local:  imagex.NewMask(w, h),
+		runLen: make([]int, w*h),
+	}
+	for i := range r.runLen {
+		r.runLen[i] = 1
+	}
+	return r
+}
+
+func (r *refDerivation) update(frame *imagex.Image, tol, thr int) {
+	if r.prev == nil {
+		r.prev = frame.Clone()
+		return
+	}
+	w := frame.W
+	for i, p := range frame.Pix {
+		if within(r.prev.Pix[i], p, tol) {
+			r.runLen[i]++
+			if r.runLen[i] >= thr && !r.local.At(i%w, i/w) {
+				r.img.Pix[i] = p
+				r.known.SetI(i, true)
+				r.local.SetI(i, true)
+			}
+		} else {
+			r.runLen[i] = 1
+		}
+	}
+	r.prev = frame.Clone()
+}
+
+// TestStreamDerivationMatchesReference feeds the same call through the
+// word-packed streaming derivation and the per-pixel reference
+// implementation and requires identical derivation state, pixel for
+// pixel and counter for counter.
+func TestStreamDerivationMatchesReference(t *testing.T) {
+	res, sils := testCall(t, 44, 24, compositor.StaticImage{Img: beach()}, compositor.ProfileZoom())
+	opts := oracleOpts()
+	opts.Mode = VBUnknownImage
+	s, err := NewStream(160, 120, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefDerivation(160, 120)
+	for i, f := range res.Blended.Frames {
+		if err := s.Feed(f, sils[i]); err != nil {
+			t.Fatal(err)
+		}
+		ref.update(f, s.opts.MatchTol, s.opts.StabilityThreshold)
+	}
+	d := s.Derived()
+	if !d.Known.Equal(ref.known) {
+		t.Fatal("derived Known mask diverged from the per-pixel reference")
+	}
+	if !s.localKnown.Equal(ref.local) {
+		t.Fatal("localKnown mask diverged from the per-pixel reference")
+	}
+	if !d.Img.Equal(ref.img) {
+		t.Fatal("derived image diverged from the per-pixel reference")
+	}
+	for i, r := range ref.runLen {
+		got := int(s.runLen[i])
+		if r > maxRunLen {
+			r = maxRunLen // the only sanctioned divergence: saturation
+		}
+		if got != r {
+			t.Fatalf("runLen[%d] = %d, reference %d", i, got, r)
+		}
+	}
+	if want := float64(ref.known.Count()) / float64(160*120); s.rec.DerivedCoverage != want {
+		t.Fatalf("DerivedCoverage = %v, want %v", s.rec.DerivedCoverage, want)
+	}
+}
+
+// TestStreamFeedNMatchesFeed proves batch ingest is pure amortisation:
+// the same frames through FeedN (batches straddling the identification
+// pin) and a Feed loop leave bit-identical checkpoints.
+func TestStreamFeedNMatchesFeed(t *testing.T) {
+	res, sils := testCall(t, 45, 22, compositor.StaticImage{Img: beach()}, compositor.ProfileZoom())
+	for _, unknown := range []bool{false, true} {
+		opts := oracleOpts()
+		if unknown {
+			opts.Mode = VBUnknownImage
+		} else {
+			opts.KnownImages = compositor.BuiltinImages(160, 120)
+		}
+		one, err := NewStream(160, 120, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := NewStream(160, 120, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fs []Frame
+		for i, f := range res.Blended.Frames {
+			if err := one.Feed(f, sils[i]); err != nil {
+				t.Fatal(err)
+			}
+			fs = append(fs, Frame{Img: f, Oracle: sils[i]})
+		}
+		// 7-frame batches make the second batch straddle the
+		// IdentifyAfter=10 pin, the interesting boundary.
+		for i := 0; i < len(fs); i += 7 {
+			j := min(i+7, len(fs))
+			acc, rej, err := batch.FeedN(fs[i:j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acc != j-i || rej != 0 {
+				t.Fatalf("FeedN accepted %d rejected %d of %d clean frames", acc, rej, j-i)
+			}
+		}
+		c1, err := one.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := batch.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("unknown=%v: FeedN checkpoint differs from Feed loop", unknown)
+		}
+	}
+}
+
+// TestStreamFeedNFaults: recoverable frame faults are skipped and
+// counted; fatal errors stop the batch where they occur.
+func TestStreamFeedNFaults(t *testing.T) {
+	res, sils := testCall(t, 46, 8, compositor.StaticImage{Img: beach()}, compositor.ProfileZoom())
+	opts := oracleOpts()
+	opts.Mode = VBUnknownImage
+	s, err := NewStream(160, 120, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := []Frame{
+		{Img: res.Blended.Frames[0], Oracle: sils[0]},
+		{Img: nil, Oracle: sils[1]},                       // recoverable: nil frame
+		{Img: imagex.New(10, 10), Oracle: sils[2]},        // recoverable: geometry
+		{Img: res.Blended.Frames[3], Oracle: nil},         // recoverable: nil oracle
+		{Img: res.Blended.Frames[4], Oracle: sils[4]},     // clean
+	}
+	acc, rej, err := s.FeedN(fs)
+	if err != nil {
+		t.Fatalf("recoverable faults must not fail the batch: %v", err)
+	}
+	if acc != 2 || rej != 3 {
+		t.Fatalf("accepted=%d rejected=%d, want 2/3", acc, rej)
+	}
+
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	acc, rej, err = s.FeedN(fs)
+	if !errors.Is(err, ErrFinalized) {
+		t.Fatalf("FeedN after Finalize = %v, want ErrFinalized", err)
+	}
+	if acc != 0 || rej != 0 {
+		t.Fatalf("counts before the fatal stop: accepted=%d rejected=%d", acc, rej)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -265,10 +265,21 @@ func DeriveUnknownVideo(v *vidstream.Video, maxPeriod, tol int) (*DerivedVideo, 
 // frame against a fully known virtual image M: VBM=1 where µ(M ⊕ f)=1
 // (within tol).
 func VBMaskKnown(frame, vb *imagex.Image, tol int) *imagex.Mask {
+	return vbMaskKnownInto(nil, frame, vb, tol)
+}
+
+// vbMaskKnownInto is VBMaskKnown writing into a caller-supplied scratch
+// mask (the streaming hot path reuses one per stream); it allocates only
+// when dst is nil or mis-sized.
+func vbMaskKnownInto(dst *imagex.Mask, frame, vb *imagex.Image, tol int) *imagex.Mask {
 	if !frame.SameSize(vb) {
+		if dst != nil && dst.W == frame.W && dst.H == frame.H {
+			dst.Clear()
+			return dst
+		}
 		return imagex.NewMask(frame.W, frame.H)
 	}
-	return imagex.BuildMask(frame.W, frame.H, func(i int) bool {
+	return imagex.BuildMaskInto(dst, frame.W, frame.H, func(i int) bool {
 		return within(frame.Pix[i], vb.Pix[i], tol)
 	})
 }
@@ -276,10 +287,19 @@ func VBMaskKnown(frame, vb *imagex.Image, tol int) *imagex.Mask {
 // VBMaskDerived generates VBM against a partially derived virtual image,
 // matching only at known positions.
 func VBMaskDerived(frame *imagex.Image, d *DerivedImage, tol int) *imagex.Mask {
+	return vbMaskDerivedInto(nil, frame, d, tol)
+}
+
+// vbMaskDerivedInto is VBMaskDerived with a caller-supplied scratch.
+func vbMaskDerivedInto(dst *imagex.Mask, frame *imagex.Image, d *DerivedImage, tol int) *imagex.Mask {
 	if frame.W != d.Img.W || frame.H != d.Img.H {
+		if dst != nil && dst.W == frame.W && dst.H == frame.H {
+			dst.Clear()
+			return dst
+		}
 		return imagex.NewMask(frame.W, frame.H)
 	}
-	m := imagex.BuildMask(frame.W, frame.H, func(i int) bool {
+	m := imagex.BuildMaskInto(dst, frame.W, frame.H, func(i int) bool {
 		return within(frame.Pix[i], d.Img.Pix[i], tol)
 	})
 	// Matching is only meaningful at derived positions.

@@ -1,0 +1,139 @@
+package imagex
+
+// Dilator is a reusable disc-dilation engine for a fixed geometry and
+// radius. DilateInto on a Mask allocates its extent table and
+// horizontal-dilation scratch rows on every call; a Dilator hoists them
+// into per-instance state so the streaming hot path (one BBM dilation
+// per frame, internal/core) runs allocation-free. Results are
+// bit-identical to Mask.Dilate / Mask.DilateInto at the same radius.
+//
+// A Dilator additionally exploits row solidity: a source row whose bits
+// are all set dilates to a full row at every extent, so it is merged by
+// marking the 2r+1 affected output rows solid (each filled at most
+// once) instead of OR-ing word by word — and once an output row is
+// solid, every later merge into it is skipped. Static virtual-background
+// interiors, which dominate the paper's frames, hit this path almost
+// everywhere.
+//
+// A Dilator is not safe for concurrent use; give each worker its own.
+type Dilator struct {
+	w, h, radius int
+	wpr          int
+	edge         uint64
+
+	ext     []int      // horizontal extent per vertical offset
+	hdStore []uint64   // backing for hd
+	hd      [][]uint64 // hd[d] = hdilate(srcRow, ext[d]) for the current row
+	solid   []bool     // per-output-row "already all set" flags, reset per run
+}
+
+// NewDilator returns a dilation engine for w×h masks at the given
+// radius. It panics on non-positive dimensions, matching NewMask;
+// radius may be zero or negative (dilation degenerates to a copy).
+func NewDilator(w, h, radius int) *Dilator {
+	if w <= 0 || h <= 0 {
+		panic("imagex: invalid dilator geometry")
+	}
+	d := &Dilator{w: w, h: h, radius: radius, wpr: wordsPerRow(w), edge: edgeMask(w)}
+	if radius > 0 {
+		r := radius
+		d.ext = make([]int, r+1)
+		for dy := 0; dy <= r; dy++ {
+			d.ext[dy] = isqrt(r*r - dy*dy)
+		}
+		d.hdStore = make([]uint64, (r+1)*d.wpr)
+		d.hd = make([][]uint64, r+1)
+		for i := range d.hd {
+			d.hd[i] = d.hdStore[i*d.wpr : (i+1)*d.wpr]
+		}
+		d.solid = make([]bool, h)
+	}
+	return d
+}
+
+// DilateInto writes the disc dilation of src into dst and returns it,
+// allocating a fresh mask only when dst is nil, mis-sized, or src
+// itself. src must match the dilator's geometry.
+func (dl *Dilator) DilateInto(dst, src *Mask) *Mask {
+	if src.W != dl.w || src.H != dl.h {
+		panic("imagex: dilator geometry mismatch")
+	}
+	if dst == nil || dst == src || !dst.SameSize(src) {
+		dst = NewMask(src.W, src.H)
+	} else {
+		dst.Clear()
+	}
+	if dl.radius <= 0 {
+		copy(dst.words, src.words)
+		return dst
+	}
+	r, wpr, edge := dl.radius, dl.wpr, dl.edge
+	for i := range dl.solid {
+		dl.solid[i] = false
+	}
+	for y := 0; y < dl.h; y++ {
+		srcRow := src.words[y*wpr : (y+1)*wpr]
+		if rowEmpty(srcRow) {
+			continue
+		}
+		if rowSolid(srcRow, edge) {
+			// A full row stays full at every horizontal extent: mark the
+			// affected output rows solid, filling each at most once.
+			for dy := -r; dy <= r; dy++ {
+				ty := y + dy
+				if ty < 0 || ty >= dl.h || dl.solid[ty] {
+					continue
+				}
+				out := dst.words[ty*wpr : (ty+1)*wpr]
+				for j := range out {
+					out[j] = ^uint64(0)
+				}
+				out[wpr-1] = edge
+				dl.solid[ty] = true
+			}
+			continue
+		}
+		// Build the horizontal dilations from the narrowest extent
+		// (ext[r] = 0, the row itself) to the widest (ext[0] = r),
+		// snapshotting at each vertical offset's extent. acc accumulates
+		// OR-shifted copies of the original row.
+		acc := dl.hd[0]
+		copy(acc, srcRow)
+		k := 0
+		for d := r; d >= 0; d-- {
+			for k < dl.ext[d] {
+				k++
+				orShiftLeft(acc, srcRow, k)
+				orShiftRight(acc, srcRow, k)
+				acc[wpr-1] &= edge
+			}
+			if d > 0 {
+				copy(dl.hd[d], acc)
+			}
+		}
+		for dy := -r; dy <= r; dy++ {
+			ty := y + dy
+			if ty < 0 || ty >= dl.h || dl.solid[ty] {
+				continue
+			}
+			h := dl.hd[absI(dy)]
+			out := dst.words[ty*wpr : (ty+1)*wpr]
+			for j, w := range h {
+				out[j] |= w
+			}
+		}
+	}
+	return dst
+}
+
+// rowSolid reports whether every valid bit of a row is set (padding
+// bits are zero by invariant, so the last word compares against edge).
+func rowSolid(row []uint64, edge uint64) bool {
+	last := len(row) - 1
+	for _, w := range row[:last] {
+		if w != ^uint64(0) {
+			return false
+		}
+	}
+	return row[last] == edge
+}

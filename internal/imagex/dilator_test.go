@@ -1,0 +1,119 @@
+package imagex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// dilateNaive is the textbook disc dilation: every set pixel paints a
+// Euclidean disc of the radius around itself.
+func dilateNaive(m *Mask, radius int) *Mask {
+	out := NewMask(m.W, m.H)
+	if radius <= 0 {
+		copy(out.words, m.words)
+		return out
+	}
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			if !m.At(x, y) {
+				continue
+			}
+			for dy := -radius; dy <= radius; dy++ {
+				for dx := -radius; dx <= radius; dx++ {
+					if dx*dx+dy*dy > radius*radius {
+						continue
+					}
+					nx, ny := x+dx, y+dy
+					if nx >= 0 && nx < m.W && ny >= 0 && ny < m.H {
+						out.Set(nx, ny, true)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestDilatorMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, dim := range [][2]int{{64, 16}, {37, 23}, {9, 40}, {130, 11}} {
+		w, h := dim[0], dim[1]
+		for _, density := range []float64{0.02, 0.3, 0.9} {
+			src := randMask(rng, w, h, density)
+			for radius := 0; radius <= 5; radius++ {
+				dl := NewDilator(w, h, radius)
+				var dst *Mask
+				// Two runs through the same Dilator: the second reuses every
+				// internal buffer and the warm dst, and must be identical.
+				for run := 0; run < 2; run++ {
+					dst = dl.DilateInto(dst, src)
+					if want := dilateNaive(src, radius); !dst.Equal(want) {
+						t.Fatalf("%dx%d r=%d d=%.2f run %d: dilator differs from naive",
+							w, h, radius, density, run)
+					}
+				}
+				if legacy := src.Dilate(radius); !dst.Equal(legacy) {
+					t.Fatalf("%dx%d r=%d: Mask.Dilate disagrees with Dilator", w, h, radius)
+				}
+			}
+		}
+	}
+}
+
+func TestDilatorSolidRows(t *testing.T) {
+	// The solid-row fast path: full rows (and a fully solid mask) must
+	// come out exactly like the naive disc dilation.
+	for _, radius := range []int{1, 3, 7} {
+		const w, h = 70, 24
+		src := NewMask(w, h)
+		for x := 0; x < w; x++ {
+			src.Set(x, 5, true)  // interior solid row
+			src.Set(x, 0, true)  // boundary solid row
+			src.Set(x, 23, true) // bottom solid row
+		}
+		src.Set(30, 12, true) // plus a lone pixel between solid spans
+		dl := NewDilator(w, h, radius)
+		got := dl.DilateInto(nil, src)
+		if want := dilateNaive(src, radius); !got.Equal(want) {
+			t.Fatalf("r=%d: solid-row dilation differs from naive", radius)
+		}
+
+		full := NewFullMask(w, h)
+		if got := dl.DilateInto(nil, full); !got.Equal(full) {
+			t.Fatalf("r=%d: dilating a full mask must stay full", radius)
+		}
+	}
+}
+
+func TestDilatorReuseAcrossSources(t *testing.T) {
+	// A recycled dst carrying stale solid rows from a previous call must
+	// be fully overwritten.
+	const w, h = 40, 18
+	dl := NewDilator(w, h, 2)
+	dst := dl.DilateInto(nil, NewFullMask(w, h))
+	empty := NewMask(w, h)
+	dst = dl.DilateInto(dst, empty)
+	if dst.Count() != 0 {
+		t.Fatal("stale content survived reuse")
+	}
+	rng := rand.New(rand.NewSource(22))
+	src := randMask(rng, w, h, 0.2)
+	dst = dl.DilateInto(dst, src)
+	if want := dilateNaive(src, 2); !dst.Equal(want) {
+		t.Fatal("reused dilator wrong after solid pass")
+	}
+}
+
+func TestDilatorGeometryPanics(t *testing.T) {
+	dl := NewDilator(10, 10, 1)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("mismatched src", func() { dl.DilateInto(nil, NewMask(9, 10)) })
+	mustPanic("bad geometry", func() { NewDilator(0, 4, 1) })
+}

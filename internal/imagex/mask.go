@@ -199,11 +199,74 @@ func BuildMask(w, h int, pred func(i int) bool) *Mask {
 	return m
 }
 
+// BuildMaskInto is BuildMask writing into a caller-supplied mask (the
+// streaming hot path reuses one scratch mask per stream). It allocates
+// only when dst is nil or mis-sized, and returns the mask written.
+// Every word is overwritten, so dst need not be cleared first.
+func BuildMaskInto(dst *Mask, w, h int, pred func(i int) bool) *Mask {
+	if dst == nil || dst.W != w || dst.H != h {
+		dst = NewMask(w, h)
+	}
+	wpr := wordsPerRow(w)
+	i := 0
+	for y := 0; y < h; y++ {
+		row := dst.words[y*wpr : (y+1)*wpr]
+		for x := 0; x < w; x += 64 {
+			n := w - x
+			if n > 64 {
+				n = 64
+			}
+			var word uint64
+			for b := 0; b < n; b++ {
+				if pred(i) {
+					word |= 1 << uint(b)
+				}
+				i++
+			}
+			row[x>>6] = word
+		}
+	}
+	return dst
+}
+
+// WordsPerRow returns the mask's per-row word stride: bit x of row y
+// lives in word y*WordsPerRow() + x>>6 at position x&63.
+func (m *Mask) WordsPerRow() int { return wordsPerRow(m.W) }
+
+// Word returns the packed word wx of row y — bits [wx*64, wx*64+63] of
+// that row, LSB = lowest x. Together with OrWord it lets word-granular
+// kernels outside this package (the stream's derivation update) read
+// and extend a mask 64 pixels per memory touch without per-bit At/Set.
+func (m *Mask) Word(y, wx int) uint64 {
+	return m.words[y*wordsPerRow(m.W)+wx]
+}
+
+// OrWord ORs bits into the packed word wx of row y. Only set bits are
+// written, and bits past the row width are discarded, so the padding
+// invariant holds for any argument.
+func (m *Mask) OrWord(y, wx int, bits uint64) {
+	wpr := wordsPerRow(m.W)
+	if wx == wpr-1 {
+		bits &= edgeMask(m.W)
+	}
+	m.words[y*wpr+wx] |= bits
+}
+
 // Clone returns a deep copy of the mask.
 func (m *Mask) Clone() *Mask {
 	out := NewMask(m.W, m.H)
 	copy(out.words, m.words)
 	return out
+}
+
+// CopyFrom overwrites this mask's bits with src's. It returns ErrBounds
+// if dimensions differ.
+func (m *Mask) CopyFrom(src *Mask) error {
+	if !m.SameSize(src) {
+		return fmt.Errorf("imagex: copy %dx%d from %dx%d: %w", m.W, m.H, src.W, src.H, ErrBounds)
+	}
+	copy(m.words, src.words)
+	return nil
 }
 
 // Clear resets every bit.
@@ -334,9 +397,7 @@ func (m *Mask) Dilate(radius int) *Mask {
 }
 
 // DilateInto writes the dilation of m into dst and returns it,
-// allocating when dst is nil, mis-sized, or m itself. The reconstruction
-// workers pass a per-worker scratch mask to keep the per-frame BBM
-// computation allocation-free.
+// allocating when dst is nil, mis-sized, or m itself.
 //
 // The disc structuring element is decomposed into per-row horizontal
 // extents rx(dy) = ⌊√(r²−dy²)⌋: for every source row, the horizontal
@@ -345,70 +406,12 @@ func (m *Mask) Dilate(radius int) *Mask {
 // The cost is O(H · r · wpr) word operations — independent of the set-bit
 // population — versus the O(set-bits · r²) per-pixel scatter of a naive
 // offset walk.
+//
+// DilateInto builds a transient Dilator per call; hot paths that dilate
+// the same geometry and radius repeatedly should hold a Dilator instead,
+// which hoists the extent table and scratch rows out of the loop.
 func (m *Mask) DilateInto(dst *Mask, radius int) *Mask {
-	if dst == nil || dst == m || !dst.SameSize(m) {
-		dst = NewMask(m.W, m.H)
-	} else {
-		dst.Clear()
-	}
-	if radius <= 0 {
-		copy(dst.words, m.words)
-		return dst
-	}
-	wpr := wordsPerRow(m.W)
-	edge := edgeMask(m.W)
-	r := radius
-
-	// Horizontal extent of the disc per vertical offset.
-	ext := make([]int, r+1)
-	for d := 0; d <= r; d++ {
-		ext[d] = isqrt(r*r - d*d)
-	}
-
-	// hd[d] holds hdilate(srcRow, ext[d]) for the current source row.
-	hdStore := make([]uint64, (r+1)*wpr)
-	hd := make([][]uint64, r+1)
-	for d := range hd {
-		hd[d] = hdStore[d*wpr : (d+1)*wpr]
-	}
-
-	for y := 0; y < m.H; y++ {
-		src := m.words[y*wpr : (y+1)*wpr]
-		if rowEmpty(src) {
-			continue
-		}
-		// Build the horizontal dilations from the narrowest extent
-		// (ext[r] = 0, the row itself) to the widest (ext[0] = r),
-		// snapshotting at each vertical offset's extent. acc accumulates
-		// OR-shifted copies of the original row.
-		acc := hd[0]
-		copy(acc, src)
-		k := 0
-		for d := r; d >= 0; d-- {
-			for k < ext[d] {
-				k++
-				orShiftLeft(acc, src, k)
-				orShiftRight(acc, src, k)
-				acc[wpr-1] &= edge
-			}
-			if d > 0 {
-				copy(hd[d], acc)
-			}
-		}
-		// Merge into the affected output rows.
-		for dy := -r; dy <= r; dy++ {
-			ty := y + dy
-			if ty < 0 || ty >= m.H {
-				continue
-			}
-			h := hd[absI(dy)]
-			out := dst.words[ty*wpr : (ty+1)*wpr]
-			for j, w := range h {
-				out[j] |= w
-			}
-		}
-	}
-	return dst
+	return NewDilator(m.W, m.H, radius).DilateInto(dst, m)
 }
 
 // Erode returns a new mask in which a bit survives only if every pixel

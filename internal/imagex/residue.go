@@ -1,0 +1,169 @@
+package imagex
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Tiled plane support for the streaming residue accumulator
+// (internal/core, DESIGN.md §14). Masks are partitioned into horizontal
+// bands of bandRows rows — the natural tile shape for a row-major
+// word-packed bitset: a band is one contiguous word range, so per-band
+// predicates (empty, saturated) are cheap word scans and a skipped band
+// skips contiguous memory. Band i covers rows
+// [i*bandRows, min(H, (i+1)*bandRows)); Bands returns the count.
+
+// Bands returns the number of row bands of height bandRows needed to
+// cover h rows (the last band may be short).
+func Bands(h, bandRows int) int {
+	if bandRows <= 0 {
+		return 0
+	}
+	return (h + bandRows - 1) / bandRows
+}
+
+// ComplementOfUnion overwrites m with ^(a ∪ b), keeping the row-padding
+// invariant. When nonEmpty is non-nil it must hold Bands(H, bandRows)
+// entries; nonEmpty[i] is set to whether band i of the result has any
+// set bit — recorded for free during the word pass, so downstream
+// consumers (ApplyResidue) can skip idle bands without rescanning. The
+// streaming path computes the leaked-background mask LB = ¬(BBM ∪ VCM)
+// with exactly this call.
+func (m *Mask) ComplementOfUnion(a, b *Mask, bandRows int, nonEmpty []bool) error {
+	if !m.SameSize(a) || !m.SameSize(b) {
+		return fmt.Errorf("imagex: complement-of-union %dx%d of %dx%d and %dx%d: %w",
+			m.W, m.H, a.W, a.H, b.W, b.H, ErrBounds)
+	}
+	if bandRows <= 0 {
+		bandRows = m.H // degenerate: the whole mask is one band
+	}
+	if nonEmpty != nil {
+		if want := Bands(m.H, bandRows); len(nonEmpty) != want {
+			return fmt.Errorf("imagex: %d band flags for %d bands: %w", len(nonEmpty), want, ErrBounds)
+		}
+	}
+	wpr := wordsPerRow(m.W)
+	edge := edgeMask(m.W)
+	for y := 0; y < m.H; y++ {
+		row := m.words[y*wpr : (y+1)*wpr]
+		ra := a.words[y*wpr : (y+1)*wpr]
+		rb := b.words[y*wpr : (y+1)*wpr]
+		var acc uint64
+		for j := range row {
+			w := ^(ra[j] | rb[j])
+			if j == wpr-1 {
+				w &= edge
+			}
+			row[j] = w
+			acc |= w
+		}
+		if nonEmpty != nil {
+			if y%bandRows == 0 {
+				nonEmpty[y/bandRows] = acc != 0
+			} else if acc != 0 {
+				nonEmpty[y/bandRows] = true
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyResidue fuses the streaming per-frame residue accumulation into
+// one pass over the leak mask lb: for every set bit, the source pixel
+// is copied into dst ("latest leaked value per pixel") and the bit is
+// OR-ed into the coverage mask; the return value is lb's set-bit count.
+// Results are identical to lb.ForEachSet(copy) + coverage.Union(lb) +
+// lb.Count() in any order.
+//
+// The band flags make idle regions free: bands where lbNonEmpty is
+// false (as recorded by ComplementOfUnion) are skipped without reading
+// a word, and bands where covFull is true skip the coverage OR — once a
+// band's coverage saturates it can never change again. covFull is
+// maintained in place: a touched, not-yet-full band is rechecked after
+// its coverage writes. Either flag slice may be nil to disable that
+// skip; when non-nil it must hold Bands(H, bandRows) entries.
+func ApplyResidue(lb *Mask, src, dst *Image, coverage *Mask, bandRows int, lbNonEmpty, covFull []bool) (int, error) {
+	if !lb.SameSize(coverage) || lb.W != src.W || lb.H != src.H || !src.SameSize(dst) {
+		return 0, fmt.Errorf("imagex: apply residue: geometry mismatch: %w", ErrBounds)
+	}
+	if bandRows <= 0 {
+		bandRows = lb.H // degenerate: the whole mask is one band
+	}
+	nb := Bands(lb.H, bandRows)
+	if (lbNonEmpty != nil && len(lbNonEmpty) != nb) || (covFull != nil && len(covFull) != nb) {
+		return 0, fmt.Errorf("imagex: band flags for %d bands: %w", nb, ErrBounds)
+	}
+	wpr := wordsPerRow(lb.W)
+	edge := edgeMask(lb.W)
+	total := 0
+	for b := 0; b < nb; b++ {
+		y0 := b * bandRows
+		y1 := y0 + bandRows
+		if y1 > lb.H {
+			y1 = lb.H
+		}
+		if lbNonEmpty != nil && !lbNonEmpty[b] {
+			continue
+		}
+		full := covFull != nil && covFull[b]
+		touched := false
+		for y := y0; y < y1; y++ {
+			row := lb.words[y*wpr : (y+1)*wpr]
+			base := y * lb.W
+			for wi, w := range row {
+				if w == 0 {
+					continue
+				}
+				total += bits.OnesCount64(w)
+				if !full {
+					coverage.words[y*wpr+wi] |= w
+					touched = true
+				}
+				for w != 0 {
+					p := base + wi<<6 + bits.TrailingZeros64(w)
+					dst.Pix[p] = src.Pix[p]
+					w &= w - 1
+				}
+			}
+		}
+		if touched && covFull != nil {
+			covFull[b] = bandFull(coverage, y0, y1, wpr, edge)
+		}
+	}
+	return total, nil
+}
+
+// BandFullness recomputes the per-band coverage-saturation flags from
+// scratch into full, which must hold Bands(m.H, bandRows) entries. The
+// stream calls it once at construction and resume; ApplyResidue keeps
+// the flags current afterwards.
+func BandFullness(m *Mask, bandRows int, full []bool) error {
+	if bandRows <= 0 {
+		bandRows = m.H
+	}
+	nb := Bands(m.H, bandRows)
+	if len(full) != nb {
+		return fmt.Errorf("imagex: %d band flags for %d bands: %w", len(full), nb, ErrBounds)
+	}
+	wpr := wordsPerRow(m.W)
+	edge := edgeMask(m.W)
+	for b := 0; b < nb; b++ {
+		y0 := b * bandRows
+		y1 := y0 + bandRows
+		if y1 > m.H {
+			y1 = m.H
+		}
+		full[b] = bandFull(m, y0, y1, wpr, edge)
+	}
+	return nil
+}
+
+// bandFull reports whether every valid bit in rows [y0, y1) is set.
+func bandFull(m *Mask, y0, y1, wpr int, edge uint64) bool {
+	for y := y0; y < y1; y++ {
+		if !rowSolid(m.words[y*wpr:(y+1)*wpr], edge) {
+			return false
+		}
+	}
+	return true
+}

@@ -14,6 +14,20 @@ type Segmenter interface {
 	Segment(frame *imagex.Image, oracle *imagex.Mask) *imagex.Mask
 }
 
+// IntoSegmenter is an optional extension: SegmentInto writes the mask
+// into a caller-supplied scratch instead of allocating, returning the
+// mask written (dst, or a fresh one when dst is nil or mis-sized). The
+// streaming hot path type-asserts for it so a cooperating segmenter
+// keeps the per-frame pipeline allocation-free; segmenters that only
+// implement Segment still work, at one mask allocation per frame. The
+// error-simulating segmenters (OfflineSegmenter, Matting) fall in the
+// latter camp on purpose — their seeded perturbation passes allocate
+// internally, and their draw order defines the golden outputs.
+type IntoSegmenter interface {
+	Segmenter
+	SegmentInto(dst *imagex.Mask, frame *imagex.Image, oracle *imagex.Mask) *imagex.Mask
+}
+
 // OfflineSegmenter simulates the attacker's post-processing person
 // segmentation (DeepLabv3 in the paper, Section V-D: "very accurate…
 // cannot be applied in real-time… an attacker can certainly use it for
@@ -70,7 +84,7 @@ func (s *OfflineSegmenter) Segment(frame *imagex.Image, oracle *imagex.Mask) *im
 // ablation benchmarks use it to isolate other error sources.
 type OracleSegmenter struct{}
 
-var _ Segmenter = OracleSegmenter{}
+var _ IntoSegmenter = OracleSegmenter{}
 
 // Segment returns the oracle unchanged (or an empty mask when nil).
 func (OracleSegmenter) Segment(frame *imagex.Image, oracle *imagex.Mask) *imagex.Mask {
@@ -78,4 +92,18 @@ func (OracleSegmenter) Segment(frame *imagex.Image, oracle *imagex.Mask) *imagex
 		return imagex.NewMask(frame.W, frame.H)
 	}
 	return oracle.Clone()
+}
+
+// SegmentInto writes the oracle silhouette into dst, allocating only
+// when dst is nil or mis-sized. A clone is still handed out — callers
+// may edit the returned mask (the color refinement does), and the
+// oracle belongs to the caller of Feed.
+func (OracleSegmenter) SegmentInto(dst *imagex.Mask, frame *imagex.Image, oracle *imagex.Mask) *imagex.Mask {
+	if dst == nil || dst.W != frame.W || dst.H != frame.H {
+		dst = imagex.NewMask(frame.W, frame.H)
+	}
+	if oracle == nil || dst.CopyFrom(oracle) != nil {
+		dst.Clear()
+	}
+	return dst
 }

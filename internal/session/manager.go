@@ -624,6 +624,20 @@ func (m *Manager) Feed(id string, frame *imagex.Image, oracle *imagex.Mask) erro
 	return s.Feed(frame, oracle)
 }
 
+// FeedN routes an ordered frame batch to the current incarnation of id
+// (see Session.FeedN for the batch semantics and Feed for the routing
+// rationale).
+func (m *Manager) FeedN(id string, frames []core.Frame) error {
+	if m.closedFlag.Load() {
+		return fmt.Errorf("session %q: %w", id, ErrManagerClosed)
+	}
+	s, ok := m.Get(id)
+	if !ok {
+		return fmt.Errorf("session %q: %w", id, ErrNoSession)
+	}
+	return s.FeedN(frames)
+}
+
 // Len returns the number of open sessions.
 func (m *Manager) Len() int {
 	m.mu.Lock()

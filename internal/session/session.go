@@ -33,10 +33,21 @@ var ErrExists = errors.New("session: id already open")
 // panic; the partial reconstruction up to the panic stays readable.
 var ErrFailed = errors.New("session: worker failed")
 
-// item is one queued frame with its oracle silhouette.
+// item is one queued unit of work: a single frame with its oracle
+// silhouette, or (batch non-nil, from FeedN) a whole ordered batch that
+// the worker runs through the reconstructor under one stream lock.
 type item struct {
 	frame  *imagex.Image
 	oracle *imagex.Mask
+	batch  []core.Frame
+}
+
+// size returns how many frames the item carries, for intake accounting.
+func (it item) size() uint64 {
+	if it.batch != nil {
+		return uint64(len(it.batch))
+	}
+	return 1
 }
 
 // Session is one live call being reconstructed. Feed never blocks on
@@ -106,6 +117,10 @@ type Session struct {
 	ckptTryNs      atomic.Int64  // UnixNano of the last attempt (paces retries)
 	restored       bool          // came from Manager.Restore, not Open
 
+	// batchBuf is the worker's reusable gate-survivor buffer for
+	// processBatch (worker-only; no locking).
+	batchBuf []core.Frame
+
 	done    chan struct{} // closed when the worker exits
 	failure atomic.Value  // string; set when the worker panicked or hit a fatal error
 	evicted atomic.Bool
@@ -147,6 +162,29 @@ func (s *Session) Incarnation() int { return s.incarnation }
 // detected here but at processing time, where they are counted as
 // FramesRejected and the session carries on.
 func (s *Session) Feed(frame *imagex.Image, oracle *imagex.Mask) error {
+	return s.enqueue(item{frame: frame, oracle: oracle})
+}
+
+// FeedN enqueues an ordered batch of frames as one queue unit. The
+// worker runs the whole batch through the reconstructor under a single
+// stream lock (core.StreamReconstructor.FeedN), amortising the
+// per-frame queue and lock overhead — the intended intake for replay
+// and catch-up traffic, where frames arrive faster than real time. The
+// queue policies treat the batch atomically: it occupies one slot of
+// Config.QueueDepth, and dropping it (drop-oldest eviction, PolicyReject)
+// drops — and counts — all of its frames. The ownership contract
+// matches Feed: the session does not copy frames or oracles. An empty
+// batch is a no-op.
+func (s *Session) FeedN(frames []core.Frame) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	return s.enqueue(item{batch: frames})
+}
+
+// enqueue applies the intake policy to one queue item (a frame or a
+// whole batch); frame accounting is by item.size.
+func (s *Session) enqueue(it item) error {
 	if s.mgr.closedFlag.Load() {
 		return fmt.Errorf("session %q: %w", s.id, ErrManagerClosed)
 	}
@@ -160,8 +198,7 @@ func (s *Session) Feed(frame *imagex.Image, oracle *imagex.Mask) error {
 	}
 	s.lastFeed.Store(time.Now().UnixNano())
 	s.stallLatch.Store(false) // activity: a new stall episode may be detected later
-	s.fed.Inc()
-	it := item{frame: frame, oracle: oracle}
+	s.fed.Add(it.size())
 	select {
 	case s.queue <- it:
 		return nil
@@ -171,7 +208,7 @@ func (s *Session) Feed(frame *imagex.Image, oracle *imagex.Mask) error {
 	case PolicyReject:
 		// Explicit backpressure: the new frame is dropped and the caller
 		// told, so it can throttle its capture rate.
-		s.dropped.Inc()
+		s.dropped.Add(it.size())
 		return fmt.Errorf("session %q: %w", s.id, ErrQueueFull)
 	case PolicyBlock:
 		// Bounded wait for queue space. sendMu stays held, so a
@@ -183,25 +220,25 @@ func (s *Session) Feed(frame *imagex.Image, oracle *imagex.Mask) error {
 		case s.queue <- it:
 			return nil
 		case <-timer.C:
-			s.dropped.Inc()
+			s.dropped.Add(it.size())
 			return fmt.Errorf("session %q: %w (blocked %s)", s.id, ErrQueueFull, s.blockDeadline)
 		case <-s.mgr.ctx.Done():
-			s.dropped.Inc()
+			s.dropped.Add(it.size())
 			return fmt.Errorf("session %q: %w", s.id, ErrManagerClosed)
 		}
 	}
-	// Drop-oldest: evict the oldest queued frame, then retry once. The
+	// Drop-oldest: evict the oldest queued item, then retry once. The
 	// receive races with the worker; if the worker drained a slot
 	// first, the send below succeeds and nothing is dropped twice.
 	select {
-	case <-s.queue:
-		s.dropped.Inc()
+	case victim := <-s.queue:
+		s.dropped.Add(victim.size())
 	default:
 	}
 	select {
 	case s.queue <- it:
 	default:
-		s.dropped.Inc() // lost the race to a concurrent Feed; drop the new frame
+		s.dropped.Add(it.size()) // lost the race to a concurrent Feed; drop the new item
 	}
 	return nil
 }
@@ -220,7 +257,13 @@ func (s *Session) loop() {
 		}
 	}()
 	for it := range s.queue {
-		if s.process(it) {
+		fatal := false
+		if it.batch != nil {
+			fatal = s.processBatch(it.batch)
+		} else {
+			fatal = s.process(it)
+		}
+		if fatal {
 			// Fatal: stop draining. Feed already returns ErrFailed (the
 			// failure value is set); the partial reconstruction stays
 			// readable, exactly like the panic path.
@@ -270,6 +313,63 @@ func (s *Session) process(it item) (fatal bool) {
 	s.coverage.Append(cov)
 	if identified && s.pinnedNs.Load() == 0 {
 		s.pinnedNs.Store(int64(time.Since(s.started)))
+	}
+	s.maybeCheckpoint()
+	return false
+}
+
+// processBatch runs one queued batch: every frame goes through the
+// quality gate, and the survivors are fed to the reconstructor under a
+// single stream lock via core.StreamReconstructor.FeedN. Per-stage
+// telemetry matches the frame-at-a-time path — gate rejections and
+// recoverable stream rejections count per frame, the feed latency
+// records the per-frame mean of the batch, and the coverage series
+// gains one sample per batch (not per frame; a batch is one observable
+// processing step). It reports whether the session hit a fatal error.
+func (s *Session) processBatch(frames []core.Frame) (fatal bool) {
+	s.lastProc.Store(time.Now().UnixNano())
+	buf := s.batchBuf[:0]
+	for _, f := range frames {
+		if err := s.gate(item{frame: f.Img, oracle: f.Oracle}); err != nil {
+			s.gated.Inc()
+			s.rejected.Inc()
+			continue
+		}
+		buf = append(buf, f)
+	}
+	defer func() {
+		for i := range buf {
+			buf[i] = core.Frame{} // drop frame references until the next batch
+		}
+		s.batchBuf = buf[:0]
+	}()
+	if len(buf) == 0 {
+		return false
+	}
+	t0 := time.Now()
+	s.streamMu.Lock()
+	accepted, rejected, err := s.stream.FeedN(buf)
+	identified := s.stream.Identified()
+	cov := s.stream.Snapshot().Coverage.Fraction()
+	s.streamMu.Unlock()
+	per := time.Since(t0) / time.Duration(len(buf))
+	for i := 0; i < len(buf); i++ {
+		s.feedLat.Observe(per)
+	}
+	s.rejected.Add(uint64(rejected))
+	s.processed.Add(uint64(accepted))
+	if accepted > 0 {
+		s.coverage.Append(cov)
+	}
+	if identified && s.pinnedNs.Load() == 0 {
+		s.pinnedNs.Store(int64(time.Since(s.started)))
+	}
+	if err != nil {
+		// FeedN already skipped every recoverable frame; what reaches
+		// here means the stream itself is unusable.
+		s.failure.Store(fmt.Sprintf("fatal stream error: %v", err))
+		s.fail(fmt.Sprintf("fatal stream error: %v", err))
+		return true
 	}
 	s.maybeCheckpoint()
 	return false
@@ -494,6 +594,11 @@ type Snapshot struct {
 	// before the restart, unlike FramesProcessed which counts only this
 	// incarnation.
 	StreamFrames uint64
+	// MemBytes is the admission-time memory footprint charged against
+	// Config.MemBudget (core.StreamReconstructor.MemFootprint at
+	// registration) — the per-session denominator behind fleet density
+	// figures like sessions per GB.
+	MemBytes uint64
 	// Restored reports the session came from Manager.Restore.
 	Restored bool
 	// Incarnation numbers the supervisor lineage for this id: 1 for the
@@ -547,6 +652,7 @@ func (s *Session) Stats() Snapshot {
 		StreamFrames:    uint64(s.stream.Frames()),
 	}
 	s.streamMu.Unlock()
+	snap.MemBytes = s.memBytes
 	snap.Restored = s.restored
 	snap.Incarnation = s.incarnation
 	snap.ResumedFrames = s.resumedFrames
