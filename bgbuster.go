@@ -38,6 +38,7 @@ import (
 	"github.com/bgbuster/bgbuster/internal/compositor"
 	"github.com/bgbuster/bgbuster/internal/core"
 	"github.com/bgbuster/bgbuster/internal/dataset"
+	"github.com/bgbuster/bgbuster/internal/fleet"
 	"github.com/bgbuster/bgbuster/internal/imagex"
 	"github.com/bgbuster/bgbuster/internal/metrics"
 	"github.com/bgbuster/bgbuster/internal/mitigate"
@@ -392,6 +393,40 @@ type (
 // is valid but belongs to different reconstruction options (geometry,
 // mode, thresholds or dictionary).
 var ErrCheckpointMismatch = core.ErrCheckpointMismatch
+
+// Fleet distribution layer (DESIGN.md §15): a coordinator
+// consistent-hashes live sessions over worker shards speaking a
+// length-prefixed, budget-checked wire protocol, with checkpoint
+// replication, live migration and shard-loss recovery built on the
+// bit-identical .bbck resume guarantee. `bgbuster shard` and
+// `bgbuster serve` are the CLI front ends.
+type (
+	// FleetOpenSpec describes a session to open or resume fleet-wide.
+	FleetOpenSpec = fleet.OpenSpec
+	// FleetShard serves one SessionManager over the wire protocol.
+	FleetShard = fleet.Shard
+	// FleetShardConfig wires a manager and an options hook into a shard.
+	FleetShardConfig = fleet.ShardConfig
+	// FleetCoordinator routes, replicates, migrates and recovers.
+	FleetCoordinator = fleet.Coordinator
+	// FleetCoordinatorConfig lists the shards and tuning knobs.
+	FleetCoordinatorConfig = fleet.CoordinatorConfig
+	// FleetClient is a synchronous wire-protocol client.
+	FleetClient = fleet.Client
+	// FleetLimits bounds what a wire decoder will allocate per message.
+	FleetLimits = fleet.Limits
+)
+
+// NewFleetShard returns a worker shard serving cfg.Manager.
+func NewFleetShard(cfg FleetShardConfig) (*FleetShard, error) { return fleet.NewShard(cfg) }
+
+// NewFleetCoordinator returns a coordinator over cfg.Shards.
+func NewFleetCoordinator(cfg FleetCoordinatorConfig) (*FleetCoordinator, error) {
+	return fleet.NewCoordinator(cfg)
+}
+
+// DialFleet connects to a shard or coordinator wire endpoint.
+func DialFleet(addr string, lim FleetLimits) (*FleetClient, error) { return fleet.Dial(addr, lim) }
 
 // NewDirCheckpointStore opens (creating it if needed) a
 // directory-backed checkpoint store.

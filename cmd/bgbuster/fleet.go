@@ -1,0 +1,156 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/bgbuster/bgbuster"
+	"github.com/bgbuster/bgbuster/internal/fleet"
+	"github.com/bgbuster/bgbuster/internal/session"
+)
+
+// runShard boots one worker shard: a session.Manager served over the
+// fleet wire protocol. Reconstruction options are derived per session
+// from the OpenSpec the coordinator sends (geometry, unknown-VB flag,
+// seed), so one shard binary serves any mix of calls.
+func runShard(args []string) error {
+	fs := flag.NewFlagSet("shard", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7601", "address to serve the fleet wire protocol on")
+	ckptDir := fs.String("checkpoint-dir", "", "durable checkpoint directory (empty: none)")
+	ckptEvery := fs.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval (with -checkpoint-dir)")
+	restart := fs.Bool("restart", true, "auto-restart failed sessions from their last-good checkpoint")
+	maxRestarts := fs.Int("max-restarts", 5, "circuit breaker: restarts per session per minute")
+	maxSessions := fs.Int("max-sessions", 0, "admission control: max open sessions (0: unlimited)")
+	memBudget := fs.Int64("mem-budget", 0, "admission control: max summed stream footprint in bytes (0: unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := session.Config{
+		MaxSessions: *maxSessions,
+		MemBudget:   *memBudget,
+		AutoRestart: *restart,
+		MaxRestarts: *maxRestarts,
+		Logf:        func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+	}
+	if *ckptDir != "" {
+		store, err := session.NewDirStore(*ckptDir)
+		if err != nil {
+			return err
+		}
+		cfg.Checkpoints = store
+		cfg.CheckpointInterval = *ckptEvery
+	}
+	mgr := session.NewManager(cfg)
+	defer mgr.Close()
+
+	sh, err := fleet.NewShard(fleet.ShardConfig{
+		Manager: mgr,
+		OptionsFor: func(spec fleet.OpenSpec) bgbuster.ReconstructOptions {
+			return bgbuster.StreamAttackOptions(spec.W, spec.H, spec.UnknownVB, spec.Seed)
+		},
+		Logf: cfg.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard: serving sessions on %s\n", ln.Addr())
+	return serveUntilSignal(ln, func() error { return sh.Serve(ln) })
+}
+
+// runServe boots the fleet coordinator: consistent-hash routing of
+// session ids over worker shards, periodic checkpoint replication, and
+// shard-loss recovery onto the survivors.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7600", "address to serve the fleet wire protocol on")
+	shards := fs.String("shards", "", "comma-separated worker shard addresses (required)")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0: default 64)")
+	ckptDir := fs.String("checkpoint-dir", "", "replicated checkpoint directory (empty: in-memory)")
+	replicate := fs.Duration("replicate-every", 15*time.Second, "checkpoint replication interval (0: on demand only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrs := strings.Split(*shards, ",")
+	clean := addrs[:0]
+	for _, a := range addrs {
+		if a = strings.TrimSpace(a); a != "" {
+			clean = append(clean, a)
+		}
+	}
+	if len(clean) == 0 {
+		return fmt.Errorf("serve: -shards is required (comma-separated addresses)")
+	}
+
+	ccfg := fleet.CoordinatorConfig{
+		Shards: clean,
+		Vnodes: *vnodes,
+		Logf:   func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+	}
+	if *ckptDir != "" {
+		store, err := session.NewDirStore(*ckptDir)
+		if err != nil {
+			return err
+		}
+		ccfg.Store = store
+	}
+	coord, err := fleet.NewCoordinator(ccfg)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	stopRepl := make(chan struct{})
+	defer close(stopRepl)
+	if *replicate > 0 {
+		go func() {
+			t := time.NewTicker(*replicate)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopRepl:
+					return
+				case <-t.C:
+					if err := coord.Replicate(); err != nil {
+						fmt.Fprintf(os.Stderr, "serve: replicate: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve: coordinating %d shards on %s\n", len(clean), ln.Addr())
+	return serveUntilSignal(ln, func() error { return fleet.Serve(ln, coord, fleet.Limits{}, ccfg.Logf) })
+}
+
+// serveUntilSignal runs serve until SIGINT/SIGTERM closes the
+// listener; the resulting accept error then reads as a clean exit.
+func serveUntilSignal(ln net.Listener, serve func() error) error {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	done := make(chan error, 1)
+	go func() { done <- serve() }()
+	select {
+	case <-sigc:
+		ln.Close()
+		<-done
+		return nil
+	case err := <-done:
+		return err
+	}
+}

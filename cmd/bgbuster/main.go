@@ -12,6 +12,8 @@
 //	                   [-checkpoint-dir dir] [-checkpoint-every dur]
 //	                   [-chaos profile] [-noise-gate frac] [-stall-timeout dur] [-close-timeout dur]
 //	                   [-restart] [-max-restarts N] [-max-sessions N] [-mem-budget bytes]
+//	bgbuster shard     [-listen addr] [-checkpoint-dir dir] [-restart] [-max-sessions N] [-mem-budget bytes]
+//	bgbuster serve     [-listen addr] -shards a,b,... [-vnodes N] [-checkpoint-dir dir] [-replicate-every dur]
 //
 // live drives the concurrent session layer (internal/session): it
 // replays a .bbv recording — or composes a synthetic call — through N
@@ -32,6 +34,14 @@
 // crash loops. -max-sessions and -mem-budget arm fleet admission
 // control: opening past either limit is refused with a typed error
 // instead of overcommitting the fleet (DESIGN.md §13).
+//
+// shard and serve distribute the session layer across processes
+// (DESIGN.md §15): shard fronts one session manager with the fleet's
+// length-prefixed, budget-checked wire protocol; serve runs the
+// coordinator that consistent-hashes session ids onto shards,
+// replicates checkpoints, live-migrates running calls between shards,
+// and re-resumes a dead shard's sessions on the survivors from their
+// last replicated checkpoints.
 package main
 
 import (
@@ -40,6 +50,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -63,7 +75,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: bgbuster <attack|decompose|list> [flags]")
+		return fmt.Errorf("usage: bgbuster <attack|decompose|list|live|shard|serve> [flags]")
 	}
 	switch args[0] {
 	case "attack":
@@ -74,6 +86,10 @@ func run(args []string) error {
 		return runList(args[1:])
 	case "live":
 		return runLive(args[1:])
+	case "shard":
+		return runShard(args[1:])
+	case "serve":
+		return runServe(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -222,6 +238,38 @@ func runDecompose(args []string) error {
 	return nil
 }
 
+// liveCallID names the i-th session of a live replay.
+func liveCallID(i int) string { return fmt.Sprintf("call-%02d", i) }
+
+// liveCallSeed derives the per-session option seed for a live session
+// id. Fresh opens use base+index, and a resumed id must get exactly
+// the seed its original incarnation was opened with — resuming every
+// call under the bare base seed (the old behaviour) re-rolled each
+// segmenter's dither sequence, so a resumed synthetic call silently
+// diverged from its own pre-restart evolution.
+func liveCallSeed(base int64, id string) int64 {
+	if n, ok := strings.CutPrefix(id, "call-"); ok {
+		if idx, err := strconv.Atoi(n); err == nil && idx >= 0 {
+			return base + int64(idx)
+		}
+	}
+	return base
+}
+
+// resumeOffset converts a restored session's cumulative stream frame
+// counter into the replay index to continue from. StreamFrames counts
+// frames already fed — frames [0, StreamFrames) are inside the
+// checkpoint — so the next frame to deliver is exactly
+// video.Frames[StreamFrames]: starting below it would double-feed the
+// boundary frame, starting above it would skip one. The clamp covers a
+// checkpoint written by a longer replay than this run's.
+func resumeOffset(streamFrames uint64, total int) int {
+	if streamFrames > uint64(total) {
+		return total
+	}
+	return int(streamFrames)
+}
+
 func runLive(args []string) error {
 	fs := flag.NewFlagSet("live", flag.ContinueOnError)
 	phase, index := callFlags(fs)
@@ -366,7 +414,7 @@ func runLive(args []string) error {
 	resumed := map[string]*session.Session{}
 	if cfg.Checkpoints != nil {
 		restored, err := mgr.Restore(func(id string) bgbuster.ReconstructOptions {
-			return bgbuster.StreamAttackOptions(w, h, *unknownVB, *seed)
+			return bgbuster.StreamAttackOptions(w, h, *unknownVB, liveCallSeed(*seed, id))
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bgbuster: live: some checkpoints not resumed: %v\n", err)
@@ -387,18 +435,14 @@ func runLive(args []string) error {
 	live := make([]*session.Session, *sessions)
 	offsets := make([]int, *sessions)
 	for i := range live {
-		id := fmt.Sprintf("call-%02d", i)
+		id := liveCallID(i)
 		if s, ok := resumed[id]; ok {
 			delete(resumed, id)
 			live[i] = s
-			off := int(s.Stats().StreamFrames)
-			if off > video.Len() {
-				off = video.Len()
-			}
-			offsets[i] = off
+			offsets[i] = resumeOffset(s.Stats().StreamFrames, video.Len())
 			continue
 		}
-		opts := bgbuster.StreamAttackOptions(w, h, *unknownVB, *seed+int64(i))
+		opts := bgbuster.StreamAttackOptions(w, h, *unknownVB, liveCallSeed(*seed, id))
 		if chaosOn && chaosProfile.Poison > 0 {
 			arms[i] = &poisonArm{inner: opts.Segmenter, set: map[*imagex.Image]struct{}{}}
 			opts.Segmenter = arms[i]

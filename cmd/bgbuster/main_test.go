@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"github.com/bgbuster/bgbuster"
 	"github.com/bgbuster/bgbuster/internal/imagex"
 	"github.com/bgbuster/bgbuster/internal/session"
 	"github.com/bgbuster/bgbuster/internal/vidstream"
@@ -146,6 +148,134 @@ func TestLiveCheckpointResume(t *testing.T) {
 	}
 	if ids, err = store.List(); err != nil || len(ids) != 3 {
 		t.Fatalf("after mixed run: ids=%v err=%v, want 3 checkpoints", ids, err)
+	}
+}
+
+// TestLiveSeedAndOffsetDerivation pins the per-session derivations the
+// resume path shares with fresh opens: a resumed id must get exactly
+// the option seed its original incarnation was opened with (the
+// regression was resuming every call under the bare base seed), and
+// the replay offset is the stream counter itself — frames
+// [0, StreamFrames) are inside the checkpoint, so feeding resumes at
+// index StreamFrames, neither double-feeding nor skipping the boundary
+// frame.
+func TestLiveSeedAndOffsetDerivation(t *testing.T) {
+	for i := 0; i < 12; i++ {
+		want := int64(1) + int64(i) // what a fresh open of session i uses
+		if got := liveCallSeed(1, liveCallID(i)); got != want {
+			t.Fatalf("liveCallSeed(1, %q) = %d, want %d", liveCallID(i), got, want)
+		}
+	}
+	if got := liveCallSeed(7, "foreign-id"); got != 7 {
+		t.Fatalf("foreign id seed = %d, want base 7", got)
+	}
+	for _, tc := range []struct {
+		streamFrames uint64
+		total, want  int
+	}{
+		{0, 10, 0},   // nothing checkpointed: replay from the top
+		{4, 10, 4},   // 4 frames inside the checkpoint: next is index 4
+		{10, 10, 10}, // fully processed: nothing left to feed
+		{15, 10, 10}, // checkpoint from a longer replay: clamp
+	} {
+		if got := resumeOffset(tc.streamFrames, tc.total); got != tc.want {
+			t.Fatalf("resumeOffset(%d, %d) = %d, want %d", tc.streamFrames, tc.total, got, tc.want)
+		}
+	}
+}
+
+// TestLiveResumeReplayParity: interrupting a replay at frame k and
+// resuming it from the checkpoint directory must leave final
+// checkpoint bytes bit-identical to an uninterrupted run — for both
+// the unpaced batch path (-rate -1, Manager.FeedN chunks) and the
+// paced per-frame path, proving batch/stream parity on resumed
+// replays. The interrupted store is crafted with the same options the
+// CLI derives, checkpointed mid-stream exactly as a crash between
+// periodic checkpoints would leave it.
+func TestLiveResumeReplayParity(t *testing.T) {
+	const n, k = 12, 5
+	w, h := 48, 36
+	v := &vidstream.Video{FPS: 30, Frames: make([]*imagex.Image, n)}
+	for i := range v.Frames {
+		f := imagex.NewFilled(w, h, imagex.RGB{R: uint8(40 + i*10), G: 90, B: 160})
+		for y := 6; y < 18; y++ {
+			for x := 4 + i; x < 20+i; x++ {
+				f.Set(x, y, imagex.RGB{R: 230, G: uint8(200 - i*5), B: 50})
+			}
+		}
+		v.Frames[i] = f
+	}
+	path := filepath.Join(t.TempDir(), "call.bbv")
+	if err := vidstream.Save(path, v); err != nil {
+		t.Fatal(err)
+	}
+
+	load := func(dir, id string) []byte {
+		t.Helper()
+		store, err := session.NewDirStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := store.Load(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	for _, mode := range []struct{ name, rate string }{
+		{"batch", "-1"},   // unpaced: chunked Manager.FeedN ingest
+		{"paced", "2000"}, // paced: per-frame Manager.Feed ingest
+	} {
+		// Uninterrupted baseline.
+		base := filepath.Join(t.TempDir(), "base-"+mode.name)
+		err := run([]string{"live", "-in", path, "-sessions", "2", "-rate", mode.rate,
+			"-checkpoint-dir", base, "-checkpoint-every", "1h"})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Craft the interrupted store: each session checkpointed at frame
+		// k with the same per-id options the CLI derives.
+		intr := filepath.Join(t.TempDir(), "intr-"+mode.name)
+		istore, err := session.NewDirStore(intr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			s, err := bgbuster.NewStreamAttack(w, h, false, liveCallSeed(1, liveCallID(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < k; j++ {
+				if err := s.Feed(v.Frames[j], imagex.NewMask(w, h)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			data, err := s.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := istore.Save(liveCallID(i), data); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Resume run: feeds only frames [k, n) into each resumed session.
+		err = run([]string{"live", "-in", path, "-sessions", "2", "-rate", mode.rate,
+			"-checkpoint-dir", intr, "-checkpoint-every", "1h"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			id := liveCallID(i)
+			want := load(base, id)
+			got := load(intr, id)
+			if !bytes.Equal(want, got) {
+				t.Errorf("%s %s: resumed replay checkpoint diverges from uninterrupted run (%d vs %d bytes)",
+					mode.name, id, len(got), len(want))
+			}
+		}
 	}
 }
 

@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/bgbuster/bgbuster/internal/core"
+)
+
+// RemoteError is a typed failure the far side reported via MsgErr —
+// the request was delivered and rejected, as opposed to a transport
+// error where the shard itself may be gone.
+type RemoteError struct {
+	Code uint16
+	Text string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("fleet: remote error %d: %s", e.Code, e.Text)
+}
+
+// Client is a synchronous wire-protocol client over one connection.
+// Safe for concurrent use; requests are serialized on the connection.
+type Client struct {
+	addr string
+	lim  Limits
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// Dial connects to a shard or coordinator address.
+func Dial(addr string, lim Limits) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: dial %s: %w", addr, err)
+	}
+	return &Client{addr: addr, lim: lim.withDefaults(), conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+// Addr returns the dialed address.
+func (c *Client) Addr() string { return c.addr }
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// do performs one request/response round trip. A transport failure
+// closes the connection and is returned as-is (NOT a *RemoteError) —
+// the caller's signal that the peer, not the request, failed.
+func (c *Client) do(req *Message) (*Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, fmt.Errorf("fleet: client %s: connection closed", c.addr)
+	}
+	if err := WriteMessage(c.conn, req); err != nil {
+		c.conn.Close()
+		c.conn = nil
+		return nil, fmt.Errorf("fleet: %s: write: %w", c.addr, err)
+	}
+	resp, err := ReadMessage(c.br, c.lim)
+	if err != nil {
+		c.conn.Close()
+		c.conn = nil
+		return nil, fmt.Errorf("fleet: %s: read: %w", c.addr, err)
+	}
+	if resp.Type == MsgErr {
+		return nil, &RemoteError{Code: resp.Code, Text: resp.Text}
+	}
+	return resp, nil
+}
+
+// expect performs do and checks the response type.
+func (c *Client) expect(req *Message, want MsgType) (*Message, error) {
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != want {
+		return nil, fmt.Errorf("fleet: %s: response type 0x%02x, want 0x%02x: %w",
+			c.addr, byte(resp.Type), byte(want), ErrBadMessage)
+	}
+	return resp, nil
+}
+
+// Open opens a fresh session described by spec.
+func (c *Client) Open(spec OpenSpec) error {
+	_, err := c.expect(&Message{Type: MsgOpen, Spec: spec}, MsgOK)
+	return err
+}
+
+// Resume registers a session from checkpoint bytes under spec.
+func (c *Client) Resume(spec OpenSpec, ckpt []byte) error {
+	_, err := c.expect(&Message{Type: MsgResume, Spec: spec, Ckpt: ckpt}, MsgOK)
+	return err
+}
+
+// Feed delivers one frame.
+func (c *Client) Feed(id string, f core.Frame) error {
+	_, err := c.expect(&Message{Type: MsgFeed, Spec: OpenSpec{ID: id}, Frames: []core.Frame{f}}, MsgOK)
+	return err
+}
+
+// FeedN delivers an ordered batch.
+func (c *Client) FeedN(id string, frames []core.Frame) error {
+	_, err := c.expect(&Message{Type: MsgFeedBatch, Spec: OpenSpec{ID: id}, Frames: frames}, MsgOK)
+	return err
+}
+
+// Snapshot fetches a session's counters.
+func (c *Client) Snapshot(id string) (SnapInfo, error) {
+	resp, err := c.expect(&Message{Type: MsgSnapshot, Spec: OpenSpec{ID: id}}, MsgSnapResp)
+	if err != nil {
+		return SnapInfo{}, err
+	}
+	return resp.Snap, nil
+}
+
+// Checkpoint fetches a session's current .bbck bytes; the session
+// keeps running.
+func (c *Client) Checkpoint(id string) ([]byte, error) {
+	resp, err := c.expect(&Message{Type: MsgCheckpoint, Spec: OpenSpec{ID: id}}, MsgCkptResp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Ckpt, nil
+}
+
+// Detach drains and removes a session without finalizing, returning
+// its .bbck bytes — the sending half of live migration.
+func (c *Client) Detach(id string) ([]byte, error) {
+	resp, err := c.expect(&Message{Type: MsgDetach, Spec: OpenSpec{ID: id}}, MsgCkptResp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Ckpt, nil
+}
+
+// Drain blocks until every frame fed to the session so far has been
+// processed (shard-side timeout applies).
+func (c *Client) Drain(id string) error {
+	_, err := c.expect(&Message{Type: MsgDrain, Spec: OpenSpec{ID: id}}, MsgOK)
+	return err
+}
+
+// CloseSession finalizes and removes a session.
+func (c *Client) CloseSession(id string) error {
+	_, err := c.expect(&Message{Type: MsgClose, Spec: OpenSpec{ID: id}}, MsgOK)
+	return err
+}
+
+// Stats fetches the peer's fleet-level counters and session ids.
+func (c *Client) Stats() (StatsInfo, error) {
+	resp, err := c.expect(&Message{Type: MsgStats}, MsgStatsResp)
+	if err != nil {
+		return StatsInfo{}, err
+	}
+	return resp.Stats, nil
+}

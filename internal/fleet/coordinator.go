@@ -1,0 +1,584 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/session"
+)
+
+// ErrNoShards is returned when every shard is marked down.
+var ErrNoShards = errors.New("fleet: no live shards")
+
+// CoordinatorConfig configures a routing coordinator.
+type CoordinatorConfig struct {
+	// Shards are the worker addresses the ring is built over (required,
+	// at least one).
+	Shards []string
+	// Vnodes per shard on the hash ring (<=0: 64).
+	Vnodes int
+	// Limits bounds decode budgets for shard responses (zero: defaults).
+	Limits Limits
+	// Store replicates session checkpoints (Replicate pulls .bbck bytes
+	// from shards into it; shard-loss recovery resumes from it). Nil:
+	// in-memory store — recovery then survives shard loss but not
+	// coordinator loss.
+	Store session.CheckpointStore
+	// Dial opens a client to a shard (nil: Dial over TCP). Injectable
+	// for tests.
+	Dial func(addr string, lim Limits) (*Client, error)
+	// Logf receives routing and recovery diagnostics (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+// Coordinator consistent-hashes session ids onto worker shards and
+// proxies the wire protocol to them. It layers three fleet behaviours
+// on top of routing (DESIGN.md §15):
+//
+//   - Replication: Replicate pulls every session's current .bbck bytes
+//     into the checkpoint store — the recovery floor.
+//   - Live migration: Migrate detaches a running session from its
+//     shard (drain + checkpoint + remove, no finalize), resumes it
+//     bit-identically on the target, then atomically flips the route.
+//   - Shard-loss recovery: a transport failure marks the shard down
+//     and re-resumes every session it routed from the last replicated
+//     checkpoint onto the survivors — the same supervisor pattern the
+//     session layer applies to crashed workers, lifted one level up.
+//
+// Coordinator implements Handler, so Serve can front it with the same
+// wire protocol the shards speak.
+type Coordinator struct {
+	cfg  CoordinatorConfig
+	ring *Ring
+
+	mu      sync.Mutex
+	clients map[string]*Client
+	specs   map[string]OpenSpec // id -> open spec (recovery needs it)
+	routes  map[string]string   // id -> addr override (migration/recovery)
+	down    map[string]bool
+
+	migrations  atomic.Uint64
+	recoveries  atomic.Uint64 // sessions re-resumed after shard loss
+	reopened    atomic.Uint64 // sessions lost with no checkpoint, reopened fresh
+	shardsLost  atomic.Uint64
+	recoverFail atomic.Uint64
+}
+
+// NewCoordinator validates the config and builds the ring.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("fleet: CoordinatorConfig.Shards is required")
+	}
+	seen := map[string]bool{}
+	for _, a := range cfg.Shards {
+		if seen[a] {
+			return nil, fmt.Errorf("fleet: duplicate shard address %q", a)
+		}
+		seen[a] = true
+	}
+	cfg.Limits = cfg.Limits.withDefaults()
+	if cfg.Store == nil {
+		cfg.Store = session.NewMemStore()
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string, lim Limits) (*Client, error) { return Dial(addr, lim) }
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		ring:    NewRing(cfg.Shards, cfg.Vnodes),
+		clients: map[string]*Client{},
+		specs:   map[string]OpenSpec{},
+		routes:  map[string]string{},
+		down:    map[string]bool{},
+	}, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// routeLocked returns the shard currently owning id. Caller holds c.mu.
+func (c *Coordinator) routeLocked(id string) string {
+	if addr, ok := c.routes[id]; ok && !c.down[addr] {
+		return addr
+	}
+	return c.ring.LookupSkip(id, func(a string) bool { return c.down[a] })
+}
+
+// RouteOf returns the shard address a session currently routes to
+// ("" when every shard is down).
+func (c *Coordinator) RouteOf(id string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.routeLocked(id)
+}
+
+// clientLocked returns (dialing if needed) the cached client for addr.
+// Caller holds c.mu.
+func (c *Coordinator) clientLocked(addr string) (*Client, error) {
+	if cl, ok := c.clients[addr]; ok {
+		return cl, nil
+	}
+	cl, err := c.cfg.Dial(addr, c.cfg.Limits)
+	if err != nil {
+		return nil, err
+	}
+	c.clients[addr] = cl
+	return cl, nil
+}
+
+// dropClientLocked forgets (and closes) the cached client for addr.
+func (c *Coordinator) dropClientLocked(addr string) {
+	if cl, ok := c.clients[addr]; ok {
+		cl.Close()
+		delete(c.clients, addr)
+	}
+}
+
+// doRouted runs one request against the shard owning id, absorbing
+// shard loss: a transport failure (dial or I/O, never a RemoteError)
+// marks the shard down, recovers its sessions onto survivors, and
+// retries on the new route. The loop is bounded by the shard count —
+// each iteration either succeeds, fails at the request level, or
+// permanently removes one shard from the ring.
+func (c *Coordinator) doRouted(id string, req *Message, want MsgType) (*Message, error) {
+	for attempt := 0; attempt <= len(c.cfg.Shards); attempt++ {
+		c.mu.Lock()
+		addr := c.routeLocked(id)
+		if addr == "" {
+			c.mu.Unlock()
+			return nil, ErrNoShards
+		}
+		cl, err := c.clientLocked(addr)
+		c.mu.Unlock()
+		if err == nil {
+			resp, rerr := cl.do(req)
+			var remote *RemoteError
+			if rerr == nil {
+				if resp.Type != want {
+					return nil, fmt.Errorf("fleet: %s: response type 0x%02x, want 0x%02x: %w",
+						addr, byte(resp.Type), byte(want), ErrBadMessage)
+				}
+				return resp, nil
+			}
+			if errors.As(rerr, &remote) {
+				return nil, rerr
+			}
+			err = rerr
+		}
+		c.logf("fleet: shard %s unreachable (%v); recovering", addr, err)
+		c.handleShardLoss(addr)
+	}
+	return nil, ErrNoShards
+}
+
+// handleShardLoss marks addr down and re-resumes every session it
+// routed onto the survivors from the last replicated checkpoint (or a
+// fresh open when none was ever taken). Sessions whose recovery fails
+// on a survivor stay routed there and surface errors on their next
+// request — the ring never wedges on one bad session.
+func (c *Coordinator) handleShardLoss(addr string) {
+	c.mu.Lock()
+	if c.down[addr] {
+		c.mu.Unlock()
+		return
+	}
+	c.down[addr] = true
+	c.dropClientLocked(addr)
+	c.shardsLost.Add(1)
+	// Collect the orphaned sessions: everything whose current route —
+	// override or ring arc — pointed at the lost shard.
+	var orphans []string
+	for id := range c.specs {
+		prev := c.routes[id]
+		if prev == addr || (prev == "" && c.ring.LookupSkip(id, func(a string) bool { return c.down[a] && a != addr }) == addr) {
+			orphans = append(orphans, id)
+		}
+	}
+	sort.Strings(orphans)
+	c.mu.Unlock()
+
+	for _, id := range orphans {
+		if err := c.recoverSession(id); err != nil {
+			c.recoverFail.Add(1)
+			c.logf("fleet: recover %q after loss of %s: %v", id, addr, err)
+		}
+	}
+}
+
+// recoverSession re-homes one session after shard loss: resume from
+// the replicated checkpoint when one exists, otherwise reopen fresh
+// from the recorded spec (everything since open is lost — the case
+// Replicate exists to bound).
+func (c *Coordinator) recoverSession(id string) error {
+	c.mu.Lock()
+	spec, ok := c.specs[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("fleet: no spec recorded for %q", id)
+	}
+	addr := c.routeLocked(id)
+	if addr == "" {
+		c.mu.Unlock()
+		return ErrNoShards
+	}
+	cl, err := c.clientLocked(addr)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	ckpt, lerr := c.cfg.Store.Load(id)
+	if lerr == nil {
+		err = cl.Resume(spec, ckpt)
+	} else {
+		err = cl.Open(spec)
+	}
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.routes[id] = addr
+	c.mu.Unlock()
+	if lerr == nil {
+		c.recoveries.Add(1)
+		c.logf("fleet: session %q re-resumed on %s from replicated checkpoint", id, addr)
+	} else {
+		c.reopened.Add(1)
+		c.logf("fleet: session %q reopened fresh on %s (no replicated checkpoint)", id, addr)
+	}
+	return nil
+}
+
+// Open opens a fresh session on the shard owning spec.ID and records
+// the spec for recovery.
+func (c *Coordinator) Open(spec OpenSpec) error {
+	c.mu.Lock()
+	if _, exists := c.specs[spec.ID]; exists {
+		c.mu.Unlock()
+		return &RemoteError{Code: CodeExists, Text: fmt.Sprintf("session %q already routed", spec.ID)}
+	}
+	c.mu.Unlock()
+	_, err := c.doRouted(spec.ID, &Message{Type: MsgOpen, Spec: spec}, MsgOK)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.specs[spec.ID] = spec
+	c.mu.Unlock()
+	return nil
+}
+
+// Resume registers a session from caller-provided checkpoint bytes
+// (external ingest of a .bbck; fleet-internal recovery uses the store).
+func (c *Coordinator) Resume(spec OpenSpec, ckpt []byte) error {
+	c.mu.Lock()
+	if _, exists := c.specs[spec.ID]; exists {
+		c.mu.Unlock()
+		return &RemoteError{Code: CodeExists, Text: fmt.Sprintf("session %q already routed", spec.ID)}
+	}
+	c.mu.Unlock()
+	_, err := c.doRouted(spec.ID, &Message{Type: MsgResume, Spec: spec, Ckpt: ckpt}, MsgOK)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.specs[spec.ID] = spec
+	c.mu.Unlock()
+	return c.cfg.Store.Save(spec.ID, ckpt)
+}
+
+// Feed delivers one frame to a session, wherever it lives.
+func (c *Coordinator) Feed(id string, f core.Frame) error {
+	_, err := c.doRouted(id, &Message{Type: MsgFeed, Spec: OpenSpec{ID: id}, Frames: []core.Frame{f}}, MsgOK)
+	return err
+}
+
+// FeedN delivers an ordered batch to a session.
+func (c *Coordinator) FeedN(id string, frames []core.Frame) error {
+	_, err := c.doRouted(id, &Message{Type: MsgFeedBatch, Spec: OpenSpec{ID: id}, Frames: frames}, MsgOK)
+	return err
+}
+
+// Snapshot fetches a session's counters.
+func (c *Coordinator) Snapshot(id string) (SnapInfo, error) {
+	resp, err := c.doRouted(id, &Message{Type: MsgSnapshot, Spec: OpenSpec{ID: id}}, MsgSnapResp)
+	if err != nil {
+		return SnapInfo{}, err
+	}
+	return resp.Snap, nil
+}
+
+// Checkpoint fetches a session's current .bbck bytes (session keeps
+// running) and replicates them into the store.
+func (c *Coordinator) Checkpoint(id string) ([]byte, error) {
+	resp, err := c.doRouted(id, &Message{Type: MsgCheckpoint, Spec: OpenSpec{ID: id}}, MsgCkptResp)
+	if err != nil {
+		return nil, err
+	}
+	if serr := c.cfg.Store.Save(id, resp.Ckpt); serr != nil {
+		return resp.Ckpt, fmt.Errorf("fleet: replicate %q: %w", id, serr)
+	}
+	return resp.Ckpt, nil
+}
+
+// Drain blocks until every frame fed to the session has been processed.
+func (c *Coordinator) Drain(id string) error {
+	_, err := c.doRouted(id, &Message{Type: MsgDrain, Spec: OpenSpec{ID: id}}, MsgOK)
+	return err
+}
+
+// CloseSession finalizes and removes a session fleet-wide: the shard
+// finalizes it, the route and spec are forgotten, and the replicated
+// checkpoint is deleted.
+func (c *Coordinator) CloseSession(id string) error {
+	_, err := c.doRouted(id, &Message{Type: MsgClose, Spec: OpenSpec{ID: id}}, MsgOK)
+	if err != nil {
+		return err
+	}
+	c.forget(id)
+	return c.cfg.Store.Delete(id)
+}
+
+// Detach drains and removes a session without finalizing and hands its
+// .bbck bytes to the caller, which takes ownership (the fleet forgets
+// the session).
+func (c *Coordinator) Detach(id string) ([]byte, error) {
+	resp, err := c.doRouted(id, &Message{Type: MsgDetach, Spec: OpenSpec{ID: id}}, MsgCkptResp)
+	if err != nil {
+		return nil, err
+	}
+	c.forget(id)
+	return resp.Ckpt, c.cfg.Store.Delete(id)
+}
+
+func (c *Coordinator) forget(id string) {
+	c.mu.Lock()
+	delete(c.specs, id)
+	delete(c.routes, id)
+	c.mu.Unlock()
+}
+
+// Replicate pulls every routed session's current checkpoint into the
+// store — the floor shard-loss recovery resumes from. Transport
+// failures trigger the same shard-loss handling as any routed request;
+// per-session errors are joined, not fatal.
+func (c *Coordinator) Replicate() error {
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.specs))
+	for id := range c.specs {
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+	sort.Strings(ids)
+	var errs []error
+	for _, id := range ids {
+		if _, err := c.Checkpoint(id); err != nil {
+			errs = append(errs, fmt.Errorf("replicate %q: %w", id, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Migrate live-migrates a session onto shard addr: drain + detach on
+// the source (bit-exact .bbck, no finalize), resume on the target,
+// then atomically flip the route. On a target-side failure the session
+// is resumed back on the source, so a failed migration never loses the
+// session. The detached bytes are also replicated — a migration
+// produces a fresh checkpoint for free.
+func (c *Coordinator) Migrate(id string, addr string) error {
+	c.mu.Lock()
+	spec, ok := c.specs[id]
+	if !ok {
+		c.mu.Unlock()
+		return &RemoteError{Code: CodeNoSession, Text: fmt.Sprintf("session %q not routed", id)}
+	}
+	if c.down[addr] {
+		c.mu.Unlock()
+		return fmt.Errorf("fleet: migrate %q: target %s is down", id, addr)
+	}
+	member := false
+	for _, a := range c.cfg.Shards {
+		member = member || a == addr
+	}
+	if !member {
+		c.mu.Unlock()
+		return fmt.Errorf("fleet: migrate %q: %s is not a fleet member", id, addr)
+	}
+	src := c.routeLocked(id)
+	c.mu.Unlock()
+	if src == addr {
+		return nil // already there
+	}
+
+	ckpt, err := c.doRouted(id, &Message{Type: MsgDetach, Spec: OpenSpec{ID: id}}, MsgCkptResp)
+	if err != nil {
+		return fmt.Errorf("fleet: migrate %q: detach: %w", id, err)
+	}
+	c.mu.Lock()
+	cl, err := c.clientLocked(addr)
+	c.mu.Unlock()
+	if err == nil {
+		err = cl.Resume(spec, ckpt.Ckpt)
+	}
+	if err != nil {
+		// Roll back: the session must live somewhere. Resume on the
+		// source (its route is unchanged, so no flip is needed).
+		c.mu.Lock()
+		scl, serr := c.clientLocked(src)
+		c.mu.Unlock()
+		if serr == nil {
+			serr = scl.Resume(spec, ckpt.Ckpt)
+		}
+		if serr != nil {
+			return fmt.Errorf("fleet: migrate %q: target %s failed (%w) and rollback to %s failed (%w)",
+				id, addr, err, src, serr)
+		}
+		return fmt.Errorf("fleet: migrate %q: target %s failed, rolled back to %s: %w", id, addr, src, err)
+	}
+	c.mu.Lock()
+	c.routes[id] = addr // the atomic flip: subsequent feeds route here
+	c.mu.Unlock()
+	c.migrations.Add(1)
+	c.logf("fleet: session %q migrated %s -> %s (%d checkpoint bytes)", id, src, addr, len(ckpt.Ckpt))
+	return c.cfg.Store.Save(id, ckpt.Ckpt)
+}
+
+// Down returns the addresses currently marked down, sorted.
+func (c *Coordinator) Down() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for a := range c.down {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats aggregates counters across live shards plus the coordinator's
+// own routing state. Unreachable shards are skipped (and handled as
+// lost), not errors.
+func (c *Coordinator) Stats() StatsInfo {
+	c.mu.Lock()
+	addrs := make([]string, 0, len(c.cfg.Shards))
+	for _, a := range c.cfg.Shards {
+		if !c.down[a] {
+			addrs = append(addrs, a)
+		}
+	}
+	c.mu.Unlock()
+	agg := StatsInfo{Migrations: c.migrations.Load() + c.recoveries.Load()}
+	for _, addr := range addrs {
+		c.mu.Lock()
+		cl, err := c.clientLocked(addr)
+		c.mu.Unlock()
+		if err != nil {
+			c.handleShardLoss(addr)
+			continue
+		}
+		st, err := cl.Stats()
+		if err != nil {
+			var remote *RemoteError
+			if !errors.As(err, &remote) {
+				c.handleShardLoss(addr)
+			}
+			continue
+		}
+		agg.Open += st.Open
+		agg.Opened += st.Opened
+		agg.Restores += st.Restores
+		agg.Restarts += st.Restarts
+		agg.IDs = append(agg.IDs, st.IDs...)
+	}
+	sort.Strings(agg.IDs)
+	return agg
+}
+
+// Recoveries returns (sessions re-resumed from checkpoints, sessions
+// reopened fresh because no checkpoint existed, recovery failures)
+// since start.
+func (c *Coordinator) Recoveries() (resumed, reopened, failed uint64) {
+	return c.recoveries.Load(), c.reopened.Load(), c.recoverFail.Load()
+}
+
+// Migrations returns completed live migrations since start.
+func (c *Coordinator) Migrations() uint64 { return c.migrations.Load() }
+
+// Handle implements Handler, fronting the coordinator with the same
+// wire protocol the shards speak (bgbuster serve).
+func (c *Coordinator) Handle(req *Message) *Message {
+	switch req.Type {
+	case MsgOpen:
+		return wireStatus(c.Open(req.Spec))
+	case MsgResume:
+		return wireStatus(c.Resume(req.Spec, req.Ckpt))
+	case MsgFeed:
+		return wireStatus(c.Feed(req.Spec.ID, req.Frames[0]))
+	case MsgFeedBatch:
+		return wireStatus(c.FeedN(req.Spec.ID, req.Frames))
+	case MsgSnapshot:
+		snap, err := c.Snapshot(req.Spec.ID)
+		if err != nil {
+			return wireStatus(err)
+		}
+		return &Message{Type: MsgSnapResp, Snap: snap}
+	case MsgCheckpoint:
+		ckpt, err := c.Checkpoint(req.Spec.ID)
+		if err != nil {
+			return wireStatus(err)
+		}
+		return &Message{Type: MsgCkptResp, Ckpt: ckpt}
+	case MsgDetach:
+		ckpt, err := c.Detach(req.Spec.ID)
+		if err != nil {
+			return wireStatus(err)
+		}
+		return &Message{Type: MsgCkptResp, Ckpt: ckpt}
+	case MsgDrain:
+		return wireStatus(c.Drain(req.Spec.ID))
+	case MsgClose:
+		return wireStatus(c.CloseSession(req.Spec.ID))
+	case MsgStats:
+		return &Message{Type: MsgStatsResp, Stats: c.Stats()}
+	default:
+		return errMsg(CodeBadReq, fmt.Sprintf("unexpected message type 0x%02x", byte(req.Type)))
+	}
+}
+
+// wireStatus maps a coordinator-level error onto a wire response,
+// preserving remote codes end to end.
+func wireStatus(err error) *Message {
+	if err == nil {
+		return okMsg()
+	}
+	var remote *RemoteError
+	if errors.As(err, &remote) {
+		return errMsg(remote.Code, remote.Text)
+	}
+	if errors.Is(err, ErrNoShards) {
+		return errMsg(CodeAdmission, err.Error())
+	}
+	return errMsg(CodeInternal, err.Error())
+}
+
+// Close closes every cached shard connection. Shards themselves keep
+// running; this only tears down the coordinator's side.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var errs []error
+	for addr, cl := range c.clients {
+		if err := cl.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		delete(c.clients, addr)
+	}
+	return errors.Join(errs...)
+}

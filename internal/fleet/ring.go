@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVnodes is the virtual-node count per shard: enough points on
+// the circle that removing one shard spreads its sessions roughly
+// evenly over the survivors instead of dumping them all on one
+// neighbour.
+const defaultVnodes = 64
+
+// Ring consistent-hashes session ids onto shard addresses (FNV-64a,
+// vnodes per shard on a sorted circle). Lookups are stable: adding or
+// removing one shard only remaps the ids that hashed to that shard's
+// arcs. A Ring is immutable after New — coordinators swap whole rings.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	shards []string
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// NewRing builds a ring over the shard addresses with vnodes virtual
+// nodes each (<=0 takes the default).
+func NewRing(shards []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	r := &Ring{shards: append([]string(nil), shards...)}
+	for _, s := range r.shards {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", s, i)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns the ring's member addresses in construction order.
+func (r *Ring) Shards() []string { return append([]string(nil), r.shards...) }
+
+// Lookup returns the shard owning id: the first virtual node at or
+// clockwise after hash(id).
+func (r *Ring) Lookup(id string) string {
+	return r.LookupSkip(id, nil)
+}
+
+// LookupSkip walks clockwise from hash(id) and returns the first shard
+// for which skip is false — how a coordinator routes around shards it
+// has marked down without rebuilding the ring. Returns "" when every
+// shard is skipped.
+func (r *Ring) LookupSkip(id string, skip func(addr string) bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(id)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if skip == nil || !skip(p.shard) {
+			return p.shard
+		}
+	}
+	return ""
+}
+
+// hash64 is FNV-64a with a murmur-style avalanche finalizer. Raw FNV
+// hashes of near-identical strings ("addr#0", "addr#1", ...) share
+// long bit prefixes, which clusters a shard's virtual nodes into a few
+// tight arcs and wrecks the ring balance; the finalizer scatters them.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	v := h.Sum64()
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}

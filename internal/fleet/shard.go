@@ -1,0 +1,230 @@
+package fleet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/session"
+)
+
+// Handler answers one decoded request with one response message. Both
+// Shard (local session.Manager) and Coordinator (routing proxy)
+// implement it, so the same Serve loop fronts either role.
+type Handler interface {
+	Handle(req *Message) *Message
+}
+
+// Serve accepts connections on ln and runs one request/response loop
+// per connection until ln is closed. Each request is budget-checked by
+// lim before any allocation. Serve returns when Accept fails
+// (listener closed).
+func Serve(ln net.Listener, h Handler, lim Limits, logf func(format string, args ...any)) error {
+	lim = lim.withDefaults()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			serveConn(conn, h, lim, logf)
+		}()
+	}
+}
+
+func serveConn(conn net.Conn, h Handler, lim Limits, logf func(string, ...any)) {
+	br := bufio.NewReader(conn)
+	for {
+		req, err := ReadMessage(br, lim)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && logf != nil {
+				logf("fleet: %s: read: %v", conn.RemoteAddr(), err)
+			}
+			// A malformed request poisons the stream framing; answer once
+			// and drop the connection rather than guess at resync.
+			if errors.Is(err, ErrBadMessage) || errors.Is(err, ErrVersion) {
+				_ = WriteMessage(conn, errMsg(CodeBadReq, err.Error()))
+			}
+			return
+		}
+		resp := h.Handle(req)
+		if resp == nil {
+			resp = errMsg(CodeInternal, "no response")
+		}
+		if err := WriteMessage(conn, resp); err != nil {
+			if logf != nil {
+				logf("fleet: %s: write: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+	}
+}
+
+func errMsg(code uint16, text string) *Message {
+	return &Message{Type: MsgErr, Code: code, Text: text}
+}
+
+func okMsg() *Message { return &Message{Type: MsgOK} }
+
+// ShardConfig configures a worker shard.
+type ShardConfig struct {
+	// Manager hosts the shard's sessions (required). The shard reuses
+	// all of its machinery — admission control, supervisor restarts,
+	// circuit breaker, checkpoint cycles.
+	Manager *session.Manager
+	// OptionsFor derives reconstruction options from an open/resume
+	// spec (required). Injected so fleet does not import the facade.
+	OptionsFor func(spec OpenSpec) core.Options
+	// Limits bounds decode budgets (zero value: defaults).
+	Limits Limits
+	// DrainTimeout bounds a MsgDrain barrier (default 30s).
+	DrainTimeout time.Duration
+	// Logf receives serve-loop diagnostics (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+// Shard serves one session.Manager over the wire protocol: ingest,
+// snapshots, checkpoint export, resume, and the detach half of live
+// migration.
+type Shard struct {
+	cfg ShardConfig
+}
+
+// NewShard validates the config and returns a shard handler.
+func NewShard(cfg ShardConfig) (*Shard, error) {
+	if cfg.Manager == nil {
+		return nil, errors.New("fleet: ShardConfig.Manager is required")
+	}
+	if cfg.OptionsFor == nil {
+		return nil, errors.New("fleet: ShardConfig.OptionsFor is required")
+	}
+	cfg.Limits = cfg.Limits.withDefaults()
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	return &Shard{cfg: cfg}, nil
+}
+
+// Serve runs the accept loop on ln until it is closed.
+func (s *Shard) Serve(ln net.Listener) error {
+	return Serve(ln, s, s.cfg.Limits, s.cfg.Logf)
+}
+
+// Handle answers one request against the local manager.
+func (s *Shard) Handle(req *Message) *Message {
+	mgr := s.cfg.Manager
+	switch req.Type {
+	case MsgOpen:
+		_, err := mgr.Open(req.Spec.ID, req.Spec.W, req.Spec.H, s.cfg.OptionsFor(req.Spec))
+		return status(err)
+	case MsgResume:
+		_, err := mgr.ResumeSession(req.Spec.ID, req.Ckpt, s.cfg.OptionsFor(req.Spec))
+		return status(err)
+	case MsgFeed:
+		f := req.Frames[0]
+		return status(mgr.Feed(req.Spec.ID, f.Img, f.Oracle))
+	case MsgFeedBatch:
+		return status(mgr.FeedN(req.Spec.ID, req.Frames))
+	case MsgSnapshot:
+		sess, ok := mgr.Get(req.Spec.ID)
+		if !ok {
+			return errMsg(CodeNoSession, fmt.Sprintf("session %q not found", req.Spec.ID))
+		}
+		return &Message{Type: MsgSnapResp, Snap: snapInfo(sess.Stats())}
+	case MsgCheckpoint:
+		sess, ok := mgr.Get(req.Spec.ID)
+		if !ok {
+			return errMsg(CodeNoSession, fmt.Sprintf("session %q not found", req.Spec.ID))
+		}
+		data, err := sess.CheckpointBytes()
+		if err != nil {
+			return statusErr(err)
+		}
+		return &Message{Type: MsgCkptResp, Ckpt: data}
+	case MsgDetach:
+		sess, ok := mgr.Get(req.Spec.ID)
+		if !ok {
+			return errMsg(CodeNoSession, fmt.Sprintf("session %q not found", req.Spec.ID))
+		}
+		data, err := sess.Detach()
+		if err != nil {
+			return statusErr(err)
+		}
+		return &Message{Type: MsgCkptResp, Ckpt: data}
+	case MsgDrain:
+		sess, ok := mgr.Get(req.Spec.ID)
+		if !ok {
+			return errMsg(CodeNoSession, fmt.Sprintf("session %q not found", req.Spec.ID))
+		}
+		return status(sess.Drain(s.cfg.DrainTimeout))
+	case MsgClose:
+		sess, ok := mgr.Get(req.Spec.ID)
+		if !ok {
+			return errMsg(CodeNoSession, fmt.Sprintf("session %q not found", req.Spec.ID))
+		}
+		return status(sess.Close())
+	case MsgStats:
+		st := mgr.Stats()
+		info := StatsInfo{
+			Open:     uint32(st.Open),
+			Opened:   st.Opened,
+			Restores: st.Restored,
+			Restarts: st.Restarts,
+		}
+		for _, sn := range st.Sessions {
+			info.IDs = append(info.IDs, sn.ID)
+		}
+		return &Message{Type: MsgStatsResp, Stats: info}
+	default:
+		return errMsg(CodeBadReq, fmt.Sprintf("unexpected message type 0x%02x", byte(req.Type)))
+	}
+}
+
+// snapInfo projects a session snapshot onto the wire struct.
+func snapInfo(st session.Snapshot) SnapInfo {
+	return SnapInfo{
+		ID:           st.ID,
+		Health:       uint8(st.Health),
+		Identified:   st.Identified,
+		Restored:     st.Restored,
+		Finalized:    st.Finalized,
+		Fed:          st.FramesFed,
+		Dropped:      st.FramesDropped,
+		Rejected:     st.FramesRejected,
+		Processed:    st.FramesProcessed,
+		StreamFrames: st.StreamFrames,
+		Coverage:     st.CoveragePct / 100,
+		VBName:       st.VBName,
+	}
+}
+
+// status maps a session-layer error onto a wire response.
+func status(err error) *Message {
+	if err == nil {
+		return okMsg()
+	}
+	return statusErr(err)
+}
+
+func statusErr(err error) *Message {
+	code := CodeInternal
+	switch {
+	case errors.Is(err, session.ErrNoSession):
+		code = CodeNoSession
+	case errors.Is(err, session.ErrExists):
+		code = CodeExists
+	case errors.Is(err, session.ErrFleetFull), errors.Is(err, session.ErrMemoryBudget):
+		code = CodeAdmission
+	}
+	return errMsg(code, err.Error())
+}

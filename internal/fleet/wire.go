@@ -1,0 +1,701 @@
+// Package fleet shards the live-call session layer across processes: a
+// stdlib-only wire protocol (net + the repo's binary codecs) carries
+// frame ingest, snapshot queries and checkpoint transfer between a
+// coordinator and worker shards, and checkpoint-based live migration
+// moves a running session between shards without losing a bit — the
+// .bbck bit-identical resume guarantee (DESIGN.md §11) makes the
+// migration lossless, and the same transfer path re-resumes every
+// session of a lost shard on the survivors (DESIGN.md §15).
+package fleet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// Magic opens every wire message; Version is the protocol revision.
+const (
+	Magic   = "BBFL"
+	Version = 1
+)
+
+// headerLen is the fixed message prelude: magic(4) version(2) type(1)
+// reserved(1) bodyLen(4).
+const headerLen = 12
+
+// ErrBadMessage is wrapped by every structural decode rejection:
+// wrong magic, unknown type, truncated or oversized sections, trailing
+// bytes, non-canonical flags. A decoder never panics and never
+// allocates more than the advertised (and budget-checked) sizes.
+var ErrBadMessage = errors.New("fleet: bad message")
+
+// ErrVersion rejects messages from an incompatible protocol revision.
+var ErrVersion = errors.New("fleet: unsupported protocol version")
+
+// MsgType discriminates wire messages. Requests are < 0x40, responses
+// >= 0x40.
+type MsgType uint8
+
+const (
+	// MsgOpen opens a fresh session from an OpenSpec.
+	MsgOpen MsgType = 0x01
+	// MsgFeed delivers one frame (Frames[0]) to a session.
+	MsgFeed MsgType = 0x02
+	// MsgFeedBatch delivers an ordered frame batch as one intake unit.
+	MsgFeedBatch MsgType = 0x03
+	// MsgSnapshot asks for a session's observability snapshot.
+	MsgSnapshot MsgType = 0x04
+	// MsgCheckpoint asks for a session's current canonical .bbck bytes
+	// (the session keeps running) — the replication primitive.
+	MsgCheckpoint MsgType = 0x05
+	// MsgResume registers a session from checkpoint bytes under the
+	// spec's id — the receiving half of migration and shard recovery.
+	MsgResume MsgType = 0x06
+	// MsgClose finalizes and unregisters a session.
+	MsgClose MsgType = 0x07
+	// MsgDetach drains and removes a session WITHOUT finalizing,
+	// returning its .bbck bytes — the sending half of live migration.
+	MsgDetach MsgType = 0x08
+	// MsgStats asks for the fleet-level counter snapshot and session ids.
+	MsgStats MsgType = 0x09
+	// MsgDrain blocks until every fed frame of a session is processed —
+	// the quiesce barrier a migration or parity check runs behind.
+	MsgDrain MsgType = 0x0A
+
+	// MsgOK acknowledges a request with no payload.
+	MsgOK MsgType = 0x40
+	// MsgErr reports a failed request (Code + Text).
+	MsgErr MsgType = 0x41
+	// MsgSnapResp answers MsgSnapshot.
+	MsgSnapResp MsgType = 0x42
+	// MsgCkptResp answers MsgCheckpoint/MsgDetach with .bbck bytes.
+	MsgCkptResp MsgType = 0x43
+	// MsgStatsResp answers MsgStats.
+	MsgStatsResp MsgType = 0x44
+)
+
+// Error codes carried by MsgErr, mirroring the session layer's typed
+// rejections so a remote caller can branch the same way a local one
+// does.
+const (
+	CodeInternal  uint16 = 1 // unclassified server-side failure
+	CodeNoSession uint16 = 2 // session.ErrNoSession
+	CodeExists    uint16 = 3 // session.ErrExists
+	CodeAdmission uint16 = 4 // ErrFleetFull / ErrMemoryBudget
+	CodeBadReq    uint16 = 5 // malformed or unroutable request
+)
+
+// OpenSpec describes a session to open (or resume): everything a shard
+// needs to derive the reconstruction options through its injected
+// OptionsFor hook. The coordinator keeps the spec so a lost shard's
+// sessions can be re-opened elsewhere.
+type OpenSpec struct {
+	ID        string
+	W, H      int
+	UnknownVB bool
+	Seed      int64
+}
+
+// SnapInfo is the wire projection of session.Snapshot — the counters a
+// remote operator routes and load-balances on.
+type SnapInfo struct {
+	ID                              string
+	Health                          uint8
+	Identified, Restored, Finalized bool
+	Fed, Dropped, Rejected          uint64
+	Processed, StreamFrames         uint64
+	Coverage                        float64 // fraction in [0,1]
+	VBName                          string
+}
+
+// StatsInfo is the wire projection of a manager-level snapshot plus
+// the open session ids (what a recovering coordinator enumerates).
+type StatsInfo struct {
+	Open                       uint32
+	Opened, Restores, Restarts uint64
+	Migrations                 uint64
+	IDs                        []string
+}
+
+// Message is one decoded wire message. Only the fields its Type uses
+// are meaningful; Encode writes exactly those, so
+// Encode(Decode(b)) == b for every accepted b (the canonical-encoding
+// invariant the fuzz harness enforces).
+type Message struct {
+	Type   MsgType
+	Spec   OpenSpec     // Open, Resume; Spec.ID alone for id-bearing requests
+	Frames []core.Frame // Feed (exactly 1), FeedBatch (1..MaxBatch)
+	Ckpt   []byte       // Resume, CkptResp
+	Code   uint16       // Err
+	Text   string       // Err
+	Snap   SnapInfo     // SnapResp
+	Stats  StatsInfo    // StatsResp
+}
+
+// Limits bounds what a decoder will allocate for one message — the
+// DecodeLimits discipline from the vidstream and checkpoint codecs: a
+// malicious peer must never be able to force a large allocation with a
+// small crafted header. The zero value takes every default.
+type Limits struct {
+	// MaxBody caps one message's body length (default 64 MiB).
+	MaxBody int64
+	// MaxDim caps frame width and height (default 8192).
+	MaxDim int
+	// MaxBatch caps frames per MsgFeedBatch (default 1024).
+	MaxBatch int
+	// MaxIDLen caps session-id byte length (default 256).
+	MaxIDLen int
+	// MaxCkpt caps embedded checkpoint payloads (default 64 MiB).
+	MaxCkpt int64
+	// MaxIDs caps the id list in MsgStatsResp (default 1 << 16).
+	MaxIDs int
+	// MaxText caps MsgErr/VBName strings (default 4096).
+	MaxText int
+}
+
+// DefaultLimits returns the default decode budgets.
+func DefaultLimits() Limits { return Limits{}.withDefaults() }
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxBody <= 0 {
+		l.MaxBody = 64 << 20
+	}
+	if l.MaxDim <= 0 {
+		l.MaxDim = 8192
+	}
+	if l.MaxBatch <= 0 {
+		l.MaxBatch = 1024
+	}
+	if l.MaxIDLen <= 0 {
+		l.MaxIDLen = 256
+	}
+	if l.MaxCkpt <= 0 {
+		l.MaxCkpt = 64 << 20
+	}
+	if l.MaxIDs <= 0 {
+		l.MaxIDs = 1 << 16
+	}
+	if l.MaxText <= 0 {
+		l.MaxText = 4096
+	}
+	return l
+}
+
+// Encode serialises a message to its canonical wire bytes.
+func Encode(m *Message) ([]byte, error) {
+	body, err := appendBody(nil, m)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, headerLen+len(body))
+	buf = append(buf, Magic...)
+	buf = appendU16(buf, Version)
+	buf = append(buf, byte(m.Type), 0)
+	buf = appendU32(buf, uint32(len(body)))
+	return append(buf, body...), nil
+}
+
+func appendBody(buf []byte, m *Message) ([]byte, error) {
+	switch m.Type {
+	case MsgOpen, MsgResume:
+		buf = appendStr(buf, m.Spec.ID)
+		buf = appendU16(buf, uint16(m.Spec.W))
+		buf = appendU16(buf, uint16(m.Spec.H))
+		buf = append(buf, b2u8(m.Spec.UnknownVB))
+		buf = appendU64(buf, uint64(m.Spec.Seed))
+		if m.Type == MsgResume {
+			buf = appendU32(buf, uint32(len(m.Ckpt)))
+			buf = append(buf, m.Ckpt...)
+		}
+	case MsgFeed:
+		if len(m.Frames) != 1 {
+			return nil, fmt.Errorf("fleet: MsgFeed carries %d frames, want 1", len(m.Frames))
+		}
+		buf = appendStr(buf, m.Spec.ID)
+		buf = appendFrame(buf, m.Frames[0])
+	case MsgFeedBatch:
+		if len(m.Frames) == 0 {
+			return nil, errors.New("fleet: empty MsgFeedBatch")
+		}
+		buf = appendStr(buf, m.Spec.ID)
+		buf = appendU16(buf, uint16(len(m.Frames)))
+		for _, f := range m.Frames {
+			buf = appendFrame(buf, f)
+		}
+	case MsgSnapshot, MsgCheckpoint, MsgClose, MsgDetach, MsgDrain:
+		buf = appendStr(buf, m.Spec.ID)
+	case MsgStats, MsgOK:
+		// empty body
+	case MsgErr:
+		buf = appendU16(buf, m.Code)
+		buf = appendStr(buf, m.Text)
+	case MsgSnapResp:
+		s := m.Snap
+		buf = appendStr(buf, s.ID)
+		buf = append(buf, s.Health)
+		buf = append(buf, b2u8(s.Identified)|b2u8(s.Restored)<<1|b2u8(s.Finalized)<<2)
+		for _, v := range []uint64{s.Fed, s.Dropped, s.Rejected, s.Processed, s.StreamFrames} {
+			buf = appendU64(buf, v)
+		}
+		buf = appendU64(buf, math.Float64bits(s.Coverage))
+		buf = appendStr(buf, s.VBName)
+	case MsgCkptResp:
+		buf = appendU32(buf, uint32(len(m.Ckpt)))
+		buf = append(buf, m.Ckpt...)
+	case MsgStatsResp:
+		st := m.Stats
+		buf = appendU32(buf, st.Open)
+		for _, v := range []uint64{st.Opened, st.Restores, st.Restarts, st.Migrations} {
+			buf = appendU64(buf, v)
+		}
+		buf = appendU32(buf, uint32(len(st.IDs)))
+		for _, id := range st.IDs {
+			buf = appendStr(buf, id)
+		}
+	default:
+		return nil, fmt.Errorf("fleet: encode: unknown message type 0x%02x", byte(m.Type))
+	}
+	return buf, nil
+}
+
+// appendFrame writes one frame: geometry, raw RGB raster, and the
+// packed-word oracle mask (flag 0 when absent).
+func appendFrame(buf []byte, f core.Frame) []byte {
+	buf = appendU16(buf, uint16(f.Img.W))
+	buf = appendU16(buf, uint16(f.Img.H))
+	for _, p := range f.Img.Pix {
+		buf = append(buf, p.R, p.G, p.B)
+	}
+	if f.Oracle == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	return f.Oracle.AppendWords(buf)
+}
+
+// Decode parses one complete message under the default budgets.
+func Decode(data []byte) (*Message, error) {
+	return DecodeWithLimits(data, DefaultLimits())
+}
+
+// DecodeWithLimits parses one complete message — header and body —
+// rejecting anything structurally invalid, over budget, or
+// non-canonical (trailing bytes, nonzero reserved byte, padding-bit
+// violations in masks). It never panics on crafted input and never
+// allocates beyond the budgets in lim.
+func DecodeWithLimits(data []byte, lim Limits) (*Message, error) {
+	lim = lim.withDefaults()
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("fleet: %d-byte message shorter than header: %w", len(data), ErrBadMessage)
+	}
+	if string(data[:4]) != Magic {
+		return nil, fmt.Errorf("fleet: bad magic %q: %w", data[:4], ErrBadMessage)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != Version {
+		return nil, fmt.Errorf("fleet: version %d: %w", v, ErrVersion)
+	}
+	if data[7] != 0 {
+		return nil, fmt.Errorf("fleet: nonzero reserved byte: %w", ErrBadMessage)
+	}
+	bodyLen := int64(binary.LittleEndian.Uint32(data[8:12]))
+	if bodyLen > lim.MaxBody {
+		return nil, fmt.Errorf("fleet: %d-byte body exceeds budget %d: %w", bodyLen, lim.MaxBody, ErrBadMessage)
+	}
+	if int64(len(data)-headerLen) != bodyLen {
+		return nil, fmt.Errorf("fleet: advertised body %d bytes, have %d: %w", bodyLen, len(data)-headerLen, ErrBadMessage)
+	}
+	m := &Message{Type: MsgType(data[6])}
+	r := &reader{data: data[headerLen:]}
+	if err := decodeBody(r, m, lim); err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("fleet: %d trailing bytes: %w", r.remaining(), ErrBadMessage)
+	}
+	return m, nil
+}
+
+func decodeBody(r *reader, m *Message, lim Limits) error {
+	switch m.Type {
+	case MsgOpen, MsgResume:
+		if err := r.spec(&m.Spec, lim); err != nil {
+			return err
+		}
+		if m.Type == MsgResume {
+			ckpt, err := r.blob(lim.MaxCkpt)
+			if err != nil {
+				return err
+			}
+			m.Ckpt = ckpt
+		}
+	case MsgFeed:
+		id, err := r.str(lim.MaxIDLen)
+		if err != nil {
+			return err
+		}
+		m.Spec.ID = id
+		f, err := r.frame(lim)
+		if err != nil {
+			return err
+		}
+		m.Frames = []core.Frame{f}
+	case MsgFeedBatch:
+		id, err := r.str(lim.MaxIDLen)
+		if err != nil {
+			return err
+		}
+		m.Spec.ID = id
+		n, err := r.u16()
+		if err != nil {
+			return err
+		}
+		if n == 0 || int(n) > lim.MaxBatch {
+			return fmt.Errorf("fleet: batch of %d frames outside [1,%d]: %w", n, lim.MaxBatch, ErrBadMessage)
+		}
+		// Frames are decoded one at a time: each frame's own geometry
+		// check bounds its allocation, so no up-front n×frame reserve is
+		// needed (or made).
+		m.Frames = make([]core.Frame, 0, min(int(n), 64))
+		for i := 0; i < int(n); i++ {
+			f, err := r.frame(lim)
+			if err != nil {
+				return err
+			}
+			m.Frames = append(m.Frames, f)
+		}
+	case MsgSnapshot, MsgCheckpoint, MsgClose, MsgDetach, MsgDrain:
+		id, err := r.str(lim.MaxIDLen)
+		if err != nil {
+			return err
+		}
+		m.Spec.ID = id
+	case MsgStats, MsgOK:
+		// empty body
+	case MsgErr:
+		code, err := r.u16()
+		if err != nil {
+			return err
+		}
+		text, err := r.str(lim.MaxText)
+		if err != nil {
+			return err
+		}
+		m.Code, m.Text = code, text
+	case MsgSnapResp:
+		s := &m.Snap
+		var err error
+		if s.ID, err = r.str(lim.MaxIDLen); err != nil {
+			return err
+		}
+		if s.Health, err = r.u8(); err != nil {
+			return err
+		}
+		flags, err := r.u8()
+		if err != nil {
+			return err
+		}
+		if flags&^0x07 != 0 {
+			return fmt.Errorf("fleet: nonzero snapshot flag padding: %w", ErrBadMessage)
+		}
+		s.Identified, s.Restored, s.Finalized = flags&1 != 0, flags&2 != 0, flags&4 != 0
+		for _, dst := range []*uint64{&s.Fed, &s.Dropped, &s.Rejected, &s.Processed, &s.StreamFrames} {
+			if *dst, err = r.u64(); err != nil {
+				return err
+			}
+		}
+		bits, err := r.u64()
+		if err != nil {
+			return err
+		}
+		s.Coverage = math.Float64frombits(bits)
+		if s.VBName, err = r.str(lim.MaxText); err != nil {
+			return err
+		}
+	case MsgCkptResp:
+		ckpt, err := r.blob(lim.MaxCkpt)
+		if err != nil {
+			return err
+		}
+		m.Ckpt = ckpt
+	case MsgStatsResp:
+		st := &m.Stats
+		var err error
+		if st.Open, err = r.u32(); err != nil {
+			return err
+		}
+		for _, dst := range []*uint64{&st.Opened, &st.Restores, &st.Restarts, &st.Migrations} {
+			if *dst, err = r.u64(); err != nil {
+				return err
+			}
+		}
+		n, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if int64(n) > int64(lim.MaxIDs) {
+			return fmt.Errorf("fleet: %d ids exceed budget %d: %w", n, lim.MaxIDs, ErrBadMessage)
+		}
+		// Each id costs >= 2 bytes on the wire, so the advertised count
+		// is cheap to sanity-check against what is actually present
+		// before reserving anything.
+		if err := r.need(2 * int64(n)); err != nil {
+			return err
+		}
+		if n > 0 {
+			st.IDs = make([]string, 0, n)
+		}
+		for i := uint32(0); i < n; i++ {
+			id, err := r.str(lim.MaxIDLen)
+			if err != nil {
+				return err
+			}
+			st.IDs = append(st.IDs, id)
+		}
+	default:
+		return fmt.Errorf("fleet: unknown message type 0x%02x: %w", byte(m.Type), ErrBadMessage)
+	}
+	return nil
+}
+
+// WriteMessage frames and writes one message to w.
+func WriteMessage(w io.Writer, m *Message) error {
+	buf, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadMessage reads exactly one length-prefixed message from r under
+// the given budgets. The header is read first and validated, so at
+// most lim.MaxBody bytes are ever buffered for one message.
+func ReadMessage(r io.Reader, lim Limits) (*Message, error) {
+	lim = lim.withDefaults()
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if string(hdr[:4]) != Magic {
+		return nil, fmt.Errorf("fleet: bad magic %q: %w", hdr[:4], ErrBadMessage)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != Version {
+		return nil, fmt.Errorf("fleet: version %d: %w", v, ErrVersion)
+	}
+	bodyLen := int64(binary.LittleEndian.Uint32(hdr[8:12]))
+	if bodyLen > lim.MaxBody {
+		return nil, fmt.Errorf("fleet: %d-byte body exceeds budget %d: %w", bodyLen, lim.MaxBody, ErrBadMessage)
+	}
+	buf := make([]byte, headerLen+int(bodyLen))
+	copy(buf, hdr)
+	if _, err := io.ReadFull(r, buf[headerLen:]); err != nil {
+		return nil, err
+	}
+	return DecodeWithLimits(buf, lim)
+}
+
+// reader is the bounds-checked cursor (checkpoint codec idiom): every
+// accessor validates remaining length before reading, and every
+// variable-size section calls need() with its full advertised size
+// before its first allocation.
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) remaining() int64 { return int64(len(r.data) - r.off) }
+
+func (r *reader) need(n int64) error {
+	if n < 0 || n > r.remaining() {
+		return fmt.Errorf("fleet: section of %d bytes exceeds %d remaining: %w", n, r.remaining(), ErrBadMessage)
+	}
+	return nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if err := r.need(int64(n)); err != nil {
+		return nil, err
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) u8() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	b, err := r.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// str reads a u16-length-prefixed string bounded by maxLen.
+func (r *reader) str(maxLen int) (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > maxLen {
+		return "", fmt.Errorf("fleet: %d-byte string exceeds budget %d: %w", n, maxLen, ErrBadMessage)
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// blob reads a u32-length-prefixed byte section bounded by maxLen,
+// copying it out of the message buffer (checkpoint bytes outlive the
+// request).
+func (r *reader) blob(maxLen int64) ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int64(n) > maxLen {
+		return nil, fmt.Errorf("fleet: %d-byte blob exceeds budget %d: %w", n, maxLen, ErrBadMessage)
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// spec reads an OpenSpec, bounding geometry by lim.MaxDim.
+func (r *reader) spec(s *OpenSpec, lim Limits) error {
+	id, err := r.str(lim.MaxIDLen)
+	if err != nil {
+		return err
+	}
+	w, err := r.u16()
+	if err != nil {
+		return err
+	}
+	h, err := r.u16()
+	if err != nil {
+		return err
+	}
+	if int(w) > lim.MaxDim || int(h) > lim.MaxDim || w == 0 || h == 0 {
+		return fmt.Errorf("fleet: %dx%d spec outside [1,%d]: %w", w, h, lim.MaxDim, ErrBadMessage)
+	}
+	uvb, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if uvb > 1 {
+		return fmt.Errorf("fleet: non-boolean unknown-vb flag %d: %w", uvb, ErrBadMessage)
+	}
+	seed, err := r.u64()
+	if err != nil {
+		return err
+	}
+	s.ID, s.W, s.H, s.UnknownVB, s.Seed = id, int(w), int(h), uvb == 1, int64(seed)
+	return nil
+}
+
+// frame reads one frame: the geometry is budget-checked and the full
+// raster size need()-verified before the image allocation, so a
+// crafted header cannot force a large allocation.
+func (r *reader) frame(lim Limits) (core.Frame, error) {
+	w16, err := r.u16()
+	if err != nil {
+		return core.Frame{}, err
+	}
+	h16, err := r.u16()
+	if err != nil {
+		return core.Frame{}, err
+	}
+	w, h := int(w16), int(h16)
+	if w == 0 || h == 0 || w > lim.MaxDim || h > lim.MaxDim {
+		return core.Frame{}, fmt.Errorf("fleet: %dx%d frame outside [1,%d]: %w", w, h, lim.MaxDim, ErrBadMessage)
+	}
+	if err := r.need(int64(3*w*h) + 1); err != nil {
+		return core.Frame{}, err
+	}
+	b, err := r.bytes(3 * w * h)
+	if err != nil {
+		return core.Frame{}, err
+	}
+	img := imagex.New(w, h)
+	for i := range img.Pix {
+		img.Pix[i] = imagex.RGB{R: b[3*i], G: b[3*i+1], B: b[3*i+2]}
+	}
+	hasOracle, err := r.u8()
+	if err != nil {
+		return core.Frame{}, err
+	}
+	switch hasOracle {
+	case 0:
+		return core.Frame{Img: img}, nil
+	case 1:
+		mb := 8 * h * ((w + 63) >> 6)
+		wb, err := r.bytes(mb)
+		if err != nil {
+			return core.Frame{}, err
+		}
+		m := imagex.NewMask(w, h)
+		if err := m.LoadWords(wb); err != nil {
+			return core.Frame{}, fmt.Errorf("fleet: %w: %w", err, ErrBadMessage)
+		}
+		return core.Frame{Img: img, Oracle: m}, nil
+	default:
+		return core.Frame{}, fmt.Errorf("fleet: non-boolean oracle flag %d: %w", hasOracle, ErrBadMessage)
+	}
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = appendU16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func appendU16(buf []byte, v uint16) []byte {
+	return append(buf, byte(v), byte(v>>8))
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(buf []byte, v uint64) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func b2u8(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,333 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// testFrame builds a small deterministic frame; odd seeds carry an
+// oracle mask with a few silhouette pixels.
+func testFrame(w, h int, seed int) core.Frame {
+	img := imagex.New(w, h)
+	for i := range img.Pix {
+		v := byte((i*7 + seed*13) % 251)
+		img.Pix[i] = imagex.RGB{R: v, G: v + 1, B: v + 2}
+	}
+	f := core.Frame{Img: img}
+	if seed%2 == 1 {
+		m := imagex.NewMask(w, h)
+		for y := 0; y < h; y += 2 {
+			m.Set(seed%w, y, true)
+		}
+		f.Oracle = m
+	}
+	return f
+}
+
+// sampleMessages covers every wire message type with non-trivial
+// payloads.
+func sampleMessages() []*Message {
+	return []*Message{
+		{Type: MsgOpen, Spec: OpenSpec{ID: "call-00", W: 64, H: 48, UnknownVB: true, Seed: -12345}},
+		{Type: MsgResume, Spec: OpenSpec{ID: "call-01", W: 32, H: 24, Seed: 7}, Ckpt: []byte{0xBB, 0xCC, 0x01, 0x00, 0xFF}},
+		{Type: MsgFeed, Spec: OpenSpec{ID: "call-02"}, Frames: []core.Frame{testFrame(16, 12, 1)}},
+		{Type: MsgFeedBatch, Spec: OpenSpec{ID: "call-03"}, Frames: []core.Frame{
+			testFrame(8, 8, 0), testFrame(8, 8, 1), testFrame(8, 8, 2),
+		}},
+		{Type: MsgSnapshot, Spec: OpenSpec{ID: "call-04"}},
+		{Type: MsgCheckpoint, Spec: OpenSpec{ID: "call-05"}},
+		{Type: MsgClose, Spec: OpenSpec{ID: "call-06"}},
+		{Type: MsgDetach, Spec: OpenSpec{ID: "call-07"}},
+		{Type: MsgDrain, Spec: OpenSpec{ID: "call-08"}},
+		{Type: MsgStats},
+		{Type: MsgOK},
+		{Type: MsgErr, Code: CodeNoSession, Text: `session "x" not found`},
+		{Type: MsgSnapResp, Snap: SnapInfo{
+			ID: "call-09", Health: 1, Identified: true, Restored: true, Finalized: false,
+			Fed: 100, Dropped: 3, Rejected: 2, Processed: 95, StreamFrames: 120,
+			Coverage: 0.4375, VBName: "beach",
+		}},
+		{Type: MsgCkptResp, Ckpt: []byte("BBCKpayload")},
+		{Type: MsgStatsResp, Stats: StatsInfo{
+			Open: 3, Opened: 9, Restores: 2, Restarts: 1, Migrations: 4,
+			IDs: []string{"call-00", "call-01", "call-02"},
+		}},
+	}
+}
+
+func TestWireRoundTripCanonical(t *testing.T) {
+	for _, m := range sampleMessages() {
+		buf, err := Encode(m)
+		if err != nil {
+			t.Fatalf("type 0x%02x: encode: %v", byte(m.Type), err)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("type 0x%02x: decode: %v", byte(m.Type), err)
+		}
+		if !messagesEqual(m, got) {
+			t.Fatalf("type 0x%02x: round trip mismatch:\n in: %+v\nout: %+v", byte(m.Type), m, got)
+		}
+		re, err := Encode(got)
+		if err != nil {
+			t.Fatalf("type 0x%02x: re-encode: %v", byte(m.Type), err)
+		}
+		if !bytes.Equal(buf, re) {
+			t.Fatalf("type 0x%02x: non-canonical: encode(decode(b)) != b", byte(m.Type))
+		}
+	}
+}
+
+func TestWireReadWriteMessage(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadMessage(&buf, Limits{})
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !messagesEqual(want, got) {
+			t.Fatalf("message %d mismatch", i)
+		}
+	}
+	if _, err := ReadMessage(&buf, Limits{}); !errors.Is(err, io.EOF) {
+		t.Fatalf("after stream end: %v, want EOF", err)
+	}
+}
+
+// messagesEqual compares the fields Encode writes for m.Type.
+func messagesEqual(a, b *Message) bool {
+	if a.Type != b.Type || a.Spec.ID != b.Spec.ID {
+		return false
+	}
+	switch a.Type {
+	case MsgOpen, MsgResume:
+		if a.Spec != b.Spec {
+			return false
+		}
+	}
+	if len(a.Frames) != len(b.Frames) {
+		return false
+	}
+	for i := range a.Frames {
+		fa, fb := a.Frames[i], b.Frames[i]
+		if !reflect.DeepEqual(fa.Img, fb.Img) {
+			return false
+		}
+		if (fa.Oracle == nil) != (fb.Oracle == nil) {
+			return false
+		}
+		if fa.Oracle != nil && !reflect.DeepEqual(fa.Oracle, fb.Oracle) {
+			return false
+		}
+	}
+	return bytes.Equal(a.Ckpt, b.Ckpt) && a.Code == b.Code && a.Text == b.Text &&
+		a.Snap == b.Snap && a.Stats.Open == b.Stats.Open &&
+		a.Stats.Opened == b.Stats.Opened && a.Stats.Restores == b.Stats.Restores &&
+		a.Stats.Restarts == b.Stats.Restarts && a.Stats.Migrations == b.Stats.Migrations &&
+		reflect.DeepEqual(a.Stats.IDs, b.Stats.IDs)
+}
+
+// TestWireGolden pins the byte layout of representative messages so an
+// accidental format change cannot slip through as "still round-trips".
+func TestWireGolden(t *testing.T) {
+	open := &Message{Type: MsgOpen, Spec: OpenSpec{ID: "ab", W: 3, H: 2, UnknownVB: true, Seed: 5}}
+	wantOpen := []byte{
+		'B', 'B', 'F', 'L', // magic
+		1, 0, // version
+		0x01, 0x00, // type, reserved
+		17, 0, 0, 0, // bodyLen
+		2, 0, 'a', 'b', // id
+		3, 0, 2, 0, // w, h
+		1,                      // unknownVB
+		5, 0, 0, 0, 0, 0, 0, 0, // seed
+	}
+	if got, _ := Encode(open); !bytes.Equal(got, wantOpen) {
+		t.Fatalf("MsgOpen golden mismatch:\n got %v\nwant %v", got, wantOpen)
+	}
+
+	errM := &Message{Type: MsgErr, Code: 2, Text: "no"}
+	wantErr := []byte{
+		'B', 'B', 'F', 'L', 1, 0, 0x41, 0x00, 6, 0, 0, 0,
+		2, 0, // code
+		2, 0, 'n', 'o', // text
+	}
+	if got, _ := Encode(errM); !bytes.Equal(got, wantErr) {
+		t.Fatalf("MsgErr golden mismatch:\n got %v\nwant %v", got, wantErr)
+	}
+
+	// A 1x1 frame with oracle: geometry + 3 raster bytes + flag + one
+	// 8-byte mask word (bit 0 set).
+	img := imagex.New(1, 1)
+	img.Pix[0] = imagex.RGB{R: 9, G: 8, B: 7}
+	mask := imagex.NewMask(1, 1)
+	mask.Set(0, 0, true)
+	feed := &Message{Type: MsgFeed, Spec: OpenSpec{ID: "z"}, Frames: []core.Frame{{Img: img, Oracle: mask}}}
+	wantFeed := []byte{
+		'B', 'B', 'F', 'L', 1, 0, 0x02, 0x00, 19, 0, 0, 0,
+		1, 0, 'z', // id
+		1, 0, 1, 0, // w, h
+		9, 8, 7, // raster
+		1,                      // oracle present
+		1, 0, 0, 0, 0, 0, 0, 0, // mask word
+	}
+	if got, _ := Encode(feed); !bytes.Equal(got, wantFeed) {
+		t.Fatalf("MsgFeed golden mismatch:\n got %v\nwant %v", got, wantFeed)
+	}
+}
+
+func TestWireDecodeRejections(t *testing.T) {
+	valid, _ := Encode(&Message{Type: MsgOpen, Spec: OpenSpec{ID: "x", W: 2, H: 2, Seed: 1}})
+
+	corrupt := func(mut func(b []byte) []byte) []byte {
+		b := append([]byte(nil), valid...)
+		return mut(b)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"short", valid[:8], ErrBadMessage},
+		{"magic", corrupt(func(b []byte) []byte { b[0] = 'X'; return b }), ErrBadMessage},
+		{"version", corrupt(func(b []byte) []byte { b[4] = 9; return b }), ErrVersion},
+		{"reserved", corrupt(func(b []byte) []byte { b[7] = 1; return b }), ErrBadMessage},
+		{"type", corrupt(func(b []byte) []byte { b[6] = 0x3F; return b }), ErrBadMessage},
+		{"trailing", append(append([]byte(nil), corrupt(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], uint32(len(b)-12+1))
+			return b
+		})...), 0), ErrBadMessage},
+		{"bodyLenMismatch", corrupt(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], 999)
+			return b
+		}), ErrBadMessage},
+	}
+	for _, tc := range cases {
+		if _, err := Decode(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Non-boolean unknown-vb flag.
+	bad := corrupt(func(b []byte) []byte { b[12+2+1+4] = 2; return b })
+	if _, err := Decode(bad); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("non-boolean flag: %v", err)
+	}
+
+	// Oversized id versus MaxIDLen budget.
+	long, _ := Encode(&Message{Type: MsgSnapshot, Spec: OpenSpec{ID: strings.Repeat("a", 64)}})
+	if _, err := DecodeWithLimits(long, Limits{MaxIDLen: 8}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("id budget: %v", err)
+	}
+
+	// Mask with a nonzero padding bit (w=1 uses bit 0 of the word only).
+	feedBad := []byte{
+		'B', 'B', 'F', 'L', 1, 0, 0x02, 0x00, 19, 0, 0, 0,
+		1, 0, 'z', 1, 0, 1, 0, 9, 8, 7, 1,
+		0x02, 0, 0, 0, 0, 0, 0, 0, // bit 1 set: padding violation
+	}
+	if _, err := Decode(feedBad); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("mask padding: %v", err)
+	}
+
+	// Batch count of zero is non-canonical.
+	zeroBatch := []byte{
+		'B', 'B', 'F', 'L', 1, 0, 0x03, 0x00, 5, 0, 0, 0,
+		1, 0, 'z', 0, 0,
+	}
+	if _, err := Decode(zeroBatch); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("zero batch: %v", err)
+	}
+}
+
+// TestWireGeometryBombRejected crafts a tiny message whose frame
+// header claims a huge raster: the decoder must reject it from the
+// length check alone, before any allocation.
+func TestWireGeometryBombRejected(t *testing.T) {
+	body := []byte{1, 0, 'z'}       // id
+	body = append(body, 0xFF, 0xFF) // w = 65535
+	body = append(body, 0xFF, 0xFF) // h = 65535
+	body = append(body, 1, 2, 3)    // 3 "raster" bytes
+	msg := []byte{'B', 'B', 'F', 'L', 1, 0, 0x02, 0x00}
+	msg = binary.LittleEndian.AppendUint32(msg, uint32(len(body)))
+	msg = append(msg, body...)
+
+	if _, err := Decode(msg); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("geometry bomb: %v", err)
+	}
+	// Within the dimension budget but with a raster far larger than the
+	// body: need() must fire before the image allocation.
+	body2 := []byte{1, 0, 'z', 0, 4, 0, 4} // 1024x1024 claimed
+	msg2 := []byte{'B', 'B', 'F', 'L', 1, 0, 0x02, 0x00}
+	msg2 = binary.LittleEndian.AppendUint32(msg2, uint32(len(body2)))
+	msg2 = append(msg2, body2...)
+	if _, err := Decode(msg2); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("raster bomb: %v", err)
+	}
+}
+
+// countingReader fails the test if more than limit bytes are read —
+// how we prove ReadMessage rejects an over-budget body from the header
+// alone, without buffering the body.
+type countingReader struct {
+	t     *testing.T
+	data  []byte
+	off   int
+	limit int
+}
+
+func (r *countingReader) Read(p []byte) (int, error) {
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	if r.off > r.limit {
+		r.t.Fatalf("reader consumed %d bytes, limit %d", r.off, r.limit)
+	}
+	if n == 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+func TestReadMessageBodyBudgetStopsAtHeader(t *testing.T) {
+	// Header advertising a 100 MiB body, followed by garbage the reader
+	// must never touch.
+	hdr := []byte{'B', 'B', 'F', 'L', 1, 0, 0x02, 0x00}
+	hdr = binary.LittleEndian.AppendUint32(hdr, 100<<20)
+	data := append(hdr, bytes.Repeat([]byte{0xAA}, 4096)...)
+
+	r := &countingReader{t: t, data: data, limit: headerLen}
+	_, err := ReadMessage(r, Limits{MaxBody: 1 << 20})
+	if !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("over-budget body: %v", err)
+	}
+}
+
+func TestSnapRespCoverageBits(t *testing.T) {
+	// Coverage crosses the wire as raw float bits — including values a
+	// lossy fixed-point encoding would mangle.
+	for _, cov := range []float64{0, 1, 0.123456789, math.SmallestNonzeroFloat64} {
+		m := &Message{Type: MsgSnapResp, Snap: SnapInfo{ID: "c", Coverage: cov}}
+		buf, _ := Encode(m)
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Snap.Coverage != cov {
+			t.Fatalf("coverage %v -> %v", cov, got.Snap.Coverage)
+		}
+	}
+}

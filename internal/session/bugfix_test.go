@@ -1,0 +1,477 @@
+package session
+
+// Regression tests for the streaming/durability bugfix sweep: DirStore
+// temp-file reclamation, per-frame rejection accounting in the FeedN
+// path, publish-after-init session registration, and the Drain/Detach/
+// ResumeSession migration primitives the fleet layer is built on.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// plant drops a file into dir.
+func plant(t *testing.T, dir, name string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte("debris"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dirNames(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// TestDirStoreSweepReclaimsTempDebris: the open-time sweep and the
+// exported Sweep must reclaim every class of temp-file debris a crash
+// can leave behind — interrupted Save temporaries, writability probes,
+// and generic .tmp leftovers — without touching real checkpoints.
+func TestDirStoreSweepReclaimsTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	plant(t, dir, "tmp-123456"+checkpointExt+".partial")
+	plant(t, dir, ".probe-98765")
+	plant(t, dir, "stale-upload.tmp")
+	plant(t, dir, "README") // foreign, not debris: must survive
+
+	d, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Orphans()); got != 3 {
+		t.Fatalf("open-time sweep reclaimed %d files (%v), want 3", got, d.Orphans())
+	}
+	if err := d.Save("call-1", []byte("checkpoint-bytes")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Debris appearing while the store is open: Sweep reclaims it, the
+	// checkpoint and the foreign file survive.
+	plant(t, dir, "tmp-late"+checkpointExt+".partial")
+	plant(t, dir, "late.tmp")
+	removed, err := d.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("Sweep removed %v, want 2 entries", removed)
+	}
+	names := dirNames(t, dir)
+	if len(names) != 2 {
+		t.Fatalf("directory holds %v, want only the checkpoint and README", names)
+	}
+	for _, n := range names {
+		if n != "README" && !strings.HasSuffix(n, checkpointExt) {
+			t.Fatalf("unexpected survivor %q", n)
+		}
+	}
+	if data, err := d.Load("call-1"); err != nil || string(data) != "checkpoint-bytes" {
+		t.Fatalf("checkpoint damaged by sweep: %q, %v", data, err)
+	}
+	if got := len(d.Orphans()); got != 5 {
+		t.Fatalf("Orphans reports %d entries, want 5 (3 at open + 2 swept)", got)
+	}
+}
+
+// TestDirStoreSaveRenameFailureLeavesNoTemp: when the atomic rename
+// fails (here: the destination name is occupied by a directory), Save
+// must report the error AND reclaim its temp file — a retrying session
+// checkpointing every few seconds must not fill the volume with
+// orphaned partials.
+func TestDirStoreSaveRenameFailureLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the destination path with a directory so rename fails.
+	if err := os.Mkdir(d.path("blocked"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.Save("blocked", []byte("payload")); err == nil {
+			t.Fatal("Save succeeded over a directory destination")
+		}
+	}
+	for _, n := range dirNames(t, dir) {
+		if isOrphanName(n) {
+			t.Fatalf("failed Save leaked temp %q", n)
+		}
+	}
+	// And a subsequent Sweep still reports a clean directory.
+	removed, err := d.Sweep()
+	if err != nil || len(removed) != 0 {
+		t.Fatalf("Sweep after failed saves: removed=%v err=%v, want none", removed, err)
+	}
+}
+
+// badFrames returns n wrong-geometry frames: they pass the intake, are
+// skipped by the gate (malformed frames are the reconstructor's to
+// classify), and are rejected by the stream as recoverable
+// FrameErrors.
+func badFrames(n int) []core.Frame {
+	out := make([]core.Frame, n)
+	for i := range out {
+		out[i] = core.Frame{
+			Img:    imagex.NewFilled(4, 4, imagex.RGB{R: 1, G: 2, B: 3}),
+			Oracle: imagex.NewMask(4, 4),
+		}
+	}
+	return out
+}
+
+func waitHealth(t *testing.T, s *Session, want Health) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Health() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("session %q health %v, want %v (reasons: %v)", s.ID(), s.Health(), want, s.HealthReasons())
+}
+
+// TestFeedNPerFrameRejectParity: one poisoned 16-frame batch must trip
+// the degraded→failed rejection thresholds exactly like 16 poisoned
+// frames fed one at a time — the regression was batch ingest advancing
+// error accounting once per batch, under-tripping the health machine.
+func TestFeedNPerFrameRejectParity(t *testing.T) {
+	// The gate sleeps on well-formed frames only (malformed frames
+	// bypass it), so the single good frame holds the worker busy while
+	// the 16 poisoned frames enqueue behind it.
+	cfg := Config{
+		DegradeAfterRejects: 4,
+		FailAfterRejects:    16,
+		QualityGate: func(*imagex.Image, *imagex.Mask) error {
+			time.Sleep(50 * time.Millisecond)
+			return nil
+		},
+	}
+	mk := func(id string) (*Manager, *Session) {
+		m := NewManager(cfg)
+		s, err := m.Open(id, testW, testH, testOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, s
+	}
+	good, sils := testFrames(1)
+	bad := badFrames(16)
+
+	// Sequential leg: one good frame occupies the worker while the 16
+	// poisoned frames enqueue, so all 16 are processed one at a time.
+	mSeq, seq := mk("seq")
+	defer mSeq.Close()
+	if err := seq.Feed(good[0], sils[0]); err != nil {
+		t.Fatal(err)
+	}
+	for i := range bad {
+		if err := seq.Feed(bad[i].Img, bad[i].Oracle); err != nil {
+			t.Fatalf("feed bad frame %d: %v", i, err)
+		}
+	}
+
+	// Batch leg: the same traffic as one FeedN batch.
+	mBatch, batch := mk("batch")
+	defer mBatch.Close()
+	if err := batch.Feed(good[0], sils[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.FeedN(bad); err != nil {
+		t.Fatal(err)
+	}
+
+	waitHealth(t, seq, Failed)
+	waitHealth(t, batch, Failed)
+	for _, s := range []*Session{seq, batch} {
+		st := s.Stats()
+		if st.FramesProcessed != 1 || st.FramesRejected != 16 || st.RejectStreak != 16 {
+			t.Errorf("%s: processed=%d rejected=%d streak=%d, want 1/16/16",
+				s.ID(), st.FramesProcessed, st.FramesRejected, st.RejectStreak)
+		}
+		if s.Failure() != "16 consecutive frames rejected" {
+			t.Errorf("%s: failure %q, want the frame-16 trip", s.ID(), s.Failure())
+		}
+		var degraded bool
+		for _, r := range st.HealthReasons {
+			degraded = degraded || strings.Contains(r, "4 consecutive frames rejected")
+		}
+		if !degraded {
+			t.Errorf("%s: no degrade transition at streak 4 in %v", s.ID(), st.HealthReasons)
+		}
+	}
+}
+
+// TestFeedNStreakResetsOnAccept: an accepted frame inside a batch
+// resets the rejection streak, so two separated runs of 8 rejects
+// never sum to a 16-frame trip.
+func TestFeedNStreakResetsOnAccept(t *testing.T) {
+	m := NewManager(Config{DegradeAfterRejects: 10, FailAfterRejects: 16})
+	defer m.Close()
+	s, err := m.Open("mixed", testW, testH, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, sils := testFrames(2)
+	var mixed []core.Frame
+	mixed = append(mixed, core.Frame{Img: good[0], Oracle: sils[0]})
+	mixed = append(mixed, badFrames(8)...)
+	mixed = append(mixed, core.Frame{Img: good[1], Oracle: sils[1]})
+	mixed = append(mixed, badFrames(8)...)
+	if err := s.FeedN(mixed); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Health != Healthy {
+		t.Fatalf("health %v (reasons %v), want Healthy: 8+8 rejects with a reset between must not trip 10/16", st.Health, st.HealthReasons)
+	}
+	if st.FramesProcessed != 2 || st.FramesRejected != 16 || st.RejectStreak != 8 {
+		t.Fatalf("processed=%d rejected=%d streak=%d, want 2/16/8", st.FramesProcessed, st.FramesRejected, st.RejectStreak)
+	}
+}
+
+// TestRestoreConcurrentStats: Manager.Stats hammered during a
+// concurrent Restore must never observe a half-initialized session —
+// the regression was register publishing the session into the map
+// before its provenance fields were written (caught under -race).
+func TestRestoreConcurrentStats(t *testing.T) {
+	store := NewMemStore()
+	seed := NewManager(Config{Checkpoints: store})
+	frames, sils := testFrames(6)
+	ids := []string{"r-0", "r-1", "r-2", "r-3", "r-4", "r-5"}
+	for _, id := range ids {
+		s, err := seed.Open(id, testW, testH, testOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range frames {
+			if err := s.Feed(frames[i], sils[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err) // final checkpoints written on close
+	}
+
+	m := NewManager(Config{Checkpoints: store})
+	defer m.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := m.Stats()
+				for _, ss := range snap.Sessions {
+					if ss.Restored && ss.ID == "" {
+						t.Error("impossible snapshot") // keeps the reads live
+					}
+				}
+			}
+		}()
+	}
+	restored, err := m.Restore(func(string) core.Options { return testOpts() })
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != len(ids) {
+		t.Fatalf("restored %d sessions, want %d", len(restored), len(ids))
+	}
+}
+
+// TestMigrationParityBitIdentical: detaching a live session at frame k
+// and resuming it under a different manager must produce canonical
+// checkpoint bytes bit-identical to an unmigrated run — at every
+// tested k, including ones inside the identification window, and both
+// before and after Finalize. This is the lossless-migration guarantee
+// the fleet coordinator is built on.
+func TestMigrationParityBitIdentical(t *testing.T) {
+	const n = 20
+	frames, sils := testFrames(n)
+	feed := func(s *Session, from, to int, batch bool) {
+		t.Helper()
+		if batch {
+			fs := make([]core.Frame, 0, to-from)
+			for i := from; i < to; i++ {
+				fs = append(fs, core.Frame{Img: frames[i], Oracle: sils[i]})
+			}
+			if err := s.FeedN(fs); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		for i := from; i < to; i++ {
+			if err := s.Feed(frames[i], sils[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	drain := func(s *Session) {
+		t.Helper()
+		if err := s.Drain(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []int{2, 5, 8, 12} {
+		for _, batch := range []bool{false, true} {
+			// Unmigrated baseline.
+			mBase := NewManager(Config{})
+			base, err := mBase.Open("mig", testW, testH, testOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			feed(base, 0, n, batch)
+			drain(base)
+			want, err := base.CheckpointBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Shard A: feed k frames, detach.
+			mA := NewManager(Config{})
+			a, err := mA.Open("mig", testW, testH, testOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			feed(a, 0, k, batch)
+			drain(a)
+			ckpt, err := a.Detach()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := mA.Get("mig"); ok {
+				t.Fatal("detached session still registered on shard A")
+			}
+
+			// Shard B: resume from the wire bytes, feed the rest.
+			mB := NewManager(Config{})
+			b, err := mB.ResumeSession("mig", ckpt, testOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := b.Stats(); !st.Restored || st.ResumedFrames != uint64(k) {
+				t.Fatalf("k=%d: resumed session reports restored=%v frames=%d", k, st.Restored, st.ResumedFrames)
+			}
+			feed(b, k, n, batch)
+			drain(b)
+			got, err := b.CheckpointBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("k=%d batch=%v: live checkpoint bytes diverge after migration", k, batch)
+			}
+
+			// Finalize both and compare the pinned state too.
+			if err := base.Finalize(); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Finalize(); err != nil {
+				t.Fatal(err)
+			}
+			want2, err := base.CheckpointBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got2, err := b.CheckpointBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want2, got2) {
+				t.Fatalf("k=%d batch=%v: finalized checkpoint bytes diverge after migration", k, batch)
+			}
+			mBase.Close()
+			mA.Close()
+			mB.Close()
+		}
+	}
+}
+
+// TestResumeSessionDuplicate: resuming onto an id that is already open
+// is an ErrExists rejection, not a silent replacement.
+func TestResumeSessionDuplicate(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	s, err := m.Open("dup", testW, testH, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := s.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ResumeSession("dup", ckpt, testOpts()); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate ResumeSession: %v, want ErrExists", err)
+	}
+}
+
+// TestDrainBarrier: Drain returns once every fed frame is accounted
+// for, times out while the worker is busy, and returns immediately for
+// an exited worker.
+func TestDrainBarrier(t *testing.T) {
+	// The slow stage must be in the worker's per-frame path even before
+	// identification pins (pre-pin frames are only stashed in the
+	// pending window), so the delay lives in the quality gate.
+	m := NewManager(Config{QualityGate: func(*imagex.Image, *imagex.Mask) error {
+		time.Sleep(30 * time.Millisecond)
+		return nil
+	}})
+	defer m.Close()
+	s, err := m.Open("drain", testW, testH, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, sils := testFrames(3)
+	for i := range frames {
+		if err := s.Feed(frames[i], sils[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(time.Millisecond); err == nil {
+		t.Fatal("Drain(1ms) returned nil while the worker is mid-frame")
+	}
+	if err := s.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.FramesFed != st.FramesProcessed+st.FramesRejected+st.FramesDropped {
+		t.Fatalf("post-drain invariant broken: fed=%d processed=%d rejected=%d dropped=%d",
+			st.FramesFed, st.FramesProcessed, st.FramesRejected, st.FramesDropped)
+	}
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(time.Millisecond); err != nil {
+		t.Fatalf("Drain after worker exit: %v, want nil", err)
+	}
+}

@@ -197,6 +197,21 @@ type Config struct {
 	// disables the gate.
 	MaxImpulseNoise float64
 
+	// DegradeAfterRejects, when > 0, degrades a session once this many
+	// consecutive frames have been rejected (gate + recoverable stream
+	// rejections; any accepted frame resets the streak). The streak
+	// advances per frame in both the Feed and FeedN paths, so one
+	// poisoned batch trips the threshold at the same frame a sequential
+	// replay would. 0 disables the threshold.
+	DegradeAfterRejects int
+	// FailAfterRejects, when > 0, fails a session once the consecutive
+	// rejection streak reaches it — the worker stops and (with
+	// AutoRestart) the supervisor resurrects the id from its last good
+	// checkpoint. Usually set above DegradeAfterRejects so the health
+	// machine walks healthy → degraded → failed. 0 disables the
+	// threshold.
+	FailAfterRejects int
+
 	// StallTimeout, when > 0, arms the manager watchdog: a session with
 	// no feed or processing activity for this long (and not yet
 	// finalized) is marked degraded as stalled. Detection only — a
@@ -394,7 +409,7 @@ func (m *Manager) OpenWith(id string, w, h int, opts core.Options, so SessionOpt
 	if err != nil {
 		return nil, fmt.Errorf("session %q: %w", id, err)
 	}
-	return m.register(id, stream, opts, so, false, m.cfg.EvictOnPressure)
+	return m.register(id, stream, opts, so, regMeta{}, m.cfg.EvictOnPressure)
 }
 
 // admitLocked is the admission decision for one new session of
@@ -416,20 +431,31 @@ func (m *Manager) admitLocked(id string, fp uint64) error {
 	return nil
 }
 
+// regMeta carries the provenance a new session must be fully labelled
+// with BEFORE it becomes visible to observers: installLocked writes
+// every field before the map insert, so a concurrent Stats/Snapshot can
+// never see a half-initialized session (the restored flag and resume
+// floors are read without the manager lock).
+type regMeta struct {
+	restored        bool
+	incarnation     int // non-positive: 1
+	resumedFrames   uint64
+	resumedCoverage float64
+}
+
 // register installs a (new or resumed) stream as a running session,
 // applying admission control. With evictOK, admission pressure evicts
 // the least-recently-fed session and retries instead of rejecting.
-func (m *Manager) register(id string, stream *core.StreamReconstructor, opts core.Options, so SessionOptions, restored, evictOK bool) (*Session, error) {
+func (m *Manager) register(id string, stream *core.StreamReconstructor, opts core.Options, so SessionOptions, meta regMeta, evictOK bool) (*Session, error) {
 	fp := stream.MemFootprint()
 	for attempt := 0; ; attempt++ {
 		m.mu.Lock()
 		err := m.admitLocked(id, fp)
 		if err == nil {
-			s := m.installLocked(id, stream, opts, so, fp, 1)
-			s.restored = restored
+			s := m.installLocked(id, stream, opts, so, fp, meta)
 			m.mu.Unlock()
 			m.opened.Inc()
-			if restored {
+			if meta.restored {
 				m.restores.Inc()
 			}
 			go s.loop()
@@ -469,11 +495,17 @@ func (m *Manager) pressureVictimLocked() *Session {
 }
 
 // installLocked creates the Session record and accounts its footprint.
-// Caller holds m.mu and has passed admission.
-func (m *Manager) installLocked(id string, stream *core.StreamReconstructor, opts core.Options, so SessionOptions, fp uint64, incarnation int) *Session {
+// Caller holds m.mu and has passed admission. Every field — including
+// the provenance meta read by lock-free observers — is written before
+// the session is published into the map: once another goroutine can
+// reach the session through m.sessions, it is fully initialized.
+func (m *Manager) installLocked(id string, stream *core.StreamReconstructor, opts core.Options, so SessionOptions, fp uint64, meta regMeta) *Session {
 	s := newSession(m, id, stream, m.cfg.QueueDepth, m.cfg.CoverageSamples)
 	s.opts = opts
-	s.incarnation = incarnation
+	s.incarnation = meta.incarnation
+	if s.incarnation <= 0 {
+		s.incarnation = 1
+	}
 	s.memBytes = fp
 	s.so = so
 	s.policy = so.QueuePolicy
@@ -484,7 +516,10 @@ func (m *Manager) installLocked(id string, stream *core.StreamReconstructor, opt
 	if s.blockDeadline <= 0 {
 		s.blockDeadline = m.cfg.BlockDeadline
 	}
-	m.sessions[id] = s
+	s.restored = meta.restored
+	s.resumedFrames = meta.resumedFrames
+	s.resumedCov = meta.resumedCoverage
+	m.sessions[id] = s // publish last: observers may now reach s
 	m.memUsed += fp
 	return s
 }
@@ -585,7 +620,7 @@ func (m *Manager) Restore(optsFor func(id string) core.Options) ([]*Session, err
 			errs = append(errs, &RestoreError{ID: id, Err: results[i].err})
 			continue
 		}
-		s, err := m.register(id, results[i].stream, results[i].opts, SessionOptions{}, true, false)
+		s, err := m.register(id, results[i].stream, results[i].opts, SessionOptions{}, regMeta{restored: true}, false)
 		if err != nil {
 			shed := errors.Is(err, ErrFleetFull) || errors.Is(err, ErrMemoryBudget)
 			if shed {
@@ -597,6 +632,31 @@ func (m *Manager) Restore(optsFor func(id string) core.Options) ([]*Session, err
 		out = append(out, s)
 	}
 	return out, errors.Join(errs...)
+}
+
+// ResumeSession registers one session resumed from raw checkpoint
+// bytes — the receiving half of a live migration: the source shard
+// detaches a session to canonical .bbck bytes (Session.Detach), the
+// bytes travel over the wire, and the destination calls ResumeSession
+// to carry the stream on bit-identically. opts must match the
+// checkpoint's embedded options fingerprint. Admission control applies
+// exactly as in Restore (no pressure eviction — a migration must not
+// push out live calls); the configured CheckpointStore is not
+// consulted or written.
+func (m *Manager) ResumeSession(id string, data []byte, opts core.Options) (*Session, error) {
+	if m.closedFlag.Load() {
+		return nil, fmt.Errorf("session %q: %w", id, ErrManagerClosed)
+	}
+	stream, err := core.ResumeStream(data, opts)
+	if err != nil {
+		return nil, fmt.Errorf("session %q: resume: %w", id, err)
+	}
+	meta := regMeta{
+		restored:      true,
+		resumedFrames: uint64(stream.Frames()),
+	}
+	meta.resumedCoverage = stream.Snapshot().Coverage.Fraction()
+	return m.register(id, stream, opts, SessionOptions{}, meta, false)
 }
 
 // Get returns the current incarnation of the open session with the
@@ -850,9 +910,9 @@ type ManagerSnapshot struct {
 	Abandoned uint64
 	// HealthyNow/DegradedNow/FailedNow/PermanentlyFailedNow break the
 	// open sessions down by current health state (they sum to Open).
-	HealthyNow          int
-	DegradedNow         int
-	FailedNow           int
+	HealthyNow           int
+	DegradedNow          int
+	FailedNow            int
 	PermanentlyFailedNow int
 	// Sessions holds one snapshot per open session, ordered by ID.
 	Sessions []Snapshot

@@ -102,9 +102,9 @@ type Session struct {
 	pinnedNs  atomic.Int64 // identify-pin latency; 0 until pinned
 
 	// Health state machine (health.go): Healthy → Degraded → Failed.
-	health   atomic.Int32
-	reasonMu sync.Mutex
-	reasons  []string
+	health     atomic.Int32
+	reasonMu   sync.Mutex
+	reasons    []string
 	stallLatch atomic.Bool   // set while the watchdog considers the session stalled
 	stalls     stats.Counter // stall episodes detected by the watchdog
 
@@ -117,13 +117,17 @@ type Session struct {
 	ckptTryNs      atomic.Int64  // UnixNano of the last attempt (paces retries)
 	restored       bool          // came from Manager.Restore, not Open
 
-	// batchBuf is the worker's reusable gate-survivor buffer for
-	// processBatch (worker-only; no locking).
-	batchBuf []core.Frame
+	// rejectStreak is the current run of consecutively rejected frames
+	// (gate + recoverable stream rejections), advanced per frame in both
+	// the Feed and FeedN paths and reset by any accepted frame. The
+	// opt-in Config.DegradeAfterRejects/FailAfterRejects thresholds act
+	// on it.
+	rejectStreak atomic.Uint32
 
-	done    chan struct{} // closed when the worker exits
-	failure atomic.Value  // string; set when the worker panicked or hit a fatal error
-	evicted atomic.Bool
+	done     chan struct{} // closed when the worker exits
+	failure  atomic.Value  // string; set when the worker panicked or hit a fatal error
+	evicted  atomic.Bool
+	detached atomic.Bool // Detach in progress: loop must not finalize
 }
 
 func newSession(mgr *Manager, id string, stream *core.StreamReconstructor, queueDepth, coverageSamples int) *Session {
@@ -270,6 +274,12 @@ func (s *Session) loop() {
 			return
 		}
 	}
+	if s.detached.Load() {
+		// Detach drained the queue but must not finalize: the stream is
+		// about to resume mid-call on another shard, and Finalize would
+		// pin identification and close the pending window early.
+		return
+	}
 	s.streamMu.Lock()
 	_ = s.stream.Finalize()
 	s.streamMu.Unlock()
@@ -291,7 +301,7 @@ func (s *Session) process(it item) (fatal bool) {
 		// Gate rejections are recoverable by definition: count and skip.
 		s.gated.Inc()
 		s.rejected.Inc()
-		return false
+		return s.rejectTransition(int(s.rejectStreak.Add(1)))
 	}
 	t0 := time.Now()
 	err, identified, cov := s.feedStream(it)
@@ -302,13 +312,14 @@ func (s *Session) process(it item) (fatal bool) {
 			// (the paper's LB residue accumulates over many frames, so a
 			// rejected frame only costs its own residue).
 			s.rejected.Inc()
-			return false
+			return s.rejectTransition(int(s.rejectStreak.Add(1)))
 		}
 		// Non-frame errors mean the stream itself is unusable.
 		s.failure.Store(fmt.Sprintf("fatal stream error: %v", err))
 		s.fail(fmt.Sprintf("fatal stream error: %v", err))
 		return true
 	}
+	s.rejectStreak.Store(0)
 	s.processed.Inc()
 	s.coverage.Append(cov)
 	if identified && s.pinnedNs.Load() == 0 {
@@ -318,57 +329,124 @@ func (s *Session) process(it item) (fatal bool) {
 	return false
 }
 
-// processBatch runs one queued batch: every frame goes through the
-// quality gate, and the survivors are fed to the reconstructor under a
-// single stream lock via core.StreamReconstructor.FeedN. Per-stage
-// telemetry matches the frame-at-a-time path — gate rejections and
-// recoverable stream rejections count per frame, the feed latency
-// records the per-frame mean of the batch, and the coverage series
-// gains one sample per batch (not per frame; a batch is one observable
-// processing step). It reports whether the session hit a fatal error.
+// rejectTransition applies the opt-in consecutive-rejection health
+// thresholds after the streak reached n: crossing
+// Config.DegradeAfterRejects degrades the session, and reaching
+// Config.FailAfterRejects fails it (fatal for the worker — a stream
+// whose every recent frame bounces is reconstructing nothing, and
+// failing hands the id to the supervisor for a checkpoint-backed
+// restart). Both thresholds count per frame in the Feed and FeedN
+// paths alike, so one poisoned 16-frame batch trips exactly the same
+// transitions as 16 poisoned frames fed one at a time.
+func (s *Session) rejectTransition(n int) (fatal bool) {
+	if d := s.mgr.cfg.DegradeAfterRejects; d > 0 && n == d {
+		s.degrade(fmt.Sprintf("%d consecutive frames rejected", n))
+	}
+	if f := s.mgr.cfg.FailAfterRejects; f > 0 && n >= f {
+		reason := fmt.Sprintf("%d consecutive frames rejected", n)
+		s.failure.Store(reason)
+		s.fail(reason)
+		return true
+	}
+	return false
+}
+
+// processBatch runs one queued batch under a single stream lock,
+// gating and feeding each frame in arrival order. Per-stage telemetry
+// matches the frame-at-a-time path exactly: gate rejections and
+// recoverable stream rejections count per frame (and advance the
+// consecutive-rejection streak per frame, in order — a poisoned batch
+// trips the degraded→failed thresholds at the same frame a sequential
+// Feed replay would), the feed latency records the per-frame mean of
+// the batch, and the coverage series gains one sample per batch (not
+// per frame; a batch is one observable processing step). Health
+// transitions are collected inside the lock and applied after it, so a
+// user Logf callback that snapshots the session can never deadlock. It
+// reports whether the session hit a fatal error.
 func (s *Session) processBatch(frames []core.Frame) (fatal bool) {
 	s.lastProc.Store(time.Now().UnixNano())
-	buf := s.batchBuf[:0]
-	for _, f := range frames {
-		if err := s.gate(item{frame: f.Img, oracle: f.Oracle}); err != nil {
-			s.gated.Inc()
-			s.rejected.Inc()
-			continue
+	var (
+		accepted, rejected, gatedN int
+		fatalErr                   error
+		degradeAt                  = s.mgr.cfg.DegradeAfterRejects
+		failAt                     = s.mgr.cfg.FailAfterRejects
+		streak                     = int(s.rejectStreak.Load())
+		crossedDegrade             = false
+		crossedFail                = false
+	)
+	reject := func() (stop bool) {
+		rejected++
+		streak++
+		if degradeAt > 0 && streak == degradeAt {
+			crossedDegrade = true
 		}
-		buf = append(buf, f)
-	}
-	defer func() {
-		for i := range buf {
-			buf[i] = core.Frame{} // drop frame references until the next batch
+		if failAt > 0 && streak >= failAt {
+			crossedFail = true
 		}
-		s.batchBuf = buf[:0]
-	}()
-	if len(buf) == 0 {
-		return false
+		return crossedFail
 	}
 	t0 := time.Now()
 	s.streamMu.Lock()
-	accepted, rejected, err := s.stream.FeedN(buf)
+	for _, f := range frames {
+		if err := s.gate(item{frame: f.Img, oracle: f.Oracle}); err != nil {
+			gatedN++
+			if reject() {
+				break
+			}
+			continue
+		}
+		err := s.stream.Feed(f.Img, f.Oracle)
+		if err == nil {
+			accepted++
+			streak = 0
+			continue
+		}
+		if core.RecoverableFrame(err) {
+			if reject() {
+				break
+			}
+			continue
+		}
+		// Non-frame errors mean the stream itself is unusable. Frames
+		// after this one are never attempted, matching the Feed path
+		// where a fatal frame stops the worker mid-queue.
+		fatalErr = err
+		break
+	}
 	identified := s.stream.Identified()
 	cov := s.stream.Snapshot().Coverage.Fraction()
 	s.streamMu.Unlock()
-	per := time.Since(t0) / time.Duration(len(buf))
-	for i := 0; i < len(buf); i++ {
-		s.feedLat.Observe(per)
+	if n := accepted + rejected; n > 0 {
+		per := time.Since(t0) / time.Duration(n)
+		for i := 0; i < n; i++ {
+			s.feedLat.Observe(per)
+		}
 	}
+	s.gated.Add(uint64(gatedN))
 	s.rejected.Add(uint64(rejected))
 	s.processed.Add(uint64(accepted))
+	s.rejectStreak.Store(uint32(streak))
 	if accepted > 0 {
 		s.coverage.Append(cov)
 	}
 	if identified && s.pinnedNs.Load() == 0 {
 		s.pinnedNs.Store(int64(time.Since(s.started)))
 	}
-	if err != nil {
-		// FeedN already skipped every recoverable frame; what reaches
-		// here means the stream itself is unusable.
-		s.failure.Store(fmt.Sprintf("fatal stream error: %v", err))
-		s.fail(fmt.Sprintf("fatal stream error: %v", err))
+	if fatalErr != nil {
+		s.failure.Store(fmt.Sprintf("fatal stream error: %v", fatalErr))
+		s.fail(fmt.Sprintf("fatal stream error: %v", fatalErr))
+		return true
+	}
+	if crossedDegrade && !crossedFail {
+		s.degrade(fmt.Sprintf("%d consecutive frames rejected", degradeAt))
+	}
+	if crossedFail {
+		if crossedDegrade {
+			s.degrade(fmt.Sprintf("%d consecutive frames rejected", degradeAt))
+		}
+		reason := fmt.Sprintf("%d consecutive frames rejected", streak)
+		s.failure.Store(reason)
+		s.fail(reason)
 		return true
 	}
 	s.maybeCheckpoint()
@@ -523,6 +601,72 @@ func (s *Session) Close() error {
 	return err
 }
 
+// Drain blocks until every frame fed so far has finished processing
+// (fed == dropped + rejected + processed), the worker exited, or the
+// timeout passed. It does not close the intake — Drain is a barrier
+// for a quiesced feeder (e.g. a coordinator that stopped routing
+// frames to this session before migrating it); concurrent feeders can
+// keep the session busy indefinitely. A non-positive timeout waits
+// forever.
+func (s *Session) Drain(timeout time.Duration) error {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		select {
+		case <-s.done:
+			return nil // worker exited: nothing more will be processed
+		default:
+		}
+		if s.fed.Load() == s.dropped.Load()+s.rejected.Load()+s.processed.Load() {
+			return nil
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return fmt.Errorf("session %q: drain: timed out after %s", s.id, timeout)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// CheckpointBytes serialises the stream's current state to canonical
+// .bbck bytes without touching the configured CheckpointStore — the
+// transport primitive behind coordinator-side checkpoint replication.
+// The session keeps running; the bytes resume bit-identically via
+// core.ResumeStream or Manager.ResumeSession.
+func (s *Session) CheckpointBytes() ([]byte, error) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	return s.stream.Checkpoint()
+}
+
+// Detach closes the intake, drains the queue, and serialises the live
+// stream to canonical .bbck bytes — the sending half of live
+// migration. Unlike Finalize, the stream is NOT finalized:
+// identification stays un-pinned and the pending window stays open, so
+// the destination shard (Manager.ResumeSession) carries the call on
+// bit-identically even when the migration lands inside the
+// identification window. The session is removed from its manager,
+// releasing its admission budget; the bytes are returned rather than
+// written to the checkpoint store. A worker that already failed
+// returns ErrFailed with the recorded failure.
+func (s *Session) Detach() ([]byte, error) {
+	s.detached.Store(true)
+	s.closeIntake()
+	<-s.done
+	defer s.mgr.remove(s.id, s)
+	if f := s.Failure(); f != "" {
+		return nil, fmt.Errorf("session %q: %w: %s", s.id, ErrFailed, f)
+	}
+	s.streamMu.Lock()
+	data, err := s.stream.Checkpoint()
+	s.streamMu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("session %q: detach: %w", s.id, err)
+	}
+	return data, nil
+}
+
 // Failure returns the panic message that killed the worker, or "".
 func (s *Session) Failure() string {
 	if v := s.failure.Load(); v != nil {
@@ -570,6 +714,11 @@ type Snapshot struct {
 	FramesGated uint64
 	// FramesProcessed counts frames the reconstructor accepted.
 	FramesProcessed uint64
+	// RejectStreak is the current run of consecutively rejected frames
+	// (0 after any accepted frame); the opt-in
+	// Config.DegradeAfterRejects/FailAfterRejects thresholds act on it,
+	// per frame in both the Feed and FeedN paths.
+	RejectStreak uint32
 
 	// CoveragePct is the claimed RBRR (percent) at snapshot time.
 	CoveragePct float64
@@ -674,6 +823,7 @@ func (s *Session) Stats() Snapshot {
 	snap.FramesRejected = s.rejected.Load()
 	snap.FramesGated = s.gated.Load()
 	snap.FramesProcessed = s.processed.Load()
+	snap.RejectStreak = s.rejectStreak.Load()
 	snap.IdentifyLatency = time.Duration(s.pinnedNs.Load())
 	snap.FeedLatency = s.feedLat.Summary()
 	snap.LastActivity = time.Unix(0, s.lastFeed.Load())

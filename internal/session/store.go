@@ -41,7 +41,7 @@ const checkpointExt = ".bbck"
 type DirStore struct {
 	dir     string
 	mu      sync.Mutex
-	orphans []string // interrupted temp files swept at open
+	orphans []string // temp-file debris swept at open or by Sweep
 }
 
 var _ CheckpointStore = (*DirStore)(nil)
@@ -64,32 +64,69 @@ func NewDirStore(dir string) (*DirStore, error) {
 		return nil, fmt.Errorf("session: checkpoint dir %s: cannot remove probe: %w", dir, err)
 	}
 	d := &DirStore{dir: dir}
-	d.sweepOrphans()
+	d.orphans, _ = d.sweepLocked() // open-time sweep; removal failures retry on the next Sweep
 	return d, nil
 }
 
-// sweepOrphans removes interrupted Save temporaries from a previous
-// crashed process. Failures to remove are recorded, not fatal — an
-// orphan is garbage, never a checkpoint.
-func (d *DirStore) sweepOrphans() {
+// isOrphanName reports whether a directory entry is Save/probe debris
+// rather than durable state: interrupted "tmp-*.bbck.partial"
+// temporaries, ".probe-*" writability probes a crash left behind, and
+// generic "*.tmp" leftovers. Real checkpoints (hex(id).bbck) never
+// match.
+func isOrphanName(name string) bool {
+	if strings.HasPrefix(name, "tmp-") && strings.HasSuffix(name, ".partial") {
+		return true
+	}
+	if strings.HasPrefix(name, ".probe-") {
+		return true
+	}
+	return strings.HasSuffix(name, ".tmp")
+}
+
+// sweepLocked removes temp-file debris and returns the names removed.
+// It works from a fresh directory listing, so temps whose earlier
+// cleanup failed (a Save error path that could not reclaim its temp)
+// are retried on every sweep. Caller holds d.mu (or owns d exclusively,
+// as in NewDirStore).
+func (d *DirStore) sweepLocked() (removed []string, err error) {
 	entries, err := os.ReadDir(d.dir)
 	if err != nil {
-		return
+		return nil, fmt.Errorf("session: checkpoint sweep: %w", err)
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasPrefix(name, "tmp-") || !strings.HasSuffix(name, ".partial") {
+		if e.IsDir() || !isOrphanName(name) {
 			continue
 		}
-		if err := os.Remove(filepath.Join(d.dir, name)); err == nil {
-			d.orphans = append(d.orphans, name)
+		if rerr := os.Remove(filepath.Join(d.dir, name)); rerr == nil || os.IsNotExist(rerr) {
+			removed = append(removed, name)
 		}
 	}
+	sort.Strings(removed)
+	return removed, nil
 }
 
-// Orphans returns the interrupted temp files NewDirStore swept away —
-// each one a Save some earlier process never completed.
+// Sweep removes temp-file debris from the checkpoint directory —
+// interrupted "tmp-*.bbck.partial" Save temporaries, ".probe-*"
+// writability probes, and "*.tmp" leftovers — and returns the names it
+// removed. NewDirStore sweeps once at open; a long-running fleet calls
+// Sweep to reclaim space later, e.g. after a Save error reported a
+// temp it could not clean up. Checkpoints themselves are never
+// touched.
+func (d *DirStore) Sweep() ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	removed, err := d.sweepLocked()
+	d.orphans = append(d.orphans, removed...)
+	return removed, err
+}
+
+// Orphans returns the temp-file debris swept away so far (at open and
+// by every Sweep) — each entry a Save or probe some process never
+// completed.
 func (d *DirStore) Orphans() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return append([]string(nil), d.orphans...)
 }
 
@@ -117,7 +154,14 @@ func (d *DirStore) Save(id string, data []byte) error {
 		werr = os.Rename(tmp.Name(), d.path(id))
 	}
 	if werr != nil {
-		os.Remove(tmp.Name())
+		if rerr := os.Remove(tmp.Name()); rerr != nil && !os.IsNotExist(rerr) {
+			// The temp could not be reclaimed either (unwritable or
+			// vanished directory, permission flip). Name it in the error
+			// so the operator knows; the next Sweep relists the directory
+			// and retries the removal.
+			return fmt.Errorf("session: checkpoint save %q: %w (temp %s left for Sweep)",
+				id, werr, filepath.Base(tmp.Name()))
+		}
 		return fmt.Errorf("session: checkpoint save %q: %w", id, werr)
 	}
 	return nil

@@ -162,10 +162,12 @@ func (m *Manager) restartSession(old *Session, now time.Time) error {
 		return nil
 	}
 	m.memUsed -= old.memBytes
-	ns := m.installLocked(old.id, stream, opts, old.so, stream.MemFootprint(), old.incarnation+1)
-	ns.resumedFrames = resumedFrames
-	ns.resumedCov = resumedCov
-	ns.restored = old.restored
+	ns := m.installLocked(old.id, stream, opts, old.so, stream.MemFootprint(), regMeta{
+		restored:        old.restored,
+		incarnation:     old.incarnation + 1,
+		resumedFrames:   resumedFrames,
+		resumedCoverage: resumedCov,
+	})
 	m.restartLog = append(m.restartLog, RestartEvent{
 		ID:              old.id,
 		Incarnation:     ns.incarnation,
