@@ -39,6 +39,7 @@ import (
 	"github.com/bgbuster/bgbuster/internal/core"
 	"github.com/bgbuster/bgbuster/internal/dataset"
 	"github.com/bgbuster/bgbuster/internal/fleet"
+	"github.com/bgbuster/bgbuster/internal/gallery"
 	"github.com/bgbuster/bgbuster/internal/imagex"
 	"github.com/bgbuster/bgbuster/internal/metrics"
 	"github.com/bgbuster/bgbuster/internal/mitigate"
@@ -480,3 +481,71 @@ func LoadVideo(path string) (*Video, error) { return vidstream.Load(path) }
 
 // SaveVideo writes a recording to path in .bbv format.
 func SaveVideo(path string, v *Video) error { return vidstream.Save(path, v) }
+
+// Gallery-view ingestion (DESIGN.md §16): compose N participant
+// streams into one platform-style composite, or demux a composite back
+// into per-participant sub-streams and fan them out onto supervised
+// sessions — locally via SessionConfig.Gallery + FeedComposite, or
+// across a fleet via NewFleetGalleryFanout.
+type (
+	// GallerySpec is the layout grammar: tile geometry, gutters,
+	// pagination and the active-speaker variant, deterministic from a
+	// seed.
+	GallerySpec = gallery.Spec
+	// GalleryParticipant is one per-participant stream with its join
+	// frame.
+	GalleryParticipant = gallery.Participant
+	// GalleryResult is a composed meeting: the composite video plus
+	// per-frame tile ground truth.
+	GalleryResult = gallery.Result
+	// GalleryRect is a tile rectangle on the composite canvas.
+	GalleryRect = gallery.Rect
+	// GalleryDemuxConfig bounds and tunes the tile detector/splitter.
+	GalleryDemuxConfig = gallery.Config
+	// GallerySplitLimits are the decode-style allocation bounds the
+	// demuxer enforces before every allocation.
+	GallerySplitLimits = gallery.SplitLimits
+	// GalleryUpdate reports one composite frame's demux outcome:
+	// leaves, joins, rejoins, then tile frames, in that order.
+	GalleryUpdate = gallery.Update
+	// GalleryStats are cumulative demuxer counters.
+	GalleryStats = gallery.Stats
+	// GalleryLaneStream is one demuxed participant sub-stream.
+	GalleryLaneStream = gallery.LaneStream
+	// GallerySessionConfig arms a SessionManager for composite ingest
+	// via FeedComposite (set it as SessionConfig.Gallery).
+	GallerySessionConfig = session.GalleryConfig
+	// FleetGallerySink adapts a coordinator or client into a gallery
+	// fan-out target.
+	FleetGallerySink = fleet.GallerySink
+)
+
+// Gallery layout variants.
+const (
+	GalleryGrid          = gallery.VariantGrid
+	GalleryActiveSpeaker = gallery.VariantActiveSpeaker
+)
+
+// ComposeGallery tiles the participants into one composite meeting
+// stream under spec's layout grammar.
+func ComposeGallery(parts []GalleryParticipant, spec GallerySpec) (*GalleryResult, error) {
+	return gallery.Compose(parts, spec)
+}
+
+// SplitGallery demuxes a composite meeting recording into
+// per-participant sub-streams (grid inference from gutter runs,
+// temporal stability voting, bounded allocation).
+func SplitGallery(v *Video, cfg GalleryDemuxConfig) ([]*GalleryLaneStream, GalleryStats, error) {
+	return gallery.SplitVideo(v, cfg)
+}
+
+// GalleryTileID is the default lane → session id mapping used by
+// gallery fan-out ("tile-00", "tile-01", ...).
+func GalleryTileID(lane int) string { return gallery.DefaultTileID(lane) }
+
+// NewFleetGalleryFanout wires a composite demuxer to a fleet
+// coordinator or client: one Feed per composite frame drives
+// shard-routed sessions for every participant tile.
+func NewFleetGalleryFanout(cfg GalleryDemuxConfig, api fleet.SessionAPI) (*gallery.Fanout, *FleetGallerySink) {
+	return fleet.NewGalleryFanout(cfg, api)
+}

@@ -295,8 +295,23 @@ func runLive(args []string) error {
 	maxRestarts := fs.Int("max-restarts", 0, "circuit breaker: restarts allowed per session within a sliding minute before it is permanently failed (0: default 5; needs -restart)")
 	maxSessions := fs.Int("max-sessions", 0, "admission control: refuse opening more than this many concurrent sessions (0: unlimited)")
 	memBudget := fs.Int64("mem-budget", 0, "admission control: refuse sessions past this fleet memory budget in bytes (0: unlimited)")
+	galleryMode := fs.Bool("gallery", false, "gallery ingest: demux ONE composite meeting stream into per-participant sessions (DESIGN.md §16); -sessions becomes the participant count, -in replays a composite .bbv")
+	connect := fs.String("connect", "", "with -gallery: drive a fleet coordinator (bgbuster serve) at this address instead of a local manager")
+	speakerEvery := fs.Int("speaker-every", 0, "with -gallery: rotate an active speaker to slot 0 every N frames (0: plain grid)")
+	pageSize := fs.Int("page-size", 0, "with -gallery: paginate the grid to N visible tiles (0: everyone visible)")
+	pageEvery := fs.Int("page-every", 0, "with -gallery: advance the visible page every N frames (0: default)")
+	churn := fs.Bool("churn", true, "with -gallery: stagger one late join and one early leave to exercise grid resizes")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *galleryMode {
+		return runLiveGallery(galleryRun{
+			phase: *phase, callIndex: *index, in: *in, software: *software,
+			participants: *sessions, frames: *frames, unknownVB: *unknownVB,
+			rate: *rate, every: *every, queue: *queue, seed: *seed, out: *out,
+			connect: *connect, speakerEvery: *speakerEvery, pageSize: *pageSize,
+			pageEvery: *pageEvery, churn: *churn,
+		})
 	}
 	if *sessions < 1 {
 		return fmt.Errorf("need at least one session")

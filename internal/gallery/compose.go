@@ -1,0 +1,195 @@
+package gallery
+
+import (
+	"fmt"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/vidstream"
+)
+
+// Participant is one caller's contribution to a gallery meeting: a
+// native-geometry video stream (typically compositor.Result.Blended)
+// and the meeting frame at which the caller joins. The participant is
+// on screen for meeting frames [JoinAt, JoinAt+Frames.Len()) and then
+// leaves; paged-out participants keep advancing invisibly, like a real
+// client.
+type Participant struct {
+	Frames *vidstream.Video
+	JoinAt int
+}
+
+// TileTruth records where one participant landed on one composite
+// frame — ground truth for the demuxer conformance tests.
+type TileTruth struct {
+	// Participant indexes the Compose input slice.
+	Participant int
+	// Slot is the tile's ordinal in the frame's layout (row-major after
+	// any variant reordering).
+	Slot int
+	// Rect is the tile's placement on the canvas.
+	Rect Rect
+	// Frame is the local index into the participant's stream that was
+	// shown.
+	Frame int
+}
+
+// FrameTruth is the per-composite-frame tile ground truth, slot order.
+type FrameTruth struct {
+	Tiles []TileTruth
+}
+
+// Result is a composed gallery meeting.
+type Result struct {
+	// Video is the composite stream at the fixed canvas geometry.
+	Video *vidstream.Video
+	// Spec is the resolved grammar (defaults applied, Capacity derived).
+	Spec Spec
+	// Truth holds per-frame tile ground truth, parallel to Video.Frames.
+	Truth []FrameTruth
+}
+
+// ShownFrames returns, per participant, the local frame indices that
+// were actually visible on the composite, in meeting order. This is
+// the exact sequence a demuxer can recover, and therefore the input
+// the direct-feed side of a parity test must use.
+func (r *Result) ShownFrames(participant int) []int {
+	var shown []int
+	for _, ft := range r.Truth {
+		for _, tt := range ft.Tiles {
+			if tt.Participant == participant {
+				shown = append(shown, tt.Frame)
+			}
+		}
+	}
+	return shown
+}
+
+// Compose tiles the participants' streams into one composite stream
+// under the spec's layout grammar. Tile geometry is taken from the
+// spec, or from the first participant when the spec leaves it zero;
+// all streams must share it. The meeting runs until the last
+// participant's stream ends; frames where nobody is on screen are pure
+// gutter. Deterministic: same inputs and spec (incl. Seed) produce the
+// same bytes.
+func Compose(parts []Participant, spec Spec) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("gallery: compose with no participants")
+	}
+	for i, p := range parts {
+		if p.Frames == nil || p.Frames.Len() == 0 {
+			return nil, fmt.Errorf("gallery: participant %d has no frames", i)
+		}
+		if err := p.Frames.Validate(); err != nil {
+			return nil, fmt.Errorf("gallery: participant %d: %w", i, err)
+		}
+		if p.JoinAt < 0 {
+			return nil, fmt.Errorf("gallery: participant %d joins at %d", i, p.JoinAt)
+		}
+	}
+	if spec.TileW == 0 && spec.TileH == 0 {
+		spec.TileW, spec.TileH = parts[0].Frames.Size()
+	}
+	spec = spec.withDefaults()
+	for i, p := range parts {
+		w, h := p.Frames.Size()
+		if w != spec.TileW || h != spec.TileH {
+			return nil, fmt.Errorf("gallery: participant %d is %dx%d, grammar tile is %dx%d (tiles are never scaled)",
+				i, w, h, spec.TileW, spec.TileH)
+		}
+	}
+
+	total := 0
+	for _, p := range parts {
+		if end := p.JoinAt + p.Frames.Len(); end > total {
+			total = end
+		}
+	}
+
+	// Resolve capacity from the meeting's peak on-screen tile count so
+	// the canvas is fixed for the whole call.
+	if spec.Capacity <= 0 {
+		peak := 0
+		for t := 0; t < total; t++ {
+			if n := len(shownAt(parts, spec, t)); n > peak {
+				peak = n
+			}
+		}
+		if peak == 0 {
+			return nil, fmt.Errorf("gallery: no participant is ever on screen")
+		}
+		spec.Capacity = peak
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+
+	canvasW, canvasH := spec.Canvas()
+	fps := parts[0].Frames.FPS
+	out := vidstream.New(fps)
+	truth := make([]FrameTruth, 0, total)
+	for t := 0; t < total; t++ {
+		shown := shownAt(parts, spec, t)
+		frame := imagex.NewFilled(canvasW, canvasH, spec.GutterColor)
+		ft := FrameTruth{}
+		if len(shown) > 0 {
+			if len(shown) > spec.Capacity {
+				return nil, fmt.Errorf("gallery: frame %d shows %d tiles, capacity %d", t, len(shown), spec.Capacity)
+			}
+			rects, err := spec.LayoutFor(len(shown))
+			if err != nil {
+				return nil, err
+			}
+			for slot, pi := range shown {
+				local := t - parts[pi].JoinAt
+				if err := frame.Blit(parts[pi].Frames.Frames[local], rects[slot].X, rects[slot].Y); err != nil {
+					return nil, fmt.Errorf("gallery: frame %d slot %d: %w", t, slot, err)
+				}
+				ft.Tiles = append(ft.Tiles, TileTruth{
+					Participant: pi,
+					Slot:        slot,
+					Rect:        rects[slot],
+					Frame:       local,
+				})
+			}
+		}
+		if err := out.Append(frame); err != nil {
+			return nil, err
+		}
+		truth = append(truth, ft)
+	}
+	return &Result{Video: out, Spec: spec, Truth: truth}, nil
+}
+
+// shownAt returns the participant indices on screen at meeting frame
+// t, in slot order: active participants in input order, restricted to
+// the current page, then reordered by the active-speaker variant.
+func shownAt(parts []Participant, spec Spec, t int) []int {
+	var active []int
+	for i, p := range parts {
+		if t >= p.JoinAt && t < p.JoinAt+p.Frames.Len() {
+			active = append(active, i)
+		}
+	}
+	if len(active) == 0 {
+		return nil
+	}
+	if spec.PageSize > 0 && len(active) > spec.PageSize {
+		pages := (len(active) + spec.PageSize - 1) / spec.PageSize
+		page := (t / spec.PageEvery) % pages
+		lo := page * spec.PageSize
+		hi := lo + spec.PageSize
+		if hi > len(active) {
+			hi = len(active)
+		}
+		active = active[lo:hi]
+	}
+	if spec.Variant == VariantActiveSpeaker && len(active) > 1 {
+		s := spec.speakerAt(t, len(active))
+		reordered := make([]int, 0, len(active))
+		reordered = append(reordered, active[s])
+		reordered = append(reordered, active[:s]...)
+		reordered = append(reordered, active[s+1:]...)
+		active = reordered
+	}
+	return active
+}

@@ -1,0 +1,209 @@
+// Package gallery models the gallery view of a multi-participant video
+// call: a compositor that tiles N per-participant call recordings into
+// one composite stream using the platform layout grammar (row-major
+// grid with gutters and letterboxing, active-speaker promotion,
+// pagination), and a tile demuxer that splits a composite stream back
+// into per-participant sub-streams for fan-out into the live session
+// layer.
+//
+// Kagan et al. ("Zooming Into Video Conferencing Privacy and Security
+// Threats", PAPERS.md) attack gallery screenshots with dozens of
+// participants per image; this package turns that observation into a
+// workload: one meeting ingested as a single stream fans out to tens
+// of supervised reconstruction sessions.
+//
+// The grammar never scales tiles: every tile is blitted at the
+// participant stream's native geometry, with gutters and letterbox
+// margins absorbing the slack. That choice is what makes the demux
+// side provable — demux(compose(streams)) hands every session frames
+// bit-identical to the source streams (DESIGN.md §16), which real
+// gallery-crop attack tooling relies on too.
+package gallery
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// Rect is one tile's placement on the composite canvas.
+type Rect struct {
+	X, Y, W, H int
+}
+
+// In reports whether the rect lies fully inside a w×h canvas.
+func (r Rect) In(w, h int) bool {
+	return r.X >= 0 && r.Y >= 0 && r.W > 0 && r.H > 0 && r.X+r.W <= w && r.Y+r.H <= h
+}
+
+// Variant selects the layout grammar variant.
+type Variant int
+
+const (
+	// VariantGrid is the plain row-major gallery grid.
+	VariantGrid Variant = iota
+	// VariantActiveSpeaker promotes a rotating "speaker" to slot 0
+	// (top-left), re-flowing everyone else — the slot shuffle real
+	// platforms perform when the loudest participant changes. Tiles are
+	// never resized, so the shuffle is purely an ordering change the
+	// demuxer must track by content.
+	VariantActiveSpeaker
+)
+
+// String names the variant for logs and goldens.
+func (v Variant) String() string {
+	switch v {
+	case VariantGrid:
+		return "grid"
+	case VariantActiveSpeaker:
+		return "active-speaker"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Spec is the platform layout grammar: everything needed to place n
+// unscaled tiles deterministically on a fixed canvas.
+type Spec struct {
+	// TileW, TileH is the (shared) participant stream geometry
+	// (required).
+	TileW, TileH int
+	// Gutter is the spacing between adjacent tiles in pixels (<=0: 4).
+	Gutter int
+	// Margin is the minimum outer border around the grid (<=0: Gutter).
+	// The canvas always keeps at least one gutter-colored border pixel,
+	// which is what anchors the demuxer's gutter-color inference.
+	Margin int
+	// GutterColor fills gutters, margins and letterbox slack (zero
+	// value: dark platform gray 32/32/32 — never pure black, so a black
+	// tile interior still contrasts at the boundary in realistic
+	// content).
+	GutterColor imagex.RGB
+	// Capacity sizes the canvas: the grid for Capacity tiles fixes the
+	// composite geometry for the whole meeting, and smaller layouts are
+	// centered (letterboxed) inside it, so joins and leaves re-tile the
+	// content without resizing the stream (<=0: Compose derives the
+	// meeting's maximum concurrent participant count).
+	Capacity int
+	// PageSize caps tiles shown per frame (0: no pagination). With more
+	// active participants than PageSize, pages rotate round-robin every
+	// PageEvery frames; paged-out participants keep advancing off
+	// screen, exactly like a real client.
+	PageSize int
+	// PageEvery is the page rotation period in frames (<=0: 30).
+	PageEvery int
+	// Variant selects grid or active-speaker slot ordering.
+	Variant Variant
+	// SpeakerEvery is the active-speaker rotation period in frames
+	// (<=0: 25).
+	SpeakerEvery int
+	// Seed drives the deterministic speaker rotation sequence.
+	Seed int64
+}
+
+// withDefaults resolves the grammar defaults.
+func (s Spec) withDefaults() Spec {
+	if s.Gutter <= 0 {
+		s.Gutter = 4
+	}
+	if s.Margin <= 0 {
+		s.Margin = s.Gutter
+	}
+	if s.GutterColor == (imagex.RGB{}) {
+		s.GutterColor = imagex.RGB{R: 32, G: 32, B: 32}
+	}
+	if s.PageEvery <= 0 {
+		s.PageEvery = 30
+	}
+	if s.SpeakerEvery <= 0 {
+		s.SpeakerEvery = 25
+	}
+	return s
+}
+
+// validate checks the grammar invariants for a resolved spec.
+func (s Spec) validate() error {
+	if s.TileW <= 0 || s.TileH <= 0 {
+		return fmt.Errorf("gallery: tile geometry %dx%d", s.TileW, s.TileH)
+	}
+	if s.Capacity <= 0 {
+		return fmt.Errorf("gallery: capacity %d", s.Capacity)
+	}
+	return nil
+}
+
+// gridShape returns the row-major grid shape for n tiles: cols is
+// ceil(sqrt(n)) — the squarish grid every major platform converges on —
+// and rows is ceil(n/cols).
+func gridShape(n int) (cols, rows int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	cols = int(math.Ceil(math.Sqrt(float64(n))))
+	rows = (n + cols - 1) / cols
+	return cols, rows
+}
+
+// Canvas returns the composite geometry: the grid for Capacity tiles
+// plus margins. Every layout the spec produces fits this canvas.
+func (s Spec) Canvas() (w, h int) {
+	s = s.withDefaults()
+	cols, rows := gridShape(s.Capacity)
+	w = 2*s.Margin + cols*s.TileW + (cols-1)*s.Gutter
+	h = 2*s.Margin + rows*s.TileH + (rows-1)*s.Gutter
+	return w, h
+}
+
+// LayoutFor places n tiles on the canvas in slot order: row-major, top
+// to bottom, left to right, with a centered (letterboxed) grid and a
+// centered final row when it is short — the familiar gallery shape.
+// n must be in [1, Capacity].
+func (s Spec) LayoutFor(n int) ([]Rect, error) {
+	s = s.withDefaults()
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 || n > s.Capacity {
+		return nil, fmt.Errorf("gallery: layout for %d tiles on a capacity-%d canvas", n, s.Capacity)
+	}
+	canvasW, canvasH := s.Canvas()
+	cols, rows := gridShape(n)
+	gridW := cols*s.TileW + (cols-1)*s.Gutter
+	gridH := rows*s.TileH + (rows-1)*s.Gutter
+	offX := (canvasW - gridW) / 2
+	offY := (canvasH - gridH) / 2
+	rects := make([]Rect, 0, n)
+	for r := 0; r < rows; r++ {
+		k := cols
+		if left := n - r*cols; left < k {
+			k = left
+		}
+		rowW := k*s.TileW + (k-1)*s.Gutter
+		x0 := offX + (gridW-rowW)/2
+		y := offY + r*(s.TileH+s.Gutter)
+		for c := 0; c < k; c++ {
+			rects = append(rects, Rect{
+				X: x0 + c*(s.TileW+s.Gutter),
+				Y: y,
+				W: s.TileW,
+				H: s.TileH,
+			})
+		}
+	}
+	return rects, nil
+}
+
+// speakerAt returns the deterministic active-speaker ordinal among n
+// active participants at meeting frame t — a multiplicative hash of
+// the rotation epoch and the seed, so the sequence is reproducible and
+// jumps between slots rather than cycling predictably.
+func (s Spec) speakerAt(t, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	epoch := uint64(t / s.SpeakerEvery)
+	x := (epoch + uint64(s.Seed)) * 0x9E3779B97F4A7C15
+	x ^= x >> 29
+	return int(x % uint64(n))
+}

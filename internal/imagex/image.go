@@ -120,6 +120,21 @@ func (im *Image) CopyFrom(src *Image) error {
 	return nil
 }
 
+// Blit copies src onto the image with src's top-left at (x, y). The
+// destination rectangle must lie fully inside the image; ErrBounds
+// otherwise. Pixels are copied verbatim — the gallery compositor relies
+// on Blit followed by Crop being the identity on src.
+func (im *Image) Blit(src *Image, x, y int) error {
+	if x < 0 || y < 0 || x+src.W > im.W || y+src.H > im.H {
+		return fmt.Errorf("imagex: blit %dx%d at +%d+%d of %dx%d: %w", src.W, src.H, x, y, im.W, im.H, ErrBounds)
+	}
+	for row := 0; row < src.H; row++ {
+		dst := (y+row)*im.W + x
+		copy(im.Pix[dst:dst+src.W], src.Pix[row*src.W:(row+1)*src.W])
+	}
+	return nil
+}
+
 // MatchCount returns the number of pixel positions at which the two
 // images store identical colors. This implements the paper's
 // highest-likelihood estimator core, Σ Σ µ(img ⊕ f), where µ(x)=1 iff

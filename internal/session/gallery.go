@@ -1,0 +1,140 @@
+package session
+
+import (
+	"fmt"
+
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/gallery"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+)
+
+// GalleryConfig wires composite gallery-view ingestion into a Manager:
+// one FeedComposite frame in, one supervised session per on-screen
+// participant out.
+type GalleryConfig struct {
+	// Demux tunes the tile demuxer (zero value: gallery defaults).
+	Demux gallery.Config
+	// OptionsFor supplies the reconstruction options for a tile session
+	// opened (or resumed) at the demuxed tile geometry. Required.
+	OptionsFor func(id string, w, h int) core.Options
+	// TileID maps demuxer lane ids to session ids (nil:
+	// gallery.DefaultTileID). Lane ids are stable across the meeting,
+	// so a participant keeps one session id through leave and rejoin.
+	TileID func(lane int) string
+}
+
+// managerSink routes demuxed tiles into the owning Manager. A
+// participant joining opens a session; a participant leaving is
+// DETACHED, not finalized: a gallery member often leaves before
+// Options.IdentifyAfter frames, and Finalize would pin the VB
+// identification on a half-filled window. Detach drains and snapshots
+// the un-pinned stream instead, so a rejoin (or offline analysis of
+// the snapshot) carries the call on bit-identically (DESIGN.md §16).
+type managerSink struct {
+	m   *Manager
+	cfg *GalleryConfig
+	// oracles caches one empty oracle mask per session id: a demuxed
+	// composite carries no silhouette ground truth, and core treats the
+	// oracle as read-only input.
+	oracles map[string]*imagex.Mask
+	// detached holds the .bbck snapshot of each departed participant,
+	// keyed by session id, for rejoin. When the manager has a
+	// checkpoint store the snapshot is also saved there, making leaves
+	// durable.
+	detached map[string][]byte
+}
+
+func (gs *managerSink) OpenTile(id string, w, h int) error {
+	gs.oracles[id] = imagex.NewMask(w, h)
+	_, err := gs.m.Open(id, w, h, gs.cfg.OptionsFor(id, w, h))
+	return err
+}
+
+func (gs *managerSink) RejoinTile(id string, w, h int) error {
+	data, ok := gs.detached[id]
+	if !ok && gs.m.cfg.Checkpoints != nil {
+		var err error
+		if data, err = gs.m.cfg.Checkpoints.Load(id); err != nil {
+			return fmt.Errorf("session: gallery rejoin %q: %w", id, err)
+		}
+		ok = true
+	}
+	if !ok {
+		return fmt.Errorf("session: gallery rejoin %q: no detach snapshot", id)
+	}
+	gs.oracles[id] = imagex.NewMask(w, h)
+	_, err := gs.m.ResumeSession(id, data, gs.cfg.OptionsFor(id, w, h))
+	if err == nil {
+		delete(gs.detached, id)
+	}
+	return err
+}
+
+func (gs *managerSink) FeedTile(id string, img *imagex.Image) error {
+	oracle := gs.oracles[id]
+	if oracle == nil || oracle.W != img.W || oracle.H != img.H {
+		oracle = imagex.NewMask(img.W, img.H)
+		gs.oracles[id] = oracle
+	}
+	return gs.m.Feed(id, img, oracle)
+}
+
+func (gs *managerSink) LeaveTile(id string) error {
+	s, ok := gs.m.Get(id)
+	if !ok {
+		return fmt.Errorf("session: gallery leave %q: %w", id, ErrNoSession)
+	}
+	data, err := s.Detach()
+	if err != nil {
+		return fmt.Errorf("session: gallery leave %q: %w", id, err)
+	}
+	gs.detached[id] = data
+	if store := gs.m.cfg.Checkpoints; store != nil {
+		if err := store.Save(id, data); err != nil {
+			return fmt.Errorf("session: gallery leave %q: save snapshot: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// FeedComposite ingests one gallery-view composite frame: the demuxer
+// splits it into participant tiles and the manager opens, feeds,
+// detaches and resumes one session per participant as they join,
+// leave and rejoin. Requires Config.Gallery. Returns what the frame
+// released (joins/leaves/rejoins and per-session frame deliveries);
+// during stability voting a frame may release nothing yet — the
+// buffered frames replay on commit, so no session ever misses one.
+// Safe for concurrent use, but composite frames are ordered — use one
+// feeder per meeting.
+func (m *Manager) FeedComposite(frame *imagex.Image) (*gallery.Update, error) {
+	g := m.cfg.Gallery
+	if g == nil || g.OptionsFor == nil {
+		return nil, fmt.Errorf("session: FeedComposite requires Config.Gallery.OptionsFor")
+	}
+	m.galleryMu.Lock()
+	defer m.galleryMu.Unlock()
+	if m.galleryFan == nil {
+		sink := &managerSink{
+			m:        m,
+			cfg:      g,
+			oracles:  map[string]*imagex.Mask{},
+			detached: map[string][]byte{},
+		}
+		m.galleryFan = gallery.NewFanout(g.Demux, sink)
+		if g.TileID != nil {
+			m.galleryFan.TileID = g.TileID
+		}
+	}
+	return m.galleryFan.Feed(frame)
+}
+
+// GalleryStats snapshots the composite demuxer's counters; ok is false
+// until the first FeedComposite.
+func (m *Manager) GalleryStats() (s gallery.Stats, ok bool) {
+	m.galleryMu.Lock()
+	defer m.galleryMu.Unlock()
+	if m.galleryFan == nil {
+		return gallery.Stats{}, false
+	}
+	return m.galleryFan.Demux().Stats(), true
+}

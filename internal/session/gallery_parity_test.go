@@ -1,0 +1,367 @@
+package session_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/gallery"
+	"github.com/bgbuster/bgbuster/internal/imagex"
+	"github.com/bgbuster/bgbuster/internal/segment"
+	"github.com/bgbuster/bgbuster/internal/session"
+	"github.com/bgbuster/bgbuster/internal/vidstream"
+)
+
+const gw, gh = 48, 36
+
+// galleryTestOptions mirrors the fleet test idiom: a known-image
+// dictionary at the tile geometry plus the oracle segmenter —
+// deterministic, so two sessions fed the same frames produce
+// bit-identical checkpoints.
+func galleryTestOptions(string, int, int) core.Options {
+	o := core.DefaultOptions()
+	o.KnownImages = map[string]*imagex.Image{
+		"flat":  imagex.NewFilled(gw, gh, imagex.RGB{R: 20, G: 120, B: 220}),
+		"other": imagex.NewFilled(gw, gh, imagex.RGB{R: 200, G: 10, B: 10}),
+	}
+	o.Segmenter = segment.OracleSegmenter{}
+	o.ColorRefine = false
+	return o
+}
+
+// leakStream is one participant's camera: the "flat" VB with a
+// per-frame-moving leaked background rectangle in a per-participant
+// color, so checkpoints differ per prefix AND the demuxer can tell
+// participants apart by content.
+func leakStream(pi, n int) *vidstream.Video {
+	colors := []imagex.RGB{
+		{R: 240, G: 240, B: 60},
+		{R: 240, G: 60, B: 240},
+		{R: 60, G: 240, B: 240},
+		{R: 250, G: 160, B: 30},
+		{R: 30, G: 250, B: 120},
+		{R: 160, G: 30, B: 250},
+		{R: 250, G: 250, B: 250},
+		{R: 150, G: 90, B: 60},
+		{R: 90, G: 150, B: 200},
+		{R: 250, G: 60, B: 60},
+	}
+	c := colors[pi%len(colors)]
+	v := vidstream.New(30)
+	for i := 0; i < n; i++ {
+		f := imagex.NewFilled(gw, gh, imagex.RGB{R: 20, G: 120, B: 220})
+		x0 := 4 + (i+pi)%8
+		y0 := 6 + pi%4
+		for y := y0; y < y0+18 && y < gh; y++ {
+			for x := x0; x < x0+16; x++ {
+				f.Set(x, y, c)
+			}
+		}
+		if err := v.Append(f); err != nil {
+			panic(err)
+		}
+	}
+	return v
+}
+
+// parityMeeting builds the seeded meeting the acceptance criterion
+// names: n participants from frame 0, one extra joining at frame 8
+// (grid grows — mid-call resize), and participant 0 leaving at frame
+// 12 (grid shrinks back).
+func parityMeeting(t *testing.T, n int) ([]gallery.Participant, *gallery.Result) {
+	t.Helper()
+	parts := make([]gallery.Participant, 0, n+1)
+	for i := 0; i < n; i++ {
+		length := 24
+		if i == 0 {
+			length = 12 // leaves mid-call
+		}
+		parts = append(parts, gallery.Participant{Frames: leakStream(i, length), JoinAt: 0})
+	}
+	parts = append(parts, gallery.Participant{Frames: leakStream(n, 16), JoinAt: 8})
+	res, err := gallery.Compose(parts, gallery.Spec{Seed: int64(n)})
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	return parts, res
+}
+
+// laneToParticipant recovers the deterministic lane→participant map by
+// demuxing the composite standalone and matching first frames.
+func laneToParticipant(t *testing.T, parts []gallery.Participant, res *gallery.Result, cfg gallery.Config) map[int]int {
+	t.Helper()
+	lanes, _, err := gallery.SplitVideo(res.Video, cfg)
+	if err != nil {
+		t.Fatalf("SplitVideo: %v", err)
+	}
+	if len(lanes) != len(parts) {
+		t.Fatalf("%d lanes for %d participants", len(lanes), len(parts))
+	}
+	m := map[int]int{}
+	for _, ls := range lanes {
+		pi := -1
+		for i, p := range parts {
+			for _, f := range p.Frames.Frames {
+				if f.Equal(ls.Video.Frames[0]) {
+					pi = i
+					break
+				}
+			}
+			if pi >= 0 {
+				break
+			}
+		}
+		if pi < 0 {
+			t.Fatalf("lane %d matches no participant", ls.Lane)
+		}
+		m[ls.Lane] = pi
+	}
+	return m
+}
+
+// TestGalleryParityDemuxVsDirect is the acceptance-criterion proof:
+// for seeded N∈{2,4,9} meetings with a mid-call resize (one join, one
+// leave), feeding the composite through Manager.FeedComposite leaves
+// every participant session with checkpoint bytes bit-identical to a
+// manager fed the source streams directly.
+func TestGalleryParityDemuxVsDirect(t *testing.T) {
+	for _, n := range []int{2, 4, 9} {
+		n := n
+		t.Run(map[int]string{2: "N2", 4: "N4", 9: "N9"}[n], func(t *testing.T) {
+			parts, res := parityMeeting(t, n)
+			demuxCfg := gallery.Config{}
+
+			// Gallery side: one composite stream in.
+			store := session.NewMemStore()
+			gmgr := session.NewManager(session.Config{
+				QueueDepth:  256,
+				Checkpoints: store,
+				Gallery: &session.GalleryConfig{
+					Demux:      demuxCfg,
+					OptionsFor: galleryTestOptions,
+				},
+			})
+			defer gmgr.Close()
+			for i, f := range res.Video.Frames {
+				if _, err := gmgr.FeedComposite(f); err != nil {
+					t.Fatalf("FeedComposite frame %d: %v", i, err)
+				}
+			}
+			stats, ok := gmgr.GalleryStats()
+			if !ok || stats.Retiles < 2 {
+				t.Fatalf("expected ≥2 retiles (join+leave), stats %+v ok=%v", stats, ok)
+			}
+
+			// Direct side: each participant's shown frames fed straight in.
+			dmgr := session.NewManager(session.Config{QueueDepth: 256})
+			defer dmgr.Close()
+			direct := map[int][]byte{} // participant -> checkpoint bytes
+			for pi, p := range parts {
+				shown := res.ShownFrames(pi)
+				id := fmt.Sprintf("direct-%d", pi)
+				s, err := dmgr.Open(id, gw, gh, galleryTestOptions(id, gw, gh))
+				if err != nil {
+					t.Fatalf("direct open %d: %v", pi, err)
+				}
+				oracle := imagex.NewMask(gw, gh)
+				for _, local := range shown {
+					if err := s.Feed(p.Frames.Frames[local], oracle); err != nil {
+						t.Fatalf("direct feed %d: %v", pi, err)
+					}
+				}
+				data, err := s.Detach()
+				if err != nil {
+					t.Fatalf("direct detach %d: %v", pi, err)
+				}
+				direct[pi] = data
+			}
+
+			// Collect the gallery side: live sessions detach now; the
+			// leaver's snapshot is already in the sink's store.
+			laneOf := laneToParticipant(t, parts, res, demuxCfg)
+			for lane, pi := range laneOf {
+				id := gallery.DefaultTileID(lane)
+				var got []byte
+				if s, ok := gmgr.Get(id); ok {
+					data, err := s.Detach()
+					if err != nil {
+						t.Fatalf("gallery detach %s: %v", id, err)
+					}
+					got = data
+				} else {
+					data, err := store.Load(id)
+					if err != nil {
+						t.Fatalf("gallery %s: not live and no snapshot: %v", id, err)
+					}
+					got = data
+				}
+				want := direct[pi]
+				if !bytes.Equal(got, want) {
+					t.Errorf("participant %d (lane %d): checkpoint bytes differ: gallery %d bytes, direct %d bytes",
+						pi, lane, len(got), len(want))
+				}
+			}
+			// Participant 0 left mid-call: its snapshot must have come
+			// from the store (session gone), proving the leave path ran.
+			var leaverLane = -1
+			for lane, pi := range laneOf {
+				if pi == 0 {
+					leaverLane = lane
+				}
+			}
+			if _, ok := gmgr.Get(gallery.DefaultTileID(leaverLane)); ok {
+				t.Errorf("leaver session still open after leave")
+			}
+		})
+	}
+}
+
+// TestGalleryLeaveBeforeIdentifyNotPinned is the eviction-semantics
+// regression: a gallery participant who leaves BEFORE IdentifyAfter
+// frames must be snapshotted with identification un-pinned (Detach
+// semantics), so a rejoin carries on bit-identically with a session
+// that never left. Finalize-on-evict would pin the VB on the
+// half-filled window and diverge.
+func TestGalleryLeaveBeforeIdentifyNotPinned(t *testing.T) {
+	if core.DefaultIdentifyAfter < 8 {
+		t.Skip("default identification window too small for the scenario")
+	}
+	const early = 6 // < DefaultIdentifyAfter
+	p0 := gallery.Participant{Frames: leakStream(0, 30), JoinAt: 0}
+	p1 := gallery.Participant{Frames: leakStream(1, early), JoinAt: 0} // leaves inside the window
+	res, err := gallery.Compose([]gallery.Participant{p0, p1}, gallery.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := session.NewMemStore()
+	mgr := session.NewManager(session.Config{
+		QueueDepth:  256,
+		Checkpoints: store,
+		Gallery:     &session.GalleryConfig{OptionsFor: galleryTestOptions},
+	})
+	defer mgr.Close()
+	for i, f := range res.Video.Frames {
+		if _, err := mgr.FeedComposite(f); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+
+	laneOf := laneToParticipant(t, []gallery.Participant{p0, p1}, res, gallery.Config{})
+	leaverID := ""
+	for lane, pi := range laneOf {
+		if pi == 1 {
+			leaverID = gallery.DefaultTileID(lane)
+		}
+	}
+	if leaverID == "" {
+		t.Fatal("no lane mapped to the early leaver")
+	}
+	snap, err := store.Load(leaverID)
+	if err != nil {
+		t.Fatalf("leaver snapshot missing: %v", err)
+	}
+
+	// Resume the snapshot and feed the frames the participant would
+	// have sent had they stayed.
+	tail := leakStream(1, 30)
+	rmgr := session.NewManager(session.Config{QueueDepth: 256})
+	defer rmgr.Close()
+	rs, err := rmgr.ResumeSession("rejoin", snap, galleryTestOptions("rejoin", gw, gh))
+	if err != nil {
+		t.Fatalf("resume from early-leave snapshot: %v", err)
+	}
+	oracle := imagex.NewMask(gw, gh)
+	for i := early; i < tail.Len(); i++ {
+		if err := rs.Feed(tail.Frames[i], oracle); err != nil {
+			t.Fatalf("resumed feed %d: %v", i, err)
+		}
+	}
+	resumed, err := rs.Detach()
+	if err != nil {
+		t.Fatalf("resumed detach: %v", err)
+	}
+
+	// Uninterrupted control session over the same full stream.
+	cs, err := rmgr.Open("control", gw, gh, galleryTestOptions("control", gw, gh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tail.Len(); i++ {
+		if err := cs.Feed(tail.Frames[i], oracle); err != nil {
+			t.Fatalf("control feed %d: %v", i, err)
+		}
+	}
+	control, err := cs.Detach()
+	if err != nil {
+		t.Fatalf("control detach: %v", err)
+	}
+	if !bytes.Equal(resumed, control) {
+		t.Fatalf("leave-before-IdentifyAfter snapshot did not carry on bit-identically: identification was pinned early (resumed %d bytes, control %d bytes)",
+			len(resumed), len(control))
+	}
+}
+
+// TestGalleryRejoinResumesSession: a participant who leaves and comes
+// back lands on the SAME session id, resumed from the detach snapshot
+// (lane ids are stable and the sink keeps the bytes).
+func TestGalleryRejoinResumesSession(t *testing.T) {
+	const w, h = gw, gh
+	p0 := leakStream(0, 30)
+	p1 := leakStream(1, 30)
+	spec := gallery.Spec{Capacity: 2}
+	specR := spec
+	specR.TileW, specR.TileH = w, h
+	cw, ch := specR.Canvas()
+	_ = cw
+
+	comp := vidstream.New(30)
+	appendFrame := func(imgs ...*imagex.Image) {
+		f := imagex.NewFilled(cw, ch, imagex.RGB{R: 32, G: 32, B: 32})
+		rects, err := specR.LayoutFor(len(imgs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, im := range imgs {
+			if err := f.Blit(im, rects[i].X, rects[i].Y); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := comp.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		appendFrame(p0.Frames[i], p1.Frames[i])
+	}
+	for i := 10; i < 20; i++ {
+		appendFrame(p0.Frames[i])
+	}
+	for i := 20; i < 30; i++ {
+		appendFrame(p0.Frames[i], p1.Frames[i])
+	}
+
+	mgr := session.NewManager(session.Config{
+		QueueDepth: 256,
+		Gallery: &session.GalleryConfig{
+			Demux:      gallery.Config{Rejoin: true},
+			OptionsFor: galleryTestOptions,
+		},
+	})
+	defer mgr.Close()
+	rejoins := 0
+	for i, f := range comp.Frames {
+		up, err := mgr.FeedComposite(f)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		rejoins += len(up.Rejoins)
+	}
+	if rejoins != 1 {
+		t.Fatalf("rejoins = %d, want 1", rejoins)
+	}
+	if mgr.Len() != 2 {
+		t.Fatalf("open sessions = %d, want 2 (rejoin must reuse the session id)", mgr.Len())
+	}
+}
