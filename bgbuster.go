@@ -416,6 +416,21 @@ type (
 	FleetClient = fleet.Client
 	// FleetLimits bounds what a wire decoder will allocate per message.
 	FleetLimits = fleet.Limits
+	// FleetTimeouts sets a client's per-op dial/read/write deadlines.
+	FleetTimeouts = fleet.Timeouts
+	// FleetTimeoutError reports an op that exceeded its deadline —
+	// distinct from FleetRemoteError (the shard answered with a fault).
+	FleetTimeoutError = fleet.TimeoutError
+	// FleetRemoteError is a typed fault answered over the wire.
+	FleetRemoteError = fleet.RemoteError
+	// FleetHealthConfig tunes probing, strike thresholds and retry.
+	FleetHealthConfig = fleet.HealthConfig
+	// FleetHealthState is a shard's routing state: up, suspect or down.
+	FleetHealthState = fleet.HealthState
+	// FleetHealthInfo snapshots the fleet's epoch and per-shard health.
+	FleetHealthInfo = fleet.HealthInfo
+	// QuorumCheckpointStore replicates checkpoints W-of-N over stores.
+	QuorumCheckpointStore = session.QuorumStore
 )
 
 // NewFleetShard returns a worker shard serving cfg.Manager.
@@ -426,8 +441,31 @@ func NewFleetCoordinator(cfg FleetCoordinatorConfig) (*FleetCoordinator, error) 
 	return fleet.NewCoordinator(cfg)
 }
 
+// FleetTakeOver rebuilds a coordinator from the replicated stores'
+// fleet meta record and fences the predecessor out at a higher epoch —
+// the standby side of coordinator failover (DESIGN.md §17).
+func FleetTakeOver(cfg FleetCoordinatorConfig) (*FleetCoordinator, error) {
+	return fleet.TakeOver(cfg)
+}
+
+// ErrFleetDeposed: a coordinator fenced out by a successor's higher
+// epoch refuses all further operations with this error.
+var ErrFleetDeposed = fleet.ErrDeposed
+
+// NewQuorumCheckpointStore replicates every checkpoint onto `replicas`
+// of the given stores, requiring `quorum` writes to succeed; reads
+// fall back across surviving replicas.
+func NewQuorumCheckpointStore(stores []CheckpointStore, replicas, quorum int) (*QuorumCheckpointStore, error) {
+	return session.NewQuorumStore(stores, replicas, quorum)
+}
+
 // DialFleet connects to a shard or coordinator wire endpoint.
 func DialFleet(addr string, lim FleetLimits) (*FleetClient, error) { return fleet.Dial(addr, lim) }
+
+// DialFleetTimeouts is DialFleet with explicit per-op deadlines.
+func DialFleetTimeouts(addr string, lim FleetLimits, to FleetTimeouts) (*FleetClient, error) {
+	return fleet.DialTimeouts(addr, lim, to)
+}
 
 // NewDirCheckpointStore opens (creating it if needed) a
 // directory-backed checkpoint store.

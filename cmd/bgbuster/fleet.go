@@ -28,8 +28,14 @@ func runShard(args []string) error {
 	maxRestarts := fs.Int("max-restarts", 5, "circuit breaker: restarts per session per minute")
 	maxSessions := fs.Int("max-sessions", 0, "admission control: max open sessions (0: unlimited)")
 	memBudget := fs.Int64("mem-budget", 0, "admission control: max summed stream footprint in bytes (0: unlimited)")
+	join := fs.String("join", "", "coordinator address to join on startup (empty: wait to be listed)")
+	advertise := fs.String("advertise", "", "address announced to the coordinator (default: the bound -listen address)")
+	drainOnSigterm := fs.Bool("drain-on-sigterm", false, "ask the -join coordinator to migrate sessions off this shard before exiting")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *drainOnSigterm && *join == "" {
+		return fmt.Errorf("shard: -drain-on-sigterm requires -join (who would we ask?)")
 	}
 
 	cfg := session.Config{
@@ -65,19 +71,62 @@ func runShard(args []string) error {
 		return err
 	}
 	fmt.Printf("shard: serving sessions on %s\n", ln.Addr())
-	return serveUntilSignal(ln, func() error { return sh.Serve(ln) })
+
+	// Elastic membership: announce ourselves to a running coordinator
+	// (which migrates the sessions whose arcs now map here), and on
+	// SIGTERM optionally ask it to migrate them off again before we go.
+	announced := *advertise
+	if announced == "" {
+		announced = ln.Addr().String()
+	}
+	if *join != "" {
+		cl, jerr := fleet.Dial(*join, fleet.Limits{})
+		if jerr == nil {
+			jerr = cl.Join(announced)
+			cl.Close()
+		}
+		if jerr != nil {
+			ln.Close()
+			return fmt.Errorf("shard: join via %s: %w", *join, jerr)
+		}
+		fmt.Printf("shard: joined fleet via %s as %s\n", *join, announced)
+	}
+	onSignal := func() {}
+	if *drainOnSigterm {
+		onSignal = func() {
+			cl, derr := fleet.Dial(*join, fleet.Limits{})
+			if derr == nil {
+				derr = cl.DrainShard(announced)
+				cl.Close()
+			}
+			if derr != nil {
+				fmt.Fprintf(os.Stderr, "shard: drain on sigterm: %v\n", derr)
+				return
+			}
+			fmt.Printf("shard: drained %s out of the fleet\n", announced)
+		}
+	}
+	return serveUntilSignalHook(ln, func() error { return sh.Serve(ln) }, onSignal)
 }
 
 // runServe boots the fleet coordinator: consistent-hash routing of
-// session ids over worker shards, periodic checkpoint replication, and
-// shard-loss recovery onto the survivors.
+// session ids over worker shards, quorum checkpoint replication,
+// health-probed routing, shard-loss recovery onto the survivors — or,
+// with -standby, a warm spare that watches the primary and takes over
+// (fencing it) when it dies.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7600", "address to serve the fleet wire protocol on")
-	shards := fs.String("shards", "", "comma-separated worker shard addresses (required)")
+	shards := fs.String("shards", "", "comma-separated worker shard addresses (required unless -standby)")
 	vnodes := fs.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0: default 64)")
-	ckptDir := fs.String("checkpoint-dir", "", "replicated checkpoint directory (empty: in-memory)")
+	ckptDir := fs.String("checkpoint-dir", "", "replicated checkpoint directories, comma-separated for multiple replicas (empty: in-memory)")
+	replicas := fs.Int("replicas", 0, "replica factor N: stores written per checkpoint (0: all listed)")
+	writeQuorum := fs.Int("write-quorum", 0, "write quorum W: successful replica writes required (0: majority of N)")
 	replicate := fs.Duration("replicate-every", 15*time.Second, "checkpoint replication interval (0: on demand only)")
+	probeEvery := fs.Duration("probe-every", 5*time.Second, "shard health probe interval (0: probes off)")
+	standby := fs.Bool("standby", false, "start as a warm standby: watch -watch and take over when it dies")
+	watch := fs.String("watch", "", "primary coordinator address a standby watches")
+	watchEvery := fs.Duration("watch-every", 2*time.Second, "standby probe interval against the primary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,23 +137,49 @@ func runServe(args []string) error {
 			clean = append(clean, a)
 		}
 	}
-	if len(clean) == 0 {
+	if len(clean) == 0 && !*standby {
 		return fmt.Errorf("serve: -shards is required (comma-separated addresses)")
 	}
 
 	ccfg := fleet.CoordinatorConfig{
 		Shards: clean,
 		Vnodes: *vnodes,
+		Health: fleet.HealthConfig{ProbeInterval: *probeEvery},
 		Logf:   func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
 	}
-	if *ckptDir != "" {
-		store, err := session.NewDirStore(*ckptDir)
+	var stores []session.CheckpointStore
+	for _, dir := range strings.Split(*ckptDir, ",") {
+		if dir = strings.TrimSpace(dir); dir == "" {
+			continue
+		}
+		store, err := session.NewDirStore(dir)
 		if err != nil {
 			return err
 		}
-		ccfg.Store = store
+		stores = append(stores, store)
 	}
-	coord, err := fleet.NewCoordinator(ccfg)
+	switch {
+	case len(stores) == 1 && *replicas == 0 && *writeQuorum == 0:
+		ccfg.Store = stores[0]
+	case len(stores) > 0:
+		ccfg.Stores = stores
+		ccfg.ReplicaFactor = *replicas
+		ccfg.WriteQuorum = *writeQuorum
+	}
+
+	var coord *fleet.Coordinator
+	var err error
+	if *standby {
+		if *watch == "" {
+			return fmt.Errorf("serve: -standby requires -watch (the primary to take over from)")
+		}
+		if len(stores) == 0 {
+			return fmt.Errorf("serve: -standby requires -checkpoint-dir (the stores holding the fleet meta)")
+		}
+		coord, err = standbyTakeOver(ccfg, *watch, *watchEvery)
+	} else {
+		coord, err = fleet.NewCoordinator(ccfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -133,13 +208,96 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serve: coordinating %d shards on %s\n", len(clean), ln.Addr())
+	fmt.Printf("serve: coordinating %d shards on %s\n", len(coord.Members()), ln.Addr())
 	return serveUntilSignal(ln, func() error { return fleet.Serve(ln, coord, fleet.Limits{}, ccfg.Logf) })
+}
+
+// runStats dials a running coordinator and prints its aggregate fleet
+// stats plus a per-shard health table (state machine value and strike
+// count), so an operator can watch a rebalance or failover converge.
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7600", "coordinator address")
+	verbose := fs.Bool("v", false, "also list open session ids")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cl, err := fleet.Dial(*addr, fleet.Limits{})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	st, err := cl.Stats()
+	if err != nil {
+		return err
+	}
+	hi, err := cl.Health()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet %s  epoch %d\n", *addr, hi.Epoch)
+	fmt.Printf("sessions open %d  opened %d  restores %d  restarts %d  migrations %d\n",
+		st.Open, st.Opened, st.Restores, st.Restarts, st.Migrations)
+	fmt.Printf("%-28s %-8s %s\n", "SHARD", "HEALTH", "FAILS")
+	for _, s := range hi.Shards {
+		fmt.Printf("%-28s %-8s %d\n", s.Addr, fleet.HealthState(s.State), s.Fails)
+	}
+	if *verbose {
+		for _, id := range st.IDs {
+			fmt.Printf("session %s\n", id)
+		}
+	}
+	return nil
+}
+
+// standbyTakeOver is the warm-spare loop: probe the primary at watch
+// until missMax consecutive probes fail, then rebuild a coordinator
+// from the replicated stores and fence the (possibly still twitching)
+// primary out. SIGINT/SIGTERM while still watching exits cleanly.
+func standbyTakeOver(ccfg fleet.CoordinatorConfig, watch string, every time.Duration) (*fleet.Coordinator, error) {
+	const missMax = 3
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	fmt.Printf("serve: standby watching %s (takeover after %d missed probes)\n", watch, missMax)
+	misses := 0
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for misses < missMax {
+		select {
+		case <-sigc:
+			return nil, fmt.Errorf("serve: standby interrupted before takeover")
+		case <-t.C:
+		}
+		cl, err := fleet.Dial(watch, fleet.Limits{})
+		if err == nil {
+			err = cl.Ping()
+			cl.Close()
+		}
+		if err == nil {
+			misses = 0
+			continue
+		}
+		misses++
+		fmt.Fprintf(os.Stderr, "serve: standby probe %d/%d failed: %v\n", misses, missMax, err)
+	}
+	fmt.Printf("serve: primary %s is gone; taking over\n", watch)
+	return fleet.TakeOver(ccfg)
 }
 
 // serveUntilSignal runs serve until SIGINT/SIGTERM closes the
 // listener; the resulting accept error then reads as a clean exit.
 func serveUntilSignal(ln net.Listener, serve func() error) error {
+	return serveUntilSignalHook(ln, serve, func() {})
+}
+
+// serveUntilSignalHook is serveUntilSignal with a pre-shutdown hook:
+// on signal, onSignal runs (e.g. draining this shard out of the fleet)
+// before the listener closes.
+func serveUntilSignalHook(ln net.Listener, serve func() error, onSignal func()) error {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
@@ -147,6 +305,7 @@ func serveUntilSignal(ln net.Listener, serve func() error) error {
 	go func() { done <- serve() }()
 	select {
 	case <-sigc:
+		onSignal()
 		ln.Close()
 		<-done
 		return nil

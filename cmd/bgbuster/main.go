@@ -13,7 +13,11 @@
 //	                   [-chaos profile] [-noise-gate frac] [-stall-timeout dur] [-close-timeout dur]
 //	                   [-restart] [-max-restarts N] [-max-sessions N] [-mem-budget bytes]
 //	bgbuster shard     [-listen addr] [-checkpoint-dir dir] [-restart] [-max-sessions N] [-mem-budget bytes]
-//	bgbuster serve     [-listen addr] -shards a,b,... [-vnodes N] [-checkpoint-dir dir] [-replicate-every dur]
+//	                   [-join coord] [-advertise addr] [-drain-on-sigterm]
+//	bgbuster serve     [-listen addr] -shards a,b,... [-vnodes N] [-checkpoint-dir d1,d2,...] [-replicate-every dur]
+//	                   [-replicas N] [-write-quorum W] [-probe-every dur]
+//	                   [-standby -watch addr [-watch-every dur]]
+//	bgbuster stats     [-addr coord] [-v]
 //
 // live drives the concurrent session layer (internal/session): it
 // replays a .bbv recording — or composes a synthetic call — through N
@@ -36,12 +40,20 @@
 // instead of overcommitting the fleet (DESIGN.md §13).
 //
 // shard and serve distribute the session layer across processes
-// (DESIGN.md §15): shard fronts one session manager with the fleet's
-// length-prefixed, budget-checked wire protocol; serve runs the
-// coordinator that consistent-hashes session ids onto shards,
+// (DESIGN.md §15, §17): shard fronts one session manager with the
+// fleet's length-prefixed, budget-checked wire protocol; serve runs
+// the coordinator that consistent-hashes session ids onto shards,
 // replicates checkpoints, live-migrates running calls between shards,
 // and re-resumes a dead shard's sessions on the survivors from their
-// last replicated checkpoints.
+// last replicated checkpoints. The elastic layer on top: a shard with
+// -join announces itself to a live coordinator and takes over exactly
+// the sessions whose hash arcs move; -drain-on-sigterm asks the fleet
+// to migrate its sessions away before exiting. serve accepts multiple
+// -checkpoint-dir directories as quorum replicas (-replicas/-write-
+// quorum), health-probes shards (-probe-every), and with -standby
+// runs as a warm spare that watches the primary and takes over with a
+// higher fencing epoch when it dies. stats prints a running fleet's
+// counters and per-shard health table.
 package main
 
 import (
@@ -75,7 +87,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: bgbuster <attack|decompose|list|live|shard|serve> [flags]")
+		return fmt.Errorf("usage: bgbuster <attack|decompose|list|live|shard|serve|stats> [flags]")
 	}
 	switch args[0] {
 	case "attack":
@@ -90,6 +102,8 @@ func run(args []string) error {
 		return runShard(args[1:])
 	case "serve":
 		return runServe(args[1:])
+	case "stats":
+		return runStats(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

@@ -1,0 +1,226 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// NetProfile configures a chaos net.Conn wrapper (WrapConn): seeded,
+// deterministic network faults for fleet partition tests. All rates
+// are per-operation probabilities in [0, 1]; the zero value injects
+// nothing. Like the frame Injector, every decision comes from the
+// seeded rng in operation order, so a chaos run is reproducible under
+// -race — wall-clock only enters through the injected sleeps
+// themselves.
+type NetProfile struct {
+	// Seed drives every random decision.
+	Seed int64
+
+	// LatencyRate is the probability an operation (read or write) is
+	// preceded by a Latency sleep.
+	LatencyRate float64
+	// Latency is the injected delay (non-positive: 10ms).
+	Latency time.Duration
+	// CloseRate is the probability an operation closes the connection
+	// mid-message: a write sends only a prefix of its bytes first, so
+	// the peer sees a truncated frame then EOF — a process crash with
+	// bytes in flight.
+	CloseRate float64
+	// TruncateRate is the probability a write silently delivers only a
+	// prefix of its bytes while claiming full success — framing on the
+	// peer desynchronizes and its next read hangs until its deadline, a
+	// half-open connection through a dying middlebox.
+	TruncateRate float64
+	// BlackholeAfter makes the connection a black hole after this many
+	// operations: writes claim success without delivering, reads block
+	// until their deadline (or the connection is closed) — an
+	// asymmetric partition where the peer is alive but unreachable.
+	// 0: never.
+	BlackholeAfter int
+}
+
+func (p NetProfile) withDefaults() NetProfile {
+	if p.Latency <= 0 {
+		p.Latency = 10 * time.Millisecond
+	}
+	return p
+}
+
+// Validate rejects out-of-range rates.
+func (p NetProfile) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"latency", p.LatencyRate}, {"close", p.CloseRate}, {"truncate", p.TruncateRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faultinject: %s rate %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if p.BlackholeAfter < 0 {
+		return fmt.Errorf("faultinject: blackhole-after %d is negative", p.BlackholeAfter)
+	}
+	return nil
+}
+
+// NetCounters tallies injected network faults of one ChaosConn.
+type NetCounters struct {
+	Ops        int // reads + writes attempted
+	Delayed    int
+	MidClosed  int
+	Truncated  int
+	Blackholed int // blackholed reads and writes
+}
+
+// ChaosConn wraps a net.Conn with seeded fault injection. Safe for the
+// one-reader/one-writer discipline net.Conn callers follow; the rng is
+// mutex-guarded so interleaved reads and writes stay race-free (their
+// draw order then follows the lock order).
+type ChaosConn struct {
+	inner net.Conn
+
+	mu           sync.Mutex
+	p            NetProfile
+	rng          *rand.Rand
+	ops          int
+	c            NetCounters
+	readDeadline time.Time
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// WrapConn wraps c with the chaos profile. Validate the profile first;
+// WrapConn accepts anything and clamps nothing.
+func WrapConn(c net.Conn, p NetProfile) *ChaosConn {
+	p = p.withDefaults()
+	return &ChaosConn{
+		inner:  c,
+		p:      p,
+		rng:    rand.New(rand.NewSource(p.Seed)),
+		closed: make(chan struct{}),
+	}
+}
+
+// Counters returns the faults injected so far.
+func (cc *ChaosConn) Counters() NetCounters {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.c
+}
+
+// decide draws the fault plan for one operation. Caller must not hold
+// cc.mu.
+func (cc *ChaosConn) decide() (delay time.Duration, midClose, truncate, blackhole bool, deadline time.Time) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.ops++
+	cc.c.Ops++
+	deadline = cc.readDeadline
+	if cc.p.BlackholeAfter > 0 && cc.ops > cc.p.BlackholeAfter {
+		cc.c.Blackholed++
+		return 0, false, false, true, deadline
+	}
+	if cc.rng.Float64() < cc.p.LatencyRate {
+		delay = cc.p.Latency
+		cc.c.Delayed++
+	}
+	if cc.rng.Float64() < cc.p.CloseRate {
+		midClose = true
+		cc.c.MidClosed++
+	}
+	if cc.rng.Float64() < cc.p.TruncateRate {
+		truncate = true
+		cc.c.Truncated++
+	}
+	return delay, midClose, truncate, blackhole, deadline
+}
+
+// blackholeWait blocks like a partitioned read: until the stored read
+// deadline expires (timeout error) or the connection is closed.
+func (cc *ChaosConn) blackholeWait(deadline time.Time) error {
+	if deadline.IsZero() {
+		<-cc.closed
+		return net.ErrClosed
+	}
+	d := time.Until(deadline)
+	if d <= 0 {
+		return os.ErrDeadlineExceeded
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return os.ErrDeadlineExceeded
+	case <-cc.closed:
+		return net.ErrClosed
+	}
+}
+
+func (cc *ChaosConn) Read(b []byte) (int, error) {
+	delay, midClose, _, blackhole, deadline := cc.decide()
+	if blackhole {
+		return 0, cc.blackholeWait(deadline)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if midClose {
+		cc.Close()
+		return 0, net.ErrClosed
+	}
+	return cc.inner.Read(b)
+}
+
+func (cc *ChaosConn) Write(b []byte) (int, error) {
+	delay, midClose, truncate, blackhole, _ := cc.decide()
+	if blackhole {
+		return len(b), nil // claimed delivered, actually dropped
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if midClose {
+		n, _ := cc.inner.Write(b[:len(b)/2])
+		cc.Close()
+		return n, net.ErrClosed
+	}
+	if truncate && len(b) > 1 {
+		if _, err := cc.inner.Write(b[:len(b)/2]); err != nil {
+			return 0, err
+		}
+		return len(b), nil // claimed complete, silently cut short
+	}
+	return cc.inner.Write(b)
+}
+
+func (cc *ChaosConn) Close() error {
+	cc.closeOnce.Do(func() { close(cc.closed) })
+	return cc.inner.Close()
+}
+
+func (cc *ChaosConn) LocalAddr() net.Addr  { return cc.inner.LocalAddr() }
+func (cc *ChaosConn) RemoteAddr() net.Addr { return cc.inner.RemoteAddr() }
+
+func (cc *ChaosConn) SetDeadline(t time.Time) error {
+	cc.mu.Lock()
+	cc.readDeadline = t
+	cc.mu.Unlock()
+	return cc.inner.SetDeadline(t)
+}
+
+func (cc *ChaosConn) SetReadDeadline(t time.Time) error {
+	cc.mu.Lock()
+	cc.readDeadline = t
+	cc.mu.Unlock()
+	return cc.inner.SetReadDeadline(t)
+}
+
+func (cc *ChaosConn) SetWriteDeadline(t time.Time) error {
+	return cc.inner.SetWriteDeadline(t)
+}

@@ -1,0 +1,162 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// chaosPipe returns a chaos-wrapped end and the peer's plain end.
+func chaosPipe(p NetProfile) (*ChaosConn, net.Conn) {
+	a, b := net.Pipe()
+	return WrapConn(a, p), b
+}
+
+func TestNetProfileValidate(t *testing.T) {
+	if err := (NetProfile{LatencyRate: 1.5}).Validate(); err == nil {
+		t.Fatal("latency rate 1.5 accepted")
+	}
+	if err := (NetProfile{BlackholeAfter: -1}).Validate(); err == nil {
+		t.Fatal("negative blackhole-after accepted")
+	}
+	if err := (NetProfile{CloseRate: 0.5, TruncateRate: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosConnDeterministic runs the same op schedule through two
+// equally-seeded wrappers and requires identical fault sequences.
+func TestChaosConnDeterministic(t *testing.T) {
+	run := func() (NetCounters, []byte) {
+		p := NetProfile{Seed: 42, TruncateRate: 0.4, LatencyRate: 0.3, Latency: time.Microsecond}
+		cc, peer := chaosPipe(p)
+		defer cc.Close()
+		defer peer.Close()
+
+		var got bytes.Buffer
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			io.Copy(&got, peer)
+		}()
+		for i := 0; i < 20; i++ {
+			if _, err := cc.Write([]byte{byte(i), byte(i + 1), byte(i + 2), byte(i + 3)}); err != nil {
+				t.Errorf("write %d: %v", i, err)
+			}
+		}
+		cc.Close()
+		<-done
+		return cc.Counters(), got.Bytes()
+	}
+	c1, b1 := run()
+	c2, b2 := run()
+	if c1 != c2 {
+		t.Fatalf("counters diverged across identically seeded runs:\n%+v\n%+v", c1, c2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("delivered bytes diverged: %x vs %x", b1, b2)
+	}
+	if c1.Truncated == 0 {
+		t.Fatalf("truncation rate 0.4 over 20 writes injected nothing: %+v", c1)
+	}
+}
+
+// TestChaosConnTruncate proves a truncated write claims full success
+// while delivering only a prefix.
+func TestChaosConnTruncate(t *testing.T) {
+	cc, peer := chaosPipe(NetProfile{Seed: 1, TruncateRate: 1})
+	defer cc.Close()
+	defer peer.Close()
+
+	go func() {
+		n, err := cc.Write([]byte("0123456789"))
+		if n != 10 || err != nil {
+			t.Errorf("truncated write reported (%d, %v), want (10, nil)", n, err)
+		}
+		cc.Close() // unblock the peer read below
+	}()
+	got, err := io.ReadAll(peer)
+	if err != nil && !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("peer received %q, want the 5-byte prefix", got)
+	}
+}
+
+// TestChaosConnMidClose proves a mid-message close delivers a prefix
+// then EOF/reset on the peer and an error to the writer.
+func TestChaosConnMidClose(t *testing.T) {
+	cc, peer := chaosPipe(NetProfile{Seed: 1, CloseRate: 1})
+	defer peer.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := cc.Write([]byte("abcdef"))
+		errc <- err
+	}()
+	got, _ := io.ReadAll(peer)
+	if string(got) != "abc" {
+		t.Fatalf("peer received %q, want the 3-byte prefix", got)
+	}
+	if err := <-errc; !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("writer error = %v, want net.ErrClosed", err)
+	}
+}
+
+// TestChaosConnBlackholeHonorsDeadline proves a blackholed read
+// returns a timeout at its deadline instead of blocking forever, and
+// that the timeout satisfies net.Error.
+func TestChaosConnBlackholeHonorsDeadline(t *testing.T) {
+	cc, peer := chaosPipe(NetProfile{Seed: 1, BlackholeAfter: 1})
+	defer cc.Close()
+	defer peer.Close()
+
+	// Op 1 passes through; op 2 onward is blackholed.
+	go func() {
+		buf := make([]byte, 1)
+		peer.Read(buf)
+	}()
+	if _, err := cc.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+
+	if n, err := cc.Write([]byte("dropped")); n != len("dropped") || err != nil {
+		t.Fatalf("blackholed write reported (%d, %v)", n, err)
+	}
+
+	cc.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err := cc.Read(make([]byte, 8))
+	elapsed := time.Since(start)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackholed read error = %v, want deadline exceeded", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("blackhole timeout does not satisfy net.Error.Timeout: %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("blackholed read blocked %v past a 50ms deadline", elapsed)
+	}
+	if cc.Counters().Blackholed < 2 {
+		t.Fatalf("counters: %+v", cc.Counters())
+	}
+
+	// With no deadline, Close unblocks the read.
+	cc.SetReadDeadline(time.Time{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := cc.Read(make([]byte, 8))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cc.Close()
+	if err := <-done; !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("read after close = %v, want net.ErrClosed", err)
+	}
+}

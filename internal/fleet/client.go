@@ -2,9 +2,11 @@ package fleet
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/bgbuster/bgbuster/internal/core"
 )
@@ -21,24 +23,94 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("fleet: remote error %d: %s", e.Code, e.Text)
 }
 
+// TimeoutError reports a request that blew its configured I/O deadline
+// — the peer is hung or partitioned, not necessarily dead, and it is
+// unknown whether the request was applied. Distinct from both
+// *RemoteError (delivered and rejected) and hard transport errors
+// (connection refused/reset: the peer is gone).
+type TimeoutError struct {
+	Addr  string
+	Op    string
+	After time.Duration
+	Err   error
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("fleet: %s: %s timed out after %v: %v", e.Addr, e.Op, e.After, e.Err)
+}
+
+func (e *TimeoutError) Unwrap() error { return e.Err }
+
+// Timeout marks the error as a timeout for net.Error-style checks.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// Timeouts bounds a client's blocking I/O. Zero values take the
+// defaults; a negative value disables that deadline (the pre-deadline
+// wedge-forever behaviour, for callers that genuinely want to block).
+type Timeouts struct {
+	// Dial bounds connection establishment (default 5s).
+	Dial time.Duration
+	// Read bounds one response read (default 60s — generously above the
+	// shard-side 30s drain barrier so a slow drain is not misread as a
+	// hang).
+	Read time.Duration
+	// Write bounds one request write (default 30s).
+	Write time.Duration
+}
+
+// DefaultTimeouts returns the default per-op deadlines.
+func DefaultTimeouts() Timeouts { return Timeouts{}.withDefaults() }
+
+func (t Timeouts) withDefaults() Timeouts {
+	if t.Dial == 0 {
+		t.Dial = 5 * time.Second
+	}
+	if t.Read == 0 {
+		t.Read = 60 * time.Second
+	}
+	if t.Write == 0 {
+		t.Write = 30 * time.Second
+	}
+	return t
+}
+
 // Client is a synchronous wire-protocol client over one connection.
 // Safe for concurrent use; requests are serialized on the connection.
 type Client struct {
 	addr string
 	lim  Limits
+	t    Timeouts
 
 	mu   sync.Mutex
 	conn net.Conn
 	br   *bufio.Reader
 }
 
-// Dial connects to a shard or coordinator address.
+// Dial connects to a shard or coordinator address under the default
+// deadlines. Every op has a dial/read/write deadline by default — a
+// hung or partitioned peer surfaces as a *TimeoutError instead of
+// wedging the caller forever.
 func Dial(addr string, lim Limits) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeouts(addr, lim, Timeouts{})
+}
+
+// DialTimeouts is Dial with explicit per-op deadlines.
+func DialTimeouts(addr string, lim Limits, t Timeouts) (*Client, error) {
+	t = t.withDefaults()
+	var conn net.Conn
+	var err error
+	if t.Dial > 0 {
+		conn, err = net.DialTimeout("tcp", addr, t.Dial)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
+		if isTimeout(err) {
+			return nil, &TimeoutError{Addr: addr, Op: "dial", After: t.Dial, Err: err}
+		}
 		return nil, fmt.Errorf("fleet: dial %s: %w", addr, err)
 	}
-	return &Client{addr: addr, lim: lim.withDefaults(), conn: conn, br: bufio.NewReader(conn)}, nil
+	return &Client{addr: addr, lim: lim.withDefaults(), t: t, conn: conn, br: bufio.NewReader(conn)}, nil
 }
 
 // Addr returns the dialed address.
@@ -56,24 +128,44 @@ func (c *Client) Close() error {
 	return err
 }
 
-// do performs one request/response round trip. A transport failure
-// closes the connection and is returned as-is (NOT a *RemoteError) —
-// the caller's signal that the peer, not the request, failed.
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// do performs one request/response round trip under the configured
+// deadlines. A transport failure closes the connection and is returned
+// as-is (NOT a *RemoteError) — the caller's signal that the peer, not
+// the request, failed; a deadline expiry comes back as *TimeoutError.
 func (c *Client) do(req *Message) (*Message, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return nil, fmt.Errorf("fleet: client %s: connection closed", c.addr)
 	}
+	op := fmt.Sprintf("request 0x%02x", byte(req.Type))
+	if c.t.Write > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.t.Write))
+	}
 	if err := WriteMessage(c.conn, req); err != nil {
 		c.conn.Close()
 		c.conn = nil
+		if isTimeout(err) {
+			return nil, &TimeoutError{Addr: c.addr, Op: op + " write", After: c.t.Write, Err: err}
+		}
 		return nil, fmt.Errorf("fleet: %s: write: %w", c.addr, err)
+	}
+	if c.t.Read > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.t.Read))
 	}
 	resp, err := ReadMessage(c.br, c.lim)
 	if err != nil {
 		c.conn.Close()
 		c.conn = nil
+		if isTimeout(err) {
+			return nil, &TimeoutError{Addr: c.addr, Op: op + " read", After: c.t.Read, Err: err}
+		}
 		return nil, fmt.Errorf("fleet: %s: read: %w", c.addr, err)
 	}
 	if resp.Type == MsgErr {
@@ -168,4 +260,40 @@ func (c *Client) Stats() (StatsInfo, error) {
 		return StatsInfo{}, err
 	}
 	return resp.Stats, nil
+}
+
+// Ping performs the lightweight liveness round trip health probes run.
+func (c *Client) Ping() error {
+	_, err := c.expect(&Message{Type: MsgPing}, MsgOK)
+	return err
+}
+
+// Fence declares the caller's coordinator epoch on this connection.
+// The peer rejects it (CodeFenced) when it has already seen a higher
+// epoch — the caller has been deposed.
+func (c *Client) Fence(epoch uint64) error {
+	_, err := c.expect(&Message{Type: MsgFence, Epoch: epoch}, MsgOK)
+	return err
+}
+
+// Join asks a coordinator to add the shard at addr to the live ring.
+func (c *Client) Join(addr string) error {
+	_, err := c.expect(&Message{Type: MsgJoin, Addr: addr}, MsgOK)
+	return err
+}
+
+// DrainShard asks a coordinator to migrate every session off the shard
+// at addr and remove it from the ring.
+func (c *Client) DrainShard(addr string) error {
+	_, err := c.expect(&Message{Type: MsgDrainShard, Addr: addr}, MsgOK)
+	return err
+}
+
+// Health fetches a coordinator's epoch and per-shard health states.
+func (c *Client) Health() (HealthInfo, error) {
+	resp, err := c.expect(&Message{Type: MsgHealth}, MsgHealthResp)
+	if err != nil {
+		return HealthInfo{}, err
+	}
+	return resp.Health, nil
 }

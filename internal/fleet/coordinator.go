@@ -3,6 +3,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -28,8 +29,32 @@ type CoordinatorConfig struct {
 	// in-memory store — recovery then survives shard loss but not
 	// coordinator loss.
 	Store session.CheckpointStore
-	// Dial opens a client to a shard (nil: Dial over TCP). Injectable
-	// for tests.
+	// Stores, when non-empty, overrides Store with a quorum store
+	// writing each checkpoint to ReplicaFactor of them and requiring
+	// WriteQuorum successes (session.NewQuorumStore) — checkpoints then
+	// survive replica loss, and a standby coordinator can TakeOver from
+	// any surviving replica.
+	Stores []session.CheckpointStore
+	// ReplicaFactor is N, the stores written per checkpoint (<=0: all).
+	ReplicaFactor int
+	// WriteQuorum is W, the successes required per write (<=0: majority
+	// of ReplicaFactor).
+	WriteQuorum int
+	// Timeouts bounds per-op I/O on shard connections opened by the
+	// default dialer (zero fields: DefaultTimeouts).
+	Timeouts Timeouts
+	// Health tunes the shard health state machine, probe cadence, and
+	// idempotent-op retry policy (zero fields: defaults).
+	Health HealthConfig
+	// Epoch is this coordinator's fencing epoch (0: 1). Every shard
+	// connection declares it before carrying requests; shards reject
+	// mutating requests from connections fenced below the highest epoch
+	// they have seen, so a deposed coordinator's stale migrations die at
+	// the shard instead of racing its successor's. TakeOver picks the
+	// successor epoch automatically.
+	Epoch uint64
+	// Dial opens a client to a shard (nil: DialTimeouts over TCP).
+	// Injectable for tests.
 	Dial func(addr string, lim Limits) (*Client, error)
 	// Logf receives routing and recovery diagnostics (nil: silent).
 	Logf func(format string, args ...any)
@@ -52,20 +77,36 @@ type CoordinatorConfig struct {
 // Coordinator implements Handler, so Serve can front it with the same
 // wire protocol the shards speak.
 type Coordinator struct {
-	cfg  CoordinatorConfig
-	ring *Ring
+	cfg   CoordinatorConfig
+	epoch uint64 // fencing epoch, immutable after construction
 
-	mu      sync.Mutex
-	clients map[string]*Client
-	specs   map[string]OpenSpec // id -> open spec (recovery needs it)
-	routes  map[string]string   // id -> addr override (migration/recovery)
-	down    map[string]bool
+	mu       sync.Mutex
+	ring     *Ring
+	members  []string // live ring membership (Join/DrainShard mutate it)
+	clients  map[string]*Client
+	specs    map[string]OpenSpec // id -> open spec (recovery needs it)
+	routes   map[string]string   // id -> addr override (migration/recovery)
+	down     map[string]bool
+	draining map[string]bool          // shards mid-DrainShard: no new routes
+	gates    map[string]chan struct{} // id -> in-flight migration barrier
+	health   map[string]*shardHealth
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // retry jitter
+
+	deposed atomic.Bool // a peer reported a higher fencing epoch
+
+	stop      chan struct{}
+	stopOnce  sync.Once
+	probeWG   sync.WaitGroup
 
 	migrations  atomic.Uint64
 	recoveries  atomic.Uint64 // sessions re-resumed after shard loss
 	reopened    atomic.Uint64 // sessions lost with no checkpoint, reopened fresh
 	shardsLost  atomic.Uint64
 	recoverFail atomic.Uint64
+	joins       atomic.Uint64
+	drained     atomic.Uint64
 }
 
 // NewCoordinator validates the config and builds the ring.
@@ -81,20 +122,49 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		seen[a] = true
 	}
 	cfg.Limits = cfg.Limits.withDefaults()
+	if len(cfg.Stores) > 0 {
+		qs, err := session.NewQuorumStore(cfg.Stores, cfg.ReplicaFactor, cfg.WriteQuorum)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = qs
+	}
 	if cfg.Store == nil {
 		cfg.Store = session.NewMemStore()
 	}
-	if cfg.Dial == nil {
-		cfg.Dial = func(addr string, lim Limits) (*Client, error) { return Dial(addr, lim) }
+	cfg.Timeouts = cfg.Timeouts.withDefaults()
+	cfg.Health = cfg.Health.withDefaults()
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1
 	}
-	return &Coordinator{
-		cfg:     cfg,
-		ring:    NewRing(cfg.Shards, cfg.Vnodes),
-		clients: map[string]*Client{},
-		specs:   map[string]OpenSpec{},
-		routes:  map[string]string{},
-		down:    map[string]bool{},
-	}, nil
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string, lim Limits) (*Client, error) {
+			return DialTimeouts(addr, lim, cfg.Timeouts)
+		}
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		epoch:    cfg.Epoch,
+		ring:     NewRing(cfg.Shards, cfg.Vnodes),
+		members:  append([]string(nil), cfg.Shards...),
+		clients:  map[string]*Client{},
+		specs:    map[string]OpenSpec{},
+		routes:   map[string]string{},
+		down:     map[string]bool{},
+		draining: map[string]bool{},
+		gates:    map[string]chan struct{}{},
+		health:   map[string]*shardHealth{},
+		rng:      rand.New(rand.NewSource(cfg.Health.Seed)),
+		stop:     make(chan struct{}),
+	}
+	for _, a := range c.members {
+		c.health[a] = &shardHealth{}
+	}
+	if cfg.Health.ProbeInterval > 0 {
+		c.probeWG.Add(1)
+		go c.probeLoop()
+	}
+	return c, nil
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -104,11 +174,14 @@ func (c *Coordinator) logf(format string, args ...any) {
 }
 
 // routeLocked returns the shard currently owning id. Caller holds c.mu.
+// A pinned override survives even onto a draining shard (that is the
+// pin's job during the two-phase flip); ring lookups skip both down and
+// draining shards so no NEW placement lands on a leaving member.
 func (c *Coordinator) routeLocked(id string) string {
 	if addr, ok := c.routes[id]; ok && !c.down[addr] {
 		return addr
 	}
-	return c.ring.LookupSkip(id, func(a string) bool { return c.down[a] })
+	return c.ring.LookupSkip(id, func(a string) bool { return c.down[a] || c.draining[a] })
 }
 
 // RouteOf returns the shard address a session currently routes to
@@ -120,6 +193,9 @@ func (c *Coordinator) RouteOf(id string) string {
 }
 
 // clientLocked returns (dialing if needed) the cached client for addr.
+// A fresh connection immediately declares the coordinator's fencing
+// epoch; a CodeFenced rejection means a successor holds a higher epoch
+// — this coordinator is deposed and stops mutating the fleet.
 // Caller holds c.mu.
 func (c *Coordinator) clientLocked(addr string) (*Client, error) {
 	if cl, ok := c.clients[addr]; ok {
@@ -127,6 +203,15 @@ func (c *Coordinator) clientLocked(addr string) (*Client, error) {
 	}
 	cl, err := c.cfg.Dial(addr, c.cfg.Limits)
 	if err != nil {
+		return nil, err
+	}
+	if err := cl.Fence(c.epoch); err != nil {
+		cl.Close()
+		var remote *RemoteError
+		if errors.As(err, &remote) && remote.Code == CodeFenced {
+			c.deposed.Store(true)
+			return nil, fmt.Errorf("%w: %s: %s", ErrDeposed, addr, remote.Text)
+		}
 		return nil, err
 	}
 	c.clients[addr] = cl
@@ -141,41 +226,101 @@ func (c *Coordinator) dropClientLocked(addr string) {
 	}
 }
 
-// doRouted runs one request against the shard owning id, absorbing
-// shard loss: a transport failure (dial or I/O, never a RemoteError)
-// marks the shard down, recovers its sessions onto survivors, and
-// retries on the new route. The loop is bounded by the shard count —
-// each iteration either succeeds, fails at the request level, or
-// permanently removes one shard from the ring.
-func (c *Coordinator) doRouted(id string, req *Message, want MsgType) (*Message, error) {
-	for attempt := 0; attempt <= len(c.cfg.Shards); attempt++ {
+// waitGate blocks while a migration holds id's gate, so a frame is
+// neither double-fed to the source nor dropped at the target during the
+// two-phase route flip — it simply waits out the handover.
+func (c *Coordinator) waitGate(id string) {
+	for {
 		c.mu.Lock()
+		g, ok := c.gates[id]
+		c.mu.Unlock()
+		if !ok {
+			return
+		}
+		<-g
+	}
+}
+
+// idempotent reports whether a request can be retried after a timeout
+// without risking double application. Feeds are not (the frame may
+// have been applied before the deadline fired); reads and the drain
+// barrier are.
+func idempotent(t MsgType) bool {
+	switch t {
+	case MsgSnapshot, MsgCheckpoint, MsgStats, MsgPing, MsgDrain, MsgHealth:
+		return true
+	}
+	return false
+}
+
+// doRouted runs one request against the shard owning id, absorbing
+// shard loss: a hard transport failure (dial refused, connection
+// reset — never a RemoteError) marks the shard down, recovers its
+// sessions onto survivors, and retries on the new route. A deadline
+// expiry instead feeds the health state machine — idempotent requests
+// get capped-jitter retries, non-idempotent ones surface the
+// *TimeoutError (unknown whether applied; the caller decides) — and
+// only DownAfter consecutive timeouts escalate to shard loss. The loop
+// is bounded — each iteration either succeeds, fails at the request
+// level, spends a retry, or permanently removes one shard.
+func (c *Coordinator) doRouted(id string, req *Message, want MsgType) (*Message, error) {
+	if c.deposed.Load() {
+		return nil, ErrDeposed
+	}
+	c.waitGate(id)
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		limit := len(c.members) + c.cfg.Health.OpRetries + 1
 		addr := c.routeLocked(id)
-		if addr == "" {
-			c.mu.Unlock()
+		c.mu.Unlock()
+		if attempt >= limit || addr == "" {
 			return nil, ErrNoShards
 		}
+		c.mu.Lock()
 		cl, err := c.clientLocked(addr)
 		c.mu.Unlock()
 		if err == nil {
 			resp, rerr := cl.do(req)
-			var remote *RemoteError
 			if rerr == nil {
+				c.markUp(addr)
 				if resp.Type != want {
 					return nil, fmt.Errorf("fleet: %s: response type 0x%02x, want 0x%02x: %w",
 						addr, byte(resp.Type), byte(want), ErrBadMessage)
 				}
 				return resp, nil
 			}
+			var remote *RemoteError
 			if errors.As(rerr, &remote) {
+				if remote.Code == CodeFenced {
+					c.deposed.Store(true)
+					return nil, fmt.Errorf("%w: %s: %s", ErrDeposed, addr, remote.Text)
+				}
+				c.markUp(addr) // the shard answered; the request, not the peer, failed
+				return nil, rerr
+			}
+			var to *TimeoutError
+			if errors.As(rerr, &to) {
+				if c.recordTimeout(addr) {
+					c.logf("fleet: shard %s reached its timeout threshold; recovering", addr)
+					c.handleShardLoss(addr)
+					continue // re-route onto survivors
+				}
+				if idempotent(req.Type) && retries < c.cfg.Health.OpRetries {
+					retries++
+					c.backoff(retries)
+					continue
+				}
 				return nil, rerr
 			}
 			err = rerr
 		}
+		if errors.Is(err, ErrDeposed) {
+			return nil, err
+		}
 		c.logf("fleet: shard %s unreachable (%v); recovering", addr, err)
 		c.handleShardLoss(addr)
 	}
-	return nil, ErrNoShards
 }
 
 // handleShardLoss marks addr down and re-resumes every session it
@@ -190,14 +335,22 @@ func (c *Coordinator) handleShardLoss(addr string) {
 		return
 	}
 	c.down[addr] = true
+	if h := c.health[addr]; h != nil {
+		h.state = HealthDown
+	}
 	c.dropClientLocked(addr)
 	c.shardsLost.Add(1)
 	// Collect the orphaned sessions: everything whose current route —
-	// override or ring arc — pointed at the lost shard.
+	// override or ring arc — pointed at the lost shard. Ids mid-
+	// migration (holding a gate) are skipped: the migration in flight
+	// owns their recovery and will fall back to the store itself.
 	var orphans []string
 	for id := range c.specs {
+		if _, gated := c.gates[id]; gated {
+			continue
+		}
 		prev := c.routes[id]
-		if prev == addr || (prev == "" && c.ring.LookupSkip(id, func(a string) bool { return c.down[a] && a != addr }) == addr) {
+		if prev == addr || (prev == "" && c.ring.LookupSkip(id, func(a string) bool { return (c.down[a] && a != addr) || c.draining[a] }) == addr) {
 			orphans = append(orphans, id)
 		}
 	}
@@ -272,6 +425,7 @@ func (c *Coordinator) Open(spec OpenSpec) error {
 	c.mu.Lock()
 	c.specs[spec.ID] = spec
 	c.mu.Unlock()
+	c.saveMeta()
 	return nil
 }
 
@@ -291,6 +445,7 @@ func (c *Coordinator) Resume(spec OpenSpec, ckpt []byte) error {
 	c.mu.Lock()
 	c.specs[spec.ID] = spec
 	c.mu.Unlock()
+	c.saveMeta()
 	return c.cfg.Store.Save(spec.ID, ckpt)
 }
 
@@ -363,6 +518,7 @@ func (c *Coordinator) forget(id string) {
 	delete(c.specs, id)
 	delete(c.routes, id)
 	c.mu.Unlock()
+	c.saveMeta()
 }
 
 // Replicate pulls every routed session's current checkpoint into the
@@ -391,11 +547,11 @@ func (c *Coordinator) Replicate() error {
 // then atomically flip the route. On a target-side failure the session
 // is resumed back on the source, so a failed migration never loses the
 // session. The detached bytes are also replicated — a migration
-// produces a fresh checkpoint for free.
+// produces a fresh checkpoint for free. Concurrent requests for the id
+// wait out the handover instead of racing it.
 func (c *Coordinator) Migrate(id string, addr string) error {
 	c.mu.Lock()
-	spec, ok := c.specs[id]
-	if !ok {
+	if _, ok := c.specs[id]; !ok {
 		c.mu.Unlock()
 		return &RemoteError{Code: CodeNoSession, Text: fmt.Sprintf("session %q not routed", id)}
 	}
@@ -404,50 +560,14 @@ func (c *Coordinator) Migrate(id string, addr string) error {
 		return fmt.Errorf("fleet: migrate %q: target %s is down", id, addr)
 	}
 	member := false
-	for _, a := range c.cfg.Shards {
+	for _, a := range c.members {
 		member = member || a == addr
 	}
+	c.mu.Unlock()
 	if !member {
-		c.mu.Unlock()
 		return fmt.Errorf("fleet: migrate %q: %s is not a fleet member", id, addr)
 	}
-	src := c.routeLocked(id)
-	c.mu.Unlock()
-	if src == addr {
-		return nil // already there
-	}
-
-	ckpt, err := c.doRouted(id, &Message{Type: MsgDetach, Spec: OpenSpec{ID: id}}, MsgCkptResp)
-	if err != nil {
-		return fmt.Errorf("fleet: migrate %q: detach: %w", id, err)
-	}
-	c.mu.Lock()
-	cl, err := c.clientLocked(addr)
-	c.mu.Unlock()
-	if err == nil {
-		err = cl.Resume(spec, ckpt.Ckpt)
-	}
-	if err != nil {
-		// Roll back: the session must live somewhere. Resume on the
-		// source (its route is unchanged, so no flip is needed).
-		c.mu.Lock()
-		scl, serr := c.clientLocked(src)
-		c.mu.Unlock()
-		if serr == nil {
-			serr = scl.Resume(spec, ckpt.Ckpt)
-		}
-		if serr != nil {
-			return fmt.Errorf("fleet: migrate %q: target %s failed (%w) and rollback to %s failed (%w)",
-				id, addr, err, src, serr)
-		}
-		return fmt.Errorf("fleet: migrate %q: target %s failed, rolled back to %s: %w", id, addr, src, err)
-	}
-	c.mu.Lock()
-	c.routes[id] = addr // the atomic flip: subsequent feeds route here
-	c.mu.Unlock()
-	c.migrations.Add(1)
-	c.logf("fleet: session %q migrated %s -> %s (%d checkpoint bytes)", id, src, addr, len(ckpt.Ckpt))
-	return c.cfg.Store.Save(id, ckpt.Ckpt)
+	return c.migrateSession(id, addr)
 }
 
 // Down returns the addresses currently marked down, sorted.
@@ -467,8 +587,8 @@ func (c *Coordinator) Down() []string {
 // lost), not errors.
 func (c *Coordinator) Stats() StatsInfo {
 	c.mu.Lock()
-	addrs := make([]string, 0, len(c.cfg.Shards))
-	for _, a := range c.cfg.Shards {
+	addrs := make([]string, 0, len(c.members))
+	for _, a := range c.members {
 		if !c.down[a] {
 			addrs = append(addrs, a)
 		}
@@ -511,10 +631,35 @@ func (c *Coordinator) Recoveries() (resumed, reopened, failed uint64) {
 // Migrations returns completed live migrations since start.
 func (c *Coordinator) Migrations() uint64 { return c.migrations.Load() }
 
+// Members returns the current ring membership, sorted.
+func (c *Coordinator) Members() []string {
+	c.mu.Lock()
+	out := append([]string(nil), c.members...)
+	c.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Epoch returns the coordinator's fencing epoch.
+func (c *Coordinator) Epoch() uint64 { return c.epoch }
+
+// Deposed reports whether a peer rejected this coordinator's epoch —
+// a successor with a higher epoch owns the fleet now, and every
+// subsequent operation here fails with ErrDeposed.
+func (c *Coordinator) Deposed() bool { return c.deposed.Load() }
+
 // Handle implements Handler, fronting the coordinator with the same
 // wire protocol the shards speak (bgbuster serve).
 func (c *Coordinator) Handle(req *Message) *Message {
 	switch req.Type {
+	case MsgPing:
+		return okMsg()
+	case MsgHealth:
+		return &Message{Type: MsgHealthResp, Health: c.HealthSnapshot()}
+	case MsgJoin:
+		return wireStatus(c.Join(req.Addr))
+	case MsgDrainShard:
+		return wireStatus(c.DrainShard(req.Addr))
 	case MsgOpen:
 		return wireStatus(c.Open(req.Spec))
 	case MsgResume:
@@ -565,12 +710,18 @@ func wireStatus(err error) *Message {
 	if errors.Is(err, ErrNoShards) {
 		return errMsg(CodeAdmission, err.Error())
 	}
+	if errors.Is(err, ErrDeposed) {
+		return errMsg(CodeFenced, err.Error())
+	}
 	return errMsg(CodeInternal, err.Error())
 }
 
-// Close closes every cached shard connection. Shards themselves keep
-// running; this only tears down the coordinator's side.
+// Close stops the probe loop and closes every cached shard connection.
+// Shards themselves keep running; this only tears down the
+// coordinator's side.
 func (c *Coordinator) Close() error {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.probeWG.Wait()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var errs []error

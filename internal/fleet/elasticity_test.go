@@ -1,0 +1,817 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/bgbuster/bgbuster/internal/core"
+	"github.com/bgbuster/bgbuster/internal/session"
+)
+
+// fastHealth is the deterministic test tuning: one strike suspects,
+// two strikes down, one idempotent retry, millisecond backoff.
+func fastHealth() HealthConfig {
+	return HealthConfig{SuspectAfter: 1, DownAfter: 2, OpRetries: 1,
+		RetryBackoff: time.Millisecond, RetryBackoffCap: 2 * time.Millisecond}
+}
+
+// shortTimeouts keeps deadline-expiry tests fast.
+func shortTimeouts() Timeouts {
+	return Timeouts{Dial: 2 * time.Second, Read: 250 * time.Millisecond, Write: 2 * time.Second}
+}
+
+// --- meta blob -------------------------------------------------------
+
+func TestFleetMetaRoundTrip(t *testing.T) {
+	m := fleetMeta{
+		Epoch:   7,
+		Vnodes:  32,
+		Members: []string{"10.0.0.1:7000", "10.0.0.2:7000"},
+		Specs: []OpenSpec{
+			{ID: "call-a", W: 64, H: 48, Seed: 3},
+			{ID: "call-b", W: 32, H: 32, UnknownVB: true, Seed: -1},
+		},
+	}
+	blob, err := encodeMeta(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeMeta(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != m.Epoch || got.Vnodes != m.Vnodes ||
+		len(got.Members) != 2 || got.Members[1] != "10.0.0.2:7000" ||
+		len(got.Specs) != 2 || got.Specs[1] != m.Specs[1] {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+
+	// A flipped byte must fail the CRC, anywhere in the blob.
+	for _, off := range []int{0, 5, len(blob) / 2, len(blob) - 1} {
+		bad := append([]byte(nil), blob...)
+		bad[off] ^= 0x40
+		if _, err := decodeMeta(bad); err == nil {
+			t.Fatalf("corruption at offset %d accepted", off)
+		}
+	}
+	// Truncations must be rejected, never panic.
+	for n := 0; n < len(blob); n++ {
+		if _, err := decodeMeta(blob[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+// --- health-probed routing ------------------------------------------
+
+// stallListener wraps a listener so a test can freeze the shard the
+// way an asymmetric partition or a livelocked process would: accepted
+// connections stop delivering requests (so the shard never answers)
+// while the TCP peer stays connected — only client deadlines notice.
+type stallListener struct {
+	net.Listener
+	stalled atomic.Bool
+	unblock chan struct{}
+}
+
+func (l *stallListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &stallConn{Conn: c, l: l}, nil
+}
+
+type stallConn struct {
+	net.Conn
+	l *stallListener
+}
+
+func (c *stallConn) Read(b []byte) (int, error) {
+	for {
+		if c.l.stalled.Load() {
+			<-c.l.unblock
+			return 0, net.ErrClosed
+		}
+		n, err := c.Conn.Read(b)
+		// A read that was already in flight when the stall hit must not
+		// deliver — swallow the bytes so the shard never sees the
+		// request and the client's deadline is the only thing that fires.
+		if c.l.stalled.Load() && err == nil {
+			continue
+		}
+		return n, err
+	}
+}
+
+// startStallShard boots a shard behind a stallListener.
+func startStallShard(t *testing.T) (*testShard, *stallListener) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := &stallListener{Listener: ln, unblock: make(chan struct{})}
+	mgr := session.NewManager(session.Config{})
+	sh, err := NewShard(ShardConfig{Manager: mgr, OptionsFor: fleetTestOptions, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := &testShard{addr: ln.Addr().String(), mgr: mgr, done: make(chan struct{})}
+	go func() {
+		defer close(ts.done)
+		sh.Serve(sl)
+	}()
+	t.Cleanup(func() {
+		sl.stalled.Store(false)
+		close(sl.unblock)
+		sl.Close()
+		<-ts.done
+		mgr.Close()
+	})
+	return ts, sl
+}
+
+// TestFleetHealthProbeAndTimeout drives the up -> suspect -> down
+// machine with a stalled shard: a non-idempotent feed surfaces a
+// *TimeoutError within its deadline (never wedging), the idempotent
+// snapshot retries through the second strike, and the shard crossing
+// DownAfter triggers transparent recovery onto the survivor.
+func TestFleetHealthProbeAndTimeout(t *testing.T) {
+	frames, sils := leakFrames(4)
+	sA, stall := startStallShard(t)
+	sB := startShard(t)
+	store := session.NewMemStore()
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Shards: []string{sA.addr, sB.addr}, Store: store,
+		Timeouts: shortTimeouts(), Health: fastHealth(), Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	_, byShard := pickIDs(coord.ring, []string{sA.addr, sB.addr}, 1)
+	id := byShard[sA.addr][0]
+	if err := coord.Open(OpenSpec{ID: id, W: fw, H: fh, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Feed(id, core.Frame{Img: frames[0], Oracle: sils[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Drain(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Replicate(); err != nil {
+		t.Fatal(err)
+	}
+	if st := coord.HealthSnapshot(); st.Epoch != 1 {
+		t.Fatalf("fresh coordinator epoch = %d, want 1", st.Epoch)
+	}
+
+	stall.stalled.Store(true)
+
+	// Non-idempotent op: one deadline, no blind retry, bounded wall time.
+	start := time.Now()
+	ferr := coord.Feed(id, core.Frame{Img: frames[1], Oracle: sils[1]})
+	elapsed := time.Since(start)
+	var to *TimeoutError
+	if !errors.As(ferr, &to) {
+		t.Fatalf("feed into a stalled shard = %v, want *TimeoutError", ferr)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("feed blocked %v past a 250ms read deadline", elapsed)
+	}
+	states := map[string]HealthState{}
+	for _, sh := range coord.HealthSnapshot().Shards {
+		states[sh.Addr] = HealthState(sh.State)
+	}
+	if states[sA.addr] != HealthSuspect {
+		t.Fatalf("one strike left %s %v, want suspect", sA.addr, states[sA.addr])
+	}
+	if states[sB.addr] != HealthUp {
+		t.Fatalf("healthy shard %s reads %v", sB.addr, states[sB.addr])
+	}
+
+	// Idempotent op: retries, second strike crosses DownAfter, the
+	// session recovers onto the survivor, and the op still succeeds.
+	snap, err := coord.Snapshot(id)
+	if err != nil {
+		t.Fatalf("snapshot across shard death: %v", err)
+	}
+	if snap.ID != id {
+		t.Fatalf("snapshot for %q returned %q", id, snap.ID)
+	}
+	if got := coord.RouteOf(id); got != sB.addr {
+		t.Fatalf("session routed to %s after recovery, want %s", got, sB.addr)
+	}
+	for _, sh := range coord.HealthSnapshot().Shards {
+		if sh.Addr == sA.addr && HealthState(sh.State) != HealthDown {
+			t.Fatalf("stalled shard reads %v after %d strikes, want down", HealthState(sh.State), 2)
+		}
+	}
+	if resumed, _, _ := coord.Recoveries(); resumed != 1 {
+		t.Fatalf("recoveries = %d, want 1", resumed)
+	}
+	// The survivor keeps feeding.
+	if err := coord.Feed(id, core.Frame{Img: frames[2], Oracle: sils[2]}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetProbeOnce drives the probe loop by hand: a stalled shard is
+// struck per probe, crosses DownAfter, and its sessions move before
+// any client request notices.
+func TestFleetProbeOnce(t *testing.T) {
+	frames, sils := leakFrames(2)
+	sA, stall := startStallShard(t)
+	sB := startShard(t)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Shards: []string{sA.addr, sB.addr}, Store: session.NewMemStore(),
+		Timeouts: shortTimeouts(), Health: fastHealth(), Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	_, byShard := pickIDs(coord.ring, []string{sA.addr, sB.addr}, 1)
+	id := byShard[sA.addr][0]
+	if err := coord.Open(OpenSpec{ID: id, W: fw, H: fh, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Feed(id, core.Frame{Img: frames[0], Oracle: sils[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Drain(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Replicate(); err != nil {
+		t.Fatal(err)
+	}
+	if st := coord.ProbeOnce(); st[sA.addr] != HealthUp || st[sB.addr] != HealthUp {
+		t.Fatalf("healthy probe states = %v", st)
+	}
+
+	stall.stalled.Store(true)
+	if st := coord.ProbeOnce(); st[sA.addr] != HealthSuspect {
+		t.Fatalf("one probe strike = %v, want suspect", st[sA.addr])
+	}
+	if st := coord.ProbeOnce(); st[sA.addr] != HealthDown {
+		t.Fatalf("two probe strikes = %v, want down", st[sA.addr])
+	}
+	// Recovery already happened behind the probe: feeding never blocks.
+	if err := coord.Feed(id, core.Frame{Img: frames[1], Oracle: sils[1]}); err != nil {
+		t.Fatalf("feed after probe-driven recovery: %v", err)
+	}
+	if got := coord.RouteOf(id); got != sB.addr {
+		t.Fatalf("session routed to %s, want survivor %s", got, sB.addr)
+	}
+}
+
+// --- dynamic membership ---------------------------------------------
+
+// TestFleetJoinMigratesOnlyMovedArcs grows a live fleet mid-meeting
+// and checks the two-phase flip: every session keeps its exact frame
+// schedule (bit-identical final checkpoints vs a single-manager
+// baseline), only arc-moved sessions migrate, and the joined shard
+// actually hosts them.
+func TestFleetJoinMigratesOnlyMovedArcs(t *testing.T) {
+	const total, joinAt, nSessions = 14, 6, 6
+	frames, sils := leakFrames(total)
+	sA, sB, sC := startShard(t), startShard(t), startShard(t)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Shards: []string{sA.addr, sB.addr}, Store: session.NewMemStore(), Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// Baseline: one plain session per id fed the full schedule.
+	spec0 := OpenSpec{W: fw, H: fh, Seed: 1}
+	base := session.NewManager(session.Config{})
+	defer base.Close()
+	bs, err := base.Open("baseline", fw, fh, fleetTestOptions(spec0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		if err := bs.Feed(frames[i], sils[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bs.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	wantFinal, err := bs.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ids []string
+	for i := 0; i < nSessions; i++ {
+		id := fmt.Sprintf("join-call-%02d", i)
+		ids = append(ids, id)
+		if err := coord.Open(OpenSpec{ID: id, W: fw, H: fh, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		for i := 0; i < joinAt; i++ {
+			if err := coord.Feed(id, core.Frame{Img: frames[i], Oracle: sils[i]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Predict which arcs move, then grow the ring.
+	before := map[string]string{}
+	for _, id := range ids {
+		before[id] = coord.RouteOf(id)
+	}
+	grown := NewRing([]string{sA.addr, sB.addr, sC.addr}, 0)
+	wantMoved := map[string]bool{}
+	for _, id := range ids {
+		if grown.Lookup(id) != before[id] {
+			wantMoved[id] = true
+		}
+	}
+	if err := coord.Join(sC.addr); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if got := coord.Members(); len(got) != 3 {
+		t.Fatalf("members after join = %v", got)
+	}
+	moved := 0
+	for _, id := range ids {
+		now := coord.RouteOf(id)
+		if wantMoved[id] {
+			if now != sC.addr {
+				t.Fatalf("moved-arc session %q routes to %s, want joined shard %s", id, now, sC.addr)
+			}
+			moved++
+		} else if now != before[id] {
+			t.Fatalf("unmoved-arc session %q migrated %s -> %s", id, before[id], now)
+		}
+	}
+	if got := coord.Migrations(); got != uint64(moved) {
+		t.Fatalf("join migrated %d sessions, want exactly the %d moved arcs", got, moved)
+	}
+	if joined, _ := coord.Rebalances(); joined != 1 {
+		t.Fatalf("joins = %d, want 1", joined)
+	}
+
+	// The meeting continues; every session must land bit-identical.
+	for _, id := range ids {
+		for i := joinAt; i < total; i++ {
+			if err := coord.Feed(id, core.Frame{Img: frames[i], Oracle: sils[i]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, id := range ids {
+		if err := coord.Drain(id); err != nil {
+			t.Fatal(err)
+		}
+		got, err := coord.Checkpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantFinal) {
+			t.Fatalf("session %q checkpoint diverged from baseline after join rebalance", id)
+		}
+	}
+}
+
+// TestFleetDrainShard removes a live shard gracefully mid-meeting: its
+// sessions migrate off with bit-identical state, the shard ends empty,
+// and the guard rails (unknown member, last shard) hold.
+func TestFleetDrainShard(t *testing.T) {
+	const total, drainAt = 12, 5
+	frames, sils := leakFrames(total)
+	sA, sB, sC := startShard(t), startShard(t), startShard(t)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Shards: []string{sA.addr, sB.addr, sC.addr}, Store: session.NewMemStore(), Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	spec0 := OpenSpec{W: fw, H: fh, Seed: 1}
+	base := session.NewManager(session.Config{})
+	defer base.Close()
+	bs, err := base.Open("baseline", fw, fh, fleetTestOptions(spec0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		if err := bs.Feed(frames[i], sils[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bs.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	wantFinal, err := bs.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids, byShard := pickIDs(coord.ring, []string{sA.addr, sB.addr, sC.addr}, 2)
+	for _, id := range ids {
+		if err := coord.Open(OpenSpec{ID: id, W: fw, H: fh, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < drainAt; i++ {
+			if err := coord.Feed(id, core.Frame{Img: frames[i], Oracle: sils[i]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	if err := coord.DrainShard("127.0.0.1:1"); err == nil {
+		t.Fatal("draining a non-member succeeded")
+	}
+	if err := coord.DrainShard(sA.addr); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := coord.Members(); len(got) != 2 {
+		t.Fatalf("members after drain = %v", got)
+	}
+	for _, id := range byShard[sA.addr] {
+		if got := coord.RouteOf(id); got == sA.addr || got == "" {
+			t.Fatalf("session %q still routed to the drained shard (%q)", id, got)
+		}
+	}
+	if open := sA.mgr.Stats().Open; open != 0 {
+		t.Fatalf("drained shard still hosts %d sessions", open)
+	}
+
+	for _, id := range ids {
+		for i := drainAt; i < total; i++ {
+			if err := coord.Feed(id, core.Frame{Img: frames[i], Oracle: sils[i]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, id := range ids {
+		if err := coord.Drain(id); err != nil {
+			t.Fatal(err)
+		}
+		got, err := coord.Checkpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantFinal) {
+			t.Fatalf("session %q checkpoint diverged from baseline after shard drain", id)
+		}
+	}
+
+	// Guard rail: the fleet never drains itself to zero.
+	if err := coord.DrainShard(sB.addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.DrainShard(sC.addr); err == nil {
+		t.Fatal("draining the last live shard succeeded")
+	}
+}
+
+// --- quorum replication through the coordinator ----------------------
+
+// deadStore is a checkpoint replica that lost its disk.
+type deadStore struct{}
+
+var errDeadStore = errors.New("replica store dead")
+
+func (deadStore) Save(string, []byte) error  { return errDeadStore }
+func (deadStore) Load(string) ([]byte, error) { return nil, errDeadStore }
+func (deadStore) List() ([]string, error)     { return nil, errDeadStore }
+func (deadStore) Delete(string) error         { return errDeadStore }
+
+// TestFleetQuorumReplication replicates checkpoints W-of-N with one
+// dead replica, kills a shard, and requires recovery to read back from
+// a surviving replica — the weakened-durability path Replicate exists
+// to bound.
+func TestFleetQuorumReplication(t *testing.T) {
+	const pre = 5
+	frames, sils := leakFrames(pre + 3)
+	sA, sB := startShard(t), startShard(t)
+	stores := []session.CheckpointStore{session.NewMemStore(), deadStore{}, session.NewMemStore()}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Shards: []string{sA.addr, sB.addr},
+		Stores: stores, ReplicaFactor: 3, WriteQuorum: 2,
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	_, byShard := pickIDs(coord.ring, []string{sA.addr, sB.addr}, 1)
+	id := byShard[sA.addr][0]
+	if err := coord.Open(OpenSpec{ID: id, W: fw, H: fh, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pre; i++ {
+		if err := coord.Feed(id, core.Frame{Img: frames[i], Oracle: sils[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := coord.Drain(id); err != nil {
+		t.Fatal(err)
+	}
+	// 2-of-3 replicas accept the write; the dead one is absorbed.
+	if err := coord.Replicate(); err != nil {
+		t.Fatalf("replicate with one dead replica: %v", err)
+	}
+
+	sA.ln.Kill()
+	if err := coord.Feed(id, core.Frame{Img: frames[pre], Oracle: sils[pre]}); err != nil {
+		t.Fatalf("feed across shard loss with quorum store: %v", err)
+	}
+	if resumed, reopened, _ := coord.Recoveries(); resumed != 1 || reopened != 0 {
+		t.Fatalf("recoveries = (%d resumed, %d reopened), want a checkpoint resume", resumed, reopened)
+	}
+}
+
+// --- coordinator failover --------------------------------------------
+
+// TestFleetCoordinatorFailover deposes a live coordinator: a standby
+// takes over from the replicated stores at a higher epoch, the shards
+// fence the old coordinator's mutations (CodeFenced -> ErrDeposed),
+// and the meeting finishes bit-identical under the successor — with
+// one shard killed between the two reigns to force takeover-time
+// recovery from a surviving replica.
+func TestFleetCoordinatorFailover(t *testing.T) {
+	const total, failAt = 12, 5
+	frames, sils := leakFrames(total)
+	sA, sB := startShard(t), startShard(t)
+	stores := []session.CheckpointStore{session.NewMemStore(), session.NewMemStore(), session.NewMemStore()}
+
+	mk := func() (*Coordinator, error) {
+		return NewCoordinator(CoordinatorConfig{
+			Shards: []string{sA.addr, sB.addr},
+			Stores: stores, ReplicaFactor: 3, WriteQuorum: 2,
+			Logf: t.Logf,
+		})
+	}
+	c1, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	spec0 := OpenSpec{W: fw, H: fh, Seed: 1}
+	base := session.NewManager(session.Config{})
+	defer base.Close()
+	bs, err := base.Open("baseline", fw, fh, fleetTestOptions(spec0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		if err := bs.Feed(frames[i], sils[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bs.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	wantFinal, err := bs.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids, byShard := pickIDs(c1.ring, []string{sA.addr, sB.addr}, 1)
+	for _, id := range ids {
+		if err := c1.Open(OpenSpec{ID: id, W: fw, H: fh, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < failAt; i++ {
+			if err := c1.Feed(id, core.Frame{Img: frames[i], Oracle: sils[i]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c1.Drain(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c1.Replicate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old coordinator "freezes" (partitioned from its operator, not
+	// its shards); one of the shards dies in the gap.
+	sA.ln.Kill()
+
+	c2, err := TakeOver(CoordinatorConfig{
+		Stores: stores, ReplicaFactor: 3, WriteQuorum: 2, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("takeover: %v", err)
+	}
+	defer c2.Close()
+	if c2.Epoch() != 2 {
+		t.Fatalf("successor epoch = %d, want 2", c2.Epoch())
+	}
+	idA, idB := byShard[sA.addr][0], byShard[sB.addr][0]
+	if got := c2.RouteOf(idA); got != sB.addr {
+		t.Fatalf("dead shard's session routed to %q, want survivor %s", got, sB.addr)
+	}
+	if got := c2.RouteOf(idB); got != sB.addr {
+		t.Fatalf("surviving session routed to %q, want its home %s", got, sB.addr)
+	}
+	if resumed, reopened, failed := c2.Recoveries(); resumed != 1 || reopened != 0 || failed != 0 {
+		t.Fatalf("takeover recoveries = (%d, %d, %d), want exactly one checkpoint resume", resumed, reopened, failed)
+	}
+
+	// The deposed coordinator's mutations die at the shard fence.
+	ferr := c1.Feed(idB, core.Frame{Img: frames[failAt], Oracle: sils[failAt]})
+	if !errors.Is(ferr, ErrDeposed) {
+		var remote *RemoteError
+		if !errors.As(ferr, &remote) || remote.Code != CodeFenced {
+			t.Fatalf("deposed coordinator's feed = %v, want fencing rejection", ferr)
+		}
+	}
+	if !c1.Deposed() {
+		t.Fatal("old coordinator does not know it is deposed")
+	}
+	if jerr := c1.Join("127.0.0.1:9"); !errors.Is(jerr, ErrDeposed) {
+		t.Fatalf("deposed coordinator's join = %v, want ErrDeposed", jerr)
+	}
+
+	// The successor finishes the meeting bit-identically.
+	for _, id := range ids {
+		for i := failAt; i < total; i++ {
+			if err := c2.Feed(id, core.Frame{Img: frames[i], Oracle: sils[i]}); err != nil {
+				t.Fatalf("successor feed %s[%d]: %v", id, i, err)
+			}
+		}
+	}
+	for _, id := range ids {
+		if err := c2.Drain(id); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c2.Checkpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantFinal) {
+			t.Fatalf("session %q checkpoint diverged from baseline across failover", id)
+		}
+	}
+}
+
+// TestFleetTakeOverRequiresMeta: a store with no BBFM blob cannot be
+// taken over from.
+func TestFleetTakeOverRequiresMeta(t *testing.T) {
+	if _, err := TakeOver(CoordinatorConfig{Store: session.NewMemStore()}); !errors.Is(err, ErrNoMeta) {
+		t.Fatalf("takeover from an empty store = %v, want ErrNoMeta", err)
+	}
+	if _, err := TakeOver(CoordinatorConfig{}); err == nil {
+		t.Fatal("takeover without any store succeeded")
+	}
+}
+
+// --- the acceptance soak ---------------------------------------------
+
+// TestFleetElasticitySoak is the issue's acceptance scenario: a
+// 3-shard fleet under continuous multi-session ingest grows to 4
+// mid-meeting, gracefully drains one shard, loses another to a crash,
+// and has the coordinator partitioned from a third — and every
+// surviving session's final checkpoint is bit-identical to a
+// single-manager baseline, with no request ever blocking past its
+// deadline.
+func TestFleetElasticitySoak(t *testing.T) {
+	const (
+		nSessions = 6
+		joinAt    = 8  // s3 joins
+		drainAt   = 14 // s0 drains
+		killAt    = 20 // s1 dies
+		partAt    = 26 // coordinator partitioned from s2
+		total     = 32
+	)
+	frames, sils := leakFrames(total)
+	s0, s1, s2, s3 := startShard(t), startShard(t), startShard(t), startShard(t)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Shards: []string{s0.addr, s1.addr, s2.addr},
+		Stores: []session.CheckpointStore{session.NewMemStore(), session.NewMemStore()},
+		ReplicaFactor: 2, WriteQuorum: 1,
+		Timeouts: Timeouts{Read: 5 * time.Second, Write: 5 * time.Second, Dial: 5 * time.Second},
+		Health:   fastHealth(),
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	spec0 := OpenSpec{W: fw, H: fh, Seed: 1}
+	base := session.NewManager(session.Config{})
+	defer base.Close()
+	bs, err := base.Open("baseline", fw, fh, fleetTestOptions(spec0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		if err := bs.Feed(frames[i], sils[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bs.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	wantFinal, err := bs.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ids []string
+	for i := 0; i < nSessions; i++ {
+		id := fmt.Sprintf("soak-call-%02d", i)
+		ids = append(ids, id)
+		if err := coord.Open(OpenSpec{ID: id, W: fw, H: fh, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feedAll := func(from, to int) {
+		t.Helper()
+		for _, id := range ids {
+			for i := from; i < to; i++ {
+				start := time.Now()
+				if err := coord.Feed(id, core.Frame{Img: frames[i], Oracle: sils[i]}); err != nil {
+					t.Fatalf("feed %s[%d]: %v", id, i, err)
+				}
+				if e := time.Since(start); e > 30*time.Second {
+					t.Fatalf("feed %s[%d] blocked %v", id, i, e)
+				}
+			}
+		}
+	}
+
+	feedAll(0, joinAt)
+	if err := coord.Join(s3.addr); err != nil {
+		t.Fatalf("join mid-meeting: %v", err)
+	}
+
+	feedAll(joinAt, drainAt)
+	if err := coord.DrainShard(s0.addr); err != nil {
+		t.Fatalf("drain mid-meeting: %v", err)
+	}
+	if open := s0.mgr.Stats().Open; open != 0 {
+		t.Fatalf("drained shard still hosts %d sessions", open)
+	}
+
+	feedAll(drainAt, killAt)
+	drainAllAndReplicate := func() {
+		t.Helper()
+		for _, id := range ids {
+			if err := coord.Drain(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := coord.Replicate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainAllAndReplicate()
+	s1.ln.Kill() // crash during the rebalanced regime
+
+	feedAll(killAt, partAt)
+	drainAllAndReplicate()
+	s2.ln.Kill() // partition: the manager lives, the coordinator can't reach it
+
+	feedAll(partAt, total)
+
+	live := map[string]bool{}
+	for _, m := range coord.Members() {
+		live[m] = true
+	}
+	if !live[s3.addr] || len(live) != 3 {
+		t.Fatalf("membership after the soak = %v", coord.Members())
+	}
+	for _, id := range ids {
+		if err := coord.Drain(id); err != nil {
+			t.Fatal(err)
+		}
+		got, err := coord.Checkpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantFinal) {
+			t.Fatalf("session %q final checkpoint diverged from baseline after the soak", id)
+		}
+		if route := coord.RouteOf(id); route != s3.addr {
+			t.Logf("session %q finished on %s", id, route)
+		}
+	}
+	if joined, drained := coord.Rebalances(); joined != 1 || drained != 1 {
+		t.Fatalf("rebalances = (%d joins, %d drains)", joined, drained)
+	}
+}

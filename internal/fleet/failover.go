@@ -1,0 +1,394 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"github.com/bgbuster/bgbuster/internal/session"
+)
+
+// Coordinator failover (DESIGN.md §17). The active coordinator
+// persists a small BBFM meta blob — fencing epoch, ring membership,
+// open-session specs, CRC-sealed — into the (ideally quorum-
+// replicated) checkpoint store alongside the .bbck checkpoints.
+// A standby calls TakeOver: it reads the blob from any surviving
+// replica, fences every shard at epoch+1 (deposing the old
+// coordinator — shards reject its mutations with CodeFenced from that
+// moment), rebuilds routing from live shard stats, and recovers any
+// session found on no shard from its replicated checkpoint.
+
+// ErrDeposed is returned by every coordinator operation after a peer
+// reported a higher fencing epoch: a successor has taken over and this
+// coordinator must stop mutating the fleet.
+var ErrDeposed = errors.New("fleet: coordinator deposed by a higher epoch")
+
+// ErrNoMeta is returned by TakeOver when the store holds no fleet
+// metadata — there is nothing to take over from.
+var ErrNoMeta = errors.New("fleet: no fleet metadata in checkpoint store")
+
+// MetaKey is the reserved checkpoint-store id under which the
+// coordinator persists its BBFM meta blob. Session ids may not use it.
+const MetaKey = "__fleet_meta__"
+
+var metaMagic = [4]byte{'B', 'B', 'F', 'M'}
+
+const (
+	metaVersion     = 1
+	metaMaxMembers  = 4096
+	metaMaxSpecs    = 1 << 20
+	metaMaxStrBytes = 1024
+)
+
+// fleetMeta is the decoded BBFM blob.
+type fleetMeta struct {
+	Epoch   uint64
+	Vnodes  int
+	Members []string
+	Specs   []OpenSpec
+}
+
+func metaAppendStr(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// encodeMeta serialises the blob: magic, u16 version, u64 epoch,
+// u32 vnodes, u16 member count + length-prefixed addrs, u32 spec count
+// + per-spec (id, u16 W, u16 H, u8 flags, u64 seed), all little-
+// endian, sealed with a trailing CRC32-IEEE of everything before it.
+func encodeMeta(m fleetMeta) ([]byte, error) {
+	if len(m.Members) > metaMaxMembers {
+		return nil, fmt.Errorf("fleet: %d members exceed the meta budget %d", len(m.Members), metaMaxMembers)
+	}
+	if len(m.Specs) > metaMaxSpecs {
+		return nil, fmt.Errorf("fleet: %d specs exceed the meta budget %d", len(m.Specs), metaMaxSpecs)
+	}
+	b := append([]byte(nil), metaMagic[:]...)
+	b = binary.LittleEndian.AppendUint16(b, metaVersion)
+	b = binary.LittleEndian.AppendUint64(b, m.Epoch)
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Vnodes))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.Members)))
+	for _, a := range m.Members {
+		if len(a) > metaMaxStrBytes {
+			return nil, fmt.Errorf("fleet: member address %d bytes long", len(a))
+		}
+		b = metaAppendStr(b, a)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Specs)))
+	for _, s := range m.Specs {
+		if len(s.ID) > metaMaxStrBytes {
+			return nil, fmt.Errorf("fleet: session id %d bytes long", len(s.ID))
+		}
+		b = metaAppendStr(b, s.ID)
+		b = binary.LittleEndian.AppendUint16(b, uint16(s.W))
+		b = binary.LittleEndian.AppendUint16(b, uint16(s.H))
+		var flags uint8
+		if s.UnknownVB {
+			flags = 1
+		}
+		b = append(b, flags)
+		b = binary.LittleEndian.AppendUint64(b, uint64(s.Seed))
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b)), nil
+}
+
+// metaReader is a tiny bounds-checked cursor (the wire reader is
+// message-shaped; the meta blob is store-shaped).
+type metaReader struct {
+	b   []byte
+	off int
+}
+
+func (r *metaReader) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, fmt.Errorf("fleet: truncated meta blob at offset %d: %w", r.off, ErrBadMessage)
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *metaReader) u8() (uint8, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *metaReader) u16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *metaReader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *metaReader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (r *metaReader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > metaMaxStrBytes {
+		return "", fmt.Errorf("fleet: meta string of %d bytes exceeds budget: %w", n, ErrBadMessage)
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// decodeMeta parses and CRC-verifies a BBFM blob.
+func decodeMeta(b []byte) (fleetMeta, error) {
+	var m fleetMeta
+	if len(b) < len(metaMagic)+2+4 {
+		return m, fmt.Errorf("fleet: meta blob of %d bytes too short: %w", len(b), ErrBadMessage)
+	}
+	if string(b[:4]) != string(metaMagic[:]) {
+		return m, fmt.Errorf("fleet: bad meta magic %q: %w", b[:4], ErrBadMessage)
+	}
+	body, crc := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if got := crc32.ChecksumIEEE(body); got != crc {
+		return m, fmt.Errorf("fleet: meta CRC mismatch (stored %08x, computed %08x): %w", crc, got, ErrBadMessage)
+	}
+	r := &metaReader{b: body, off: 4}
+	ver, err := r.u16()
+	if err != nil {
+		return m, err
+	}
+	if ver != metaVersion {
+		return m, fmt.Errorf("fleet: meta version %d: %w", ver, ErrVersion)
+	}
+	if m.Epoch, err = r.u64(); err != nil {
+		return m, err
+	}
+	vnodes, err := r.u32()
+	if err != nil {
+		return m, err
+	}
+	m.Vnodes = int(vnodes)
+	nm, err := r.u16()
+	if err != nil {
+		return m, err
+	}
+	if int(nm) > metaMaxMembers {
+		return m, fmt.Errorf("fleet: %d meta members exceed budget: %w", nm, ErrBadMessage)
+	}
+	for i := 0; i < int(nm); i++ {
+		a, err := r.str()
+		if err != nil {
+			return m, err
+		}
+		m.Members = append(m.Members, a)
+	}
+	ns, err := r.u32()
+	if err != nil {
+		return m, err
+	}
+	if int64(ns) > metaMaxSpecs {
+		return m, fmt.Errorf("fleet: %d meta specs exceed budget: %w", ns, ErrBadMessage)
+	}
+	// Each spec costs >= 15 bytes; verify the advertised count against
+	// the bytes actually present before reserving anything.
+	if remaining := len(r.b) - r.off; int64(remaining) < 15*int64(ns) {
+		return m, fmt.Errorf("fleet: %d meta specs advertised, %d bytes present: %w", ns, remaining, ErrBadMessage)
+	}
+	for i := uint32(0); i < ns; i++ {
+		var s OpenSpec
+		if s.ID, err = r.str(); err != nil {
+			return m, err
+		}
+		w, err := r.u16()
+		if err != nil {
+			return m, err
+		}
+		h, err := r.u16()
+		if err != nil {
+			return m, err
+		}
+		s.W, s.H = int(w), int(h)
+		flags, err := r.u8()
+		if err != nil {
+			return m, err
+		}
+		if flags&^0x01 != 0 {
+			return m, fmt.Errorf("fleet: nonzero meta spec flag padding: %w", ErrBadMessage)
+		}
+		s.UnknownVB = flags&1 != 0
+		seed, err := r.u64()
+		if err != nil {
+			return m, err
+		}
+		s.Seed = int64(seed)
+		m.Specs = append(m.Specs, s)
+	}
+	if r.off != len(r.b) {
+		return m, fmt.Errorf("fleet: %d trailing meta bytes: %w", len(r.b)-r.off, ErrBadMessage)
+	}
+	return m, nil
+}
+
+// saveMeta persists the coordinator's current epoch, membership, and
+// session specs into the store — the breadcrumb a standby takes over
+// from. Best-effort: a failed write is logged, not fatal (the next
+// state change retries it).
+func (c *Coordinator) saveMeta() {
+	c.mu.Lock()
+	m := fleetMeta{Epoch: c.epoch, Vnodes: c.cfg.Vnodes, Members: append([]string(nil), c.members...)}
+	ids := make([]string, 0, len(c.specs))
+	for id := range c.specs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		m.Specs = append(m.Specs, c.specs[id])
+	}
+	c.mu.Unlock()
+	blob, err := encodeMeta(m)
+	if err == nil {
+		err = c.cfg.Store.Save(MetaKey, blob)
+	}
+	if err != nil {
+		c.logf("fleet: persist meta: %v", err)
+	}
+}
+
+// resolveStore applies the same Store/Stores precedence NewCoordinator
+// does, without requiring a live coordinator.
+func resolveStore(cfg CoordinatorConfig) (session.CheckpointStore, error) {
+	if len(cfg.Stores) > 0 {
+		return session.NewQuorumStore(cfg.Stores, cfg.ReplicaFactor, cfg.WriteQuorum)
+	}
+	if cfg.Store == nil {
+		return nil, errors.New("fleet: takeover requires a checkpoint store (Store or Stores)")
+	}
+	return cfg.Store, nil
+}
+
+// TakeOver promotes a standby into the active coordinator. cfg.Shards
+// is ignored — membership comes from the persisted meta blob; the
+// store fields must point at (a surviving replica of) the deposed
+// coordinator's stores. The standby:
+//
+//  1. loads and verifies the BBFM blob,
+//  2. assumes epoch+1 and fences every member shard with it — from
+//     that instant the old coordinator's mutations die with CodeFenced,
+//  3. rebuilds routing from live shard stats (reality wins over any
+//     stale record of placement),
+//  4. re-resumes every session found on no shard from its replicated
+//     checkpoint.
+//
+// Unreachable shards are marked down exactly as if they had failed
+// under the old coordinator.
+func TakeOver(cfg CoordinatorConfig) (*Coordinator, error) {
+	store, err := resolveStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := store.Load(MetaKey)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoMeta, err)
+	}
+	m, err := decodeMeta(blob)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: takeover: %w", err)
+	}
+	if len(m.Members) == 0 {
+		return nil, errors.New("fleet: takeover: meta blob lists no members")
+	}
+	cfg.Shards = m.Members
+	if cfg.Vnodes == 0 {
+		cfg.Vnodes = m.Vnodes
+	}
+	if cfg.Epoch <= m.Epoch {
+		cfg.Epoch = m.Epoch + 1
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	for _, s := range m.Specs {
+		c.specs[s.ID] = s
+	}
+	c.mu.Unlock()
+
+	// Fence every shard at the new epoch and learn what actually lives
+	// where. Dialing fences (clientLocked); stats enumerate placement.
+	located := map[string]bool{}
+	for _, addr := range m.Members {
+		c.mu.Lock()
+		cl, cerr := c.clientLocked(addr)
+		c.mu.Unlock()
+		var st StatsInfo
+		if cerr == nil {
+			st, cerr = cl.Stats()
+		}
+		if cerr != nil {
+			if errors.Is(cerr, ErrDeposed) {
+				c.Close()
+				return nil, fmt.Errorf("fleet: takeover raced a higher epoch: %w", cerr)
+			}
+			c.logf("fleet: takeover: shard %s unreachable (%v); marking down", addr, cerr)
+			c.mu.Lock()
+			c.down[addr] = true
+			if h := c.health[addr]; h != nil {
+				h.state = HealthDown
+			}
+			c.dropClientLocked(addr)
+			c.mu.Unlock()
+			continue
+		}
+		c.mu.Lock()
+		for _, id := range st.IDs {
+			if located[id] {
+				c.logf("fleet: takeover: session %q found on %s and %s; keeping the first", id, c.routes[id], addr)
+				continue
+			}
+			located[id] = true
+			c.routes[id] = addr
+		}
+		c.mu.Unlock()
+	}
+
+	// Recover every recorded session found on no live shard.
+	var orphans []string
+	c.mu.Lock()
+	for id := range c.specs {
+		if !located[id] {
+			orphans = append(orphans, id)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(orphans)
+	for _, id := range orphans {
+		if err := c.recoverSession(id); err != nil {
+			c.recoverFail.Add(1)
+			c.logf("fleet: takeover: recover %q: %v", id, err)
+		}
+	}
+	c.saveMeta()
+	c.logf("fleet: takeover complete: epoch %d, %d members, %d sessions (%d recovered)",
+		c.epoch, len(m.Members), len(m.Specs), len(orphans))
+	return c, nil
+}

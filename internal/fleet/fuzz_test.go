@@ -49,6 +49,12 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add(hdr(0x06, 9, []byte{1, 0, 'a', 1, 0, 1, 0, 0, 5}))              // truncated resume
 	f.Add([]byte("BBFL"))                                                 // bare magic
 	f.Add(hdr(0x40, 1, []byte{0}))                                        // trailing byte on empty body
+	f.Add(hdr(0x0C, 4, []byte{1, 2, 3, 4}))                               // truncated fence epoch
+	f.Add(hdr(0x0D, 3, []byte{0xFF, 0xFF, 'a'}))                          // join addr-length bomb
+	f.Add(hdr(0x0E, 2, []byte{0, 0}))                                     // empty drain-shard addr
+	f.Add(hdr(0x45, 10, append(make([]byte, 8), 0xFF, 0xFF)))             // health shard-count bomb
+	f.Add(hdr(0x45, 17, append(make([]byte, 10), 3, 0, 'x', 'y', 'z', 9, 1, 0, 0)))
+	f.Add(hdr(0x0B, 1, []byte{0}))                                        // trailing byte on ping
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := DecodeWithLimits(data, fuzzLimits)

@@ -1,0 +1,221 @@
+package fleet
+
+import (
+	"sort"
+	"time"
+)
+
+// HealthState is one shard's position in the routing health machine.
+// The machine distinguishes two failure signals: a hard transport
+// error (connection refused/reset — the process is gone) jumps
+// straight to down and triggers recovery, while a deadline expiry (the
+// peer may be alive but slow or partitioned) only counts a strike —
+// up -> suspect after SuspectAfter strikes, suspect -> down after
+// DownAfter. Any successful round trip resets a non-down shard to up;
+// down is sticky until the shard rejoins via Join.
+type HealthState uint8
+
+const (
+	HealthUp HealthState = iota
+	HealthSuspect
+	HealthDown
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case HealthUp:
+		return "up"
+	case HealthSuspect:
+		return "suspect"
+	case HealthDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// HealthConfig tunes the coordinator's shard health machinery.
+type HealthConfig struct {
+	// ProbeInterval is the cadence of the background ping loop (0: no
+	// background probes; ProbeOnce still works — tests drive it
+	// manually for determinism).
+	ProbeInterval time.Duration
+	// SuspectAfter is the consecutive timeouts marking a shard suspect
+	// (<=0: 1).
+	SuspectAfter int
+	// DownAfter is the consecutive timeouts marking a shard down and
+	// triggering session recovery (<=0: 3; clamped to >= SuspectAfter).
+	DownAfter int
+	// OpRetries bounds same-shard retries of an idempotent request
+	// after a timeout (<0: 0 — surface the first timeout; 0 default: 2).
+	OpRetries int
+	// RetryBackoff is the base of the capped exponential backoff
+	// between retries (<=0: 50ms).
+	RetryBackoff time.Duration
+	// RetryBackoffCap caps the backoff (<=0: 1s).
+	RetryBackoffCap time.Duration
+	// Seed drives the retry jitter (deterministic by default).
+	Seed int64
+}
+
+func (h HealthConfig) withDefaults() HealthConfig {
+	if h.SuspectAfter <= 0 {
+		h.SuspectAfter = 1
+	}
+	if h.DownAfter <= 0 {
+		h.DownAfter = 3
+	}
+	if h.DownAfter < h.SuspectAfter {
+		h.DownAfter = h.SuspectAfter
+	}
+	if h.OpRetries == 0 {
+		h.OpRetries = 2
+	}
+	if h.OpRetries < 0 {
+		h.OpRetries = 0
+	}
+	if h.RetryBackoff <= 0 {
+		h.RetryBackoff = 50 * time.Millisecond
+	}
+	if h.RetryBackoffCap <= 0 {
+		h.RetryBackoffCap = time.Second
+	}
+	return h
+}
+
+// shardHealth is one shard's state under c.mu.
+type shardHealth struct {
+	state HealthState
+	fails uint32 // consecutive timeout strikes
+}
+
+// markUp resets a shard to healthy after any successful round trip.
+// Down stays down — its sessions have already been recovered away, and
+// flapping it back without a Join would split ownership.
+func (c *Coordinator) markUp(addr string) {
+	c.mu.Lock()
+	if h, ok := c.health[addr]; ok && h.state != HealthDown {
+		h.state = HealthUp
+		h.fails = 0
+	}
+	c.mu.Unlock()
+}
+
+// recordTimeout counts one deadline strike against addr and reports
+// whether the shard just crossed the down threshold (the caller then
+// runs shard-loss recovery outside the lock).
+func (c *Coordinator) recordTimeout(addr string) (lost bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.health[addr]
+	if !ok || h.state == HealthDown {
+		return false
+	}
+	h.fails++
+	switch {
+	case int(h.fails) >= c.cfg.Health.DownAfter:
+		h.state = HealthDown
+		return true
+	case int(h.fails) >= c.cfg.Health.SuspectAfter:
+		h.state = HealthSuspect
+	}
+	return false
+}
+
+// backoff sleeps the capped-jitter retry delay for the given retry
+// ordinal: full jitter over [d/2, d] where d doubles per retry up to
+// the cap, so synchronized retries from many sessions spread out.
+func (c *Coordinator) backoff(retry int) {
+	d := c.cfg.Health.RetryBackoff << (retry - 1)
+	if cap := c.cfg.Health.RetryBackoffCap; d > cap || d <= 0 {
+		d = cap
+	}
+	c.rngMu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.rngMu.Unlock()
+	time.Sleep(jittered)
+}
+
+// ProbeOnce pings every non-down member once and feeds the results to
+// the health machine: a hard transport error is shard loss, a timeout
+// is a strike (escalating to loss past DownAfter), success resets to
+// up. It returns the post-probe states. The background loop calls
+// this on ProbeInterval; tests call it directly for determinism.
+func (c *Coordinator) ProbeOnce() map[string]HealthState {
+	c.mu.Lock()
+	addrs := make([]string, 0, len(c.members))
+	for _, a := range c.members {
+		if !c.down[a] && !c.draining[a] {
+			addrs = append(addrs, a)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		c.mu.Lock()
+		cl, err := c.clientLocked(addr)
+		c.mu.Unlock()
+		if err == nil {
+			err = cl.Ping()
+		}
+		switch {
+		case err == nil:
+			c.markUp(addr)
+		case isTimeout(err):
+			if c.recordTimeout(addr) {
+				c.logf("fleet: probe: shard %s reached its timeout threshold; recovering", addr)
+				c.handleShardLoss(addr)
+			}
+		default:
+			c.logf("fleet: probe: shard %s unreachable (%v); recovering", addr, err)
+			c.handleShardLoss(addr)
+		}
+	}
+	states := map[string]HealthState{}
+	c.mu.Lock()
+	for _, a := range c.members {
+		st := HealthDown
+		if h, ok := c.health[a]; ok && !c.down[a] {
+			st = h.state
+		}
+		states[a] = st
+	}
+	c.mu.Unlock()
+	return states
+}
+
+// probeLoop drives ProbeOnce on the configured cadence until Close.
+func (c *Coordinator) probeLoop() {
+	defer c.probeWG.Done()
+	t := time.NewTicker(c.cfg.Health.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			if c.deposed.Load() {
+				return
+			}
+			c.ProbeOnce()
+		}
+	}
+}
+
+// HealthSnapshot projects the fencing epoch and per-member health onto
+// the wire struct (MsgHealthResp), sorted by address.
+func (c *Coordinator) HealthSnapshot() HealthInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	info := HealthInfo{Epoch: c.epoch}
+	members := append([]string(nil), c.members...)
+	sort.Strings(members)
+	for _, a := range members {
+		sh := ShardHealthInfo{Addr: a, State: uint8(HealthDown)}
+		if h, ok := c.health[a]; ok && !c.down[a] {
+			sh.State = uint8(h.state)
+			sh.Fails = h.fails
+		}
+		info.Shards = append(info.Shards, sh)
+	}
+	return info
+}

@@ -1,0 +1,307 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Dynamic ring membership (DESIGN.md §17). Join and DrainShard resize
+// the live ring with a two-phase route flip:
+//
+//  1. Pin: under the lock, every session whose arc moves gets a route
+//     override to its CURRENT shard, then the ring is swapped. From
+//     this instant new placements use the new ring, but every live
+//     session still routes exactly where it lives — no frame is
+//     double-fed or dropped while the ring and reality disagree.
+//  2. Migrate: each pinned session is handed over with the checkpoint
+//     migration primitive (detach -> resume -> flip) behind a per-id
+//     gate that concurrent requests wait on.
+//
+// Only sessions whose arcs actually move migrate — the consistent-hash
+// minimal-movement property, verified by TestRingJoinMovesMinimally.
+
+// Join adds the shard at addr to the live ring (or re-admits one that
+// was down), migrating exactly the sessions whose arcs move onto it.
+// Per-session migration failures are joined, not fatal: a session that
+// fails to move stays pinned where it was and stays served.
+func (c *Coordinator) Join(addr string) error {
+	if c.deposed.Load() {
+		return ErrDeposed
+	}
+	if addr == "" {
+		return errors.New("fleet: join: empty shard address")
+	}
+	c.mu.Lock()
+	for _, a := range c.members {
+		if a == addr && !c.down[a] {
+			c.mu.Unlock()
+			return fmt.Errorf("fleet: join: %s is already a live member", addr)
+		}
+	}
+	newMembers := make([]string, 0, len(c.members)+1)
+	for _, a := range c.members {
+		if a != addr {
+			newMembers = append(newMembers, a)
+		}
+	}
+	newMembers = append(newMembers, addr)
+	newRing := NewRing(newMembers, c.cfg.Vnodes)
+	delete(c.down, addr)
+	c.health[addr] = &shardHealth{}
+	skip := func(a string) bool { return c.down[a] || c.draining[a] }
+	// Phase 1: pin every session whose arc moves to where it lives now.
+	moving := map[string]string{}
+	for id := range c.specs {
+		if _, pinned := c.routes[id]; pinned {
+			continue // already pinned by migration/recovery; arcs don't apply
+		}
+		old := c.ring.LookupSkip(id, skip)
+		next := newRing.LookupSkip(id, skip)
+		if old != "" && next != old {
+			c.routes[id] = old
+			moving[id] = next
+		}
+	}
+	c.ring = newRing
+	c.members = newMembers
+	c.mu.Unlock()
+	c.joins.Add(1)
+	c.logf("fleet: shard %s joined; %d session(s) rebalancing", addr, len(moving))
+
+	// Phase 2: hand each moving session over behind its gate.
+	ids := make([]string, 0, len(moving))
+	for id := range moving {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var errs []error
+	for _, id := range ids {
+		if err := c.migrateSession(id, moving[id]); err != nil {
+			errs = append(errs, fmt.Errorf("rebalance %q: %w", id, err))
+		}
+	}
+	c.saveMeta()
+	return errors.Join(errs...)
+}
+
+// DrainShard migrates every session off the shard at addr and removes
+// it from the ring — the graceful exit (shard decommission, rolling
+// restart). The shard itself keeps running; it just stops owning
+// sessions. Draining a shard already marked down only removes it from
+// membership (its sessions were recovered when it went down).
+func (c *Coordinator) DrainShard(addr string) error {
+	if c.deposed.Load() {
+		return ErrDeposed
+	}
+	c.mu.Lock()
+	member := false
+	for _, a := range c.members {
+		member = member || a == addr
+	}
+	if !member {
+		c.mu.Unlock()
+		return fmt.Errorf("fleet: drain: %s is not a fleet member", addr)
+	}
+	live := 0
+	for _, a := range c.members {
+		if !c.down[a] && a != addr {
+			live++
+		}
+	}
+	if live == 0 && !c.down[addr] {
+		c.mu.Unlock()
+		return fmt.Errorf("fleet: drain: %s is the last live shard", addr)
+	}
+	wasDown := c.down[addr]
+	// Phase 1: pin every session living on the leaving shard there,
+	// then shrink the ring. The pin must happen BEFORE the draining
+	// flag flips routeLocked away from addr. Down shards hold no
+	// sessions — skip the pin.
+	var moving []string
+	if !wasDown {
+		for id := range c.specs {
+			if c.routeLocked(id) == addr {
+				c.routes[id] = addr
+				moving = append(moving, id)
+			}
+		}
+	}
+	c.draining[addr] = true
+	newMembers := make([]string, 0, len(c.members)-1)
+	for _, a := range c.members {
+		if a != addr {
+			newMembers = append(newMembers, a)
+		}
+	}
+	c.ring = NewRing(newMembers, c.cfg.Vnodes)
+	c.members = newMembers
+	c.mu.Unlock()
+	sort.Strings(moving)
+	c.logf("fleet: draining shard %s; %d session(s) to move", addr, len(moving))
+
+	// Phase 2: hand each session over; its target is wherever the
+	// shrunken ring puts it.
+	var errs []error
+	for _, id := range moving {
+		c.mu.Lock()
+		target := c.ring.LookupSkip(id, func(a string) bool { return c.down[a] || c.draining[a] })
+		c.mu.Unlock()
+		if target == "" {
+			errs = append(errs, fmt.Errorf("drain %q: %w", id, ErrNoShards))
+			continue
+		}
+		if err := c.migrateSession(id, target); err != nil {
+			errs = append(errs, fmt.Errorf("drain %q: %w", id, err))
+		}
+	}
+
+	c.mu.Lock()
+	delete(c.draining, addr)
+	delete(c.down, addr)
+	delete(c.health, addr)
+	c.dropClientLocked(addr)
+	c.mu.Unlock()
+	c.drained.Add(1)
+	c.saveMeta()
+	return errors.Join(errs...)
+}
+
+// Rebalances returns (shards joined, shards drained) since start.
+func (c *Coordinator) Rebalances() (joined, drained uint64) {
+	return c.joins.Load(), c.drained.Load()
+}
+
+// migrateSession is the gated checkpoint-migration primitive behind
+// Migrate, Join, and DrainShard: detach from the current shard, resume
+// on target, flip the route. While the gate is held, concurrent
+// requests for the id wait (waitGate) and shard-loss recovery skips
+// the id — exactly one actor owns a session's placement at a time.
+// If the source dies mid-handover the session is recovered onto the
+// target from its replicated checkpoint instead of being lost.
+func (c *Coordinator) migrateSession(id, target string) error {
+	// Acquire the gate, waiting out any migration already in flight.
+	var gate chan struct{}
+	for {
+		c.mu.Lock()
+		g, ok := c.gates[id]
+		if !ok {
+			gate = make(chan struct{})
+			c.gates[id] = gate
+			break
+		}
+		c.mu.Unlock()
+		<-g
+	}
+	// c.mu is held here.
+	defer func() {
+		c.mu.Lock()
+		delete(c.gates, id)
+		c.mu.Unlock()
+		close(gate)
+	}()
+	spec, ok := c.specs[id]
+	if !ok {
+		c.mu.Unlock()
+		return &RemoteError{Code: CodeNoSession, Text: fmt.Sprintf("session %q not routed", id)}
+	}
+	src := c.routeLocked(id)
+	c.mu.Unlock()
+	if src == target {
+		return nil // already there
+	}
+	if src == "" {
+		return ErrNoShards
+	}
+
+	// Detach from the source. Direct client, not doRouted: doRouted
+	// would block on the gate we hold.
+	var ckpt []byte
+	detached := false
+	c.mu.Lock()
+	scl, err := c.clientLocked(src)
+	c.mu.Unlock()
+	if err == nil {
+		data, derr := scl.Detach(id)
+		switch {
+		case derr == nil:
+			ckpt = data
+			detached = true
+		default:
+			var remote *RemoteError
+			if errors.As(derr, &remote) {
+				if remote.Code == CodeFenced {
+					c.deposed.Store(true)
+					return fmt.Errorf("%w: %s: %s", ErrDeposed, src, remote.Text)
+				}
+				return fmt.Errorf("fleet: migrate %q: detach: %w", id, derr)
+			}
+			err = derr
+		}
+	}
+	if errors.Is(err, ErrDeposed) {
+		return err
+	}
+	if !detached {
+		// The source died mid-handover. Recover its other sessions (we
+		// hold this id's gate, so shard loss skips it) and fall back to
+		// the last replicated checkpoint for this one.
+		c.logf("fleet: migrate %q: source %s unreachable (%v); falling back to replicated checkpoint", id, src, err)
+		c.handleShardLoss(src)
+		if data, lerr := c.cfg.Store.Load(id); lerr == nil {
+			ckpt = data
+		}
+	}
+
+	// Resume on the target (fresh open when no bytes survived).
+	c.mu.Lock()
+	tcl, terr := c.clientLocked(target)
+	c.mu.Unlock()
+	if terr == nil {
+		if ckpt != nil {
+			terr = tcl.Resume(spec, ckpt)
+		} else {
+			terr = tcl.Open(spec)
+		}
+	}
+	if terr != nil {
+		if !detached {
+			// Nothing to roll back to — the source is gone. The session
+			// stays routed by the ring and surfaces errors until a
+			// later request or probe recovers it.
+			c.recoverFail.Add(1)
+			return fmt.Errorf("fleet: migrate %q: source lost and target %s failed: %w", id, target, terr)
+		}
+		// Roll back: the session must live somewhere. Resume on the
+		// source (its pinned route is unchanged, so no flip is needed).
+		c.mu.Lock()
+		rcl, rerr := c.clientLocked(src)
+		c.mu.Unlock()
+		if rerr == nil {
+			rerr = rcl.Resume(spec, ckpt)
+		}
+		if rerr != nil {
+			return fmt.Errorf("fleet: migrate %q: target %s failed (%w) and rollback to %s failed (%w)",
+				id, target, terr, src, rerr)
+		}
+		return fmt.Errorf("fleet: migrate %q: target %s failed, rolled back to %s: %w", id, target, src, terr)
+	}
+
+	// The flip: drop the pin when the ring already owns the target so
+	// future membership changes see a clean arc, keep an override
+	// otherwise.
+	c.mu.Lock()
+	if c.ring.LookupSkip(id, func(a string) bool { return c.down[a] || c.draining[a] }) == target {
+		delete(c.routes, id)
+	} else {
+		c.routes[id] = target
+	}
+	c.mu.Unlock()
+	c.migrations.Add(1)
+	c.logf("fleet: session %q migrated %s -> %s (%d checkpoint bytes)", id, src, target, len(ckpt))
+	if ckpt != nil {
+		return c.cfg.Store.Save(id, ckpt)
+	}
+	c.reopened.Add(1)
+	return nil
+}

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys hashes a deterministic id population onto a ring.
+func ringKeys(r *Ring, n int) map[string]string {
+	owners := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("meeting-%04d", i)
+		owners[id] = r.Lookup(id)
+	}
+	return owners
+}
+
+// TestRingJoinMovesMinimally is the membership property Join depends
+// on: growing the ring by one shard only remaps ids onto the NEW shard
+// — no id moves between two surviving shards — and the moved fraction
+// is near the ideal 1/(n+1).
+func TestRingJoinMovesMinimally(t *testing.T) {
+	const keys = 4096
+	for n := 2; n <= 8; n++ {
+		var shards []string
+		for i := 0; i < n; i++ {
+			shards = append(shards, fmt.Sprintf("10.0.0.%d:7000", i))
+		}
+		joined := fmt.Sprintf("10.0.0.%d:7000", n)
+		before := ringKeys(NewRing(shards, 0), keys)
+		after := ringKeys(NewRing(append(shards, joined), 0), keys)
+		moved := 0
+		for id, old := range before {
+			now := after[id]
+			if now == old {
+				continue
+			}
+			moved++
+			if now != joined {
+				t.Fatalf("n=%d: id %q moved %s -> %s, neither the joined shard", n, id, old, now)
+			}
+		}
+		ideal := keys / (n + 1)
+		if moved > 2*ideal {
+			t.Errorf("n=%d: %d of %d ids moved on join, over 2x the ideal %d", n, moved, keys, ideal)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: the joined shard attracted no ids", n)
+		}
+	}
+}
+
+// TestRingRemoveMovesMinimally is the drain-side property: shrinking
+// the ring only remaps the removed shard's ids, spreading them over
+// the survivors instead of dumping them on one neighbour.
+func TestRingRemoveMovesMinimally(t *testing.T) {
+	const keys = 4096
+	shards := []string{"a:1", "b:2", "c:3", "d:4", "e:5"}
+	removed := "c:3"
+	var survivors []string
+	for _, s := range shards {
+		if s != removed {
+			survivors = append(survivors, s)
+		}
+	}
+	before := ringKeys(NewRing(shards, 0), keys)
+	after := ringKeys(NewRing(survivors, 0), keys)
+	inherited := map[string]int{}
+	for id, old := range before {
+		if old != removed {
+			if after[id] != old {
+				t.Fatalf("id %q moved %s -> %s though its shard survived", id, old, after[id])
+			}
+			continue
+		}
+		inherited[after[id]]++
+	}
+	if len(inherited) < len(survivors)-1 {
+		t.Errorf("removed shard's ids landed on only %d of %d survivors: %v",
+			len(inherited), len(survivors), inherited)
+	}
+}
+
+// TestRingBalanceBounds checks the load spread the vnode count buys:
+// with 64 vnodes per shard no shard owns more than ~2x its fair share
+// of a large id population.
+func TestRingBalanceBounds(t *testing.T) {
+	const keys = 8192
+	for _, n := range []int{3, 5, 9} {
+		var shards []string
+		for i := 0; i < n; i++ {
+			shards = append(shards, fmt.Sprintf("shard-%02d.example:7000", i))
+		}
+		load := map[string]int{}
+		for id, owner := range ringKeys(NewRing(shards, 0), keys) {
+			_ = id
+			load[owner]++
+		}
+		if len(load) != n {
+			t.Fatalf("n=%d: only %d shards own keys: %v", n, len(load), load)
+		}
+		fair := keys / n
+		for s, got := range load {
+			if got > 2*fair {
+				t.Errorf("n=%d: shard %s owns %d keys, over 2x the fair share %d", n, s, got, fair)
+			}
+			if got < fair/4 {
+				t.Errorf("n=%d: shard %s owns %d keys, under a quarter of the fair share %d", n, s, got, fair)
+			}
+		}
+	}
+}
+
+// TestRingLookupSkipConsistent: routing around a down shard sends each
+// of its ids to a fixed survivor (deterministic), and ids of healthy
+// shards do not move at all.
+func TestRingLookupSkipConsistent(t *testing.T) {
+	shards := []string{"a:1", "b:2", "c:3", "d:4"}
+	r := NewRing(shards, 0)
+	skip := func(a string) bool { return a == "b:2" }
+	for i := 0; i < 512; i++ {
+		id := fmt.Sprintf("call-%03d", i)
+		direct := r.Lookup(id)
+		routed := r.LookupSkip(id, skip)
+		if direct != "b:2" && routed != direct {
+			t.Fatalf("id %q rerouted %s -> %s though its shard is up", id, direct, routed)
+		}
+		if direct == "b:2" {
+			if routed == "b:2" || routed == "" {
+				t.Fatalf("id %q still routed to the skipped shard (%q)", id, routed)
+			}
+			if again := r.LookupSkip(id, skip); again != routed {
+				t.Fatalf("id %q reroute flapped %s -> %s", id, routed, again)
+			}
+		}
+	}
+}

@@ -20,6 +20,20 @@ type Handler interface {
 	Handle(req *Message) *Message
 }
 
+// ConnState is the per-connection context Serve threads through a
+// ConnHandler: today just the fencing epoch the connection declared
+// via MsgFence (0 = unfenced — a plain client exempt from fencing).
+type ConnState struct {
+	Epoch uint64
+}
+
+// ConnHandler is an optional Handler refinement for handlers that need
+// per-connection state (the shard's fencing check). Serve uses it when
+// implemented, falling back to Handle otherwise.
+type ConnHandler interface {
+	HandleConn(cs *ConnState, req *Message) *Message
+}
+
 // Serve accepts connections on ln and runs one request/response loop
 // per connection until ln is closed. Each request is budget-checked by
 // lim before any allocation. Serve returns when Accept fails
@@ -44,6 +58,8 @@ func Serve(ln net.Listener, h Handler, lim Limits, logf func(format string, args
 
 func serveConn(conn net.Conn, h Handler, lim Limits, logf func(string, ...any)) {
 	br := bufio.NewReader(conn)
+	ch, connAware := h.(ConnHandler)
+	cs := &ConnState{}
 	for {
 		req, err := ReadMessage(br, lim)
 		if err != nil {
@@ -57,7 +73,12 @@ func serveConn(conn net.Conn, h Handler, lim Limits, logf func(string, ...any)) 
 			}
 			return
 		}
-		resp := h.Handle(req)
+		var resp *Message
+		if connAware {
+			resp = ch.HandleConn(cs, req)
+		} else {
+			resp = h.Handle(req)
+		}
 		if resp == nil {
 			resp = errMsg(CodeInternal, "no response")
 		}
@@ -95,9 +116,16 @@ type ShardConfig struct {
 
 // Shard serves one session.Manager over the wire protocol: ingest,
 // snapshots, checkpoint export, resume, and the detach half of live
-// migration.
+// migration. It also enforces coordinator fencing: the highest epoch
+// any connection has declared via MsgFence is remembered, and
+// state-changing requests from connections fenced at a lower epoch are
+// rejected with CodeFenced — a deposed coordinator's stale migrations
+// and feeds die here instead of racing the new coordinator's.
 type Shard struct {
 	cfg ShardConfig
+
+	mu       sync.Mutex
+	maxEpoch uint64
 }
 
 // NewShard validates the config and returns a shard handler.
@@ -120,10 +148,58 @@ func (s *Shard) Serve(ln net.Listener) error {
 	return Serve(ln, s, s.cfg.Limits, s.cfg.Logf)
 }
 
-// Handle answers one request against the local manager.
+// Handle answers one request against the local manager on an unfenced
+// (plain-client) connection.
 func (s *Shard) Handle(req *Message) *Message {
+	return s.HandleConn(&ConnState{}, req)
+}
+
+// Fenced reports the highest coordinator epoch this shard has seen.
+func (s *Shard) Fenced() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxEpoch
+}
+
+// mutates reports whether a request changes session state — the set
+// fencing guards. Reads (snapshot, checkpoint export, stats, ping)
+// stay answerable on any connection: a deposed coordinator observing
+// state is harmless, a deposed coordinator changing it is not.
+func mutates(t MsgType) bool {
+	switch t {
+	case MsgOpen, MsgResume, MsgFeed, MsgFeedBatch, MsgClose, MsgDetach, MsgDrain:
+		return true
+	}
+	return false
+}
+
+// HandleConn answers one request, applying the fencing check for
+// connections that declared an epoch.
+func (s *Shard) HandleConn(cs *ConnState, req *Message) *Message {
+	if req.Type == MsgFence {
+		s.mu.Lock()
+		if req.Epoch < s.maxEpoch {
+			max := s.maxEpoch
+			s.mu.Unlock()
+			return errMsg(CodeFenced, fmt.Sprintf("epoch %d is stale: shard fenced at epoch %d", req.Epoch, max))
+		}
+		s.maxEpoch = req.Epoch
+		s.mu.Unlock()
+		cs.Epoch = req.Epoch
+		return okMsg()
+	}
+	if cs.Epoch > 0 && mutates(req.Type) {
+		s.mu.Lock()
+		max := s.maxEpoch
+		s.mu.Unlock()
+		if cs.Epoch < max {
+			return errMsg(CodeFenced, fmt.Sprintf("connection epoch %d deposed by epoch %d", cs.Epoch, max))
+		}
+	}
 	mgr := s.cfg.Manager
 	switch req.Type {
+	case MsgPing:
+		return okMsg()
 	case MsgOpen:
 		_, err := mgr.Open(req.Spec.ID, req.Spec.W, req.Spec.H, s.cfg.OptionsFor(req.Spec))
 		return status(err)

@@ -67,6 +67,25 @@ const (
 	// MsgDrain blocks until every fed frame of a session is processed —
 	// the quiesce barrier a migration or parity check runs behind.
 	MsgDrain MsgType = 0x0A
+	// MsgPing is the lightweight liveness probe health-probed routing
+	// runs on: empty body, answered by MsgOK. Cheap enough to send every
+	// probe interval to every shard.
+	MsgPing MsgType = 0x0B
+	// MsgFence declares the sender's coordinator epoch for this
+	// connection. A shard remembers the highest epoch it has ever seen;
+	// state-changing requests on a connection fenced at a lower epoch
+	// are rejected with CodeFenced — how a deposed coordinator's stale
+	// migrations die instead of corrupting the fleet.
+	MsgFence MsgType = 0x0C
+	// MsgJoin asks the coordinator to add the shard at Addr to the live
+	// ring, migrating only the sessions whose arcs move onto it.
+	MsgJoin MsgType = 0x0D
+	// MsgDrainShard asks the coordinator to migrate every session off
+	// the shard at Addr and remove it from the ring (graceful exit).
+	MsgDrainShard MsgType = 0x0E
+	// MsgHealth asks the coordinator for its epoch and per-shard health
+	// states.
+	MsgHealth MsgType = 0x0F
 
 	// MsgOK acknowledges a request with no payload.
 	MsgOK MsgType = 0x40
@@ -78,6 +97,8 @@ const (
 	MsgCkptResp MsgType = 0x43
 	// MsgStatsResp answers MsgStats.
 	MsgStatsResp MsgType = 0x44
+	// MsgHealthResp answers MsgHealth.
+	MsgHealthResp MsgType = 0x45
 )
 
 // Error codes carried by MsgErr, mirroring the session layer's typed
@@ -89,6 +110,7 @@ const (
 	CodeExists    uint16 = 3 // session.ErrExists
 	CodeAdmission uint16 = 4 // ErrFleetFull / ErrMemoryBudget
 	CodeBadReq    uint16 = 5 // malformed or unroutable request
+	CodeFenced    uint16 = 6 // request from a deposed coordinator epoch
 )
 
 // OpenSpec describes a session to open (or resume): everything a shard
@@ -123,6 +145,22 @@ type StatsInfo struct {
 	IDs                        []string
 }
 
+// ShardHealthInfo is one shard's routing health on the wire: the
+// health-state-machine value (HealthState) and the consecutive probe
+// or op failures counted against it.
+type ShardHealthInfo struct {
+	Addr  string
+	State uint8
+	Fails uint32
+}
+
+// HealthInfo is the wire projection of the coordinator's routing
+// health: its fencing epoch and every member shard's state.
+type HealthInfo struct {
+	Epoch  uint64
+	Shards []ShardHealthInfo
+}
+
 // Message is one decoded wire message. Only the fields its Type uses
 // are meaningful; Encode writes exactly those, so
 // Encode(Decode(b)) == b for every accepted b (the canonical-encoding
@@ -136,6 +174,9 @@ type Message struct {
 	Text   string       // Err
 	Snap   SnapInfo     // SnapResp
 	Stats  StatsInfo    // StatsResp
+	Addr   string       // Join, DrainShard
+	Epoch  uint64       // Fence
+	Health HealthInfo   // HealthResp
 }
 
 // Limits bounds what a decoder will allocate for one message — the
@@ -230,8 +271,20 @@ func appendBody(buf []byte, m *Message) ([]byte, error) {
 		}
 	case MsgSnapshot, MsgCheckpoint, MsgClose, MsgDetach, MsgDrain:
 		buf = appendStr(buf, m.Spec.ID)
-	case MsgStats, MsgOK:
+	case MsgStats, MsgOK, MsgPing, MsgHealth:
 		// empty body
+	case MsgFence:
+		buf = appendU64(buf, m.Epoch)
+	case MsgJoin, MsgDrainShard:
+		buf = appendStr(buf, m.Addr)
+	case MsgHealthResp:
+		buf = appendU64(buf, m.Health.Epoch)
+		buf = appendU16(buf, uint16(len(m.Health.Shards)))
+		for _, s := range m.Health.Shards {
+			buf = appendStr(buf, s.Addr)
+			buf = append(buf, s.State)
+			buf = appendU32(buf, s.Fails)
+		}
 	case MsgErr:
 		buf = appendU16(buf, m.Code)
 		buf = appendStr(buf, m.Text)
@@ -375,8 +428,54 @@ func decodeBody(r *reader, m *Message, lim Limits) error {
 			return err
 		}
 		m.Spec.ID = id
-	case MsgStats, MsgOK:
+	case MsgStats, MsgOK, MsgPing, MsgHealth:
 		// empty body
+	case MsgFence:
+		epoch, err := r.u64()
+		if err != nil {
+			return err
+		}
+		m.Epoch = epoch
+	case MsgJoin, MsgDrainShard:
+		addr, err := r.str(lim.MaxIDLen)
+		if err != nil {
+			return err
+		}
+		m.Addr = addr
+	case MsgHealthResp:
+		var err error
+		if m.Health.Epoch, err = r.u64(); err != nil {
+			return err
+		}
+		n, err := r.u16()
+		if err != nil {
+			return err
+		}
+		if int(n) > lim.MaxIDs {
+			return fmt.Errorf("fleet: %d shard healths exceed budget %d: %w", n, lim.MaxIDs, ErrBadMessage)
+		}
+		// Each entry costs >= 7 bytes (2 len + 1 state + 4 fails), so the
+		// advertised count is verified against what is present before any
+		// reserve.
+		if err := r.need(7 * int64(n)); err != nil {
+			return err
+		}
+		if n > 0 {
+			m.Health.Shards = make([]ShardHealthInfo, 0, n)
+		}
+		for i := 0; i < int(n); i++ {
+			var s ShardHealthInfo
+			if s.Addr, err = r.str(lim.MaxIDLen); err != nil {
+				return err
+			}
+			if s.State, err = r.u8(); err != nil {
+				return err
+			}
+			if s.Fails, err = r.u32(); err != nil {
+				return err
+			}
+			m.Health.Shards = append(m.Health.Shards, s)
+		}
 	case MsgErr:
 		code, err := r.u16()
 		if err != nil {

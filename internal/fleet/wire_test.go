@@ -61,6 +61,19 @@ func sampleMessages() []*Message {
 			Open: 3, Opened: 9, Restores: 2, Restarts: 1, Migrations: 4,
 			IDs: []string{"call-00", "call-01", "call-02"},
 		}},
+		{Type: MsgPing},
+		{Type: MsgFence, Epoch: 7},
+		{Type: MsgJoin, Addr: "10.0.0.9:7601"},
+		{Type: MsgDrainShard, Addr: "10.0.0.4:7601"},
+		{Type: MsgHealth},
+		{Type: MsgHealthResp, Health: HealthInfo{
+			Epoch: 3,
+			Shards: []ShardHealthInfo{
+				{Addr: "10.0.0.1:7601", State: 0, Fails: 0},
+				{Addr: "10.0.0.2:7601", State: 1, Fails: 2},
+				{Addr: "10.0.0.3:7601", State: 2, Fails: 5},
+			},
+		}},
 	}
 }
 
@@ -139,7 +152,10 @@ func messagesEqual(a, b *Message) bool {
 		a.Snap == b.Snap && a.Stats.Open == b.Stats.Open &&
 		a.Stats.Opened == b.Stats.Opened && a.Stats.Restores == b.Stats.Restores &&
 		a.Stats.Restarts == b.Stats.Restarts && a.Stats.Migrations == b.Stats.Migrations &&
-		reflect.DeepEqual(a.Stats.IDs, b.Stats.IDs)
+		reflect.DeepEqual(a.Stats.IDs, b.Stats.IDs) &&
+		a.Addr == b.Addr && a.Epoch == b.Epoch &&
+		a.Health.Epoch == b.Health.Epoch &&
+		reflect.DeepEqual(a.Health.Shards, b.Health.Shards)
 }
 
 // TestWireGolden pins the byte layout of representative messages so an
@@ -187,6 +203,40 @@ func TestWireGolden(t *testing.T) {
 	}
 	if got, _ := Encode(feed); !bytes.Equal(got, wantFeed) {
 		t.Fatalf("MsgFeed golden mismatch:\n got %v\nwant %v", got, wantFeed)
+	}
+
+	fence := &Message{Type: MsgFence, Epoch: 0x0102030405060708}
+	wantFence := []byte{
+		'B', 'B', 'F', 'L', 1, 0, 0x0C, 0x00, 8, 0, 0, 0,
+		8, 7, 6, 5, 4, 3, 2, 1, // epoch, little-endian
+	}
+	if got, _ := Encode(fence); !bytes.Equal(got, wantFence) {
+		t.Fatalf("MsgFence golden mismatch:\n got %v\nwant %v", got, wantFence)
+	}
+
+	join := &Message{Type: MsgJoin, Addr: "a:1"}
+	wantJoin := []byte{
+		'B', 'B', 'F', 'L', 1, 0, 0x0D, 0x00, 5, 0, 0, 0,
+		3, 0, 'a', ':', '1', // addr
+	}
+	if got, _ := Encode(join); !bytes.Equal(got, wantJoin) {
+		t.Fatalf("MsgJoin golden mismatch:\n got %v\nwant %v", got, wantJoin)
+	}
+
+	health := &Message{Type: MsgHealthResp, Health: HealthInfo{
+		Epoch:  2,
+		Shards: []ShardHealthInfo{{Addr: "b:2", State: 1, Fails: 3}},
+	}}
+	wantHealth := []byte{
+		'B', 'B', 'F', 'L', 1, 0, 0x45, 0x00, 20, 0, 0, 0,
+		2, 0, 0, 0, 0, 0, 0, 0, // epoch
+		1, 0, // shard count
+		3, 0, 'b', ':', '2', // addr
+		1,          // state (suspect)
+		3, 0, 0, 0, // fails
+	}
+	if got, _ := Encode(health); !bytes.Equal(got, wantHealth) {
+		t.Fatalf("MsgHealthResp golden mismatch:\n got %v\nwant %v", got, wantHealth)
 	}
 }
 

@@ -1,0 +1,173 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ErrQuorum is wrapped by every quorum-store operation that could not
+// reach its write quorum — the caller's signal that durability is
+// below the configured floor, not merely that one replica hiccuped.
+var ErrQuorum = errors.New("session: checkpoint write quorum not met")
+
+// QuorumStore fans checkpoint writes out to W-of-N replica stores and
+// reads back from any surviving replica — the durability layer fleet
+// coordinator failover stands on (DESIGN.md §17). Each id maps to a
+// deterministic chain of Replicas consecutive stores (hash-selected,
+// so replica load spreads), a write succeeds once WriteQuorum replicas
+// have it, and a read walks the chain first and every other store
+// second, returning the first hit. With Replicas == len(stores) every
+// store holds every checkpoint and any single survivor can restore
+// the whole fleet.
+//
+// Safe for concurrent use when the underlying stores are.
+type QuorumStore struct {
+	stores   []CheckpointStore
+	replicas int // N: stores written per id
+	quorum   int // W: successes required
+}
+
+var _ CheckpointStore = (*QuorumStore)(nil)
+
+// NewQuorumStore builds a quorum store over the given replicas.
+// replicas <= 0 means "all stores"; quorum <= 0 means a majority of
+// the replica count ((replicas/2)+1).
+func NewQuorumStore(stores []CheckpointStore, replicas, quorum int) (*QuorumStore, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("session: quorum store needs at least one replica store")
+	}
+	if replicas <= 0 || replicas > len(stores) {
+		replicas = len(stores)
+	}
+	if quorum <= 0 {
+		quorum = replicas/2 + 1
+	}
+	if quorum > replicas {
+		return nil, fmt.Errorf("session: write quorum %d exceeds replica factor %d", quorum, replicas)
+	}
+	return &QuorumStore{stores: stores, replicas: replicas, quorum: quorum}, nil
+}
+
+// Replication returns the (replica factor, write quorum) pair.
+func (q *QuorumStore) Replication() (replicas, quorum int) { return q.replicas, q.quorum }
+
+// chain returns the replica store indices for an id: Replicas
+// consecutive stores starting at a hash-selected offset.
+func (q *QuorumStore) chain(id string) []int {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	start := int(h.Sum64() % uint64(len(q.stores)))
+	idx := make([]int, q.replicas)
+	for i := range idx {
+		idx[i] = (start + i) % len(q.stores)
+	}
+	return idx
+}
+
+// Save writes the checkpoint to the id's replica chain, succeeding
+// once the write quorum is met. Per-replica failures below the quorum
+// threshold are absorbed (the fleet runs degraded, not down); at or
+// past it they join into an ErrQuorum.
+func (q *QuorumStore) Save(id string, data []byte) error {
+	ok := 0
+	var errs []error
+	for _, i := range q.chain(id) {
+		if err := q.stores[i].Save(id, data); err != nil {
+			errs = append(errs, fmt.Errorf("replica %d: %w", i, err))
+		} else {
+			ok++
+		}
+	}
+	if ok < q.quorum {
+		return fmt.Errorf("%w for %q: %d/%d writes succeeded: %w",
+			ErrQuorum, id, ok, q.quorum, errors.Join(errs...))
+	}
+	return nil
+}
+
+// Load returns the checkpoint from the first replica that has it — the
+// id's chain in order, then every remaining store (a rebalanced or
+// over-replicated copy still counts). Only when every store misses or
+// fails does Load fail.
+func (q *QuorumStore) Load(id string) ([]byte, error) {
+	tried := make(map[int]bool, len(q.stores))
+	var errs []error
+	try := func(i int) ([]byte, bool) {
+		if tried[i] {
+			return nil, false
+		}
+		tried[i] = true
+		data, err := q.stores[i].Load(id)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("replica %d: %w", i, err))
+			return nil, false
+		}
+		return data, true
+	}
+	for _, i := range q.chain(id) {
+		if data, ok := try(i); ok {
+			return data, nil
+		}
+	}
+	for i := range q.stores {
+		if data, ok := try(i); ok {
+			return data, nil
+		}
+	}
+	return nil, fmt.Errorf("session: no replica holds checkpoint %q: %w", id, errors.Join(errs...))
+}
+
+// List returns the union of ids across every store — any id with at
+// least one surviving replica is restorable.
+func (q *QuorumStore) List() ([]string, error) {
+	seen := map[string]bool{}
+	var errs []error
+	ok := 0
+	for i, s := range q.stores {
+		ids, err := s.List()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("replica %d: %w", i, err))
+			continue
+		}
+		ok++
+		for _, id := range ids {
+			seen[id] = true
+		}
+	}
+	if ok == 0 {
+		return nil, fmt.Errorf("session: every quorum replica failed to list: %w", errors.Join(errs...))
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Delete removes the id from every store (not just its chain — a
+// rebalance may have left copies elsewhere). Deleting a missing id is
+// not an error; failing to reach the quorum of successful deletes on
+// the chain is.
+func (q *QuorumStore) Delete(id string) error {
+	var errs []error
+	okChain := 0
+	chain := map[int]bool{}
+	for _, i := range q.chain(id) {
+		chain[i] = true
+	}
+	for i, s := range q.stores {
+		if err := s.Delete(id); err != nil {
+			errs = append(errs, fmt.Errorf("replica %d: %w", i, err))
+		} else if chain[i] {
+			okChain++
+		}
+	}
+	if okChain < q.quorum {
+		return fmt.Errorf("%w deleting %q: %d/%d chain deletes succeeded: %w",
+			ErrQuorum, id, okChain, q.quorum, errors.Join(errs...))
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// brokenStore fails every operation — a dead replica.
+type brokenStore struct{}
+
+var errDead = errors.New("replica dead")
+
+func (brokenStore) Save(string, []byte) error  { return errDead }
+func (brokenStore) Load(string) ([]byte, error) { return nil, errDead }
+func (brokenStore) List() ([]string, error)     { return nil, errDead }
+func (brokenStore) Delete(string) error         { return errDead }
+
+func TestQuorumStoreValidate(t *testing.T) {
+	if _, err := NewQuorumStore(nil, 0, 0); err == nil {
+		t.Fatal("empty store list accepted")
+	}
+	if _, err := NewQuorumStore([]CheckpointStore{NewMemStore()}, 1, 2); err == nil {
+		t.Fatal("quorum 2 over 1 replica accepted")
+	}
+	q, err := NewQuorumStore([]CheckpointStore{NewMemStore(), NewMemStore(), NewMemStore()}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, w := q.Replication(); r != 3 || w != 2 {
+		t.Fatalf("defaults over 3 stores = (N=%d, W=%d), want (3, 2)", r, w)
+	}
+}
+
+// TestQuorumStoreRoundTrip proves Save/Load/List/Delete behave like a
+// single store when every replica is healthy.
+func TestQuorumStoreRoundTrip(t *testing.T) {
+	mems := []*MemStore{NewMemStore(), NewMemStore(), NewMemStore()}
+	q, err := NewQuorumStore([]CheckpointStore{mems[0], mems[1], mems[2]}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		id := fmt.Sprintf("mtg-%d", i)
+		if err := q.Save(id, []byte(id+"-ckpt")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := q.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 8 {
+		t.Fatalf("List returned %d ids, want 8: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		data, err := q.Load(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != id+"-ckpt" {
+			t.Fatalf("Load(%q) = %q", id, data)
+		}
+	}
+	// With N=2 over 3 stores, each id lives on exactly 2 replicas.
+	for i := 0; i < 8; i++ {
+		id := fmt.Sprintf("mtg-%d", i)
+		copies := 0
+		for _, m := range mems {
+			if _, err := m.Load(id); err == nil {
+				copies++
+			}
+		}
+		if copies != 2 {
+			t.Fatalf("id %q has %d copies, want exactly N=2", id, copies)
+		}
+	}
+	if err := q.Delete("mtg-0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Load("mtg-0"); err == nil {
+		t.Fatal("Load succeeded after Delete")
+	}
+}
+
+// TestQuorumStoreSurvivesMinorityFailure proves W-of-N semantics: with
+// N=3/W=2, one dead replica is absorbed on both the write and read
+// paths, and recovery reads work from any surviving copy.
+func TestQuorumStoreSurvivesMinorityFailure(t *testing.T) {
+	alive1, alive2 := NewMemStore(), NewMemStore()
+	q, err := NewQuorumStore([]CheckpointStore{alive1, brokenStore{}, alive2}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Save("mtg", []byte("ckpt")); err != nil {
+		t.Fatalf("save with 2/3 replicas alive: %v", err)
+	}
+	data, err := q.Load("mtg")
+	if err != nil {
+		t.Fatalf("load with 2/3 replicas alive: %v", err)
+	}
+	if string(data) != "ckpt" {
+		t.Fatalf("Load = %q", data)
+	}
+	ids, err := q.List()
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("List = (%v, %v)", ids, err)
+	}
+	// The id survives even when one of its two live copies is deleted:
+	// Load falls back past the chain to any store that still has it.
+	_ = alive1.Delete("mtg")
+	if data, err = q.Load("mtg"); err != nil || string(data) != "ckpt" {
+		t.Fatalf("Load from the last surviving replica = (%q, %v)", data, err)
+	}
+}
+
+// TestQuorumStoreFailsBelowQuorum proves a write that cannot reach W
+// replicas reports ErrQuorum instead of claiming durability.
+func TestQuorumStoreFailsBelowQuorum(t *testing.T) {
+	q, err := NewQuorumStore([]CheckpointStore{NewMemStore(), brokenStore{}, brokenStore{}}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveErr := q.Save("mtg", []byte("ckpt"))
+	if !errors.Is(saveErr, ErrQuorum) {
+		t.Fatalf("save with 1/3 replicas alive = %v, want ErrQuorum", saveErr)
+	}
+	if !errors.Is(saveErr, errDead) {
+		t.Fatalf("quorum error does not carry the replica failures: %v", saveErr)
+	}
+	// The single successful copy is still readable — degraded, not lost.
+	if data, err := q.Load("mtg"); err != nil || string(data) != "ckpt" {
+		t.Fatalf("Load after failed-quorum save = (%q, %v)", data, err)
+	}
+	if _, err := q.Load("missing"); err == nil {
+		t.Fatal("Load of a never-saved id succeeded")
+	}
+}
+
+// TestQuorumStoreChainDeterministic proves the replica chain for an id
+// is stable across instances — recovery after a coordinator restart
+// looks in the same places the original wrote to.
+func TestQuorumStoreChainDeterministic(t *testing.T) {
+	stores := []CheckpointStore{NewMemStore(), NewMemStore(), NewMemStore(), NewMemStore(), NewMemStore()}
+	q1, _ := NewQuorumStore(stores, 3, 2)
+	q2, _ := NewQuorumStore(stores, 3, 2)
+	hits := map[int]int{}
+	for i := 0; i < 64; i++ {
+		id := fmt.Sprintf("session-%d", i)
+		c1, c2 := q1.chain(id), q2.chain(id)
+		if len(c1) != 3 {
+			t.Fatalf("chain(%q) has %d replicas, want 3", id, len(c1))
+		}
+		for j := range c1 {
+			if c1[j] != c2[j] {
+				t.Fatalf("chain(%q) diverged across instances: %v vs %v", id, c1, c2)
+			}
+		}
+		hits[c1[0]]++
+	}
+	// The hash should spread primary replicas across stores, not pile
+	// everything onto one.
+	for i, n := range hits {
+		if n == 64 {
+			t.Fatalf("all 64 ids hashed their primary onto store %d", i)
+		}
+	}
+	if len(hits) < 3 {
+		t.Fatalf("primaries landed on only %d of 5 stores: %v", len(hits), hits)
+	}
+}
