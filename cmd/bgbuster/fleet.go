@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"os/signal"
@@ -12,6 +13,7 @@ import (
 
 	"github.com/bgbuster/bgbuster"
 	"github.com/bgbuster/bgbuster/internal/fleet"
+	"github.com/bgbuster/bgbuster/internal/fleet/autopilot"
 	"github.com/bgbuster/bgbuster/internal/session"
 )
 
@@ -31,11 +33,15 @@ func runShard(args []string) error {
 	join := fs.String("join", "", "coordinator address to join on startup (empty: wait to be listed)")
 	advertise := fs.String("advertise", "", "address announced to the coordinator (default: the bound -listen address)")
 	drainOnSigterm := fs.Bool("drain-on-sigterm", false, "ask the -join coordinator to migrate sessions off this shard before exiting")
+	weight := fs.Int("weight", 0, "capacity weight announced to the -join coordinator (0: leave at 1; vnode multiplier, bigger = more sessions)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *drainOnSigterm && *join == "" {
 		return fmt.Errorf("shard: -drain-on-sigterm requires -join (who would we ask?)")
+	}
+	if *weight != 0 && *join == "" {
+		return fmt.Errorf("shard: -weight requires -join (the coordinator holds the weights)")
 	}
 
 	cfg := session.Config{
@@ -83,13 +89,20 @@ func runShard(args []string) error {
 		cl, jerr := fleet.Dial(*join, fleet.Limits{})
 		if jerr == nil {
 			jerr = cl.Join(announced)
+			if jerr == nil && *weight != 0 {
+				jerr = cl.SetWeight(announced, *weight)
+			}
 			cl.Close()
 		}
 		if jerr != nil {
 			ln.Close()
 			return fmt.Errorf("shard: join via %s: %w", *join, jerr)
 		}
-		fmt.Printf("shard: joined fleet via %s as %s\n", *join, announced)
+		if *weight != 0 {
+			fmt.Printf("shard: joined fleet via %s as %s (weight %d)\n", *join, announced, *weight)
+		} else {
+			fmt.Printf("shard: joined fleet via %s as %s\n", *join, announced)
+		}
 	}
 	onSignal := func() {}
 	if *drainOnSigterm {
@@ -127,8 +140,20 @@ func runServe(args []string) error {
 	standby := fs.Bool("standby", false, "start as a warm standby: watch -watch and take over when it dies")
 	watch := fs.String("watch", "", "primary coordinator address a standby watches")
 	watchEvery := fs.Duration("watch-every", 2*time.Second, "standby probe interval against the primary")
+	autopilotOn := fs.Bool("autopilot", false, "run the hands-off control plane: load-aware rebalancing, auto re-admission, checkpoint scrubbing")
+	rebalThresh := fs.Float64("rebalance-threshold", 0, "imbalance score that triggers rebalancing (0: default 0.25)")
+	planEvery := fs.Duration("plan-every", 0, "rebalancing pass cadence (0: default 15s)")
+	readmitAfter := fs.Int("readmit-after", 0, "consecutive healthy probes before a down shard is re-admitted (0: default 3)")
+	quarantine := fs.Duration("quarantine", 0, "probation window between re-admission and full promotion (0: default 60s)")
+	scrubEvery := fs.Duration("scrub-every", 0, "checkpoint scrub cadence (0: default 60s)")
+	elect := fs.Bool("elect", false, "contend for the coordinator lease in the checkpoint store; policy runs only while leading")
+	candidateID := fs.String("candidate-id", "", "this candidate's name in the lease record (default: host:listen)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "coordinator lease duration (0: default 15s)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *elect && !*autopilotOn {
+		return fmt.Errorf("serve: -elect requires -autopilot (the elector gates its policy loops)")
 	}
 	addrs := strings.Split(*shards, ",")
 	clean := addrs[:0]
@@ -189,19 +214,71 @@ func runServe(args []string) error {
 	defer close(stopRepl)
 	if *replicate > 0 {
 		go func() {
-			t := time.NewTicker(*replicate)
-			defer t.Stop()
+			// Jittered cadence (±25%) so many coordinators sharing a
+			// replica backend don't slam it in lockstep.
+			rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 			for {
+				d := *replicate
+				if q := d / 4; q > 0 {
+					d = d - q + time.Duration(rng.Int63n(int64(2*q)+1))
+				}
 				select {
 				case <-stopRepl:
 					return
-				case <-t.C:
+				case <-time.After(d):
 					if err := coord.Replicate(); err != nil {
 						fmt.Fprintf(os.Stderr, "serve: replicate: %v\n", err)
 					}
 				}
 			}
 		}()
+	}
+
+	if *autopilotOn {
+		apCfg := autopilot.Config{
+			Coordinator:  coord,
+			Rebalance:    autopilot.RebalanceConfig{HighWater: *rebalThresh},
+			PlanEvery:    *planEvery,
+			ReadmitAfter: *readmitAfter,
+			Quarantine:   *quarantine,
+			ScrubEvery:   *scrubEvery,
+			Seed:         time.Now().UnixNano(),
+			Logf:         ccfg.Logf,
+		}
+		if *elect {
+			id := *candidateID
+			if id == "" {
+				host, _ := os.Hostname()
+				id = host + "/" + *listen
+			}
+			elector, eerr := autopilot.NewElector(autopilot.ElectorConfig{
+				Store: coord.Store(),
+				ID:    id,
+				TTL:   *leaseTTL,
+				OnElected: func(term, epoch uint64) {
+					fmt.Printf("serve: %s holds the coordinator lease (term %d, epoch %d)\n", id, term, epoch)
+					if epoch != coord.Epoch() {
+						fmt.Fprintf(os.Stderr, "serve: lease epoch %d != coordinator epoch %d; restart with the lease epoch to fence predecessors\n", epoch, coord.Epoch())
+					}
+				},
+				OnDeposed: func() {
+					coord.Depose()
+					fmt.Fprintf(os.Stderr, "serve: lost the coordinator lease; self-fenced (mutations now refuse with ErrDeposed)\n")
+				},
+				Logf: ccfg.Logf,
+			})
+			if eerr != nil {
+				return eerr
+			}
+			apCfg.Elector = elector
+		}
+		ap, aerr := autopilot.New(apCfg)
+		if aerr != nil {
+			return aerr
+		}
+		ap.Start()
+		defer ap.Close()
+		fmt.Printf("serve: autopilot engaged (threshold %.2f, elect %v)\n", ap.Status().Threshold, *elect)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -213,8 +290,11 @@ func runServe(args []string) error {
 }
 
 // runStats dials a running coordinator and prints its aggregate fleet
-// stats plus a per-shard health table (state machine value and strike
-// count), so an operator can watch a rebalance or failover converge.
+// stats, per-shard load/health table, and — when the autopilot is
+// engaged — its policy counters and lease, so an operator can watch a
+// rebalance, re-admission, or election converge. Per-shard sample
+// failures degrade to a DOWN/? placeholder row; they never fail the
+// whole command.
 func runStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7600", "coordinator address")
@@ -238,9 +318,45 @@ func runStats(args []string) error {
 	fmt.Printf("fleet %s  epoch %d\n", *addr, hi.Epoch)
 	fmt.Printf("sessions open %d  opened %d  restores %d  restarts %d  migrations %d\n",
 		st.Open, st.Opened, st.Restores, st.Restarts, st.Migrations)
-	fmt.Printf("%-28s %-8s %s\n", "SHARD", "HEALTH", "FAILS")
+
+	if ai, aerr := cl.AutopilotStatus(); aerr == nil && ai.Enabled {
+		fmt.Printf("autopilot: imbalance %.3f (threshold %.2f)  passes %d  moves %d  readmitted %d  promoted %d  probation %d\n",
+			ai.Imbalance, ai.Threshold, ai.Passes, ai.Moves, ai.Readmitted, ai.Promoted, ai.Probation)
+		fmt.Printf("scrub: checked %d  repaired %d  swept %d  stuck %d  orphaned-deletes %d\n",
+			ai.ScrubChecked, ai.ScrubRepairs, ai.ScrubSwept, ai.ScrubStuck, ai.OrphanDels)
+		if ai.LeaseHolder != "" {
+			held := "follower"
+			if ai.LeaseHeld {
+				held = "leader"
+			}
+			fmt.Printf("lease: %s  held-by %s  term %d  epoch %d  expires %s\n",
+				held, ai.LeaseHolder, ai.LeaseTerm, ai.LeaseEpoch,
+				time.Unix(0, ai.LeaseExpires).UTC().Format(time.RFC3339))
+		}
+	}
+
+	// Health rows are authoritative for membership; load rows (which
+	// degrade per shard) fill in the capacity columns when available.
+	loads := map[string]fleet.ShardLoad{}
+	if rows, lerr := cl.Load(); lerr == nil {
+		for _, r := range rows {
+			loads[r.Addr] = r
+		}
+	}
+	fmt.Printf("%-28s %-8s %3s %5s %9s %8s %s\n", "SHARD", "HEALTH", "WT", "SESS", "MEM", "FEED-us", "FAILS")
 	for _, s := range hi.Shards {
-		fmt.Printf("%-28s %-8s %d\n", s.Addr, fleet.HealthState(s.State), s.Fails)
+		state := fleet.HealthState(s.State).String()
+		row, ok := loads[s.Addr]
+		if !ok || row.Err != "" {
+			// Placeholder row: the shard could not be sampled.
+			if row.Err != "" {
+				state = "DOWN"
+			}
+			fmt.Printf("%-28s %-8s %3s %5s %9s %8s %d\n", s.Addr, state, "?", "?", "?", "?", s.Fails)
+			continue
+		}
+		fmt.Printf("%-28s %-8s %3d %5d %9s %8d %d\n",
+			s.Addr, state, row.Weight, len(row.Sess), fmtBytes(row.Mem), row.FeedMicros, s.Fails)
 	}
 	if *verbose {
 		for _, id := range st.IDs {

@@ -1,0 +1,96 @@
+package faultinject
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for control-plane loops (the autopilot planner,
+// lease election, quarantine windows) so tests can drive hysteresis,
+// cooldowns and lease expiry deterministically instead of sleeping.
+// Production code uses SystemClock; tests inject a FakeClock and call
+// Advance.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// After returns a channel that delivers one tick once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// SystemClock returns the real-time clock (time.Now / time.After).
+func SystemClock() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// FakeClock is a manually advanced Clock. Time only moves when Advance
+// (or Set) is called; timers created by After fire synchronously inside
+// the Advance call that crosses their deadline. Safe for concurrent use.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock returns a fake clock frozen at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the fake current instant.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that fires when Advance crosses now+d.
+// A non-positive d fires on the next Advance (or immediately relative
+// to the current instant on an Advance of zero is still required — the
+// fake clock never fires without an explicit Advance/Set).
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{at: c.now.Add(d), ch: make(chan time.Time, 1)}
+	c.timers = append(c.timers, t)
+	return t.ch
+}
+
+// Advance moves the clock forward by d, firing every timer whose
+// deadline is crossed.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.set(c.now.Add(d))
+	c.mu.Unlock()
+}
+
+// Set jumps the clock to a specific instant (must not move backwards;
+// a backwards Set is ignored).
+func (c *FakeClock) Set(at time.Time) {
+	c.mu.Lock()
+	if at.After(c.now) {
+		c.set(at)
+	}
+	c.mu.Unlock()
+}
+
+// set fires expired timers. Caller holds c.mu.
+func (c *FakeClock) set(at time.Time) {
+	c.now = at
+	kept := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.at.After(at) {
+			t.ch <- at
+			continue
+		}
+		kept = append(kept, t)
+	}
+	c.timers = kept
+}

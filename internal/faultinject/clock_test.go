@@ -1,0 +1,65 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeClockAdvanceFiresTimers(t *testing.T) {
+	start := time.Unix(1_000_000, 0)
+	c := NewFakeClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+
+	early := c.After(10 * time.Millisecond)
+	late := c.After(100 * time.Millisecond)
+
+	c.Advance(10 * time.Millisecond)
+	select {
+	case at := <-early:
+		if !at.Equal(start.Add(10 * time.Millisecond)) {
+			t.Fatalf("early timer fired at %v", at)
+		}
+	default:
+		t.Fatal("early timer did not fire at its deadline")
+	}
+	select {
+	case <-late:
+		t.Fatal("late timer fired 90ms early")
+	default:
+	}
+
+	c.Advance(200 * time.Millisecond)
+	select {
+	case <-late:
+	default:
+		t.Fatal("late timer did not fire after its deadline passed")
+	}
+}
+
+func TestFakeClockSetIgnoresBackwards(t *testing.T) {
+	start := time.Unix(500, 0)
+	c := NewFakeClock(start)
+	c.Set(start.Add(-time.Hour))
+	if !c.Now().Equal(start) {
+		t.Fatalf("backwards Set moved the clock to %v", c.Now())
+	}
+	c.Set(start.Add(time.Second))
+	if got := c.Now(); !got.Equal(start.Add(time.Second)) {
+		t.Fatalf("forwards Set moved the clock to %v", got)
+	}
+}
+
+func TestSystemClockTicks(t *testing.T) {
+	c := SystemClock()
+	before := c.Now()
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("system clock After(1ms) never fired")
+	}
+	if c.Now().Before(before) {
+		t.Fatal("system clock moved backwards")
+	}
+}

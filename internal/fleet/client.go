@@ -297,3 +297,33 @@ func (c *Client) Health() (HealthInfo, error) {
 	}
 	return resp.Health, nil
 }
+
+// Load fetches a load sample: one row from a shard (its own sessions,
+// mem, feed latency), one row per member from a coordinator — with
+// placeholder rows (Err set) for members it could not sample.
+func (c *Client) Load() ([]ShardLoad, error) {
+	resp, err := c.expect(&Message{Type: MsgLoad}, MsgLoadResp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Loads, nil
+}
+
+// SetWeight asks a coordinator to set the capacity weight of the shard
+// at addr (weighted vnodes). Sessions whose arcs move migrate.
+func (c *Client) SetWeight(addr string, weight int) error {
+	if weight < 0 || weight > int(^uint16(0)) {
+		return fmt.Errorf("fleet: weight %d outside uint16", weight)
+	}
+	_, err := c.expect(&Message{Type: MsgSetWeight, Addr: addr, Weight: uint16(weight)}, MsgOK)
+	return err
+}
+
+// AutopilotStatus fetches a coordinator's autopilot policy state.
+func (c *Client) AutopilotStatus() (AutopilotInfo, error) {
+	resp, err := c.expect(&Message{Type: MsgAutopilotStatus}, MsgAutopilotResp)
+	if err != nil {
+		return AutopilotInfo{}, err
+	}
+	return resp.Auto, nil
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/bgbuster/bgbuster/internal/core"
 	"github.com/bgbuster/bgbuster/internal/session"
@@ -46,6 +47,14 @@ type CoordinatorConfig struct {
 	// Health tunes the shard health state machine, probe cadence, and
 	// idempotent-op retry policy (zero fields: defaults).
 	Health HealthConfig
+	// Weights are initial per-shard capacity weights for weighted
+	// vnodes (missing/<=0: 1; clamped to maxWeight). SetWeight changes
+	// them live.
+	Weights map[string]int
+	// LoadTimeout bounds one shard's MsgLoad sample inside Loads
+	// (<=0: 3s). Sampling uses short dedicated connections so a slow
+	// shard costs one placeholder row, never a hung stats command.
+	LoadTimeout time.Duration
 	// Epoch is this coordinator's fencing epoch (0: 1). Every shard
 	// connection declares it before carrying requests; shards reject
 	// mutating requests from connections fenced below the highest epoch
@@ -80,25 +89,31 @@ type Coordinator struct {
 	cfg   CoordinatorConfig
 	epoch uint64 // fencing epoch, immutable after construction
 
-	mu       sync.Mutex
-	ring     *Ring
-	members  []string // live ring membership (Join/DrainShard mutate it)
-	clients  map[string]*Client
-	specs    map[string]OpenSpec // id -> open spec (recovery needs it)
-	routes   map[string]string   // id -> addr override (migration/recovery)
-	down     map[string]bool
-	draining map[string]bool          // shards mid-DrainShard: no new routes
-	gates    map[string]chan struct{} // id -> in-flight migration barrier
-	health   map[string]*shardHealth
+	mu        sync.Mutex
+	ring      *Ring
+	members   []string // live ring membership (Join/DrainShard mutate it)
+	clients   map[string]*Client
+	specs     map[string]OpenSpec // id -> open spec (recovery needs it)
+	routes    map[string]string   // id -> addr override (migration/recovery)
+	down      map[string]bool
+	draining  map[string]bool          // shards mid-DrainShard: no new routes
+	gates     map[string]chan struct{} // id -> in-flight migration barrier
+	health    map[string]*shardHealth
+	weights   map[string]int      // capacity weights for weighted vnodes
+	probation map[string]bool     // re-admitted shards: new sessions only
+	probPins  map[string][]string // probation shard -> ids pinned away from it
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // retry jitter
 
+	statusMu sync.Mutex
+	statusFn func() AutopilotInfo // autopilot status provider (nil: none)
+
 	deposed atomic.Bool // a peer reported a higher fencing epoch
 
-	stop      chan struct{}
-	stopOnce  sync.Once
-	probeWG   sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	probeWG  sync.WaitGroup
 
 	migrations  atomic.Uint64
 	recoveries  atomic.Uint64 // sessions re-resumed after shard loss
@@ -107,6 +122,9 @@ type Coordinator struct {
 	recoverFail atomic.Uint64
 	joins       atomic.Uint64
 	drained     atomic.Uint64
+	readmits    atomic.Uint64 // shards re-admitted after down
+	promotions  atomic.Uint64 // shards promoted out of probation
+	orphanDels  atomic.Uint64 // checkpoint deletes that left orphaned replicas
 }
 
 // NewCoordinator validates the config and builds the ring.
@@ -134,6 +152,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	cfg.Timeouts = cfg.Timeouts.withDefaults()
 	cfg.Health = cfg.Health.withDefaults()
+	if cfg.LoadTimeout <= 0 {
+		cfg.LoadTimeout = 3 * time.Second
+	}
 	if cfg.Epoch == 0 {
 		cfg.Epoch = 1
 	}
@@ -142,20 +163,27 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			return DialTimeouts(addr, lim, cfg.Timeouts)
 		}
 	}
+	weights := map[string]int{}
+	for a, w := range cfg.Weights {
+		weights[a] = clampWeight(w)
+	}
 	c := &Coordinator{
-		cfg:      cfg,
-		epoch:    cfg.Epoch,
-		ring:     NewRing(cfg.Shards, cfg.Vnodes),
-		members:  append([]string(nil), cfg.Shards...),
-		clients:  map[string]*Client{},
-		specs:    map[string]OpenSpec{},
-		routes:   map[string]string{},
-		down:     map[string]bool{},
-		draining: map[string]bool{},
-		gates:    map[string]chan struct{}{},
-		health:   map[string]*shardHealth{},
-		rng:      rand.New(rand.NewSource(cfg.Health.Seed)),
-		stop:     make(chan struct{}),
+		cfg:       cfg,
+		epoch:     cfg.Epoch,
+		ring:      NewRingWeighted(cfg.Shards, weights, cfg.Vnodes),
+		members:   append([]string(nil), cfg.Shards...),
+		clients:   map[string]*Client{},
+		specs:     map[string]OpenSpec{},
+		routes:    map[string]string{},
+		down:      map[string]bool{},
+		draining:  map[string]bool{},
+		gates:     map[string]chan struct{}{},
+		health:    map[string]*shardHealth{},
+		weights:   weights,
+		probation: map[string]bool{},
+		probPins:  map[string][]string{},
+		rng:       rand.New(rand.NewSource(cfg.Health.Seed)),
+		stop:      make(chan struct{}),
 	}
 	for _, a := range c.members {
 		c.health[a] = &shardHealth{}
@@ -171,6 +199,23 @@ func (c *Coordinator) logf(format string, args ...any) {
 	if c.cfg.Logf != nil {
 		c.cfg.Logf(format, args...)
 	}
+}
+
+// clampWeight normalises a capacity weight into [1, maxWeight].
+func clampWeight(w int) int {
+	if w <= 0 {
+		return 1
+	}
+	if w > maxWeight {
+		return maxWeight
+	}
+	return w
+}
+
+// ringLocked rebuilds the weighted ring from the current membership and
+// weights. Caller holds c.mu.
+func (c *Coordinator) ringLocked(members []string) *Ring {
+	return NewRingWeighted(members, c.weights, c.cfg.Vnodes)
 }
 
 // routeLocked returns the shard currently owning id. Caller holds c.mu.
@@ -338,6 +383,11 @@ func (c *Coordinator) handleShardLoss(addr string) {
 	if h := c.health[addr]; h != nil {
 		h.state = HealthDown
 	}
+	// A probation shard that dies again forfeits its probation; the
+	// pins recorded for it point at other (live) shards and simply
+	// remain route overrides.
+	delete(c.probation, addr)
+	delete(c.probPins, addr)
 	c.dropClientLocked(addr)
 	c.shardsLost.Add(1)
 	// Collect the orphaned sessions: everything whose current route —
@@ -498,7 +548,7 @@ func (c *Coordinator) CloseSession(id string) error {
 		return err
 	}
 	c.forget(id)
-	return c.cfg.Store.Delete(id)
+	return c.deleteCheckpoint(id)
 }
 
 // Detach drains and removes a session without finalizing and hands its
@@ -510,7 +560,23 @@ func (c *Coordinator) Detach(id string) ([]byte, error) {
 		return nil, err
 	}
 	c.forget(id)
-	return resp.Ckpt, c.cfg.Store.Delete(id)
+	return resp.Ckpt, c.deleteCheckpoint(id)
+}
+
+// deleteCheckpoint removes the id's replicated checkpoint. An
+// *OrphanError — logical removal succeeded, some replica copies leaked
+// — is absorbed here: the session is gone either way, the leak is
+// counted (OrphanedDeletes) and logged, and the autopilot scrubber
+// sweeps the leftover copies on its next pass.
+func (c *Coordinator) deleteCheckpoint(id string) error {
+	err := c.cfg.Store.Delete(id)
+	var orphan *session.OrphanError
+	if errors.As(err, &orphan) {
+		c.orphanDels.Add(1)
+		c.logf("fleet: delete %q: %d replica(s) orphaned (scrub will sweep): %v", id, orphan.Leftover, orphan.Err)
+		return nil
+	}
+	return err
 }
 
 func (c *Coordinator) forget(id string) {
@@ -558,6 +624,10 @@ func (c *Coordinator) Migrate(id string, addr string) error {
 	if c.down[addr] {
 		c.mu.Unlock()
 		return fmt.Errorf("fleet: migrate %q: target %s is down", id, addr)
+	}
+	if c.probation[addr] {
+		c.mu.Unlock()
+		return fmt.Errorf("fleet: migrate %q: target %s is in probation (new sessions only)", id, addr)
 	}
 	member := false
 	for _, a := range c.members {
@@ -631,6 +701,78 @@ func (c *Coordinator) Recoveries() (resumed, reopened, failed uint64) {
 // Migrations returns completed live migrations since start.
 func (c *Coordinator) Migrations() uint64 { return c.migrations.Load() }
 
+// Readmissions returns (shards auto re-admitted after down, shards
+// promoted out of probation) since start.
+func (c *Coordinator) Readmissions() (readmitted, promoted uint64) {
+	return c.readmits.Load(), c.promotions.Load()
+}
+
+// OrphanedDeletes returns the checkpoint deletes that met their quorum
+// but left replicas behind (swept later by the scrubber).
+func (c *Coordinator) OrphanedDeletes() uint64 { return c.orphanDels.Load() }
+
+// Probation returns the shards currently in probation, sorted.
+func (c *Coordinator) Probation() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for a := range c.probation {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WeightOf returns addr's capacity weight (1 when never set).
+func (c *Coordinator) WeightOf(addr string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.weights[addr]; ok {
+		return w
+	}
+	return 1
+}
+
+// Store exposes the coordinator's checkpoint store — what the
+// autopilot scrubber walks.
+func (c *Coordinator) Store() session.CheckpointStore { return c.cfg.Store }
+
+// RoutedIDs returns every session id the coordinator currently routes,
+// sorted — the scrubber's live set.
+func (c *Coordinator) RoutedIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0, len(c.specs))
+	for id := range c.specs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// SetStatusProvider registers the autopilot's status hook; the
+// coordinator answers MsgAutopilotStatus through it. A nil provider
+// reports a zero (disabled) status.
+func (c *Coordinator) SetStatusProvider(fn func() AutopilotInfo) {
+	c.statusMu.Lock()
+	c.statusFn = fn
+	c.statusMu.Unlock()
+}
+
+// AutopilotStatus reports the registered autopilot's policy state,
+// folding in the coordinator-side orphaned-delete counter.
+func (c *Coordinator) AutopilotStatus() AutopilotInfo {
+	c.statusMu.Lock()
+	fn := c.statusFn
+	c.statusMu.Unlock()
+	var info AutopilotInfo
+	if fn != nil {
+		info = fn()
+	}
+	info.OrphanDels = c.orphanDels.Load()
+	return info
+}
+
 // Members returns the current ring membership, sorted.
 func (c *Coordinator) Members() []string {
 	c.mu.Lock()
@@ -648,6 +790,13 @@ func (c *Coordinator) Epoch() uint64 { return c.epoch }
 // subsequent operation here fails with ErrDeposed.
 func (c *Coordinator) Deposed() bool { return c.deposed.Load() }
 
+// Depose self-fences the coordinator: every subsequent mutation fails
+// with ErrDeposed. The lease elector calls this the moment it observes
+// a successor holding the lease — belt to the shard-side fencing's
+// suspenders, closing the window between losing the lease and the
+// first CodeFenced rejection.
+func (c *Coordinator) Depose() { c.deposed.Store(true) }
+
 // Handle implements Handler, fronting the coordinator with the same
 // wire protocol the shards speak (bgbuster serve).
 func (c *Coordinator) Handle(req *Message) *Message {
@@ -660,6 +809,12 @@ func (c *Coordinator) Handle(req *Message) *Message {
 		return wireStatus(c.Join(req.Addr))
 	case MsgDrainShard:
 		return wireStatus(c.DrainShard(req.Addr))
+	case MsgSetWeight:
+		return wireStatus(c.SetWeight(req.Addr, int(req.Weight)))
+	case MsgLoad:
+		return &Message{Type: MsgLoadResp, Loads: c.Loads()}
+	case MsgAutopilotStatus:
+		return &Message{Type: MsgAutopilotResp, Auto: c.AutopilotStatus()}
 	case MsgOpen:
 		return wireStatus(c.Open(req.Spec))
 	case MsgResume:

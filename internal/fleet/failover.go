@@ -36,7 +36,9 @@ const MetaKey = "__fleet_meta__"
 var metaMagic = [4]byte{'B', 'B', 'F', 'M'}
 
 const (
-	metaVersion     = 1
+	// metaVersion 2 added a u16 capacity weight after each member
+	// address; version-1 blobs (implicit weight 1) still decode.
+	metaVersion     = 2
 	metaMaxMembers  = 4096
 	metaMaxSpecs    = 1 << 20
 	metaMaxStrBytes = 1024
@@ -47,6 +49,7 @@ type fleetMeta struct {
 	Epoch   uint64
 	Vnodes  int
 	Members []string
+	Weights map[string]int
 	Specs   []OpenSpec
 }
 
@@ -56,9 +59,10 @@ func metaAppendStr(b []byte, s string) []byte {
 }
 
 // encodeMeta serialises the blob: magic, u16 version, u64 epoch,
-// u32 vnodes, u16 member count + length-prefixed addrs, u32 spec count
-// + per-spec (id, u16 W, u16 H, u8 flags, u64 seed), all little-
-// endian, sealed with a trailing CRC32-IEEE of everything before it.
+// u32 vnodes, u16 member count + per-member (length-prefixed addr,
+// u16 weight), u32 spec count + per-spec (id, u16 W, u16 H, u8 flags,
+// u64 seed), all little-endian, sealed with a trailing CRC32-IEEE of
+// everything before it.
 func encodeMeta(m fleetMeta) ([]byte, error) {
 	if len(m.Members) > metaMaxMembers {
 		return nil, fmt.Errorf("fleet: %d members exceed the meta budget %d", len(m.Members), metaMaxMembers)
@@ -76,6 +80,7 @@ func encodeMeta(m fleetMeta) ([]byte, error) {
 			return nil, fmt.Errorf("fleet: member address %d bytes long", len(a))
 		}
 		b = metaAppendStr(b, a)
+		b = binary.LittleEndian.AppendUint16(b, uint16(clampWeight(m.Weights[a])))
 	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Specs)))
 	for _, s := range m.Specs {
@@ -176,7 +181,7 @@ func decodeMeta(b []byte) (fleetMeta, error) {
 	if err != nil {
 		return m, err
 	}
-	if ver != metaVersion {
+	if ver != 1 && ver != metaVersion {
 		return m, fmt.Errorf("fleet: meta version %d: %w", ver, ErrVersion)
 	}
 	if m.Epoch, err = r.u64(); err != nil {
@@ -200,6 +205,21 @@ func decodeMeta(b []byte) (fleetMeta, error) {
 			return m, err
 		}
 		m.Members = append(m.Members, a)
+		if ver >= 2 {
+			w, err := r.u16()
+			if err != nil {
+				return m, err
+			}
+			if w == 0 || int(w) > maxWeight {
+				return m, fmt.Errorf("fleet: meta weight %d out of range: %w", w, ErrBadMessage)
+			}
+			if w != 1 {
+				if m.Weights == nil {
+					m.Weights = map[string]int{}
+				}
+				m.Weights[a] = int(w)
+			}
+		}
 	}
 	ns, err := r.u32()
 	if err != nil {
@@ -248,6 +268,13 @@ func decodeMeta(b []byte) (fleetMeta, error) {
 	return m, nil
 }
 
+// VerifyMeta parses and CRC-verifies a BBFM meta blob without acting
+// on it — the scrubber's integrity hook for the reserved meta record.
+func VerifyMeta(b []byte) error {
+	_, err := decodeMeta(b)
+	return err
+}
+
 // saveMeta persists the coordinator's current epoch, membership, and
 // session specs into the store — the breadcrumb a standby takes over
 // from. Best-effort: a failed write is logged, not fatal (the next
@@ -255,6 +282,14 @@ func decodeMeta(b []byte) (fleetMeta, error) {
 func (c *Coordinator) saveMeta() {
 	c.mu.Lock()
 	m := fleetMeta{Epoch: c.epoch, Vnodes: c.cfg.Vnodes, Members: append([]string(nil), c.members...)}
+	for a, w := range c.weights {
+		if clampWeight(w) != 1 {
+			if m.Weights == nil {
+				m.Weights = map[string]int{}
+			}
+			m.Weights[a] = clampWeight(w)
+		}
+	}
 	ids := make([]string, 0, len(c.specs))
 	for id := range c.specs {
 		ids = append(ids, id)
@@ -319,6 +354,9 @@ func TakeOver(cfg CoordinatorConfig) (*Coordinator, error) {
 	cfg.Shards = m.Members
 	if cfg.Vnodes == 0 {
 		cfg.Vnodes = m.Vnodes
+	}
+	if cfg.Weights == nil {
+		cfg.Weights = m.Weights
 	}
 	if cfg.Epoch <= m.Epoch {
 		cfg.Epoch = m.Epoch + 1

@@ -632,3 +632,42 @@ func TestCoordinatorWireFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestServeUnblocksIdleConnsOnClose pins the shutdown contract: a
+// coordinator parks idle persistent clients in ReadMessage, and a
+// SIGTERM'd shard must not wait on them — closing the listener has to
+// unwind every open connection so Serve can return. (Found live: a
+// shard with one idle coordinator connection hung forever after its
+// listener closed.)
+func TestServeUnblocksIdleConnsOnClose(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := session.NewManager(session.Config{})
+	defer mgr.Close()
+	sh, err := NewShard(ShardConfig{Manager: mgr, OptionsFor: fleetTestOptions, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); sh.Serve(ln) }()
+
+	// An idle persistent connection, parked between requests — the
+	// exact state a coordinator's cached client sits in.
+	cl, err := Dial(ln.Addr().String(), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	ln.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve still blocked on an idle connection 5s after listener close")
+	}
+}

@@ -54,7 +54,12 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add(hdr(0x0E, 2, []byte{0, 0}))                                     // empty drain-shard addr
 	f.Add(hdr(0x45, 10, append(make([]byte, 8), 0xFF, 0xFF)))             // health shard-count bomb
 	f.Add(hdr(0x45, 17, append(make([]byte, 10), 3, 0, 'x', 'y', 'z', 9, 1, 0, 0)))
-	f.Add(hdr(0x0B, 1, []byte{0}))                                        // trailing byte on ping
+	f.Add(hdr(0x0B, 1, []byte{0}))            // trailing byte on ping
+	f.Add(hdr(0x11, 4, []byte{1, 0, 'a', 3})) // truncated set-weight
+	f.Add(hdr(0x46, 2, []byte{0xFF, 0xFF}))   // load row-count bomb
+	f.Add(hdr(0x46, 27, append(append([]byte{1, 0, 0, 0, 0, 1, 0},
+		make([]byte, 18)...), 0xFF, 0xFF))) // load session-count bomb
+	f.Add(hdr(0x47, 1, []byte{0x07})) // autopilot bad flags + truncation
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := DecodeWithLimits(data, fuzzLimits)

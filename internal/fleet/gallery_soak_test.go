@@ -176,6 +176,27 @@ func TestGalleryFleetSoakShardLoss(t *testing.T) {
 	}
 
 	feedRange(0, replicateAt)
+	// Random ports occasionally hash every tile onto one shard; migrate
+	// one tile over — before the replicate snapshot below, so its stored
+	// checkpoint matches the others' — and the kill later always loses
+	// sessions.
+	{
+		byShard := map[string][]string{}
+		for _, id := range openIDs() {
+			byShard[coord.RouteOf(id)] = append(byShard[coord.RouteOf(id)], id)
+		}
+		for _, pair := range [][2]string{{sA.addr, sB.addr}, {sB.addr, sA.addr}} {
+			from, to := pair[0], pair[1]
+			if len(byShard[to]) == 0 {
+				id := byShard[from][0]
+				if err := coord.Migrate(id, to); err != nil {
+					t.Fatalf("forcing meeting to span both shards: %v", err)
+				}
+				byShard[from] = byShard[from][1:]
+				byShard[to] = []string{id}
+			}
+		}
+	}
 	for _, id := range openIDs() {
 		if err := coord.Drain(id); err != nil {
 			t.Fatal(err)

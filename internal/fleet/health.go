@@ -184,21 +184,35 @@ func (c *Coordinator) ProbeOnce() map[string]HealthState {
 }
 
 // probeLoop drives ProbeOnce on the configured cadence until Close.
+// Each period is jittered ±25% so a fleet of coordinators (or one
+// restarted alongside many shards) does not synchronize its probe
+// bursts into a thundering herd.
 func (c *Coordinator) probeLoop() {
 	defer c.probeWG.Done()
-	t := time.NewTicker(c.cfg.Health.ProbeInterval)
-	defer t.Stop()
 	for {
 		select {
 		case <-c.stop:
 			return
-		case <-t.C:
+		case <-time.After(c.jittered(c.cfg.Health.ProbeInterval)):
 			if c.deposed.Load() {
 				return
 			}
 			c.ProbeOnce()
 		}
 	}
+}
+
+// jittered spreads a tick period uniformly over [0.75d, 1.25d] using
+// the coordinator's seeded rng — the anti-thundering-herd spacing for
+// periodic fleet work.
+func (c *Coordinator) jittered(d time.Duration) time.Duration {
+	q := d / 4
+	if q <= 0 {
+		return d
+	}
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return d - q + time.Duration(c.rng.Int63n(int64(2*q)+1))
 }
 
 // HealthSnapshot projects the fencing epoch and per-member health onto

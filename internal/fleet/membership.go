@@ -46,7 +46,7 @@ func (c *Coordinator) Join(addr string) error {
 		}
 	}
 	newMembers = append(newMembers, addr)
-	newRing := NewRing(newMembers, c.cfg.Vnodes)
+	newRing := c.ringLocked(newMembers)
 	delete(c.down, addr)
 	c.health[addr] = &shardHealth{}
 	skip := func(a string) bool { return c.down[a] || c.draining[a] }
@@ -134,7 +134,7 @@ func (c *Coordinator) DrainShard(addr string) error {
 			newMembers = append(newMembers, a)
 		}
 	}
-	c.ring = NewRing(newMembers, c.cfg.Vnodes)
+	c.ring = c.ringLocked(newMembers)
 	c.members = newMembers
 	c.mu.Unlock()
 	sort.Strings(moving)
@@ -170,6 +170,66 @@ func (c *Coordinator) DrainShard(addr string) error {
 // Rebalances returns (shards joined, shards drained) since start.
 func (c *Coordinator) Rebalances() (joined, drained uint64) {
 	return c.joins.Load(), c.drained.Load()
+}
+
+// SetWeight changes the capacity weight of a member shard (weighted
+// vnodes: weight 2 owns roughly twice the arc of weight 1). The ring
+// is rebuilt with the same two-phase flip Join uses — sessions whose
+// arcs move are pinned where they live, then migrated behind their
+// gates — so a weight change is as lossless as a membership change.
+func (c *Coordinator) SetWeight(addr string, weight int) error {
+	if c.deposed.Load() {
+		return ErrDeposed
+	}
+	weight = clampWeight(weight)
+	c.mu.Lock()
+	member := false
+	for _, a := range c.members {
+		member = member || a == addr
+	}
+	if !member {
+		c.mu.Unlock()
+		return fmt.Errorf("fleet: set-weight: %s is not a fleet member", addr)
+	}
+	if c.weights[addr] == weight || (weight == 1 && c.weights[addr] == 0) {
+		c.weights[addr] = weight
+		c.mu.Unlock()
+		return nil // no arc moves
+	}
+	c.weights[addr] = weight
+	newRing := c.ringLocked(c.members)
+	skip := func(a string) bool { return c.down[a] || c.draining[a] }
+	// Phase 1: pin every session whose arc moves to where it lives now.
+	moving := map[string]string{}
+	for id := range c.specs {
+		if _, pinned := c.routes[id]; pinned {
+			continue
+		}
+		old := c.ring.LookupSkip(id, skip)
+		next := newRing.LookupSkip(id, skip)
+		if old != "" && next != old {
+			c.routes[id] = old
+			moving[id] = next
+		}
+	}
+	c.ring = newRing
+	c.mu.Unlock()
+	c.logf("fleet: shard %s reweighted to %d; %d session(s) rebalancing", addr, weight, len(moving))
+
+	// Phase 2: hand each moving session over behind its gate.
+	ids := make([]string, 0, len(moving))
+	for id := range moving {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var errs []error
+	for _, id := range ids {
+		if err := c.migrateSession(id, moving[id]); err != nil {
+			errs = append(errs, fmt.Errorf("reweight %q: %w", id, err))
+		}
+	}
+	c.saveMeta()
+	return errors.Join(errs...)
 }
 
 // migrateSession is the gated checkpoint-migration primitive behind

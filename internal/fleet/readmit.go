@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Safe shard re-admission (DESIGN.md §18). A shard marked down had all
+// of its sessions recovered onto survivors; letting it straight back
+// into the ring would hand arcs — and therefore live sessions — to a
+// process whose local state is stale, reopening exactly the split-
+// brain the sticky down flag exists to prevent. Readmit narrows the
+// door to a safe sequence:
+//
+//  1. Fencing handshake: dialing fences the connection at the
+//     coordinator's epoch, so a recovered shard that was meanwhile
+//     claimed by a successor coordinator deposes us here, before any
+//     state moves.
+//  2. Stale-state scrub: every session still materialised on the
+//     recovered shard is detached and discarded — the fleet's
+//     recovered copies are authoritative; the shard's pre-crash state
+//     must not collide with a later Resume.
+//  3. Probation: the shard re-enters the ring for NEW placements only.
+//     Every existing session whose arc would flip onto it is pinned
+//     where it lives. Promote lifts the pins (migrating those sessions
+//     home) once the shard has proven itself through the quarantine
+//     window — the autopilot drives both steps.
+
+// Readmit returns a down member shard to the ring in probation: the
+// shard serves new sessions immediately, while existing sessions stay
+// pinned off it until Promote. The fencing handshake and stale-session
+// scrub run before any routing changes.
+func (c *Coordinator) Readmit(addr string) error {
+	if c.deposed.Load() {
+		return ErrDeposed
+	}
+	c.mu.Lock()
+	member := false
+	for _, a := range c.members {
+		member = member || a == addr
+	}
+	if !member {
+		c.mu.Unlock()
+		return fmt.Errorf("fleet: readmit: %s is not a fleet member", addr)
+	}
+	if !c.down[addr] {
+		c.mu.Unlock()
+		return fmt.Errorf("fleet: readmit: %s is not down", addr)
+	}
+	c.mu.Unlock()
+
+	// Fencing handshake. clientLocked fences fresh connections at our
+	// epoch; CodeFenced back means a successor owns this shard now.
+	c.mu.Lock()
+	cl, err := c.clientLocked(addr)
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("fleet: readmit %s: handshake: %w", addr, err)
+	}
+
+	// Stale-state scrub: discard every session the shard still holds
+	// from before it went down. The fleet re-homed them at loss time.
+	st, err := cl.Stats()
+	if err != nil {
+		c.mu.Lock()
+		c.dropClientLocked(addr)
+		c.mu.Unlock()
+		return fmt.Errorf("fleet: readmit %s: stats: %w", addr, err)
+	}
+	for _, id := range st.IDs {
+		if _, derr := cl.Detach(id); derr != nil {
+			var remote *RemoteError
+			if errors.As(derr, &remote) && remote.Code == CodeNoSession {
+				continue
+			}
+			c.mu.Lock()
+			c.dropClientLocked(addr)
+			c.mu.Unlock()
+			return fmt.Errorf("fleet: readmit %s: scrub stale %q: %w", addr, id, derr)
+		}
+		c.logf("fleet: readmit %s: discarded stale session %q", addr, id)
+	}
+
+	// Flip: the shard leaves the down set (the ring already lists it —
+	// down never removed it from membership), but every existing
+	// session whose effective route would jump onto it gets pinned
+	// where it lives. Only new placements land on the shard until
+	// Promote.
+	c.mu.Lock()
+	if !c.down[addr] {
+		c.mu.Unlock()
+		return fmt.Errorf("fleet: readmit: %s was readmitted concurrently", addr)
+	}
+	skipNow := func(a string) bool { return c.down[a] || c.draining[a] }
+	skipAfter := func(a string) bool { return (c.down[a] && a != addr) || c.draining[a] }
+	var pins []string
+	for id := range c.specs {
+		if _, pinned := c.routes[id]; pinned {
+			continue
+		}
+		cur := c.ring.LookupSkip(id, skipNow)
+		next := c.ring.LookupSkip(id, skipAfter)
+		if cur != "" && next != cur {
+			c.routes[id] = cur
+			pins = append(pins, id)
+		}
+	}
+	sort.Strings(pins)
+	delete(c.down, addr)
+	c.health[addr] = &shardHealth{}
+	c.probation[addr] = true
+	c.probPins[addr] = pins
+	c.mu.Unlock()
+	c.readmits.Add(1)
+	c.saveMeta()
+	c.logf("fleet: shard %s re-admitted in probation; %d session(s) pinned off it", addr, len(pins))
+	return nil
+}
+
+// Promote lifts a shard out of probation: the sessions pinned off it
+// at Readmit are migrated to their ring homes (behind the usual gates),
+// and the shard becomes a full member again. The autopilot calls this
+// after the quarantine window passes cleanly.
+func (c *Coordinator) Promote(addr string) error {
+	if c.deposed.Load() {
+		return ErrDeposed
+	}
+	c.mu.Lock()
+	if !c.probation[addr] {
+		c.mu.Unlock()
+		return fmt.Errorf("fleet: promote: %s is not in probation", addr)
+	}
+	pins := c.probPins[addr]
+	delete(c.probation, addr)
+	delete(c.probPins, addr)
+	c.mu.Unlock()
+
+	var errs []error
+	for _, id := range pins {
+		c.mu.Lock()
+		if _, ok := c.specs[id]; !ok {
+			c.mu.Unlock()
+			continue // closed while pinned
+		}
+		target := c.ring.LookupSkip(id, func(a string) bool { return c.down[a] || c.draining[a] })
+		cur, pinned := c.routes[id]
+		if pinned && cur == target {
+			delete(c.routes, id) // already home; just drop the pin
+			c.mu.Unlock()
+			continue
+		}
+		c.mu.Unlock()
+		if target == "" {
+			errs = append(errs, fmt.Errorf("promote %q: %w", id, ErrNoShards))
+			continue
+		}
+		if err := c.migrateSession(id, target); err != nil {
+			errs = append(errs, fmt.Errorf("promote %q: %w", id, err))
+		}
+	}
+	c.promotions.Add(1)
+	c.saveMeta()
+	c.logf("fleet: shard %s promoted out of probation; %d pinned session(s) migrating home", addr, len(pins))
+	return errors.Join(errs...)
+}

@@ -26,15 +26,38 @@ type ringPoint struct {
 	shard string
 }
 
+// maxWeight caps a shard's capacity weight — 16× the base vnode count
+// is plenty of skew before an operator should just run more shards.
+const maxWeight = 16
+
 // NewRing builds a ring over the shard addresses with vnodes virtual
 // nodes each (<=0 takes the default).
 func NewRing(shards []string, vnodes int) *Ring {
+	return NewRingWeighted(shards, nil, vnodes)
+}
+
+// NewRingWeighted builds a ring where each shard's virtual-node count
+// is scaled by its capacity weight: a weight-2 shard owns roughly twice
+// the arc length (and so twice the sessions) of a weight-1 shard —
+// heterogeneous fleets advertise capacity instead of overloading their
+// smallest member. Missing or non-positive weights default to 1;
+// weights clamp to maxWeight. A shard's base vnode labels ("addr#i")
+// are a prefix of its weighted labels, so changing only a weight moves
+// only the arcs the vnode-count delta implies.
+func NewRingWeighted(shards []string, weights map[string]int, vnodes int) *Ring {
 	if vnodes <= 0 {
 		vnodes = defaultVnodes
 	}
 	r := &Ring{shards: append([]string(nil), shards...)}
 	for _, s := range r.shards {
-		for i := 0; i < vnodes; i++ {
+		w := weights[s]
+		if w <= 0 {
+			w = 1
+		}
+		if w > maxWeight {
+			w = maxWeight
+		}
+		for i := 0; i < vnodes*w; i++ {
 			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", s, i)), shard: s})
 		}
 	}

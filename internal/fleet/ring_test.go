@@ -135,3 +135,72 @@ func TestRingLookupSkipConsistent(t *testing.T) {
 		}
 	}
 }
+
+// TestRingWeightedProportions: a weight-w shard should own roughly w
+// times the keys of a weight-1 shard, and clamping should hold weights
+// to [1, maxWeight].
+func TestRingWeightedProportions(t *testing.T) {
+	const keys = 8192
+	shards := []string{"a:1", "b:2", "c:3"}
+	weights := map[string]int{"b:2": 3}
+	load := map[string]int{}
+	for _, owner := range ringKeys(NewRingWeighted(shards, weights, 0), keys) {
+		load[owner]++
+	}
+	// b holds 3 of 5 total weight units; each of a and c holds 1.
+	unit := keys / 5
+	if got := load["b:2"]; got < 2*unit || got > 4*unit {
+		t.Errorf("weight-3 shard owns %d keys, want about %d", got, 3*unit)
+	}
+	for _, s := range []string{"a:1", "c:3"} {
+		if got := load[s]; got < unit/2 || got > 2*unit {
+			t.Errorf("weight-1 shard %s owns %d keys, want about %d", s, got, unit)
+		}
+	}
+
+	// Zero/negative weights behave as 1; absurd weights clamp to
+	// maxWeight instead of drowning the ring.
+	same := ringKeys(NewRingWeighted(shards, map[string]int{"a:1": 0, "b:2": -5}, 0), keys)
+	base := ringKeys(NewRing(shards, 0), keys)
+	for id, owner := range base {
+		if same[id] != owner {
+			t.Fatalf("id %q moved under no-op weights: %s -> %s", id, owner, same[id])
+		}
+	}
+	clamped := NewRingWeighted(shards, map[string]int{"b:2": 1 << 20}, 0)
+	capped := NewRingWeighted(shards, map[string]int{"b:2": maxWeight}, 0)
+	for i := 0; i < 512; i++ {
+		id := fmt.Sprintf("clamp-%03d", i)
+		if clamped.Lookup(id) != capped.Lookup(id) {
+			t.Fatalf("id %q: weight beyond maxWeight was not clamped", id)
+		}
+	}
+}
+
+// TestRingWeightChangeMovesMinimally: raising one shard's weight moves
+// ids ONTO that shard only — base vnode labels are a prefix of the
+// weighted labels, so no id migrates between two unchanged shards.
+func TestRingWeightChangeMovesMinimally(t *testing.T) {
+	const keys = 4096
+	shards := []string{"a:1", "b:2", "c:3", "d:4"}
+	before := ringKeys(NewRing(shards, 0), keys)
+	after := ringKeys(NewRingWeighted(shards, map[string]int{"c:3": 2}, 0), keys)
+	moved := 0
+	for id, old := range before {
+		if after[id] == old {
+			continue
+		}
+		moved++
+		if after[id] != "c:3" {
+			t.Fatalf("id %q moved %s -> %s on c:3's weight change", id, old, after[id])
+		}
+	}
+	if moved == 0 {
+		t.Error("doubling a weight attracted no ids")
+	}
+	// Ideal attraction: c goes from 1/4 to 2/5 of the ring.
+	ideal := keys*2/5 - keys/4
+	if moved > 2*ideal {
+		t.Errorf("%d ids moved on weight change, over 2x the ideal %d", moved, ideal)
+	}
+}

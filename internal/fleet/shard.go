@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/bgbuster/bgbuster/internal/core"
@@ -37,20 +38,41 @@ type ConnHandler interface {
 // Serve accepts connections on ln and runs one request/response loop
 // per connection until ln is closed. Each request is budget-checked by
 // lim before any allocation. Serve returns when Accept fails
-// (listener closed).
+// (listener closed); closing the listener also closes every open
+// connection — coordinators park idle persistent clients in
+// ReadMessage, and a shutdown must not wait on them.
 func Serve(ln net.Listener, h Handler, lim Limits, logf func(format string, args ...any)) error {
 	lim = lim.withDefaults()
-	var wg sync.WaitGroup
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		conns = map[net.Conn]struct{}{}
+	)
 	defer wg.Wait()
+	defer func() {
+		mu.Lock()
+		for c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	}()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return err
 		}
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer conn.Close()
+			defer func() {
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+				conn.Close()
+			}()
 			serveConn(conn, h, lim, logf)
 		}()
 	}
@@ -126,6 +148,36 @@ type Shard struct {
 
 	mu       sync.Mutex
 	maxEpoch uint64
+
+	feedMicros atomic.Uint64 // EWMA of per-frame feed handling latency
+}
+
+// observeFeed folds one feed request's handling time into the
+// per-frame latency EWMA (alpha 1/8) the load sampler reports — the
+// rebalancer's latency signal for hot shards.
+func (s *Shard) observeFeed(d time.Duration, frames int) {
+	if frames <= 0 {
+		return
+	}
+	us := uint64(d.Microseconds()) / uint64(frames)
+	for {
+		old := s.feedMicros.Load()
+		next := us
+		if old != 0 {
+			next = old + (us-old)/8
+			if us < old {
+				next = old - (old-us)/8
+			}
+		}
+		if s.feedMicros.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// FeedLatency returns the current per-frame feed latency EWMA.
+func (s *Shard) FeedLatency() time.Duration {
+	return time.Duration(s.feedMicros.Load()) * time.Microsecond
 }
 
 // NewShard validates the config and returns a shard handler.
@@ -208,9 +260,22 @@ func (s *Shard) HandleConn(cs *ConnState, req *Message) *Message {
 		return status(err)
 	case MsgFeed:
 		f := req.Frames[0]
-		return status(mgr.Feed(req.Spec.ID, f.Img, f.Oracle))
+		start := time.Now()
+		resp := status(mgr.Feed(req.Spec.ID, f.Img, f.Oracle))
+		s.observeFeed(time.Since(start), 1)
+		return resp
 	case MsgFeedBatch:
-		return status(mgr.FeedN(req.Spec.ID, req.Frames))
+		start := time.Now()
+		resp := status(mgr.FeedN(req.Spec.ID, req.Frames))
+		s.observeFeed(time.Since(start), len(req.Frames))
+		return resp
+	case MsgLoad:
+		st := mgr.Stats()
+		row := ShardLoad{Mem: st.MemUsed, FeedMicros: s.feedMicros.Load()}
+		for _, sn := range st.Sessions {
+			row.Sess = append(row.Sess, SessionLoad{ID: sn.ID, Mem: sn.MemBytes, Frames: sn.StreamFrames})
+		}
+		return &Message{Type: MsgLoadResp, Loads: []ShardLoad{row}}
 	case MsgSnapshot:
 		sess, ok := mgr.Get(req.Spec.ID)
 		if !ok {

@@ -86,6 +86,20 @@ const (
 	// MsgHealth asks the coordinator for its epoch and per-shard health
 	// states.
 	MsgHealth MsgType = 0x0F
+	// MsgLoad asks for a load sample. A shard answers with one row
+	// (its own sessions, mem footprint, feed latency); a coordinator
+	// answers with one row per member — including placeholder rows for
+	// members it could not sample, so one dead shard never fails the
+	// whole query. This is the rebalancer's planning input.
+	MsgLoad MsgType = 0x10
+	// MsgSetWeight asks the coordinator to set the capacity weight of
+	// the shard at Addr — weighted vnodes for heterogeneous fleets. The
+	// ring is rebuilt and only the sessions whose arcs move migrate.
+	MsgSetWeight MsgType = 0x11
+	// MsgAutopilotStatus asks the coordinator for its autopilot policy
+	// state: imbalance score, rebalance/readmission/scrub counters and
+	// the current coordination lease.
+	MsgAutopilotStatus MsgType = 0x12
 
 	// MsgOK acknowledges a request with no payload.
 	MsgOK MsgType = 0x40
@@ -99,6 +113,10 @@ const (
 	MsgStatsResp MsgType = 0x44
 	// MsgHealthResp answers MsgHealth.
 	MsgHealthResp MsgType = 0x45
+	// MsgLoadResp answers MsgLoad.
+	MsgLoadResp MsgType = 0x46
+	// MsgAutopilotResp answers MsgAutopilotStatus.
+	MsgAutopilotResp MsgType = 0x47
 )
 
 // Error codes carried by MsgErr, mirroring the session layer's typed
@@ -161,22 +179,74 @@ type HealthInfo struct {
 	Shards []ShardHealthInfo
 }
 
+// SessionLoad is one session's placement cost on the wire — what the
+// rebalancer ranks when picking the cheapest sessions to move off a
+// hot shard.
+type SessionLoad struct {
+	ID     string
+	Mem    uint64 // admission-time stream footprint in bytes
+	Frames uint64 // stream frames processed so far
+}
+
+// ShardLoad is one shard's load sample on the wire (MsgLoadResp). A
+// row with a non-empty Err is a placeholder: the shard could not be
+// sampled (down, timed out) and every other field except Addr/State is
+// unset — the graceful-degradation row `bgbuster stats` renders as
+// DOWN/? instead of failing the whole command.
+type ShardLoad struct {
+	Addr       string
+	State      uint8  // HealthState at sample time
+	Weight     uint16 // capacity weight (vnode multiplier), 0 on shard-local rows
+	Mem        uint64 // summed session stream footprint in bytes
+	FeedMicros uint64 // EWMA of feed request handling latency, microseconds
+	Sess       []SessionLoad
+	Err        string // non-empty: sample failed; row is a placeholder
+}
+
+// AutopilotInfo is the autopilot policy state on the wire
+// (MsgAutopilotResp): the latest imbalance score against its
+// threshold, cumulative rebalance/readmission/scrub counters, and the
+// coordination lease (when election is running).
+type AutopilotInfo struct {
+	Enabled      bool
+	Imbalance    float64 // latest planner score
+	Threshold    float64 // high-water score that triggers rebalancing
+	Passes       uint64  // planner passes run
+	Moves        uint64  // sessions migrated by the rebalancer
+	Readmitted   uint64  // shards auto re-admitted after down
+	Promoted     uint64  // shards promoted out of probation
+	Probation    uint32  // shards currently in probation
+	ScrubChecked uint64
+	ScrubRepairs uint64
+	ScrubSwept   uint64
+	ScrubStuck   uint64 // live ids with no valid replica anywhere
+	OrphanDels   uint64 // deletes that left orphaned replicas behind
+	LeaseHeld    bool
+	LeaseHolder  string
+	LeaseTerm    uint64
+	LeaseEpoch   uint64
+	LeaseExpires int64 // unix nanoseconds; 0 = no lease observed
+}
+
 // Message is one decoded wire message. Only the fields its Type uses
 // are meaningful; Encode writes exactly those, so
 // Encode(Decode(b)) == b for every accepted b (the canonical-encoding
 // invariant the fuzz harness enforces).
 type Message struct {
 	Type   MsgType
-	Spec   OpenSpec     // Open, Resume; Spec.ID alone for id-bearing requests
-	Frames []core.Frame // Feed (exactly 1), FeedBatch (1..MaxBatch)
-	Ckpt   []byte       // Resume, CkptResp
-	Code   uint16       // Err
-	Text   string       // Err
-	Snap   SnapInfo     // SnapResp
-	Stats  StatsInfo    // StatsResp
-	Addr   string       // Join, DrainShard
-	Epoch  uint64       // Fence
-	Health HealthInfo   // HealthResp
+	Spec   OpenSpec      // Open, Resume; Spec.ID alone for id-bearing requests
+	Frames []core.Frame  // Feed (exactly 1), FeedBatch (1..MaxBatch)
+	Ckpt   []byte        // Resume, CkptResp
+	Code   uint16        // Err
+	Text   string        // Err
+	Snap   SnapInfo      // SnapResp
+	Stats  StatsInfo     // StatsResp
+	Addr   string        // Join, DrainShard, SetWeight
+	Epoch  uint64        // Fence
+	Health HealthInfo    // HealthResp
+	Weight uint16        // SetWeight
+	Loads  []ShardLoad   // LoadResp
+	Auto   AutopilotInfo // AutopilotResp
 }
 
 // Limits bounds what a decoder will allocate for one message — the
@@ -271,12 +341,47 @@ func appendBody(buf []byte, m *Message) ([]byte, error) {
 		}
 	case MsgSnapshot, MsgCheckpoint, MsgClose, MsgDetach, MsgDrain:
 		buf = appendStr(buf, m.Spec.ID)
-	case MsgStats, MsgOK, MsgPing, MsgHealth:
+	case MsgStats, MsgOK, MsgPing, MsgHealth, MsgLoad, MsgAutopilotStatus:
 		// empty body
 	case MsgFence:
 		buf = appendU64(buf, m.Epoch)
 	case MsgJoin, MsgDrainShard:
 		buf = appendStr(buf, m.Addr)
+	case MsgSetWeight:
+		buf = appendStr(buf, m.Addr)
+		buf = appendU16(buf, m.Weight)
+	case MsgLoadResp:
+		buf = appendU16(buf, uint16(len(m.Loads)))
+		for _, row := range m.Loads {
+			buf = appendStr(buf, row.Addr)
+			buf = append(buf, row.State)
+			buf = appendU16(buf, row.Weight)
+			buf = appendU64(buf, row.Mem)
+			buf = appendU64(buf, row.FeedMicros)
+			buf = appendStr(buf, row.Err)
+			buf = appendU16(buf, uint16(len(row.Sess)))
+			for _, s := range row.Sess {
+				buf = appendStr(buf, s.ID)
+				buf = appendU64(buf, s.Mem)
+				buf = appendU64(buf, s.Frames)
+			}
+		}
+	case MsgAutopilotResp:
+		a := m.Auto
+		buf = append(buf, b2u8(a.Enabled)|b2u8(a.LeaseHeld)<<1)
+		buf = appendU64(buf, math.Float64bits(a.Imbalance))
+		buf = appendU64(buf, math.Float64bits(a.Threshold))
+		for _, v := range []uint64{a.Passes, a.Moves, a.Readmitted, a.Promoted} {
+			buf = appendU64(buf, v)
+		}
+		buf = appendU32(buf, a.Probation)
+		for _, v := range []uint64{a.ScrubChecked, a.ScrubRepairs, a.ScrubSwept, a.ScrubStuck, a.OrphanDels} {
+			buf = appendU64(buf, v)
+		}
+		buf = appendStr(buf, a.LeaseHolder)
+		buf = appendU64(buf, a.LeaseTerm)
+		buf = appendU64(buf, a.LeaseEpoch)
+		buf = appendU64(buf, uint64(a.LeaseExpires))
 	case MsgHealthResp:
 		buf = appendU64(buf, m.Health.Epoch)
 		buf = appendU16(buf, uint16(len(m.Health.Shards)))
@@ -428,7 +533,7 @@ func decodeBody(r *reader, m *Message, lim Limits) error {
 			return err
 		}
 		m.Spec.ID = id
-	case MsgStats, MsgOK, MsgPing, MsgHealth:
+	case MsgStats, MsgOK, MsgPing, MsgHealth, MsgLoad, MsgAutopilotStatus:
 		// empty body
 	case MsgFence:
 		epoch, err := r.u64()
@@ -442,6 +547,129 @@ func decodeBody(r *reader, m *Message, lim Limits) error {
 			return err
 		}
 		m.Addr = addr
+	case MsgSetWeight:
+		addr, err := r.str(lim.MaxIDLen)
+		if err != nil {
+			return err
+		}
+		m.Addr = addr
+		if m.Weight, err = r.u16(); err != nil {
+			return err
+		}
+	case MsgLoadResp:
+		n, err := r.u16()
+		if err != nil {
+			return err
+		}
+		if int(n) > lim.MaxIDs {
+			return fmt.Errorf("fleet: %d load rows exceed budget %d: %w", n, lim.MaxIDs, ErrBadMessage)
+		}
+		// Each row costs >= 25 bytes (2 addr len + 1 state + 2 weight +
+		// 8 mem + 8 latency + 2 err len + 2 session count), so the
+		// advertised count is verified against what is present before any
+		// reserve.
+		if err := r.need(25 * int64(n)); err != nil {
+			return err
+		}
+		if n > 0 {
+			m.Loads = make([]ShardLoad, 0, n)
+		}
+		for i := 0; i < int(n); i++ {
+			var row ShardLoad
+			if row.Addr, err = r.str(lim.MaxIDLen); err != nil {
+				return err
+			}
+			if row.State, err = r.u8(); err != nil {
+				return err
+			}
+			if row.Weight, err = r.u16(); err != nil {
+				return err
+			}
+			if row.Mem, err = r.u64(); err != nil {
+				return err
+			}
+			if row.FeedMicros, err = r.u64(); err != nil {
+				return err
+			}
+			if row.Err, err = r.str(lim.MaxText); err != nil {
+				return err
+			}
+			ns, err := r.u16()
+			if err != nil {
+				return err
+			}
+			if int(ns) > lim.MaxIDs {
+				return fmt.Errorf("fleet: %d session loads exceed budget %d: %w", ns, lim.MaxIDs, ErrBadMessage)
+			}
+			// Each session entry costs >= 18 bytes (2 id len + 8 mem +
+			// 8 frames).
+			if err := r.need(18 * int64(ns)); err != nil {
+				return err
+			}
+			if ns > 0 {
+				row.Sess = make([]SessionLoad, 0, ns)
+			}
+			for j := 0; j < int(ns); j++ {
+				var s SessionLoad
+				if s.ID, err = r.str(lim.MaxIDLen); err != nil {
+					return err
+				}
+				if s.Mem, err = r.u64(); err != nil {
+					return err
+				}
+				if s.Frames, err = r.u64(); err != nil {
+					return err
+				}
+				row.Sess = append(row.Sess, s)
+			}
+			m.Loads = append(m.Loads, row)
+		}
+	case MsgAutopilotResp:
+		a := &m.Auto
+		flags, err := r.u8()
+		if err != nil {
+			return err
+		}
+		if flags&^0x03 != 0 {
+			return fmt.Errorf("fleet: nonzero autopilot flag padding: %w", ErrBadMessage)
+		}
+		a.Enabled, a.LeaseHeld = flags&1 != 0, flags&2 != 0
+		bits, err := r.u64()
+		if err != nil {
+			return err
+		}
+		a.Imbalance = math.Float64frombits(bits)
+		if bits, err = r.u64(); err != nil {
+			return err
+		}
+		a.Threshold = math.Float64frombits(bits)
+		for _, dst := range []*uint64{&a.Passes, &a.Moves, &a.Readmitted, &a.Promoted} {
+			if *dst, err = r.u64(); err != nil {
+				return err
+			}
+		}
+		if a.Probation, err = r.u32(); err != nil {
+			return err
+		}
+		for _, dst := range []*uint64{&a.ScrubChecked, &a.ScrubRepairs, &a.ScrubSwept, &a.ScrubStuck, &a.OrphanDels} {
+			if *dst, err = r.u64(); err != nil {
+				return err
+			}
+		}
+		if a.LeaseHolder, err = r.str(lim.MaxIDLen); err != nil {
+			return err
+		}
+		if a.LeaseTerm, err = r.u64(); err != nil {
+			return err
+		}
+		if a.LeaseEpoch, err = r.u64(); err != nil {
+			return err
+		}
+		expires, err := r.u64()
+		if err != nil {
+			return err
+		}
+		a.LeaseExpires = int64(expires)
 	case MsgHealthResp:
 		var err error
 		if m.Health.Epoch, err = r.u64(); err != nil {

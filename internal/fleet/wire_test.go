@@ -74,6 +74,21 @@ func sampleMessages() []*Message {
 				{Addr: "10.0.0.3:7601", State: 2, Fails: 5},
 			},
 		}},
+		{Type: MsgLoad},
+		{Type: MsgSetWeight, Addr: "10.0.0.5:7601", Weight: 4},
+		{Type: MsgAutopilotStatus},
+		{Type: MsgLoadResp, Loads: []ShardLoad{
+			{Addr: "10.0.0.1:7601", State: 0, Weight: 2, Mem: 1 << 20, FeedMicros: 850,
+				Sess: []SessionLoad{{ID: "call-00", Mem: 4096, Frames: 77}, {ID: "call-01", Mem: 8192, Frames: 12}}},
+			{Addr: "10.0.0.2:7601", State: 2, Weight: 1, Err: "down"},
+		}},
+		{Type: MsgAutopilotResp, Auto: AutopilotInfo{
+			Enabled: true, Imbalance: 0.4375, Threshold: 0.25,
+			Passes: 9, Moves: 3, Readmitted: 1, Promoted: 1, Probation: 1,
+			ScrubChecked: 12, ScrubRepairs: 2, ScrubSwept: 3, ScrubStuck: 0, OrphanDels: 1,
+			LeaseHeld: true, LeaseHolder: "coord-a", LeaseTerm: 5, LeaseEpoch: 7,
+			LeaseExpires: 1754600000,
+		}},
 	}
 }
 
@@ -155,7 +170,9 @@ func messagesEqual(a, b *Message) bool {
 		reflect.DeepEqual(a.Stats.IDs, b.Stats.IDs) &&
 		a.Addr == b.Addr && a.Epoch == b.Epoch &&
 		a.Health.Epoch == b.Health.Epoch &&
-		reflect.DeepEqual(a.Health.Shards, b.Health.Shards)
+		reflect.DeepEqual(a.Health.Shards, b.Health.Shards) &&
+		a.Weight == b.Weight && reflect.DeepEqual(a.Loads, b.Loads) &&
+		a.Auto == b.Auto
 }
 
 // TestWireGolden pins the byte layout of representative messages so an
@@ -238,6 +255,38 @@ func TestWireGolden(t *testing.T) {
 	if got, _ := Encode(health); !bytes.Equal(got, wantHealth) {
 		t.Fatalf("MsgHealthResp golden mismatch:\n got %v\nwant %v", got, wantHealth)
 	}
+
+	setw := &Message{Type: MsgSetWeight, Addr: "a:1", Weight: 3}
+	wantSetW := []byte{
+		'B', 'B', 'F', 'L', 1, 0, 0x11, 0x00, 7, 0, 0, 0,
+		3, 0, 'a', ':', '1', // addr
+		3, 0, // weight
+	}
+	if got, _ := Encode(setw); !bytes.Equal(got, wantSetW) {
+		t.Fatalf("MsgSetWeight golden mismatch:\n got %v\nwant %v", got, wantSetW)
+	}
+
+	load := &Message{Type: MsgLoadResp, Loads: []ShardLoad{
+		{Addr: "b:2", State: 1, Weight: 2, Mem: 5, FeedMicros: 6,
+			Sess: []SessionLoad{{ID: "s", Mem: 7, Frames: 8}}},
+	}}
+	wantLoad := []byte{
+		'B', 'B', 'F', 'L', 1, 0, 0x46, 0x00, 49, 0, 0, 0,
+		1, 0, // row count
+		3, 0, 'b', ':', '2', // addr
+		1,    // state (suspect)
+		2, 0, // weight
+		5, 0, 0, 0, 0, 0, 0, 0, // mem
+		6, 0, 0, 0, 0, 0, 0, 0, // feed micros
+		0, 0, // err (empty)
+		1, 0, // session count
+		1, 0, 's', // id
+		7, 0, 0, 0, 0, 0, 0, 0, // session mem
+		8, 0, 0, 0, 0, 0, 0, 0, // session frames
+	}
+	if got, _ := Encode(load); !bytes.Equal(got, wantLoad) {
+		t.Fatalf("MsgLoadResp golden mismatch:\n got %v\nwant %v", got, wantLoad)
+	}
 }
 
 func TestWireDecodeRejections(t *testing.T) {
@@ -301,6 +350,40 @@ func TestWireDecodeRejections(t *testing.T) {
 	}
 	if _, err := Decode(zeroBatch); !errors.Is(err, ErrBadMessage) {
 		t.Errorf("zero batch: %v", err)
+	}
+
+	// Autopilot flags byte with an undefined bit set is non-canonical.
+	autoOK, _ := Encode(&Message{Type: MsgAutopilotResp, Auto: AutopilotInfo{Enabled: true}})
+	autoBad := append([]byte(nil), autoOK...)
+	autoBad[headerLen] |= 0x04
+	if _, err := Decode(autoBad); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("autopilot flags: %v", err)
+	}
+
+	// A load-row bomb — huge claimed row count against a tiny body —
+	// must die on the length budget before any row allocation.
+	loadBomb := []byte{
+		'B', 'B', 'F', 'L', 1, 0, 0x46, 0x00, 2, 0, 0, 0,
+		0xFF, 0xFF, // 65535 rows claimed, zero row bytes
+	}
+	if _, err := Decode(loadBomb); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("load row bomb: %v", err)
+	}
+
+	// Same for the per-row session list.
+	sessBomb := []byte{
+		'B', 'B', 'F', 'L', 1, 0, 0x46, 0x00, 27, 0, 0, 0,
+		1, 0, // one row
+		0, 0, // empty addr
+		0,    // state
+		1, 0, // weight
+		0, 0, 0, 0, 0, 0, 0, 0, // mem
+		0, 0, 0, 0, 0, 0, 0, 0, // feed micros
+		0, 0, // err
+		0xFF, 0xFF, // 65535 sessions claimed, zero session bytes
+	}
+	if _, err := Decode(sessBomb); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("load session bomb: %v", err)
 	}
 }
 

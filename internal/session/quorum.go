@@ -147,13 +147,34 @@ func (q *QuorumStore) List() ([]string, error) {
 	return out, nil
 }
 
+// OrphanError reports a Delete that met its chain quorum — the id is
+// gone as far as reads are concerned — but left replicas behind on
+// stores whose delete failed. The session is safely removed; the
+// leftover copies leak space and would resurrect the id in List until
+// a scrub sweeps them. Callers that only care about logical removal
+// may log and continue; the scrubber (Scrub) repairs the physical
+// leak.
+type OrphanError struct {
+	ID       string
+	Leftover int   // replica deletes that failed
+	Err      error // the joined per-replica failures
+}
+
+func (e *OrphanError) Error() string {
+	return fmt.Sprintf("session: delete %q left %d orphaned replica(s): %v", e.ID, e.Leftover, e.Err)
+}
+
+func (e *OrphanError) Unwrap() error { return e.Err }
+
 // Delete removes the id from every store (not just its chain — a
 // rebalance may have left copies elsewhere). Deleting a missing id is
-// not an error; failing to reach the quorum of successful deletes on
-// the chain is.
+// not an error. Failing the chain quorum of deletes is an ErrQuorum
+// (the id may still be readable); succeeding the quorum while some
+// replica deletes fail returns an *OrphanError so the leaked copies
+// are surfaced instead of silently retained.
 func (q *QuorumStore) Delete(id string) error {
 	var errs []error
-	okChain := 0
+	okChain, failed := 0, 0
 	chain := map[int]bool{}
 	for _, i := range q.chain(id) {
 		chain[i] = true
@@ -161,6 +182,7 @@ func (q *QuorumStore) Delete(id string) error {
 	for i, s := range q.stores {
 		if err := s.Delete(id); err != nil {
 			errs = append(errs, fmt.Errorf("replica %d: %w", i, err))
+			failed++
 		} else if chain[i] {
 			okChain++
 		}
@@ -169,5 +191,123 @@ func (q *QuorumStore) Delete(id string) error {
 		return fmt.Errorf("%w deleting %q: %d/%d chain deletes succeeded: %w",
 			ErrQuorum, id, okChain, q.quorum, errors.Join(errs...))
 	}
+	if failed > 0 {
+		return &OrphanError{ID: id, Leftover: failed, Err: errors.Join(errs...)}
+	}
 	return nil
+}
+
+// ScrubConfig parameterises one Scrub pass.
+type ScrubConfig struct {
+	// Live reports whether an id is still wanted (nil: everything is).
+	// Ids that are not live are swept from every store — this is what
+	// cleans up replicas orphaned by partial Delete failures.
+	Live func(id string) bool
+	// Verify validates one replica's bytes (nil: any bytes verify).
+	// Copies failing verification count as corrupt and are rewritten
+	// from a valid replica when one exists.
+	Verify func(id string, data []byte) error
+}
+
+// ScrubReport counts one Scrub pass's findings and repairs.
+type ScrubReport struct {
+	Checked      int // live ids examined
+	Repaired     int // replica copies rewritten onto chain stores
+	Swept        int // dead-id replica copies removed
+	Corrupt      int // copies that failed verification
+	Unrepairable int // live ids with no valid copy on any store
+}
+
+// Scrub walks every id across every store and restores the replication
+// invariant: each live id holds a verified copy on every store of its
+// chain (so the next shard/replica loss stays survivable — W-of-N is
+// re-established after under-replication), divergent or corrupt chain
+// copies are rewritten from the canonical replica (the first valid
+// copy in chain order — the same copy Load would return), and ids no
+// longer live are deleted from every store. Per-store failures degrade
+// the pass (counted, logged by the caller via the returned error), they
+// do not abort it.
+func (q *QuorumStore) Scrub(cfg ScrubConfig) (ScrubReport, error) {
+	var rep ScrubReport
+	ids, err := q.List()
+	if err != nil {
+		return rep, err
+	}
+	var errs []error
+	for _, id := range ids {
+		if cfg.Live != nil && !cfg.Live(id) {
+			// Dead id: sweep every copy. Load-then-delete per store so
+			// only stores actually holding a copy count as swept.
+			for i, s := range q.stores {
+				if _, lerr := s.Load(id); lerr != nil {
+					continue
+				}
+				if derr := s.Delete(id); derr != nil {
+					errs = append(errs, fmt.Errorf("sweep %q replica %d: %w", id, i, derr))
+					continue
+				}
+				rep.Swept++
+			}
+			continue
+		}
+		rep.Checked++
+
+		// Find the canonical copy: the first valid replica in chain
+		// order (matching Load's read preference), then any other store.
+		chain := q.chain(id)
+		inChain := map[int]bool{}
+		for _, i := range chain {
+			inChain[i] = true
+		}
+		valid := func(i int) []byte {
+			data, lerr := q.stores[i].Load(id)
+			if lerr != nil {
+				return nil
+			}
+			if cfg.Verify != nil {
+				if verr := cfg.Verify(id, data); verr != nil {
+					rep.Corrupt++
+					errs = append(errs, fmt.Errorf("verify %q replica %d: %w", id, i, verr))
+					return nil
+				}
+			}
+			return data
+		}
+		var canonical []byte
+		seen := map[int][]byte{} // replica index -> its (valid) bytes, nil = missing/corrupt
+		for _, i := range chain {
+			seen[i] = valid(i)
+			if canonical == nil {
+				canonical = seen[i]
+			}
+		}
+		if canonical == nil {
+			for i := range q.stores {
+				if inChain[i] {
+					continue
+				}
+				if canonical = valid(i); canonical != nil {
+					break
+				}
+			}
+		}
+		if canonical == nil {
+			rep.Unrepairable++
+			errs = append(errs, fmt.Errorf("scrub %q: no valid replica on any store", id))
+			continue
+		}
+
+		// Restore the chain: every chain store gets the canonical bytes.
+		for _, i := range chain {
+			if data := seen[i]; data != nil && string(data) == string(canonical) {
+				continue
+			}
+			if serr := q.stores[i].Save(id, canonical); serr != nil {
+				errs = append(errs, fmt.Errorf("repair %q replica %d: %w", id, i, serr))
+				continue
+			}
+			rep.Repaired++
+		}
+	}
+	return rep, errors.Join(errs...)
 }

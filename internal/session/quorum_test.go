@@ -11,7 +11,7 @@ type brokenStore struct{}
 
 var errDead = errors.New("replica dead")
 
-func (brokenStore) Save(string, []byte) error  { return errDead }
+func (brokenStore) Save(string, []byte) error   { return errDead }
 func (brokenStore) Load(string) ([]byte, error) { return nil, errDead }
 func (brokenStore) List() ([]string, error)     { return nil, errDead }
 func (brokenStore) Delete(string) error         { return errDead }
@@ -134,6 +134,158 @@ func TestQuorumStoreFailsBelowQuorum(t *testing.T) {
 	}
 	if _, err := q.Load("missing"); err == nil {
 		t.Fatal("Load of a never-saved id succeeded")
+	}
+}
+
+// stickyStore wraps a MemStore but fails every Delete — a replica
+// whose disk went read-only, the shape that orphans copies.
+type stickyStore struct{ *MemStore }
+
+var errSticky = errors.New("delete refused")
+
+func (stickyStore) Delete(string) error { return errSticky }
+
+// TestQuorumStoreDeleteSurfacesOrphans proves the satellite fix: a
+// Delete that meets its chain quorum but leaves replicas behind
+// returns *OrphanError (logical removal succeeded, physical copies
+// leaked) instead of silently claiming a clean delete.
+func TestQuorumStoreDeleteSurfacesOrphans(t *testing.T) {
+	sticky := stickyStore{NewMemStore()}
+	q, err := NewQuorumStore([]CheckpointStore{NewMemStore(), sticky, NewMemStore()}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Save("mtg", []byte("ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	derr := q.Delete("mtg")
+	var orphan *OrphanError
+	if !errors.As(derr, &orphan) {
+		t.Fatalf("Delete with one stuck replica = %v, want *OrphanError", derr)
+	}
+	if orphan.ID != "mtg" || orphan.Leftover != 1 {
+		t.Fatalf("OrphanError = %+v, want ID mtg with 1 leftover", orphan)
+	}
+	if !errors.Is(derr, errSticky) {
+		t.Fatalf("OrphanError does not carry the replica failure: %v", derr)
+	}
+	// The leaked copy still resurrects the id in List — exactly what the
+	// scrubber exists to sweep.
+	ids, _ := q.List()
+	if len(ids) != 1 || ids[0] != "mtg" {
+		t.Fatalf("List after orphaned delete = %v, want the leaked id", ids)
+	}
+	// A clean delete stays a plain nil.
+	q2, _ := NewQuorumStore([]CheckpointStore{NewMemStore(), NewMemStore()}, 2, 2)
+	_ = q2.Save("mtg", []byte("ckpt"))
+	if err := q2.Delete("mtg"); err != nil {
+		t.Fatalf("clean Delete = %v", err)
+	}
+}
+
+// TestQuorumStoreScrubRestoresReplication proves Scrub re-establishes
+// W-of-N after a replica loss: a chain copy wiped from one store is
+// rewritten there from the canonical surviving replica.
+func TestQuorumStoreScrubRestoresReplication(t *testing.T) {
+	mems := []*MemStore{NewMemStore(), NewMemStore(), NewMemStore()}
+	q, err := NewQuorumStore([]CheckpointStore{mems[0], mems[1], mems[2]}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"mtg-a", "mtg-b", "mtg-c", "mtg-d"}
+	for _, id := range ids {
+		if err := q.Save(id, []byte(id+"-ckpt")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate losing replica 1's disk: wipe it entirely.
+	for _, id := range ids {
+		_ = mems[1].Delete(id)
+	}
+	rep, err := q.Scrub(ScrubConfig{})
+	if err != nil {
+		t.Fatalf("scrub: %v", err)
+	}
+	if rep.Checked != len(ids) || rep.Repaired != len(ids) {
+		t.Fatalf("ScrubReport = %+v, want %d checked and %d repaired", rep, len(ids), len(ids))
+	}
+	if rep.Swept != 0 || rep.Corrupt != 0 || rep.Unrepairable != 0 {
+		t.Fatalf("ScrubReport = %+v, want no sweeps/corruption", rep)
+	}
+	// Every id is back on all three chain stores with the right bytes.
+	for _, id := range ids {
+		for i, m := range mems {
+			data, lerr := m.Load(id)
+			if lerr != nil {
+				t.Fatalf("replica %d misses %q after scrub: %v", i, id, lerr)
+			}
+			if string(data) != id+"-ckpt" {
+				t.Fatalf("replica %d holds %q for %q", i, data, id)
+			}
+		}
+	}
+	// A second pass is a no-op: the invariant holds.
+	rep, err = q.Scrub(ScrubConfig{})
+	if err != nil || rep.Repaired != 0 {
+		t.Fatalf("second scrub = (%+v, %v), want no repairs", rep, err)
+	}
+}
+
+// TestQuorumStoreScrubSweepsAndVerifies proves the other two scrub
+// duties: dead ids (orphaned by partial deletes) are swept from every
+// store, and copies failing the Verify hook are counted corrupt and
+// rewritten from a valid replica.
+func TestQuorumStoreScrubSweepsAndVerifies(t *testing.T) {
+	mems := []*MemStore{NewMemStore(), NewMemStore(), NewMemStore()}
+	q, err := NewQuorumStore([]CheckpointStore{mems[0], mems[1], mems[2]}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = q.Save("live", []byte("good"))
+	_ = q.Save("dead", []byte("stale"))
+	// Corrupt one replica of the live id.
+	var corrupted int
+	for i, m := range mems {
+		if _, lerr := m.Load("live"); lerr == nil {
+			_ = m.Save("live", []byte("bad!"))
+			corrupted = i
+			break
+		}
+	}
+	rep, err := q.Scrub(ScrubConfig{
+		Live: func(id string) bool { return id == "live" },
+		Verify: func(id string, data []byte) error {
+			if string(data) != "good" {
+				return errors.New("payload mismatch")
+			}
+			return nil
+		},
+	})
+	if err == nil {
+		t.Fatal("scrub with a corrupt replica reported no error detail")
+	}
+	if rep.Checked != 1 || rep.Corrupt != 1 || rep.Repaired != 1 || rep.Swept != 3 {
+		t.Fatalf("ScrubReport = %+v, want 1 checked, 1 corrupt, 1 repaired, 3 swept", rep)
+	}
+	if data, lerr := mems[corrupted].Load("live"); lerr != nil || string(data) != "good" {
+		t.Fatalf("corrupt replica after scrub = (%q, %v), want repaired bytes", data, lerr)
+	}
+	for i, m := range mems {
+		if _, lerr := m.Load("dead"); lerr == nil {
+			t.Fatalf("replica %d still holds the dead id after sweep", i)
+		}
+	}
+	// A live id with no valid copy anywhere is unrepairable, not
+	// invented.
+	for _, m := range mems {
+		_ = m.Save("live", []byte("bad!"))
+	}
+	rep, _ = q.Scrub(ScrubConfig{
+		Live:   func(id string) bool { return id == "live" },
+		Verify: func(id string, data []byte) error { return errors.New("all corrupt") },
+	})
+	if rep.Unrepairable != 1 {
+		t.Fatalf("ScrubReport with every copy corrupt = %+v, want 1 unrepairable", rep)
 	}
 }
 
